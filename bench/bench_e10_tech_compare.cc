@@ -1,0 +1,68 @@
+// E10 — §3: technology comparison. "PCM, RRAM, and STT-MRAM have read
+// performance and energy on par or better than DRAM... They also have
+// potential for higher density and/or lower TCO/TB."
+//
+// Prints the cell-level comparison table and the MRM operating points each
+// candidate reaches once retention is relaxed (the paper's opportunity).
+
+#include <cstdio>
+
+#include "src/cell/technology.h"
+#include "src/cell/tradeoff.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("E10: memory technology comparison (paper §3)\n\n");
+
+  TablePrinter table({"technology", "read ns", "write ns", "read pJ/b", "write pJ/b",
+                      "retention", "endurance (prod)", "endurance (pot.)", "rel density",
+                      "rel $/bit"});
+  for (const auto& profile : cell::AllTechnologyProfiles()) {
+    table.AddRow({profile.name, FormatNumber(profile.read_latency_ns),
+                  FormatNumber(profile.write_latency_ns),
+                  FormatNumber(profile.read_energy_pj_per_bit),
+                  FormatNumber(profile.write_energy_pj_per_bit),
+                  FormatSeconds(profile.retention_s),
+                  FormatNumber(profile.endurance.product_cycles),
+                  FormatNumber(profile.endurance.potential_cycles),
+                  FormatNumber(profile.relative_density),
+                  FormatNumber(profile.relative_cost_per_bit)});
+  }
+  table.Print("Cell-level technology profiles (survey-calibrated)");
+
+  // The MRM pivot: what each SCM candidate looks like at relaxed retention.
+  TablePrinter mrm({"technology", "retention point", "write pJ/b", "write ns",
+                    "endurance cycles"});
+  for (cell::Technology tech :
+       {cell::Technology::kSttMram, cell::Technology::kRram, cell::Technology::kPcm}) {
+    auto tradeoff = cell::MakeTradeoffFor(tech).value();
+    for (double retention : {10.0 * kYear, 30.0 * kDay, kDay, kHour}) {
+      const cell::OperatingPoint point = tradeoff->AtRetention(retention);
+      mrm.AddRow({cell::TechnologyName(tech), FormatSeconds(point.retention_s),
+                  FormatNumber(point.write_energy_pj_per_bit),
+                  FormatNumber(point.write_latency_ns),
+                  FormatNumber(point.endurance_cycles)});
+    }
+  }
+  mrm.Print("MRM operating points: what relaxing retention buys (paper §3)");
+
+  // Quantified claims.
+  const double dram_read_pj =
+      cell::GetTechnologyProfile(cell::Technology::kDram).read_energy_pj_per_bit;
+  std::printf("Claim 'read energy on par or better than DRAM (%.2f pJ/b)':\n", dram_read_pj);
+  for (cell::Technology tech :
+       {cell::Technology::kSttMram, cell::Technology::kRram, cell::Technology::kPcm}) {
+    const auto& profile = cell::GetTechnologyProfile(tech);
+    std::printf("  %-9s %.2f pJ/b -> %s\n", profile.name.c_str(),
+                profile.read_energy_pj_per_bit,
+                profile.read_energy_pj_per_bit <= dram_read_pj ? "holds" : "VIOLATED");
+  }
+  return 0;
+}

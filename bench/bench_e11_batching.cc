@@ -1,0 +1,87 @@
+// E11 — §2.2: "batching allows weight reuse across requests... but even
+// together they do not fundamentally change the heavily read-dominated
+// nature of the workload."
+//
+// Sweeps batch size (weight amortization) and a KV prefix-reuse fraction,
+// showing the read:write ratio stays orders of magnitude above parity.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/mem/device_config.h"
+#include "src/tier/tier_spec.h"
+#include "src/workload/inference_engine.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+workload::EngineSummary RunBatch(int max_batch, double prefix_reuse,
+                                 double compression_ratio = 1.0) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  workload::AnalyticBackend backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::EngineConfig config;
+  config.model = workload::Llama2_70B();
+  config.max_batch = max_batch;
+  config.compute_tflops = 1000.0;
+  config.kv_compression_ratio = compression_ratio;
+  config.kv_codec_flops_per_byte = compression_ratio < 1.0 ? 20.0 : 0.0;
+  workload::InferenceEngine engine(config, &backend);
+
+  std::vector<workload::InferenceRequest> requests;
+  for (int i = 0; i < 2 * max_batch; ++i) {
+    workload::InferenceRequest request;
+    request.id = static_cast<std::uint64_t>(i + 1);
+    // Prefix reuse: the shared prefix's KV does not need prefilling —
+    // shorten the prompt accordingly (vLLM automatic prefix caching).
+    request.prompt_tokens = static_cast<int>(1024.0 * (1.0 - prefix_reuse)) + 1;
+    request.output_tokens = 96;
+    requests.push_back(request);
+  }
+  return engine.Run(requests);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: batching and KV-prefix reuse do not change read dominance (§2.2)\n\n");
+
+  TablePrinter batching({"max batch", "tokens/s", "R:W ratio", "weight reads/token"});
+  for (int batch : {1, 2, 4, 8, 16, 32}) {
+    const workload::EngineSummary summary = RunBatch(batch, 0.0);
+    const double weight_reads_per_token =
+        static_cast<double>(summary.weight_read_bytes) /
+        static_cast<double>(workload::Llama2_70B().weight_bytes()) /
+        static_cast<double>(summary.decode_tokens);
+    batching.AddRow({std::to_string(batch), FormatNumber(summary.decode_tokens_per_s()),
+                     FormatNumber(summary.read_write_ratio()),
+                     FormatNumber(weight_reads_per_token)});
+  }
+  batching.Print("Batch-size sweep (weight reads amortize, ratio stays >> 1000)");
+
+  TablePrinter reuse({"prefix reuse", "prefill tokens", "R:W ratio"});
+  for (double fraction : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const workload::EngineSummary summary = RunBatch(16, fraction);
+    reuse.AddRow({FormatNumber(fraction), FormatNumber(static_cast<double>(summary.prefill_tokens)),
+                  FormatNumber(summary.read_write_ratio())});
+  }
+  reuse.Print("KV prefix-reuse sweep at batch 16");
+
+  // KV compression (CacheGen [27]): shrinks KV traffic, costs codec compute;
+  // the byte mix stays read-dominated because weights dominate reads.
+  TablePrinter compression({"compression ratio", "KV bytes moved", "tokens/s",
+                            "R:W ratio (logical)"});
+  for (double ratio : {1.0, 0.5, 0.25}) {
+    const workload::EngineSummary summary = RunBatch(16, 0.0, ratio);
+    compression.AddRow({FormatNumber(ratio), FormatBytes(summary.kv_moved_bytes),
+                        FormatNumber(summary.decode_tokens_per_s()),
+                        FormatNumber(summary.read_write_ratio())});
+  }
+  compression.Print("KV compression sweep at batch 16");
+
+  std::printf("Shape check: batching divides weight reads per token (visible above) and\n");
+  std::printf("prefix reuse removes prefill writes, yet the byte mix stays read-dominated\n");
+  std::printf("by 3+ orders of magnitude in every configuration.\n");
+  return 0;
+}

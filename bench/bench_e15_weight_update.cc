@@ -1,0 +1,81 @@
+// E15 — §2/§3: model-weight updates. "When a new model is deployed, the
+// cluster stops accepting new requests, services ongoing ones, then loads
+// weights for the new model." Weight updates are MRM's write-heavy corner:
+// this bench quantifies the swap time on each substrate and the endurance
+// budget across update cadences — the two weights rows of Figure 1, turned
+// into deployment numbers.
+
+#include <cstdio>
+#include <string>
+
+#include "src/analysis/endurance.h"
+#include "src/cell/tradeoff.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/mem/stream_model.h"
+#include "src/tier/tier_spec.h"
+#include "src/workload/model_config.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("E15: model-swap cost and weight-update endurance budget (§2/§3)\n\n");
+
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const double weight_bytes = static_cast<double>(model.weight_bytes());
+  std::printf("Model: %s, %s of weights\n\n", model.name.c_str(),
+              FormatBytes(model.weight_bytes()).c_str());
+
+  // Swap time = weights / write bandwidth of the substrate.
+  TablePrinter swap({"substrate", "write bw", "swap time", "note"});
+  {
+    const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+    swap.AddRow({"HBM3e x8", FormatNumber(hbm.write_bw_bytes_per_s / 1e9) + " GB/s",
+                 FormatSeconds(weight_bytes / hbm.write_bw_bytes_per_s),
+                 "symmetric read/write"});
+  }
+  mrmcore::MrmDeviceConfig mrm_config;
+  mrm_config.technology = cell::Technology::kSttMram;
+  mrm_config.channels = 96;
+  for (double retention : {10.0 * kYear, 30.0 * kDay, kDay}) {
+    const workload::TierSpec mrm = tier::TierSpecFromMrm(mrm_config, 1, retention);
+    swap.AddRow({"MRM @ " + FormatSeconds(retention),
+                 FormatNumber(mrm.write_bw_bytes_per_s / 1e9) + " GB/s",
+                 FormatSeconds(weight_bytes / mrm.write_bw_bytes_per_s),
+                 retention >= kYear ? "non-volatile-grade writes" : "relaxed writes"});
+  }
+  swap.Print("Weight-swap time by substrate and programmed retention");
+
+  // Endurance budget: writes/cell over 5 years per update cadence vs. the
+  // endurance at the retention that cadence actually needs.
+  auto tradeoff = cell::MakeTradeoffFor(cell::Technology::kSttMram).value();
+  TablePrinter budget({"update cadence", "writes/cell (5y)", "needed retention",
+                       "endurance @ that point", "margin"});
+  struct Cadence {
+    const char* name;
+    double interval_s;
+  };
+  for (const Cadence& cadence : {Cadence{"monthly", 30.0 * kDay}, Cadence{"daily", kDay},
+                                 Cadence{"hourly", kHour}, Cadence{"every second", 1.0}}) {
+    analysis::WeightsEnduranceParams params;
+    params.update_interval_s = cadence.interval_s;
+    const double writes = analysis::WeightsWritesPerCell(params);
+    // Weights only need to live until the next update (plus margin).
+    const double retention = cadence.interval_s * 2.0;
+    const cell::OperatingPoint point = tradeoff->AtRetention(retention);
+    budget.AddRow({cadence.name, FormatNumber(writes),
+                   FormatSeconds(point.retention_s), FormatNumber(point.endurance_cycles),
+                   FormatNumber(point.endurance_cycles / writes)});
+  }
+  budget.Print("Weight-update endurance budget on STT-MRAM (DCM retention per cadence)");
+
+  std::printf("Shape check: even at MRM's ~10x lower write bandwidth a full weight swap\n");
+  std::printf("stays sub-second — negligible against hours-scale update cadences — and\n");
+  std::printf("the DCM trick (retention = 2x cadence) keeps endurance margins >> 1 even\n");
+  std::printf("for per-second updates (Figure 1's intensive case).\n");
+  return 0;
+}

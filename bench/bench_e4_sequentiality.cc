@@ -1,0 +1,68 @@
+// E4 — §2.2: "memory accesses are sequential and predictable".
+//
+// Records the engine's extent trace for several workloads and quantifies
+// sequentiality of reads, append-only-ness of writes, and the inter-step
+// stability of the weight-page read order (the property that lets the
+// virtual->physical mapping be static).
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/mem/device_config.h"
+#include "src/tier/tier_spec.h"
+#include "src/workload/inference_engine.h"
+#include "src/workload/request_generator.h"
+#include "src/workload/trace.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+workload::PredictabilityReport TraceWorkload(const workload::WorkloadProfile& profile,
+                                             int requests, std::uint64_t* reads,
+                                             std::uint64_t* writes) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  workload::AnalyticBackend backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::EngineConfig config;
+  config.model = workload::Llama2_70B();
+  config.max_batch = 8;
+  config.compute_tflops = 1000.0;
+  workload::TraceSink sink;
+  workload::InferenceEngine engine(config, &backend, &sink);
+  workload::RequestGenerator generator(profile, 8.0, 11);
+  std::vector<workload::InferenceRequest> reqs;
+  for (int i = 0; i < requests; ++i) {
+    reqs.push_back(generator.Next());
+  }
+  engine.Run(reqs);
+  const auto report = workload::AnalyzeTrace(sink.extents());
+  *reads = report.read_bytes;
+  *writes = report.write_bytes;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: access-pattern predictability of foundation-model inference (§2.2)\n\n");
+
+  TablePrinter table({"workload", "read sequentiality", "write append frac",
+                      "overwrite frac", "step-order stability"});
+  for (const auto& profile : {workload::SplitwiseConversation(), workload::SplitwiseCoding(),
+                              workload::LongContextSummarization()}) {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    const auto report = TraceWorkload(profile, 16, &reads, &writes);
+    table.AddRow({profile.name, FormatNumber(report.read_sequential_fraction),
+                  FormatNumber(report.write_append_fraction),
+                  FormatNumber(report.overwrite_fraction),
+                  FormatNumber(report.step_order_stability)});
+  }
+  table.Print("Predictability metrics (1.0 = perfectly sequential/append-only/stable)");
+
+  std::printf("Reading: weight/KV reads are overwhelmingly sequential; KV writes are pure\n");
+  std::printf("appends; the weight-page read order repeats exactly every decode step —\n");
+  std::printf("the workload a block-interface, statically-mapped MRM wants (paper §2.2/§4).\n");
+  std::printf("Only activations overwrite in place, which is why they stay in HBM.\n");
+  return 0;
+}

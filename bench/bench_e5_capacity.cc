@@ -1,0 +1,64 @@
+// E5 — §2: data-structure scaling claims.
+//
+//  * Weights: 250 GB to over 1 TB for >500B-parameter models.
+//  * Self-attention vector: "a few MBs" at most (MHA-class models).
+//  * KV cache: grows to "a few tens of GBs" at the context limit.
+//  * Activations: an order of magnitude smaller than weights / KV cache.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/workload/model_config.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("E5: memory capacity anatomy per model (paper §2)\n\n");
+
+  TablePrinter table({"model", "params", "weights", "KV vector/token",
+                      "KV cache @ max context", "activations (batch 32)"});
+  for (const auto& model : workload::AllModels()) {
+    table.AddRow({model.name, FormatNumber(static_cast<double>(model.parameters)),
+                  FormatBytes(model.weight_bytes()), FormatBytes(model.kv_bytes_per_token()),
+                  FormatBytes(model.kv_cache_bytes(
+                      static_cast<std::uint64_t>(model.max_context_tokens))),
+                  FormatBytes(model.activation_bytes(32))});
+  }
+  table.Print("Capacity of the three inference data structures");
+
+  TablePrinter claims({"paper claim", "model checked", "value", "holds?"});
+  {
+    const auto model = workload::Frontier_1T();
+    const std::uint64_t weights = model.weight_bytes();
+    claims.AddRow({"weights 250GB..1TB+ for >500B params", model.name, FormatBytes(weights),
+                   (weights >= 250ull * kGB) ? "yes" : "NO"});
+  }
+  {
+    const auto model = workload::Llama2_70B_MHA();
+    const std::uint64_t vector = model.kv_bytes_per_token();
+    claims.AddRow({"vector at most a few MBs", model.name, FormatBytes(vector),
+                   (vector >= 1ull * kMiB && vector <= 8ull * kMiB) ? "yes" : "NO"});
+  }
+  {
+    const auto model = workload::Llama2_70B_MHA();
+    const std::uint64_t kv =
+        model.kv_cache_bytes(static_cast<std::uint64_t>(model.max_context_tokens));
+    claims.AddRow({"KV cache grows to tens of GBs", model.name, FormatBytes(kv),
+                   (kv >= 10ull * kGiB && kv <= 100ull * kGiB) ? "yes" : "NO"});
+  }
+  {
+    const auto model = workload::Llama2_70B();
+    const std::uint64_t act = model.activation_bytes(32);
+    const bool holds = act * 10 <= model.weight_bytes() &&
+                       act * 5 <= model.kv_cache_bytes(2048);
+    claims.AddRow({"activations ~10x smaller", model.name, FormatBytes(act),
+                   holds ? "yes" : "NO"});
+  }
+  claims.Print("Quantitative checks of the paper's capacity claims");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E7 — §4 Dynamically Configurable Memory ablation.
+//
+// Same KV-churn workload on the same MRM device under three retention
+// policies:
+//   fixed-10y   : SCM-style, every write at the non-volatile point;
+//   fixed-24h   : one compromise retention for all data;
+//   DCM         : per-write retention = lifetime x margin.
+//
+// Reports write energy, write time, scrub traffic and endurance headroom.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/mrm/control_plane.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+struct AblationRow {
+  std::string policy;
+  double write_energy_j = 0.0;
+  double scrub_bytes = 0.0;
+  double drops = 0.0;
+  double mean_endurance_margin = 0.0;  // endurance at written point / wear
+  double total_j = 0.0;
+};
+
+AblationRow RunPolicy(const std::string& name, mrmcore::RetentionPolicy policy) {
+  sim::Simulator simulator(1e9);
+  mrmcore::MrmDeviceConfig config;
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 8;
+  config.zones = 256;
+  config.zone_blocks = 64;
+  config.block_bytes = 64 * 1024;
+  mrmcore::MrmDevice device(&simulator, config);
+  mrmcore::ControlPlaneOptions options;
+  options.scrub_period_s = 60.0;
+  options.retention_policy = std::move(policy);
+  mrmcore::ControlPlane plane(&simulator, &device, options);
+
+  // Mixed lifetimes: short-lived KV (10 min) and longer-lived weights-like
+  // blocks (the whole run).
+  std::vector<std::pair<double, mrmcore::LogicalId>> live;
+  constexpr double kRunS = 3600.0;
+  for (double t = 0.0; t < kRunS; t += 10.0) {
+    simulator.RunUntil(simulator.SecondsToTicks(t));
+    while (!live.empty() && live.front().first <= t) {
+      plane.Free(live.front().second);
+      live.erase(live.begin());
+    }
+    for (int i = 0; i < 32; ++i) {
+      auto id = plane.Append(600.0);
+      if (id.ok()) {
+        live.emplace_back(t + 600.0, id.value());
+      }
+    }
+  }
+  simulator.RunUntil(simulator.SecondsToTicks(kRunS));
+
+  AblationRow row;
+  row.policy = name;
+  row.write_energy_j = device.stats().write_energy_pj * 1e-12;
+  row.scrub_bytes = static_cast<double>(plane.stats().scrub_bytes);
+  row.drops = static_cast<double>(plane.stats().drops);
+  row.total_j = device.TotalEnergyPj() * 1e-12;
+  // Endurance margin at the policy's KV operating point.
+  const cell::OperatingPoint point =
+      device.tradeoff().AtRetention(plane.RetentionForLifetime(600.0));
+  // Wear per block over 5 years at this churn: writes/block/hour x 5y.
+  const double writes_per_hour =
+      static_cast<double>(device.stats().blocks_written) /
+      static_cast<double>(config.total_blocks());
+  const double five_year_wear = writes_per_hour * 5.0 * 365.0 * 24.0;
+  row.mean_endurance_margin =
+      five_year_wear > 0.0 ? point.endurance_cycles / five_year_wear : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: DCM retention-policy ablation on STT-MRAM MRM (paper §4)\n");
+  std::printf("1-hour KV churn, 10-minute data lifetimes\n\n");
+
+  std::vector<AblationRow> rows;
+  rows.push_back(RunPolicy("fixed 10 y (SCM-style)", mrmcore::MakeFixedPolicy(10.0 * kYear)));
+  rows.push_back(RunPolicy("fixed 24 h", mrmcore::MakeFixedPolicy(kDay)));
+  rows.push_back(RunPolicy("two-class (1h / 30d)",
+                           mrmcore::MakeTwoClassPolicy(kHour, 30.0 * kDay, 2.0 * kHour)));
+  rows.push_back(RunPolicy("DCM (lifetime x 1.25)", mrmcore::MakeDcmPolicy(1.25, 120.0)));
+
+  TablePrinter table({"policy", "write energy J", "scrub bytes", "data drops",
+                      "5y endurance margin", "total J"});
+  for (const auto& row : rows) {
+    table.AddRow({row.policy, FormatNumber(row.write_energy_j),
+                  FormatBytes(static_cast<std::uint64_t>(row.scrub_bytes)),
+                  FormatNumber(row.drops), FormatNumber(row.mean_endurance_margin),
+                  FormatNumber(row.total_j)});
+  }
+  table.Print("Retention policy ablation");
+
+  const double saving = 1.0 - rows.back().write_energy_j / rows.front().write_energy_j;
+  std::printf("DCM vs. fixed-10y: %.0f%% lower write energy and a ~%sx endurance margin\n",
+              saving * 100.0, FormatNumber(rows.back().mean_endurance_margin /
+                                           std::max(rows.front().mean_endurance_margin, 1e-12))
+                                  .c_str());
+  std::printf("gain — right-provisioning retention is the mechanism the paper proposes.\n");
+  return 0;
+}

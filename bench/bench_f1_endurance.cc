@@ -1,0 +1,100 @@
+// F1 — Reproduces Figure 1 of the paper: endurance requirements for KV
+// cache and model weights vs. endurance of memory technologies.
+//
+// The paper's two observations must emerge:
+//   1) HBM is vastly overprovisioned on endurance;
+//   2) existing SCM devices do not meet the requirements but the
+//      underlying technologies have the potential to do so.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/analysis/endurance.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace {
+
+using mrm::FormatNumber;
+using mrm::TablePrinter;
+using mrm::analysis::BuildFigure1;
+using mrm::analysis::Figure1Entry;
+using mrm::analysis::Figure1Params;
+using mrm::analysis::JudgeEndurance;
+using mrm::analysis::KvWritesPerCell;
+
+const char* KindName(Figure1Entry::Kind kind) {
+  switch (kind) {
+    case Figure1Entry::Kind::kRequirement:
+      return "requirement";
+    case Figure1Entry::Kind::kProductEndurance:
+      return "product";
+    case Figure1Entry::Kind::kTechnologyPotential:
+      return "potential";
+  }
+  return "?";
+}
+
+// An ASCII bar over the log10 scale so the figure's shape is visible.
+std::string LogBar(double cycles) {
+  const int length = static_cast<int>(std::log10(std::max(cycles, 1.0)));
+  return std::string(static_cast<std::size_t>(length), '#');
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: workload endurance requirements (5-year deployment) vs.\n");
+  std::printf("endurance of memory technologies (product / demonstrated potential)\n\n");
+
+  const Figure1Params params;
+  const auto entries = BuildFigure1(params);
+
+  TablePrinter table({"bar (log10 writes/cell)", "kind", "entry", "writes/cell"});
+  for (const auto& entry : entries) {
+    table.AddRow({LogBar(entry.cycles), KindName(entry.kind), entry.label,
+                  FormatNumber(entry.cycles)});
+  }
+  table.Print("Figure 1 data");
+
+  // Paper-stated conclusions, checked quantitatively.
+  const double kv_requirement = KvWritesPerCell(params.kv);
+  std::printf("KV-cache endurance requirement: %s writes/cell over 5 years\n",
+              FormatNumber(kv_requirement).c_str());
+  std::printf("  (model %s, vector %s/token, %.0f tok/s prefill + %.0f tok/s decode,\n",
+              params.kv.model.name.c_str(),
+              mrm::FormatBytes(params.kv.model.kv_bytes_per_token()).c_str(),
+              params.kv.prefill_tokens_per_s, params.kv.decode_tokens_per_s);
+  std::printf("   %s KV region, perfect wear spreading)\n\n",
+              mrm::FormatBytes(params.kv.kv_region_bytes).c_str());
+
+  TablePrinter verdicts({"technology", "product meets KV?", "potential meets KV?",
+                         "product margin", "potential margin"});
+  for (mrm::cell::Technology tech :
+       {mrm::cell::Technology::kHbm, mrm::cell::Technology::kSttMram,
+        mrm::cell::Technology::kPcm, mrm::cell::Technology::kRram,
+        mrm::cell::Technology::kNandSlc, mrm::cell::Technology::kNandTlc}) {
+    const auto verdict = JudgeEndurance(tech, kv_requirement);
+    verdicts.AddRow({mrm::cell::TechnologyName(tech), verdict.product_meets ? "yes" : "NO",
+                     verdict.potential_meets ? "yes" : "NO",
+                     FormatNumber(verdict.product_margin),
+                     FormatNumber(verdict.potential_margin)});
+  }
+  verdicts.Print("Endurance verdicts at the KV-cache requirement");
+
+  std::printf("Paper observation 1 (HBM vastly overprovisioned): margin %s x\n",
+              FormatNumber(JudgeEndurance(mrm::cell::Technology::kHbm, kv_requirement)
+                               .product_margin)
+                  .c_str());
+  std::printf(
+      "Paper observation 2 (SCM products miss, technologies meet): PCM %s/%s, RRAM %s/%s\n",
+      JudgeEndurance(mrm::cell::Technology::kPcm, kv_requirement).product_meets ? "meet" : "miss",
+      JudgeEndurance(mrm::cell::Technology::kPcm, kv_requirement).potential_meets ? "meet"
+                                                                                  : "miss",
+      JudgeEndurance(mrm::cell::Technology::kRram, kv_requirement).product_meets ? "meet"
+                                                                                 : "miss",
+      JudgeEndurance(mrm::cell::Technology::kRram, kv_requirement).potential_meets ? "meet"
+                                                                                   : "miss");
+  return 0;
+}

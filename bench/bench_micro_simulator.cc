@@ -1,0 +1,119 @@
+// Microbenchmarks of the simulator substrate itself (google-benchmark):
+// event-queue throughput, controller command scheduling, ECC design and the
+// endurance bookkeeping — the hot paths of every experiment binary.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/rng.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/ecc.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using namespace mrm;  // NOLINT: bench binary
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      queue.Push(rng.NextU64() % 100000, [] {});
+    }
+    sim::Tick when = 0;
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.Pop(&when));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      simulator.ScheduleAt(static_cast<sim::Tick>(i), [&counter] { ++counter; });
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_MemorySequentialRead(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1e12);  // ps ticks: keep sub-ns timings exact
+    mem::DeviceConfig config = mem::HBM3Config();
+    config.channels = 4;  // keep the microbench fast
+    mem::MemorySystem system(&simulator, config);
+    bool done = false;
+    system.Transfer(mem::Request::Kind::kRead, 0, 256 * 1024, 0, [&] { done = true; });
+    simulator.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * 1024);
+}
+BENCHMARK(BM_MemorySequentialRead);
+
+void BM_MemoryRandomRead(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1e9);
+    mem::DeviceConfig config = mem::HBM3Config();
+    config.channels = 4;
+    mem::MemorySystem system(&simulator, config);
+    Rng rng(7);
+    int completed = 0;
+    for (int i = 0; i < 1024; ++i) {
+      mem::Request request;
+      request.kind = mem::Request::Kind::kRead;
+      request.addr = rng.NextBounded(config.capacity_bytes() / 64) * 64;
+      request.size = 64;
+      request.on_complete = [&completed](const mem::Request&) { ++completed; };
+      system.Enqueue(std::move(request));
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MemoryRandomRead);
+
+void BM_EccDesign(benchmark::State& state) {
+  const std::uint64_t payload_bits = static_cast<std::uint64_t>(state.range(0)) * 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mrmcore::DesignEcc(payload_bits, 1e-4, 1e-15 * static_cast<double>(payload_bits)));
+  }
+}
+BENCHMARK(BM_EccDesign)->Arg(4096)->Arg(65536)->Arg(262144);
+
+void BM_BinomialTail(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrmcore::BinomialTail(1 << 20, 150, 1e-4));
+  }
+}
+BENCHMARK(BM_BinomialTail);
+
+void BM_TradeoffQuery(benchmark::State& state) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tradeoff->AtRetention(rng.UniformDouble(60.0, 1e8)));
+  }
+}
+BENCHMARK(BM_TradeoffQuery);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Example: KV-cache offload with the refresh-or-recompute scheduler (§4).
+//
+// Simulates idle conversations parked on MRM: when a context's retention is
+// about to lapse, the scheduler weighs rewriting its KV cache (certain MRM
+// write cost) against letting it expire and re-running prefill if the user
+// returns (probabilistic compute cost). Sweeps the reuse probability and
+// shows the break-even the paper's scheduling section implies.
+//
+// Build & run:  ./build/examples/kv_offload
+
+#include <cstdio>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/tier/refresh_or_recompute.h"
+#include "src/workload/model_config.h"
+
+int main() {
+  using namespace mrm;  // NOLINT: example brevity
+
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const int context_tokens = 4096;
+  const std::uint64_t kv_bytes = model.kv_cache_bytes(context_tokens);
+
+  // MRM rewrite cost at a 6-hour retention point (read + write per byte).
+  auto tradeoff = cell::MakeTradeoffFor(cell::Technology::kSttMram).value();
+  const cell::OperatingPoint point = tradeoff->AtRetention(6.0 * kHour);
+  const double rewrite_j_per_byte =
+      (point.write_energy_pj_per_bit + point.read_energy_pj_per_bit) * 8.0 * 1e-12;
+
+  // Recompute cost: prefill energy per token on a ~1 kW accelerator running
+  // at ~10k tokens/s prefill -> ~0.1 J/token.
+  const double recompute_j_per_token = 0.1;
+  const double recompute_s_per_token = 1.0 / 10000.0;
+
+  std::printf("KV offload for %s: %d-token context = %s of KV on MRM\n\n",
+              model.name.c_str(), context_tokens, FormatBytes(kv_bytes).c_str());
+
+  tier::RefreshOrRecomputeParams params;
+  params.kv_bytes = kv_bytes;
+  params.context_tokens = context_tokens;
+  params.rewrite_j_per_byte = rewrite_j_per_byte;
+  params.recompute_j_per_token = recompute_j_per_token;
+  params.recompute_seconds_per_token = recompute_s_per_token;
+
+  TablePrinter table({"P[user returns]", "refresh cost J", "E[recompute] J", "decision"});
+  for (double p : {0.00001, 0.00003, 0.0001, 0.001, 0.01, 0.1, 0.9}) {
+    params.reuse_probability = p;
+    const tier::RefreshDecision decision = tier::DecideRefreshOrRecompute(params);
+    table.AddRow({FormatNumber(p), FormatNumber(decision.refresh_cost_j),
+                  FormatNumber(decision.expected_recompute_cost_j),
+                  decision.refresh ? "refresh (rewrite KV)" : "drop (recompute on return)"});
+  }
+  table.Print("Refresh-or-recompute sweep");
+
+  std::printf("Break-even reuse probability: %.4f\n",
+              tier::BreakEvenReuseProbability(params));
+
+  // Latency-sensitive tier: value each second of extra TTFT at 50 J.
+  params.latency_penalty_j_per_s = 50.0;
+  std::printf("With a latency SLA (50 J/s penalty on prefill delay): %.4f\n",
+              tier::BreakEvenReuseProbability(params));
+  std::printf("\nReading: the break-even sits around 1e-4 — MRM rewrites are so cheap that\n");
+  std::printf("recompute only wins for essentially-dead contexts, and a latency SLA pushes\n");
+  std::printf("the threshold lower still. This is the retention-aware scheduling decision\n");
+  std::printf("of paper §4: the control plane can afford to refresh almost everything and\n");
+  std::printf("let the rare cold context expire.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/analysis/density.h"
+
+#include "src/common/logging.h"
+#include "src/mrm/ecc.h"
+
+namespace mrm {
+namespace analysis {
+
+MlcDensityReport ComputeMlcDensity(const cell::OperatingPoint& slc_point, int bits_per_cell,
+                                   std::uint64_t codeword_payload_bits, double target_uber,
+                                   const cell::MlcParams& params) {
+  MRM_CHECK(bits_per_cell >= 1 && bits_per_cell <= 4);
+  MRM_CHECK(codeword_payload_bits > 0);
+
+  const double target_failure =
+      target_uber * static_cast<double>(codeword_payload_bits);
+
+  const mrmcore::EccScheme slc_scheme =
+      mrmcore::DesignEcc(codeword_payload_bits, slc_point.rber_at_retention, target_failure);
+
+  const cell::OperatingPoint mlc_point =
+      cell::DerateForMlc(slc_point, bits_per_cell, params);
+  const mrmcore::EccScheme mlc_scheme =
+      mrmcore::DesignEcc(codeword_payload_bits, mlc_point.rber_at_retention, target_failure);
+
+  MlcDensityReport report;
+  report.bits_per_cell = bits_per_cell;
+  report.rber = mlc_point.rber_at_retention;
+  report.ecc_overhead = mlc_scheme.overhead;
+  report.gross_gain = static_cast<double>(bits_per_cell);
+  report.feasible = mlc_scheme.overhead < 1.0;
+  if (!report.feasible) {
+    report.net_gain = 0.0;
+    return report;
+  }
+  // Capacity per cell after parity, normalized to SLC after its parity.
+  report.net_gain = static_cast<double>(bits_per_cell) * (1.0 + slc_scheme.overhead) /
+                    (1.0 + mlc_scheme.overhead);
+  return report;
+}
+
+double CombinedDensityVsDram(const cell::CrossbarParams& crossbar_params,
+                             const MlcDensityReport& mlc) {
+  const cell::CrossbarDesign design = cell::EvaluateCrossbar(crossbar_params);
+  return design.density_vs_dram * mlc.net_gain;
+}
+
+}  // namespace analysis
+}  // namespace mrm

@@ -1,0 +1,45 @@
+// Net density analysis: MLC encoding and crossbar organization, after ECC.
+//
+// The paper (§3) argues MRM technologies have "potential for higher density
+// and/or lower TCO/TB" via multi-level cells and crossbar layouts. This
+// module computes the *net* gains: MLC inflates the raw bit error rate, so
+// part of the capacity win is paid back in parity; crossbar arrays are
+// bounded by IR drop and sneak currents, so part of the 4F^2 win is paid in
+// peripheral area.
+
+#ifndef MRMSIM_SRC_ANALYSIS_DENSITY_H_
+#define MRMSIM_SRC_ANALYSIS_DENSITY_H_
+
+#include <cstdint>
+
+#include "src/cell/crossbar.h"
+#include "src/cell/mlc.h"
+#include "src/cell/tradeoff.h"
+
+namespace mrm {
+namespace analysis {
+
+struct MlcDensityReport {
+  int bits_per_cell = 1;
+  double rber = 0.0;
+  double ecc_overhead = 0.0;   // parity / payload at the target UBER
+  double gross_gain = 1.0;     // bits per cell
+  double net_gain = 1.0;       // after parity, relative to SLC-with-its-ECC
+  bool feasible = true;        // false when parity would exceed 100%
+};
+
+// Net density of b-bit cells versus SLC at equal reliability, using a
+// BCH-like code over `codeword_payload_bits` designed for `target_uber`.
+MlcDensityReport ComputeMlcDensity(const cell::OperatingPoint& slc_point, int bits_per_cell,
+                                   std::uint64_t codeword_payload_bits, double target_uber,
+                                   const cell::MlcParams& params = {});
+
+// Combined technology density versus planar DRAM: crossbar geometry x MLC
+// net gain x stacking.
+double CombinedDensityVsDram(const cell::CrossbarParams& crossbar_params,
+                             const MlcDensityReport& mlc);
+
+}  // namespace analysis
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_ANALYSIS_DENSITY_H_

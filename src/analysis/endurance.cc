@@ -1,0 +1,69 @@
+#include "src/analysis/endurance.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace analysis {
+
+double WeightsWritesPerCell(const WeightsEnduranceParams& params) {
+  MRM_CHECK(params.update_interval_s > 0.0);
+  return params.lifetime_s / params.update_interval_s;
+}
+
+double KvWritesPerCell(const KvEnduranceParams& params) {
+  MRM_CHECK(params.kv_region_bytes > 0);
+  MRM_CHECK(params.wear_leveling_efficiency > 0.0 && params.wear_leveling_efficiency <= 1.0);
+  const double vector_bytes = static_cast<double>(params.model.kv_bytes_per_token());
+  const double write_rate =
+      vector_bytes * (params.prefill_tokens_per_s + params.decode_tokens_per_s);
+  const double total_bytes = write_rate * params.lifetime_s;
+  const double per_cell = total_bytes / static_cast<double>(params.kv_region_bytes);
+  return per_cell / params.wear_leveling_efficiency;
+}
+
+Figure1Params::Figure1Params() {
+  weights_conservative.update_interval_s = kHour;
+  weights_intensive.update_interval_s = 1.0;
+  kv.model = workload::Llama2_70B_MHA();  // "a few MBs" per vector (§2)
+  kv.kv_region_bytes = 256ull * kGiB;     // KV share of a serving node's memory
+}
+
+std::vector<Figure1Entry> BuildFigure1(const Figure1Params& params) {
+  std::vector<Figure1Entry> entries;
+
+  entries.push_back({Figure1Entry::Kind::kRequirement, "weights (hourly update, 5y)",
+                     WeightsWritesPerCell(params.weights_conservative)});
+  entries.push_back({Figure1Entry::Kind::kRequirement, "weights (1/s update, 5y)",
+                     WeightsWritesPerCell(params.weights_intensive)});
+  entries.push_back(
+      {Figure1Entry::Kind::kRequirement, "KV cache (Splitwise rates, 5y)",
+       KvWritesPerCell(params.kv)});
+
+  for (const auto& profile : cell::AllTechnologyProfiles()) {
+    if (profile.endurance.product_cycles > 0.0) {
+      entries.push_back({Figure1Entry::Kind::kProductEndurance, profile.name + " (product)",
+                         profile.endurance.product_cycles});
+    }
+    if (profile.endurance.potential_cycles > 0.0) {
+      entries.push_back({Figure1Entry::Kind::kTechnologyPotential,
+                         profile.name + " (potential)", profile.endurance.potential_cycles});
+    }
+  }
+  return entries;
+}
+
+EnduranceVerdict JudgeEndurance(cell::Technology tech, double writes_per_cell) {
+  const cell::TechnologyProfile& profile = cell::GetTechnologyProfile(tech);
+  EnduranceVerdict verdict;
+  if (writes_per_cell > 0.0) {
+    verdict.product_margin = profile.endurance.product_cycles / writes_per_cell;
+    verdict.potential_margin = profile.endurance.potential_cycles / writes_per_cell;
+  }
+  verdict.product_meets = verdict.product_margin >= 1.0;
+  verdict.potential_meets = verdict.potential_margin >= 1.0;
+  return verdict;
+}
+
+}  // namespace analysis
+}  // namespace mrm

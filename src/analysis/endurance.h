@@ -1,0 +1,87 @@
+// Figure 1: endurance requirements of the inference workload vs. endurance
+// of memory technologies (paper §3).
+//
+// The paper's method, reproduced exactly:
+//  * Weights are bulk-overwritten on every model update; over a deployment
+//    lifetime the per-cell write count is lifetime / update_interval
+//    (the weights region is fully rewritten each time, so every cell sees
+//    one write per update). Two operating points: conservative hourly
+//    updates and an intensive once-per-second refresh.
+//  * KV-cache cells absorb vector appends at the cluster's token rate; with
+//    wear spread across the KV region, writes per cell =
+//    (vector_bytes x tokens/s x lifetime) / region_bytes, divided by the
+//    wear-levelling efficiency. Token rates and median context lengths
+//    follow the Splitwise Llama2-70B numbers the paper cites.
+
+#ifndef MRMSIM_SRC_ANALYSIS_ENDURANCE_H_
+#define MRMSIM_SRC_ANALYSIS_ENDURANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cell/technology.h"
+#include "src/workload/model_config.h"
+
+namespace mrm {
+namespace analysis {
+
+struct WeightsEnduranceParams {
+  double lifetime_s = 5.0 * 365.0 * 86400.0;  // 5 years
+  double update_interval_s = 3600.0;          // hourly (conservative)
+};
+
+// Writes per weight cell over the deployment lifetime.
+double WeightsWritesPerCell(const WeightsEnduranceParams& params);
+
+struct KvEnduranceParams {
+  workload::FoundationModelConfig model;
+  // Cluster-level sustained token rates (Splitwise-derived defaults for a
+  // Llama2-70B serving node: prefill-heavy machines ingest prompts at
+  // thousands of tokens/s; decode machines emit hundreds).
+  double prefill_tokens_per_s = 7000.0;
+  double decode_tokens_per_s = 600.0;
+  // Memory dedicated to KV caches on the node.
+  std::uint64_t kv_region_bytes = 0;
+  // 1.0 = writes spread perfectly across the region (log-structured zones);
+  // lower values model imperfect wear spreading.
+  double wear_leveling_efficiency = 1.0;
+  double lifetime_s = 5.0 * 365.0 * 86400.0;
+};
+
+// Writes per KV-region cell over the deployment lifetime.
+double KvWritesPerCell(const KvEnduranceParams& params);
+
+// One bar of Figure 1.
+struct Figure1Entry {
+  enum class Kind { kRequirement, kProductEndurance, kTechnologyPotential };
+  Kind kind;
+  std::string label;
+  double cycles = 0.0;  // writes per cell (requirement) or endurance (supply)
+};
+
+struct Figure1Params {
+  WeightsEnduranceParams weights_conservative;  // hourly
+  WeightsEnduranceParams weights_intensive;     // per-second
+  KvEnduranceParams kv;
+  Figure1Params();
+};
+
+// The full figure: requirement bars + product/potential endurance bars for
+// every technology in the cell registry.
+std::vector<Figure1Entry> BuildFigure1(const Figure1Params& params);
+
+// Convenience: does technology `tech` meet requirement `writes_per_cell`
+// with its product devices / its demonstrated potential?
+struct EnduranceVerdict {
+  bool product_meets = false;
+  bool potential_meets = false;
+  double product_margin = 0.0;    // endurance / requirement
+  double potential_margin = 0.0;
+};
+EnduranceVerdict JudgeEndurance(cell::Technology tech, double writes_per_cell);
+
+}  // namespace analysis
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_ANALYSIS_ENDURANCE_H_

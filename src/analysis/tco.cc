@@ -1,0 +1,29 @@
+#include "src/analysis/tco.h"
+
+#include "src/common/units.h"
+#include "src/tier/tier_spec.h"
+
+namespace mrm {
+namespace analysis {
+
+TcoReport ComputeTco(const workload::EngineSummary& summary,
+                     const std::vector<workload::TierSpec>& tiers, const TcoParams& params) {
+  TcoReport report;
+  report.memory_cost_dollars = tier::SystemCostDollars(tiers);
+  report.tokens_per_s = summary.decode_tokens_per_s();
+  report.energy_per_token_j = summary.energy_per_decode_token_j();
+  report.memory_power_w =
+      summary.duration_s > 0.0 ? summary.backend_energy_j / summary.duration_s : 0.0;
+
+  // Memory TCO over the amortization window: capex + energy.
+  const double seconds = params.amortization_years * kYear;
+  const double energy_kwh = report.memory_power_w * seconds / 3.6e6;
+  const double tco = report.memory_cost_dollars +
+                     energy_kwh * params.electricity_dollars_per_kwh;
+  const double lifetime_tokens = report.tokens_per_s * seconds;
+  report.tokens_per_memory_dollar = tco > 0.0 ? lifetime_tokens / tco : 0.0;
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace mrm

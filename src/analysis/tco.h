@@ -1,0 +1,37 @@
+// Tokens-per-dollar and energy-per-token metrics (paper §2.1/§5: "maximize
+// tokens generated per dollar"). Combines an EngineSummary with the tier
+// set that served it.
+
+#ifndef MRMSIM_SRC_ANALYSIS_TCO_H_
+#define MRMSIM_SRC_ANALYSIS_TCO_H_
+
+#include <vector>
+
+#include "src/workload/backend.h"
+#include "src/workload/inference_engine.h"
+
+namespace mrm {
+namespace analysis {
+
+struct TcoParams {
+  double electricity_dollars_per_kwh = 0.10;
+  double amortization_years = 5.0;
+};
+
+struct TcoReport {
+  double memory_cost_dollars = 0.0;
+  double tokens_per_s = 0.0;
+  double energy_per_token_j = 0.0;
+  double memory_power_w = 0.0;         // average over the run
+  // Tokens per dollar of memory TCO (capex amortized + memory energy).
+  double tokens_per_memory_dollar = 0.0;
+};
+
+TcoReport ComputeTco(const workload::EngineSummary& summary,
+                     const std::vector<workload::TierSpec>& tiers,
+                     const TcoParams& params = {});
+
+}  // namespace analysis
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_ANALYSIS_TCO_H_

@@ -1,0 +1,53 @@
+#include "src/cell/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace cell {
+
+double CrossbarAreaEfficiency(std::uint64_t n, const CrossbarParams& params) {
+  if (n == 0) {
+    return 0.0;
+  }
+  const double nd = static_cast<double>(n);
+  const double cell_area = nd * nd;
+  const double periphery = 2.0 * nd * params.periphery_cells_per_line;
+  return cell_area / (cell_area + periphery);
+}
+
+CrossbarDesign EvaluateCrossbar(const CrossbarParams& params) {
+  MRM_CHECK(params.cell_on_resistance_ohm > 0.0);
+  MRM_CHECK(params.wire_resistance_per_cell_ohm > 0.0);
+  CrossbarDesign design;
+
+  // IR drop: attenuation = R_cell / (R_cell + 2 N R_wire) >= 1 - max_drop
+  //   =>  N <= R_cell * max_drop / ((1 - max_drop) * 2 R_wire).
+  const double drop = params.max_ir_drop_fraction;
+  design.ir_drop_bound = static_cast<std::uint64_t>(
+      params.cell_on_resistance_ohm * drop /
+      ((1.0 - drop) * 2.0 * params.wire_resistance_per_cell_ohm));
+
+  // Sneak: (N - 1) half-selected cells each leak I_on / selectivity at half
+  // bias (~ I_on / (2 selectivity)); the budget is max_sneak * I_on.
+  //   =>  N - 1 <= 2 * selectivity * max_sneak.
+  design.sneak_bound = static_cast<std::uint64_t>(
+      2.0 * params.selector_selectivity * params.max_sneak_fraction) + 1;
+
+  design.max_array_dim = std::min(design.ir_drop_bound, design.sneak_bound);
+  design.area_efficiency = CrossbarAreaEfficiency(design.max_array_dim, params);
+
+  // Relative density: (6F^2 / cell_area_F2) * layers * area efficiency,
+  // normalized to a DRAM array with ~85% area efficiency.
+  constexpr double kDramCellAreaF2 = 6.0;
+  constexpr double kDramAreaEfficiency = 0.85;
+  design.density_vs_dram = (kDramCellAreaF2 / params.cell_area_f2) *
+                           static_cast<double>(params.stacked_layers) *
+                           design.area_efficiency / kDramAreaEfficiency;
+  return design;
+}
+
+}  // namespace cell
+}  // namespace mrm

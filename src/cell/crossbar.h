@@ -1,0 +1,55 @@
+// Transistor-less crossbar array model (paper §3: resistive cells "can be
+// organized into high-density, transistor-less crossbar layouts" [56]).
+//
+// A crossbar reads a cell through its word/bit lines; two effects bound the
+// feasible array size N x N (Xu et al., HPCA'15):
+//  * IR drop — wire resistance along the worst-case path attenuates the
+//    read signal by R_cell / (R_cell + 2 N R_wire);
+//  * sneak currents — half-selected cells leak through the selector,
+//    polluting the sense current.
+// Bigger arrays amortize the peripheral circuitry (drivers, sense amps), so
+// the feasible N caps the achievable area efficiency and density.
+
+#ifndef MRMSIM_SRC_CELL_CROSSBAR_H_
+#define MRMSIM_SRC_CELL_CROSSBAR_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace cell {
+
+struct CrossbarParams {
+  double cell_on_resistance_ohm = 100e3;   // low-resistance state
+  double wire_resistance_per_cell_ohm = 2.5;
+  // Selector non-linearity: half-selected leakage = on-current / selectivity.
+  double selector_selectivity = 1e5;
+  // Maximum tolerable signal attenuation from IR drop (fraction lost).
+  double max_ir_drop_fraction = 0.1;
+  // Sneak-current budget as a fraction of the sense current.
+  double max_sneak_fraction = 0.2;
+  // Peripheral circuitry area, in cell-areas per row+column.
+  double periphery_cells_per_line = 20.0;
+  // Cell footprint in F^2 (4F^2 for crossbar vs. 6F^2 DRAM).
+  double cell_area_f2 = 4.0;
+  int stacked_layers = 1;  // monolithic 3D stacking multiplier
+};
+
+struct CrossbarDesign {
+  std::uint64_t max_array_dim = 0;      // feasible N (IR-drop and sneak bound)
+  std::uint64_t ir_drop_bound = 0;
+  std::uint64_t sneak_bound = 0;
+  double area_efficiency = 0.0;         // cell area / (cell + periphery)
+  // Density relative to a 6F^2 planar DRAM array at the same feature size.
+  double density_vs_dram = 0.0;
+};
+
+// Evaluates the feasible array at the given parameters.
+CrossbarDesign EvaluateCrossbar(const CrossbarParams& params);
+
+// Area efficiency of a specific N (for sweeps).
+double CrossbarAreaEfficiency(std::uint64_t n, const CrossbarParams& params);
+
+}  // namespace cell
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CELL_CROSSBAR_H_

@@ -1,0 +1,51 @@
+#include "src/cell/mlc.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace cell {
+
+double MlcRberMultiplier(int bits_per_cell, const MlcParams& params) {
+  MRM_CHECK(bits_per_cell >= 1 && bits_per_cell <= 4);
+  if (bits_per_cell == 1) {
+    return 1.0;
+  }
+  const double levels_minus_one = std::pow(2.0, bits_per_cell) - 1.0;
+  return std::pow(levels_minus_one, params.rber_exponent);
+}
+
+OperatingPoint DerateForMlc(const OperatingPoint& slc_point, int bits_per_cell,
+                            const MlcParams& params) {
+  MRM_CHECK(bits_per_cell >= 1 && bits_per_cell <= 4);
+  if (bits_per_cell == 1) {
+    return slc_point;
+  }
+  OperatingPoint point = slc_point;
+  const double levels = std::pow(2.0, bits_per_cell);
+
+  point.rber_at_retention = slc_point.rber_at_retention * MlcRberMultiplier(bits_per_cell, params);
+
+  // Program-and-verify: one coarse pulse plus per-level trims. Energy and
+  // latency scale together; per *bit* costs divide by the extra bits.
+  const double program_factor = 1.0 + params.program_iteration_cost * (levels - 2.0);
+  point.write_latency_ns = slc_point.write_latency_ns * program_factor;
+  point.write_energy_pj_per_bit = slc_point.write_energy_pj_per_bit * program_factor /
+                                  static_cast<double>(bits_per_cell);
+
+  // b sequential senses per read; energy amortizes over b bits.
+  point.read_latency_ns = slc_point.read_latency_ns *
+                          (1.0 + params.read_sense_cost * (bits_per_cell - 1));
+  point.read_energy_pj_per_bit =
+      slc_point.read_energy_pj_per_bit *
+      (1.0 + params.read_sense_cost * (bits_per_cell - 1)) /
+      static_cast<double>(bits_per_cell);
+
+  point.endurance_cycles = slc_point.endurance_cycles *
+                           std::pow(params.endurance_derating_per_bit, bits_per_cell - 1);
+  return point;
+}
+
+}  // namespace cell
+}  // namespace mrm

@@ -1,0 +1,42 @@
+// Multi-level-cell (MLC) encoding model (paper §3: STT-MRAM and RRAM cells
+// "have already demonstrated potential for multi-level encoding" [10]).
+//
+// Storing b bits per cell splits the resistance window into 2^b levels:
+// density multiplies by b, but the per-level margin shrinks, inflating the
+// raw bit error rate and the program time (program-and-verify iterations).
+// The net capacity gain after the stronger ECC is paid for is computed in
+// analysis/density.h.
+
+#ifndef MRMSIM_SRC_CELL_MLC_H_
+#define MRMSIM_SRC_CELL_MLC_H_
+
+#include "src/cell/tradeoff.h"
+
+namespace mrm {
+namespace cell {
+
+struct MlcParams {
+  // RBER multiplier exponent: rber(b) = rber(1) * (2^b - 1)^alpha. Alpha ~2
+  // models margin^-2 sensitivity (levels are Gaussian-separated).
+  double rber_exponent = 2.0;
+  // Program-and-verify iterations per extra level (write-latency factor
+  // 1 + iteration_cost * (2^b - 2) versus the SLC pulse).
+  double program_iteration_cost = 0.6;
+  // Read needs b sequential sense operations.
+  double read_sense_cost = 1.0;
+  // Endurance derating per extra bit: tighter margins age out sooner.
+  double endurance_derating_per_bit = 0.5;
+};
+
+// RBER multiplier of b-bit cells relative to SLC.
+double MlcRberMultiplier(int bits_per_cell, const MlcParams& params = {});
+
+// Derates an SLC operating point for b bits per cell. b == 1 returns the
+// input unchanged.
+OperatingPoint DerateForMlc(const OperatingPoint& slc_point, int bits_per_cell,
+                            const MlcParams& params = {});
+
+}  // namespace cell
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CELL_MLC_H_

@@ -1,0 +1,25 @@
+#include "src/cell/refresh_model.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+
+RefreshCost ComputeRefreshCost(const RefreshModelParams& params) {
+  MRM_CHECK(params.retention_window_s > 0.0);
+  MRM_CHECK(params.row_bytes > 0);
+
+  RefreshCost cost;
+  cost.rows = static_cast<double>(params.capacity_bytes) / static_cast<double>(params.row_bytes);
+  cost.refreshes_per_second = cost.rows / params.retention_window_s;
+  cost.refresh_power_w =
+      cost.refreshes_per_second * PicojoulesToJoules(params.energy_per_row_refresh_pj);
+  cost.energy_per_day_j = cost.refresh_power_w * kDay;
+  const double idle = cost.refresh_power_w + params.background_power_w;
+  cost.refresh_fraction_of_idle = idle > 0.0 ? cost.refresh_power_w / idle : 0.0;
+  return cost;
+}
+
+}  // namespace cell
+}  // namespace mrm

@@ -1,0 +1,40 @@
+// Analytic DRAM refresh cost model (paper §2.1: HBM "fundamentally requires
+// frequent refreshing, consuming power even when the memory is idle").
+//
+// Complements the cycle-level refresh engine in src/mem: the analytic model
+// answers "what fraction of device power is refresh" in closed form, the
+// simulator measures it under load.
+
+#ifndef MRMSIM_SRC_CELL_REFRESH_MODEL_H_
+#define MRMSIM_SRC_CELL_REFRESH_MODEL_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace cell {
+
+struct RefreshModelParams {
+  std::uint64_t capacity_bytes = 0;
+  double retention_window_s = 0.064;  // all rows must refresh within this
+  std::uint64_t row_bytes = 1024;     // bytes restored per row refresh
+  double energy_per_row_refresh_pj = 200.0;  // ACT+PRE of one row
+  // Non-refresh background power (peripheral logic, DLLs), watts.
+  double background_power_w = 0.0;
+};
+
+struct RefreshCost {
+  double rows = 0.0;                  // rows in the device
+  double refreshes_per_second = 0.0;  // row refresh rate
+  double refresh_power_w = 0.0;       // average refresh power
+  double energy_per_day_j = 0.0;      // refresh energy over 24h (idle device)
+  // Fraction of (refresh + background) power that is refresh.
+  double refresh_fraction_of_idle = 0.0;
+};
+
+// Computes the steady-state refresh cost of a DRAM-class device.
+RefreshCost ComputeRefreshCost(const RefreshModelParams& params);
+
+}  // namespace cell
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CELL_REFRESH_MODEL_H_

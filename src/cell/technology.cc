@@ -1,0 +1,202 @@
+#include "src/cell/technology.h"
+
+#include <array>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+namespace {
+
+// One-time construction of the built-in profile set. Latency/energy values
+// are cell+array access figures from the survey literature the paper cites
+// (Meena'14 tab. 1, Sun'13, Marinelli'22); they intentionally exclude the
+// channel/interface, which the mem module adds per device preset.
+std::vector<TechnologyProfile> BuildProfiles() {
+  std::vector<TechnologyProfile> profiles;
+
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kDram;
+    p.name = "DRAM (DDR5)";
+    p.read_latency_ns = 15.0;
+    p.write_latency_ns = 15.0;
+    p.read_energy_pj_per_bit = 1.2;
+    p.write_energy_pj_per_bit = 1.2;
+    p.retention_s = 0.064;  // 64 ms refresh window
+    p.endurance = {1e15, 1e16};
+    p.relative_density = 0.5;  // no 3D stacking
+    p.relative_cost_per_bit = 0.35;
+    p.needs_refresh = true;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kHbm;
+    p.name = "HBM3e";
+    p.read_latency_ns = 18.0;
+    p.write_latency_ns = 18.0;
+    p.read_energy_pj_per_bit = 3.5;  // includes TSV/stack overheads
+    p.write_energy_pj_per_bit = 3.5;
+    p.retention_s = 0.032;  // hotter stacks refresh faster
+    p.endurance = {1e15, 1e16};
+    p.relative_density = 1.0;
+    p.relative_cost_per_bit = 1.0;
+    p.needs_refresh = true;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kLpddr;
+    p.name = "LPDDR5X";
+    p.read_latency_ns = 25.0;
+    p.write_latency_ns = 25.0;
+    p.read_energy_pj_per_bit = 0.65;
+    p.write_energy_pj_per_bit = 0.65;
+    p.retention_s = 0.064;
+    p.endurance = {1e15, 1e16};
+    p.relative_density = 0.4;
+    p.relative_cost_per_bit = 0.25;
+    p.needs_refresh = true;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kSttMram;
+    p.name = "STT-MRAM";
+    p.read_latency_ns = 5.0;  // on par or faster than DRAM (Kultursay'13)
+    p.write_latency_ns = 10.0;
+    p.read_energy_pj_per_bit = 0.5;
+    p.write_energy_pj_per_bit = 2.5;  // at 10-year-retention operating point
+    p.retention_s = 10.0 * 365.0 * 86400.0;
+    p.endurance = {1e10, 1e15};  // Everspin product / demonstrated potential
+    p.retention_programmable = true;
+    p.relative_density = 0.8;
+    p.relative_cost_per_bit = 1.5;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kRram;
+    p.name = "RRAM";
+    p.read_latency_ns = 10.0;
+    p.write_latency_ns = 50.0;
+    p.read_energy_pj_per_bit = 0.4;
+    p.write_energy_pj_per_bit = 4.0;  // SET/RESET at non-volatile point
+    p.retention_s = 10.0 * 365.0 * 86400.0;
+    p.endurance = {1e5, 1e11};  // Weebit-class product / demonstrated (Lee'10)
+    p.retention_programmable = true;
+    p.relative_density = 1.6;  // crossbar + MLC headroom (Xu'15)
+    p.relative_cost_per_bit = 0.5;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kPcm;
+    p.name = "PCM";
+    p.read_latency_ns = 50.0;
+    p.write_latency_ns = 150.0;  // RESET-limited
+    p.read_energy_pj_per_bit = 1.0;
+    p.write_energy_pj_per_bit = 15.0;  // melt-quench RESET
+    p.retention_s = 10.0 * 365.0 * 86400.0;
+    p.endurance = {1e7, 1e9};  // Optane-derived product / Lee'09 potential
+    p.retention_programmable = true;
+    p.relative_density = 1.4;
+    p.relative_cost_per_bit = 0.45;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kNandSlc;
+    p.name = "NAND (SLC)";
+    p.read_latency_ns = 25000.0;  // page read
+    p.write_latency_ns = 200000.0;
+    p.read_energy_pj_per_bit = 0.05;   // amortized over a page
+    p.write_energy_pj_per_bit = 0.25;  // program, excluding erase
+    p.retention_s = 10.0 * 365.0 * 86400.0;
+    p.endurance = {1e5, 1e6};
+    p.relative_density = 4.0;
+    p.relative_cost_per_bit = 0.02;
+    p.needs_erase = true;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kNandTlc;
+    p.name = "NAND (TLC)";
+    p.read_latency_ns = 60000.0;
+    p.write_latency_ns = 600000.0;
+    p.read_energy_pj_per_bit = 0.03;
+    p.write_energy_pj_per_bit = 0.2;
+    p.retention_s = 10.0 * 365.0 * 86400.0;
+    p.endurance = {3e3, 1e4};
+    p.relative_density = 12.0;
+    p.relative_cost_per_bit = 0.005;
+    p.needs_erase = true;
+    profiles.push_back(p);
+  }
+  {
+    TechnologyProfile p;
+    p.tech = Technology::kNorFlash;
+    p.name = "NOR Flash";
+    p.read_latency_ns = 80.0;  // byte-addressable reads
+    p.write_latency_ns = 1e6;
+    p.read_energy_pj_per_bit = 0.8;
+    p.write_energy_pj_per_bit = 50.0;
+    p.retention_s = 20.0 * 365.0 * 86400.0;
+    p.endurance = {1e5, 1e6};
+    p.relative_density = 0.3;
+    p.relative_cost_per_bit = 0.8;
+    p.needs_erase = true;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+const std::vector<TechnologyProfile>& Profiles() {
+  static const std::vector<TechnologyProfile>* profiles =
+      new std::vector<TechnologyProfile>(BuildProfiles());
+  return *profiles;
+}
+
+}  // namespace
+
+const char* TechnologyName(Technology tech) {
+  switch (tech) {
+    case Technology::kDram:
+      return "DRAM";
+    case Technology::kHbm:
+      return "HBM";
+    case Technology::kLpddr:
+      return "LPDDR";
+    case Technology::kSttMram:
+      return "STT-MRAM";
+    case Technology::kRram:
+      return "RRAM";
+    case Technology::kPcm:
+      return "PCM";
+    case Technology::kNandSlc:
+      return "NAND-SLC";
+    case Technology::kNandTlc:
+      return "NAND-TLC";
+    case Technology::kNorFlash:
+      return "NOR";
+  }
+  return "?";
+}
+
+const TechnologyProfile& GetTechnologyProfile(Technology tech) {
+  for (const auto& profile : Profiles()) {
+    if (profile.tech == tech) {
+      return profile;
+    }
+  }
+  MRM_LOG(Fatal) << "no profile for technology " << static_cast<int>(tech);
+  __builtin_unreachable();
+}
+
+std::vector<TechnologyProfile> AllTechnologyProfiles() { return Profiles(); }
+
+}  // namespace cell
+}  // namespace mrm

@@ -1,0 +1,197 @@
+#include "src/cell/tradeoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+
+double RetentionTradeoff::RberAtAge(double retention_s, double age_s) const {
+  // Failure probability of a single bit follows 1 - exp(-age/t_char) where
+  // t_char is calibrated so that RBER(retention) == rber_at_retention. For
+  // age << retention the RBER is proportionally tiny; past retention it
+  // saturates toward 0.5 (data is noise).
+  const OperatingPoint point = AtRetention(retention_s);
+  if (age_s <= 0.0) {
+    return 0.0;
+  }
+  const double target = point.rber_at_retention;
+  // Solve 1 - exp(-retention/t_char) = target -> t_char.
+  const double t_char = -point.retention_s / std::log1p(-target);
+  const double raw = 1.0 - std::exp(-age_s / t_char);
+  return std::min(raw, 0.5);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// STT-MRAM: retention t = tau0 * exp(delta). Write energy/latency scale with
+// delta (higher barrier needs more spin-torque current for longer); endurance
+// grows exponentially as the write voltage backs off from the barrier's
+// breakdown margin.
+// ---------------------------------------------------------------------------
+class SttMramTradeoff final : public RetentionTradeoff {
+ public:
+  explicit SttMramTradeoff(const SttMramParams& params) : params_(params) {
+    MRM_CHECK(params_.delta_ref > params_.min_delta);
+  }
+
+  Technology technology() const override { return Technology::kSttMram; }
+  std::string name() const override { return "STT-MRAM (thermal stability model)"; }
+
+  double min_retention_s() const override {
+    return params_.tau0_s * std::exp(params_.min_delta);
+  }
+  double max_retention_s() const override {
+    return params_.tau0_s * std::exp(params_.delta_ref);
+  }
+
+  OperatingPoint AtRetention(double retention_s) const override {
+    const double clamped =
+        std::clamp(retention_s, min_retention_s(), max_retention_s());
+    const double delta = std::log(clamped / params_.tau0_s);
+    const double scale = delta / params_.delta_ref;  // in (0, 1]
+
+    OperatingPoint point;
+    point.retention_s = clamped;
+    point.write_energy_pj_per_bit = params_.write_energy_ref_pj * scale;
+    point.write_latency_ns = params_.write_latency_ref_ns * scale;
+    point.read_latency_ns = params_.read_latency_ns;
+    point.read_energy_pj_per_bit = params_.read_energy_pj;
+    // Endurance: exp growth in the backed-off stress (1 - scale).
+    point.endurance_cycles =
+        params_.endurance_ref * std::exp(params_.endurance_exponent * (1.0 - scale));
+    point.rber_at_retention = params_.rber_at_retention;
+    return point;
+  }
+
+ private:
+  SttMramParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared shape for RRAM and PCM: write cost interpolates log-linearly in
+// retention between a floor (weakest stable write) and the 10-year reference;
+// endurance follows a bounded power law in the retention backoff.
+// ---------------------------------------------------------------------------
+struct LogLinearParams {
+  Technology tech;
+  std::string name;
+  double retention_ref_s;
+  double min_retention_s;
+  double write_energy_ref_pj;
+  double write_energy_floor_pj;
+  double write_latency_ref_ns;
+  double write_latency_floor_ns;
+  double read_latency_ns;
+  double read_energy_pj;
+  double endurance_ref;
+  double endurance_retention_exponent;
+  double endurance_cap;
+  double rber_at_retention;
+};
+
+class LogLinearTradeoff final : public RetentionTradeoff {
+ public:
+  explicit LogLinearTradeoff(LogLinearParams params) : params_(std::move(params)) {
+    MRM_CHECK(params_.retention_ref_s > params_.min_retention_s);
+  }
+
+  Technology technology() const override { return params_.tech; }
+  std::string name() const override { return params_.name; }
+
+  double min_retention_s() const override { return params_.min_retention_s; }
+  double max_retention_s() const override { return params_.retention_ref_s; }
+
+  OperatingPoint AtRetention(double retention_s) const override {
+    const double clamped =
+        std::clamp(retention_s, min_retention_s(), max_retention_s());
+    // Position in log-retention space, 0 at the floor, 1 at the reference.
+    const double span =
+        std::log(params_.retention_ref_s) - std::log(params_.min_retention_s);
+    const double u = (std::log(clamped) - std::log(params_.min_retention_s)) / span;
+
+    OperatingPoint point;
+    point.retention_s = clamped;
+    point.write_energy_pj_per_bit =
+        params_.write_energy_floor_pj +
+        u * (params_.write_energy_ref_pj - params_.write_energy_floor_pj);
+    point.write_latency_ns =
+        params_.write_latency_floor_ns +
+        u * (params_.write_latency_ref_ns - params_.write_latency_floor_ns);
+    point.read_latency_ns = params_.read_latency_ns;
+    point.read_energy_pj_per_bit = params_.read_energy_pj;
+    const double gain =
+        std::pow(params_.retention_ref_s / clamped, params_.endurance_retention_exponent);
+    point.endurance_cycles = std::min(params_.endurance_ref * gain, params_.endurance_cap);
+    point.rber_at_retention = params_.rber_at_retention;
+    return point;
+  }
+
+ private:
+  LogLinearParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<RetentionTradeoff> MakeSttMramTradeoff(const SttMramParams& params) {
+  return std::make_unique<SttMramTradeoff>(params);
+}
+
+std::unique_ptr<RetentionTradeoff> MakeRramTradeoff(const RramParams& params) {
+  LogLinearParams p;
+  p.tech = Technology::kRram;
+  p.name = "RRAM (filament model)";
+  p.retention_ref_s = params.retention_ref_s;
+  p.min_retention_s = params.min_retention_s;
+  p.write_energy_ref_pj = params.write_energy_ref_pj;
+  p.write_energy_floor_pj = params.write_energy_floor_pj;
+  p.write_latency_ref_ns = params.write_latency_ref_ns;
+  p.write_latency_floor_ns = params.write_latency_floor_ns;
+  p.read_latency_ns = params.read_latency_ns;
+  p.read_energy_pj = params.read_energy_pj;
+  p.endurance_ref = params.endurance_ref;
+  p.endurance_retention_exponent = params.endurance_retention_exponent;
+  p.endurance_cap = params.endurance_cap;
+  p.rber_at_retention = params.rber_at_retention;
+  return std::make_unique<LogLinearTradeoff>(std::move(p));
+}
+
+std::unique_ptr<RetentionTradeoff> MakePcmTradeoff(const PcmParams& params) {
+  LogLinearParams p;
+  p.tech = Technology::kPcm;
+  p.name = "PCM (amorphous volume model)";
+  p.retention_ref_s = params.retention_ref_s;
+  p.min_retention_s = params.min_retention_s;
+  p.write_energy_ref_pj = params.write_energy_ref_pj;
+  p.write_energy_floor_pj = params.write_energy_floor_pj;
+  p.write_latency_ref_ns = params.write_latency_ref_ns;
+  p.write_latency_floor_ns = params.write_latency_floor_ns;
+  p.read_latency_ns = params.read_latency_ns;
+  p.read_energy_pj = params.read_energy_pj;
+  p.endurance_ref = params.endurance_ref;
+  p.endurance_retention_exponent = params.endurance_retention_exponent;
+  p.endurance_cap = params.endurance_cap;
+  p.rber_at_retention = params.rber_at_retention;
+  return std::make_unique<LogLinearTradeoff>(std::move(p));
+}
+
+Result<std::unique_ptr<RetentionTradeoff>> MakeTradeoffFor(Technology tech) {
+  switch (tech) {
+    case Technology::kSttMram:
+      return std::unique_ptr<RetentionTradeoff>(MakeSttMramTradeoff());
+    case Technology::kRram:
+      return std::unique_ptr<RetentionTradeoff>(MakeRramTradeoff());
+    case Technology::kPcm:
+      return std::unique_ptr<RetentionTradeoff>(MakePcmTradeoff());
+    default:
+      return Error(std::string("technology ") + TechnologyName(tech) +
+                   " does not support retention programming");
+  }
+}
+
+}  // namespace cell
+}  // namespace mrm

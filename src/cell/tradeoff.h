@@ -1,0 +1,132 @@
+// Retention <-> write-energy <-> endurance trade-off models.
+//
+// This is the physical mechanism MRM exploits (paper §3): SCM cell families
+// buy 10-year retention with aggressive write pulses, paying in write
+// latency, energy and endurance. Relaxing the retention target lets the cell
+// be written with a gentler pulse, which is faster, cheaper and less
+// damaging.
+//
+// Three concrete models, each following the paper's cited literature:
+//
+//  * SttMramTradeoff — thermal-stability-factor model (Smullen'11, Jog'12,
+//    Sun'11). Retention t = tau0 * exp(Delta); write current/energy scale
+//    ~linearly with Delta; endurance rises exponentially as barrier stress
+//    drops.
+//  * RramTradeoff — filament strength model (Nail'16, Lammie'21, Ielmini'10).
+//    Log-retention is proportional to programming voltage; endurance follows
+//    a power law in retention.
+//  * PcmTradeoff — amorphous-volume model (Lee'09). RESET (melt) energy sets
+//    the retention margin; endurance degrades with per-write thermal stress.
+//
+// All models expose the same OperatingPoint query so the MRM device layer is
+// technology-agnostic.
+
+#ifndef MRMSIM_SRC_CELL_TRADEOFF_H_
+#define MRMSIM_SRC_CELL_TRADEOFF_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cell/technology.h"
+#include "src/common/result.h"
+
+namespace mrm {
+namespace cell {
+
+// The write-time operating point for one programmed retention target.
+struct OperatingPoint {
+  double retention_s = 0.0;            // achieved retention (>= requested)
+  double write_latency_ns = 0.0;       // programming pulse duration
+  double write_energy_pj_per_bit = 0.0;
+  double read_latency_ns = 0.0;        // reads are retention-independent
+  double read_energy_pj_per_bit = 0.0;
+  double endurance_cycles = 0.0;       // cycles the cell survives if always
+                                       // written at this point
+  // Raw bit-error probability at end of retention window (pre-ECC). The
+  // retention target is defined as the age where RBER crosses this value.
+  double rber_at_retention = 1e-4;
+};
+
+class RetentionTradeoff {
+ public:
+  virtual ~RetentionTradeoff() = default;
+
+  virtual Technology technology() const = 0;
+  virtual std::string name() const = 0;
+
+  // Inclusive bounds of programmable retention.
+  virtual double min_retention_s() const = 0;
+  virtual double max_retention_s() const = 0;
+
+  // Operating point for a retention target (clamped into bounds).
+  virtual OperatingPoint AtRetention(double retention_s) const = 0;
+
+  // Raw bit error rate of data of the given age, written for the given
+  // retention target. Models exponential failure-rate growth near and past
+  // the retention horizon; used by the ECC/scrubbing machinery.
+  virtual double RberAtAge(double retention_s, double age_s) const;
+};
+
+// --- STT-MRAM ---------------------------------------------------------------
+struct SttMramParams {
+  double tau0_s = 1e-9;          // thermal attempt period
+  double delta_ref = 40.0;       // stability factor at the 10-year point
+  double write_energy_ref_pj = 2.5;   // pJ/bit at delta_ref
+  double write_latency_ref_ns = 10.0; // ns at delta_ref
+  double read_latency_ns = 5.0;
+  double read_energy_pj = 0.5;
+  double endurance_ref = 1e10;   // cycles at delta_ref (product-class)
+  double endurance_exponent = 12.0;  // d(ln endurance)/d(1 - delta/delta_ref)
+  double min_delta = 10.0;       // below this the cell is not a memory
+  double rber_at_retention = 1e-4;
+};
+
+std::unique_ptr<RetentionTradeoff> MakeSttMramTradeoff(const SttMramParams& params = {});
+
+// --- RRAM --------------------------------------------------------------------
+struct RramParams {
+  double retention_ref_s = 10.0 * 365.0 * 86400.0;  // 10 years
+  double write_energy_ref_pj = 4.0;   // pJ/bit at the 10-year SET/RESET point
+  double write_latency_ref_ns = 50.0;
+  double read_latency_ns = 10.0;
+  double read_energy_pj = 0.4;
+  double endurance_ref = 1e5;         // cycles at the non-volatile point
+  // Endurance ~ endurance_ref * (retention_ref / retention)^p  (Nail'16).
+  double endurance_retention_exponent = 0.55;
+  double endurance_cap = 1e12;        // demonstrated ceiling
+  // Write energy ~ ref * (log t - log tmin)/(log tref - log tmin) + floor.
+  double write_energy_floor_pj = 0.4;
+  double write_latency_floor_ns = 5.0;
+  double min_retention_s = 1.0;
+  double rber_at_retention = 1e-4;
+};
+
+std::unique_ptr<RetentionTradeoff> MakeRramTradeoff(const RramParams& params = {});
+
+// --- PCM ---------------------------------------------------------------------
+struct PcmParams {
+  double retention_ref_s = 10.0 * 365.0 * 86400.0;
+  double write_energy_ref_pj = 15.0;  // melt-quench RESET at 10-year margin
+  double write_latency_ref_ns = 150.0;
+  double read_latency_ns = 50.0;
+  double read_energy_pj = 1.0;
+  double endurance_ref = 1e7;   // Optane-class
+  double endurance_retention_exponent = 0.4;
+  double endurance_cap = 1e9;
+  double write_energy_floor_pj = 2.0;
+  double write_latency_floor_ns = 40.0;
+  double min_retention_s = 10.0;
+  double rber_at_retention = 1e-4;
+};
+
+std::unique_ptr<RetentionTradeoff> MakePcmTradeoff(const PcmParams& params = {});
+
+// Builds the default trade-off model for a programmable technology; returns
+// an error for DRAM/flash class technologies where retention is not a
+// write-time knob.
+Result<std::unique_ptr<RetentionTradeoff>> MakeTradeoffFor(Technology tech);
+
+}  // namespace cell
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CELL_TRADEOFF_H_

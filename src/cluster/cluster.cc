@@ -1,0 +1,230 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace cluster {
+namespace {
+
+constexpr double kEpsilonTokens = 1e-6;
+
+}  // namespace
+
+Cluster::Cluster(sim::Simulator* simulator, ClusterConfig config)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      prefill_model_(config_.prefill_node),
+      decode_model_(config_.decode_node) {
+  MRM_CHECK(config_.decode_nodes > 0);
+  MRM_CHECK(config_.max_decode_batch > 0);
+  if (config_.mode == ClusterMode::kDisaggregated) {
+    MRM_CHECK(config_.prefill_nodes > 0);
+    prefill_pool_.resize(static_cast<std::size_t>(config_.prefill_nodes));
+  }
+  decode_pool_.resize(static_cast<std::size_t>(config_.decode_nodes));
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Submit(const workload::InferenceRequest& request) {
+  ++stats_.submitted;
+  Job job;
+  job.request = request;
+  simulator_->ScheduleAt(simulator_->SecondsToTicks(request.arrival_s),
+                         [this, job = std::move(job)]() mutable { OnArrival(std::move(job)); });
+}
+
+void Cluster::OnArrival(Job job) {
+  if (config_.mode == ClusterMode::kDisaggregated) {
+    StartPrefillDisaggregated(std::move(job));
+    return;
+  }
+  // Colocated: prefill runs on the decode node itself, with priority.
+  const int node_index = LeastLoadedDecodeNode();
+  DecodeNode& node = decode_pool_[static_cast<std::size_t>(node_index)];
+  node.prefill_queue.push_back(std::move(job));
+  PumpColocatedPrefill(static_cast<std::size_t>(node_index));
+}
+
+void Cluster::StartPrefillDisaggregated(Job job) {
+  // Pick the prefill server that frees up first (FIFO across the pool).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < prefill_pool_.size(); ++i) {
+    if (prefill_pool_[i].free_at < prefill_pool_[best].free_at) {
+      best = i;
+    }
+  }
+  PrefillServer& server = prefill_pool_[best];
+  const sim::Tick start = std::max(simulator_->now(), server.free_at);
+  stats_.queue_wait_ms.Add(simulator_->TicksToSeconds(start - simulator_->now()) * 1e3);
+  const double service_s = prefill_model_.PrefillSeconds(job.request.prompt_tokens);
+  const sim::Tick done = start + simulator_->SecondsToTicks(service_s);
+  server.free_at = done;
+  simulator_->ScheduleAt(done, [this, job = std::move(job)]() mutable {
+    OnPrefillDone(std::move(job), /*decode_hint=*/-1);
+  });
+}
+
+void Cluster::OnPrefillDone(Job job, int decode_hint) {
+  job.kv_bytes = static_cast<double>(job.request.prompt_tokens) *
+                 static_cast<double>(config_.decode_node.model.kv_bytes_per_token());
+  const int node_index = decode_hint >= 0 ? decode_hint : LeastLoadedDecodeNode();
+  if (config_.mode == ClusterMode::kDisaggregated &&
+      config_.interconnect_bw_bytes_per_s > 0.0) {
+    // KV handoff over the interconnect.
+    const double transfer_s = job.kv_bytes / config_.interconnect_bw_bytes_per_s;
+    simulator_->ScheduleAfter(simulator_->SecondsToTicks(transfer_s),
+                              [this, job = std::move(job), node_index]() mutable {
+                                EnqueueDecode(std::move(job), node_index);
+                              });
+    return;
+  }
+  // Shared MRM pool (or colocated): the decode node reads KV in place.
+  EnqueueDecode(std::move(job), node_index);
+}
+
+int Cluster::LeastLoadedDecodeNode() const {
+  int best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < decode_pool_.size(); ++i) {
+    const DecodeNode& node = decode_pool_[i];
+    const std::size_t load =
+        node.active.size() + node.admission_queue.size() + node.prefill_queue.size();
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Cluster::EnqueueDecode(Job job, int node_index) {
+  DecodeNode& node = decode_pool_[static_cast<std::size_t>(node_index)];
+  AdvanceNode(node);
+  node.admission_queue.push_back(std::move(job));
+  AdmitFromQueue(node);
+  RescheduleCompletion(static_cast<std::size_t>(node_index));
+}
+
+void Cluster::AdmitFromQueue(DecodeNode& node) {
+  while (!node.admission_queue.empty() &&
+         node.active.size() < static_cast<std::size_t>(config_.max_decode_batch)) {
+    Job job = std::move(node.admission_queue.front());
+    node.admission_queue.pop_front();
+    if (!job.first_token_counted) {
+      // First token arrives roughly one decode step after joining.
+      const double step =
+          decode_model_.DecodeStepSeconds(static_cast<int>(node.active.size()) + 1,
+                                          std::max(job.kv_bytes, 1.0));
+      stats_.ttft_ms.Add(
+          (simulator_->now_seconds() + step - job.request.arrival_s) * 1e3);
+      job.first_token_counted = true;
+    }
+    node.active.push_back(std::move(job));
+  }
+}
+
+double Cluster::NodeTokenRatePerJob(const DecodeNode& node) const {
+  if (node.active.empty()) {
+    return 0.0;
+  }
+  if (node.prefill_running) {
+    return 0.0;  // colocated: prefill has the node
+  }
+  double mean_kv = 0.0;
+  for (const Job& job : node.active) {
+    mean_kv += job.kv_bytes;
+  }
+  mean_kv /= static_cast<double>(node.active.size());
+  const double step =
+      decode_model_.DecodeStepSeconds(static_cast<int>(node.active.size()), mean_kv);
+  return 1.0 / step;  // tokens/s per request under continuous batching
+}
+
+void Cluster::AdvanceNode(DecodeNode& node) {
+  const sim::Tick now = simulator_->now();
+  if (now > node.last_update && !node.active.empty()) {
+    const double elapsed = simulator_->TicksToSeconds(now - node.last_update);
+    const double rate = NodeTokenRatePerJob(node);
+    const double kv_per_token =
+        static_cast<double>(config_.decode_node.model.kv_bytes_per_token());
+    for (Job& job : node.active) {
+      const double produced = elapsed * rate;
+      job.produced += produced;
+      job.kv_bytes += produced * kv_per_token;
+    }
+  }
+  node.last_update = now;
+}
+
+void Cluster::RescheduleCompletion(std::size_t node_index) {
+  DecodeNode& node = decode_pool_[node_index];
+  if (node.has_completion_event) {
+    simulator_->Cancel(node.completion_event);
+    node.has_completion_event = false;
+  }
+  const double rate = NodeTokenRatePerJob(node);
+  if (rate <= 0.0 || node.active.empty()) {
+    return;
+  }
+  double soonest_s = std::numeric_limits<double>::infinity();
+  for (const Job& job : node.active) {
+    const double remaining =
+        std::max(static_cast<double>(job.request.output_tokens) - job.produced, 0.0);
+    soonest_s = std::min(soonest_s, remaining / rate);
+  }
+  node.completion_event = simulator_->ScheduleAfter(
+      simulator_->SecondsToTicks(soonest_s) + 1, [this, node_index] {
+        DecodeNode& node = decode_pool_[node_index];
+        node.has_completion_event = false;
+        AdvanceNode(node);
+        // Retire finished jobs.
+        for (std::size_t i = node.active.size(); i-- > 0;) {
+          Job& job = node.active[i];
+          if (job.produced + kEpsilonTokens >=
+              static_cast<double>(job.request.output_tokens)) {
+            stats_.decode_tokens += static_cast<std::uint64_t>(job.request.output_tokens);
+            stats_.e2e_s.Add(simulator_->now_seconds() - job.request.arrival_s);
+            stats_.last_completion_s = simulator_->now_seconds();
+            ++stats_.completed;
+            node.active.erase(node.active.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+        }
+        AdmitFromQueue(node);
+        RescheduleCompletion(node_index);
+      });
+  node.has_completion_event = true;
+}
+
+void Cluster::PumpColocatedPrefill(std::size_t node_index) {
+  DecodeNode& node = decode_pool_[node_index];
+  if (node.prefill_running || node.prefill_queue.empty()) {
+    return;
+  }
+  // Prefill takes over: freeze decode progress first.
+  AdvanceNode(node);
+  node.prefill_running = true;
+  RescheduleCompletion(node_index);  // cancels (rate is now 0)
+
+  Job job = std::move(node.prefill_queue.front());
+  node.prefill_queue.pop_front();
+  stats_.queue_wait_ms.Add(0.0);
+  const double service_s = prefill_model_.PrefillSeconds(job.request.prompt_tokens);
+  simulator_->ScheduleAfter(
+      simulator_->SecondsToTicks(service_s),
+      [this, node_index, job = std::move(job)]() mutable {
+        DecodeNode& node = decode_pool_[node_index];
+        AdvanceNode(node);  // no decode progress accrued (rate was 0)
+        node.prefill_running = false;
+        OnPrefillDone(std::move(job), static_cast<int>(node_index));
+        PumpColocatedPrefill(node_index);
+        RescheduleCompletion(node_index);
+      });
+}
+
+}  // namespace cluster
+}  // namespace mrm

@@ -1,0 +1,126 @@
+// Event-driven cluster serving simulation (paper §4's "rack-scale OS" and
+// the Splitwise-style phase splitting the paper's endurance math builds on).
+//
+// Two deployment shapes:
+//  * kColocated     — every node runs prefill and decode; prefill has
+//    priority and stalls the node's decode batch (the coupling Splitwise
+//    identified).
+//  * kDisaggregated — a prefill pool feeds a decode pool; finished prompts
+//    hand their KV cache over the interconnect, or for free when both pools
+//    share a fabric-attached MRM KV store (the paper's §4/[49] pooled-memory
+//    scenario: interconnect_bw == 0 means shared pool).
+//
+// Decode nodes run continuous batching modeled as processor sharing: the
+// node-wide token rate comes from NodeModel::DecodeStepSeconds at the
+// current batch size and mean resident KV, re-evaluated on every membership
+// change.
+
+#ifndef MRMSIM_SRC_CLUSTER_CLUSTER_H_
+#define MRMSIM_SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/cluster/node_model.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request_generator.h"
+
+namespace mrm {
+namespace cluster {
+
+enum class ClusterMode { kColocated, kDisaggregated };
+
+struct ClusterConfig {
+  ClusterMode mode = ClusterMode::kDisaggregated;
+  NodeModelConfig prefill_node;
+  NodeModelConfig decode_node;
+  int prefill_nodes = 2;   // ignored in colocated mode
+  int decode_nodes = 6;    // total nodes in colocated mode
+  int max_decode_batch = 16;
+  // KV handoff bandwidth between pools; 0 = shared MRM pool (no transfer).
+  double interconnect_bw_bytes_per_s = 0.9e12;
+};
+
+struct ClusterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t decode_tokens = 0;
+  Histogram ttft_ms;       // arrival -> first decode token
+  Histogram e2e_s;         // arrival -> last token
+  Histogram queue_wait_ms; // arrival -> prefill start
+  double last_completion_s = 0.0;
+
+  double tokens_per_s() const {
+    return last_completion_s > 0.0
+               ? static_cast<double>(decode_tokens) / last_completion_s
+               : 0.0;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator* simulator, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Schedules the request's arrival; call before running the simulator.
+  void Submit(const workload::InferenceRequest& request);
+
+  // True when every submitted request has completed.
+  bool Drained() const { return stats_.completed == stats_.submitted; }
+
+  const ClusterStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    workload::InferenceRequest request;
+    double kv_bytes = 0.0;       // resident KV after prefill
+    double produced = 0.0;       // decode tokens so far (fractional)
+    bool first_token_counted = false;
+  };
+
+  struct PrefillServer {
+    sim::Tick free_at = 0;
+  };
+
+  struct DecodeNode {
+    std::vector<Job> active;
+    sim::Tick last_update = 0;
+    bool has_completion_event = false;
+    sim::EventId completion_event = 0;
+    // Colocated mode: outstanding prefill work blocks decode.
+    std::deque<Job> prefill_queue;
+    bool prefill_running = false;
+    std::deque<Job> admission_queue;  // waiting for a batch slot
+  };
+
+  void OnArrival(Job job);
+  void StartPrefillDisaggregated(Job job);
+  void OnPrefillDone(Job job, int decode_hint);
+  void EnqueueDecode(Job job, int node_index);
+  void AdmitFromQueue(DecodeNode& node);
+  void AdvanceNode(DecodeNode& node);
+  void RescheduleCompletion(std::size_t node_index);
+  double NodeTokenRatePerJob(const DecodeNode& node) const;
+  int LeastLoadedDecodeNode() const;
+
+  // Colocated-mode prefill handling on decode nodes.
+  void PumpColocatedPrefill(std::size_t node_index);
+
+  sim::Simulator* simulator_;
+  ClusterConfig config_;
+  NodeModel prefill_model_;
+  NodeModel decode_model_;
+  std::vector<PrefillServer> prefill_pool_;
+  std::vector<DecodeNode> decode_pool_;
+  ClusterStats stats_;
+};
+
+}  // namespace cluster
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CLUSTER_CLUSTER_H_

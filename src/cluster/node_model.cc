@@ -1,0 +1,84 @@
+#include "src/cluster/node_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace cluster {
+
+NodeModel::NodeModel(const NodeModelConfig& config) : config_(config) {
+  MRM_CHECK(config_.model.Validate().ok());
+  MRM_CHECK(config_.compute_tflops > 0.0);
+  MRM_CHECK(config_.weight_read_bw_bytes_per_s > 0.0);
+  MRM_CHECK(config_.kv_read_bw_bytes_per_s > 0.0);
+  MRM_CHECK(config_.kv_write_bw_bytes_per_s > 0.0);
+  compute_s_per_token_ = 2.0 * static_cast<double>(config_.model.parameters) /
+                         (config_.compute_tflops * 1e12);
+}
+
+double NodeModel::PrefillTokensPerSecond() const {
+  // One chunk: read all weights once, compute chunk tokens, write chunk KV.
+  const double chunk = static_cast<double>(config_.prefill_chunk_tokens);
+  const double weight_s = static_cast<double>(config_.model.weight_bytes()) /
+                          config_.weight_read_bw_bytes_per_s;
+  const double kv_s = chunk * static_cast<double>(config_.model.kv_bytes_per_token()) /
+                      config_.kv_write_bw_bytes_per_s;
+  const double mem_s =
+      config_.streams_share_tier ? weight_s + kv_s : std::max(weight_s, kv_s);
+  const double comp_s = chunk * compute_s_per_token_;
+  return chunk / std::max(mem_s, comp_s);
+}
+
+double NodeModel::PrefillSeconds(int tokens) const {
+  return static_cast<double>(tokens) / PrefillTokensPerSecond();
+}
+
+double NodeModel::DecodeStepSeconds(int batch, double mean_kv_bytes) const {
+  MRM_CHECK(batch > 0);
+  const double weight_s = static_cast<double>(config_.model.weight_bytes()) /
+                          config_.weight_read_bw_bytes_per_s;
+  const double kv_s =
+      static_cast<double>(batch) * mean_kv_bytes / config_.kv_read_bw_bytes_per_s;
+  // Streams on one tier serialize on its bus; streams on separate tiers
+  // transfer in parallel (same overlap model as tier::TieredBackend).
+  const double mem_s =
+      config_.streams_share_tier ? weight_s + kv_s : std::max(weight_s, kv_s);
+  const double comp_s = static_cast<double>(batch) * compute_s_per_token_;
+  return std::max(mem_s, comp_s);
+}
+
+double NodeModel::DecodeTokensPerSecond(int batch, double mean_kv_bytes) const {
+  return static_cast<double>(batch) / DecodeStepSeconds(batch, mean_kv_bytes);
+}
+
+NodeModelConfig HbmNode(const workload::FoundationModelConfig& model,
+                        const workload::TierSpec& hbm, double tflops) {
+  NodeModelConfig config;
+  config.model = model;
+  config.compute_tflops = tflops;
+  // One bus for everything: full bandwidth per stream, serialized.
+  config.weight_read_bw_bytes_per_s = hbm.read_bw_bytes_per_s;
+  config.kv_read_bw_bytes_per_s = hbm.read_bw_bytes_per_s;
+  config.kv_write_bw_bytes_per_s = hbm.write_bw_bytes_per_s;
+  config.streams_share_tier = true;
+  return config;
+}
+
+NodeModelConfig HbmMrmNode(const workload::FoundationModelConfig& model,
+                           const workload::TierSpec& hbm, const workload::TierSpec& mrm,
+                           double tflops) {
+  NodeModelConfig config;
+  config.model = model;
+  config.compute_tflops = tflops;
+  // Weights stream from MRM at full rate; KV reads split but are dominated
+  // by the cold tier; KV appends go to MRM's (slower) write path.
+  config.weight_read_bw_bytes_per_s = mrm.read_bw_bytes_per_s;
+  config.kv_read_bw_bytes_per_s = hbm.read_bw_bytes_per_s;
+  config.kv_write_bw_bytes_per_s = mrm.write_bw_bytes_per_s;
+  config.streams_share_tier = false;
+  return config;
+}
+
+}  // namespace cluster
+}  // namespace mrm

@@ -1,0 +1,73 @@
+// Analytic per-node performance model for cluster-scale simulation.
+//
+// Reduces (model, memory tiers, accelerator FLOPs) to the two rates the
+// cluster scheduler needs:
+//   * prefill token rate  — roofline of prefill compute vs. weight-read
+//     bandwidth (chunked prefill amortizes the weight sweep per chunk);
+//   * decode step time    — max(compute, memory) for a batch of B requests
+//     with a given mean resident KV per request.
+// The token-level engine (workload::InferenceEngine) implements the same
+// roofline step-by-step; tests pin the two against each other.
+
+#ifndef MRMSIM_SRC_CLUSTER_NODE_MODEL_H_
+#define MRMSIM_SRC_CLUSTER_NODE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/workload/backend.h"
+#include "src/workload/model_config.h"
+
+namespace mrm {
+namespace cluster {
+
+struct NodeModelConfig {
+  workload::FoundationModelConfig model;
+  double compute_tflops = 1000.0;
+  int prefill_chunk_tokens = 2048;
+  // Bandwidth serving the weight stream and the KV stream. In an HBM-only
+  // node both equal the HBM bandwidth; in an MRM node weights (and cold KV)
+  // stream from MRM while the rest stays in HBM — tiers overlap, so each
+  // stream sees its own tier's bandwidth.
+  double weight_read_bw_bytes_per_s = 0.0;
+  double kv_read_bw_bytes_per_s = 0.0;
+  double kv_write_bw_bytes_per_s = 0.0;
+  // True when weights and KV live on the same tier: their transfers
+  // serialize on one bus (sum); false = independent tiers that overlap (max).
+  bool streams_share_tier = true;
+};
+
+class NodeModel {
+ public:
+  explicit NodeModel(const NodeModelConfig& config);
+
+  const NodeModelConfig& config() const { return config_; }
+
+  // Sustained prefill rate (tokens/s) for one request at a time.
+  double PrefillTokensPerSecond() const;
+
+  // Seconds to prefill a prompt of `tokens`.
+  double PrefillSeconds(int tokens) const;
+
+  // Duration of one decode step for `batch` requests whose mean resident KV
+  // is `mean_kv_bytes`.
+  double DecodeStepSeconds(int batch, double mean_kv_bytes) const;
+
+  // Decode tokens/s of the whole batch at that operating point.
+  double DecodeTokensPerSecond(int batch, double mean_kv_bytes) const;
+
+ private:
+  NodeModelConfig config_;
+  double compute_s_per_token_;
+};
+
+// Convenience builders from tier specs.
+NodeModelConfig HbmNode(const workload::FoundationModelConfig& model,
+                        const workload::TierSpec& hbm, double tflops);
+NodeModelConfig HbmMrmNode(const workload::FoundationModelConfig& model,
+                           const workload::TierSpec& hbm, const workload::TierSpec& mrm,
+                           double tflops);
+
+}  // namespace cluster
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CLUSTER_NODE_MODEL_H_

@@ -1,0 +1,221 @@
+#include "src/common/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mrm {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// Splits "123.5GiB" into (123.5, "GiB").
+bool SplitNumberSuffix(const std::string& text, double* number, std::string* suffix) {
+  const std::string t = Trim(text);
+  if (t.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str()) {
+    return false;
+  }
+  *number = v;
+  *suffix = Trim(std::string(end));
+  return true;
+}
+
+}  // namespace
+
+Result<Config> Config::Parse(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments ('#' or ';').
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Error("config line " + std::to_string(line_no) + ": expected 'key = value', got '" +
+                   trimmed + "'");
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      return Error("config line " + std::to_string(line_no) + ": empty key");
+    }
+    config.Set(key, value);
+  }
+  return config;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error("cannot open config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+void Config::Set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+bool Config::Has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  touched_[key] = true;
+  return it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  touched_[key] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  touched_[key] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  touched_[key] = true;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::uint64_t Config::GetSize(const std::string& key, std::uint64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  touched_[key] = true;
+  const auto parsed = ParseSize(it->second);
+  return parsed.ok() ? parsed.value() : def;
+}
+
+double Config::GetDuration(const std::string& key, double def_seconds) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def_seconds;
+  }
+  touched_[key] = true;
+  const auto parsed = ParseDuration(it->second);
+  return parsed.ok() ? parsed.value() : def_seconds;
+}
+
+std::vector<std::string> Config::UntouchedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) {
+    if (!touched_.count(key)) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+std::vector<std::pair<std::string, std::string>> Config::Items() const {
+  return {values_.begin(), values_.end()};
+}
+
+Result<std::uint64_t> Config::ParseSize(const std::string& text) {
+  double number = 0.0;
+  std::string suffix;
+  if (!SplitNumberSuffix(text, &number, &suffix)) {
+    return Error("bad size literal: '" + text + "'");
+  }
+  double multiplier = 1.0;
+  if (suffix.empty() || suffix == "B") {
+    multiplier = 1.0;
+  } else if (suffix == "KiB") {
+    multiplier = 1024.0;
+  } else if (suffix == "MiB") {
+    multiplier = 1024.0 * 1024.0;
+  } else if (suffix == "GiB") {
+    multiplier = 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "TiB") {
+    multiplier = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "KB") {
+    multiplier = 1e3;
+  } else if (suffix == "MB") {
+    multiplier = 1e6;
+  } else if (suffix == "GB") {
+    multiplier = 1e9;
+  } else if (suffix == "TB") {
+    multiplier = 1e12;
+  } else {
+    return Error("unknown size suffix: '" + suffix + "'");
+  }
+  const double bytes = number * multiplier;
+  if (bytes < 0.0) {
+    return Error("negative size: '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(bytes);
+}
+
+Result<double> Config::ParseDuration(const std::string& text) {
+  double number = 0.0;
+  std::string suffix;
+  if (!SplitNumberSuffix(text, &number, &suffix)) {
+    return Error("bad duration literal: '" + text + "'");
+  }
+  double scale = 1.0;
+  if (suffix.empty() || suffix == "s") {
+    scale = 1.0;
+  } else if (suffix == "ns") {
+    scale = 1e-9;
+  } else if (suffix == "us") {
+    scale = 1e-6;
+  } else if (suffix == "ms") {
+    scale = 1e-3;
+  } else if (suffix == "m" || suffix == "min") {
+    scale = 60.0;
+  } else if (suffix == "h") {
+    scale = 3600.0;
+  } else if (suffix == "d") {
+    scale = 86400.0;
+  } else if (suffix == "y") {
+    scale = 86400.0 * 365.0;
+  } else {
+    return Error("unknown duration suffix: '" + suffix + "'");
+  }
+  return number * scale;
+}
+
+}  // namespace mrm

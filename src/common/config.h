@@ -1,0 +1,62 @@
+// Flat key-value configuration with typed accessors.
+//
+// Format (one entry per line):
+//   # comment
+//   workload.model = llama2-70b
+//   mem.channels   = 8
+//   mrm.retention_s = 3600        ; trailing comments with ';' or '#'
+//
+// Keys are dotted paths; values are strings parsed on demand. Unknown keys
+// are detected via Touched()/UntouchedKeys() so experiments can reject typos.
+
+#ifndef MRMSIM_SRC_COMMON_CONFIG_H_
+#define MRMSIM_SRC_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace mrm {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses the textual format above. Later duplicate keys override earlier.
+  static Result<Config> Parse(const std::string& text);
+  static Result<Config> FromFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  // Typed getters with defaults. Sizes accept suffixes: KiB/MiB/GiB/TiB and
+  // KB/MB/GB/TB (and bare numbers). Durations accept ns/us/ms/s/m/h/d/y.
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+  std::int64_t GetInt(const std::string& key, std::int64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  bool GetBool(const std::string& key, bool def = false) const;
+  std::uint64_t GetSize(const std::string& key, std::uint64_t def = 0) const;
+  double GetDuration(const std::string& key, double def_seconds = 0.0) const;
+
+  // All keys never read through a getter (typo detection).
+  std::vector<std::string> UntouchedKeys() const;
+
+  // All key=value pairs, sorted by key (for echoing into experiment logs).
+  std::vector<std::pair<std::string, std::string>> Items() const;
+
+  // Parses a standalone size/duration literal (shared with getters).
+  static Result<std::uint64_t> ParseSize(const std::string& text);
+  static Result<double> ParseDuration(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_CONFIG_H_

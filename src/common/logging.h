@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:  MRM_LOG(Info) << "loaded " << n << " weights";
+// Level is a process-wide threshold (default Info). Fatal aborts.
+
+#ifndef MRMSIM_SRC_COMMON_LOGGING_H_
+#define MRMSIM_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mrm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Sets / reads the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+const char* LogLevelName(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mrm
+
+#define MRM_LOG(severity) \
+  ::mrm::LogMessage(::mrm::LogLevel::k##severity, __FILE__, __LINE__).stream()
+
+// Logs and aborts when `condition` is false; always evaluated (also in
+// release builds) because simulator invariants guard correctness of results.
+#define MRM_CHECK(condition)                                                     \
+  if (!(condition))                                                              \
+  ::mrm::LogMessage(::mrm::LogLevel::kFatal, __FILE__, __LINE__).stream()        \
+      << "check failed: " #condition " "
+
+#endif  // MRMSIM_SRC_COMMON_LOGGING_H_

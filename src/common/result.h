@@ -1,0 +1,90 @@
+// A minimal Result<T> / Status type for fallible operations.
+//
+// mrmsim is exception-free in its hot paths (simulator inner loops); fallible
+// configuration / device operations return Result<T> or Status instead.
+
+#ifndef MRMSIM_SRC_COMMON_RESULT_H_
+#define MRMSIM_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrm {
+
+// Error holds a human-readable message. Cheap to move, comparable for tests.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+  friend bool operator==(const Error& a, const Error& b) { return a.message_ == b.message_; }
+
+ private:
+  std::string message_;
+};
+
+// Status: success or an Error.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+  // Message of the error, or "" when OK. Convenient for logging.
+  std::string message() const { return ok() ? std::string() : error_->message(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}      // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  Status status() const { return ok() ? Status::Ok() : Status(std::get<Error>(data_)); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_RESULT_H_

@@ -1,0 +1,157 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrm {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+std::uint64_t Rng::NextU64() {
+  // xoshiro256++
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -std::log(1.0 - u) / lambda;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Lognormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+std::uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double v = Normal(mean, std::sqrt(mean)) + 0.5;
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+  // Knuth's algorithm.
+  const double limit = std::exp(-mean);
+  double product = NextDouble();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1 || s == 0.0) {
+    return NextBounded(n);
+  }
+  // Rejection-inversion (Gray): approximate the Zipf CDF by the integral of
+  // x^-s and reject. Works for s != 1; for s == 1 use the log form.
+  const double nd = static_cast<double>(n);
+  while (true) {
+    const double u = NextDouble();
+    double x;
+    if (std::abs(s - 1.0) < 1e-9) {
+      x = std::exp(u * std::log(nd + 1.0));
+    } else {
+      const double t = std::pow(nd + 1.0, 1.0 - s);
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const std::uint64_t k = static_cast<std::uint64_t>(x);  // in [1, n]
+    if (k < 1 || k > n) {
+      continue;
+    }
+    // Acceptance ratio: (k/x)^s accounts for the discretization.
+    const double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (NextDouble() < ratio) {
+      return k - 1;
+    }
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace mrm

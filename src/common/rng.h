@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in mrmsim flows through Rng so that a (seed,
+// config) pair reproduces a simulation bit-for-bit. The core generator is
+// xoshiro256++ seeded via SplitMix64; distribution helpers cover the needs of
+// the workload generator (exponential inter-arrivals, lognormal context
+// lengths, Zipf popularity, Poisson counts).
+
+#ifndef MRMSIM_SRC_COMMON_RNG_H_
+#define MRMSIM_SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace mrm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses Lemire rejection to
+  // avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponential with rate lambda (mean 1/lambda). lambda must be > 0.
+  double Exponential(double lambda);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double Lognormal(double mu, double sigma);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::uint64_t Poisson(double mean);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s == 0 -> uniform).
+  // Uses inverse-CDF over precomputation-free rejection (Jim Gray's method).
+  std::uint64_t Zipf(std::uint64_t n, double s);
+
+  // Splits off an independent child generator; the child stream is a pure
+  // function of this generator's current state.
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_RNG_H_

@@ -1,0 +1,153 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mrm {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StreamingStats::Reset() { *this = StreamingStats(); }
+
+double StreamingStats::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram() : buckets_(static_cast<std::size_t>(kSubBuckets) * kDecades, 0) {}
+
+int Histogram::BucketIndex(double value) {
+  // value >= 1 guaranteed by caller.
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // value = mantissa * 2^exp, mantissa in [0.5, 1)
+  int decade = exponent - 1;                              // floor(log2(value))
+  if (decade >= kDecades) {
+    decade = kDecades - 1;
+  }
+  // Position within the decade: (value / 2^decade - 1) in [0, 1).
+  const double frac = mantissa * 2.0 - 1.0;
+  int sub = static_cast<int>(frac * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return decade * kSubBuckets + sub;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  const int decade = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, decade);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < 1.0) {
+    ++underflow_;
+    return;
+  }
+  ++buckets_[static_cast<std::size_t>(BucketIndex(value))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0ull);
+  count_ = 0;
+  underflow_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) {
+    // Within the [0,1) underflow bucket; interpolate linearly.
+    return underflow_ == 0 ? 0.0 : target / static_cast<double>(underflow_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (seen + in_bucket >= target && in_bucket > 0) {
+      const double lo = BucketLowerBound(static_cast<int>(i));
+      const double hi = BucketLowerBound(static_cast<int>(i) + 1);
+      const double frac = (target - seen) / in_bucket;
+      return std::min(lo + frac * (hi - lo), max_);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g",
+                static_cast<unsigned long long>(count_), mean(), Quantile(0.5), Quantile(0.9),
+                Quantile(0.99), max());
+  return buf;
+}
+
+}  // namespace mrm

@@ -1,0 +1,78 @@
+// Streaming statistics and histograms.
+//
+// StreamingStats accumulates count/mean/variance/min/max in O(1) space
+// (Welford's algorithm). Histogram buckets values on a log2 scale and reports
+// approximate quantiles; it is the workhorse for latency distributions.
+
+#ifndef MRMSIM_SRC_COMMON_STATS_H_
+#define MRMSIM_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrm {
+
+class StreamingStats {
+ public:
+  void Add(double x);
+  void Merge(const StreamingStats& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log2-bucketed histogram over non-negative values.
+//
+// Each power-of-two decade is split into `kSubBuckets` linear sub-buckets,
+// giving a worst-case relative quantile error of 1/kSubBuckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Approximate quantile, q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  // Convenience: p50/p99 etc. formatted as "p50=.. p90=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kDecades = 64;  // covers doubles up to 2^63
+
+  static int BucketIndex(double value);
+  static double BucketLowerBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;  // values in [0, 1)
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_STATS_H_

@@ -1,0 +1,132 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mrm {
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double value = static_cast<double>(bytes);
+  int suffix = 0;
+  while (value >= 1024.0 && suffix < 5) {
+    value /= 1024.0;
+    ++suffix;
+  }
+  char buf[48];
+  if (suffix == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kSuffixes[suffix]);
+  }
+  return buf;
+}
+
+std::string FormatNumber(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[48];
+  const double a = std::abs(seconds);
+  if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3g ns", seconds * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  } else if (a < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g s", seconds);
+  } else if (a < 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g h", seconds / 3600.0);
+  } else if (a < 86400.0 * 365.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g d", seconds / 86400.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g y", seconds / (86400.0 * 365.0));
+  }
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        line.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string escaped = "\"";
+    for (char ch : cell) {
+      if (ch == '"') {
+        escaped += '"';
+      }
+      escaped += ch;
+    }
+    escaped += '"';
+    return escaped;
+  };
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += escape(row[c]);
+      if (c + 1 < row.size()) {
+        line += ',';
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) {
+    out += render(row);
+  }
+  return out;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::printf("== %s ==\n%s\n", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace mrm

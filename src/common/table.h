@@ -1,0 +1,51 @@
+// Plain-text table and CSV rendering for bench harnesses.
+//
+// Every experiment binary prints its rows/series through TablePrinter so all
+// reproduced tables/figures share one format and can be diffed run-to-run.
+
+#ifndef MRMSIM_SRC_COMMON_TABLE_H_
+#define MRMSIM_SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrm {
+
+// Formats a byte count with a binary-unit suffix, e.g. "1.5 GiB".
+std::string FormatBytes(std::uint64_t bytes);
+
+// Formats a double in engineering notation, e.g. "1.58e+08" -> "1.6e8" style
+// kept simple: %.3g.
+std::string FormatNumber(double value);
+
+// Formats a duration in seconds with an adaptive unit (ns/us/ms/s/h/d/y).
+std::string FormatSeconds(double seconds);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with aligned columns.
+  std::string ToString() const;
+
+  // Renders as CSV (RFC-ish: comma-separated, quotes when a cell contains a
+  // comma or quote).
+  std::string ToCsv() const;
+
+  // Prints ToString() to stdout, framed by the given title.
+  void Print(const std::string& title) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_TABLE_H_

@@ -1,0 +1,61 @@
+// Unit helpers and physical constants used throughout mrmsim.
+//
+// Conventions:
+//  * Sizes are in bytes (std::uint64_t) unless suffixed otherwise.
+//  * Energy is in picojoules (double) at the device level and joules (double)
+//    at the cluster/analysis level; helpers convert between the two.
+//  * Time at the device level is in controller clock ticks (sim::Tick); wall
+//    time in analyses is in seconds (double).
+
+#ifndef MRMSIM_SRC_COMMON_UNITS_H_
+#define MRMSIM_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace mrm {
+
+// --- Sizes (IEC binary for memory structures, SI decimal for marketing GB) ---
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+inline constexpr std::uint64_t kTB = 1000ull * kGB;
+
+// --- Time (seconds) ---
+inline constexpr double kNanosecond = 1e-9;
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kMillisecond = 1e-3;
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kYear = 365.0 * kDay;
+
+// --- Energy ---
+inline constexpr double kPicojoule = 1e-12;  // in joules
+inline constexpr double kNanojoule = 1e-9;   // in joules
+
+// Converts an energy in picojoules to joules.
+constexpr double PicojoulesToJoules(double pj) { return pj * kPicojoule; }
+
+// Converts joules to picojoules.
+constexpr double JoulesToPicojoules(double j) { return j / kPicojoule; }
+
+// --- Physical constants ---
+// Boltzmann constant in J/K; used by the STT-MRAM thermal-stability model.
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Room temperature in kelvin, the reference for retention models.
+inline constexpr double kRoomTemperatureK = 300.0;
+// Thermal attempt period tau0 (~1 ns) for Arrhenius-style retention models.
+inline constexpr double kThermalAttemptPeriod = 1e-9;
+
+// Formats a byte count as a human-readable short string is provided by
+// common/table.h (FormatBytes); kept there to avoid pulling <string> here.
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_UNITS_H_

@@ -1,0 +1,202 @@
+#include "src/driver/builders.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+#include "src/tier/tier_spec.h"
+
+namespace mrm {
+namespace driver {
+namespace {
+
+Result<cell::Technology> TechnologyByName(const std::string& name) {
+  if (name == "stt-mram") {
+    return cell::Technology::kSttMram;
+  }
+  if (name == "rram") {
+    return cell::Technology::kRram;
+  }
+  if (name == "pcm") {
+    return cell::Technology::kPcm;
+  }
+  return Error("unknown MRM technology: '" + name + "' (stt-mram | rram | pcm)");
+}
+
+}  // namespace
+
+Result<mem::DeviceConfig> BuildDeviceConfig(const Config& config, const std::string& prefix) {
+  const std::string preset = config.GetString(prefix + ".preset", "hbm3e");
+  auto device = mem::DeviceConfigByName(preset);
+  if (!device.ok()) {
+    return device.error();
+  }
+  mem::DeviceConfig result = device.value();
+  result.channels = static_cast<int>(config.GetInt(prefix + ".channels", result.channels));
+  result.rows_per_bank =
+      static_cast<std::uint64_t>(config.GetInt(prefix + ".rows_per_bank",
+                                               static_cast<std::int64_t>(result.rows_per_bank)));
+  result.row_bytes =
+      static_cast<std::uint32_t>(config.GetInt(prefix + ".row_bytes", result.row_bytes));
+  const Status valid = result.Validate();
+  if (!valid.ok()) {
+    return valid.error();
+  }
+  return result;
+}
+
+Result<mrmcore::MrmDeviceConfig> BuildMrmConfig(const Config& config,
+                                                const std::string& prefix) {
+  mrmcore::MrmDeviceConfig result;
+  result.name = config.GetString(prefix + ".name", "mrm");
+  auto tech = TechnologyByName(config.GetString(prefix + ".technology", "stt-mram"));
+  if (!tech.ok()) {
+    return tech.error();
+  }
+  result.technology = tech.value();
+  result.channels = static_cast<int>(config.GetInt(prefix + ".channels", result.channels));
+  result.zones = static_cast<std::uint32_t>(config.GetInt(prefix + ".zones", result.zones));
+  result.zone_blocks =
+      static_cast<std::uint32_t>(config.GetInt(prefix + ".zone_blocks", result.zone_blocks));
+  result.block_bytes = static_cast<std::uint32_t>(
+      config.GetSize(prefix + ".block_bytes", result.block_bytes));
+  result.channel_read_bw_bytes_per_s =
+      config.GetDouble(prefix + ".read_bw_gbps", result.channel_read_bw_bytes_per_s / 1e9) *
+      1e9;
+  result.channel_write_bw_ref_bytes_per_s =
+      config.GetDouble(prefix + ".write_bw_gbps",
+                       result.channel_write_bw_ref_bytes_per_s / 1e9) *
+      1e9;
+  result.default_retention_s =
+      config.GetDuration(prefix + ".retention", result.default_retention_s);
+  result.background_mw = config.GetDouble(prefix + ".background_mw", result.background_mw);
+  const Status valid = result.Validate();
+  if (!valid.ok()) {
+    return valid.error();
+  }
+  return result;
+}
+
+Result<workload::FoundationModelConfig> BuildModel(const Config& config) {
+  auto model = workload::ModelByName(config.GetString("model", "llama2-70b"));
+  if (!model.ok()) {
+    return model.error();
+  }
+  workload::FoundationModelConfig result = model.value();
+  result.max_context_tokens =
+      static_cast<int>(config.GetInt("model.max_context", result.max_context_tokens));
+  const Status valid = result.Validate();
+  if (!valid.ok()) {
+    return valid.error();
+  }
+  return result;
+}
+
+Result<workload::WorkloadProfile> BuildProfile(const std::string& name) {
+  if (name == "splitwise-conversation") {
+    return workload::SplitwiseConversation();
+  }
+  if (name == "splitwise-coding") {
+    return workload::SplitwiseCoding();
+  }
+  if (name == "long-context-summarization") {
+    return workload::LongContextSummarization();
+  }
+  return Error("unknown workload profile: '" + name + "'");
+}
+
+Result<Scenario> BuildScenario(const Config& config) {
+  Scenario scenario;
+
+  auto model = BuildModel(config);
+  if (!model.ok()) {
+    return model.error();
+  }
+  scenario.model = model.value();
+
+  // HBM tier (always present).
+  auto hbm_device = BuildDeviceConfig(config, "hbm");
+  if (!hbm_device.ok()) {
+    return hbm_device.error();
+  }
+  const int hbm_devices = static_cast<int>(config.GetInt("hbm.devices", 8));
+  if (hbm_devices <= 0) {
+    return Error("hbm.devices must be positive");
+  }
+  scenario.tiers.push_back(tier::TierSpecFromDevice(hbm_device.value(), hbm_devices));
+
+  // Optional MRM tier.
+  const bool has_mrm = config.GetBool("mrm.enabled", config.Has("mrm.technology"));
+  if (has_mrm) {
+    auto mrm_config = BuildMrmConfig(config, "mrm");
+    if (!mrm_config.ok()) {
+      return mrm_config.error();
+    }
+    scenario.mrm_retention_s = config.GetDuration("mrm.retention", 6.0 * kHour);
+    const int mrm_devices = static_cast<int>(config.GetInt("mrm.devices", 1));
+    scenario.tiers.push_back(
+        tier::TierSpecFromMrm(mrm_config.value(), mrm_devices, scenario.mrm_retention_s));
+  }
+
+  // Placement.
+  const std::string weights_tier = config.GetString("placement.weights", has_mrm ? "mrm" : "hbm");
+  if (weights_tier == "mrm" && !has_mrm) {
+    return Error("placement.weights = mrm but no MRM tier configured");
+  }
+  scenario.placement.weights_tier = weights_tier == "mrm" ? 1 : 0;
+  scenario.placement.kv_hot_tier = 0;
+  scenario.placement.kv_cold_tier = has_mrm ? 1 : 0;
+  scenario.placement.kv_hot_fraction =
+      config.GetDouble("placement.kv_hot_fraction", has_mrm ? 0.15 : 1.0);
+  if (scenario.placement.kv_hot_fraction < 0.0 || scenario.placement.kv_hot_fraction > 1.0) {
+    return Error("placement.kv_hot_fraction must be in [0, 1]");
+  }
+  scenario.placement.activations_tier = 0;
+  if (has_mrm && config.GetBool("mrm.scrub", true)) {
+    scenario.backend_options.scrub_tier = 1;
+    scenario.backend_options.scrub_safe_age_s =
+        config.GetDuration("mrm.scrub_safe_age", scenario.mrm_retention_s / 2.0);
+  }
+
+  // Engine.
+  scenario.engine.model = scenario.model;
+  scenario.engine.max_batch = static_cast<int>(config.GetInt("engine.max_batch", 16));
+  scenario.engine.compute_tflops = config.GetDouble("engine.tflops", 1000.0);
+  scenario.engine.prefill_chunk_tokens =
+      static_cast<int>(config.GetInt("engine.prefill_chunk", 2048));
+
+  // Workload.
+  auto profile = BuildProfile(
+      config.GetString("workload.profile", "splitwise-conversation"));
+  if (!profile.ok()) {
+    return profile.error();
+  }
+  scenario.profile = profile.value();
+  scenario.arrivals_per_s = config.GetDouble("workload.rate", 1.0);
+  scenario.request_count = static_cast<int>(config.GetInt("workload.requests", 16));
+  scenario.seed = static_cast<std::uint64_t>(config.GetInt("workload.seed", 1));
+  if (scenario.arrivals_per_s <= 0.0 || scenario.request_count <= 0) {
+    return Error("workload.rate and workload.requests must be positive");
+  }
+  return scenario;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  tier::TieredBackend backend(scenario.tiers, scenario.placement,
+                              scenario.model.weight_bytes(), scenario.backend_options);
+  workload::InferenceEngine engine(scenario.engine, &backend);
+  workload::RequestGenerator generator(scenario.profile, scenario.arrivals_per_s,
+                                       scenario.seed);
+  std::vector<workload::InferenceRequest> requests;
+  requests.reserve(static_cast<std::size_t>(scenario.request_count));
+  for (int i = 0; i < scenario.request_count; ++i) {
+    requests.push_back(generator.Next());
+  }
+  ScenarioResult result;
+  result.summary = engine.Run(std::move(requests));
+  result.tco = analysis::ComputeTco(result.summary, scenario.tiers);
+  result.backend_name = backend.name();
+  return result;
+}
+
+}  // namespace driver
+}  // namespace mrm

@@ -1,0 +1,89 @@
+// Config-driven construction of devices, models, workloads and whole
+// serving scenarios.
+//
+// Experiments beyond the built-in benches shouldn't require recompiling:
+// a flat key-value config (common/config.h) selects presets and overrides
+// fields. Example (examples/configurable_sim.cpp ships a complete one):
+//
+//   model            = llama2-70b
+//   model.max_context = 8192
+//   hbm.preset       = hbm3e
+//   hbm.devices      = 2
+//   mrm.technology   = stt-mram
+//   mrm.channels     = 96
+//   mrm.retention    = 6h
+//   placement.weights = mrm        ; hbm | mrm
+//   placement.kv_hot_fraction = 0.15
+//   workload.profile = splitwise-conversation
+//   workload.rate    = 8
+//   workload.requests = 48
+//   engine.max_batch = 16
+//   engine.tflops    = 1000
+
+#ifndef MRMSIM_SRC_DRIVER_BUILDERS_H_
+#define MRMSIM_SRC_DRIVER_BUILDERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/tco.h"
+#include "src/common/config.h"
+#include "src/common/result.h"
+#include "src/mem/device_config.h"
+#include "src/mrm/mrm_config.h"
+#include "src/tier/tiered_backend.h"
+#include "src/workload/inference_engine.h"
+#include "src/workload/request_generator.h"
+
+namespace mrm {
+namespace driver {
+
+// DRAM-class device: `<prefix>.preset` selects hbm3/hbm3e/lpddr5x/ddr5,
+// optional overrides: `<prefix>.channels`, `<prefix>.rows_per_bank`,
+// `<prefix>.row_bytes`.
+Result<mem::DeviceConfig> BuildDeviceConfig(const Config& config, const std::string& prefix);
+
+// MRM device: `<prefix>.technology` in {stt-mram, rram, pcm}; overrides:
+// channels, zones, zone_blocks, block_bytes (size), read_bw/write_bw (GB/s
+// per channel), retention (duration), background_mw.
+Result<mrmcore::MrmDeviceConfig> BuildMrmConfig(const Config& config,
+                                                const std::string& prefix);
+
+// Foundation model: `model` names a preset; `model.max_context` overrides.
+Result<workload::FoundationModelConfig> BuildModel(const Config& config);
+
+// Workload profile by name: splitwise-conversation, splitwise-coding,
+// long-context-summarization.
+Result<workload::WorkloadProfile> BuildProfile(const std::string& name);
+
+// A complete single-node serving scenario parsed from a config.
+struct Scenario {
+  workload::FoundationModelConfig model;
+  workload::EngineConfig engine;
+  std::vector<workload::TierSpec> tiers;   // [0]=hbm, [1]=mrm when present
+  tier::Placement placement;
+  tier::TieredBackendOptions backend_options;
+  workload::WorkloadProfile profile;
+  double arrivals_per_s = 1.0;
+  int request_count = 16;
+  std::uint64_t seed = 1;
+  // The MRM retention used for the mrm tier (informational).
+  double mrm_retention_s = 0.0;
+};
+
+Result<Scenario> BuildScenario(const Config& config);
+
+struct ScenarioResult {
+  workload::EngineSummary summary;
+  analysis::TcoReport tco;
+  std::string backend_name;
+};
+
+// Builds the backend, generates the workload, runs the engine.
+ScenarioResult RunScenario(const Scenario& scenario);
+
+}  // namespace driver
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_DRIVER_BUILDERS_H_

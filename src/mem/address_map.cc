@@ -1,0 +1,75 @@
+#include "src/mem/address_map.h"
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+
+AddressMap::AddressMap(const DeviceConfig& config, AddressMapPolicy policy)
+    : policy_(policy),
+      channels_(config.channels),
+      ranks_(config.ranks),
+      bank_groups_(config.bank_groups),
+      banks_per_group_(config.banks_per_group),
+      rows_(config.rows_per_bank),
+      columns_(config.columns_per_row()),
+      access_bytes_(config.access_bytes) {}
+
+Location AddressMap::Decode(std::uint64_t addr) const {
+  std::uint64_t unit = addr / access_bytes_;
+  Location loc;
+  auto take = [&unit](std::uint64_t radix) {
+    const std::uint64_t digit = unit % radix;
+    unit /= radix;
+    return digit;
+  };
+  switch (policy_) {
+    case AddressMapPolicy::kRowBankRankColumnChannel:
+      loc.channel = static_cast<int>(take(channels_));
+      loc.column = take(columns_);
+      loc.rank = static_cast<int>(take(ranks_));
+      loc.bank = static_cast<int>(take(banks_per_group_));
+      loc.bank_group = static_cast<int>(take(bank_groups_));
+      loc.row = take(rows_);
+      break;
+    case AddressMapPolicy::kRowColumnBankRankChannel:
+      loc.channel = static_cast<int>(take(channels_));
+      loc.rank = static_cast<int>(take(ranks_));
+      loc.bank = static_cast<int>(take(banks_per_group_));
+      loc.bank_group = static_cast<int>(take(bank_groups_));
+      loc.column = take(columns_);
+      loc.row = take(rows_);
+      break;
+  }
+  MRM_CHECK(unit == 0) << "address beyond device capacity";
+  return loc;
+}
+
+std::uint64_t AddressMap::Encode(const Location& location) const {
+  std::uint64_t unit = 0;
+  auto put = [&unit](std::uint64_t digit, std::uint64_t radix) {
+    unit = unit * radix + digit;
+  };
+  switch (policy_) {
+    case AddressMapPolicy::kRowBankRankColumnChannel:
+      put(location.row, rows_);
+      put(static_cast<std::uint64_t>(location.bank_group), bank_groups_);
+      put(static_cast<std::uint64_t>(location.bank), banks_per_group_);
+      put(static_cast<std::uint64_t>(location.rank), ranks_);
+      put(location.column, columns_);
+      put(static_cast<std::uint64_t>(location.channel), channels_);
+      break;
+    case AddressMapPolicy::kRowColumnBankRankChannel:
+      put(location.row, rows_);
+      put(location.column, columns_);
+      put(static_cast<std::uint64_t>(location.bank_group), bank_groups_);
+      put(static_cast<std::uint64_t>(location.bank), banks_per_group_);
+      put(static_cast<std::uint64_t>(location.rank), ranks_);
+      put(static_cast<std::uint64_t>(location.channel), channels_);
+      break;
+  }
+  return unit * access_bytes_;
+}
+
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,51 @@
+// Physical address decomposition.
+//
+// The default policy is RoBaRaCoCh ("row : bank : rank : column : channel"
+// from most to least significant), which stripes consecutive cache lines
+// across channels and then across columns of one row — the layout that makes
+// the sequential weight/KV streams of the paper's workload row-buffer
+// friendly across all channels.
+
+#ifndef MRMSIM_SRC_MEM_ADDRESS_MAP_H_
+#define MRMSIM_SRC_MEM_ADDRESS_MAP_H_
+
+#include <cstdint>
+
+#include "src/mem/device_config.h"
+#include "src/mem/request.h"
+
+namespace mrm {
+namespace mem {
+
+enum class AddressMapPolicy {
+  kRowBankRankColumnChannel,  // sequential-friendly (default)
+  kRowColumnBankRankChannel,  // bank-interleaved at fine grain
+};
+
+class AddressMap {
+ public:
+  AddressMap(const DeviceConfig& config, AddressMapPolicy policy);
+
+  // Decodes a byte address (must be < capacity) into its location.
+  Location Decode(std::uint64_t addr) const;
+
+  // Inverse of Decode (used by tests and trace tooling).
+  std::uint64_t Encode(const Location& location) const;
+
+  AddressMapPolicy policy() const { return policy_; }
+
+ private:
+  AddressMapPolicy policy_;
+  int channels_;
+  int ranks_;
+  int bank_groups_;
+  int banks_per_group_;
+  std::uint64_t rows_;
+  std::uint64_t columns_;
+  std::uint32_t access_bytes_;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_ADDRESS_MAP_H_

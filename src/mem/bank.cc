@@ -1,0 +1,70 @@
+#include "src/mem/bank.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+
+sim::Tick Bank::EarliestIssue(Command command) const {
+  switch (command) {
+    case Command::kActivate:
+      return state_ == State::kIdle ? next_activate_ : sim::kTickNever;
+    case Command::kPrecharge:
+      return state_ == State::kActive ? next_precharge_ : sim::kTickNever;
+    case Command::kRead:
+      return state_ == State::kActive ? next_read_ : sim::kTickNever;
+    case Command::kWrite:
+      return state_ == State::kActive ? next_write_ : sim::kTickNever;
+    case Command::kRefresh:
+      // Refresh legality is a rank-level decision; a bank only needs to be
+      // idle and past its precharge recovery.
+      return state_ == State::kIdle ? next_activate_ : sim::kTickNever;
+  }
+  return sim::kTickNever;
+}
+
+void Bank::Issue(Command command, std::uint64_t row, sim::Tick now) {
+  const TimingTicks& t = *timings_;
+  switch (command) {
+    case Command::kActivate:
+      MRM_CHECK(state_ == State::kIdle && now >= next_activate_);
+      state_ = State::kActive;
+      open_row_ = row;
+      next_read_ = now + t.trcd;
+      next_write_ = now + t.trcd;
+      next_precharge_ = now + t.tras;
+      next_activate_ = now + t.trc;  // same-bank ACT-to-ACT
+      break;
+    case Command::kPrecharge:
+      MRM_CHECK(state_ == State::kActive && now >= next_precharge_);
+      state_ = State::kIdle;
+      next_activate_ = std::max(next_activate_, now + t.trp);
+      break;
+    case Command::kRead:
+      MRM_CHECK(state_ == State::kActive && now >= next_read_);
+      next_read_ = now + t.tccd;
+      next_write_ = now + t.tccd;
+      next_precharge_ = std::max(next_precharge_, now + t.trtp);
+      break;
+    case Command::kWrite:
+      MRM_CHECK(state_ == State::kActive && now >= next_write_);
+      next_read_ = now + t.tccd;
+      next_write_ = now + t.tccd;
+      next_precharge_ = std::max(next_precharge_, now + t.tcwl + t.tburst + t.twr);
+      break;
+    case Command::kRefresh:
+      MRM_CHECK(state_ == State::kIdle);
+      next_activate_ = std::max(next_activate_, now + t.trfc);
+      break;
+  }
+}
+
+void Bank::BlockUntil(sim::Tick until) {
+  state_ = State::kIdle;
+  next_activate_ = std::max(next_activate_, until);
+}
+
+}  // namespace mem
+}  // namespace mrm

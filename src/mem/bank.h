@@ -1,0 +1,68 @@
+// Per-bank command state machine with JEDEC-style timing constraints.
+
+#ifndef MRMSIM_SRC_MEM_BANK_H_
+#define MRMSIM_SRC_MEM_BANK_H_
+
+#include <cstdint>
+
+#include "src/mem/request.h"
+#include "src/sim/event_queue.h"
+
+namespace mrm {
+namespace mem {
+
+// All timing parameters converted to controller ticks.
+struct TimingTicks {
+  sim::Tick tck = 1;
+  sim::Tick trcd = 14;
+  sim::Tick trp = 14;
+  sim::Tick tcas = 14;
+  sim::Tick tcwl = 12;
+  sim::Tick tras = 32;
+  sim::Tick trc = 46;
+  sim::Tick trrd = 4;
+  sim::Tick tccd = 2;
+  sim::Tick tburst = 2;
+  sim::Tick tfaw = 16;
+  sim::Tick twr = 15;
+  sim::Tick trtp = 8;
+  sim::Tick trfc = 350;
+  sim::Tick trefi = 3900;
+};
+
+class Bank {
+ public:
+  enum class State { kIdle, kActive };
+
+  explicit Bank(const TimingTicks* timings) : timings_(timings) {}
+
+  State state() const { return state_; }
+  std::uint64_t open_row() const { return open_row_; }
+
+  // Earliest tick at which `command` may be issued to this bank. For kRead /
+  // kWrite the row must already be open (callers check open_row()).
+  sim::Tick EarliestIssue(Command command) const;
+
+  bool CanIssue(Command command, sim::Tick now) const { return EarliestIssue(command) <= now; }
+
+  // Applies the command's timing side effects. Caller has verified legality.
+  void Issue(Command command, std::uint64_t row, sim::Tick now);
+
+  // Forces the bank idle and blocks activates until `until` (refresh).
+  void BlockUntil(sim::Tick until);
+
+ private:
+  const TimingTicks* timings_;
+  State state_ = State::kIdle;
+  std::uint64_t open_row_ = 0;
+
+  sim::Tick next_activate_ = 0;
+  sim::Tick next_precharge_ = 0;
+  sim::Tick next_read_ = 0;
+  sim::Tick next_write_ = 0;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_BANK_H_

@@ -1,0 +1,411 @@
+#include "src/mem/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+sim::Tick NsToTicks(double ns, const sim::Simulator& simulator) {
+  const double ticks = ns * 1e-9 * simulator.ticks_per_second();
+  const auto rounded = static_cast<sim::Tick>(std::ceil(ticks - 1e-9));
+  return std::max<sim::Tick>(rounded, 1);
+}
+
+TimingTicks ConvertTimings(const Timings& t, const sim::Simulator& simulator) {
+  TimingTicks ticks;
+  ticks.tck = NsToTicks(t.tck_ns, simulator);
+  ticks.trcd = NsToTicks(t.trcd_ns, simulator);
+  ticks.trp = NsToTicks(t.trp_ns, simulator);
+  ticks.tcas = NsToTicks(t.tcas_ns, simulator);
+  ticks.tcwl = NsToTicks(t.tcwl_ns, simulator);
+  ticks.tras = NsToTicks(t.tras_ns, simulator);
+  ticks.trc = NsToTicks(t.trc_ns, simulator);
+  ticks.trrd = NsToTicks(t.trrd_ns, simulator);
+  ticks.tccd = NsToTicks(t.tccd_ns, simulator);
+  ticks.tburst = NsToTicks(t.tburst_ns, simulator);
+  ticks.tfaw = NsToTicks(t.tfaw_ns, simulator);
+  ticks.twr = NsToTicks(t.twr_ns, simulator);
+  ticks.trtp = NsToTicks(t.trtp_ns, simulator);
+  ticks.trfc = NsToTicks(t.trfc_ns, simulator);
+  ticks.trefi = NsToTicks(t.trefi_ns, simulator);
+  return ticks;
+}
+
+// JEDEC convention: the refresh window is covered by 8192 REF commands.
+constexpr std::uint64_t kRefreshCommandsPerWindow = 8192;
+
+}  // namespace
+
+const char* CommandName(Command command) {
+  switch (command) {
+    case Command::kActivate:
+      return "ACT";
+    case Command::kPrecharge:
+      return "PRE";
+    case Command::kRead:
+      return "RD";
+    case Command::kWrite:
+      return "WR";
+    case Command::kRefresh:
+      return "REF";
+  }
+  return "?";
+}
+
+ChannelController::ChannelController(sim::Simulator* simulator, const DeviceConfig* config,
+                                     const AddressMap* map, int channel, SchedulerPolicy policy)
+    : simulator_(simulator),
+      config_(config),
+      map_(map),
+      channel_(channel),
+      policy_(policy),
+      ticks_(ConvertTimings(config->timings, *simulator)) {
+  const int banks = config_->ranks * config_->banks_per_rank();
+  banks_.reserve(static_cast<std::size_t>(banks));
+  for (int i = 0; i < banks; ++i) {
+    banks_.emplace_back(&ticks_);
+  }
+  ranks_.resize(static_cast<std::size_t>(config_->ranks));
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    // Stagger initial refresh due times across ranks to avoid lockstep.
+    ranks_[r].next_refresh_due = ticks_.trefi + r * (ticks_.trefi / std::max(1, config_->ranks));
+  }
+  rows_per_refresh_ = std::max<std::uint64_t>(
+      1, (config_->rows_per_bank + kRefreshCommandsPerWindow - 1) / kRefreshCommandsPerWindow);
+  refresh_enabled_ = config_->needs_refresh;
+}
+
+bool ChannelController::Enqueue(Request request) {
+  if (queue_.size() >= kQueueCapacity) {
+    return false;
+  }
+  MRM_CHECK(request.size <= config_->access_bytes) << "request exceeds access granularity";
+  request.enqueue_tick = simulator_->now();
+  Pending pending;
+  pending.location = map_->Decode(request.addr);
+  pending.request = std::move(request);
+  queue_.push_back(std::move(pending));
+  ScheduleWakeAt(simulator_->now());
+  return true;
+}
+
+void ChannelController::DisableRefresh() { refresh_enabled_ = false; }
+
+void ChannelController::ScheduleWakeAt(sim::Tick when) {
+  if (when < simulator_->now()) {
+    when = simulator_->now();
+  }
+  if (wake_scheduled_ && wake_at_ <= when) {
+    return;
+  }
+  if (wake_scheduled_) {
+    simulator_->Cancel(wake_event_);
+  }
+  wake_scheduled_ = true;
+  wake_at_ = when;
+  wake_event_ = simulator_->ScheduleAt(when, [this] { Wake(); });
+}
+
+void ChannelController::Wake() {
+  wake_scheduled_ = false;
+  const sim::Tick now = simulator_->now();
+  bool progress = TryRefresh(now);
+  if (!progress) {
+    progress = TryRequests(now);
+  }
+  if (progress) {
+    // Another command slot right after this one.
+    ScheduleWakeAt(now + ticks_.tck);
+    return;
+  }
+  const sim::Tick next = NextInterestingTick(now);
+  if (next != sim::kTickNever) {
+    ScheduleWakeAt(std::max(next, now + 1));
+  }
+}
+
+bool ChannelController::RankActAllowed(int rank, sim::Tick now) const {
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.refresh_pending) {
+    return false;
+  }
+  if (now < rs.next_act) {
+    return false;
+  }
+  if (rs.recent_acts.size() >= 4 && now < rs.recent_acts.front() + ticks_.tfaw) {
+    return false;
+  }
+  return true;
+}
+
+sim::Tick ChannelController::RankNextActTick(int rank) const {
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  sim::Tick t = rs.next_act;
+  if (rs.recent_acts.size() >= 4) {
+    t = std::max(t, rs.recent_acts.front() + ticks_.tfaw);
+  }
+  return t;
+}
+
+void ChannelController::RecordActivate(int rank, sim::Tick now) {
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  rs.next_act = now + ticks_.trrd;
+  rs.recent_acts.push_back(now);
+  while (rs.recent_acts.size() > 4) {
+    rs.recent_acts.pop_front();
+  }
+}
+
+bool ChannelController::TryRefresh(sim::Tick now) {
+  if (!refresh_enabled_) {
+    return false;
+  }
+  for (int rank = 0; rank < config_->ranks; ++rank) {
+    RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+    if (!rs.refresh_pending && now >= rs.next_refresh_due) {
+      rs.refresh_pending = true;
+    }
+    if (!rs.refresh_pending) {
+      continue;
+    }
+    const int first = rank * config_->banks_per_rank();
+    const int last = first + config_->banks_per_rank();
+    // Step 1: precharge any open bank (one command per wake).
+    for (int b = first; b < last; ++b) {
+      Bank& bank = banks_[static_cast<std::size_t>(b)];
+      if (bank.state() == Bank::State::kActive && bank.CanIssue(Command::kPrecharge, now)) {
+        bank.Issue(Command::kPrecharge, 0, now);
+        ++energy_.precharges;
+        return true;
+      }
+    }
+    // Step 2: all banks idle and past recovery -> issue the REF.
+    bool ready = true;
+    for (int b = first; b < last; ++b) {
+      if (!banks_[static_cast<std::size_t>(b)].CanIssue(Command::kRefresh, now)) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      continue;
+    }
+    for (int b = first; b < last; ++b) {
+      banks_[static_cast<std::size_t>(b)].Issue(Command::kRefresh, 0, now);
+    }
+    energy_.refresh_rows +=
+        rows_per_refresh_ * static_cast<std::uint64_t>(config_->banks_per_rank());
+    ++stats_.refreshes;
+    rs.refresh_pending = false;
+    // Skip any refreshes missed while the controller slept idle; their energy
+    // is accounted analytically in GetEnergyReport (steady-state rate).
+    rs.next_refresh_due = std::max(rs.next_refresh_due + ticks_.trefi, now + 1);
+    return true;
+  }
+  return false;
+}
+
+bool ChannelController::TryRequests(sim::Tick now) {
+  if (queue_.empty()) {
+    return false;
+  }
+  if (policy_ == SchedulerPolicy::kFcfs) {
+    return TryIssueFor(queue_.front(), now, /*row_hit_only=*/false);
+  }
+  // FR-FCFS pass 1: oldest row hit.
+  for (auto& pending : queue_) {
+    if (TryIssueFor(pending, now, /*row_hit_only=*/true)) {
+      return true;
+    }
+  }
+  // Pass 2: oldest request that can make any progress.
+  for (auto& pending : queue_) {
+    if (TryIssueFor(pending, now, /*row_hit_only=*/false)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChannelController::TryIssueFor(Pending& pending, sim::Tick now, bool row_hit_only) {
+  const Location& loc = pending.location;
+  const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];
+  if (rs.refresh_pending) {
+    return false;
+  }
+  Bank& bank = BankAt(loc);
+  const bool is_read = pending.request.kind == Request::Kind::kRead;
+
+  if (bank.state() == Bank::State::kActive && bank.open_row() == loc.row) {
+    const Command cmd = is_read ? Command::kRead : Command::kWrite;
+    const sim::Tick data_offset = is_read ? ticks_.tcas : ticks_.tcwl;
+    if (!bank.CanIssue(cmd, now) || bus_free_ > now + data_offset) {
+      return false;
+    }
+    if (pending.needed_activate) {
+      ++stats_.row_misses;
+    } else {
+      ++stats_.row_hits;
+    }
+    bank.Issue(cmd, loc.row, now);
+    const sim::Tick data_end = now + data_offset + ticks_.tburst;
+    bus_free_ = data_end;
+    const std::uint64_t bits = static_cast<std::uint64_t>(pending.request.size) * 8;
+    if (is_read) {
+      energy_.read_bits += bits;
+    } else {
+      energy_.write_bits += bits;
+    }
+    // Move the request out, free the queue slot, schedule completion.
+    Request request = std::move(pending.request);
+    request.complete_tick = data_end;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (&*it == &pending) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    simulator_->ScheduleAt(data_end, [this, request = std::move(request), is_read]() mutable {
+      const double latency_ns =
+          simulator_->TicksToSeconds(request.complete_tick - request.enqueue_tick) * 1e9;
+      if (is_read) {
+        ++stats_.reads_completed;
+        stats_.bytes_read += request.size;
+        stats_.read_latency_ns.Add(latency_ns);
+      } else {
+        ++stats_.writes_completed;
+        stats_.bytes_written += request.size;
+        stats_.write_latency_ns.Add(latency_ns);
+      }
+      if (request.on_complete) {
+        request.on_complete(request);
+      }
+    });
+    if (on_slot_free_) {
+      on_slot_free_();
+    }
+    return true;
+  }
+
+  if (row_hit_only) {
+    return false;
+  }
+
+  if (bank.state() == Bank::State::kActive) {
+    // Row conflict: close the row.
+    if (bank.CanIssue(Command::kPrecharge, now)) {
+      bank.Issue(Command::kPrecharge, 0, now);
+      ++energy_.precharges;
+      pending.needed_activate = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Bank idle: open the row.
+  if (bank.CanIssue(Command::kActivate, now) && RankActAllowed(loc.rank, now)) {
+    bank.Issue(Command::kActivate, loc.row, now);
+    RecordActivate(loc.rank, now);
+    ++energy_.activates;
+    pending.needed_activate = true;
+    return true;
+  }
+  return false;
+}
+
+sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
+  const Location& loc = pending.location;
+  const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];
+  if (rs.refresh_pending) {
+    // Refresh machinery generates its own wakes; this request waits.
+    return sim::kTickNever;
+  }
+  const Bank& bank = BankAt(loc);
+  const bool is_read = pending.request.kind == Request::Kind::kRead;
+  if (bank.state() == Bank::State::kActive && bank.open_row() == loc.row) {
+    const Command cmd = is_read ? Command::kRead : Command::kWrite;
+    const sim::Tick data_offset = is_read ? ticks_.tcas : ticks_.tcwl;
+    sim::Tick t = bank.EarliestIssue(cmd);
+    if (bus_free_ > data_offset) {
+      t = std::max(t, bus_free_ - data_offset);
+    }
+    return t;
+  }
+  if (bank.state() == Bank::State::kActive) {
+    return bank.EarliestIssue(Command::kPrecharge);
+  }
+  return std::max(bank.EarliestIssue(Command::kActivate), RankNextActTick(loc.rank));
+}
+
+sim::Tick ChannelController::NextInterestingTick(sim::Tick now) const {
+  sim::Tick next = sim::kTickNever;
+  if (refresh_enabled_) {
+    for (int rank = 0; rank < config_->ranks; ++rank) {
+      const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+      if (!rs.refresh_pending) {
+        // Arm a wake for the next refresh only while there is work queued:
+        // an idle controller sleeps, and refresh energy while idle is
+        // charged analytically (see GetEnergyReport).
+        if (!queue_.empty()) {
+          next = std::min(next, rs.next_refresh_due);
+        }
+        continue;
+      }
+      // Refresh in progress: the next step is either a PRE on an active bank
+      // or (all idle) the REF itself once every bank recovers.
+      const int first = rank * config_->banks_per_rank();
+      const int last = first + config_->banks_per_rank();
+      bool any_active = false;
+      sim::Tick pre_tick = sim::kTickNever;
+      sim::Tick ref_tick = 0;
+      for (int b = first; b < last; ++b) {
+        const Bank& bank = banks_[static_cast<std::size_t>(b)];
+        if (bank.state() == Bank::State::kActive) {
+          any_active = true;
+          pre_tick = std::min(pre_tick, bank.EarliestIssue(Command::kPrecharge));
+        } else {
+          ref_tick = std::max(ref_tick, bank.EarliestIssue(Command::kRefresh));
+        }
+      }
+      next = std::min(next, any_active ? pre_tick : ref_tick);
+    }
+  }
+  for (const auto& pending : queue_) {
+    next = std::min(next, EarliestActionFor(pending));
+  }
+  if (next != sim::kTickNever && next <= now) {
+    next = now + 1;
+  }
+  return next;
+}
+
+EnergyReport ChannelController::GetEnergyReport(sim::Tick now) const {
+  const EnergyParams& e = config_->energy;
+  EnergyReport report;
+  report.activate_pj = static_cast<double>(energy_.activates) * e.act_pre_pj;
+  report.read_pj = static_cast<double>(energy_.read_bits) * e.read_pj_per_bit;
+  report.write_pj = static_cast<double>(energy_.write_bits) * e.write_pj_per_bit;
+  report.io_pj = static_cast<double>(energy_.read_bits + energy_.write_bits) * e.io_pj_per_bit;
+  // Refresh energy is charged at the steady-state rate over elapsed time
+  // (the cell array must be refreshed whether or not the controller's event
+  // loop was awake), which matches JEDEC behaviour for an always-powered
+  // device.
+  if (refresh_enabled_ && config_->timings.trefi_ns > 0.0) {
+    const double elapsed_ns = simulator_->TicksToSeconds(now) * 1e9;
+    const double refreshes = elapsed_ns / config_->timings.trefi_ns;
+    report.refresh_pj = refreshes * static_cast<double>(rows_per_refresh_) *
+                        config_->banks_per_rank() * config_->ranks * e.refresh_pj_per_row;
+  }
+  const double seconds = simulator_->TicksToSeconds(now);
+  const double banks = static_cast<double>(config_->ranks * config_->banks_per_rank());
+  report.background_pj = (e.background_mw_per_bank * 1e-3) * banks * seconds * 1e12 +
+                         (refresh_enabled_ ? e.refresh_idle_mw * 1e-3 * seconds * 1e12 : 0.0);
+  return report;
+}
+
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,162 @@
+// Per-channel memory controller: request queue, FR-FCFS/FCFS command
+// scheduling, refresh engine, data-bus arbitration and energy accounting.
+//
+// The controller is event-driven: it wakes when a request arrives, when a
+// timing constraint expires, or when a refresh comes due; each wake issues at
+// most one command (one command-bus slot) and computes the next interesting
+// tick, so simulated time advances without per-cycle polling.
+
+#ifndef MRMSIM_SRC_MEM_CONTROLLER_H_
+#define MRMSIM_SRC_MEM_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/mem/address_map.h"
+#include "src/mem/bank.h"
+#include "src/mem/device_config.h"
+#include "src/mem/request.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+
+enum class SchedulerPolicy {
+  kFcfs,    // strictly oldest-first
+  kFrFcfs,  // row hits first, then oldest (default)
+};
+
+// Raw event counts the energy report is derived from.
+struct EnergyCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t read_bits = 0;
+  std::uint64_t write_bits = 0;
+  std::uint64_t refresh_rows = 0;
+};
+
+struct EnergyReport {
+  double activate_pj = 0.0;
+  double read_pj = 0.0;
+  double write_pj = 0.0;
+  double io_pj = 0.0;
+  double refresh_pj = 0.0;
+  double background_pj = 0.0;
+  double total_pj() const {
+    return activate_pj + read_pj + write_pj + io_pj + refresh_pj + background_pj;
+  }
+};
+
+struct ChannelStats {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t refreshes = 0;
+  Histogram read_latency_ns;
+  Histogram write_latency_ns;
+};
+
+class ChannelController {
+ public:
+  // `config` and `map` must outlive the controller. `channel` is this
+  // controller's index (addresses arriving here already target it).
+  ChannelController(sim::Simulator* simulator, const DeviceConfig* config, const AddressMap* map,
+                    int channel, SchedulerPolicy policy);
+
+  ChannelController(const ChannelController&) = delete;
+  ChannelController& operator=(const ChannelController&) = delete;
+
+  // Accepts a request unless the queue is full.
+  bool Enqueue(Request request);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return kQueueCapacity; }
+
+  // Invoked after each request completes AND a queue slot freed; the memory
+  // system uses it to drain its backlog.
+  void set_on_slot_free(std::function<void()> callback) { on_slot_free_ = std::move(callback); }
+
+  const ChannelStats& stats() const { return stats_; }
+  const EnergyCounters& energy_counters() const { return energy_; }
+
+  // Energy including background power integrated up to `now`.
+  EnergyReport GetEnergyReport(sim::Tick now) const;
+
+  // Disables the refresh engine (for no-refresh ablations).
+  void DisableRefresh();
+
+ private:
+  static constexpr std::size_t kQueueCapacity = 64;
+
+  struct Pending {
+    Request request;
+    Location location;
+    // True when the controller had to ACT (or PRE+ACT) to serve this
+    // request; drives row-hit/miss statistics.
+    bool needed_activate = false;
+  };
+
+  void Wake();
+  void ScheduleWakeAt(sim::Tick when);
+  bool TryRefresh(sim::Tick now);
+  bool TryRequests(sim::Tick now);
+  bool TryIssueFor(Pending& pending, sim::Tick now, bool row_hit_only);
+  void CompleteDataCommand(std::size_t queue_index, sim::Tick now);
+  sim::Tick NextInterestingTick(sim::Tick now) const;
+  sim::Tick EarliestActionFor(const Pending& pending) const;
+  bool RankActAllowed(int rank, sim::Tick now) const;
+  sim::Tick RankNextActTick(int rank) const;
+  void RecordActivate(int rank, sim::Tick now);
+
+  Bank& BankAt(const Location& location) {
+    return banks_[static_cast<std::size_t>(
+        location.FlatBank(config_->bank_groups, config_->banks_per_group))];
+  }
+  const Bank& BankAt(const Location& location) const {
+    return banks_[static_cast<std::size_t>(
+        location.FlatBank(config_->bank_groups, config_->banks_per_group))];
+  }
+
+  sim::Simulator* simulator_;
+  const DeviceConfig* config_;
+  const AddressMap* map_;
+  int channel_;
+  SchedulerPolicy policy_;
+  TimingTicks ticks_;
+
+  std::vector<Bank> banks_;
+  std::deque<Pending> queue_;
+
+  // Data bus: busy until this tick.
+  sim::Tick bus_free_ = 0;
+
+  // Per-rank activate bookkeeping (tRRD / tFAW) and refresh state.
+  struct RankState {
+    sim::Tick next_act = 0;               // tRRD gate
+    std::deque<sim::Tick> recent_acts;    // for tFAW (keep last 4)
+    sim::Tick next_refresh_due = 0;
+    bool refresh_pending = false;
+  };
+  std::vector<RankState> ranks_;
+  bool refresh_enabled_ = true;
+  std::uint64_t rows_per_refresh_ = 0;
+
+  // Wake management: at most one outstanding wake event.
+  bool wake_scheduled_ = false;
+  sim::Tick wake_at_ = 0;
+  sim::EventId wake_event_ = 0;
+
+  ChannelStats stats_;
+  EnergyCounters energy_;
+  std::function<void()> on_slot_free_;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_CONTROLLER_H_

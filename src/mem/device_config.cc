@@ -1,0 +1,223 @@
+#include "src/mem/device_config.h"
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace mem {
+
+Status DeviceConfig::Validate() const {
+  if (channels <= 0 || ranks <= 0 || bank_groups <= 0 || banks_per_group <= 0) {
+    return Error(name + ": geometry counts must be positive");
+  }
+  if (rows_per_bank == 0 || row_bytes == 0 || access_bytes == 0) {
+    return Error(name + ": sizes must be positive");
+  }
+  if (row_bytes % access_bytes != 0) {
+    return Error(name + ": row_bytes must be a multiple of access_bytes");
+  }
+  if ((access_bytes & (access_bytes - 1)) != 0) {
+    return Error(name + ": access_bytes must be a power of two");
+  }
+  if (timings.tck_ns <= 0.0 || timings.tburst_ns <= 0.0) {
+    return Error(name + ": clock/burst timings must be positive");
+  }
+  if (needs_refresh && (timings.trefi_ns <= 0.0 || timings.trfc_ns <= 0.0)) {
+    return Error(name + ": refresh timings must be positive when refresh is on");
+  }
+  return Status::Ok();
+}
+
+DeviceConfig HBM3Config() {
+  DeviceConfig config;
+  config.name = "HBM3";
+  config.tech = cell::Technology::kHbm;
+  config.channels = 16;
+  config.ranks = 1;
+  config.bank_groups = 4;
+  config.banks_per_group = 4;
+  config.rows_per_bank = 1 << 15;     // 32768 rows
+  config.row_bytes = 1024;
+  config.access_bytes = 64;           // 64B burst per channel
+  // 16 GiB stack: 16 ch * 16 banks * 32768 rows * 1 KiB = 8 GiB; double rows.
+  config.rows_per_bank = 1 << 16;     // -> 16 GiB
+  config.timings.tck_ns = 0.625;      // 1.6 GHz controller clock
+  config.timings.trcd_ns = 14.0;
+  config.timings.trp_ns = 14.0;
+  config.timings.tcas_ns = 14.0;
+  config.timings.tcwl_ns = 10.0;
+  config.timings.tras_ns = 28.0;
+  config.timings.trc_ns = 42.0;
+  config.timings.trrd_ns = 4.0;
+  config.timings.tccd_ns = 1.25;
+  config.timings.tburst_ns = 1.25;    // 64 B / 1.25 ns = 51.2 GB/s/channel
+  config.timings.tfaw_ns = 12.0;
+  config.timings.twr_ns = 14.0;
+  config.timings.trtp_ns = 6.0;
+  config.timings.trfc_ns = 260.0;
+  config.timings.trefi_ns = 3900.0;
+  config.energy.act_pre_pj = 230.0;
+  config.energy.read_pj_per_bit = 1.1;
+  config.energy.write_pj_per_bit = 1.1;
+  config.energy.io_pj_per_bit = 2.4;  // TSV + interposer PHY
+  config.energy.refresh_pj_per_row = 230.0;
+  config.energy.background_mw_per_bank = 1.2;
+  config.needs_refresh = true;
+  return config;
+}
+
+DeviceConfig HBM3EConfig() {
+  DeviceConfig config = HBM3Config();
+  config.name = "HBM3e";
+  config.rows_per_bank = 3ull << 15;  // +50% capacity -> 24 GiB
+  config.timings.tburst_ns = 0.833;   // 64 B / 0.833 ns = 76.8 GB/s/channel
+  config.timings.tccd_ns = 0.833;
+  config.timings.tck_ns = 0.5;
+  config.energy.io_pj_per_bit = 2.2;
+  return config;
+}
+
+DeviceConfig LPDDR5XConfig() {
+  DeviceConfig config;
+  config.name = "LPDDR5X";
+  config.tech = cell::Technology::kLpddr;
+  config.channels = 4;
+  config.ranks = 1;
+  config.bank_groups = 4;
+  config.banks_per_group = 4;
+  config.rows_per_bank = 1 << 16;
+  config.row_bytes = 2048;
+  config.access_bytes = 64;           // 16-bit channel, BL32
+  config.timings.tck_ns = 1.25;
+  config.timings.trcd_ns = 18.0;
+  config.timings.trp_ns = 18.0;
+  config.timings.tcas_ns = 17.0;
+  config.timings.tcwl_ns = 9.0;
+  config.timings.tras_ns = 42.0;
+  config.timings.trc_ns = 60.0;
+  config.timings.trrd_ns = 7.5;
+  config.timings.tccd_ns = 3.75;
+  config.timings.tburst_ns = 3.75;    // 64 B / 3.75 ns = 17 GB/s/channel
+  config.timings.tfaw_ns = 30.0;
+  config.timings.twr_ns = 18.0;
+  config.timings.trtp_ns = 7.5;
+  config.timings.trfc_ns = 280.0;
+  config.timings.trefi_ns = 3900.0;
+  config.energy.act_pre_pj = 160.0;
+  config.energy.read_pj_per_bit = 0.6;
+  config.energy.write_pj_per_bit = 0.6;
+  config.energy.io_pj_per_bit = 0.35;  // short, low-swing interface
+  config.energy.refresh_pj_per_row = 160.0;
+  config.energy.background_mw_per_bank = 0.25;
+  config.needs_refresh = true;
+  return config;
+}
+
+DeviceConfig DDR5Config() {
+  DeviceConfig config;
+  config.name = "DDR5";
+  config.tech = cell::Technology::kDram;
+  config.channels = 2;                // one DIMM = 2 independent 32-bit channels
+  config.ranks = 2;
+  config.bank_groups = 8;
+  config.banks_per_group = 4;
+  config.rows_per_bank = 1 << 16;
+  config.row_bytes = 1024;
+  config.access_bytes = 64;
+  config.timings.tck_ns = 0.416;      // DDR5-4800
+  config.timings.trcd_ns = 16.0;
+  config.timings.trp_ns = 16.0;
+  config.timings.tcas_ns = 16.0;
+  config.timings.tcwl_ns = 14.0;
+  config.timings.tras_ns = 32.0;
+  config.timings.trc_ns = 48.0;
+  config.timings.trrd_ns = 5.0;
+  config.timings.tccd_ns = 3.33;
+  config.timings.tburst_ns = 3.33;    // 64 B / 3.33 ns = 19.2 GB/s/channel
+  config.timings.tfaw_ns = 13.3;
+  config.timings.twr_ns = 30.0;
+  config.timings.trtp_ns = 7.5;
+  config.timings.trfc_ns = 295.0;
+  config.timings.trefi_ns = 3900.0;
+  config.energy.act_pre_pj = 190.0;
+  config.energy.read_pj_per_bit = 1.2;
+  config.energy.write_pj_per_bit = 1.2;
+  config.energy.io_pj_per_bit = 4.5;  // long PCB traces
+  config.energy.refresh_pj_per_row = 190.0;
+  config.energy.background_mw_per_bank = 0.8;
+  config.needs_refresh = true;
+  return config;
+}
+
+DeviceConfig HBM2EConfig() {
+  DeviceConfig config = HBM3Config();
+  config.name = "HBM2e";
+  config.channels = 8;                // 8 x 128-bit channels
+  config.rows_per_bank = 1 << 16;     // 16 GiB at 8 ch x 16 banks
+  config.rows_per_bank = 1 << 17;
+  config.timings.tck_ns = 0.875;
+  config.timings.tburst_ns = 2.22;    // 64 B / 2.22 ns = 28.8 GB/s/channel
+  config.timings.tccd_ns = 2.22;
+  config.energy.io_pj_per_bit = 2.8;
+  return config;
+}
+
+DeviceConfig GDDR6Config() {
+  DeviceConfig config;
+  config.name = "GDDR6";
+  config.tech = cell::Technology::kDram;
+  config.channels = 2;                // two 16-bit channels per device
+  config.ranks = 1;
+  config.bank_groups = 4;
+  config.banks_per_group = 4;
+  config.rows_per_bank = 1 << 14;
+  config.row_bytes = 2048;
+  config.access_bytes = 64;
+  config.timings.tck_ns = 0.5;
+  config.timings.trcd_ns = 14.0;
+  config.timings.trp_ns = 14.0;
+  config.timings.tcas_ns = 14.0;
+  config.timings.tcwl_ns = 10.0;
+  config.timings.tras_ns = 28.0;
+  config.timings.trc_ns = 42.0;
+  config.timings.trrd_ns = 5.0;
+  config.timings.tccd_ns = 2.0;
+  config.timings.tburst_ns = 2.0;     // 64 B / 2 ns = 32 GB/s/channel
+  config.timings.tfaw_ns = 20.0;
+  config.timings.twr_ns = 15.0;
+  config.timings.trtp_ns = 7.5;
+  config.timings.trfc_ns = 260.0;
+  config.timings.trefi_ns = 3900.0;
+  config.energy.act_pre_pj = 200.0;
+  config.energy.read_pj_per_bit = 1.3;
+  config.energy.write_pj_per_bit = 1.3;
+  config.energy.io_pj_per_bit = 6.0;  // high-swing GDDR PHY
+  config.energy.refresh_pj_per_row = 200.0;
+  config.energy.background_mw_per_bank = 0.9;
+  config.needs_refresh = true;
+  return config;
+}
+
+Result<DeviceConfig> DeviceConfigByName(const std::string& name) {
+  if (name == "hbm2e") {
+    return HBM2EConfig();
+  }
+  if (name == "gddr6") {
+    return GDDR6Config();
+  }
+  if (name == "hbm3") {
+    return HBM3Config();
+  }
+  if (name == "hbm3e") {
+    return HBM3EConfig();
+  }
+  if (name == "lpddr5x") {
+    return LPDDR5XConfig();
+  }
+  if (name == "ddr5") {
+    return DDR5Config();
+  }
+  return Error("unknown device preset: '" + name + "'");
+}
+
+}  // namespace mem
+}  // namespace mrm

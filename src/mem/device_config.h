@@ -1,0 +1,73 @@
+// Device geometry + timing + energy presets for the cycle-level simulator.
+//
+// Presets model one *device* (an HBM stack, an LPDDR package, a DDR5 DIMM);
+// a MemorySystem instantiates one controller per channel and interleaves
+// addresses across them.
+
+#ifndef MRMSIM_SRC_MEM_DEVICE_CONFIG_H_
+#define MRMSIM_SRC_MEM_DEVICE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cell/technology.h"
+#include "src/common/result.h"
+#include "src/mem/timing.h"
+
+namespace mrm {
+namespace mem {
+
+struct DeviceConfig {
+  std::string name;
+  cell::Technology tech = cell::Technology::kDram;
+
+  // Geometry.
+  int channels = 8;
+  int ranks = 1;
+  int bank_groups = 4;
+  int banks_per_group = 4;
+  std::uint64_t rows_per_bank = 1 << 16;
+  std::uint32_t row_bytes = 1024;    // row buffer (page) size
+  std::uint32_t access_bytes = 64;   // one column access (burst) transfers this
+
+  // Peak per-channel data rate implied by tburst: access_bytes / tburst.
+  Timings timings;
+  EnergyParams energy;
+
+  bool needs_refresh = true;
+
+  // Derived quantities.
+  int banks_per_rank() const { return bank_groups * banks_per_group; }
+  int total_banks() const { return channels * ranks * banks_per_rank(); }
+  std::uint64_t bytes_per_bank() const { return rows_per_bank * row_bytes; }
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(total_banks()) * bytes_per_bank();
+  }
+  std::uint64_t columns_per_row() const { return row_bytes / access_bytes; }
+  // Peak bandwidth in bytes/second (all channels).
+  double peak_bandwidth_bytes_per_s() const {
+    return static_cast<double>(channels) * access_bytes / (timings.tburst_ns * 1e-9);
+  }
+
+  // Sanity checks; returns an error describing the first violated invariant.
+  Status Validate() const;
+};
+
+// Built-in presets. Geometry/timing/energy values are representative of the
+// public specs for each class (see DESIGN.md §5); capacity is scaled to a
+// single device/stack.
+DeviceConfig HBM2EConfig();   // ~460 GB/s stack, 16 GiB (previous gen)
+DeviceConfig HBM3Config();    // ~819 GB/s stack, 16 GiB
+DeviceConfig HBM3EConfig();   // ~1.2 TB/s stack, 24 GiB
+DeviceConfig LPDDR5XConfig(); // ~68 GB/s package, 16 GiB
+DeviceConfig DDR5Config();    // ~38 GB/s DIMM-channel pair, 32 GiB
+DeviceConfig GDDR6Config();   // ~64 GB/s per device, 2 GiB (graphics class)
+
+// Looks a preset up by name ("hbm2e", "hbm3", "hbm3e", "lpddr5x", "ddr5",
+// "gddr6").
+Result<DeviceConfig> DeviceConfigByName(const std::string& name);
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_DEVICE_CONFIG_H_

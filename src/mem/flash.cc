@@ -1,0 +1,242 @@
+#include "src/mem/flash.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+}  // namespace
+
+FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
+  MRM_CHECK(config_.blocks >= 8) << "flash needs at least 8 blocks";
+  MRM_CHECK(config_.overprovision > 0.0 && config_.overprovision < 0.5);
+  blocks_.resize(config_.blocks);
+  for (auto& block : blocks_) {
+    block.page_lpn.assign(config_.pages_per_block, kUnmapped);
+    block.valid.assign(config_.pages_per_block, false);
+  }
+  l2p_.assign(config_.logical_pages(), kUnmapped);
+  // All blocks start free except the first, which becomes the active block.
+  for (std::uint32_t b = config_.blocks; b > 1; --b) {
+    free_blocks_.push_back(b - 1);
+  }
+  active_block_ = 0;
+}
+
+Status FlashDevice::WritePage(std::uint64_t logical_page) {
+  if (logical_page >= l2p_.size()) {
+    return Error("logical page out of range");
+  }
+  if (worn_out_) {
+    return Error("device worn out");
+  }
+  // Invalidate the previous copy.
+  const std::uint64_t old_ppn = l2p_[logical_page];
+  if (old_ppn != kUnmapped) {
+    Block& old_block = blocks_[old_ppn / config_.pages_per_block];
+    const std::uint32_t page = static_cast<std::uint32_t>(old_ppn % config_.pages_per_block);
+    if (old_block.valid[page]) {
+      old_block.valid[page] = false;
+      --old_block.valid_count;
+    }
+  }
+  ++stats_.host_page_writes;
+  const Status programmed = ProgramInto(logical_page);
+  if (!programmed.ok()) {
+    return programmed;
+  }
+  RunGcIfNeeded();
+  return Status::Ok();
+}
+
+Status FlashDevice::ProgramInto(std::uint64_t logical_page) {
+  Block* active = &blocks_[active_block_];
+  if (active->write_pointer >= config_.pages_per_block) {
+    if (free_blocks_.empty()) {
+      return Error("no free blocks (GC cannot keep up)");
+    }
+    OpenNewActiveBlock();
+    active = &blocks_[active_block_];
+  }
+  const std::uint32_t page = active->write_pointer++;
+  active->page_lpn[page] = logical_page;
+  active->valid[page] = true;
+  ++active->valid_count;
+  l2p_[logical_page] =
+      static_cast<std::uint64_t>(active_block_) * config_.pages_per_block + page;
+  ++stats_.nand_page_writes;
+  stats_.busy_time_s += config_.program_latency_us * 1e-6;
+  stats_.energy_pj += static_cast<double>(config_.page_bytes) * 8.0 * config_.program_pj_per_bit;
+  return Status::Ok();
+}
+
+Status FlashDevice::ReadPage(std::uint64_t logical_page) {
+  if (logical_page >= l2p_.size()) {
+    return Error("logical page out of range");
+  }
+  if (l2p_[logical_page] == kUnmapped) {
+    return Error("page never written");
+  }
+  ++stats_.host_page_reads;
+  stats_.busy_time_s += config_.read_latency_us * 1e-6;
+  stats_.energy_pj += static_cast<double>(config_.page_bytes) * 8.0 * config_.read_pj_per_bit;
+  return Status::Ok();
+}
+
+void FlashDevice::TrimPage(std::uint64_t logical_page) {
+  if (logical_page >= l2p_.size() || l2p_[logical_page] == kUnmapped) {
+    return;
+  }
+  const std::uint64_t ppn = l2p_[logical_page];
+  Block& block = blocks_[ppn / config_.pages_per_block];
+  const std::uint32_t page = static_cast<std::uint32_t>(ppn % config_.pages_per_block);
+  if (block.valid[page]) {
+    block.valid[page] = false;
+    --block.valid_count;
+  }
+  l2p_[logical_page] = kUnmapped;
+}
+
+void FlashDevice::OpenNewActiveBlock() {
+  MRM_CHECK(!free_blocks_.empty()) << "flash out of free blocks";
+  active_block_ = free_blocks_.back();
+  free_blocks_.pop_back();
+}
+
+std::uint32_t FlashDevice::PickGcVictim() const {
+  // Greedy: the sealed block with the fewest valid pages. Skips the active
+  // block and free blocks.
+  std::uint32_t victim = kNoBlock;
+  std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (b == active_block_) {
+      continue;
+    }
+    const Block& block = blocks_[b];
+    if (block.write_pointer < config_.pages_per_block) {
+      continue;  // not sealed (free or partially written non-active)
+    }
+    if (block.valid_count < best_valid) {
+      best_valid = block.valid_count;
+      victim = b;
+    }
+  }
+  return victim;
+}
+
+void FlashDevice::RunStaticWearLeveling() {
+  if (config_.wear_level_threshold == 0 || free_blocks_.empty()) {
+    return;
+  }
+  // Find the most-worn and least-worn sealed blocks.
+  std::uint32_t hot = kNoBlock;
+  std::uint32_t cold = kNoBlock;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (b == active_block_) {
+      continue;
+    }
+    const Block& block = blocks_[b];
+    if (hot == kNoBlock || block.erase_count > blocks_[hot].erase_count) {
+      hot = b;
+    }
+    // Cold candidate: sealed, holds valid data (that data pins the block).
+    if (block.write_pointer == config_.pages_per_block && block.valid_count > 0 &&
+        (cold == kNoBlock || block.erase_count < blocks_[cold].erase_count)) {
+      cold = b;
+    }
+  }
+  if (hot == kNoBlock || cold == kNoBlock || hot == cold) {
+    return;
+  }
+  if (blocks_[hot].erase_count - blocks_[cold].erase_count <
+      config_.wear_level_threshold) {
+    return;
+  }
+  // Relocate the cold block's valid pages so the low-wear block rejoins the
+  // free pool and can absorb future (hot) writes.
+  Block& victim = blocks_[cold];
+  for (std::uint32_t page = 0; page < config_.pages_per_block; ++page) {
+    if (!victim.valid[page]) {
+      continue;
+    }
+    const std::uint64_t lpn = victim.page_lpn[page];
+    victim.valid[page] = false;
+    --victim.valid_count;
+    ++stats_.gc_relocations;
+    if (!ProgramInto(lpn).ok()) {
+      worn_out_ = true;
+      return;
+    }
+  }
+  EraseBlock(cold);
+  free_blocks_.push_back(cold);
+  ++stats_.wear_level_swaps;
+}
+
+void FlashDevice::RunGcIfNeeded() {
+  RunStaticWearLeveling();
+  while (free_blocks_.size() < config_.gc_free_threshold && !worn_out_) {
+    const std::uint32_t victim_index = PickGcVictim();
+    if (victim_index == kNoBlock) {
+      return;
+    }
+    Block& victim = blocks_[victim_index];
+    // Relocate valid pages into the active block.
+    for (std::uint32_t page = 0; page < config_.pages_per_block; ++page) {
+      if (!victim.valid[page]) {
+        continue;
+      }
+      const std::uint64_t lpn = victim.page_lpn[page];
+      victim.valid[page] = false;
+      --victim.valid_count;
+      ++stats_.gc_relocations;
+      const Status moved = ProgramInto(lpn);
+      if (!moved.ok()) {
+        worn_out_ = true;
+        return;
+      }
+    }
+    EraseBlock(victim_index);
+    free_blocks_.push_back(victim_index);
+  }
+}
+
+void FlashDevice::EraseBlock(std::uint32_t block_index) {
+  Block& block = blocks_[block_index];
+  block.page_lpn.assign(config_.pages_per_block, kUnmapped);
+  block.valid.assign(config_.pages_per_block, false);
+  block.write_pointer = 0;
+  block.valid_count = 0;
+  ++block.erase_count;
+  ++stats_.erases;
+  stats_.busy_time_s += config_.erase_latency_ms * 1e-3;
+  stats_.energy_pj += config_.erase_nj_per_block * 1e3;  // nJ -> pJ
+  if (static_cast<double>(block.erase_count) > config_.pe_endurance) {
+    worn_out_ = true;
+  }
+}
+
+double FlashDevice::max_block_wear() const {
+  std::uint32_t max_wear = 0;
+  for (const auto& block : blocks_) {
+    max_wear = std::max(max_wear, block.erase_count);
+  }
+  return static_cast<double>(max_wear);
+}
+
+double FlashDevice::mean_block_wear() const {
+  double total = 0.0;
+  for (const auto& block : blocks_) {
+    total += block.erase_count;
+  }
+  return total / static_cast<double>(blocks_.size());
+}
+
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,123 @@
+// NAND flash device with a log-structured FTL (page mapping, greedy garbage
+// collection, optional static wear levelling).
+//
+// Purpose in this repro: quantify the housekeeping cost the paper attributes
+// to retention/lifetime mismatch (§3): flash pays erase cycles, GC write
+// amplification and wear-levelling traffic because its cells retain for 10+
+// years while the data (KV cache) lives for minutes — exactly the overhead
+// MRM's retention-matching removes. Used by bench_e6_housekeeping.
+
+#ifndef MRMSIM_SRC_MEM_FLASH_H_
+#define MRMSIM_SRC_MEM_FLASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace mrm {
+namespace mem {
+
+struct FlashConfig {
+  std::uint32_t page_bytes = 16 * 1024;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t blocks = 1024;           // physical blocks
+  double overprovision = 0.07;           // fraction of blocks hidden from host
+  std::uint32_t gc_free_threshold = 4;   // run GC below this many free blocks
+  double pe_endurance = 100000.0;        // SLC-class P/E cycles
+  // Static wear levelling: when the erase-count spread between the most and
+  // least worn blocks exceeds this, relocate the coldest block's valid data
+  // so its (cold) home can absorb hot writes. 0 disables.
+  std::uint32_t wear_level_threshold = 0;
+
+  // Latency (not simulated event-by-event; accumulated as busy time).
+  double read_latency_us = 25.0;
+  double program_latency_us = 200.0;
+  double erase_latency_ms = 2.0;
+
+  // Energy.
+  double read_pj_per_bit = 0.05;
+  double program_pj_per_bit = 0.25;
+  double erase_nj_per_block = 2000.0;
+
+  std::uint64_t physical_pages() const {
+    return static_cast<std::uint64_t>(blocks) * pages_per_block;
+  }
+  std::uint64_t logical_pages() const {
+    return static_cast<std::uint64_t>(static_cast<double>(physical_pages()) *
+                                      (1.0 - overprovision));
+  }
+  std::uint64_t logical_bytes() const { return logical_pages() * page_bytes; }
+};
+
+struct FlashStats {
+  std::uint64_t host_page_writes = 0;
+  std::uint64_t nand_page_writes = 0;  // host + GC relocations
+  std::uint64_t gc_relocations = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t host_page_reads = 0;
+  std::uint64_t wear_level_swaps = 0;
+  double busy_time_s = 0.0;
+  double energy_pj = 0.0;
+
+  double write_amplification() const {
+    return host_page_writes == 0
+               ? 1.0
+               : static_cast<double>(nand_page_writes) / static_cast<double>(host_page_writes);
+  }
+};
+
+class FlashDevice {
+ public:
+  explicit FlashDevice(const FlashConfig& config);
+
+  // Writes one logical page (log-structured; old copy invalidated).
+  Status WritePage(std::uint64_t logical_page);
+
+  // Reads one logical page; error when never written.
+  Status ReadPage(std::uint64_t logical_page);
+
+  // Marks a logical page as deleted (TRIM); frees GC pressure.
+  void TrimPage(std::uint64_t logical_page);
+
+  const FlashConfig& config() const { return config_; }
+  const FlashStats& stats() const { return stats_; }
+
+  // Wear spread: max and mean erase counts across blocks.
+  double max_block_wear() const;
+  double mean_block_wear() const;
+
+  // True when any block has exceeded its P/E endurance.
+  bool worn_out() const { return worn_out_; }
+
+ private:
+  static constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
+
+  struct Block {
+    std::vector<std::uint64_t> page_lpn;  // lpn of each physical page, kUnmapped if free/invalid
+    std::vector<bool> valid;
+    std::uint32_t write_pointer = 0;      // next free page index
+    std::uint32_t valid_count = 0;
+    std::uint32_t erase_count = 0;
+  };
+
+  Status ProgramInto(std::uint64_t logical_page);
+  void RunGcIfNeeded();
+  void RunStaticWearLeveling();
+  void EraseBlock(std::uint32_t block_index);
+  std::uint32_t PickGcVictim() const;
+  void OpenNewActiveBlock();
+
+  FlashConfig config_;
+  FlashStats stats_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint64_t> l2p_;        // logical page -> physical page id
+  std::vector<std::uint32_t> free_blocks_;
+  std::uint32_t active_block_ = 0;
+  bool worn_out_ = false;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_FLASH_H_

@@ -1,0 +1,145 @@
+#include "src/mem/memory_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+
+MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, SchedulerPolicy policy,
+                           AddressMapPolicy map_policy)
+    : simulator_(simulator), config_(std::move(config)), map_(config_, map_policy) {
+  const Status valid = config_.Validate();
+  MRM_CHECK(valid.ok()) << valid.message();
+  channels_.reserve(static_cast<std::size_t>(config_.channels));
+  for (int c = 0; c < config_.channels; ++c) {
+    channels_.push_back(
+        std::make_unique<ChannelController>(simulator_, &config_, &map_, c, policy));
+    channels_.back()->set_on_slot_free([this] { DrainBacklog(); });
+  }
+}
+
+void MemorySystem::Enqueue(Request request) {
+  request.id = next_request_id_++;
+  ++inflight_requests_;
+  auto user_callback = std::move(request.on_complete);
+  request.on_complete = [this, user_callback = std::move(user_callback)](const Request& done) {
+    --inflight_requests_;
+    if (user_callback) {
+      user_callback(done);
+    }
+  };
+  Route(std::move(request));
+}
+
+void MemorySystem::Route(Request request) {
+  MRM_CHECK(request.addr + request.size <= config_.capacity_bytes())
+      << "address out of range: " << request.addr;
+  const int channel = map_.Decode(request.addr).channel;
+  if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(request)) {
+    backlog_.push_back(std::move(request));
+  }
+}
+
+void MemorySystem::DrainBacklog() {
+  // Requests may target a still-full channel; retry each at most once per
+  // drain pass to avoid spinning.
+  std::size_t attempts = backlog_.size();
+  while (attempts-- > 0 && !backlog_.empty()) {
+    Request request = std::move(backlog_.front());
+    backlog_.pop_front();
+    const int channel = map_.Decode(request.addr).channel;
+    if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(request)) {
+      backlog_.push_back(std::move(request));
+    }
+  }
+}
+
+void MemorySystem::Transfer(Request::Kind kind, std::uint64_t addr, std::uint64_t bytes,
+                            std::uint32_t stream, std::function<void()> on_done,
+                            std::size_t window) {
+  MRM_CHECK(bytes > 0);
+  auto transfer = std::make_shared<TransferState>();
+  transfer->kind = kind;
+  transfer->next_addr = addr;
+  transfer->end_addr = addr + bytes;
+  transfer->stream = stream;
+  // Default window: enough outstanding accesses per channel to cover the
+  // ACT+CAS latency pipeline at full bus rate (HBM3e needs ~35 in flight per
+  // channel), bounded by the per-channel queue capacity.
+  transfer->window =
+      window != 0 ? window : static_cast<std::size_t>(48 * config_.channels);
+  transfer->on_done = std::move(on_done);
+  PumpTransfer(transfer);
+}
+
+void MemorySystem::PumpTransfer(const std::shared_ptr<TransferState>& transfer) {
+  while (transfer->next_addr < transfer->end_addr && transfer->in_flight < transfer->window) {
+    const std::uint64_t remaining = transfer->end_addr - transfer->next_addr;
+    // Respect access-granularity alignment: the first/last access may be
+    // shorter than access_bytes.
+    const std::uint64_t line = config_.access_bytes;
+    const std::uint64_t offset_in_line = transfer->next_addr % line;
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(line - offset_in_line, remaining));
+
+    Request request;
+    request.kind = transfer->kind;
+    request.addr = transfer->next_addr;
+    request.size = size;
+    request.stream = transfer->stream;
+    request.on_complete = [this, transfer](const Request&) {
+      --transfer->in_flight;
+      PumpTransfer(transfer);
+    };
+    transfer->next_addr += size;
+    ++transfer->in_flight;
+    Enqueue(std::move(request));
+  }
+  if (transfer->next_addr >= transfer->end_addr && transfer->in_flight == 0) {
+    if (transfer->on_done) {
+      // Fire exactly once.
+      auto done = std::move(transfer->on_done);
+      transfer->on_done = nullptr;
+      done();
+    }
+  }
+}
+
+bool MemorySystem::Idle() const { return inflight_requests_ == 0 && backlog_.empty(); }
+
+SystemStats MemorySystem::GetStats() const {
+  SystemStats total;
+  const sim::Tick now = simulator_->now();
+  for (const auto& channel : channels_) {
+    const ChannelStats& cs = channel->stats();
+    total.reads_completed += cs.reads_completed;
+    total.writes_completed += cs.writes_completed;
+    total.bytes_read += cs.bytes_read;
+    total.bytes_written += cs.bytes_written;
+    total.row_hits += cs.row_hits;
+    total.row_misses += cs.row_misses;
+    total.refreshes += cs.refreshes;
+    total.read_latency_ns.Merge(cs.read_latency_ns);
+    total.write_latency_ns.Merge(cs.write_latency_ns);
+    const EnergyReport energy = channel->GetEnergyReport(now);
+    total.energy.activate_pj += energy.activate_pj;
+    total.energy.read_pj += energy.read_pj;
+    total.energy.write_pj += energy.write_pj;
+    total.energy.io_pj += energy.io_pj;
+    total.energy.refresh_pj += energy.refresh_pj;
+    total.energy.background_pj += energy.background_pj;
+  }
+  return total;
+}
+
+void MemorySystem::DisableRefresh() {
+  for (auto& channel : channels_) {
+    channel->DisableRefresh();
+  }
+}
+
+}  // namespace mem
+}  // namespace mrm

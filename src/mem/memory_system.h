@@ -1,0 +1,103 @@
+// MemorySystem: the full device — one controller per channel, an address
+// interleaver, a backlog for queue-full conditions, and a bulk-transfer
+// engine that decomposes multi-KB/MB transfers into column accesses with a
+// bounded issue window (closed-loop, so measured bandwidth reflects real
+// queue/bank contention).
+
+#ifndef MRMSIM_SRC_MEM_MEMORY_SYSTEM_H_
+#define MRMSIM_SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mem/address_map.h"
+#include "src/mem/controller.h"
+#include "src/mem/device_config.h"
+#include "src/mem/request.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+
+struct SystemStats {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t refreshes = 0;
+  Histogram read_latency_ns;
+  Histogram write_latency_ns;
+  EnergyReport energy;
+
+  double row_hit_rate() const {
+    const double total = static_cast<double>(row_hits + row_misses);
+    return total == 0.0 ? 0.0 : static_cast<double>(row_hits) / total;
+  }
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(sim::Simulator* simulator, DeviceConfig config,
+               SchedulerPolicy policy = SchedulerPolicy::kFrFcfs,
+               AddressMapPolicy map_policy = AddressMapPolicy::kRowBankRankColumnChannel);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+
+  // Single column access. Never fails: overflow goes to an internal backlog
+  // drained as queue slots free up. `on_complete` fires at data completion.
+  void Enqueue(Request request);
+
+  // Bulk sequential transfer of [addr, addr + bytes). Decomposed into
+  // access_bytes requests, at most `window` in flight. `on_done` fires when
+  // the last byte completes.
+  void Transfer(Request::Kind kind, std::uint64_t addr, std::uint64_t bytes, std::uint32_t stream,
+                std::function<void()> on_done, std::size_t window = 0 /* 0 = default */);
+
+  // True when no requests are queued, backlogged or in flight.
+  bool Idle() const;
+
+  // Aggregated statistics across channels (energy includes background power
+  // up to the simulator's current time).
+  SystemStats GetStats() const;
+
+  // Turns off refresh in every channel (ablations / MRM-style devices).
+  void DisableRefresh();
+
+  std::uint64_t capacity_bytes() const { return config_.capacity_bytes(); }
+
+ private:
+  struct TransferState {
+    Request::Kind kind;
+    std::uint64_t next_addr = 0;
+    std::uint64_t end_addr = 0;
+    std::uint32_t stream = 0;
+    std::size_t in_flight = 0;
+    std::size_t window = 0;
+    std::function<void()> on_done;
+  };
+
+  void PumpTransfer(const std::shared_ptr<TransferState>& transfer);
+  void DrainBacklog();
+  void Route(Request request);
+
+  sim::Simulator* simulator_;
+  DeviceConfig config_;
+  AddressMap map_;
+  std::vector<std::unique_ptr<ChannelController>> channels_;
+  std::deque<Request> backlog_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t inflight_requests_ = 0;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_MEMORY_SYSTEM_H_

@@ -1,0 +1,57 @@
+// Memory requests and command definitions.
+
+#ifndef MRMSIM_SRC_MEM_REQUEST_H_
+#define MRMSIM_SRC_MEM_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+
+namespace mrm {
+namespace mem {
+
+enum class Command { kActivate, kPrecharge, kRead, kWrite, kRefresh };
+
+const char* CommandName(Command command);
+
+// One column-granularity access. Bulk transfers are decomposed by the issuer
+// (or modeled analytically via StreamModel for multi-GB streams).
+struct Request {
+  enum class Kind { kRead, kWrite };
+
+  std::uint64_t id = 0;
+  Kind kind = Kind::kRead;
+  std::uint64_t addr = 0;   // byte address within the device
+  std::uint32_t size = 64;  // bytes; must be <= device access_bytes
+
+  // Identifies the logical stream (weights, kv-cache, activations) for
+  // per-stream statistics. 0 = unattributed.
+  std::uint32_t stream = 0;
+
+  sim::Tick enqueue_tick = 0;
+  sim::Tick complete_tick = 0;
+
+  // Invoked exactly once when the data transfer completes.
+  std::function<void(const Request&)> on_complete;
+};
+
+// Decoded physical location of an address.
+struct Location {
+  int channel = 0;
+  int rank = 0;
+  int bank_group = 0;
+  int bank = 0;           // within the bank group
+  std::uint64_t row = 0;
+  std::uint64_t column = 0;
+
+  // Flat bank index within a channel: rank-major, then group, then bank.
+  int FlatBank(int bank_groups, int banks_per_group) const {
+    return (rank * bank_groups + bank_group) * banks_per_group + bank;
+  }
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_REQUEST_H_

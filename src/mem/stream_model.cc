@@ -1,0 +1,56 @@
+#include "src/mem/stream_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mem {
+
+StreamModel::StreamModel(const DeviceConfig& config) : config_(config) {
+  const Status valid = config_.Validate();
+  MRM_CHECK(valid.ok()) << valid.message();
+}
+
+double StreamModel::RefreshBlackoutFraction() const {
+  if (!config_.needs_refresh || config_.timings.trefi_ns <= 0.0) {
+    return 0.0;
+  }
+  return config_.timings.trfc_ns / config_.timings.trefi_ns;
+}
+
+double StreamModel::RowTurnaroundFraction() const {
+  const Timings& t = config_.timings;
+  // Time the data bus needs to stream one row.
+  const double row_time_ns =
+      static_cast<double>(config_.columns_per_row()) * t.tburst_ns;
+  // The activate pipeline must sustain one ACT per row_time; it is gated by
+  // tRRD, tFAW/4 and (per bank) tRC spread over all banks of a rank.
+  const double act_period_ns =
+      std::max({t.trrd_ns, t.tfaw_ns / 4.0,
+                t.trc_ns / static_cast<double>(config_.banks_per_rank())});
+  const double effective_period_ns = std::max(row_time_ns, act_period_ns);
+  return 1.0 - row_time_ns / effective_period_ns;
+}
+
+double StreamModel::EffectiveBandwidth() const {
+  return config_.peak_bandwidth_bytes_per_s() * (1.0 - RowTurnaroundFraction()) *
+         (1.0 - RefreshBlackoutFraction());
+}
+
+StreamEstimate StreamModel::EstimateSequential(std::uint64_t bytes, bool is_read) const {
+  StreamEstimate estimate;
+  estimate.bandwidth_bytes_per_s = EffectiveBandwidth();
+  estimate.seconds = static_cast<double>(bytes) / estimate.bandwidth_bytes_per_s;
+
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double rows = static_cast<double>(bytes) / config_.row_bytes;
+  const EnergyParams& e = config_.energy;
+  estimate.energy_pj = rows * e.act_pre_pj +
+                       bits * (is_read ? e.read_pj_per_bit : e.write_pj_per_bit) +
+                       bits * e.io_pj_per_bit;
+  return estimate;
+}
+
+}  // namespace mem
+}  // namespace mrm

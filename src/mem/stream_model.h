@@ -1,0 +1,53 @@
+// Analytic bulk-transfer model.
+//
+// The cycle-level simulator is exact but costs ~2 events per 64 B access —
+// impractical for the paper's multi-hundred-GB weight reads. For large
+// sequential streams the controller behaviour is regular enough to compute
+// in closed form: row-buffer-friendly striped reads achieve close to peak
+// bus bandwidth, degraded by the row-activation duty cycle and refresh
+// blackouts. The tier/workload layers use this model for bulk traffic and
+// reserve the cycle-level path for fine-grained contention studies. Tests
+// validate the model against the simulator (tests/mem/stream_model_test.cc).
+
+#ifndef MRMSIM_SRC_MEM_STREAM_MODEL_H_
+#define MRMSIM_SRC_MEM_STREAM_MODEL_H_
+
+#include <cstdint>
+
+#include "src/mem/device_config.h"
+
+namespace mrm {
+namespace mem {
+
+struct StreamEstimate {
+  double seconds = 0.0;         // transfer completion time
+  double bandwidth_bytes_per_s = 0.0;
+  double energy_pj = 0.0;       // row activation + column access + IO energy
+};
+
+class StreamModel {
+ public:
+  explicit StreamModel(const DeviceConfig& config);
+
+  // Sequential read/write of `bytes` striped across all channels.
+  StreamEstimate EstimateSequential(std::uint64_t bytes, bool is_read) const;
+
+  // Effective sequential bandwidth (bytes/s) after row-miss and refresh
+  // overheads; the headline number for E12.
+  double EffectiveBandwidth() const;
+
+  // Fraction of time a channel is unavailable due to refresh (tRFC/tREFI).
+  double RefreshBlackoutFraction() const;
+
+  // Fraction of peak bus bandwidth lost to row turnarounds on a perfectly
+  // sequential stream.
+  double RowTurnaroundFraction() const;
+
+ private:
+  const DeviceConfig config_;
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_STREAM_MODEL_H_

@@ -1,0 +1,46 @@
+// DRAM-class timing and energy parameters.
+//
+// All timing parameters are in nanoseconds; the controller converts them to
+// simulator ticks at construction. Parameter names follow JEDEC/Ramulator
+// conventions.
+
+#ifndef MRMSIM_SRC_MEM_TIMING_H_
+#define MRMSIM_SRC_MEM_TIMING_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace mem {
+
+struct Timings {
+  double tck_ns = 1.0;     // controller clock period
+  double trcd_ns = 14.0;   // ACT -> RD/WR
+  double trp_ns = 14.0;    // PRE -> ACT
+  double tcas_ns = 14.0;   // RD -> first data (CL)
+  double tcwl_ns = 12.0;   // WR -> first data
+  double tras_ns = 32.0;   // ACT -> PRE
+  double trc_ns = 46.0;    // ACT -> ACT, same bank
+  double trrd_ns = 4.0;    // ACT -> ACT, different bank
+  double tccd_ns = 2.0;    // back-to-back column commands, same bank group
+  double tburst_ns = 2.0;  // data bus occupancy of one access
+  double tfaw_ns = 16.0;   // four-activate window
+  double twr_ns = 15.0;    // write recovery (last data -> PRE)
+  double trtp_ns = 7.5;    // read -> PRE
+  double trfc_ns = 350.0;  // refresh command duration (all-bank)
+  double trefi_ns = 3900.0;  // refresh interval
+};
+
+struct EnergyParams {
+  double act_pre_pj = 200.0;        // one ACT+PRE pair (row open+close)
+  double read_pj_per_bit = 1.2;     // column read, array + on-die datapath
+  double write_pj_per_bit = 1.2;
+  double io_pj_per_bit = 0.6;       // interface/PHY per transferred bit
+  double refresh_pj_per_row = 200.0;
+  double background_mw_per_bank = 0.5;  // leakage/peripheral, always on
+  double refresh_idle_mw = 0.0;     // extra standby power for refresh logic
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_TIMING_H_

@@ -1,0 +1,204 @@
+#include "src/mrm/control_plane.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mrmcore {
+
+ControlPlane::ControlPlane(sim::Simulator* simulator, MrmDevice* device,
+                           ControlPlaneOptions options)
+    : simulator_(simulator), device_(device), options_(std::move(options)) {
+  if (options_.ecc.payload_bits == 0) {
+    // Default: one codeword per block at the cell model's design RBER.
+    const double rber = device_->tradeoff().AtRetention(device_->config().default_retention_s)
+                            .rber_at_retention;
+    options_.ecc = DesignEcc(static_cast<std::uint64_t>(device_->config().block_bytes) * 8, rber,
+                             options_.target_uber *
+                                 static_cast<double>(device_->config().block_bytes) * 8);
+  }
+  zone_live_.assign(device_->config().zones, 0);
+  scrub_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, simulator_->SecondsToTicks(options_.scrub_period_s), [this] { ScrubNow(); });
+}
+
+double ControlPlane::RetentionForLifetime(double lifetime_s) const {
+  if (options_.retention_policy) {
+    return options_.retention_policy(lifetime_s);
+  }
+  const double floor = 2.0 * options_.scrub_period_s;
+  return std::max(lifetime_s, floor) * options_.retention_margin;
+}
+
+double ControlPlane::ScrubDeadlineFor(double written_at_s, double retention_s) const {
+  const double safe_age =
+      MaxSafeAge(device_->tradeoff(), retention_s, options_.ecc, options_.target_uber);
+  return written_at_s + safe_age;
+}
+
+Result<std::uint32_t> ControlPlane::AllocateZone() {
+  // Least-worn empty zone first: software wear levelling.
+  const auto& config = device_->config();
+  std::uint32_t best = config.zones;
+  std::uint64_t best_wear = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t z = 0; z < config.zones; ++z) {
+    const ZoneInfo& info = device_->zone_info(z);
+    if (info.state != ZoneState::kEmpty) {
+      continue;
+    }
+    if (info.wear_cycles < best_wear) {
+      best_wear = info.wear_cycles;
+      best = z;
+    }
+  }
+  if (best == config.zones) {
+    ++stats_.allocation_failures;
+    return Error("no empty zones");
+  }
+  const Status opened = device_->OpenZone(best);
+  if (!opened.ok()) {
+    return opened.error();
+  }
+  return best;
+}
+
+Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!has_open_zone_ || device_->zone_info(open_zone_).state != ZoneState::kOpen) {
+      auto zone = AllocateZone();
+      if (!zone.ok()) {
+        return zone.error();
+      }
+      open_zone_ = zone.value();
+      has_open_zone_ = true;
+    }
+    auto block = device_->AppendBlock(open_zone_, retention_s, nullptr);
+    if (block.ok()) {
+      return block;
+    }
+    // Zone filled up or wore out between checks; grab a fresh one.
+    has_open_zone_ = false;
+  }
+  return Error("append failed after zone reallocation");
+}
+
+Result<LogicalId> ControlPlane::Append(double lifetime_s) {
+  const double retention = RetentionForLifetime(lifetime_s);
+  auto block = AppendPhysical(retention);
+  if (!block.ok()) {
+    return block.error();
+  }
+  const BlockId phys = block.value();
+  const BlockMeta& meta = device_->block_meta(phys);
+
+  Tracked tracked;
+  tracked.phys = phys;
+  tracked.zone = static_cast<std::uint32_t>(phys / device_->config().zone_blocks);
+  tracked.expiry_s = simulator_->now_seconds() + lifetime_s;
+  tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+
+  const LogicalId id = next_id_++;
+  ++zone_live_[tracked.zone];
+  deadlines_.push(HeapEntry{tracked.deadline_s, id, phys});
+  map_.emplace(id, tracked);
+  ++stats_.appends;
+  return id;
+}
+
+Status ControlPlane::Read(LogicalId id, std::function<void(bool)> on_done) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Error("unknown or dropped logical block");
+  }
+  return device_->ReadBlock(it->second.phys, std::move(on_done));
+}
+
+bool ControlPlane::Alive(LogicalId id) const { return map_.count(id) != 0; }
+
+void ControlPlane::Free(LogicalId id) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    return;
+  }
+  OnZoneBlockDead(it->second.zone);
+  map_.erase(it);
+}
+
+void ControlPlane::OnZoneBlockDead(std::uint32_t zone) {
+  MRM_CHECK(zone_live_[zone] > 0);
+  if (--zone_live_[zone] == 0) {
+    const ZoneInfo& info = device_->zone_info(zone);
+    // Only reclaim sealed/full or open zones that the writer moved past.
+    if (info.state == ZoneState::kFull ||
+        (info.state == ZoneState::kOpen && !(has_open_zone_ && open_zone_ == zone))) {
+      if (device_->ResetZone(zone).ok()) {
+        ++stats_.zones_reclaimed;
+      }
+    }
+  }
+}
+
+void ControlPlane::ScrubNow() {
+  const double now = simulator_->now_seconds();
+  const double horizon = now + options_.scrub_period_s;  // act before it's late
+  // Snapshot the due entries first: a migrated block whose ECC-safe age is
+  // shorter than the scrub period would otherwise re-enter the heap with a
+  // deadline still inside the horizon and spin this pass forever. Such data
+  // is simply rewritten once per pass.
+  std::vector<HeapEntry> due;
+  while (!deadlines_.empty() && deadlines_.top().deadline_s <= horizon) {
+    due.push_back(deadlines_.top());
+    deadlines_.pop();
+  }
+  for (const HeapEntry& entry : due) {
+    const auto it = map_.find(entry.id);
+    if (it == map_.end() || it->second.phys != entry.phys) {
+      continue;  // stale: freed or already migrated
+    }
+    Tracked& tracked = it->second;
+
+    if (tracked.expiry_s <= now || !options_.refresh_expiring) {
+      // Data no longer needed (or policy says don't refresh): drop it.
+      const LogicalId id = entry.id;
+      OnZoneBlockDead(tracked.zone);
+      map_.erase(it);
+      ++stats_.drops;
+      if (loss_handler_) {
+        loss_handler_(id);
+      }
+      continue;
+    }
+
+    // Still needed: migrate to a fresh block with retention covering the
+    // remaining lifetime.
+    const double remaining = tracked.expiry_s - now;
+    const double retention = RetentionForLifetime(remaining);
+    auto block = AppendPhysical(retention);
+    if (!block.ok()) {
+      // Could not refresh (no space / endurance): treat as loss.
+      const LogicalId id = entry.id;
+      OnZoneBlockDead(tracked.zone);
+      map_.erase(it);
+      ++stats_.drops;
+      if (loss_handler_) {
+        loss_handler_(id);
+      }
+      continue;
+    }
+    const std::uint32_t old_zone = tracked.zone;
+    tracked.phys = block.value();
+    tracked.zone = static_cast<std::uint32_t>(tracked.phys / device_->config().zone_blocks);
+    const BlockMeta& meta = device_->block_meta(tracked.phys);
+    tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+    ++zone_live_[tracked.zone];
+    deadlines_.push(HeapEntry{tracked.deadline_s, entry.id, tracked.phys});
+    OnZoneBlockDead(old_zone);
+    ++stats_.scrub_rewrites;
+    stats_.scrub_bytes += device_->config().block_bytes;
+  }
+}
+
+}  // namespace mrmcore
+}  // namespace mrm

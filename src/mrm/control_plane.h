@@ -1,0 +1,145 @@
+// The MRM software control plane (paper §4).
+//
+// The device is deliberately dumb: no refresh, no wear levelling, no GC.
+// This class is the host-side "foundation model OS" component that owns
+// those decisions:
+//
+//  * Zone allocation — least-worn-first, which wear-levels across zones in
+//    software.
+//  * Retention tracking — every logical block carries an expiry (when its
+//    data stops being useful) and a scrub deadline (when ECC can no longer
+//    guarantee it, from the cell RBER curve and the configured code).
+//  * Scrubbing — a periodic task migrates still-needed blocks whose scrub
+//    deadline approaches into a fresh zone (re-programming renews
+//    retention), and drops blocks whose data expired — for soft state the
+//    owner recomputes instead (the refresh-or-recompute decision of §4).
+//  * Reclamation — zones whose blocks are all dead are reset (free) with no
+//    erase cost.
+//
+// Data is addressed by LogicalId; the control plane keeps the logical ->
+// physical map exactly as a zoned-flash host FTL would, but driven by
+// retention rather than by overwrite invalidation.
+
+#ifndef MRMSIM_SRC_MRM_CONTROL_PLANE_H_
+#define MRMSIM_SRC_MRM_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mrm/dcm.h"
+#include "src/mrm/ecc.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/periodic_task.h"
+
+namespace mrm {
+namespace mrmcore {
+
+using LogicalId = std::uint64_t;
+
+struct ControlPlaneOptions {
+  // Period of the scrub scan.
+  double scrub_period_s = 60.0;
+  // Programmed retention = max(lifetime hint, scrub window) * margin.
+  double retention_margin = 1.25;
+  // Overrides the default DCM mapping from lifetime hint to programmed
+  // retention when set (ablations: fixed / two-class policies from dcm.h).
+  RetentionPolicy retention_policy;
+  // ECC code protecting each block and the reliability target; together with
+  // the cell model they set the scrub deadline for every written block.
+  EccScheme ecc;
+  double target_uber = 1e-15;
+  // When false, expiring-but-still-needed data is dropped (owner recomputes)
+  // instead of rewritten.
+  bool refresh_expiring = true;
+};
+
+struct ControlPlaneStats {
+  std::uint64_t appends = 0;
+  std::uint64_t scrub_rewrites = 0;
+  std::uint64_t scrub_bytes = 0;
+  std::uint64_t drops = 0;             // expired, owner must recompute
+  std::uint64_t zones_reclaimed = 0;
+  std::uint64_t allocation_failures = 0;
+};
+
+class ControlPlane {
+ public:
+  // Both pointers must outlive the control plane.
+  ControlPlane(sim::Simulator* simulator, MrmDevice* device, ControlPlaneOptions options);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  // Writes one block of data expected to be useful for `lifetime_s`.
+  // Returns the logical id. Physical placement, retention programming and
+  // any later scrub migration are invisible to the caller.
+  Result<LogicalId> Append(double lifetime_s);
+
+  // Reads a logical block; on_done(ok) — ok==false when the data was lost
+  // (expired before read and not refreshed).
+  Status Read(LogicalId id, std::function<void(bool)> on_done);
+
+  // Marks a logical block dead (its data is no longer needed).
+  void Free(LogicalId id);
+
+  // True when the logical block still maps to live data.
+  bool Alive(LogicalId id) const;
+
+  // Invoked when the control plane drops a block (expired soft state); the
+  // owner decides whether to recompute.
+  void SetLossHandler(std::function<void(LogicalId)> handler) {
+    loss_handler_ = std::move(handler);
+  }
+
+  // The retention the DCM policy would program for a lifetime hint.
+  double RetentionForLifetime(double lifetime_s) const;
+
+  const ControlPlaneStats& stats() const { return stats_; }
+  std::uint64_t live_blocks() const { return map_.size(); }
+
+  // Runs one scrub pass immediately (tests / shutdown flushes).
+  void ScrubNow();
+
+ private:
+  struct Tracked {
+    BlockId phys = 0;
+    std::uint32_t zone = 0;
+    double expiry_s = 0.0;    // when the data stops being useful
+    double deadline_s = 0.0;  // ECC-safe age bound (absolute sim time)
+  };
+
+  struct HeapEntry {
+    double deadline_s;
+    LogicalId id;
+    BlockId phys;  // stale-entry detection
+    bool operator>(const HeapEntry& other) const { return deadline_s > other.deadline_s; }
+  };
+
+  Result<std::uint32_t> AllocateZone();
+  Result<BlockId> AppendPhysical(double retention_s);
+  void OnZoneBlockDead(std::uint32_t zone);
+  double ScrubDeadlineFor(double written_at_s, double retention_s) const;
+
+  sim::Simulator* simulator_;
+  MrmDevice* device_;
+  ControlPlaneOptions options_;
+
+  std::unordered_map<LogicalId, Tracked> map_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> deadlines_;
+  std::vector<std::uint32_t> zone_live_;  // live logical blocks per zone
+  std::uint32_t open_zone_ = 0;
+  bool has_open_zone_ = false;
+  LogicalId next_id_ = 1;
+  ControlPlaneStats stats_;
+  std::function<void(LogicalId)> loss_handler_;
+  std::unique_ptr<sim::PeriodicTask> scrub_task_;
+};
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_CONTROL_PLANE_H_

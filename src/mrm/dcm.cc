@@ -1,0 +1,26 @@
+#include "src/mrm/dcm.h"
+
+#include <algorithm>
+
+namespace mrm {
+namespace mrmcore {
+
+RetentionPolicy MakeDcmPolicy(double margin, double floor_s) {
+  return [margin, floor_s](double lifetime_s) {
+    return std::max(lifetime_s, floor_s) * margin;
+  };
+}
+
+RetentionPolicy MakeFixedPolicy(double retention_s) {
+  return [retention_s](double /*lifetime_s*/) { return retention_s; };
+}
+
+RetentionPolicy MakeTwoClassPolicy(double short_retention_s, double long_retention_s,
+                                   double short_threshold_s) {
+  return [=](double lifetime_s) {
+    return lifetime_s <= short_threshold_s ? short_retention_s : long_retention_s;
+  };
+}
+
+}  // namespace mrmcore
+}  // namespace mrm

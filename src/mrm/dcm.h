@@ -1,0 +1,36 @@
+// Dynamically Configurable Memory (DCM) retention policies (paper §4).
+//
+// A retention policy maps a data-lifetime hint to the retention the write
+// should be programmed with. DCM right-provisions per write; the fixed
+// policies model conventional devices (one retention for everything) and are
+// the baselines in the E7 ablation.
+
+#ifndef MRMSIM_SRC_MRM_DCM_H_
+#define MRMSIM_SRC_MRM_DCM_H_
+
+#include <functional>
+
+namespace mrm {
+namespace mrmcore {
+
+// Returns the retention (seconds) to program for a write whose data is
+// expected to live `lifetime_s`.
+using RetentionPolicy = std::function<double(double lifetime_s)>;
+
+// DCM: retention = max(lifetime, floor) * margin. The floor keeps very
+// short-lived data scrubbable (at least two scrub periods).
+RetentionPolicy MakeDcmPolicy(double margin, double floor_s);
+
+// Fixed: every write programmed at `retention_s` regardless of lifetime —
+// how an SCM-era device behaves (typically retention_s = 10 years).
+RetentionPolicy MakeFixedPolicy(double retention_s);
+
+// Class-based: one retention per data class, chosen offline. Middle ground
+// between fixed and DCM; `short_threshold_s` splits the two classes.
+RetentionPolicy MakeTwoClassPolicy(double short_retention_s, double long_retention_s,
+                                   double short_threshold_s);
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_DCM_H_

@@ -1,0 +1,148 @@
+#include "src/mrm/ecc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+// log of the binomial pmf at k, computed with lgamma for stability.
+double LogBinomialPmf(std::uint64_t n, std::uint64_t k, double p) {
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0) +
+         kd * std::log(p) + (nd - kd) * std::log1p(-p);
+}
+
+}  // namespace
+
+double BinomialTail(std::uint64_t n, std::uint64_t t, double p) {
+  if (p <= 0.0) {
+    return 0.0;
+  }
+  if (p >= 1.0) {
+    return t < n ? 1.0 : 0.0;
+  }
+  if (t >= n) {
+    return 0.0;
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  // When t is far below the mean the tail is ~1.
+  if (static_cast<double>(t) < mean - 12.0 * sd) {
+    return 1.0;
+  }
+  // Sum pmf from t+1 upward; terms decay geometrically past the mode, so a
+  // bounded sweep suffices. Work in linear space with a log-domain anchor.
+  const std::uint64_t k_start = t + 1;
+  const std::uint64_t k_end =
+      std::min(n, k_start + static_cast<std::uint64_t>(20.0 * sd + 64.0));
+  double total = 0.0;
+  double log_term = LogBinomialPmf(n, k_start, p);
+  double term = std::exp(log_term);
+  const double odds = p / (1.0 - p);
+  for (std::uint64_t k = k_start; k <= k_end; ++k) {
+    total += term;
+    // pmf(k+1) = pmf(k) * (n-k)/(k+1) * odds
+    term *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
+    if (term < total * 1e-17 && k > k_start + 4) {
+      break;
+    }
+  }
+  return std::min(total, 1.0);
+}
+
+std::uint64_t BchParityBits(std::uint64_t n_payload_bits, std::uint64_t t) {
+  if (t == 0) {
+    return 0;
+  }
+  // m = ceil(log2(n + 1)) field size over the full codeword; iterate once to
+  // account for parity growing the codeword.
+  std::uint64_t m = 1;
+  while ((1ull << m) < n_payload_bits + 1) {
+    ++m;
+  }
+  std::uint64_t parity = t * m;
+  while ((1ull << m) < n_payload_bits + parity + 1) {
+    ++m;
+    parity = t * m;
+  }
+  return parity;
+}
+
+EccScheme DesignEcc(std::uint64_t payload_bits, double rber, double target_failure) {
+  MRM_CHECK(payload_bits > 0);
+  EccScheme scheme;
+  scheme.payload_bits = payload_bits;
+
+  // Binary search the smallest t with tail(n, t) <= target. The tail is
+  // monotone decreasing in t.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = payload_bits;
+  if (BinomialTail(payload_bits, 0, rber) <= target_failure) {
+    hi = 0;
+  } else {
+    // Exponential probe for an upper bound first to keep the search tight.
+    std::uint64_t probe = 1;
+    while (probe < payload_bits &&
+           BinomialTail(payload_bits, probe, rber) > target_failure) {
+      lo = probe;
+      probe *= 2;
+    }
+    hi = std::min<std::uint64_t>(probe, payload_bits);
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (BinomialTail(payload_bits, mid, rber) <= target_failure) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  scheme.t = hi;
+  scheme.parity_bits = BchParityBits(payload_bits, scheme.t);
+  scheme.overhead = static_cast<double>(scheme.parity_bits) / static_cast<double>(payload_bits);
+  scheme.codeword_failure_prob = BinomialTail(payload_bits, scheme.t, rber);
+  return scheme;
+}
+
+double UberOf(const EccScheme& scheme, double rber) {
+  const double failure = BinomialTail(scheme.payload_bits, scheme.t, rber);
+  // JEDEC-style UBER: uncorrectable events per payload bit read.
+  return failure / static_cast<double>(scheme.payload_bits);
+}
+
+double MaxSafeAge(const cell::RetentionTradeoff& tradeoff, double retention_s,
+                  const EccScheme& scheme, double target_uber) {
+  // Failure prob target per codeword from the UBER target.
+  const double target_failure = target_uber * static_cast<double>(scheme.payload_bits);
+  auto failure_at = [&](double age) {
+    const double rber = tradeoff.RberAtAge(retention_s, age);
+    return BinomialTail(scheme.payload_bits, scheme.t, rber);
+  };
+  if (failure_at(0.0) > target_failure) {
+    return 0.0;
+  }
+  // Exponential + binary search over age.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (failure_at(hi) <= target_failure && hi < retention_s * 1e3) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (failure_at(mid) <= target_failure) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace mrmcore
+}  // namespace mrm

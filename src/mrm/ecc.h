@@ -1,0 +1,58 @@
+// Retention-aware error correction for MRM (paper §4).
+//
+// MRM's block interface permits codewords far larger than the 64-256 b words
+// of on-die DRAM ECC. Per Dolinar-Divsalar'98, coding efficiency improves
+// with block size: the parity overhead needed to reach a target uncorrectable
+// bit-error rate (UBER) shrinks as the codeword grows. We model a BCH-like
+// code: t-error-correcting over n bits costs ~ t * ceil(log2(n+1)) parity
+// bits; codeword failure is the binomial tail P[#raw errors > t].
+//
+// The scrub planner inverts the cell model's RBER(age) curve: given a code
+// and a reliability target it computes how old data may get before it must
+// be scrubbed (rewritten) or dropped — the knob that couples ECC strength to
+// refresh traffic.
+
+#ifndef MRMSIM_SRC_MRM_ECC_H_
+#define MRMSIM_SRC_MRM_ECC_H_
+
+#include <cstdint>
+
+#include "src/cell/tradeoff.h"
+
+namespace mrm {
+namespace mrmcore {
+
+// P[X > t] for X ~ Binomial(n, p). Stable in the regimes ECC design needs
+// (n up to ~1e7 bits, p in [1e-12, 0.5]).
+double BinomialTail(std::uint64_t n, std::uint64_t t, double p);
+
+// Parity bits of a t-error-correcting BCH-like code over an n-bit payload.
+std::uint64_t BchParityBits(std::uint64_t n_payload_bits, std::uint64_t t);
+
+struct EccScheme {
+  std::uint64_t payload_bits = 0;
+  std::uint64_t t = 0;             // correctable bit errors per codeword
+  std::uint64_t parity_bits = 0;
+  double overhead = 0.0;           // parity / payload
+  double codeword_failure_prob = 0.0;  // at the design RBER
+};
+
+// Smallest-t code over `payload_bits` that keeps the codeword failure
+// probability below `target_failure` at raw bit error rate `rber`.
+// Returns t == payload_bits (degenerate) when unsatisfiable.
+EccScheme DesignEcc(std::uint64_t payload_bits, double rber, double target_failure);
+
+// Uncorrectable-bit-error rate of a scheme at raw error rate `rber`
+// (codeword failures amortized over payload bits).
+double UberOf(const EccScheme& scheme, double rber);
+
+// Maximum data age (seconds) at which `scheme` still meets `target_uber`,
+// for data written at `retention_s` on `tradeoff`'s technology. This is the
+// scrub deadline; returns 0 when the target cannot be met even at age 0.
+double MaxSafeAge(const cell::RetentionTradeoff& tradeoff, double retention_s,
+                  const EccScheme& scheme, double target_uber);
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_ECC_H_

@@ -1,0 +1,69 @@
+// MRM device configuration.
+//
+// An MRM device exposes a zoned, block-granularity interface (paper §4
+// "lightweight memory controllers"): zones are append-only block sequences,
+// blocks are the read/write unit, and there is no device-side refresh, wear
+// levelling or garbage collection — those live in the software control plane.
+
+#ifndef MRMSIM_SRC_MRM_MRM_CONFIG_H_
+#define MRMSIM_SRC_MRM_MRM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cell/technology.h"
+#include "src/common/result.h"
+
+namespace mrm {
+namespace mrmcore {
+
+struct MrmDeviceConfig {
+  std::string name = "mrm";
+  cell::Technology technology = cell::Technology::kSttMram;
+
+  // Geometry: capacity = zones * zone_blocks * block_bytes.
+  int channels = 8;
+  std::uint32_t zones = 1024;
+  std::uint32_t zone_blocks = 4096;      // blocks per zone
+  std::uint32_t block_bytes = 64 * 1024; // access granularity
+
+  // Per-channel read path: array pipe start latency + streaming bandwidth.
+  double read_latency_ns = 500.0;             // first-block latency
+  double channel_read_bw_bytes_per_s = 100e9; // per channel
+
+  // Write path at the cell model's reference (max-retention) point; the
+  // effective write bandwidth scales inversely with the programmed pulse
+  // duration: bw(retention) = ref_bw * ref_pulse / pulse(retention).
+  double channel_write_bw_ref_bytes_per_s = 10e9;
+
+  // Interface energy (close-coupled stack, between LPDDR and HBM PHY cost).
+  double io_pj_per_bit = 0.8;
+  // Static (non-refresh) background power of the whole device.
+  double background_mw = 50.0;
+
+  // Default programmed retention when the writer does not specify one.
+  double default_retention_s = 6.0 * 3600.0;
+
+  // Lightweight-controller scheduling (paper §4): when true, queued reads
+  // preempt queued writes on a channel, so slow retention-programmed writes
+  // do not add to read latency. Ops in service are never interrupted.
+  bool read_priority = true;
+
+  std::uint64_t zone_bytes() const {
+    return static_cast<std::uint64_t>(zone_blocks) * block_bytes;
+  }
+  std::uint64_t capacity_bytes() const { return static_cast<std::uint64_t>(zones) * zone_bytes(); }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(zones) * zone_blocks;
+  }
+  double peak_read_bw_bytes_per_s() const {
+    return static_cast<double>(channels) * channel_read_bw_bytes_per_s;
+  }
+
+  Status Validate() const;
+};
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_MRM_CONFIG_H_

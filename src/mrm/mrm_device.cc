@@ -1,0 +1,270 @@
+#include "src/mrm/mrm_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace mrmcore {
+
+Status MrmDeviceConfig::Validate() const {
+  if (channels <= 0 || zones == 0 || zone_blocks == 0 || block_bytes == 0) {
+    return Error(name + ": geometry must be positive");
+  }
+  if (channel_read_bw_bytes_per_s <= 0.0 || channel_write_bw_ref_bytes_per_s <= 0.0) {
+    return Error(name + ": bandwidths must be positive");
+  }
+  if (default_retention_s <= 0.0) {
+    return Error(name + ": default retention must be positive");
+  }
+  return Status::Ok();
+}
+
+MrmDevice::MrmDevice(sim::Simulator* simulator, const MrmDeviceConfig& config,
+                     std::unique_ptr<cell::RetentionTradeoff> tradeoff)
+    : simulator_(simulator), config_(config), tradeoff_(std::move(tradeoff)) {
+  const Status valid = config_.Validate();
+  MRM_CHECK(valid.ok()) << valid.message();
+  if (!tradeoff_) {
+    auto made = cell::MakeTradeoffFor(config_.technology);
+    MRM_CHECK(made.ok()) << made.error().message();
+    tradeoff_ = std::move(made).value();
+  }
+  zones_.resize(config_.zones);
+  blocks_.resize(config_.total_blocks());
+  channels_.resize(static_cast<std::size_t>(config_.channels));
+}
+
+Status MrmDevice::OpenZone(std::uint32_t zone) {
+  if (zone >= zones_.size()) {
+    return Error("zone out of range");
+  }
+  ZoneInfo& info = zones_[zone];
+  if (info.state == ZoneState::kRetired) {
+    return Error("zone is retired");
+  }
+  if (info.state != ZoneState::kEmpty) {
+    return Error("zone is not empty");
+  }
+  info.state = ZoneState::kOpen;
+  info.write_pointer = 0;
+  return Status::Ok();
+}
+
+Status MrmDevice::ResetZone(std::uint32_t zone) {
+  if (zone >= zones_.size()) {
+    return Error("zone out of range");
+  }
+  ZoneInfo& info = zones_[zone];
+  if (info.state == ZoneState::kRetired) {
+    return Error("zone is retired");
+  }
+  const BlockId base = static_cast<BlockId>(zone) * config_.zone_blocks;
+  for (std::uint32_t i = 0; i < info.write_pointer; ++i) {
+    blocks_[base + i].written = false;
+  }
+  info.state = ZoneState::kEmpty;
+  info.write_pointer = 0;
+  return Status::Ok();
+}
+
+void MrmDevice::RetireZone(std::uint32_t zone) {
+  MRM_CHECK(zone < zones_.size());
+  zones_[zone].state = ZoneState::kRetired;
+}
+
+void MrmDevice::EnqueueOnChannel(int channel, ChannelOp op) {
+  channels_[static_cast<std::size_t>(channel)].queue.push_back(std::move(op));
+  PumpChannel(channel);
+}
+
+void MrmDevice::PumpChannel(int channel) {
+  ChannelState& state = channels_[static_cast<std::size_t>(channel)];
+  if (state.busy || state.queue.empty()) {
+    return;
+  }
+  // Lightweight-controller scheduling: reads jump queued (not in-service)
+  // writes so slow programming pulses don't inflate read latency.
+  auto next = state.queue.begin();
+  if (config_.read_priority && !next->is_read) {
+    for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
+      if (it->is_read) {
+        next = it;
+        ++stats_.read_preemptions;
+        break;
+      }
+    }
+  }
+  ChannelOp op = std::move(*next);
+  state.queue.erase(next);
+  state.busy = true;
+  simulator_->ScheduleAfter(op.service_ticks,
+                            [this, channel, done = std::move(op.on_service_done)] {
+                              channels_[static_cast<std::size_t>(channel)].busy = false;
+                              if (done) {
+                                done();
+                              }
+                              PumpChannel(channel);
+                            });
+}
+
+Result<BlockId> MrmDevice::AppendBlock(std::uint32_t zone, double retention_s,
+                                       std::function<void(BlockId)> on_done) {
+  if (zone >= zones_.size()) {
+    return Error("zone out of range");
+  }
+  ZoneInfo& info = zones_[zone];
+  if (info.state != ZoneState::kOpen) {
+    return Error("zone not open");
+  }
+  if (retention_s <= 0.0) {
+    retention_s = config_.default_retention_s;
+  }
+  const cell::OperatingPoint point = tradeoff_->AtRetention(retention_s);
+
+  const BlockId block_id = static_cast<BlockId>(zone) * config_.zone_blocks + info.write_pointer;
+  BlockMeta& meta = blocks_[block_id];
+
+  // Endurance gate: the cells of this block fail once their cumulative wear
+  // exceeds the endurance of the weakest operating point they were written
+  // at. We track wear per block and compare against the current point.
+  if (static_cast<double>(meta.wear) + 1.0 > point.endurance_cycles) {
+    ++stats_.endurance_failures;
+    return Error("block endurance exhausted at this retention point");
+  }
+
+  ++info.write_pointer;
+  ++info.wear_cycles;
+  if (info.write_pointer == config_.zone_blocks) {
+    info.state = ZoneState::kFull;
+  }
+  meta.written = true;
+  meta.written_at_s = simulator_->now_seconds();
+  meta.retention_s = point.retention_s;
+  ++meta.wear;
+
+  // Service time: the programming pulse throttles streaming writes. The
+  // reference bandwidth is defined at the max-retention pulse; shorter
+  // pulses scale bandwidth up proportionally.
+  const cell::OperatingPoint ref = tradeoff_->AtRetention(tradeoff_->max_retention_s());
+  const double pulse_scale = point.write_latency_ns / ref.write_latency_ns;
+  const double write_bw = config_.channel_write_bw_ref_bytes_per_s / pulse_scale;
+  const double service_s = static_cast<double>(config_.block_bytes) / write_bw;
+
+  const double bits = static_cast<double>(config_.block_bytes) * 8.0;
+  stats_.write_energy_pj += bits * point.write_energy_pj_per_bit;
+  stats_.io_energy_pj += bits * config_.io_pj_per_bit;
+  ++stats_.blocks_written;
+  stats_.bytes_written += config_.block_bytes;
+
+  ++inflight_;
+  const sim::Tick enqueued = simulator_->now();
+  ChannelOp op;
+  op.is_read = false;
+  op.service_ticks = simulator_->SecondsToTicks(service_s);
+  op.on_service_done = [this, block_id, enqueued, on_done = std::move(on_done)] {
+    stats_.write_latency_us.Add(simulator_->TicksToSeconds(simulator_->now() - enqueued) * 1e6);
+    --inflight_;
+    if (on_done) {
+      on_done(block_id);
+    }
+  };
+  EnqueueOnChannel(ChannelOf(block_id), std::move(op));
+  return block_id;
+}
+
+bool MrmDevice::BlockAlive(BlockId block) const {
+  const BlockMeta& meta = blocks_[block];
+  if (!meta.written) {
+    return false;
+  }
+  return BlockAge(block) <= meta.retention_s;
+}
+
+double MrmDevice::BlockAge(BlockId block) const {
+  return simulator_->now_seconds() - blocks_[block].written_at_s;
+}
+
+Status MrmDevice::ReadBlock(BlockId block, std::function<void(bool)> on_done) {
+  if (block >= blocks_.size()) {
+    return Error("block out of range");
+  }
+  const BlockMeta& meta = blocks_[block];
+  if (!meta.written) {
+    return Error("block not written");
+  }
+  const bool alive = BlockAlive(block);
+  if (!alive) {
+    ++stats_.expired_reads;
+  }
+
+  const cell::OperatingPoint point = tradeoff_->AtRetention(meta.retention_s);
+  const double transfer_s =
+      static_cast<double>(config_.block_bytes) / config_.channel_read_bw_bytes_per_s;
+  const double service_s = config_.read_latency_ns * 1e-9 + transfer_s;
+
+  const double bits = static_cast<double>(config_.block_bytes) * 8.0;
+  stats_.read_energy_pj += bits * point.read_energy_pj_per_bit;
+  stats_.io_energy_pj += bits * config_.io_pj_per_bit;
+  ++stats_.blocks_read;
+  stats_.bytes_read += config_.block_bytes;
+
+  ++inflight_;
+  const sim::Tick enqueued = simulator_->now();
+  ChannelOp op;
+  op.is_read = true;
+  op.service_ticks = simulator_->SecondsToTicks(service_s);
+  op.on_service_done = [this, alive, enqueued, on_done = std::move(on_done)] {
+    stats_.read_latency_us.Add(simulator_->TicksToSeconds(simulator_->now() - enqueued) * 1e6);
+    --inflight_;
+    if (on_done) {
+      on_done(alive);
+    }
+  };
+  EnqueueOnChannel(ChannelOf(block), std::move(op));
+  return Status::Ok();
+}
+
+Status MrmDevice::ReadBlocks(BlockId first, std::uint32_t count,
+                             std::function<void(std::uint32_t)> on_done) {
+  if (count == 0) {
+    return Error("empty read");
+  }
+  if (first + count > blocks_.size()) {
+    return Error("block range out of range");
+  }
+  // Validate up front so no completion is left dangling on partial failure.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!blocks_[first + i].written) {
+      return Error("block not written");
+    }
+  }
+  auto ok_count = std::make_shared<std::uint32_t>(0);
+  auto remaining = std::make_shared<std::uint32_t>(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Status status =
+        ReadBlock(first + i, [ok_count, remaining, on_done](bool ok) {
+          if (ok) {
+            ++*ok_count;
+          }
+          if (--*remaining == 0 && on_done) {
+            on_done(*ok_count);
+          }
+        });
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+double MrmDevice::TotalEnergyPj() const {
+  const double background_pj =
+      config_.background_mw * 1e-3 * simulator_->now_seconds() * 1e12;
+  return stats_.write_energy_pj + stats_.read_energy_pj + stats_.io_energy_pj + background_pj;
+}
+
+}  // namespace mrmcore
+}  // namespace mrm

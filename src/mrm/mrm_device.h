@@ -1,0 +1,145 @@
+// The MRM device model: zoned block memory with per-write programmable
+// retention (the paper's Dynamically Configurable Memory at the hardware
+// level), wear tracking and no device-side housekeeping.
+//
+// Timing is event-driven at block granularity: each channel is a pipelined
+// queue whose service time is transfer-dominated for reads and programming-
+// pulse-dominated for writes. Energy combines the cell model's per-bit cost
+// at the programmed retention with the interface cost.
+
+#ifndef MRMSIM_SRC_MRM_MRM_DEVICE_H_
+#define MRMSIM_SRC_MRM_MRM_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/mrm/mrm_config.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mrmcore {
+
+// Global block id: zone * zone_blocks + index-within-zone.
+using BlockId = std::uint64_t;
+
+struct BlockMeta {
+  bool written = false;
+  double written_at_s = 0.0;      // simulation time of the write
+  double retention_s = 0.0;       // programmed retention target
+  std::uint32_t wear = 0;         // write cycles on this block's cells
+};
+
+enum class ZoneState { kEmpty, kOpen, kFull, kRetired };
+
+struct ZoneInfo {
+  ZoneState state = ZoneState::kEmpty;
+  std::uint32_t write_pointer = 0;  // next block index within the zone
+  std::uint64_t wear_cycles = 0;    // cumulative appends since manufacture
+};
+
+struct MrmDeviceStats {
+  std::uint64_t blocks_written = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t expired_reads = 0;   // reads past the ECC-safe age
+  std::uint64_t endurance_failures = 0;
+  std::uint64_t read_preemptions = 0;  // reads served ahead of queued writes
+  double write_energy_pj = 0.0;
+  double read_energy_pj = 0.0;
+  double io_energy_pj = 0.0;
+  Histogram read_latency_us;
+  Histogram write_latency_us;
+};
+
+class MrmDevice {
+ public:
+  // `tradeoff` supplies the retention/energy/endurance physics; defaults to
+  // the technology named in `config`.
+  MrmDevice(sim::Simulator* simulator, const MrmDeviceConfig& config,
+            std::unique_ptr<cell::RetentionTradeoff> tradeoff = nullptr);
+
+  MrmDevice(const MrmDevice&) = delete;
+  MrmDevice& operator=(const MrmDevice&) = delete;
+
+  const MrmDeviceConfig& config() const { return config_; }
+  const cell::RetentionTradeoff& tradeoff() const { return *tradeoff_; }
+
+  // --- Zone management (control-plane operations, instantaneous) ---------
+  // Opens an empty zone for appending.
+  Status OpenZone(std::uint32_t zone);
+  // Resets a zone to empty. Unlike flash there is no erase: cost-free.
+  Status ResetZone(std::uint32_t zone);
+  // Marks a zone unusable (endurance exhausted / failed).
+  void RetireZone(std::uint32_t zone);
+
+  const ZoneInfo& zone_info(std::uint32_t zone) const { return zones_[zone]; }
+  const BlockMeta& block_meta(BlockId block) const { return blocks_[block]; }
+
+  // --- Data path (asynchronous, completion via callback) ------------------
+  // Appends one block to `zone` with the given retention target. Fails fast
+  // (synchronously) when the zone is not open/full or its cells' endurance
+  // at this operating point is exhausted. On success `on_done` fires when
+  // the programming pulse completes, carrying the new block id.
+  Result<BlockId> AppendBlock(std::uint32_t zone, double retention_s,
+                              std::function<void(BlockId)> on_done);
+
+  // Reads one block; `on_done(ok)` fires at data delivery. ok == false means
+  // the data aged past its programmed retention (uncorrectable): the caller
+  // must recompute or refetch — MRM's managed-retention contract.
+  Status ReadBlock(BlockId block, std::function<void(bool)> on_done);
+
+  // Sequential read of `count` blocks starting at `first` (must be written).
+  // `on_done(ok_count)` fires when the last block is delivered.
+  Status ReadBlocks(BlockId first, std::uint32_t count,
+                    std::function<void(std::uint32_t)> on_done);
+
+  // True if a block's content is still within its programmed retention.
+  bool BlockAlive(BlockId block) const;
+  // Age of a block's data in seconds.
+  double BlockAge(BlockId block) const;
+
+  const MrmDeviceStats& stats() const { return stats_; }
+  // Total energy including background power up to now.
+  double TotalEnergyPj() const;
+
+  bool Idle() const { return inflight_ == 0; }
+
+ private:
+  struct ChannelOp {
+    bool is_read = false;
+    sim::Tick service_ticks = 0;
+    std::function<void()> on_service_done;
+  };
+  struct ChannelState {
+    std::deque<ChannelOp> queue;
+    bool busy = false;
+  };
+
+  // Enqueues an op on `channel` and pumps the channel's service loop.
+  void EnqueueOnChannel(int channel, ChannelOp op);
+  void PumpChannel(int channel);
+  int ChannelOf(BlockId block) const {
+    return static_cast<int>(block % static_cast<std::uint64_t>(config_.channels));
+  }
+
+  sim::Simulator* simulator_;
+  MrmDeviceConfig config_;
+  std::unique_ptr<cell::RetentionTradeoff> tradeoff_;
+  std::vector<ZoneInfo> zones_;
+  std::vector<BlockMeta> blocks_;
+  std::vector<ChannelState> channels_;
+  MrmDeviceStats stats_;
+  std::uint64_t inflight_ = 0;
+};
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_MRM_DEVICE_H_

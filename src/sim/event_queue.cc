@@ -1,0 +1,42 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mrm {
+namespace sim {
+
+EventId EventQueue::Push(Tick when, EventCallback callback) {
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(callback));
+  heap_.push(Entry{when, id, id});
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) { return callbacks_.erase(id) != 0; }
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+Tick EventQueue::NextTime() const {
+  SkipCancelled();
+  return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+EventCallback EventQueue::Pop(Tick* when) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  *when = top.when;
+  auto it = callbacks_.find(top.id);
+  EventCallback callback = std::move(it->second);
+  callbacks_.erase(it);
+  return callback;
+}
+
+}  // namespace sim
+}  // namespace mrm

@@ -1,0 +1,80 @@
+// Discrete-event core: ticks, events and the priority queue.
+//
+// Ticks are abstract integer time units; each Simulator instance fixes a
+// tick frequency (ticks/second) so modules can convert to wall time. Events
+// with equal timestamps fire in scheduling order (stable FIFO), which keeps
+// simulations deterministic.
+
+#ifndef MRMSIM_SRC_SIM_EVENT_QUEUE_H_
+#define MRMSIM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace mrm {
+namespace sim {
+
+using Tick = std::uint64_t;
+
+inline constexpr Tick kTickNever = ~Tick{0};
+
+using EventCallback = std::function<void()>;
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the entry
+// stays in the heap but is skipped when it reaches the top.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Not copyable (callbacks may capture owners).
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  EventId Push(Tick when, EventCallback callback);
+
+  // Marks an event as cancelled; returns false when the id was already
+  // executed, cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t size() const { return callbacks_.size(); }
+
+  // Timestamp of the next live event; kTickNever when empty.
+  Tick NextTime() const;
+
+  // Pops and returns the next live event's callback, setting *when to its
+  // timestamp. Precondition: !empty().
+  EventCallback Pop(Tick* when);
+
+ private:
+  struct Entry {
+    Tick when;
+    std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    // Heap order: earliest time first, then lowest sequence.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Live events only; erased on execution or cancellation so memory is
+  // bounded by the number of outstanding events, not total events ever.
+  std::unordered_map<EventId, EventCallback> callbacks_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,61 @@
+// A self-rescheduling periodic callback (refresh engines, scrubbers, pollers).
+
+#ifndef MRMSIM_SRC_SIM_PERIODIC_TASK_H_
+#define MRMSIM_SRC_SIM_PERIODIC_TASK_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace sim {
+
+class PeriodicTask {
+ public:
+  // `body` runs every `period` ticks starting at now+phase. The task holds a
+  // pointer to the simulator, which must outlive it.
+  PeriodicTask(Simulator* simulator, Tick period, std::function<void()> body, Tick phase = 0)
+      : simulator_(simulator), period_(period), body_(std::move(body)) {
+    event_ = simulator_->ScheduleAfter(phase == 0 ? period_ : phase, [this] { Fire(); });
+  }
+
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Stop() {
+    if (running_) {
+      simulator_->Cancel(event_);
+      running_ = false;
+    }
+  }
+
+  // Changes the period; takes effect at the next firing.
+  void set_period(Tick period) { period_ = period; }
+  Tick period() const { return period_; }
+
+  std::uint64_t fire_count() const { return fire_count_; }
+
+ private:
+  void Fire() {
+    ++fire_count_;
+    body_();
+    if (running_) {
+      event_ = simulator_->ScheduleAfter(period_, [this] { Fire(); });
+    }
+  }
+
+  Simulator* simulator_;
+  Tick period_;
+  std::function<void()> body_;
+  EventId event_ = 0;
+  bool running_ = true;
+  std::uint64_t fire_count_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SIM_PERIODIC_TASK_H_

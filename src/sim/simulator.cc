@@ -1,0 +1,67 @@
+#include "src/sim/simulator.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace sim {
+
+Simulator::Simulator(double ticks_per_second) : ticks_per_second_(ticks_per_second) {
+  MRM_CHECK(ticks_per_second > 0.0);
+}
+
+Tick Simulator::SecondsToTicks(double seconds) const {
+  MRM_CHECK(seconds >= 0.0);
+  return static_cast<Tick>(std::llround(seconds * ticks_per_second_));
+}
+
+double Simulator::TicksToSeconds(Tick ticks) const {
+  return static_cast<double>(ticks) / ticks_per_second_;
+}
+
+EventId Simulator::ScheduleAt(Tick when, EventCallback callback) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.Push(when, std::move(callback));
+}
+
+EventId Simulator::ScheduleAfter(Tick delay, EventCallback callback) {
+  return queue_.Push(now_ + delay, std::move(callback));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Tick when = 0;
+  EventCallback callback = queue_.Pop(&when);
+  now_ = when;
+  callback();
+  ++events_executed_;
+  return true;
+}
+
+std::uint64_t Simulator::Run() { return RunUntil(kTickNever); }
+
+std::uint64_t Simulator::RunUntil(Tick deadline) {
+  stop_requested_ = false;
+  std::uint64_t executed = 0;
+  while (!stop_requested_) {
+    const Tick next = queue_.NextTime();
+    if (next == kTickNever) {
+      break;
+    }
+    if (next > deadline) {
+      now_ = deadline;
+      break;
+    }
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace sim
+}  // namespace mrm

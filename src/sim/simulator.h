@@ -1,0 +1,68 @@
+// The simulation executive: owns the clock and the event queue.
+//
+// Components schedule callbacks at absolute ticks or relative delays. The
+// executive runs events in timestamp order until the queue drains, a
+// deadline passes, or Stop() is called from within a callback.
+
+#ifndef MRMSIM_SRC_SIM_SIMULATOR_H_
+#define MRMSIM_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+
+namespace mrm {
+namespace sim {
+
+class Simulator {
+ public:
+  // ticks_per_second fixes the wall-time meaning of a tick. The default
+  // (1 GHz) gives 1 ns ticks, a convenient controller-clock granularity.
+  explicit Simulator(double ticks_per_second = 1e9);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+  double now_seconds() const { return static_cast<double>(now_) / ticks_per_second_; }
+  double ticks_per_second() const { return ticks_per_second_; }
+
+  Tick SecondsToTicks(double seconds) const;
+  double TicksToSeconds(Tick ticks) const;
+
+  // Schedules `callback` at absolute tick `when` (clamped to now()).
+  EventId ScheduleAt(Tick when, EventCallback callback);
+
+  // Schedules `callback` after `delay` ticks.
+  EventId ScheduleAfter(Tick delay, EventCallback callback);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the queue is empty. Returns the number of events executed.
+  std::uint64_t Run();
+
+  // Runs until the queue is empty or the next event is later than
+  // `deadline`. Time ends at min(deadline, last event time).
+  std::uint64_t RunUntil(Tick deadline);
+
+  // Executes exactly one event if present; returns whether one ran.
+  bool Step();
+
+  // Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  double ticks_per_second_;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,34 @@
+#include "src/tier/refresh_or_recompute.h"
+
+#include <algorithm>
+
+namespace mrm {
+namespace tier {
+
+RefreshDecision DecideRefreshOrRecompute(const RefreshOrRecomputeParams& params) {
+  RefreshDecision decision;
+  decision.refresh_cost_j =
+      static_cast<double>(params.kv_bytes) * params.rewrite_j_per_byte;
+  const double recompute_j =
+      static_cast<double>(params.context_tokens) * params.recompute_j_per_token +
+      static_cast<double>(params.context_tokens) * params.recompute_seconds_per_token *
+          params.latency_penalty_j_per_s;
+  decision.expected_recompute_cost_j = params.reuse_probability * recompute_j;
+  decision.refresh = decision.refresh_cost_j < decision.expected_recompute_cost_j;
+  return decision;
+}
+
+double BreakEvenReuseProbability(const RefreshOrRecomputeParams& params) {
+  const double refresh_j = static_cast<double>(params.kv_bytes) * params.rewrite_j_per_byte;
+  const double recompute_j =
+      static_cast<double>(params.context_tokens) * params.recompute_j_per_token +
+      static_cast<double>(params.context_tokens) * params.recompute_seconds_per_token *
+          params.latency_penalty_j_per_s;
+  if (recompute_j <= 0.0) {
+    return 1.0;
+  }
+  return std::clamp(refresh_j / recompute_j, 0.0, 1.0);
+}
+
+}  // namespace tier
+}  // namespace mrm

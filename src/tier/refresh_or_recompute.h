@@ -1,0 +1,44 @@
+// The refresh-or-recompute decision (paper §4, "Retention-aware data
+// placement and scheduling").
+//
+// A KV cache is soft state: when its MRM retention is about to lapse the
+// scheduler can (a) refresh it — rewrite the bytes, paying MRM write energy
+// and bandwidth — or (b) let it expire and re-run prefill if the
+// conversation continues, paying accelerator compute. The right choice
+// depends on the probability the context is ever used again.
+
+#ifndef MRMSIM_SRC_TIER_REFRESH_OR_RECOMPUTE_H_
+#define MRMSIM_SRC_TIER_REFRESH_OR_RECOMPUTE_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace tier {
+
+struct RefreshOrRecomputeParams {
+  std::uint64_t kv_bytes = 0;          // resident KV bytes of the context
+  std::uint64_t context_tokens = 0;    // tokens to re-prefill on recompute
+  double rewrite_j_per_byte = 0.0;     // MRM read+write energy per byte
+  double recompute_j_per_token = 0.0;  // accelerator+memory energy per prefill token
+  double recompute_seconds_per_token = 0.0;
+  double reuse_probability = 1.0;      // P[context receives another turn]
+  // Extra latency a future turn suffers on recompute (prefill time) is
+  // penalized at this rate; 0 = energy-only decision.
+  double latency_penalty_j_per_s = 0.0;
+};
+
+struct RefreshDecision {
+  bool refresh = false;
+  double refresh_cost_j = 0.0;             // certain, paid now
+  double expected_recompute_cost_j = 0.0;  // probabilistic, paid on reuse
+};
+
+RefreshDecision DecideRefreshOrRecompute(const RefreshOrRecomputeParams& params);
+
+// Break-even reuse probability: refresh wins for p above this value.
+double BreakEvenReuseProbability(const RefreshOrRecomputeParams& params);
+
+}  // namespace tier
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_TIER_REFRESH_OR_RECOMPUTE_H_

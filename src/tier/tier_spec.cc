@@ -1,0 +1,86 @@
+#include "src/tier/tier_spec.h"
+
+#include "src/cell/refresh_model.h"
+#include "src/cell/technology.h"
+#include "src/cell/tradeoff.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/mem/stream_model.h"
+
+namespace mrm {
+namespace tier {
+
+workload::TierSpec TierSpecFromDevice(const mem::DeviceConfig& config, int devices) {
+  MRM_CHECK(devices > 0);
+  const mem::StreamModel model(config);
+  const cell::TechnologyProfile& profile = cell::GetTechnologyProfile(config.tech);
+
+  workload::TierSpec spec;
+  spec.name = config.name;
+  spec.capacity_bytes = config.capacity_bytes() * static_cast<std::uint64_t>(devices);
+  spec.read_bw_bytes_per_s = model.EffectiveBandwidth() * devices;
+  spec.write_bw_bytes_per_s = spec.read_bw_bytes_per_s;  // DRAM is symmetric
+
+  // Dynamic energy per bit: array access + IO, plus activation energy
+  // amortized over a fully streamed row.
+  const double act_pj_per_bit =
+      config.energy.act_pre_pj / (static_cast<double>(config.row_bytes) * 8.0);
+  spec.read_pj_per_bit =
+      config.energy.read_pj_per_bit + config.energy.io_pj_per_bit + act_pj_per_bit;
+  spec.write_pj_per_bit =
+      config.energy.write_pj_per_bit + config.energy.io_pj_per_bit + act_pj_per_bit;
+
+  // Static power: per-bank background plus steady-state refresh.
+  const double banks =
+      static_cast<double>(config.channels) * config.ranks * config.banks_per_rank();
+  double static_w = banks * config.energy.background_mw_per_bank * 1e-3;
+  if (config.needs_refresh) {
+    cell::RefreshModelParams refresh;
+    refresh.capacity_bytes = config.capacity_bytes();
+    refresh.retention_window_s = profile.retention_s;
+    refresh.row_bytes = config.row_bytes;
+    refresh.energy_per_row_refresh_pj = config.energy.refresh_pj_per_row;
+    static_w += cell::ComputeRefreshCost(refresh).refresh_power_w;
+  }
+  spec.static_power_w = static_w * devices;
+
+  spec.cost_per_gib = kHbmDollarsPerGib * profile.relative_cost_per_bit;
+  return spec;
+}
+
+workload::TierSpec TierSpecFromMrm(const mrmcore::MrmDeviceConfig& config, int devices,
+                                   double retention_s) {
+  MRM_CHECK(devices > 0);
+  auto tradeoff = cell::MakeTradeoffFor(config.technology);
+  MRM_CHECK(tradeoff.ok()) << tradeoff.error().message();
+  const cell::OperatingPoint point = tradeoff.value()->AtRetention(retention_s);
+  const cell::OperatingPoint ref =
+      tradeoff.value()->AtRetention(tradeoff.value()->max_retention_s());
+  const cell::TechnologyProfile& profile = cell::GetTechnologyProfile(config.technology);
+
+  workload::TierSpec spec;
+  spec.name = config.name + "@" + FormatSeconds(retention_s);
+  spec.capacity_bytes = config.capacity_bytes() * static_cast<std::uint64_t>(devices);
+  spec.read_bw_bytes_per_s = config.peak_read_bw_bytes_per_s() * devices;
+  const double pulse_scale = point.write_latency_ns / ref.write_latency_ns;
+  spec.write_bw_bytes_per_s =
+      config.channel_write_bw_ref_bytes_per_s / pulse_scale * config.channels * devices;
+  spec.read_pj_per_bit = point.read_energy_pj_per_bit + config.io_pj_per_bit;
+  spec.write_pj_per_bit = point.write_energy_pj_per_bit + config.io_pj_per_bit;
+  spec.static_power_w = config.background_mw * 1e-3 * devices;  // no refresh
+  spec.cost_per_gib = kHbmDollarsPerGib * profile.relative_cost_per_bit;
+  return spec;
+}
+
+double SystemCostDollars(const std::vector<workload::TierSpec>& tiers) {
+  double total = 0.0;
+  for (const auto& tier : tiers) {
+    total += static_cast<double>(tier.capacity_bytes) / static_cast<double>(kGiB) *
+             tier.cost_per_gib;
+  }
+  return total;
+}
+
+}  // namespace tier
+}  // namespace mrm

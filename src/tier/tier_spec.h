@@ -1,0 +1,39 @@
+// Builders that reduce cycle-level device models to workload::TierSpec.
+//
+// The cluster-scale experiments (E9, examples) run on analytic tier specs;
+// these builders keep those specs honest by deriving bandwidth from the
+// cycle-level presets (via mem::StreamModel) and energy/cost from the cell
+// profiles — one source of truth for both simulation granularities.
+
+#ifndef MRMSIM_SRC_TIER_TIER_SPEC_H_
+#define MRMSIM_SRC_TIER_TIER_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/device_config.h"
+#include "src/mrm/mrm_config.h"
+#include "src/workload/backend.h"
+
+namespace mrm {
+namespace tier {
+
+// Reference cost anchor: one GiB of HBM-class memory (relative_cost 1.0).
+inline constexpr double kHbmDollarsPerGib = 12.0;
+
+// DRAM-class tier from a device preset, scaled to `devices` copies (e.g. 8
+// HBM stacks on one accelerator). Static power includes refresh.
+workload::TierSpec TierSpecFromDevice(const mem::DeviceConfig& config, int devices);
+
+// MRM tier at a fixed retention operating point (the write-path bandwidth
+// and energy depend on the programmed retention).
+workload::TierSpec TierSpecFromMrm(const mrmcore::MrmDeviceConfig& config, int devices,
+                                   double retention_s);
+
+// Total hardware cost of a set of tiers (capacity x $/GiB).
+double SystemCostDollars(const std::vector<workload::TierSpec>& tiers);
+
+}  // namespace tier
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_TIER_TIER_SPEC_H_

@@ -1,0 +1,181 @@
+#include "src/tier/tiered_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace tier {
+
+using workload::Stream;
+
+TieredBackend::TieredBackend(std::vector<workload::TierSpec> tiers, Placement placement,
+                             std::uint64_t weight_bytes, TieredBackendOptions options)
+    : tiers_(std::move(tiers)),
+      placement_(placement),
+      weight_bytes_(weight_bytes),
+      options_(options) {
+  MRM_CHECK(!tiers_.empty());
+  auto check_tier = [this](int index) {
+    MRM_CHECK(index >= 0 && index < static_cast<int>(tiers_.size()))
+        << "placement references tier " << index;
+  };
+  check_tier(placement_.weights_tier);
+  check_tier(placement_.kv_hot_tier);
+  check_tier(placement_.kv_cold_tier);
+  check_tier(placement_.activations_tier);
+  MRM_CHECK(placement_.kv_hot_fraction >= 0.0 && placement_.kv_hot_fraction <= 1.0);
+  MRM_CHECK(tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes == 0 ||
+            tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes >=
+                weight_bytes_)
+      << "weights do not fit their tier";
+  busy_s_.assign(tiers_.size(), 0.0);
+  dynamic_j_.assign(tiers_.size(), 0.0);
+}
+
+std::string TieredBackend::name() const {
+  std::string name = "tiered(";
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    name += tiers_[i].name;
+    if (i + 1 < tiers_.size()) {
+      name += "+";
+    }
+  }
+  return name + ")";
+}
+
+void TieredBackend::BeginStep() { std::fill(busy_s_.begin(), busy_s_.end(), 0.0); }
+
+void TieredBackend::Charge(int tier, bool is_write, std::uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const workload::TierSpec& spec = tiers_[static_cast<std::size_t>(tier)];
+  const double bw = is_write ? spec.write_bw_bytes_per_s : spec.read_bw_bytes_per_s;
+  busy_s_[static_cast<std::size_t>(tier)] += static_cast<double>(bytes) / bw;
+  const double pj_per_bit = is_write ? spec.write_pj_per_bit : spec.read_pj_per_bit;
+  dynamic_j_[static_cast<std::size_t>(tier)] +=
+      static_cast<double>(bytes) * 8.0 * pj_per_bit * 1e-12;
+}
+
+void TieredBackend::Read(Stream stream, std::uint64_t bytes) {
+  switch (stream) {
+    case Stream::kWeights:
+      Charge(placement_.weights_tier, false, bytes);
+      break;
+    case Stream::kKvCache: {
+      const auto hot = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(bytes) * placement_.kv_hot_fraction));
+      Charge(placement_.kv_hot_tier, false, hot);
+      Charge(placement_.kv_cold_tier, false, bytes - hot);
+      break;
+    }
+    case Stream::kActivations:
+    case Stream::kNone:
+      Charge(placement_.activations_tier, false, bytes);
+      break;
+  }
+}
+
+void TieredBackend::Write(Stream stream, std::uint64_t bytes) {
+  switch (stream) {
+    case Stream::kWeights:
+      Charge(placement_.weights_tier, true, bytes);
+      break;
+    case Stream::kKvCache: {
+      const auto hot = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(bytes) * placement_.kv_hot_fraction));
+      Charge(placement_.kv_hot_tier, true, hot);
+      const std::uint64_t cold = bytes - hot;
+      Charge(placement_.kv_cold_tier, true, cold);
+      if (placement_.kv_cold_tier == options_.scrub_tier) {
+        resident_kv_cold_ += cold;
+      }
+      if (placement_.kv_hot_tier == options_.scrub_tier) {
+        resident_kv_cold_ += hot;
+      }
+      break;
+    }
+    case Stream::kActivations:
+    case Stream::kNone:
+      Charge(placement_.activations_tier, true, bytes);
+      break;
+  }
+}
+
+void TieredBackend::OnKvFreed(std::uint64_t bytes) {
+  if (options_.scrub_tier < 0) {
+    return;
+  }
+  double fraction = 0.0;
+  if (placement_.kv_cold_tier == options_.scrub_tier) {
+    fraction += 1.0 - placement_.kv_hot_fraction;
+  }
+  if (placement_.kv_hot_tier == options_.scrub_tier) {
+    fraction += placement_.kv_hot_fraction;
+  }
+  const auto freed = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) * fraction));
+  resident_kv_cold_ -= std::min(resident_kv_cold_, freed);
+}
+
+double TieredBackend::EndStep() {
+  double step = 0.0;
+  for (const double busy : busy_s_) {
+    step = std::max(step, busy);
+  }
+  return step;
+}
+
+void TieredBackend::AccountTime(double seconds) {
+  for (const auto& spec : tiers_) {
+    static_j_ += spec.static_power_w * seconds;
+  }
+  // Scrub model: resident bytes on the scrub tier are rewritten once per
+  // safe age; charge write energy (read-back is cheap and overlapped).
+  if (options_.scrub_tier >= 0 && options_.scrub_safe_age_s > 0.0 && resident_kv_cold_ > 0) {
+    const double bytes = static_cast<double>(resident_kv_cold_) * seconds /
+                         options_.scrub_safe_age_s;
+    const workload::TierSpec& spec = tiers_[static_cast<std::size_t>(options_.scrub_tier)];
+    scrub_j_ += bytes * 8.0 * (spec.write_pj_per_bit + spec.read_pj_per_bit) * 1e-12;
+    scrub_bytes_ += static_cast<std::uint64_t>(bytes);
+  }
+}
+
+double TieredBackend::EnergyJoules() const {
+  double total = static_j_ + scrub_j_;
+  for (const double j : dynamic_j_) {
+    total += j;
+  }
+  return total;
+}
+
+std::uint64_t TieredBackend::KvCapacityBytes() const {
+  auto available = [this](int index) -> double {
+    const workload::TierSpec& spec = tiers_[static_cast<std::size_t>(index)];
+    if (spec.capacity_bytes == 0) {
+      return 1e30;  // unlimited
+    }
+    double capacity = static_cast<double>(spec.capacity_bytes);
+    if (index == placement_.weights_tier) {
+      capacity -= static_cast<double>(weight_bytes_);
+    }
+    return std::max(capacity, 0.0);
+  };
+  const double f = placement_.kv_hot_fraction;
+  double limit = 1e30;
+  if (f > 0.0) {
+    limit = std::min(limit, available(placement_.kv_hot_tier) / f);
+  }
+  if (f < 1.0) {
+    limit = std::min(limit, available(placement_.kv_cold_tier) / (1.0 - f));
+  }
+  if (limit >= 1e30) {
+    return 0;  // unlimited
+  }
+  return static_cast<std::uint64_t>(limit);
+}
+
+}  // namespace tier
+}  // namespace mrm

@@ -1,0 +1,83 @@
+// Multi-tier memory backend with retention-aware placement (paper §4).
+//
+// Routes each stream to a tier per the placement policy; the KV cache can be
+// split between a hot tier (recent vectors, HBM) and a cold tier (bulk,
+// MRM/LPDDR). Tiers transfer in parallel — the step's memory time is the
+// busiest tier's time, which is what makes offloading bandwidth-additive.
+//
+// For MRM tiers the backend also models the control plane's scrub traffic:
+// resident KV bytes must be rewritten every `scrub_safe_age_s`, costing
+// write energy and MRM write bandwidth.
+
+#ifndef MRMSIM_SRC_TIER_TIERED_BACKEND_H_
+#define MRMSIM_SRC_TIER_TIERED_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/backend.h"
+
+namespace mrm {
+namespace tier {
+
+struct Placement {
+  int weights_tier = 0;
+  int kv_hot_tier = 0;
+  int kv_cold_tier = 0;
+  // Fraction of KV-cache reads/writes served by the hot tier.
+  double kv_hot_fraction = 1.0;
+  int activations_tier = 0;
+};
+
+struct TieredBackendOptions {
+  // Index of the tier whose data needs periodic scrubbing (-1 = none).
+  int scrub_tier = -1;
+  // Data on the scrub tier is rewritten every this many seconds.
+  double scrub_safe_age_s = 3600.0;
+};
+
+class TieredBackend final : public workload::MemoryBackend {
+ public:
+  TieredBackend(std::vector<workload::TierSpec> tiers, Placement placement,
+                std::uint64_t weight_bytes, TieredBackendOptions options = {});
+
+  std::string name() const override;
+  void BeginStep() override;
+  void Read(workload::Stream stream, std::uint64_t bytes) override;
+  void Write(workload::Stream stream, std::uint64_t bytes) override;
+  double EndStep() override;
+  void AccountTime(double seconds) override;
+  double EnergyJoules() const override;
+  std::uint64_t KvCapacityBytes() const override;
+
+  // Per-tier cumulative dynamic energy (index-aligned with the ctor vector).
+  const std::vector<double>& tier_dynamic_joules() const { return dynamic_j_; }
+  double static_joules() const { return static_j_; }
+  double scrub_joules() const { return scrub_j_; }
+  std::uint64_t scrub_bytes() const { return scrub_bytes_; }
+  const std::vector<workload::TierSpec>& tiers() const { return tiers_; }
+
+  // The engine reports KV frees so the scrub model tracks residency.
+  void OnKvFreed(std::uint64_t bytes) override;
+
+ private:
+  void Charge(int tier, bool is_write, std::uint64_t bytes);
+
+  std::vector<workload::TierSpec> tiers_;
+  Placement placement_;
+  std::uint64_t weight_bytes_;
+  TieredBackendOptions options_;
+
+  std::vector<double> busy_s_;     // current step, per tier
+  std::vector<double> dynamic_j_;  // cumulative, per tier
+  double static_j_ = 0.0;
+  double scrub_j_ = 0.0;
+  std::uint64_t scrub_bytes_ = 0;
+  std::uint64_t resident_kv_cold_ = 0;  // bytes on the scrub tier
+};
+
+}  // namespace tier
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_TIER_TIERED_BACKEND_H_

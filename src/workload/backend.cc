@@ -1,0 +1,35 @@
+#include "src/workload/backend.h"
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace workload {
+
+AnalyticBackend::AnalyticBackend(TierSpec spec, std::uint64_t weight_bytes)
+    : spec_(std::move(spec)), weight_bytes_(weight_bytes) {
+  MRM_CHECK(spec_.read_bw_bytes_per_s > 0.0 && spec_.write_bw_bytes_per_s > 0.0);
+}
+
+void AnalyticBackend::Read(Stream /*stream*/, std::uint64_t bytes) {
+  dynamic_j_ += static_cast<double>(bytes) * 8.0 * spec_.read_pj_per_bit * 1e-12;
+  step_s_ += static_cast<double>(bytes) / spec_.read_bw_bytes_per_s;
+}
+
+void AnalyticBackend::Write(Stream /*stream*/, std::uint64_t bytes) {
+  dynamic_j_ += static_cast<double>(bytes) * 8.0 * spec_.write_pj_per_bit * 1e-12;
+  step_s_ += static_cast<double>(bytes) / spec_.write_bw_bytes_per_s;
+}
+
+void AnalyticBackend::AccountTime(double seconds) {
+  static_j_ += spec_.static_power_w * seconds;
+}
+
+std::uint64_t AnalyticBackend::KvCapacityBytes() const {
+  if (spec_.capacity_bytes == 0) {
+    return 0;  // unlimited
+  }
+  return spec_.capacity_bytes > weight_bytes_ ? spec_.capacity_bytes - weight_bytes_ : 1;
+}
+
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,97 @@
+// Memory backends: where the inference engine's bytes go.
+//
+// A MemoryBackend answers "how long does this step's traffic take" and keeps
+// the energy ledger. Traffic is issued between BeginStep()/EndStep(); the
+// backend decides how transfers overlap (a single device serializes on its
+// bus; independent tiers run in parallel). AnalyticBackend models a single
+// tier from bandwidth/energy constants (derived from the cycle-level device
+// presets via tier::TierSpecFromDevice); tier::TieredBackend routes streams
+// across several tiers per placement policy.
+
+#ifndef MRMSIM_SRC_WORKLOAD_BACKEND_H_
+#define MRMSIM_SRC_WORKLOAD_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/workload/trace.h"
+
+namespace mrm {
+namespace workload {
+
+// One memory tier reduced to its workload-visible parameters.
+struct TierSpec {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  double read_bw_bytes_per_s = 0.0;
+  double write_bw_bytes_per_s = 0.0;
+  double read_pj_per_bit = 0.0;   // array + interface
+  double write_pj_per_bit = 0.0;
+  double static_power_w = 0.0;    // background incl. refresh when applicable
+  double cost_per_gib = 0.0;      // relative $ for the TCO model
+};
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  // Starts a new engine step; transfer time accumulates until EndStep.
+  virtual void BeginStep() = 0;
+
+  // Issues traffic for the current step and accumulates dynamic energy.
+  virtual void Read(Stream stream, std::uint64_t bytes) = 0;
+  virtual void Write(Stream stream, std::uint64_t bytes) = 0;
+
+  // Memory time of the step under the backend's overlap model.
+  virtual double EndStep() = 0;
+
+  // Charges static/background power for `seconds` of wall time.
+  virtual void AccountTime(double seconds) = 0;
+
+  // Cumulative energy in joules (dynamic + static so far).
+  virtual double EnergyJoules() const = 0;
+
+  // Capacity available for the KV cache after fixed allocations; the engine
+  // uses it for admission control. 0 = unlimited.
+  virtual std::uint64_t KvCapacityBytes() const = 0;
+
+  // The engine reports KV-cache frees (request completion) so backends that
+  // track residency (e.g. for scrub modelling) stay accurate. Default no-op.
+  virtual void OnKvFreed(std::uint64_t bytes) { (void)bytes; }
+};
+
+// Single-tier analytic backend: everything lives in one memory, all
+// transfers serialize on its bus.
+class AnalyticBackend final : public MemoryBackend {
+ public:
+  // `weight_bytes` is carved out of capacity; the rest serves KV and
+  // activations.
+  AnalyticBackend(TierSpec spec, std::uint64_t weight_bytes);
+
+  std::string name() const override { return spec_.name; }
+  void BeginStep() override { step_s_ = 0.0; }
+  void Read(Stream stream, std::uint64_t bytes) override;
+  void Write(Stream stream, std::uint64_t bytes) override;
+  double EndStep() override { return step_s_; }
+  void AccountTime(double seconds) override;
+  double EnergyJoules() const override { return dynamic_j_ + static_j_; }
+  std::uint64_t KvCapacityBytes() const override;
+
+  const TierSpec& spec() const { return spec_; }
+  double dynamic_joules() const { return dynamic_j_; }
+  double static_joules() const { return static_j_; }
+
+ private:
+  TierSpec spec_;
+  std::uint64_t weight_bytes_;
+  double step_s_ = 0.0;
+  double dynamic_j_ = 0.0;
+  double static_j_ = 0.0;
+};
+
+}  // namespace workload
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_WORKLOAD_BACKEND_H_

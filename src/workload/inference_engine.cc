@@ -1,0 +1,219 @@
+#include "src/workload/inference_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace workload {
+
+InferenceEngine::InferenceEngine(EngineConfig config, MemoryBackend* backend, TraceSink* trace)
+    : config_(std::move(config)), backend_(backend), trace_(trace) {
+  const Status valid = config_.model.Validate();
+  MRM_CHECK(valid.ok()) << valid.message();
+  MRM_CHECK(backend_ != nullptr);
+  MRM_CHECK(config_.max_batch > 0);
+  MRM_CHECK(config_.compute_tflops > 0.0);
+  MRM_CHECK(config_.kv_compression_ratio > 0.0 && config_.kv_compression_ratio <= 1.0);
+  MRM_CHECK(config_.kv_codec_flops_per_byte >= 0.0);
+}
+
+EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const InferenceRequest& a, const InferenceRequest& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  std::deque<InferenceRequest> pending(requests.begin(), requests.end());
+  std::vector<Active> active;
+
+  EngineSummary summary;
+  const FoundationModelConfig& model = config_.model;
+  const std::uint64_t weight_bytes = model.weight_bytes();
+  const std::uint64_t kv_per_token = model.kv_bytes_per_token();
+  const double compute_per_token_s =
+      2.0 * static_cast<double>(model.parameters) / (config_.compute_tflops * 1e12);
+  const std::uint64_t kv_capacity =
+      config_.kv_capacity_bytes != 0 ? config_.kv_capacity_bytes : backend_->KvCapacityBytes();
+  // Physical bytes per logical KV byte, and codec compute per logical byte.
+  const double kv_ratio = config_.kv_compression_ratio;
+  const double codec_s_per_byte =
+      config_.kv_codec_flops_per_byte / (config_.compute_tflops * 1e12);
+  auto compressed = [kv_ratio](std::uint64_t logical) {
+    return static_cast<std::uint64_t>(static_cast<double>(logical) * kv_ratio + 0.5);
+  };
+
+  double t = 0.0;
+  std::uint64_t reserved_kv = 0;
+  std::uint64_t decode_steps = 0;
+  double batch_accum = 0.0;
+  const double energy_at_start = backend_->EnergyJoules();
+
+  auto record = [&](Stream stream, std::uint64_t key, bool is_write, std::uint64_t offset,
+                    std::uint64_t length, std::uint64_t step) {
+    if (trace_ != nullptr) {
+      trace_->Record(TraceExtent{stream, key, is_write, offset, length, step});
+    }
+  };
+
+  while (!pending.empty() || !active.empty()) {
+    // Admission: arrivals in order, bounded by batch slots and KV capacity.
+    while (!pending.empty() && pending.front().arrival_s <= t &&
+           active.size() < static_cast<std::size_t>(config_.max_batch)) {
+      const InferenceRequest& request = pending.front();
+      const std::uint64_t need =
+          kv_per_token *
+          static_cast<std::uint64_t>(request.prompt_tokens + request.output_tokens);
+      if (kv_capacity != 0 && reserved_kv + need > kv_capacity) {
+        if (active.empty() && need > kv_capacity) {
+          // Can never fit: reject rather than deadlock.
+          ++summary.requests_rejected;
+          pending.pop_front();
+          continue;
+        }
+        break;
+      }
+      Active entry;
+      entry.request = request;
+      active.push_back(entry);
+      reserved_kv += need;
+      pending.pop_front();
+    }
+
+    if (active.empty()) {
+      if (pending.empty()) {
+        break;
+      }
+      t = std::max(t, pending.front().arrival_s);
+      continue;
+    }
+
+    double comp_s = 0.0;
+    const std::uint64_t step = summary.steps;
+    backend_->BeginStep();
+
+    // Prefill-priority scheduling: while any admitted request still has
+    // prompt tokens to ingest, run one prefill chunk (Sarathi-style chunking
+    // without decode piggybacking).
+    Active* prefill = nullptr;
+    for (Active& entry : active) {
+      if (entry.prefilled_tokens < entry.request.prompt_tokens) {
+        prefill = &entry;
+        break;
+      }
+    }
+
+    if (prefill != nullptr) {
+      const int chunk = std::min<int>(config_.prefill_chunk_tokens,
+                                      prefill->request.prompt_tokens - prefill->prefilled_tokens);
+      const std::uint64_t kv_write = kv_per_token * static_cast<std::uint64_t>(chunk);
+      backend_->Read(Stream::kWeights, weight_bytes);
+      record(Stream::kWeights, 0, false, 0, weight_bytes, step);
+      summary.weight_read_bytes += weight_bytes;
+
+      backend_->Write(Stream::kKvCache, compressed(kv_write));
+      record(Stream::kKvCache, prefill->request.id, true, prefill->kv_bytes, kv_write, step);
+      summary.kv_write_bytes += kv_write;
+      summary.kv_moved_bytes += compressed(kv_write);
+      comp_s += static_cast<double>(kv_write) * codec_s_per_byte;
+
+      const std::uint64_t act = model.activation_bytes(1);
+      backend_->Write(Stream::kActivations, act);
+      backend_->Read(Stream::kActivations, act);
+      record(Stream::kActivations, 0, true, 0, act, step);
+      record(Stream::kActivations, 0, false, 0, act, step);
+      summary.activation_read_bytes += act;
+      summary.activation_write_bytes += act;
+
+      comp_s += static_cast<double>(chunk) * compute_per_token_s;
+      prefill->prefilled_tokens += chunk;
+      prefill->kv_bytes += kv_write;
+      summary.prefill_tokens += static_cast<std::uint64_t>(chunk);
+    } else {
+      // Decode step: the whole batch advances one token.
+      const std::size_t batch = active.size();
+      const std::uint64_t kv_read_before = summary.kv_read_bytes;
+      ++decode_steps;
+      batch_accum += static_cast<double>(batch);
+
+      backend_->Read(Stream::kWeights, weight_bytes);
+      record(Stream::kWeights, 0, false, 0, weight_bytes, step);
+      summary.weight_read_bytes += weight_bytes;
+
+      for (Active& entry : active) {
+        backend_->Read(Stream::kKvCache, compressed(entry.kv_bytes));
+        record(Stream::kKvCache, entry.request.id, false, 0, entry.kv_bytes, step);
+        summary.kv_read_bytes += entry.kv_bytes;
+        summary.kv_moved_bytes += compressed(entry.kv_bytes);
+        comp_s += static_cast<double>(entry.kv_bytes) * codec_s_per_byte;
+
+        backend_->Write(Stream::kKvCache, compressed(kv_per_token));
+        record(Stream::kKvCache, entry.request.id, true, entry.kv_bytes, kv_per_token, step);
+        summary.kv_write_bytes += kv_per_token;
+        summary.kv_moved_bytes += compressed(kv_per_token);
+        comp_s += static_cast<double>(kv_per_token) * codec_s_per_byte;
+        entry.kv_bytes += kv_per_token;
+      }
+
+      const std::uint64_t act = model.activation_bytes(static_cast<int>(batch));
+      backend_->Write(Stream::kActivations, act);
+      backend_->Read(Stream::kActivations, act);
+      record(Stream::kActivations, 0, true, 0, act, step);
+      record(Stream::kActivations, 0, false, 0, act, step);
+      summary.activation_read_bytes += act;
+      summary.activation_write_bytes += act;
+
+      comp_s += static_cast<double>(batch) * compute_per_token_s;
+      summary.decode_read_bytes +=
+          weight_bytes + (summary.kv_read_bytes - kv_read_before) + act;
+      summary.decode_write_bytes += kv_per_token * batch + act;
+    }
+
+    const double mem_s = backend_->EndStep();
+    const double step_time = std::max(mem_s, comp_s);
+    summary.memory_seconds += mem_s;
+    summary.compute_seconds += comp_s;
+    if (mem_s > comp_s) {
+      ++summary.memory_bound_steps;
+    }
+    backend_->AccountTime(step_time);
+    t += step_time;
+    ++summary.steps;
+
+    // Post-step bookkeeping for decode steps: token production, TTFT,
+    // completions.
+    if (prefill == nullptr) {
+      std::uint64_t resident = 0;
+      for (Active& entry : active) {
+        ++entry.produced_tokens;
+        ++summary.decode_tokens;
+        if (entry.first_token_at < 0.0) {
+          entry.first_token_at = t;
+          summary.ttft_ms.Add((t - entry.request.arrival_s) * 1e3);
+        }
+        resident += entry.kv_bytes;
+      }
+      summary.peak_kv_bytes = std::max(summary.peak_kv_bytes, static_cast<double>(resident));
+      for (std::size_t i = active.size(); i-- > 0;) {
+        Active& entry = active[i];
+        if (entry.produced_tokens >= entry.request.output_tokens) {
+          summary.e2e_latency_s.Add(t - entry.request.arrival_s);
+          backend_->OnKvFreed(entry.kv_bytes);
+          const std::uint64_t need =
+              kv_per_token * static_cast<std::uint64_t>(entry.request.prompt_tokens +
+                                                        entry.request.output_tokens);
+          reserved_kv -= std::min(reserved_kv, need);
+          ++summary.requests_completed;
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+  }
+
+  summary.duration_s = t;
+  summary.mean_batch = decode_steps == 0 ? 0.0 : batch_accum / static_cast<double>(decode_steps);
+  summary.backend_energy_j = backend_->EnergyJoules() - energy_at_start;
+  return summary;
+}
+
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,136 @@
+// Token-level foundation-model inference engine (paper §2).
+//
+// Models one inference server: continuous batching with prefill-priority
+// scheduling, chunked prefill, per-token decode. Every step charges its
+// traffic to a MemoryBackend:
+//
+//   prefill chunk:  read all weights once, write chunk x kv_bytes/token,
+//                   compute 2 * params * chunk FLOPs;
+//   decode step:    read all weights once (shared by the batch), read every
+//                   active request's whole KV cache, append one vector per
+//                   request, compute 2 * params * batch FLOPs.
+//
+// Step latency = max(memory seconds, compute seconds) — the roofline the
+// paper's "memory bound" claim (§2.1) refers to. The engine optionally logs
+// extents to a TraceSink for the predictability analysis (E4).
+
+#ifndef MRMSIM_SRC_WORKLOAD_INFERENCE_ENGINE_H_
+#define MRMSIM_SRC_WORKLOAD_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/workload/backend.h"
+#include "src/workload/model_config.h"
+#include "src/workload/request_generator.h"
+#include "src/workload/trace.h"
+
+namespace mrm {
+namespace workload {
+
+struct EngineConfig {
+  FoundationModelConfig model;
+  int max_batch = 16;
+  double compute_tflops = 400.0;      // sustained accelerator throughput
+  int prefill_chunk_tokens = 2048;
+  // Cap on total resident KV bytes; 0 defers to the backend's capacity.
+  std::uint64_t kv_capacity_bytes = 0;
+  // KV-cache compression (CacheGen-style, paper [27]): bytes actually moved
+  // to/from memory are logical bytes x this ratio (1.0 = off). The codec
+  // costs `kv_codec_flops_per_byte` per logical byte on the accelerator.
+  double kv_compression_ratio = 1.0;
+  double kv_codec_flops_per_byte = 0.0;
+};
+
+struct EngineSummary {
+  double duration_s = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t prefill_tokens = 0;
+  std::uint64_t decode_tokens = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_rejected = 0;  // KV admission failures
+
+  // Byte ledger per stream.
+  std::uint64_t weight_read_bytes = 0;
+  std::uint64_t kv_read_bytes = 0;
+  std::uint64_t kv_write_bytes = 0;
+  std::uint64_t activation_read_bytes = 0;
+  std::uint64_t activation_write_bytes = 0;
+
+  // Decode-phase-only byte ledger (the paper's >1000:1 claim is about
+  // decode: all weights + whole KV read per token vs. one vector written).
+  std::uint64_t decode_read_bytes = 0;
+  std::uint64_t decode_write_bytes = 0;
+
+  // Physical KV bytes moved after compression (== kv_read+kv_write when
+  // compression is off).
+  std::uint64_t kv_moved_bytes = 0;
+
+  double memory_seconds = 0.0;   // sum over steps of memory time
+  double compute_seconds = 0.0;  // sum over steps of compute time
+  std::uint64_t memory_bound_steps = 0;
+
+  double backend_energy_j = 0.0;
+  double peak_kv_bytes = 0.0;
+  double mean_batch = 0.0;
+
+  Histogram ttft_ms;        // time to first token
+  Histogram e2e_latency_s;  // request completion latency
+
+  std::uint64_t total_read_bytes() const {
+    return weight_read_bytes + kv_read_bytes + activation_read_bytes;
+  }
+  std::uint64_t total_write_bytes() const {
+    return kv_write_bytes + activation_write_bytes;
+  }
+  double read_write_ratio() const {
+    return total_write_bytes() == 0
+               ? 0.0
+               : static_cast<double>(total_read_bytes()) /
+                     static_cast<double>(total_write_bytes());
+  }
+  double decode_read_write_ratio() const {
+    return decode_write_bytes == 0 ? 0.0
+                                   : static_cast<double>(decode_read_bytes) /
+                                         static_cast<double>(decode_write_bytes);
+  }
+  double decode_tokens_per_s() const {
+    return duration_s == 0.0 ? 0.0 : static_cast<double>(decode_tokens) / duration_s;
+  }
+  double memory_bound_fraction() const {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(memory_bound_steps) / static_cast<double>(steps);
+  }
+  double energy_per_decode_token_j() const {
+    return decode_tokens == 0 ? 0.0 : backend_energy_j / static_cast<double>(decode_tokens);
+  }
+};
+
+class InferenceEngine {
+ public:
+  // `backend` must outlive the engine; `trace` may be null.
+  InferenceEngine(EngineConfig config, MemoryBackend* backend, TraceSink* trace = nullptr);
+
+  // Processes all requests to completion and returns the summary.
+  EngineSummary Run(std::vector<InferenceRequest> requests);
+
+ private:
+  struct Active {
+    InferenceRequest request;
+    int prefilled_tokens = 0;     // prompt tokens already prefilled
+    int produced_tokens = 0;      // decode tokens emitted
+    std::uint64_t kv_bytes = 0;   // resident KV for this request
+    double first_token_at = -1.0;
+  };
+
+  EngineConfig config_;
+  MemoryBackend* backend_;
+  TraceSink* trace_;
+};
+
+}  // namespace workload
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_WORKLOAD_INFERENCE_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "src/workload/model_config.h"
+
+namespace mrm {
+namespace workload {
+
+Status FoundationModelConfig::Validate() const {
+  if (parameters == 0 || layers <= 0 || heads <= 0 || kv_heads <= 0 || head_dim <= 0) {
+    return Error(name + ": model dimensions must be positive");
+  }
+  if (kv_heads > heads) {
+    return Error(name + ": kv_heads cannot exceed heads");
+  }
+  if (bytes_per_param <= 0 || bytes_per_kv <= 0 || max_context_tokens <= 0) {
+    return Error(name + ": sizes must be positive");
+  }
+  return Status::Ok();
+}
+
+FoundationModelConfig Llama2_70B() {
+  FoundationModelConfig m;
+  m.name = "llama2-70b";
+  m.parameters = 70'000'000'000ull;
+  m.layers = 80;
+  m.heads = 64;
+  m.kv_heads = 8;  // GQA
+  m.head_dim = 128;
+  m.bytes_per_param = 2;
+  m.bytes_per_kv = 2;
+  m.max_context_tokens = 4096;
+  return m;
+}
+
+FoundationModelConfig Llama2_70B_MHA() {
+  FoundationModelConfig m = Llama2_70B();
+  m.name = "llama2-70b-mha";
+  m.kv_heads = m.heads;  // 64 KV heads -> 2.6 MiB per token
+  return m;
+}
+
+FoundationModelConfig Gpt3_175B() {
+  FoundationModelConfig m;
+  m.name = "gpt3-175b";
+  m.parameters = 175'000'000'000ull;
+  m.layers = 96;
+  m.heads = 96;
+  m.kv_heads = 96;  // MHA
+  m.head_dim = 128;
+  m.bytes_per_param = 2;
+  m.bytes_per_kv = 2;
+  m.max_context_tokens = 8192;
+  return m;
+}
+
+FoundationModelConfig Phi3_14B() {
+  FoundationModelConfig m;
+  m.name = "phi3-14b";
+  m.parameters = 14'000'000'000ull;
+  m.layers = 40;
+  m.heads = 40;
+  m.kv_heads = 10;
+  m.head_dim = 128;
+  m.bytes_per_param = 2;
+  m.bytes_per_kv = 2;
+  m.max_context_tokens = 4096;
+  return m;
+}
+
+FoundationModelConfig Frontier_1T() {
+  FoundationModelConfig m;
+  m.name = "frontier-1t";
+  m.parameters = 1'000'000'000'000ull;
+  m.layers = 128;
+  m.heads = 128;
+  m.kv_heads = 16;
+  m.head_dim = 128;
+  m.bytes_per_param = 1;  // aggressive quantization at this scale
+  m.bytes_per_kv = 2;
+  m.max_context_tokens = 32768;
+  return m;
+}
+
+Result<FoundationModelConfig> ModelByName(const std::string& name) {
+  for (const auto& model : AllModels()) {
+    if (model.name == name) {
+      return model;
+    }
+  }
+  return Error("unknown model: '" + name + "'");
+}
+
+std::vector<FoundationModelConfig> AllModels() {
+  return {Llama2_70B(), Llama2_70B_MHA(), Gpt3_175B(), Phi3_14B(), Frontier_1T()};
+}
+
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,69 @@
+// Foundation-model memory-footprint configuration (paper §2).
+//
+// Captures exactly the quantities the paper reasons about: weight bytes
+// (params x quantization), KV-cache bytes per token (the "self-attention
+// vector"), activation working set, and context limits.
+
+#ifndef MRMSIM_SRC_WORKLOAD_MODEL_CONFIG_H_
+#define MRMSIM_SRC_WORKLOAD_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace mrm {
+namespace workload {
+
+struct FoundationModelConfig {
+  std::string name;
+  std::uint64_t parameters = 0;
+  int layers = 0;
+  int heads = 0;       // attention (query) heads
+  int kv_heads = 0;    // KV heads (== heads for MHA, < heads for GQA)
+  int head_dim = 0;
+  int bytes_per_param = 2;  // FP16
+  int bytes_per_kv = 2;
+  int max_context_tokens = 4096;
+
+  int d_model() const { return heads * head_dim; }
+
+  // Total model weight bytes (the read-mostly matrix of §2).
+  std::uint64_t weight_bytes() const {
+    return parameters * static_cast<std::uint64_t>(bytes_per_param);
+  }
+
+  // The per-token self-attention vector: K and V across all layers.
+  std::uint64_t kv_bytes_per_token() const {
+    return 2ull * static_cast<std::uint64_t>(layers) * kv_heads * head_dim * bytes_per_kv;
+  }
+
+  std::uint64_t kv_cache_bytes(std::uint64_t context_tokens) const {
+    return kv_bytes_per_token() * context_tokens;
+  }
+
+  // Transient activation working set for a batch of b sequences (order of
+  // magnitude: a few live layer outputs per sequence).
+  std::uint64_t activation_bytes(int batch) const {
+    return static_cast<std::uint64_t>(batch) * 4ull * d_model() * bytes_per_param * 8;
+  }
+
+  Status Validate() const;
+};
+
+// Presets. Llama2-70B uses GQA (8 KV heads -> 320 KiB/token); the MHA
+// variant models the "few MB per vector" class the paper cites [4, 44].
+FoundationModelConfig Llama2_70B();
+FoundationModelConfig Llama2_70B_MHA();
+FoundationModelConfig Gpt3_175B();
+FoundationModelConfig Phi3_14B();
+FoundationModelConfig Frontier_1T();  // 1e12 params, the ">500B weights" tier
+
+Result<FoundationModelConfig> ModelByName(const std::string& name);
+std::vector<FoundationModelConfig> AllModels();
+
+}  // namespace workload
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_WORKLOAD_MODEL_CONFIG_H_

@@ -1,0 +1,72 @@
+#include "src/workload/request_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace workload {
+
+int TokenDistribution::Sample(Rng& rng) const {
+  // Lognormal with the given median: mu = ln(median).
+  const double mu = std::log(static_cast<double>(median));
+  const double value = rng.Lognormal(mu, sigma);
+  const int tokens = static_cast<int>(std::lround(value));
+  return std::clamp(tokens, min_tokens, max_tokens);
+}
+
+WorkloadProfile SplitwiseConversation() {
+  WorkloadProfile profile;
+  profile.name = "splitwise-conversation";
+  profile.prompt = {.median = 1020, .sigma = 1.0, .min_tokens = 4, .max_tokens = 32768};
+  profile.output = {.median = 129, .sigma = 0.9, .min_tokens = 1, .max_tokens = 4096};
+  return profile;
+}
+
+WorkloadProfile SplitwiseCoding() {
+  WorkloadProfile profile;
+  profile.name = "splitwise-coding";
+  profile.prompt = {.median = 1716, .sigma = 1.1, .min_tokens = 4, .max_tokens = 65536};
+  profile.output = {.median = 28, .sigma = 0.8, .min_tokens = 1, .max_tokens = 2048};
+  return profile;
+}
+
+WorkloadProfile LongContextSummarization() {
+  WorkloadProfile profile;
+  profile.name = "long-context-summarization";
+  profile.prompt = {.median = 12000, .sigma = 0.7, .min_tokens = 1024, .max_tokens = 1 << 17};
+  profile.output = {.median = 400, .sigma = 0.6, .min_tokens = 16, .max_tokens = 4096};
+  return profile;
+}
+
+RequestGenerator::RequestGenerator(WorkloadProfile profile, double arrivals_per_s,
+                                   std::uint64_t seed)
+    : profile_(std::move(profile)), arrivals_per_s_(arrivals_per_s), rng_(seed) {
+  MRM_CHECK(arrivals_per_s_ > 0.0);
+}
+
+InferenceRequest RequestGenerator::Next() {
+  clock_s_ += rng_.Exponential(arrivals_per_s_);
+  InferenceRequest request;
+  request.id = next_id_++;
+  request.arrival_s = clock_s_;
+  request.prompt_tokens = profile_.prompt.Sample(rng_);
+  request.output_tokens = profile_.output.Sample(rng_);
+  return request;
+}
+
+std::vector<InferenceRequest> RequestGenerator::GenerateFor(double horizon_s) {
+  std::vector<InferenceRequest> requests;
+  while (true) {
+    InferenceRequest request = Next();
+    if (request.arrival_s >= horizon_s) {
+      break;
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+}  // namespace workload
+}  // namespace mrm

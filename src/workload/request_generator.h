@@ -1,0 +1,71 @@
+// Inference request generation: Poisson arrivals with context-length
+// distributions calibrated to the Splitwise production traces the paper
+// cites for its endurance math (§3).
+
+#ifndef MRMSIM_SRC_WORKLOAD_REQUEST_GENERATOR_H_
+#define MRMSIM_SRC_WORKLOAD_REQUEST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mrm {
+namespace workload {
+
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;
+  int prompt_tokens = 0;
+  int output_tokens = 0;
+};
+
+// Lognormal token-count distribution specified by its median and a shape
+// parameter sigma (of the underlying normal).
+struct TokenDistribution {
+  int median = 1024;
+  double sigma = 0.8;
+  int min_tokens = 1;
+  int max_tokens = 1 << 20;
+
+  int Sample(Rng& rng) const;
+};
+
+struct WorkloadProfile {
+  std::string name;
+  TokenDistribution prompt;
+  TokenDistribution output;
+};
+
+// Splitwise (ISCA'24) reports ~1020-token median prompts with ~129-token
+// median outputs for conversation, and ~1716 / ~28 for coding.
+WorkloadProfile SplitwiseConversation();
+WorkloadProfile SplitwiseCoding();
+// Long-context summarization-style profile (stresses KV capacity).
+WorkloadProfile LongContextSummarization();
+
+class RequestGenerator {
+ public:
+  RequestGenerator(WorkloadProfile profile, double arrivals_per_s, std::uint64_t seed);
+
+  // Next request in arrival order.
+  InferenceRequest Next();
+
+  // Generates all requests arriving within [0, horizon_s).
+  std::vector<InferenceRequest> GenerateFor(double horizon_s);
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  WorkloadProfile profile_;
+  double arrivals_per_s_;
+  Rng rng_;
+  double clock_s_ = 0.0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace workload
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_WORKLOAD_REQUEST_GENERATOR_H_

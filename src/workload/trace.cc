@@ -1,0 +1,124 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrm {
+namespace workload {
+namespace {
+
+// Key identifying one sub-stream.
+struct StreamKey {
+  Stream stream;
+  std::uint64_t key;
+  bool operator<(const StreamKey& other) const {
+    if (stream != other.stream) {
+      return stream < other.stream;
+    }
+    return key < other.key;
+  }
+};
+
+}  // namespace
+
+const char* StreamName(Stream stream) {
+  switch (stream) {
+    case Stream::kNone:
+      return "none";
+    case Stream::kWeights:
+      return "weights";
+    case Stream::kKvCache:
+      return "kv-cache";
+    case Stream::kActivations:
+      return "activations";
+  }
+  return "?";
+}
+
+PredictabilityReport AnalyzeTrace(const std::vector<TraceExtent>& extents,
+                                  std::uint64_t page_bytes) {
+  PredictabilityReport report;
+
+  struct StreamState {
+    std::uint64_t last_read_end = 0;
+    bool has_read = false;
+    std::uint64_t high_water = 0;
+  };
+  std::map<StreamKey, StreamState> states;
+
+  std::uint64_t sequential_read_bytes = 0;
+  std::uint64_t append_write_bytes = 0;
+  std::uint64_t overwrite_bytes = 0;
+
+  // Page order per step for stability analysis (weights stream only: it is
+  // the stream that is re-read every step).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> step_pages;
+
+  for (const TraceExtent& extent : extents) {
+    StreamState& state = states[StreamKey{extent.stream, extent.stream_key}];
+    if (extent.is_write) {
+      report.write_bytes += extent.length;
+      if (extent.offset >= state.high_water) {
+        append_write_bytes += extent.length;
+      } else {
+        overwrite_bytes += extent.length;
+      }
+      state.high_water = std::max(state.high_water, extent.offset + extent.length);
+    } else {
+      report.read_bytes += extent.length;
+      if (state.has_read && extent.offset == state.last_read_end) {
+        // Contiguous with the previous extent: fully sequential.
+        sequential_read_bytes += extent.length;
+      } else {
+        // A jump costs one access granule; the rest of the extent still
+        // streams sequentially (an extent is one contiguous transfer).
+        constexpr std::uint64_t kAccessGranule = 64;
+        sequential_read_bytes +=
+            extent.length - std::min<std::uint64_t>(extent.length, kAccessGranule);
+      }
+      state.last_read_end = extent.offset + extent.length;
+      state.has_read = true;
+      if (extent.stream == Stream::kWeights) {
+        auto& pages = step_pages[extent.step];
+        const std::uint64_t first_page = extent.offset / page_bytes;
+        const std::uint64_t last_page = (extent.offset + extent.length - 1) / page_bytes;
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+          if (pages.empty() || pages.back() != p) {
+            pages.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  if (report.read_bytes > 0) {
+    report.read_sequential_fraction =
+        static_cast<double>(sequential_read_bytes) / static_cast<double>(report.read_bytes);
+  }
+  if (report.write_bytes > 0) {
+    report.write_append_fraction =
+        static_cast<double>(append_write_bytes) / static_cast<double>(report.write_bytes);
+    report.overwrite_fraction =
+        static_cast<double>(overwrite_bytes) / static_cast<double>(report.write_bytes);
+  }
+
+  // Step order stability over the weights stream.
+  std::uint64_t stable_pairs = 0;
+  std::uint64_t total_pairs = 0;
+  const std::vector<std::uint64_t>* previous = nullptr;
+  for (const auto& [step, pages] : step_pages) {
+    if (previous != nullptr) {
+      ++total_pairs;
+      if (*previous == pages) {
+        ++stable_pairs;
+      }
+    }
+    previous = &pages;
+  }
+  report.step_order_stability =
+      total_pairs == 0 ? 1.0 : static_cast<double>(stable_pairs) / static_cast<double>(total_pairs);
+  return report;
+}
+
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,63 @@
+// Extent-level access trace recording and predictability analysis (E4).
+//
+// The paper's argument for a block interface rests on the access pattern
+// being "sequential and predictable" (§2.2). The trace records logical
+// extents (stream, offset, length, kind, step) and the analyzer quantifies:
+//  * sequentiality — fraction of read/write bytes contiguous with the
+//    previous access in the same stream;
+//  * appendedness — fraction of writes that extend the stream's high-water
+//    mark rather than overwrite;
+//  * inter-step stability — whether successive decode steps read pages in
+//    the same order (the "static virtual->physical mapping" property).
+
+#ifndef MRMSIM_SRC_WORKLOAD_TRACE_H_
+#define MRMSIM_SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mrm {
+namespace workload {
+
+enum class Stream : std::uint32_t { kNone = 0, kWeights = 1, kKvCache = 2, kActivations = 3 };
+
+const char* StreamName(Stream stream);
+
+struct TraceExtent {
+  Stream stream = Stream::kNone;
+  std::uint64_t stream_key = 0;  // sub-stream (e.g. request id for KV)
+  bool is_write = false;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t step = 0;  // engine step counter
+};
+
+class TraceSink {
+ public:
+  void Record(const TraceExtent& extent) { extents_.push_back(extent); }
+  const std::vector<TraceExtent>& extents() const { return extents_; }
+  void Clear() { extents_.clear(); }
+
+ private:
+  std::vector<TraceExtent> extents_;
+};
+
+struct PredictabilityReport {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  double read_sequential_fraction = 0.0;   // contiguous-with-previous reads
+  double write_append_fraction = 0.0;      // writes at the high-water mark
+  double overwrite_fraction = 0.0;         // writes below the high-water mark
+  // Fraction of consecutive step pairs whose page read order is identical
+  // (pages of `page_bytes`).
+  double step_order_stability = 0.0;
+};
+
+PredictabilityReport AnalyzeTrace(const std::vector<TraceExtent>& extents,
+                                  std::uint64_t page_bytes = 2 * 1024 * 1024);
+
+}  // namespace workload
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,80 @@
+#include "src/analysis/density.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace analysis {
+namespace {
+
+cell::OperatingPoint SlcPoint() {
+  auto tradeoff = cell::MakeRramTradeoff();
+  return tradeoff->AtRetention(6.0 * kHour);
+}
+
+constexpr std::uint64_t kCodeword = 8ull * 64 * 1024;
+constexpr double kTargetUber = 1e-15;
+
+TEST(Density, SlcIsUnity) {
+  const MlcDensityReport report = ComputeMlcDensity(SlcPoint(), 1, kCodeword, kTargetUber);
+  EXPECT_DOUBLE_EQ(report.net_gain, 1.0);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(Density, MlcNetGainBelowGross) {
+  for (int bits = 2; bits <= 4; ++bits) {
+    const MlcDensityReport report =
+        ComputeMlcDensity(SlcPoint(), bits, kCodeword, kTargetUber);
+    EXPECT_LT(report.net_gain, report.gross_gain) << bits;
+    EXPECT_GT(report.net_gain, 0.0) << bits;
+  }
+}
+
+TEST(Density, GainsSaturateAtHighBits) {
+  // The marginal gain of the 4th bit is much smaller than the 2nd.
+  const double g1 = ComputeMlcDensity(SlcPoint(), 1, kCodeword, kTargetUber).net_gain;
+  const double g2 = ComputeMlcDensity(SlcPoint(), 2, kCodeword, kTargetUber).net_gain;
+  const double g3 = ComputeMlcDensity(SlcPoint(), 3, kCodeword, kTargetUber).net_gain;
+  const double g4 = ComputeMlcDensity(SlcPoint(), 4, kCodeword, kTargetUber).net_gain;
+  EXPECT_GT(g2 - g1, g4 - g3);
+}
+
+TEST(Density, EccOverheadGrowsWithBits) {
+  double previous = 0.0;
+  for (int bits = 1; bits <= 4; ++bits) {
+    const MlcDensityReport report =
+        ComputeMlcDensity(SlcPoint(), bits, kCodeword, kTargetUber);
+    EXPECT_GE(report.ecc_overhead, previous);
+    previous = report.ecc_overhead;
+  }
+}
+
+TEST(Density, HopelessRberIsInfeasible) {
+  cell::OperatingPoint bad = SlcPoint();
+  bad.rber_at_retention = 0.02;  // QLC on top of this cannot be saved
+  const MlcDensityReport report = ComputeMlcDensity(bad, 4, kCodeword, kTargetUber);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.net_gain, 0.0);
+}
+
+TEST(Density, CombinedMultipliesCrossbarAndMlc) {
+  cell::CrossbarParams crossbar;
+  const MlcDensityReport mlc = ComputeMlcDensity(SlcPoint(), 2, kCodeword, kTargetUber);
+  const double combined = CombinedDensityVsDram(crossbar, mlc);
+  const double crossbar_only = cell::EvaluateCrossbar(crossbar).density_vs_dram;
+  EXPECT_NEAR(combined, crossbar_only * mlc.net_gain, 1e-9);
+}
+
+TEST(Density, StackedMlcCrossbarBeatsDramByALot) {
+  // The §3 headline: stacked resistive memory with MLC clears planar DRAM
+  // density by an order of magnitude.
+  cell::CrossbarParams crossbar;
+  crossbar.stacked_layers = 8;
+  const MlcDensityReport mlc = ComputeMlcDensity(SlcPoint(), 2, kCodeword, kTargetUber);
+  EXPECT_GT(CombinedDensityVsDram(crossbar, mlc), 10.0);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mrm

@@ -1,0 +1,149 @@
+#include "src/analysis/endurance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace analysis {
+namespace {
+
+TEST(Endurance, WeightsHourlyOverFiveYears) {
+  // 5 x 365 x 24 = 43800 writes per cell.
+  WeightsEnduranceParams params;
+  params.update_interval_s = kHour;
+  EXPECT_NEAR(WeightsWritesPerCell(params), 43800.0, 1.0);
+}
+
+TEST(Endurance, WeightsPerSecondOverFiveYears) {
+  WeightsEnduranceParams params;
+  params.update_interval_s = 1.0;
+  EXPECT_NEAR(WeightsWritesPerCell(params), 1.577e8, 1e6);
+}
+
+TEST(Endurance, KvWritesScaleWithTokenRate) {
+  KvEnduranceParams params;
+  params.model = workload::Llama2_70B_MHA();
+  params.kv_region_bytes = 256ull * kGiB;
+  const double base = KvWritesPerCell(params);
+  params.prefill_tokens_per_s *= 2.0;
+  params.decode_tokens_per_s *= 2.0;
+  EXPECT_NEAR(KvWritesPerCell(params), base * 2.0, base * 0.001);
+}
+
+TEST(Endurance, KvWritesInverseInRegionSize) {
+  KvEnduranceParams params;
+  params.model = workload::Llama2_70B_MHA();
+  params.kv_region_bytes = 256ull * kGiB;
+  const double base = KvWritesPerCell(params);
+  params.kv_region_bytes *= 4;
+  EXPECT_NEAR(KvWritesPerCell(params), base / 4.0, base * 0.001);
+}
+
+TEST(Endurance, ImperfectWearLevelingRaisesRequirement) {
+  KvEnduranceParams params;
+  params.model = workload::Llama2_70B();
+  params.kv_region_bytes = 256ull * kGiB;
+  const double perfect = KvWritesPerCell(params);
+  params.wear_leveling_efficiency = 0.5;
+  EXPECT_NEAR(KvWritesPerCell(params), perfect * 2.0, perfect * 0.001);
+}
+
+TEST(Endurance, DefaultKvRequirementInPaperBand) {
+  // The paper's Figure 1 places the KV requirement above current SCM
+  // products (1e5-1e7) but below the technology potentials (1e9+).
+  Figure1Params params;
+  const double kv = KvWritesPerCell(params.kv);
+  EXPECT_GT(kv, 1e6);
+  EXPECT_LT(kv, 1e9);
+}
+
+TEST(Figure1, ContainsRequirementAndSupplyBars) {
+  const auto entries = BuildFigure1(Figure1Params{});
+  int requirements = 0;
+  int products = 0;
+  int potentials = 0;
+  for (const auto& entry : entries) {
+    switch (entry.kind) {
+      case Figure1Entry::Kind::kRequirement:
+        ++requirements;
+        break;
+      case Figure1Entry::Kind::kProductEndurance:
+        ++products;
+        break;
+      case Figure1Entry::Kind::kTechnologyPotential:
+        ++potentials;
+        break;
+    }
+    EXPECT_GT(entry.cycles, 0.0) << entry.label;
+  }
+  EXPECT_EQ(requirements, 3);  // weights x2 + KV
+  EXPECT_GE(products, 6);
+  EXPECT_GE(potentials, 6);
+}
+
+TEST(Figure1, HbmVastlyOverprovisioned) {
+  // Paper finding 1: "HBM is vastly overprovisioned on endurance."
+  const auto entries = BuildFigure1(Figure1Params{});
+  double max_requirement = 0.0;
+  double hbm_product = 0.0;
+  for (const auto& entry : entries) {
+    if (entry.kind == Figure1Entry::Kind::kRequirement) {
+      max_requirement = std::max(max_requirement, entry.cycles);
+    }
+    if (entry.label.find("HBM") != std::string::npos &&
+        entry.kind == Figure1Entry::Kind::kProductEndurance) {
+      hbm_product = entry.cycles;
+    }
+  }
+  ASSERT_GT(hbm_product, 0.0);
+  EXPECT_GT(hbm_product / max_requirement, 1e5);  // 5+ orders of magnitude
+}
+
+TEST(Figure1, ScmProductsMissButPotentialsMeet) {
+  // Paper finding 2: "existing SCM devices do not meet the endurance
+  // requirements but the underlying technologies have the potential."
+  Figure1Params params;
+  const double kv_requirement = KvWritesPerCell(params.kv);
+  for (cell::Technology tech :
+       {cell::Technology::kPcm, cell::Technology::kRram}) {
+    const EnduranceVerdict verdict = JudgeEndurance(tech, kv_requirement);
+    EXPECT_FALSE(verdict.product_meets) << cell::TechnologyName(tech);
+    EXPECT_TRUE(verdict.potential_meets) << cell::TechnologyName(tech);
+  }
+  // STT-MRAM products are already strong enough; potential certainly is.
+  EXPECT_TRUE(JudgeEndurance(cell::Technology::kSttMram, kv_requirement).potential_meets);
+}
+
+TEST(Figure1, NandCannotMeetKvRequirementEvenPotentially) {
+  // Paper §3: flash lacks endurance "even with SLC".
+  Figure1Params params;
+  const double kv_requirement = KvWritesPerCell(params.kv);
+  const EnduranceVerdict slc = JudgeEndurance(cell::Technology::kNandSlc, kv_requirement);
+  EXPECT_FALSE(slc.product_meets);
+  EXPECT_FALSE(slc.potential_meets);
+}
+
+TEST(Figure1, WeightsHourlyMetByAllScmProducts) {
+  // Hourly weight updates need only ~4.4e4 writes: every SCM product
+  // except worn-down RRAM meets it.
+  WeightsEnduranceParams weights;
+  const double requirement = WeightsWritesPerCell(weights);
+  EXPECT_TRUE(JudgeEndurance(cell::Technology::kPcm, requirement).product_meets);
+  EXPECT_TRUE(JudgeEndurance(cell::Technology::kSttMram, requirement).product_meets);
+  EXPECT_TRUE(JudgeEndurance(cell::Technology::kRram, requirement).product_meets);
+}
+
+TEST(Endurance, VerdictMarginsConsistent) {
+  const EnduranceVerdict verdict = JudgeEndurance(cell::Technology::kPcm, 1e6);
+  EXPECT_NEAR(verdict.product_margin, 1e7 / 1e6, 1e-6);
+  EXPECT_NEAR(verdict.potential_margin, 1e9 / 1e6, 1e-3);
+  EXPECT_TRUE(verdict.product_meets);
+  EXPECT_TRUE(verdict.potential_meets);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mrm

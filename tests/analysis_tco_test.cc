@@ -1,0 +1,66 @@
+#include "src/analysis/tco.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace analysis {
+namespace {
+
+workload::EngineSummary FakeSummary() {
+  workload::EngineSummary summary;
+  summary.duration_s = 100.0;
+  summary.decode_tokens = 10000;
+  summary.backend_energy_j = 5000.0;  // 50 W average
+  return summary;
+}
+
+workload::TierSpec FakeTier(std::uint64_t gib, double cost_per_gib) {
+  workload::TierSpec spec;
+  spec.capacity_bytes = gib * kGiB;
+  spec.cost_per_gib = cost_per_gib;
+  spec.read_bw_bytes_per_s = 1.0;
+  spec.write_bw_bytes_per_s = 1.0;
+  return spec;
+}
+
+TEST(Tco, MemoryCostSums) {
+  const TcoReport report = ComputeTco(FakeSummary(), {FakeTier(100, 10.0), FakeTier(50, 2.0)});
+  EXPECT_NEAR(report.memory_cost_dollars, 1100.0, 1e-6);
+}
+
+TEST(Tco, ThroughputAndEnergyDerived) {
+  const TcoReport report = ComputeTco(FakeSummary(), {FakeTier(100, 10.0)});
+  EXPECT_NEAR(report.tokens_per_s, 100.0, 1e-9);
+  EXPECT_NEAR(report.energy_per_token_j, 0.5, 1e-9);
+  EXPECT_NEAR(report.memory_power_w, 50.0, 1e-9);
+}
+
+TEST(Tco, TokensPerDollarFavorsCheaperMemory) {
+  const TcoReport expensive = ComputeTco(FakeSummary(), {FakeTier(100, 12.0)});
+  const TcoReport cheap = ComputeTco(FakeSummary(), {FakeTier(100, 2.0)});
+  EXPECT_GT(cheap.tokens_per_memory_dollar, expensive.tokens_per_memory_dollar);
+}
+
+TEST(Tco, EnergyPriceMatters) {
+  TcoParams cheap_power;
+  cheap_power.electricity_dollars_per_kwh = 0.01;
+  TcoParams costly_power;
+  costly_power.electricity_dollars_per_kwh = 1.0;
+  const TcoReport cheap = ComputeTco(FakeSummary(), {FakeTier(100, 10.0)}, cheap_power);
+  const TcoReport costly = ComputeTco(FakeSummary(), {FakeTier(100, 10.0)}, costly_power);
+  EXPECT_GT(cheap.tokens_per_memory_dollar, costly.tokens_per_memory_dollar);
+}
+
+TEST(Tco, EmptyRunYieldsZeros) {
+  workload::EngineSummary summary;
+  const TcoReport report = ComputeTco(summary, {FakeTier(10, 1.0)});
+  EXPECT_EQ(report.tokens_per_s, 0.0);
+  EXPECT_EQ(report.energy_per_token_j, 0.0);
+  EXPECT_EQ(report.tokens_per_memory_dollar, 0.0);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mrm

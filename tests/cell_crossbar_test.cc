@@ -1,0 +1,68 @@
+#include "src/cell/crossbar.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace cell {
+namespace {
+
+TEST(Crossbar, DefaultDesignIsFeasible) {
+  const CrossbarDesign design = EvaluateCrossbar(CrossbarParams{});
+  EXPECT_GT(design.max_array_dim, 100u);
+  EXPECT_GT(design.area_efficiency, 0.9);
+  EXPECT_GT(design.density_vs_dram, 1.0);  // the §3 density claim
+}
+
+TEST(Crossbar, MaxDimIsMinOfBounds) {
+  const CrossbarDesign design = EvaluateCrossbar(CrossbarParams{});
+  EXPECT_EQ(design.max_array_dim, std::min(design.ir_drop_bound, design.sneak_bound));
+}
+
+TEST(Crossbar, HigherWireResistanceShrinksArray) {
+  CrossbarParams low;
+  CrossbarParams high;
+  high.wire_resistance_per_cell_ohm = low.wire_resistance_per_cell_ohm * 4.0;
+  EXPECT_GT(EvaluateCrossbar(low).ir_drop_bound, EvaluateCrossbar(high).ir_drop_bound);
+}
+
+TEST(Crossbar, IrDropBoundScalesWithCellResistance) {
+  CrossbarParams base;
+  CrossbarParams high_r;
+  high_r.cell_on_resistance_ohm = base.cell_on_resistance_ohm * 2.0;
+  EXPECT_NEAR(static_cast<double>(EvaluateCrossbar(high_r).ir_drop_bound),
+              2.0 * static_cast<double>(EvaluateCrossbar(base).ir_drop_bound), 2.0);
+}
+
+TEST(Crossbar, WeakSelectorBoundsBySneak) {
+  CrossbarParams params;
+  params.selector_selectivity = 100.0;
+  const CrossbarDesign design = EvaluateCrossbar(params);
+  EXPECT_EQ(design.max_array_dim, design.sneak_bound);
+  EXPECT_LT(design.max_array_dim, 100u);
+}
+
+TEST(Crossbar, StackingMultipliesDensity) {
+  CrossbarParams one;
+  CrossbarParams eight;
+  eight.stacked_layers = 8;
+  EXPECT_NEAR(EvaluateCrossbar(eight).density_vs_dram,
+              8.0 * EvaluateCrossbar(one).density_vs_dram, 1e-9);
+}
+
+TEST(Crossbar, AreaEfficiencyImprovesWithN) {
+  const CrossbarParams params;
+  EXPECT_LT(CrossbarAreaEfficiency(64, params), CrossbarAreaEfficiency(1024, params));
+  EXPECT_EQ(CrossbarAreaEfficiency(0, params), 0.0);
+}
+
+TEST(Crossbar, SmallArraysLoseDensityToPeriphery) {
+  // A sneak-limited tiny array can end up *below* DRAM density.
+  CrossbarParams params;
+  params.selector_selectivity = 20.0;  // hopeless selector
+  const CrossbarDesign design = EvaluateCrossbar(params);
+  EXPECT_LT(design.area_efficiency, 0.6);
+}
+
+}  // namespace
+}  // namespace cell
+}  // namespace mrm

@@ -1,0 +1,87 @@
+#include "src/cell/mlc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+namespace {
+
+OperatingPoint SlcPoint() {
+  auto tradeoff = MakeRramTradeoff();
+  return tradeoff->AtRetention(6.0 * kHour);
+}
+
+TEST(Mlc, SlcIsIdentity) {
+  const OperatingPoint slc = SlcPoint();
+  const OperatingPoint same = DerateForMlc(slc, 1);
+  EXPECT_DOUBLE_EQ(same.rber_at_retention, slc.rber_at_retention);
+  EXPECT_DOUBLE_EQ(same.write_latency_ns, slc.write_latency_ns);
+  EXPECT_DOUBLE_EQ(same.endurance_cycles, slc.endurance_cycles);
+}
+
+TEST(Mlc, RberMultiplierGrowsSuperlinearly) {
+  const double two = MlcRberMultiplier(2);
+  const double three = MlcRberMultiplier(3);
+  const double four = MlcRberMultiplier(4);
+  EXPECT_GT(two, 1.0);
+  EXPECT_GT(three, 2.0 * two);
+  EXPECT_GT(four, 2.0 * three);
+}
+
+TEST(Mlc, DefaultMultiplierMatchesFormula) {
+  // (2^2 - 1)^2 = 9 for MLC, (2^3 - 1)^2 = 49 for TLC.
+  EXPECT_DOUBLE_EQ(MlcRberMultiplier(2), 9.0);
+  EXPECT_DOUBLE_EQ(MlcRberMultiplier(3), 49.0);
+}
+
+TEST(Mlc, RberDegradesWithBits) {
+  const OperatingPoint slc = SlcPoint();
+  double previous = slc.rber_at_retention;
+  for (int bits = 2; bits <= 4; ++bits) {
+    const OperatingPoint point = DerateForMlc(slc, bits);
+    EXPECT_GT(point.rber_at_retention, previous);
+    previous = point.rber_at_retention;
+  }
+}
+
+TEST(Mlc, WriteLatencyGrowsWithBits) {
+  const OperatingPoint slc = SlcPoint();
+  const OperatingPoint mlc = DerateForMlc(slc, 2);
+  const OperatingPoint tlc = DerateForMlc(slc, 3);
+  EXPECT_GT(mlc.write_latency_ns, slc.write_latency_ns);
+  EXPECT_GT(tlc.write_latency_ns, mlc.write_latency_ns);
+}
+
+TEST(Mlc, PerBitWriteEnergyCanImprove) {
+  // At 2 bits/cell, amortization can beat the program-verify overhead.
+  const OperatingPoint slc = SlcPoint();
+  MlcParams cheap_verify;
+  cheap_verify.program_iteration_cost = 0.2;
+  const OperatingPoint mlc = DerateForMlc(slc, 2, cheap_verify);
+  EXPECT_LT(mlc.write_energy_pj_per_bit, slc.write_energy_pj_per_bit);
+}
+
+TEST(Mlc, EnduranceDegradesWithBits) {
+  const OperatingPoint slc = SlcPoint();
+  const OperatingPoint qlc = DerateForMlc(slc, 4);
+  EXPECT_LT(qlc.endurance_cycles, slc.endurance_cycles);
+  EXPECT_NEAR(qlc.endurance_cycles, slc.endurance_cycles * 0.125, slc.endurance_cycles * 1e-9);
+}
+
+TEST(Mlc, RetentionTargetUnchanged) {
+  const OperatingPoint slc = SlcPoint();
+  const OperatingPoint mlc = DerateForMlc(slc, 3);
+  EXPECT_DOUBLE_EQ(mlc.retention_s, slc.retention_s);
+}
+
+TEST(Mlc, RejectsInvalidBits) {
+  const OperatingPoint slc = SlcPoint();
+  EXPECT_DEATH(DerateForMlc(slc, 0), "bits_per_cell");
+  EXPECT_DEATH(DerateForMlc(slc, 5), "bits_per_cell");
+}
+
+}  // namespace
+}  // namespace cell
+}  // namespace mrm

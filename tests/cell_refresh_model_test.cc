@@ -1,0 +1,78 @@
+#include "src/cell/refresh_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+namespace {
+
+RefreshModelParams HbmStack24GiB() {
+  RefreshModelParams params;
+  params.capacity_bytes = 24ull * kGiB;
+  params.retention_window_s = 0.032;
+  params.row_bytes = 1024;
+  params.energy_per_row_refresh_pj = 230.0;
+  return params;
+}
+
+TEST(RefreshModel, RowCount) {
+  const RefreshCost cost = ComputeRefreshCost(HbmStack24GiB());
+  EXPECT_DOUBLE_EQ(cost.rows, 24.0 * 1024 * 1024);  // 24 GiB / 1 KiB rows
+}
+
+TEST(RefreshModel, RefreshRateScalesInverselyWithWindow) {
+  RefreshModelParams params = HbmStack24GiB();
+  const RefreshCost fast = ComputeRefreshCost(params);
+  params.retention_window_s *= 2.0;
+  const RefreshCost slow = ComputeRefreshCost(params);
+  EXPECT_NEAR(fast.refreshes_per_second, 2.0 * slow.refreshes_per_second, 1.0);
+  EXPECT_NEAR(fast.refresh_power_w, 2.0 * slow.refresh_power_w, 1e-9);
+}
+
+TEST(RefreshModel, PowerScalesWithCapacity) {
+  RefreshModelParams params = HbmStack24GiB();
+  const RefreshCost small = ComputeRefreshCost(params);
+  params.capacity_bytes *= 4;
+  const RefreshCost large = ComputeRefreshCost(params);
+  EXPECT_NEAR(large.refresh_power_w, 4.0 * small.refresh_power_w, 1e-9);
+}
+
+TEST(RefreshModel, HbmStackRefreshPowerIsNonTrivial) {
+  // Order-of-magnitude check: a 24 GiB stack at 32 ms windows burns real
+  // power on refresh alone — the §2.1 "consuming power even when idle".
+  const RefreshCost cost = ComputeRefreshCost(HbmStack24GiB());
+  EXPECT_GT(cost.refresh_power_w, 0.05);
+  EXPECT_LT(cost.refresh_power_w, 5.0);
+}
+
+TEST(RefreshModel, EnergyPerDayConsistent) {
+  const RefreshCost cost = ComputeRefreshCost(HbmStack24GiB());
+  EXPECT_NEAR(cost.energy_per_day_j, cost.refresh_power_w * 86400.0, 1e-6);
+}
+
+TEST(RefreshModel, IdleFractionWithoutBackgroundIsOne) {
+  const RefreshCost cost = ComputeRefreshCost(HbmStack24GiB());
+  EXPECT_DOUBLE_EQ(cost.refresh_fraction_of_idle, 1.0);
+}
+
+TEST(RefreshModel, IdleFractionWithBackground) {
+  RefreshModelParams params = HbmStack24GiB();
+  const double refresh_w = ComputeRefreshCost(params).refresh_power_w;
+  params.background_power_w = refresh_w;  // equal split
+  const RefreshCost cost = ComputeRefreshCost(params);
+  EXPECT_NEAR(cost.refresh_fraction_of_idle, 0.5, 1e-9);
+}
+
+TEST(RefreshModel, ZeroCapacityCostsNothing) {
+  RefreshModelParams params = HbmStack24GiB();
+  params.capacity_bytes = 0;
+  const RefreshCost cost = ComputeRefreshCost(params);
+  EXPECT_EQ(cost.refresh_power_w, 0.0);
+  EXPECT_EQ(cost.refresh_fraction_of_idle, 0.0);
+}
+
+}  // namespace
+}  // namespace cell
+}  // namespace mrm

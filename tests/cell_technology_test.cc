@@ -1,0 +1,112 @@
+#include "src/cell/technology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mrm {
+namespace cell {
+namespace {
+
+TEST(Technology, AllProfilesPresent) {
+  const auto profiles = AllTechnologyProfiles();
+  EXPECT_GE(profiles.size(), 8u);
+  std::set<Technology> seen;
+  for (const auto& profile : profiles) {
+    EXPECT_TRUE(seen.insert(profile.tech).second) << "duplicate profile " << profile.name;
+    EXPECT_FALSE(profile.name.empty());
+  }
+}
+
+TEST(Technology, LookupMatchesRegistry) {
+  for (const auto& profile : AllTechnologyProfiles()) {
+    const TechnologyProfile& looked_up = GetTechnologyProfile(profile.tech);
+    EXPECT_EQ(looked_up.name, profile.name);
+  }
+}
+
+TEST(Technology, NamesNonEmpty) {
+  for (Technology tech :
+       {Technology::kDram, Technology::kHbm, Technology::kLpddr, Technology::kSttMram,
+        Technology::kRram, Technology::kPcm, Technology::kNandSlc, Technology::kNandTlc,
+        Technology::kNorFlash}) {
+    EXPECT_GT(std::string(TechnologyName(tech)).size(), 0u);
+  }
+}
+
+TEST(Technology, DramClassNeedsRefreshAndHasShortRetention) {
+  for (Technology tech : {Technology::kDram, Technology::kHbm, Technology::kLpddr}) {
+    const TechnologyProfile& profile = GetTechnologyProfile(tech);
+    EXPECT_TRUE(profile.needs_refresh) << profile.name;
+    EXPECT_LT(profile.retention_s, 1.0) << profile.name;
+    EXPECT_FALSE(profile.retention_programmable) << profile.name;
+  }
+}
+
+TEST(Technology, ScmClassIsRetentionProgrammable) {
+  for (Technology tech : {Technology::kSttMram, Technology::kRram, Technology::kPcm}) {
+    const TechnologyProfile& profile = GetTechnologyProfile(tech);
+    EXPECT_TRUE(profile.retention_programmable) << profile.name;
+    EXPECT_FALSE(profile.needs_refresh) << profile.name;
+    // Long native retention (10+ years).
+    EXPECT_GE(profile.retention_s, 5.0 * 365 * 86400) << profile.name;
+  }
+}
+
+TEST(Technology, FlashNeedsErase) {
+  EXPECT_TRUE(GetTechnologyProfile(Technology::kNandSlc).needs_erase);
+  EXPECT_TRUE(GetTechnologyProfile(Technology::kNandTlc).needs_erase);
+  EXPECT_TRUE(GetTechnologyProfile(Technology::kNorFlash).needs_erase);
+  EXPECT_FALSE(GetTechnologyProfile(Technology::kHbm).needs_erase);
+}
+
+TEST(Technology, EnduranceOrderingMatchesPaperFigure1) {
+  // Paper §3: DRAM/HBM >> SCM potentials >> SCM products >> NAND TLC.
+  const double hbm = GetTechnologyProfile(Technology::kHbm).endurance.product_cycles;
+  const double stt_product = GetTechnologyProfile(Technology::kSttMram).endurance.product_cycles;
+  const double pcm_product = GetTechnologyProfile(Technology::kPcm).endurance.product_cycles;
+  const double rram_product = GetTechnologyProfile(Technology::kRram).endurance.product_cycles;
+  const double nand_tlc = GetTechnologyProfile(Technology::kNandTlc).endurance.product_cycles;
+
+  EXPECT_GT(hbm, stt_product);
+  EXPECT_GT(stt_product, pcm_product);
+  EXPECT_GT(pcm_product, rram_product);
+  EXPECT_GT(rram_product, nand_tlc);
+}
+
+TEST(Technology, PotentialAlwaysAtLeastProduct) {
+  for (const auto& profile : AllTechnologyProfiles()) {
+    EXPECT_GE(profile.endurance.potential_cycles, profile.endurance.product_cycles)
+        << profile.name;
+  }
+}
+
+TEST(Technology, ScmReadEnergyOnParOrBetterThanDram) {
+  // Paper §3: "PCM, RRAM, and STT-MRAM have read performance and energy on
+  // par or better than DRAM".
+  const double dram_read = GetTechnologyProfile(Technology::kDram).read_energy_pj_per_bit;
+  EXPECT_LE(GetTechnologyProfile(Technology::kSttMram).read_energy_pj_per_bit, dram_read);
+  EXPECT_LE(GetTechnologyProfile(Technology::kRram).read_energy_pj_per_bit, dram_read);
+  EXPECT_LE(GetTechnologyProfile(Technology::kPcm).read_energy_pj_per_bit, dram_read);
+}
+
+TEST(Technology, FlashReadLatencyOrdersOfMagnitudeWorse) {
+  // Why flash cannot serve as AI-accelerator memory (§3).
+  const double dram = GetTechnologyProfile(Technology::kDram).read_latency_ns;
+  const double nand = GetTechnologyProfile(Technology::kNandSlc).read_latency_ns;
+  EXPECT_GT(nand / dram, 100.0);
+}
+
+TEST(Technology, HbmIsCostliestPerBit) {
+  const double hbm = GetTechnologyProfile(Technology::kHbm).relative_cost_per_bit;
+  for (const auto& profile : AllTechnologyProfiles()) {
+    if (profile.tech == Technology::kSttMram) {
+      continue;  // MRAM today is a niche (expensive) embedded part
+    }
+    EXPECT_LE(profile.relative_cost_per_bit, hbm) << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace cell
+}  // namespace mrm

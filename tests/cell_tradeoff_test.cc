@@ -1,0 +1,174 @@
+#include "src/cell/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cell {
+namespace {
+
+constexpr double kTenYears = 10.0 * 365.0 * 86400.0;
+
+class TradeoffParamTest : public ::testing::TestWithParam<Technology> {};
+
+INSTANTIATE_TEST_SUITE_P(AllProgrammable, TradeoffParamTest,
+                         ::testing::Values(Technology::kSttMram, Technology::kRram,
+                                           Technology::kPcm),
+                         [](const auto& info) {
+                           std::string name = TechnologyName(info.param);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(TradeoffParamTest, FactoryBuilds) {
+  auto tradeoff = MakeTradeoffFor(GetParam());
+  ASSERT_TRUE(tradeoff.ok());
+  EXPECT_EQ(tradeoff.value()->technology(), GetParam());
+}
+
+TEST_P(TradeoffParamTest, BoundsAreOrdered) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  EXPECT_GT(tradeoff->min_retention_s(), 0.0);
+  EXPECT_LT(tradeoff->min_retention_s(), tradeoff->max_retention_s());
+  // The reference (max) point is the 10-year non-volatile point.
+  EXPECT_NEAR(tradeoff->max_retention_s(), kTenYears, kTenYears * 0.6);
+}
+
+TEST_P(TradeoffParamTest, WriteEnergyMonotoneInRetention) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  double previous = 0.0;
+  for (double retention = tradeoff->min_retention_s() * 2.0;
+       retention < tradeoff->max_retention_s(); retention *= 10.0) {
+    const OperatingPoint point = tradeoff->AtRetention(retention);
+    EXPECT_GE(point.write_energy_pj_per_bit, previous)
+        << "retention " << retention;
+    previous = point.write_energy_pj_per_bit;
+  }
+}
+
+TEST_P(TradeoffParamTest, WriteLatencyMonotoneInRetention) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  double previous = 0.0;
+  for (double retention = tradeoff->min_retention_s() * 2.0;
+       retention < tradeoff->max_retention_s(); retention *= 10.0) {
+    const OperatingPoint point = tradeoff->AtRetention(retention);
+    EXPECT_GE(point.write_latency_ns, previous);
+    previous = point.write_latency_ns;
+  }
+}
+
+TEST_P(TradeoffParamTest, EnduranceImprovesWithRelaxedRetention) {
+  // The paper's central mechanism: giving up retention buys endurance.
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const OperatingPoint nonvolatile = tradeoff->AtRetention(tradeoff->max_retention_s());
+  const OperatingPoint relaxed = tradeoff->AtRetention(kHour);
+  EXPECT_GT(relaxed.endurance_cycles, nonvolatile.endurance_cycles);
+  // At least an order of magnitude for an hours-scale target.
+  EXPECT_GT(relaxed.endurance_cycles / nonvolatile.endurance_cycles, 10.0);
+}
+
+TEST_P(TradeoffParamTest, RelaxedWritesAreCheaper) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const OperatingPoint nonvolatile = tradeoff->AtRetention(tradeoff->max_retention_s());
+  const OperatingPoint relaxed = tradeoff->AtRetention(kHour);
+  EXPECT_LT(relaxed.write_energy_pj_per_bit, nonvolatile.write_energy_pj_per_bit);
+  EXPECT_LT(relaxed.write_latency_ns, nonvolatile.write_latency_ns);
+}
+
+TEST_P(TradeoffParamTest, ReadPathIndependentOfRetention) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const OperatingPoint a = tradeoff->AtRetention(kHour);
+  const OperatingPoint b = tradeoff->AtRetention(kDay * 30);
+  EXPECT_DOUBLE_EQ(a.read_latency_ns, b.read_latency_ns);
+  EXPECT_DOUBLE_EQ(a.read_energy_pj_per_bit, b.read_energy_pj_per_bit);
+}
+
+TEST_P(TradeoffParamTest, RetentionClampedToBounds) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const OperatingPoint below = tradeoff->AtRetention(tradeoff->min_retention_s() / 100.0);
+  EXPECT_DOUBLE_EQ(below.retention_s, tradeoff->min_retention_s());
+  const OperatingPoint above = tradeoff->AtRetention(tradeoff->max_retention_s() * 100.0);
+  EXPECT_DOUBLE_EQ(above.retention_s, tradeoff->max_retention_s());
+}
+
+TEST_P(TradeoffParamTest, AchievedRetentionCoversRequest) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  for (double retention : {60.0, kHour, kDay, 30.0 * kDay}) {
+    const OperatingPoint point = tradeoff->AtRetention(retention);
+    EXPECT_GE(point.retention_s, retention * 0.999);
+  }
+}
+
+TEST_P(TradeoffParamTest, RberGrowsWithAge) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const double retention = kDay;
+  double previous = 0.0;
+  for (double age = 0.0; age <= 3.0 * kDay; age += 0.5 * kDay) {
+    const double rber = tradeoff->RberAtAge(retention, age);
+    EXPECT_GE(rber, previous);
+    previous = rber;
+  }
+}
+
+TEST_P(TradeoffParamTest, RberCalibratedAtRetention) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  const OperatingPoint point = tradeoff->AtRetention(kDay);
+  const double rber = tradeoff->RberAtAge(kDay, point.retention_s);
+  EXPECT_NEAR(rber, point.rber_at_retention, point.rber_at_retention * 0.05);
+}
+
+TEST_P(TradeoffParamTest, RberZeroAtAgeZeroAndBoundedAtInfinity) {
+  auto tradeoff = MakeTradeoffFor(GetParam()).value();
+  EXPECT_EQ(tradeoff->RberAtAge(kDay, 0.0), 0.0);
+  EXPECT_LE(tradeoff->RberAtAge(kDay, kDay * 1e6), 0.5);
+}
+
+TEST(Tradeoff, SttMramDeltaMatchesTheory) {
+  // Delta = ln(t / tau0): 10 years at tau0 = 1 ns gives delta ~ 40.
+  SttMramParams params;
+  auto tradeoff = MakeSttMramTradeoff(params);
+  const double max_retention = tradeoff->max_retention_s();
+  EXPECT_NEAR(std::log(max_retention / params.tau0_s), params.delta_ref, 1e-9);
+}
+
+TEST(Tradeoff, SttMramEnergyScalesWithDelta) {
+  auto tradeoff = MakeSttMramTradeoff();
+  // One-hour retention needs delta = ln(3600/1e-9) ~ 29, i.e. ~72% of the
+  // 10-year write energy.
+  const OperatingPoint point = tradeoff->AtRetention(3600.0);
+  const double expected_scale = std::log(3600.0 / 1e-9) / 40.0;
+  EXPECT_NEAR(point.write_energy_pj_per_bit / 2.5, expected_scale, 0.01);
+}
+
+TEST(Tradeoff, RramEnduranceCapRespected) {
+  RramParams params;
+  params.endurance_cap = 1e9;
+  auto tradeoff = MakeRramTradeoff(params);
+  const OperatingPoint point = tradeoff->AtRetention(tradeoff->min_retention_s());
+  EXPECT_LE(point.endurance_cycles, 1e9 * 1.0001);
+}
+
+TEST(Tradeoff, PcmProductPointMatchesOptaneClass) {
+  auto tradeoff = MakePcmTradeoff();
+  const OperatingPoint point = tradeoff->AtRetention(tradeoff->max_retention_s());
+  EXPECT_NEAR(point.endurance_cycles, 1e7, 1e7 * 0.01);
+}
+
+TEST(Tradeoff, NonProgrammableTechnologiesRejected) {
+  EXPECT_FALSE(MakeTradeoffFor(Technology::kDram).ok());
+  EXPECT_FALSE(MakeTradeoffFor(Technology::kHbm).ok());
+  EXPECT_FALSE(MakeTradeoffFor(Technology::kNandSlc).ok());
+  EXPECT_FALSE(MakeTradeoffFor(Technology::kNorFlash).ok());
+}
+
+}  // namespace
+}  // namespace cell
+}  // namespace mrm

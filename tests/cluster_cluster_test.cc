@@ -1,0 +1,194 @@
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace cluster {
+namespace {
+
+NodeModelConfig FastNode() {
+  NodeModelConfig config;
+  config.model = workload::Llama2_70B();
+  config.compute_tflops = 1000.0;
+  config.weight_read_bw_bytes_per_s = 4e12;
+  config.kv_read_bw_bytes_per_s = 4e12;
+  config.kv_write_bw_bytes_per_s = 4e12;
+  return config;
+}
+
+ClusterConfig SmallCluster(ClusterMode mode) {
+  ClusterConfig config;
+  config.mode = mode;
+  config.prefill_node = FastNode();
+  config.decode_node = FastNode();
+  config.prefill_nodes = 2;
+  config.decode_nodes = 2;
+  config.max_decode_batch = 8;
+  config.interconnect_bw_bytes_per_s = 0.9e12;
+  return config;
+}
+
+std::vector<workload::InferenceRequest> Burst(int count, int prompt, int output,
+                                              double spacing_s = 0.0) {
+  std::vector<workload::InferenceRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    workload::InferenceRequest request;
+    request.id = static_cast<std::uint64_t>(i + 1);
+    request.arrival_s = spacing_s * i;
+    request.prompt_tokens = prompt;
+    request.output_tokens = output;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+class ClusterModeTest : public ::testing::TestWithParam<ClusterMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, ClusterModeTest,
+                         ::testing::Values(ClusterMode::kColocated,
+                                           ClusterMode::kDisaggregated),
+                         [](const auto& info) {
+                           return info.param == ClusterMode::kColocated ? "Colocated"
+                                                                        : "Disaggregated";
+                         });
+
+TEST_P(ClusterModeTest, DrainsAllRequests) {
+  sim::Simulator simulator(1e9);
+  Cluster cluster(&simulator, SmallCluster(GetParam()));
+  for (const auto& request : Burst(12, 1024, 64, 0.2)) {
+    cluster.Submit(request);
+  }
+  simulator.RunUntil(simulator.SecondsToTicks(3600.0));
+  EXPECT_TRUE(cluster.Drained());
+  EXPECT_EQ(cluster.stats().completed, 12u);
+  EXPECT_EQ(cluster.stats().decode_tokens, 12u * 64);
+}
+
+TEST_P(ClusterModeTest, LatencyHistogramsPopulated) {
+  sim::Simulator simulator(1e9);
+  Cluster cluster(&simulator, SmallCluster(GetParam()));
+  for (const auto& request : Burst(6, 512, 32, 0.5)) {
+    cluster.Submit(request);
+  }
+  simulator.RunUntil(simulator.SecondsToTicks(3600.0));
+  ASSERT_TRUE(cluster.Drained());
+  EXPECT_EQ(cluster.stats().ttft_ms.count(), 6u);
+  EXPECT_EQ(cluster.stats().e2e_s.count(), 6u);
+  EXPECT_GT(cluster.stats().ttft_ms.mean(), 0.0);
+  // E2E at least TTFT.
+  EXPECT_GE(cluster.stats().e2e_s.mean() * 1e3, cluster.stats().ttft_ms.mean());
+}
+
+TEST_P(ClusterModeTest, ThroughputScalesWithDecodeNodes) {
+  auto run_with_nodes = [&](int nodes) {
+    sim::Simulator simulator(1e9);
+    ClusterConfig config = SmallCluster(GetParam());
+    config.decode_nodes = nodes;
+    Cluster cluster(&simulator, config);
+    // Saturating load.
+    for (const auto& request : Burst(nodes * 16, 256, 128, 0.01)) {
+      cluster.Submit(request);
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(36000.0));
+    EXPECT_TRUE(cluster.Drained());
+    return cluster.stats().tokens_per_s();
+  };
+  const double two = run_with_nodes(2);
+  const double four = run_with_nodes(4);
+  EXPECT_GT(four, two * 1.4);
+}
+
+TEST(Cluster, DisaggregationShieldsTtftFromPrefillBursts) {
+  // The Splitwise effect: in a colocated cluster a burst of long prompts
+  // stalls ongoing decodes; a disaggregated cluster isolates them.
+  auto run = [&](ClusterMode mode) {
+    sim::Simulator simulator(1e9);
+    ClusterConfig config = SmallCluster(mode);
+    config.decode_nodes = 2;
+    config.prefill_nodes = 2;
+    Cluster cluster(&simulator, config);
+    // Steady decodes plus a burst of very long prompts at t=1s.
+    for (const auto& request : Burst(8, 128, 256, 0.25)) {
+      cluster.Submit(request);
+    }
+    auto long_prompts = Burst(6, 16384, 16, 0.0);
+    for (auto& request : long_prompts) {
+      request.arrival_s = 1.0;
+      request.id += 100;
+      cluster.Submit(request);
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(36000.0));
+    EXPECT_TRUE(cluster.Drained());
+    return cluster.stats().e2e_s.Quantile(0.5);
+  };
+  const double colocated = run(ClusterMode::kColocated);
+  const double disaggregated = run(ClusterMode::kDisaggregated);
+  EXPECT_LT(disaggregated, colocated);
+}
+
+TEST(Cluster, SharedMrmPoolBeatsInterconnectHandoff) {
+  // interconnect_bw == 0 models a fabric-attached MRM KV pool: no transfer
+  // cost between prefill and decode.
+  auto run = [&](double interconnect_bw) {
+    sim::Simulator simulator(1e9);
+    ClusterConfig config = SmallCluster(ClusterMode::kDisaggregated);
+    config.interconnect_bw_bytes_per_s = interconnect_bw;
+    Cluster cluster(&simulator, config);
+    for (const auto& request : Burst(10, 8192, 32, 0.1)) {
+      cluster.Submit(request);
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(36000.0));
+    EXPECT_TRUE(cluster.Drained());
+    return cluster.stats().ttft_ms.mean();
+  };
+  const double slow_link = run(50e9);    // 50 GB/s link
+  const double fast_link = run(0.9e12);  // NVLink-class
+  const double shared_pool = run(0.0);   // MRM pool, no transfer
+  EXPECT_LT(fast_link, slow_link);
+  EXPECT_LE(shared_pool, fast_link);
+}
+
+TEST(Cluster, QueueWaitGrowsUnderOverload) {
+  auto run = [&](double spacing) {
+    sim::Simulator simulator(1e9);
+    ClusterConfig config = SmallCluster(ClusterMode::kDisaggregated);
+    config.prefill_nodes = 1;
+    Cluster cluster(&simulator, config);
+    for (const auto& request : Burst(16, 8192, 8, spacing)) {
+      cluster.Submit(request);
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(36000.0));
+    EXPECT_TRUE(cluster.Drained());
+    return cluster.stats().queue_wait_ms.mean();
+  };
+  EXPECT_GT(run(0.0), run(10.0));
+}
+
+TEST(Cluster, EmptyClusterIsDrained) {
+  sim::Simulator simulator(1e9);
+  Cluster cluster(&simulator, SmallCluster(ClusterMode::kDisaggregated));
+  simulator.Run();
+  EXPECT_TRUE(cluster.Drained());
+  EXPECT_EQ(cluster.stats().completed, 0u);
+}
+
+TEST(Cluster, BatchCapRespected) {
+  // One decode node, batch cap 2, six simultaneous short requests: they
+  // must trickle through (admission queue) yet all complete.
+  sim::Simulator simulator(1e9);
+  ClusterConfig config = SmallCluster(ClusterMode::kDisaggregated);
+  config.decode_nodes = 1;
+  config.max_decode_batch = 2;
+  Cluster cluster(&simulator, config);
+  for (const auto& request : Burst(6, 128, 64)) {
+    cluster.Submit(request);
+  }
+  simulator.RunUntil(simulator.SecondsToTicks(36000.0));
+  EXPECT_TRUE(cluster.Drained());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace mrm

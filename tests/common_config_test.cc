@@ -1,0 +1,139 @@
+#include "src/common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace {
+
+TEST(Config, ParsesBasicKeyValues) {
+  auto result = Config::Parse("a = 1\nb.c = hello\n");
+  ASSERT_TRUE(result.ok());
+  const Config& config = result.value();
+  EXPECT_EQ(config.GetInt("a"), 1);
+  EXPECT_EQ(config.GetString("b.c"), "hello");
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  auto result = Config::Parse(
+      "# full-line comment\n"
+      "\n"
+      "key = value  ; trailing comment\n"
+      "other = 2 # hash comment\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetString("key"), "value");
+  EXPECT_EQ(result.value().GetInt("other"), 2);
+}
+
+TEST(Config, MalformedLineIsError) {
+  auto result = Config::Parse("this line has no equals\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("line 1"), std::string::npos);
+}
+
+TEST(Config, EmptyKeyIsError) {
+  auto result = Config::Parse(" = value\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Config, LaterDuplicateWins) {
+  auto result = Config::Parse("k = 1\nk = 2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetInt("k"), 2);
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.GetInt("missing", 42), 42);
+  EXPECT_EQ(config.GetString("missing", "d"), "d");
+  EXPECT_EQ(config.GetDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(config.GetBool("missing", true));
+  EXPECT_EQ(config.GetSize("missing", 7), 7u);
+  EXPECT_EQ(config.GetDuration("missing", 1.5), 1.5);
+}
+
+TEST(Config, BoolParsing) {
+  auto result = Config::Parse("a=true\nb=1\nc=yes\nd=on\ne=false\nf=0\n");
+  ASSERT_TRUE(result.ok());
+  const Config& config = result.value();
+  EXPECT_TRUE(config.GetBool("a"));
+  EXPECT_TRUE(config.GetBool("b"));
+  EXPECT_TRUE(config.GetBool("c"));
+  EXPECT_TRUE(config.GetBool("d"));
+  EXPECT_FALSE(config.GetBool("e"));
+  EXPECT_FALSE(config.GetBool("f"));
+}
+
+TEST(Config, SizeSuffixes) {
+  EXPECT_EQ(Config::ParseSize("64").value(), 64u);
+  EXPECT_EQ(Config::ParseSize("1KiB").value(), 1024u);
+  EXPECT_EQ(Config::ParseSize("2 MiB").value(), 2u * 1024 * 1024);
+  EXPECT_EQ(Config::ParseSize("1GiB").value(), 1024ull * 1024 * 1024);
+  EXPECT_EQ(Config::ParseSize("1TiB").value(), 1024ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(Config::ParseSize("1KB").value(), 1000u);
+  EXPECT_EQ(Config::ParseSize("1.5GB").value(), 1500000000u);
+  EXPECT_EQ(Config::ParseSize("2TB").value(), 2000000000000u);
+}
+
+TEST(Config, SizeErrors) {
+  EXPECT_FALSE(Config::ParseSize("abc").ok());
+  EXPECT_FALSE(Config::ParseSize("12XB").ok());
+  EXPECT_FALSE(Config::ParseSize("-5KiB").ok());
+  EXPECT_FALSE(Config::ParseSize("").ok());
+}
+
+TEST(Config, DurationSuffixes) {
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("10").value(), 10.0);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("10s").value(), 10.0);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("5ms").value(), 0.005);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("2us").value(), 2e-6);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("3ns").value(), 3e-9);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("2m").value(), 120.0);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("1h").value(), 3600.0);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("1d").value(), 86400.0);
+  EXPECT_DOUBLE_EQ(Config::ParseDuration("1y").value(), 86400.0 * 365);
+}
+
+TEST(Config, DurationErrors) {
+  EXPECT_FALSE(Config::ParseDuration("fast").ok());
+  EXPECT_FALSE(Config::ParseDuration("5 parsecs").ok());
+}
+
+TEST(Config, GetSizeAndDurationFromEntries) {
+  auto result = Config::Parse("mem = 16GiB\ntimeout = 250ms\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetSize("mem"), 16ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(result.value().GetDuration("timeout"), 0.25);
+}
+
+TEST(Config, UntouchedKeysDetectsTypos) {
+  auto result = Config::Parse("used = 1\nunused.typo = 2\n");
+  ASSERT_TRUE(result.ok());
+  const Config& config = result.value();
+  config.GetInt("used");
+  const auto untouched = config.UntouchedKeys();
+  ASSERT_EQ(untouched.size(), 1u);
+  EXPECT_EQ(untouched[0], "unused.typo");
+}
+
+TEST(Config, ItemsSortedByKey) {
+  auto result = Config::Parse("b = 2\na = 1\n");
+  ASSERT_TRUE(result.ok());
+  const auto items = result.value().Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "a");
+  EXPECT_EQ(items[1].first, "b");
+}
+
+TEST(Config, FromFileMissingIsError) {
+  auto result = Config::FromFile("/nonexistent/path/config.txt");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Config, HexIntegers) {
+  auto result = Config::Parse("addr = 0x40\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().GetInt("addr"), 0x40);
+}
+
+}  // namespace
+}  // namespace mrm

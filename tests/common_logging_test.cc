@@ -1,0 +1,44 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(original);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(Logging, BelowThresholdDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  MRM_LOG(Debug) << "suppressed " << 42;
+  MRM_LOG(Info) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(Logging, CheckPassesSilently) {
+  MRM_CHECK(1 + 1 == 2) << "never shown";
+}
+
+TEST(LoggingDeath, FatalAborts) {
+  EXPECT_DEATH(MRM_LOG(Fatal) << "boom", "boom");
+}
+
+TEST(LoggingDeath, FailedCheckAborts) {
+  EXPECT_DEATH(MRM_CHECK(false) << "context", "check failed: false");
+}
+
+}  // namespace
+}  // namespace mrm

@@ -1,0 +1,76 @@
+#include "src/common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mrm {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Error("not positive");
+  }
+  return x;
+}
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status status = Error("boom");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "boom");
+  EXPECT_EQ(status.error().message(), "boom");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message(), "bad");
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().message(), "bad");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 5);
+  EXPECT_EQ(ParsePositive(-5).value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(Result, MutableValueReference) {
+  Result<int> r = 1;
+  r.value() = 2;
+  EXPECT_EQ(r.value(), 2);
+}
+
+TEST(Error, Equality) {
+  EXPECT_EQ(Error("x"), Error("x"));
+  EXPECT_FALSE(Error("x") == Error("y"));
+}
+
+}  // namespace
+}  // namespace mrm

@@ -1,0 +1,208 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace mrm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedZeroReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], expected, 5.0 * std::sqrt(expected)) << "value " << v;
+  }
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(5);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.Exponential(lambda);
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, NormalHasCorrectMoments) {
+  Rng rng(9);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(13);
+  constexpr int kSamples = 100001;
+  std::vector<double> samples(kSamples);
+  const double mu = std::log(1000.0);
+  for (auto& s : samples) {
+    s = rng.Lognormal(mu, 0.8);
+  }
+  std::nth_element(samples.begin(), samples.begin() + kSamples / 2, samples.end());
+  EXPECT_NEAR(samples[kSamples / 2], 1000.0, 30.0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(17);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(19);
+  constexpr int kSamples = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.Poisson(200.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-1.0), 0u);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Zipf(100, 1.0), 100u);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(31);
+  constexpr int kSamples = 50000;
+  int rank0 = 0;
+  int rank_high = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t r = rng.Zipf(1000, 1.0);
+    if (r == 0) {
+      ++rank0;
+    }
+    if (r >= 500) {
+      ++rank_high;
+    }
+  }
+  // Rank 0 should be by far the most popular single rank.
+  EXPECT_GT(rank0, kSamples / 20);
+  // The whole top half [500, 1000) should get less than rank 0 alone.
+  EXPECT_LT(rank_high, rank0 * 2);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(37);
+  constexpr int kSamples = 100000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.Zipf(4, 0.0)];
+  }
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, kSamples / 4.0, 600.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // The child must differ from a same-seed sibling of the parent.
+  Rng parent2(41);
+  parent2.NextU64();  // advance equally to the Fork() consumption
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == parent2.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBoolEdgeCases) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace mrm

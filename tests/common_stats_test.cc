@@ -1,0 +1,193 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace mrm {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownSequence) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStats, NegativeValues) {
+  StreamingStats stats;
+  stats.Add(-3.0);
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), -3.0);
+  EXPECT_EQ(stats.max(), 3.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombinedStream) {
+  Rng rng(1);
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Normal(7.0, 2.0);
+    all.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.Add(1.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(StreamingStats, ResetClears) {
+  StreamingStats stats;
+  stats.Add(10.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.Quantile(0.5), 100.0, 100.0 / 16.0);
+  EXPECT_EQ(h.min(), 100.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, QuantilesOfUniformData) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  // Log-bucketed: relative error bounded by 1/16 per decade position.
+  EXPECT_NEAR(h.Quantile(0.5), 5000.0, 5000.0 * 0.08);
+  EXPECT_NEAR(h.Quantile(0.9), 9000.0, 9000.0 * 0.08);
+  EXPECT_NEAR(h.Quantile(0.99), 9900.0, 9900.0 * 0.08);
+  EXPECT_EQ(h.Quantile(1.0), 10000.0);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.Lognormal(5.0, 2.0));
+  }
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(Histogram, SubUnitValuesLandInUnderflow) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(0.25);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.Quantile(0.99), 1.0);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, MergeMatchesUnion) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Lognormal(4.0, 1.5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), all.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), all.Quantile(0.99));
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(7.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Add(1e300);
+  h.Add(1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1e300);
+  EXPECT_GE(h.Quantile(1.0), 1.0);
+}
+
+TEST(Histogram, SummaryContainsCount) {
+  Histogram h;
+  h.Add(2.0);
+  h.Add(4.0);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrm

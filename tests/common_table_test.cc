@@ -1,0 +1,73 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace {
+
+TEST(FormatBytes, Plain) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(1024ull * 1024), "1.00 MiB");
+  EXPECT_EQ(FormatBytes(3ull * 1024 * 1024 * 1024), "3.00 GiB");
+  EXPECT_EQ(FormatBytes(2ull * 1024 * 1024 * 1024 * 1024), "2.00 TiB");
+}
+
+TEST(FormatNumber, UsesCompactNotation) {
+  EXPECT_EQ(FormatNumber(1.0), "1");
+  EXPECT_EQ(FormatNumber(1234.0), "1234");
+  EXPECT_EQ(FormatNumber(1.58e8), "1.58e+08");
+}
+
+TEST(FormatSeconds, AdaptiveUnits) {
+  EXPECT_EQ(FormatSeconds(5e-9), "5 ns");
+  EXPECT_EQ(FormatSeconds(2e-6), "2 us");
+  EXPECT_EQ(FormatSeconds(0.5), "500 ms");
+  EXPECT_EQ(FormatSeconds(30.0), "30 s");
+  EXPECT_EQ(FormatSeconds(7200.0), "2 h");
+  EXPECT_EQ(FormatSeconds(86400.0 * 3), "3 d");
+  EXPECT_EQ(FormatSeconds(86400.0 * 365 * 5), "5 y");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  // Header present, separator present, rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Each line ends with newline; 4 lines total.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscaping) {
+  TablePrinter table({"k", "v"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"quote\"inside", "x"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TablePrinter, CsvRowStructure) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace mrm

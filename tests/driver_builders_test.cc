@@ -1,0 +1,166 @@
+#include "src/driver/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace driver {
+namespace {
+
+Config Parse(const std::string& text) {
+  auto parsed = Config::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return parsed.ok() ? parsed.value() : Config();
+}
+
+TEST(Builders, DeviceFromPresetWithDefaults) {
+  const Config config = Parse("hbm.preset = hbm3\n");
+  auto device = BuildDeviceConfig(config, "hbm");
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ(device.value().name, "HBM3");
+  EXPECT_EQ(device.value().channels, 16);
+}
+
+TEST(Builders, DeviceOverrides) {
+  const Config config = Parse("hbm.preset = ddr5\nhbm.channels = 4\nhbm.row_bytes = 2048\n");
+  auto device = BuildDeviceConfig(config, "hbm");
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ(device.value().channels, 4);
+  EXPECT_EQ(device.value().row_bytes, 2048u);
+}
+
+TEST(Builders, DeviceUnknownPresetFails) {
+  const Config config = Parse("hbm.preset = hbm9\n");
+  EXPECT_FALSE(BuildDeviceConfig(config, "hbm").ok());
+}
+
+TEST(Builders, DeviceInvalidOverrideFails) {
+  // row_bytes not a multiple of access_bytes.
+  const Config config = Parse("hbm.preset = hbm3\nhbm.row_bytes = 100\n");
+  EXPECT_FALSE(BuildDeviceConfig(config, "hbm").ok());
+}
+
+TEST(Builders, MrmDefaults) {
+  const Config config = Parse("mrm.technology = rram\n");
+  auto mrm = BuildMrmConfig(config, "mrm");
+  ASSERT_TRUE(mrm.ok());
+  EXPECT_EQ(mrm.value().technology, cell::Technology::kRram);
+}
+
+TEST(Builders, MrmOverrides) {
+  const Config config = Parse(
+      "mrm.technology = pcm\n"
+      "mrm.channels = 32\n"
+      "mrm.block_bytes = 128KiB\n"
+      "mrm.retention = 2h\n"
+      "mrm.read_bw_gbps = 50\n");
+  auto mrm = BuildMrmConfig(config, "mrm");
+  ASSERT_TRUE(mrm.ok());
+  EXPECT_EQ(mrm.value().channels, 32);
+  EXPECT_EQ(mrm.value().block_bytes, 128u * 1024);
+  EXPECT_DOUBLE_EQ(mrm.value().default_retention_s, 7200.0);
+  EXPECT_DOUBLE_EQ(mrm.value().channel_read_bw_bytes_per_s, 50e9);
+}
+
+TEST(Builders, MrmUnknownTechnologyFails) {
+  const Config config = Parse("mrm.technology = flux-capacitor\n");
+  EXPECT_FALSE(BuildMrmConfig(config, "mrm").ok());
+}
+
+TEST(Builders, ModelPresetAndOverride) {
+  const Config config = Parse("model = llama2-70b\nmodel.max_context = 8192\n");
+  auto model = BuildModel(config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().max_context_tokens, 8192);
+}
+
+TEST(Builders, UnknownModelFails) {
+  EXPECT_FALSE(BuildModel(Parse("model = gpt9000\n")).ok());
+}
+
+TEST(Builders, ProfileLookup) {
+  EXPECT_TRUE(BuildProfile("splitwise-coding").ok());
+  EXPECT_TRUE(BuildProfile("long-context-summarization").ok());
+  EXPECT_FALSE(BuildProfile("angry-users").ok());
+}
+
+TEST(Builders, HbmOnlyScenario) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "hbm.preset = hbm3e\n"
+      "hbm.devices = 4\n"
+      "workload.requests = 4\n"
+      "workload.rate = 10\n");
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+  EXPECT_EQ(scenario.value().tiers.size(), 1u);
+  EXPECT_EQ(scenario.value().placement.weights_tier, 0);
+}
+
+TEST(Builders, MrmScenarioPlacesWeightsOnMrm) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "hbm.devices = 2\n"
+      "mrm.technology = stt-mram\n"
+      "mrm.retention = 1h\n"
+      "workload.requests = 4\n"
+      "workload.rate = 10\n");
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+  EXPECT_EQ(scenario.value().tiers.size(), 2u);
+  EXPECT_EQ(scenario.value().placement.weights_tier, 1);
+  EXPECT_EQ(scenario.value().backend_options.scrub_tier, 1);
+  EXPECT_DOUBLE_EQ(scenario.value().mrm_retention_s, 3600.0);
+}
+
+TEST(Builders, WeightsOnMrmWithoutMrmFails) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "placement.weights = mrm\n"
+      "workload.requests = 1\n");
+  EXPECT_FALSE(BuildScenario(config).ok());
+}
+
+TEST(Builders, BadHotFractionFails) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "mrm.technology = rram\n"
+      "placement.kv_hot_fraction = 1.5\n"
+      "workload.requests = 1\n");
+  EXPECT_FALSE(BuildScenario(config).ok());
+}
+
+TEST(Builders, RunScenarioCompletesRequests) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "hbm.devices = 4\n"
+      "workload.requests = 6\n"
+      "workload.rate = 5\n"
+      "engine.max_batch = 4\n");
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  const ScenarioResult result = RunScenario(scenario.value());
+  EXPECT_EQ(result.summary.requests_completed, 6u);
+  EXPECT_GT(result.summary.decode_tokens_per_s(), 0.0);
+  EXPECT_GT(result.tco.memory_cost_dollars, 0.0);
+}
+
+TEST(Builders, ScenarioIsDeterministicInSeed) {
+  const char* text =
+      "model = phi3-14b\n"
+      "workload.requests = 5\n"
+      "workload.rate = 5\n"
+      "workload.seed = 42\n";
+  auto a = BuildScenario(Parse(text));
+  auto b = BuildScenario(Parse(text));
+  ASSERT_TRUE(a.ok() && b.ok());
+  const ScenarioResult ra = RunScenario(a.value());
+  const ScenarioResult rb = RunScenario(b.value());
+  EXPECT_DOUBLE_EQ(ra.summary.duration_s, rb.summary.duration_s);
+  EXPECT_EQ(ra.summary.decode_tokens, rb.summary.decode_tokens);
+}
+
+}  // namespace
+}  // namespace driver
+}  // namespace mrm

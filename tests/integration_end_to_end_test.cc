@@ -1,0 +1,194 @@
+// Cross-module integration tests: the full pipeline from device presets
+// through tier specs and the inference engine to the analysis metrics —
+// checking that the paper's qualitative claims emerge from the composed
+// system, not just from each module in isolation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/endurance.h"
+#include "src/analysis/tco.h"
+#include "src/common/units.h"
+#include "src/mem/device_config.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/mrm_device.h"
+#include "src/tier/tier_spec.h"
+#include "src/tier/tiered_backend.h"
+#include "src/workload/inference_engine.h"
+#include "src/workload/request_generator.h"
+
+namespace mrm {
+namespace {
+
+workload::EngineConfig MidEngine() {
+  workload::EngineConfig config;
+  config.model = workload::Llama2_70B();
+  config.max_batch = 8;
+  config.compute_tflops = 800.0;
+  config.prefill_chunk_tokens = 1024;
+  return config;
+}
+
+std::vector<workload::InferenceRequest> SmallWorkload(int count) {
+  workload::RequestGenerator generator(workload::SplitwiseConversation(), 5.0, 99);
+  std::vector<workload::InferenceRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    workload::InferenceRequest request = generator.Next();
+    request.prompt_tokens = std::min(request.prompt_tokens, 2048);
+    request.output_tokens = std::min(request.output_tokens, 64);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST(Integration, HbmOnlyServesLlamaAndIsMemoryBound) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  workload::AnalyticBackend backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine engine(MidEngine(), &backend);
+  const workload::EngineSummary summary = engine.Run(SmallWorkload(10));
+  EXPECT_EQ(summary.requests_completed, 10u);
+  // §2.1: decode on HBM-class memory is memory bound.
+  EXPECT_GT(summary.memory_bound_fraction(), 0.5);
+  // §2.2: read:write ratio over 1000:1.
+  EXPECT_GT(summary.read_write_ratio(), 1000.0);
+}
+
+TEST(Integration, MrmWeightsTierMatchesHbmThroughputAtLowerEnergy) {
+  // Weights on an MRM tier sized for read bandwidth: tokens/s holds while
+  // memory energy per token drops (the paper's core value proposition).
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+
+  mrmcore::MrmDeviceConfig mrm_config;
+  mrm_config.name = "mrm";
+  mrm_config.technology = cell::Technology::kSttMram;
+  mrm_config.channels = 64;
+  mrm_config.channel_read_bw_bytes_per_s = 100e9;  // 6.4 TB/s aggregate
+  const workload::TierSpec mrm = tier::TierSpecFromMrm(mrm_config, 1, 6 * kHour);
+
+  // Baseline: all in HBM.
+  workload::AnalyticBackend hbm_backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine hbm_engine(MidEngine(), &hbm_backend);
+  const auto hbm_summary = hbm_engine.Run(SmallWorkload(10));
+
+  // Tiered: weights+KV-cold on MRM, activations + KV-hot in HBM.
+  tier::Placement placement;
+  placement.weights_tier = 1;
+  placement.kv_hot_tier = 0;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.1;
+  placement.activations_tier = 0;
+  tier::TieredBackend tiered({hbm, mrm}, placement, workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine tiered_engine(MidEngine(), &tiered);
+  const auto tiered_summary = tiered_engine.Run(SmallWorkload(10));
+
+  EXPECT_EQ(tiered_summary.requests_completed, 10u);
+  // Throughput within 30% of HBM-only.
+  EXPECT_GT(tiered_summary.decode_tokens_per_s(), hbm_summary.decode_tokens_per_s() * 0.7);
+  // Energy per token strictly better.
+  EXPECT_LT(tiered_summary.energy_per_decode_token_j(),
+            hbm_summary.energy_per_decode_token_j());
+}
+
+TEST(Integration, TcoFavorsMrmTiering) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  mrmcore::MrmDeviceConfig mrm_config;
+  mrm_config.technology = cell::Technology::kRram;  // cheap, dense
+  mrm_config.channels = 64;
+  const workload::TierSpec mrm = tier::TierSpecFromMrm(mrm_config, 1, 6 * kHour);
+
+  workload::AnalyticBackend hbm_backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine hbm_engine(MidEngine(), &hbm_backend);
+  const auto hbm_summary = hbm_engine.Run(SmallWorkload(8));
+  const auto hbm_tco = analysis::ComputeTco(hbm_summary, {hbm});
+
+  tier::Placement placement;
+  placement.weights_tier = 1;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.1;
+  // Smaller HBM next to the MRM: 2 stacks instead of 8.
+  const workload::TierSpec small_hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 2);
+  tier::TieredBackend tiered({small_hbm, mrm}, placement,
+                             workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine tiered_engine(MidEngine(), &tiered);
+  const auto tiered_summary = tiered_engine.Run(SmallWorkload(8));
+  const auto tiered_tco = analysis::ComputeTco(tiered_summary, {small_hbm, mrm});
+
+  EXPECT_GT(tiered_tco.tokens_per_memory_dollar, hbm_tco.tokens_per_memory_dollar);
+}
+
+TEST(Integration, ControlPlaneServesKvLifecycleOverMrmDevice) {
+  // Device + control plane end to end: append KV blocks with realistic
+  // lifetimes, read them back during the "conversation", free on completion,
+  // confirm zones get reclaimed and nothing needed was lost.
+  sim::Simulator simulator(1e9);
+  mrmcore::MrmDeviceConfig config;
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 4;
+  config.zones = 32;
+  config.zone_blocks = 32;
+  config.block_bytes = 64 * 1024;
+  mrmcore::MrmDevice device(&simulator, config);
+  mrmcore::ControlPlaneOptions options;
+  options.scrub_period_s = 30.0;
+  mrmcore::ControlPlane plane(&simulator, &device, options);
+
+  int lost = 0;
+  plane.SetLossHandler([&](mrmcore::LogicalId) { ++lost; });
+
+  std::vector<mrmcore::LogicalId> live;
+  int read_failures = 0;
+  for (int conversation = 0; conversation < 20; ++conversation) {
+    // Each conversation appends 16 blocks living ~10 minutes.
+    for (int b = 0; b < 16; ++b) {
+      auto id = plane.Append(600.0);
+      ASSERT_TRUE(id.ok());
+      live.push_back(id.value());
+    }
+    // Re-read everything appended so far (decode re-reads whole KV).
+    for (mrmcore::LogicalId id : live) {
+      const Status status = plane.Read(id, [&](bool ok) {
+        if (!ok) {
+          ++read_failures;
+        }
+      });
+      ASSERT_TRUE(status.ok());
+    }
+    // Advance 30 simulated seconds of serving.
+    simulator.RunUntil(simulator.SecondsToTicks((conversation + 1) * 30.0));
+    // Conversations end after ~8 rounds: free their blocks.
+    if (conversation >= 8) {
+      for (int b = 0; b < 16; ++b) {
+        plane.Free(live.front());
+        live.erase(live.begin());
+      }
+    }
+  }
+  // Drain outstanding device work (Run() would never return here: the
+  // control plane's periodic scrub task reschedules itself indefinitely).
+  simulator.RunUntil(simulator.SecondsToTicks(20 * 30.0 + 10.0));
+  EXPECT_EQ(read_failures, 0);
+  EXPECT_EQ(lost, 0);  // nothing expired: lifetimes respected
+  EXPECT_GT(plane.stats().zones_reclaimed, 0u);
+  EXPECT_EQ(device.stats().endurance_failures, 0u);
+}
+
+TEST(Integration, EnduranceRequirementConsistentWithEngineTraffic) {
+  // The Figure 1 KV write rate and the engine's measured KV write rate
+  // agree within an order of magnitude for the same token rates.
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  workload::AnalyticBackend backend(hbm, workload::Llama2_70B().weight_bytes());
+  workload::InferenceEngine engine(MidEngine(), &backend);
+  const auto summary = engine.Run(SmallWorkload(20));
+
+  const double engine_kv_write_rate =
+      static_cast<double>(summary.kv_write_bytes) / summary.duration_s;
+  const double engine_token_rate =
+      static_cast<double>(summary.prefill_tokens + summary.decode_tokens) / summary.duration_s;
+  const double model_rate =
+      static_cast<double>(workload::Llama2_70B().kv_bytes_per_token()) * engine_token_rate;
+  EXPECT_NEAR(engine_kv_write_rate / model_rate, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mrm

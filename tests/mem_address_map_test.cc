@@ -1,0 +1,122 @@
+#include "src/mem/address_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/mem/device_config.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+DeviceConfig SmallConfig() {
+  DeviceConfig config;
+  config.name = "test";
+  config.channels = 4;
+  config.ranks = 2;
+  config.bank_groups = 2;
+  config.banks_per_group = 4;
+  config.rows_per_bank = 64;
+  config.row_bytes = 512;
+  config.access_bytes = 64;
+  return config;
+}
+
+class AddressMapPolicyTest : public ::testing::TestWithParam<AddressMapPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, AddressMapPolicyTest,
+                         ::testing::Values(AddressMapPolicy::kRowBankRankColumnChannel,
+                                           AddressMapPolicy::kRowColumnBankRankChannel));
+
+TEST_P(AddressMapPolicyTest, RoundTripsEveryAccessUnit) {
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, GetParam());
+  for (std::uint64_t addr = 0; addr < config.capacity_bytes(); addr += config.access_bytes) {
+    const Location loc = map.Decode(addr);
+    EXPECT_EQ(map.Encode(loc), addr);
+  }
+}
+
+TEST_P(AddressMapPolicyTest, FieldsWithinBounds) {
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, GetParam());
+  for (std::uint64_t addr = 0; addr < config.capacity_bytes(); addr += config.access_bytes) {
+    const Location loc = map.Decode(addr);
+    EXPECT_LT(loc.channel, config.channels);
+    EXPECT_LT(loc.rank, config.ranks);
+    EXPECT_LT(loc.bank_group, config.bank_groups);
+    EXPECT_LT(loc.bank, config.banks_per_group);
+    EXPECT_LT(loc.row, config.rows_per_bank);
+    EXPECT_LT(loc.column, config.columns_per_row());
+  }
+}
+
+TEST_P(AddressMapPolicyTest, DecodeIsInjective) {
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, GetParam());
+  std::set<std::tuple<int, int, int, int, std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t addr = 0; addr < config.capacity_bytes(); addr += config.access_bytes) {
+    const Location loc = map.Decode(addr);
+    EXPECT_TRUE(
+        seen.insert({loc.channel, loc.rank, loc.bank_group, loc.bank, loc.row, loc.column})
+            .second)
+        << "collision at " << addr;
+  }
+}
+
+TEST(AddressMap, ConsecutiveLinesStripeAcrossChannels) {
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, AddressMapPolicy::kRowBankRankColumnChannel);
+  for (int i = 0; i < config.channels; ++i) {
+    const Location loc = map.Decode(static_cast<std::uint64_t>(i) * config.access_bytes);
+    EXPECT_EQ(loc.channel, i);
+  }
+}
+
+TEST(AddressMap, SequentialStreamIsRowFriendly) {
+  // After channel striping, consecutive lines in one channel fill one row's
+  // columns before touching another row.
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, AddressMapPolicy::kRowBankRankColumnChannel);
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(config.channels) * config.access_bytes;
+  Location first = map.Decode(0);
+  for (std::uint64_t c = 1; c < config.columns_per_row(); ++c) {
+    const Location loc = map.Decode(c * stride);
+    EXPECT_EQ(loc.row, first.row);
+    EXPECT_EQ(loc.bank, first.bank);
+    EXPECT_EQ(loc.column, c);
+  }
+}
+
+TEST(AddressMap, SubLineOffsetsMapToSameColumn) {
+  const DeviceConfig config = SmallConfig();
+  const AddressMap map(config, AddressMapPolicy::kRowBankRankColumnChannel);
+  const Location base = map.Decode(0);
+  const Location mid = map.Decode(17);
+  EXPECT_EQ(base.channel, mid.channel);
+  EXPECT_EQ(base.column, mid.column);
+}
+
+TEST(AddressMap, FlatBankIndexUnique) {
+  const DeviceConfig config = SmallConfig();
+  std::set<int> flats;
+  for (int rank = 0; rank < config.ranks; ++rank) {
+    for (int group = 0; group < config.bank_groups; ++group) {
+      for (int bank = 0; bank < config.banks_per_group; ++bank) {
+        Location loc;
+        loc.rank = rank;
+        loc.bank_group = group;
+        loc.bank = bank;
+        EXPECT_TRUE(flats.insert(loc.FlatBank(config.bank_groups, config.banks_per_group)).second);
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(flats.size()), config.ranks * config.banks_per_rank());
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

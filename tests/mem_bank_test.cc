@@ -1,0 +1,123 @@
+#include "src/mem/bank.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace mem {
+namespace {
+
+TimingTicks SimpleTimings() {
+  TimingTicks t;
+  t.tck = 1;
+  t.trcd = 10;
+  t.trp = 10;
+  t.tcas = 10;
+  t.tcwl = 8;
+  t.tras = 24;
+  t.trc = 34;
+  t.tccd = 2;
+  t.tburst = 2;
+  t.twr = 12;
+  t.trtp = 6;
+  t.trfc = 100;
+  return t;
+}
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : timings_(SimpleTimings()), bank_(&timings_) {}
+  TimingTicks timings_;
+  Bank bank_;
+};
+
+TEST_F(BankTest, StartsIdle) {
+  EXPECT_EQ(bank_.state(), Bank::State::kIdle);
+  EXPECT_TRUE(bank_.CanIssue(Command::kActivate, 0));
+  EXPECT_FALSE(bank_.CanIssue(Command::kRead, 0));
+  EXPECT_FALSE(bank_.CanIssue(Command::kWrite, 0));
+  EXPECT_FALSE(bank_.CanIssue(Command::kPrecharge, 0));
+}
+
+TEST_F(BankTest, ActivateOpensRow) {
+  bank_.Issue(Command::kActivate, 7, 0);
+  EXPECT_EQ(bank_.state(), Bank::State::kActive);
+  EXPECT_EQ(bank_.open_row(), 7u);
+}
+
+TEST_F(BankTest, ReadGatedByTrcd) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  EXPECT_FALSE(bank_.CanIssue(Command::kRead, 9));
+  EXPECT_TRUE(bank_.CanIssue(Command::kRead, 10));
+  EXPECT_EQ(bank_.EarliestIssue(Command::kRead), 10u);
+}
+
+TEST_F(BankTest, PrechargeGatedByTras) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  EXPECT_FALSE(bank_.CanIssue(Command::kPrecharge, 23));
+  EXPECT_TRUE(bank_.CanIssue(Command::kPrecharge, 24));
+}
+
+TEST_F(BankTest, ActToActGatedByTrc) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  bank_.Issue(Command::kPrecharge, 0, 24);
+  // tRP from PRE would allow ACT at 34; tRC from ACT also says 34.
+  EXPECT_EQ(bank_.EarliestIssue(Command::kActivate), 34u);
+}
+
+TEST_F(BankTest, BackToBackReadsGatedByTccd) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  bank_.Issue(Command::kRead, 0, 10);
+  EXPECT_FALSE(bank_.CanIssue(Command::kRead, 11));
+  EXPECT_TRUE(bank_.CanIssue(Command::kRead, 12));
+}
+
+TEST_F(BankTest, ReadDelaysPrechargeByTrtp) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  bank_.Issue(Command::kRead, 0, 30);  // past tRAS end (24)
+  EXPECT_EQ(bank_.EarliestIssue(Command::kPrecharge), 36u);  // 30 + tRTP
+}
+
+TEST_F(BankTest, WriteDelaysPrechargeByWriteRecovery) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  bank_.Issue(Command::kWrite, 0, 30);
+  // PRE blocked until 30 + tCWL + tBURST + tWR = 30 + 8 + 2 + 12 = 52.
+  EXPECT_EQ(bank_.EarliestIssue(Command::kPrecharge), 52u);
+}
+
+TEST_F(BankTest, PrechargeClosesRow) {
+  bank_.Issue(Command::kActivate, 3, 0);
+  bank_.Issue(Command::kPrecharge, 0, 24);
+  EXPECT_EQ(bank_.state(), Bank::State::kIdle);
+  // tRP gates next activate at 34 (combined with tRC).
+  EXPECT_FALSE(bank_.CanIssue(Command::kActivate, 33));
+  EXPECT_TRUE(bank_.CanIssue(Command::kActivate, 34));
+}
+
+TEST_F(BankTest, RefreshBlocksActivates) {
+  bank_.Issue(Command::kRefresh, 0, 0);
+  EXPECT_FALSE(bank_.CanIssue(Command::kActivate, 99));
+  EXPECT_TRUE(bank_.CanIssue(Command::kActivate, 100));  // after tRFC
+}
+
+TEST_F(BankTest, RefreshOnlyWhenIdle) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  EXPECT_EQ(bank_.EarliestIssue(Command::kRefresh), sim::kTickNever);
+}
+
+TEST_F(BankTest, BlockUntilForcesIdleAndDelays) {
+  bank_.Issue(Command::kActivate, 5, 0);
+  bank_.BlockUntil(500);
+  EXPECT_EQ(bank_.state(), Bank::State::kIdle);
+  EXPECT_FALSE(bank_.CanIssue(Command::kActivate, 499));
+  EXPECT_TRUE(bank_.CanIssue(Command::kActivate, 500));
+}
+
+TEST_F(BankTest, WriteThenReadGatedByTccd) {
+  bank_.Issue(Command::kActivate, 0, 0);
+  bank_.Issue(Command::kWrite, 0, 10);
+  EXPECT_EQ(bank_.EarliestIssue(Command::kRead), 12u);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,171 @@
+#include "src/mem/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+DeviceConfig OneChannelConfig() {
+  DeviceConfig config;
+  config.name = "one-channel";
+  config.channels = 1;
+  config.ranks = 1;
+  config.bank_groups = 2;
+  config.banks_per_group = 2;
+  config.rows_per_bank = 64;
+  config.row_bytes = 512;
+  config.access_bytes = 64;
+  return config;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : simulator_(1e9),
+        config_(OneChannelConfig()),
+        map_(config_, AddressMapPolicy::kRowBankRankColumnChannel),
+        controller_(&simulator_, &config_, &map_, 0, SchedulerPolicy::kFrFcfs) {}
+
+  Request MakeRequest(Request::Kind kind, std::uint64_t addr,
+                      std::function<void(const Request&)> cb = nullptr) {
+    Request request;
+    request.kind = kind;
+    request.addr = addr;
+    request.size = 64;
+    request.on_complete = std::move(cb);
+    return request;
+  }
+
+  sim::Simulator simulator_;
+  DeviceConfig config_;
+  AddressMap map_;
+  ChannelController controller_;
+};
+
+TEST_F(ControllerTest, QueueCapacityEnforced) {
+  for (std::size_t i = 0; i < controller_.queue_capacity(); ++i) {
+    EXPECT_TRUE(controller_.Enqueue(MakeRequest(Request::Kind::kRead, i * 64)));
+  }
+  EXPECT_FALSE(controller_.Enqueue(MakeRequest(Request::Kind::kRead, 0)));
+  EXPECT_EQ(controller_.queue_depth(), controller_.queue_capacity());
+}
+
+TEST_F(ControllerTest, SlotFreeCallbackFires) {
+  int slot_frees = 0;
+  controller_.set_on_slot_free([&] { ++slot_frees; });
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, 0));
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, 64));
+  simulator_.Run();
+  EXPECT_EQ(slot_frees, 2);
+}
+
+TEST_F(ControllerTest, ReadLatencyMatchesTimingChain) {
+  sim::Tick completed = 0;
+  controller_.Enqueue(
+      MakeRequest(Request::Kind::kRead, 0, [&](const Request& r) { completed = r.complete_tick; }));
+  simulator_.Run();
+  // Cold access: ACT at t>=0, RD at tRCD, data at tRCD+tCAS+tBURST. The
+  // controller issues ACT on the first wake (t=0) and RD one command slot
+  // after the constraint clears.
+  const sim::Tick expected_min = 14 + 14 + 2;  // tRCD + tCAS + tBURST
+  EXPECT_GE(completed, expected_min);
+  EXPECT_LE(completed, expected_min + 4);
+}
+
+TEST_F(ControllerTest, WriteLatencyUsesCwl) {
+  sim::Tick completed = 0;
+  controller_.Enqueue(MakeRequest(Request::Kind::kWrite, 0,
+                                  [&](const Request& r) { completed = r.complete_tick; }));
+  simulator_.Run();
+  const sim::Tick expected_min = 14 + 12 + 2;  // tRCD + tCWL + tBURST
+  EXPECT_GE(completed, expected_min);
+  EXPECT_LE(completed, expected_min + 4);
+}
+
+TEST_F(ControllerTest, RowHitFollowsFasterThanMiss) {
+  sim::Tick first = 0;
+  sim::Tick second = 0;
+  controller_.Enqueue(
+      MakeRequest(Request::Kind::kRead, 0, [&](const Request& r) { first = r.complete_tick; }));
+  controller_.Enqueue(
+      MakeRequest(Request::Kind::kRead, 64, [&](const Request& r) { second = r.complete_tick; }));
+  simulator_.Run();
+  // The second access hits the open row: only tCCD + bus apart.
+  EXPECT_LT(second - first, 10u);
+  EXPECT_EQ(controller_.stats().row_hits, 1u);
+  EXPECT_EQ(controller_.stats().row_misses, 1u);
+}
+
+TEST_F(ControllerTest, RowConflictPaysPrechargePenalty) {
+  const AddressMap& map = map_;
+  Location conflict;
+  conflict.row = 5;  // same bank 0, different row
+  sim::Tick first = 0;
+  sim::Tick second = 0;
+  controller_.Enqueue(
+      MakeRequest(Request::Kind::kRead, 0, [&](const Request& r) { first = r.complete_tick; }));
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, map.Encode(conflict),
+                                  [&](const Request& r) { second = r.complete_tick; }));
+  simulator_.Run();
+  // Conflict needs PRE (after tRTP/tRAS) + ACT (tRP) + tRCD again.
+  EXPECT_GT(second - first, 30u);
+  EXPECT_EQ(controller_.stats().row_misses, 2u);
+}
+
+TEST_F(ControllerTest, EnergyCountersTrackCommands) {
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, 0));
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, 64));   // row hit
+  Location other_row;
+  other_row.row = 9;
+  controller_.Enqueue(MakeRequest(Request::Kind::kRead, map_.Encode(other_row)));
+  simulator_.Run();
+  const EnergyCounters& counters = controller_.energy_counters();
+  EXPECT_EQ(counters.activates, 2u);   // initial ACT + conflict re-ACT
+  EXPECT_EQ(counters.precharges, 1u);  // conflict PRE
+  EXPECT_EQ(counters.read_bits, 3u * 64 * 8);
+  EXPECT_EQ(counters.write_bits, 0u);
+}
+
+TEST_F(ControllerTest, EnergyReportIncludesBackground) {
+  simulator_.ScheduleAt(1000, [] {});
+  simulator_.Run();
+  const EnergyReport report = controller_.GetEnergyReport(simulator_.now());
+  EXPECT_GT(report.background_pj, 0.0);
+  EXPECT_EQ(report.read_pj, 0.0);
+}
+
+TEST_F(ControllerTest, ManyRandomRequestsDrainCompletely) {
+  int completed = 0;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t addr = (state >> 20) % config_.capacity_bytes();
+    const std::uint64_t aligned = addr / 64 * 64;
+    const Request::Kind kind =
+        (state & 1) != 0 ? Request::Kind::kRead : Request::Kind::kWrite;
+    if (!controller_.Enqueue(MakeRequest(kind, aligned, [&](const Request&) { ++completed; }))) {
+      // Queue full: drain a bit then retry once.
+      simulator_.RunUntil(simulator_.now() + 1000);
+      ASSERT_TRUE(
+          controller_.Enqueue(MakeRequest(kind, aligned, [&](const Request&) { ++completed; })));
+    }
+  }
+  simulator_.Run();
+  EXPECT_EQ(completed, 300);
+  EXPECT_EQ(controller_.queue_depth(), 0u);
+}
+
+TEST_F(ControllerTest, OversizedRequestRejected) {
+  Request request;
+  request.kind = Request::Kind::kRead;
+  request.addr = 0;
+  request.size = 128;  // > access_bytes
+  EXPECT_DEATH(controller_.Enqueue(std::move(request)), "access granularity");
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,286 @@
+#include "src/mem/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+DeviceConfig TinyConfig() {
+  DeviceConfig config;
+  config.name = "tiny";
+  config.tech = cell::Technology::kDram;
+  config.channels = 2;
+  config.ranks = 1;
+  config.bank_groups = 2;
+  config.banks_per_group = 2;
+  config.rows_per_bank = 128;
+  config.row_bytes = 512;
+  config.access_bytes = 64;
+  config.timings = Timings{};  // defaults: 1 ns tCK etc.
+  config.needs_refresh = true;
+  return config;
+}
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest() : simulator_(1e9), system_(&simulator_, TinyConfig()) {}
+
+  Request MakeRead(std::uint64_t addr, std::function<void(const Request&)> cb = nullptr) {
+    Request request;
+    request.kind = Request::Kind::kRead;
+    request.addr = addr;
+    request.size = 64;
+    request.on_complete = std::move(cb);
+    return request;
+  }
+
+  sim::Simulator simulator_;
+  MemorySystem system_;
+};
+
+TEST_F(MemorySystemTest, SingleReadCompletes) {
+  bool done = false;
+  sim::Tick completed_at = 0;
+  system_.Enqueue(MakeRead(0, [&](const Request& r) {
+    done = true;
+    completed_at = r.complete_tick;
+  }));
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-6));
+  EXPECT_TRUE(done);
+  // ACT(tRCD=14) + RD(tCAS=14) + burst(2) = 30 ns minimum.
+  EXPECT_GE(completed_at, 30u);
+  EXPECT_LE(completed_at, 100u);
+}
+
+TEST_F(MemorySystemTest, SingleWriteCompletes) {
+  bool done = false;
+  Request request;
+  request.kind = Request::Kind::kWrite;
+  request.addr = 128;
+  request.size = 64;
+  request.on_complete = [&](const Request&) { done = true; };
+  system_.Enqueue(std::move(request));
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-6));
+  EXPECT_TRUE(done);
+  const SystemStats stats = system_.GetStats();
+  EXPECT_EQ(stats.writes_completed, 1u);
+  EXPECT_EQ(stats.bytes_written, 64u);
+}
+
+TEST_F(MemorySystemTest, AllRequestsComplete) {
+  int completed = 0;
+  constexpr int kRequests = 500;
+  const DeviceConfig config = TinyConfig();
+  for (int i = 0; i < kRequests; ++i) {
+    const std::uint64_t addr =
+        (static_cast<std::uint64_t>(i) * 64) % config.capacity_bytes();
+    system_.Enqueue(MakeRead(addr, [&](const Request&) { ++completed; }));
+  }
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-3));
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_TRUE(system_.Idle());
+  EXPECT_EQ(system_.GetStats().reads_completed, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST_F(MemorySystemTest, SequentialReadsHitRowBuffer) {
+  // Stream one full row per channel: after the first access per row the rest
+  // are row hits.
+  int completed = 0;
+  const DeviceConfig config = TinyConfig();
+  const std::uint64_t lines = config.columns_per_row() * config.channels;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    system_.Enqueue(MakeRead(i * 64, [&](const Request&) { ++completed; }));
+  }
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-3));
+  ASSERT_EQ(completed, static_cast<int>(lines));
+  const SystemStats stats = system_.GetStats();
+  EXPECT_EQ(stats.row_misses, static_cast<std::uint64_t>(config.channels));
+  EXPECT_EQ(stats.row_hits, lines - config.channels);
+  EXPECT_GT(stats.row_hit_rate(), 0.7);
+}
+
+TEST_F(MemorySystemTest, RandomReadsMissRowBuffer) {
+  // Touch a different row every time within one bank: all conflicts.
+  int completed = 0;
+  const DeviceConfig config = TinyConfig();
+  const AddressMap map(config, AddressMapPolicy::kRowBankRankColumnChannel);
+  for (std::uint64_t row = 0; row < 32; ++row) {
+    Location loc;
+    loc.row = row;
+    system_.Enqueue(MakeRead(map.Encode(loc), [&](const Request&) { ++completed; }));
+  }
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-3));
+  ASSERT_EQ(completed, 32);
+  const SystemStats stats = system_.GetStats();
+  EXPECT_EQ(stats.row_hits, 0u);
+  EXPECT_EQ(stats.row_misses, 32u);
+}
+
+TEST_F(MemorySystemTest, LatencyHistogramPopulated) {
+  for (int i = 0; i < 10; ++i) {
+    system_.Enqueue(MakeRead(static_cast<std::uint64_t>(i) * 64));
+  }
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-4));
+  const SystemStats stats = system_.GetStats();
+  EXPECT_EQ(stats.read_latency_ns.count(), 10u);
+  EXPECT_GT(stats.read_latency_ns.mean(), 10.0);   // more than burst alone
+  EXPECT_LT(stats.read_latency_ns.mean(), 1000.0);
+}
+
+TEST_F(MemorySystemTest, RefreshHappensUnderLoad) {
+  // Drive a trickle of traffic for ~40 us: with tREFI = 3.9 us each busy
+  // channel must issue REF commands that delay requests.
+  for (int i = 0; i < 40; ++i) {
+    const sim::Tick at = simulator_.SecondsToTicks(static_cast<double>(i) * 1e-6);
+    simulator_.ScheduleAt(at, [this, i] {
+      system_.Enqueue(MakeRead(static_cast<std::uint64_t>(i) * 64));
+    });
+  }
+  simulator_.Run();
+  const SystemStats stats = system_.GetStats();
+  EXPECT_GT(stats.refreshes, 4u);
+  EXPECT_GT(stats.energy.refresh_pj, 0.0);
+}
+
+TEST_F(MemorySystemTest, IdleRefreshEnergyChargedAnalytically) {
+  // Even with no traffic the energy report charges steady-state refresh.
+  simulator_.ScheduleAt(simulator_.SecondsToTicks(100e-6), [] {});
+  simulator_.Run();
+  EXPECT_GT(system_.GetStats().energy.refresh_pj, 0.0);
+}
+
+TEST_F(MemorySystemTest, DisableRefreshStopsRefreshes) {
+  system_.DisableRefresh();
+  simulator_.ScheduleAt(simulator_.SecondsToTicks(100e-6), [] {});
+  simulator_.Run();
+  EXPECT_EQ(system_.GetStats().refreshes, 0u);
+  EXPECT_EQ(system_.GetStats().energy.refresh_pj, 0.0);
+}
+
+TEST_F(MemorySystemTest, EnergyLedgerTracksTraffic) {
+  for (int i = 0; i < 64; ++i) {
+    system_.Enqueue(MakeRead(static_cast<std::uint64_t>(i) * 64));
+  }
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-4));
+  const SystemStats stats = system_.GetStats();
+  EXPECT_GT(stats.energy.read_pj, 0.0);
+  EXPECT_GT(stats.energy.io_pj, 0.0);
+  EXPECT_GT(stats.energy.activate_pj, 0.0);
+  EXPECT_GT(stats.energy.background_pj, 0.0);
+  EXPECT_EQ(stats.energy.write_pj, 0.0);
+  // Read energy = bits * pj/bit exactly.
+  EXPECT_DOUBLE_EQ(stats.energy.read_pj,
+                   64.0 * 64.0 * 8.0 * TinyConfig().energy.read_pj_per_bit);
+}
+
+TEST_F(MemorySystemTest, TransferMovesAllBytes) {
+  bool done = false;
+  system_.Transfer(Request::Kind::kRead, 0, 64 * 1024, /*stream=*/1, [&] { done = true; });
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(system_.GetStats().bytes_read, 64u * 1024);
+  EXPECT_TRUE(system_.Idle());
+}
+
+TEST_F(MemorySystemTest, TransferUnalignedEdges) {
+  bool done = false;
+  // Start mid-line, end mid-line.
+  system_.Transfer(Request::Kind::kWrite, 30, 100, 0, [&] { done = true; });
+  simulator_.RunUntil(simulator_.SecondsToTicks(1e-4));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(system_.GetStats().bytes_written, 100u);
+}
+
+TEST_F(MemorySystemTest, TransferBandwidthWithinPeak) {
+  const DeviceConfig config = TinyConfig();
+  bool done = false;
+  const std::uint64_t bytes = 256 * 1024;  // half the tiny device
+  system_.Transfer(Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  const double seconds = simulator_.now_seconds();
+  const double bandwidth = static_cast<double>(bytes) / seconds;
+  const double peak = config.peak_bandwidth_bytes_per_s();
+  EXPECT_LE(bandwidth, peak * 1.01);
+  EXPECT_GE(bandwidth, peak * 0.30);  // sequential stream should do well
+}
+
+TEST_F(MemorySystemTest, BacklogAbsorbsBursts) {
+  // Enqueue far more than queue capacity at once; everything must finish.
+  int completed = 0;
+  constexpr int kRequests = 2000;
+  for (int i = 0; i < kRequests; ++i) {
+    system_.Enqueue(MakeRead(static_cast<std::uint64_t>(i % 1024) * 64,
+                             [&](const Request&) { ++completed; }));
+  }
+  simulator_.Run();
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_TRUE(system_.Idle());
+}
+
+TEST_F(MemorySystemTest, FcfsPolicyAlsoCompletes) {
+  sim::Simulator simulator(1e9);
+  MemorySystem fcfs(&simulator, TinyConfig(), SchedulerPolicy::kFcfs);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    Request request;
+    request.kind = Request::Kind::kRead;
+    request.addr = static_cast<std::uint64_t>((i * 7919) % 1024) * 64;
+    request.size = 64;
+    request.on_complete = [&](const Request&) { ++completed; };
+    fcfs.Enqueue(std::move(request));
+  }
+  simulator.Run();
+  EXPECT_EQ(completed, 200);
+}
+
+TEST_F(MemorySystemTest, FrFcfsBeatsFcfsOnMixedPattern) {
+  // Interleave row-hit streams with conflicting rows; FR-FCFS should finish
+  // sooner (or at least not later).
+  auto run_policy = [](SchedulerPolicy policy) {
+    sim::Simulator simulator(1e9);
+    MemorySystem system(&simulator, TinyConfig(), policy);
+    const AddressMap map(TinyConfig(), AddressMapPolicy::kRowBankRankColumnChannel);
+    for (int i = 0; i < 256; ++i) {
+      Location loc;
+      loc.row = (i % 4 == 0) ? 64 + static_cast<std::uint64_t>(i % 16) : 0;
+      loc.column = static_cast<std::uint64_t>(i) % 8;
+      Request request;
+      request.kind = Request::Kind::kRead;
+      request.addr = map.Encode(loc);
+      request.size = 64;
+      system.Enqueue(std::move(request));
+    }
+    simulator.Run();
+    return simulator.now();
+  };
+  const sim::Tick frfcfs = run_policy(SchedulerPolicy::kFrFcfs);
+  const sim::Tick fcfs = run_policy(SchedulerPolicy::kFcfs);
+  EXPECT_LE(frfcfs, fcfs);
+}
+
+TEST_F(MemorySystemTest, WritesAndReadsInterleave) {
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    Request request;
+    request.kind = (i % 2 == 0) ? Request::Kind::kRead : Request::Kind::kWrite;
+    request.addr = static_cast<std::uint64_t>(i) * 64;
+    request.size = 64;
+    request.on_complete = [&](const Request&) { ++completed; };
+    system_.Enqueue(std::move(request));
+  }
+  simulator_.Run();
+  EXPECT_EQ(completed, 100);
+  const SystemStats stats = system_.GetStats();
+  EXPECT_EQ(stats.reads_completed, 50u);
+  EXPECT_EQ(stats.writes_completed, 50u);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

@@ -1,0 +1,119 @@
+#include "src/mem/stream_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_system.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+TEST(StreamModel, EffectiveBelowPeak) {
+  for (const auto& config : {HBM3Config(), HBM3EConfig(), LPDDR5XConfig(), DDR5Config()}) {
+    const StreamModel model(config);
+    EXPECT_LT(model.EffectiveBandwidth(), config.peak_bandwidth_bytes_per_s() * 1.0001)
+        << config.name;
+    EXPECT_GT(model.EffectiveBandwidth(), config.peak_bandwidth_bytes_per_s() * 0.5)
+        << config.name;
+  }
+}
+
+TEST(StreamModel, RefreshBlackoutMatchesTimings) {
+  const DeviceConfig config = HBM3Config();
+  const StreamModel model(config);
+  EXPECT_NEAR(model.RefreshBlackoutFraction(),
+              config.timings.trfc_ns / config.timings.trefi_ns, 1e-12);
+}
+
+TEST(StreamModel, NoRefreshNoBlackout) {
+  DeviceConfig config = HBM3Config();
+  config.needs_refresh = false;
+  const StreamModel model(config);
+  EXPECT_EQ(model.RefreshBlackoutFraction(), 0.0);
+}
+
+TEST(StreamModel, NewPresetsValidateAndOrder) {
+  for (const auto& config : {HBM2EConfig(), GDDR6Config()}) {
+    EXPECT_TRUE(config.Validate().ok()) << config.name;
+  }
+  // Generation ordering: HBM2e < HBM3 on bandwidth; GDDR6 between DDR5 and
+  // LPDDR-package class per device.
+  EXPECT_LT(StreamModel(HBM2EConfig()).EffectiveBandwidth(),
+            StreamModel(HBM3Config()).EffectiveBandwidth());
+  EXPECT_GT(StreamModel(GDDR6Config()).EffectiveBandwidth(),
+            StreamModel(DDR5Config()).EffectiveBandwidth());
+}
+
+TEST(StreamModel, PresetLookupCoversAllNames) {
+  for (const char* name : {"hbm2e", "hbm3", "hbm3e", "lpddr5x", "ddr5", "gddr6"}) {
+    EXPECT_TRUE(DeviceConfigByName(name).ok()) << name;
+  }
+  EXPECT_FALSE(DeviceConfigByName("hbm9").ok());
+}
+
+TEST(StreamModel, Hbm3ePreserveBandwidthOrdering) {
+  // Presets must order HBM3e > HBM3 > LPDDR5X > DDR5 on bandwidth.
+  const double hbm3e = StreamModel(HBM3EConfig()).EffectiveBandwidth();
+  const double hbm3 = StreamModel(HBM3Config()).EffectiveBandwidth();
+  const double lpddr = StreamModel(LPDDR5XConfig()).EffectiveBandwidth();
+  const double ddr5 = StreamModel(DDR5Config()).EffectiveBandwidth();
+  EXPECT_GT(hbm3e, hbm3);
+  EXPECT_GT(hbm3, lpddr);
+  EXPECT_GT(lpddr, ddr5);
+}
+
+TEST(StreamModel, HbmClassBandwidthOrderOfMagnitude) {
+  // An HBM3-class stack delivers several hundred GB/s.
+  const double bw = StreamModel(HBM3Config()).EffectiveBandwidth();
+  EXPECT_GT(bw, 400e9);
+  EXPECT_LT(bw, 2000e9);
+}
+
+TEST(StreamModel, EstimateScalesLinearly) {
+  const StreamModel model(HBM3Config());
+  const StreamEstimate one = model.EstimateSequential(1ull << 30, true);
+  const StreamEstimate two = model.EstimateSequential(2ull << 30, true);
+  EXPECT_NEAR(two.seconds, 2.0 * one.seconds, one.seconds * 1e-9);
+  EXPECT_NEAR(two.energy_pj, 2.0 * one.energy_pj, one.energy_pj * 1e-9);
+}
+
+TEST(StreamModel, WriteEnergyDiffersFromRead) {
+  DeviceConfig config = HBM3Config();
+  config.energy.write_pj_per_bit = config.energy.read_pj_per_bit * 2.0;
+  const StreamModel model(config);
+  const StreamEstimate rd = model.EstimateSequential(1 << 20, true);
+  const StreamEstimate wr = model.EstimateSequential(1 << 20, false);
+  EXPECT_GT(wr.energy_pj, rd.energy_pj);
+}
+
+TEST(StreamModel, AgreesWithCycleSimulatorOnSequentialRead) {
+  // The analytic model must predict the cycle simulator's sequential-read
+  // bandwidth within 25% — this validates using it for bulk traffic.
+  DeviceConfig config;
+  config.name = "validation";
+  config.channels = 2;
+  config.ranks = 1;
+  config.bank_groups = 2;
+  config.banks_per_group = 2;
+  config.rows_per_bank = 512;
+  config.row_bytes = 1024;
+  config.access_bytes = 64;
+
+  sim::Simulator simulator(1e9);
+  MemorySystem system(&simulator, config);
+  const std::uint64_t bytes = 2ull << 20;
+  bool done = false;
+  system.Transfer(Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
+  simulator.Run();
+  ASSERT_TRUE(done);
+  const double measured = static_cast<double>(bytes) / simulator.now_seconds();
+
+  const double predicted = StreamModel(config).EffectiveBandwidth();
+  EXPECT_NEAR(measured / predicted, 1.0, 0.25)
+      << "measured " << measured << " predicted " << predicted;
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

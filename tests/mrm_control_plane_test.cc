@@ -1,0 +1,214 @@
+#include "src/mrm/control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+MrmDeviceConfig SmallMrm() {
+  MrmDeviceConfig config;
+  config.name = "cp-mrm";
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 2;
+  config.zones = 16;
+  config.zone_blocks = 8;
+  config.block_bytes = 4096;
+  config.channel_read_bw_bytes_per_s = 10e9;
+  config.channel_write_bw_ref_bytes_per_s = 10e9;
+  config.default_retention_s = kHour;
+  return config;
+}
+
+ControlPlaneOptions FastScrubOptions() {
+  ControlPlaneOptions options;
+  options.scrub_period_s = 10.0;
+  options.retention_margin = 1.25;
+  return options;
+}
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  ControlPlaneTest()
+      : simulator_(1e9),
+        device_(&simulator_, SmallMrm()),
+        plane_(&simulator_, &device_, FastScrubOptions()) {}
+
+  void AdvanceTo(double seconds) {
+    simulator_.RunUntil(simulator_.SecondsToTicks(seconds));
+  }
+
+  sim::Simulator simulator_;
+  MrmDevice device_;
+  ControlPlane plane_;
+};
+
+TEST_F(ControlPlaneTest, AppendReturnsLiveLogicalBlock) {
+  auto id = plane_.Append(kHour);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(plane_.Alive(id.value()));
+  EXPECT_EQ(plane_.live_blocks(), 1u);
+  EXPECT_EQ(plane_.stats().appends, 1u);
+}
+
+TEST_F(ControlPlaneTest, ReadLiveBlockSucceeds) {
+  auto id = plane_.Append(kHour);
+  ASSERT_TRUE(id.ok());
+  bool ok_flag = false;
+  ASSERT_TRUE(plane_.Read(id.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  AdvanceTo(1.0);
+  EXPECT_TRUE(ok_flag);
+}
+
+TEST_F(ControlPlaneTest, ReadUnknownIdFails) {
+  EXPECT_FALSE(plane_.Read(999, nullptr).ok());
+}
+
+TEST_F(ControlPlaneTest, FreeReleasesBlock) {
+  auto id = plane_.Append(kHour);
+  ASSERT_TRUE(id.ok());
+  plane_.Free(id.value());
+  EXPECT_FALSE(plane_.Alive(id.value()));
+  EXPECT_EQ(plane_.live_blocks(), 0u);
+  EXPECT_FALSE(plane_.Read(id.value(), nullptr).ok());
+}
+
+TEST_F(ControlPlaneTest, FreeUnknownIsNoOp) {
+  plane_.Free(12345);
+  EXPECT_EQ(plane_.live_blocks(), 0u);
+}
+
+TEST_F(ControlPlaneTest, DcmRetentionCoversLifetimeWithMargin) {
+  const double retention = plane_.RetentionForLifetime(1000.0);
+  EXPECT_GE(retention, 1000.0 * 1.25 * 0.999);
+}
+
+TEST_F(ControlPlaneTest, ShortLifetimesFlooredByScrubPeriod) {
+  // Lifetimes shorter than the scrub machinery can track get a floor.
+  const double retention = plane_.RetentionForLifetime(0.001);
+  EXPECT_GE(retention, 2.0 * 10.0);  // 2 x scrub period
+}
+
+TEST_F(ControlPlaneTest, CustomPolicyOverridesDcm) {
+  ControlPlaneOptions options = FastScrubOptions();
+  options.retention_policy = MakeFixedPolicy(kDay);
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, SmallMrm());
+  ControlPlane plane(&simulator, &device, options);
+  EXPECT_DOUBLE_EQ(plane.RetentionForLifetime(1.0), kDay);
+  EXPECT_DOUBLE_EQ(plane.RetentionForLifetime(1e6), kDay);
+}
+
+TEST_F(ControlPlaneTest, ZonesFillThenRotate) {
+  // 8 blocks per zone: the 9th append must move to a second zone.
+  std::vector<LogicalId> ids;
+  for (int i = 0; i < 9; ++i) {
+    auto id = plane_.Append(kHour);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kFull);
+  EXPECT_EQ(device_.zone_info(1).state, ZoneState::kOpen);
+}
+
+TEST_F(ControlPlaneTest, ExpiredSoftStateDropsAndNotifies) {
+  std::vector<LogicalId> lost;
+  plane_.SetLossHandler([&](LogicalId id) { lost.push_back(id); });
+  // Lifetime of 30 s, scrub period 10 s: by t=50 the block expired and a
+  // scrub pass dropped it.
+  auto id = plane_.Append(30.0);
+  ASSERT_TRUE(id.ok());
+  AdvanceTo(60.0);
+  EXPECT_FALSE(plane_.Alive(id.value()));
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], id.value());
+  EXPECT_GE(plane_.stats().drops, 1u);
+}
+
+TEST_F(ControlPlaneTest, LongLivedDataSurvivesScrubPasses) {
+  auto id = plane_.Append(kDay);
+  ASSERT_TRUE(id.ok());
+  AdvanceTo(300.0);  // 30 scrub passes
+  EXPECT_TRUE(plane_.Alive(id.value()));
+}
+
+TEST_F(ControlPlaneTest, ScrubRewritesDataApproachingDeadline) {
+  // Force a pessimistic code so the ECC-safe age is far shorter than the
+  // programmed retention -> scrubber must migrate the still-needed block.
+  ControlPlaneOptions options = FastScrubOptions();
+  options.ecc.payload_bits = 8ull * 4096;
+  options.ecc.t = 1;  // nearly no correction
+  options.target_uber = 1e-18;
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, SmallMrm());
+  ControlPlane plane(&simulator, &device, options);
+
+  auto id = plane.Append(kHour);
+  ASSERT_TRUE(id.ok());
+  simulator.RunUntil(simulator.SecondsToTicks(kHour / 2));
+  EXPECT_TRUE(plane.Alive(id.value()));
+  EXPECT_GT(plane.stats().scrub_rewrites, 0u);
+  EXPECT_GT(plane.stats().scrub_bytes, 0u);
+}
+
+TEST_F(ControlPlaneTest, FullyDeadZonesReclaimed) {
+  std::vector<LogicalId> ids;
+  for (int i = 0; i < 8; ++i) {  // fill zone 0 exactly
+    auto id = plane_.Append(kHour);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  ASSERT_EQ(device_.zone_info(0).state, ZoneState::kFull);
+  for (LogicalId id : ids) {
+    plane_.Free(id);
+  }
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kEmpty);
+  EXPECT_GE(plane_.stats().zones_reclaimed, 1u);
+}
+
+TEST_F(ControlPlaneTest, WearLevelingPrefersLeastWornZone) {
+  // Fill and free zone 0 twice so it accumulates wear, then check the next
+  // allocation goes to a fresh zone.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<LogicalId> ids;
+    for (int i = 0; i < 8; ++i) {
+      auto id = plane_.Append(kHour);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (LogicalId id : ids) {
+      plane_.Free(id);
+    }
+  }
+  // Allocate once more; wear-levelling must pick a zone with zero wear.
+  auto id = plane_.Append(kHour);
+  ASSERT_TRUE(id.ok());
+  std::uint32_t used_zone = 0;
+  for (std::uint32_t z = 0; z < SmallMrm().zones; ++z) {
+    if (device_.zone_info(z).state == ZoneState::kOpen) {
+      used_zone = z;
+      break;
+    }
+  }
+  EXPECT_EQ(device_.zone_info(used_zone).wear_cycles, 1u);
+}
+
+TEST_F(ControlPlaneTest, AllocationFailureWhenAllZonesBusy) {
+  // Fill every zone without freeing; eventually Append must fail cleanly.
+  const MrmDeviceConfig config = SmallMrm();
+  const std::uint64_t total = static_cast<std::uint64_t>(config.zones) * config.zone_blocks;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(plane_.Append(kDay).ok()) << i;
+  }
+  EXPECT_FALSE(plane_.Append(kDay).ok());
+  EXPECT_GE(plane_.stats().allocation_failures, 1u);
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

@@ -1,0 +1,45 @@
+#include "src/mrm/dcm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+TEST(Dcm, DcmPolicyScalesWithLifetime) {
+  const RetentionPolicy policy = MakeDcmPolicy(1.5, 60.0);
+  EXPECT_DOUBLE_EQ(policy(1000.0), 1500.0);
+  EXPECT_DOUBLE_EQ(policy(kDay), kDay * 1.5);
+}
+
+TEST(Dcm, DcmPolicyAppliesFloor) {
+  const RetentionPolicy policy = MakeDcmPolicy(1.5, 60.0);
+  EXPECT_DOUBLE_EQ(policy(1.0), 90.0);   // floored at 60 then margined
+  EXPECT_DOUBLE_EQ(policy(0.0), 90.0);
+}
+
+TEST(Dcm, FixedPolicyIgnoresLifetime) {
+  const RetentionPolicy policy = MakeFixedPolicy(kDay);
+  EXPECT_DOUBLE_EQ(policy(1.0), kDay);
+  EXPECT_DOUBLE_EQ(policy(kYear), kDay);
+}
+
+TEST(Dcm, TwoClassPolicySplitsAtThreshold) {
+  const RetentionPolicy policy = MakeTwoClassPolicy(kHour, 30.0 * kDay, 2.0 * kHour);
+  EXPECT_DOUBLE_EQ(policy(60.0), kHour);          // short class
+  EXPECT_DOUBLE_EQ(policy(2.0 * kHour), kHour);   // boundary inclusive
+  EXPECT_DOUBLE_EQ(policy(kDay), 30.0 * kDay);    // long class
+}
+
+TEST(Dcm, DcmNeverUnderProvisionsVersusHint) {
+  const RetentionPolicy policy = MakeDcmPolicy(1.25, 120.0);
+  for (double lifetime : {0.1, 10.0, 300.0, kHour, kDay, 30.0 * kDay}) {
+    EXPECT_GE(policy(lifetime), lifetime) << lifetime;
+  }
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

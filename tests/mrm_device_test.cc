@@ -1,0 +1,326 @@
+#include "src/mrm/mrm_device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+MrmDeviceConfig TinyMrm() {
+  MrmDeviceConfig config;
+  config.name = "tiny-mrm";
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 2;
+  config.zones = 8;
+  config.zone_blocks = 16;
+  config.block_bytes = 4096;
+  config.channel_read_bw_bytes_per_s = 10e9;
+  config.channel_write_bw_ref_bytes_per_s = 1e9;
+  config.default_retention_s = kHour;
+  return config;
+}
+
+class MrmDeviceTest : public ::testing::Test {
+ protected:
+  MrmDeviceTest() : simulator_(1e9), device_(&simulator_, TinyMrm()) {}
+  sim::Simulator simulator_;
+  MrmDevice device_;
+};
+
+TEST_F(MrmDeviceTest, ConfigDerivations) {
+  const MrmDeviceConfig config = TinyMrm();
+  EXPECT_EQ(config.zone_bytes(), 16u * 4096);
+  EXPECT_EQ(config.capacity_bytes(), 8u * 16 * 4096);
+  EXPECT_EQ(config.total_blocks(), 128u);
+  EXPECT_DOUBLE_EQ(config.peak_read_bw_bytes_per_s(), 20e9);
+}
+
+TEST_F(MrmDeviceTest, ConfigValidation) {
+  MrmDeviceConfig bad = TinyMrm();
+  bad.channels = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = TinyMrm();
+  bad.default_retention_s = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = TinyMrm();
+  bad.channel_read_bw_bytes_per_s = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST_F(MrmDeviceTest, ZoneLifecycle) {
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kEmpty);
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kOpen);
+  EXPECT_FALSE(device_.OpenZone(0).ok());  // already open
+  ASSERT_TRUE(device_.ResetZone(0).ok());
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kEmpty);
+}
+
+TEST_F(MrmDeviceTest, RetiredZoneRejectsOperations) {
+  device_.RetireZone(1);
+  EXPECT_FALSE(device_.OpenZone(1).ok());
+  EXPECT_FALSE(device_.ResetZone(1).ok());
+}
+
+TEST_F(MrmDeviceTest, AppendRequiresOpenZone) {
+  EXPECT_FALSE(device_.AppendBlock(0, kHour, nullptr).ok());
+}
+
+TEST_F(MrmDeviceTest, AppendAdvancesWritePointerAndSealsZone) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    auto block = device_.AppendBlock(0, kHour, nullptr);
+    ASSERT_TRUE(block.ok()) << i;
+    EXPECT_EQ(block.value(), i);
+  }
+  EXPECT_EQ(device_.zone_info(0).state, ZoneState::kFull);
+  EXPECT_FALSE(device_.AppendBlock(0, kHour, nullptr).ok());
+}
+
+TEST_F(MrmDeviceTest, BlockMetaRecordsRetention) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  auto block = device_.AppendBlock(0, kDay, nullptr);
+  ASSERT_TRUE(block.ok());
+  const BlockMeta& meta = device_.block_meta(block.value());
+  EXPECT_TRUE(meta.written);
+  EXPECT_GE(meta.retention_s, kDay);
+  EXPECT_EQ(meta.wear, 1u);
+}
+
+TEST_F(MrmDeviceTest, WriteCompletionFiresWithLatency) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  bool done = false;
+  auto block = device_.AppendBlock(0, kHour, [&](BlockId) { done = true; });
+  ASSERT_TRUE(block.ok());
+  EXPECT_FALSE(done);
+  simulator_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(simulator_.now(), 0u);
+  EXPECT_TRUE(device_.Idle());
+}
+
+TEST_F(MrmDeviceTest, ReadBlockDeliversAliveData) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  auto block = device_.AppendBlock(0, kHour, nullptr);
+  ASSERT_TRUE(block.ok());
+  bool ok_flag = false;
+  ASSERT_TRUE(device_.ReadBlock(block.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  simulator_.Run();
+  EXPECT_TRUE(ok_flag);
+  EXPECT_EQ(device_.stats().blocks_read, 1u);
+}
+
+TEST_F(MrmDeviceTest, ReadUnwrittenBlockFails) {
+  EXPECT_FALSE(device_.ReadBlock(5, nullptr).ok());
+  EXPECT_FALSE(device_.ReadBlock(1 << 20, nullptr).ok());
+}
+
+TEST_F(MrmDeviceTest, ExpiredDataReadsAsLost) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  // Program with the minimum retention the technology supports.
+  const double min_retention = device_.tradeoff().min_retention_s();
+  auto block = device_.AppendBlock(0, min_retention, nullptr);
+  ASSERT_TRUE(block.ok());
+  const double programmed = device_.block_meta(block.value()).retention_s;
+  // Advance simulated time past the programmed retention.
+  simulator_.ScheduleAt(simulator_.SecondsToTicks(programmed * 2.0), [] {});
+  simulator_.Run();
+  EXPECT_FALSE(device_.BlockAlive(block.value()));
+  bool ok_flag = true;
+  ASSERT_TRUE(device_.ReadBlock(block.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  simulator_.Run();
+  EXPECT_FALSE(ok_flag);
+  EXPECT_EQ(device_.stats().expired_reads, 1u);
+}
+
+TEST_F(MrmDeviceTest, BlockAgeTracksTime) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  auto block = device_.AppendBlock(0, kHour, nullptr);
+  ASSERT_TRUE(block.ok());
+  simulator_.ScheduleAt(simulator_.SecondsToTicks(100.0), [] {});
+  simulator_.Run();
+  EXPECT_NEAR(device_.BlockAge(block.value()), 100.0, 1.0);
+}
+
+TEST_F(MrmDeviceTest, ReadBlocksAggregatesOkCount) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(device_.AppendBlock(0, kHour, nullptr).ok());
+  }
+  std::uint32_t ok_count = 0;
+  ASSERT_TRUE(device_.ReadBlocks(0, 4, [&](std::uint32_t n) { ok_count = n; }).ok());
+  simulator_.Run();
+  EXPECT_EQ(ok_count, 4u);
+}
+
+TEST_F(MrmDeviceTest, ReadBlocksRejectsUnwrittenRange) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  ASSERT_TRUE(device_.AppendBlock(0, kHour, nullptr).ok());
+  EXPECT_FALSE(device_.ReadBlocks(0, 4, nullptr).ok());  // 3 unwritten
+  EXPECT_FALSE(device_.ReadBlocks(0, 0, nullptr).ok());  // empty
+}
+
+TEST_F(MrmDeviceTest, ResetZoneClearsBlocks) {
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  auto block = device_.AppendBlock(0, kHour, nullptr);
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(device_.ResetZone(0).ok());
+  EXPECT_FALSE(device_.block_meta(block.value()).written);
+  // Wear survives the reset.
+  EXPECT_EQ(device_.block_meta(block.value()).wear, 1u);
+  EXPECT_EQ(device_.zone_info(0).wear_cycles, 1u);
+}
+
+TEST_F(MrmDeviceTest, EnduranceGateFailsWornBlocks) {
+  // Craft a trade-off with tiny endurance via PCM params.
+  cell::PcmParams params;
+  params.endurance_ref = 3.0;
+  params.endurance_cap = 3.0;
+  params.endurance_retention_exponent = 0.0;
+  sim::Simulator simulator(1e9);
+  MrmDeviceConfig config = TinyMrm();
+  config.technology = cell::Technology::kPcm;
+  MrmDevice device(&simulator, config, cell::MakePcmTradeoff(params));
+  // Write the same zone repeatedly: wear accumulates per block.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(device.OpenZone(0).ok());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(device.AppendBlock(0, kHour, nullptr).ok())
+          << "round " << round << " block " << i;
+    }
+    ASSERT_TRUE(device.ResetZone(0).ok());
+  }
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  EXPECT_FALSE(device.AppendBlock(0, kHour, nullptr).ok());
+  EXPECT_GT(device.stats().endurance_failures, 0u);
+}
+
+TEST_F(MrmDeviceTest, ShorterRetentionWritesFaster) {
+  // DCM's performance angle: relaxed-retention writes finish sooner.
+  auto run_write = [&](double retention) {
+    sim::Simulator simulator(1e9);
+    MrmDevice device(&simulator, TinyMrm());
+    EXPECT_TRUE(device.OpenZone(0).ok());
+    EXPECT_TRUE(device.AppendBlock(0, retention, nullptr).ok());
+    simulator.Run();
+    return simulator.now_seconds();
+  };
+  const double fast = run_write(60.0);
+  const double slow = run_write(10.0 * 365 * 86400.0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST_F(MrmDeviceTest, ShorterRetentionUsesLessWriteEnergy) {
+  sim::Simulator sa(1e9);
+  MrmDevice a(&sa, TinyMrm());
+  ASSERT_TRUE(a.OpenZone(0).ok());
+  ASSERT_TRUE(a.AppendBlock(0, 60.0, nullptr).ok());
+
+  sim::Simulator sb(1e9);
+  MrmDevice b(&sb, TinyMrm());
+  ASSERT_TRUE(b.OpenZone(0).ok());
+  ASSERT_TRUE(b.AppendBlock(0, 10.0 * 365 * 86400.0, nullptr).ok());
+
+  EXPECT_LT(a.stats().write_energy_pj, b.stats().write_energy_pj);
+}
+
+TEST_F(MrmDeviceTest, ChannelsServeBlocksInParallel) {
+  // Two blocks on different channels finish in about the service time of
+  // one; two on the same channel serialize.
+  ASSERT_TRUE(device_.OpenZone(0).ok());
+  ASSERT_TRUE(device_.AppendBlock(0, kHour, nullptr).ok());  // block 0 -> ch 0
+  ASSERT_TRUE(device_.AppendBlock(0, kHour, nullptr).ok());  // block 1 -> ch 1
+  simulator_.Run();
+  const double parallel_time = simulator_.now_seconds();
+
+  sim::Simulator simulator2(1e9);
+  MrmDevice device2(&simulator2, TinyMrm());
+  ASSERT_TRUE(device2.OpenZone(0).ok());
+  ASSERT_TRUE(device2.AppendBlock(0, kHour, nullptr).ok());  // ch 0
+  ASSERT_TRUE(device2.AppendBlock(0, kHour, nullptr).ok());  // ch 1
+  ASSERT_TRUE(device2.AppendBlock(0, kHour, nullptr).ok());  // ch 0 again
+  simulator2.Run();
+  const double serialized_time = simulator2.now_seconds();
+  EXPECT_GT(serialized_time, parallel_time * 1.5);
+}
+
+TEST_F(MrmDeviceTest, EnergyLedgerIncludesBackground) {
+  simulator_.ScheduleAt(simulator_.SecondsToTicks(1.0), [] {});
+  simulator_.Run();
+  EXPECT_GT(device_.TotalEnergyPj(), 0.0);
+}
+
+TEST_F(MrmDeviceTest, ReadPriorityPreemptsQueuedWrites) {
+  // Pile writes onto channel 0, then issue a read to the same channel: with
+  // read priority the read overtakes every queued (not in-service) write.
+  auto run = [&](bool read_priority) {
+    sim::Simulator simulator(1e9);
+    MrmDeviceConfig config = TinyMrm();
+    config.channels = 1;  // everything contends on one channel
+    config.read_priority = read_priority;
+    MrmDevice device(&simulator, config);
+    EXPECT_TRUE(device.OpenZone(0).ok());
+    // Seed one readable block, then queue slow writes behind it.
+    auto first = device.AppendBlock(0, kHour, nullptr);
+    EXPECT_TRUE(first.ok());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(device.AppendBlock(0, kHour, nullptr).ok());
+    }
+    double read_done_s = -1.0;
+    EXPECT_TRUE(device
+                    .ReadBlock(first.value(),
+                               [&](bool) { read_done_s = simulator.now_seconds(); })
+                    .ok());
+    simulator.Run();
+    EXPECT_GE(read_done_s, 0.0);
+    return read_done_s;
+  };
+  const double with_priority = run(true);
+  const double without_priority = run(false);
+  EXPECT_LT(with_priority, without_priority * 0.5);
+}
+
+TEST_F(MrmDeviceTest, ReadPreemptionsCounted) {
+  sim::Simulator simulator(1e9);
+  MrmDeviceConfig config = TinyMrm();
+  config.channels = 1;
+  MrmDevice device(&simulator, config);
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  auto first = device.AppendBlock(0, kHour, nullptr);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(device.AppendBlock(0, kHour, nullptr).ok());
+  }
+  ASSERT_TRUE(device.ReadBlock(first.value(), nullptr).ok());
+  simulator.Run();
+  EXPECT_GE(device.stats().read_preemptions, 1u);
+}
+
+TEST_F(MrmDeviceTest, FifoModeServesInOrder) {
+  // Without read priority the read waits behind all queued writes; write
+  // and read completion order must match issue order on one channel.
+  sim::Simulator simulator(1e9);
+  MrmDeviceConfig config = TinyMrm();
+  config.channels = 1;
+  config.read_priority = false;
+  MrmDevice device(&simulator, config);
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  std::vector<int> order;
+  auto first = device.AppendBlock(0, kHour, [&](BlockId) { order.push_back(0); });
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(device.AppendBlock(0, kHour, [&](BlockId) { order.push_back(1); }).ok());
+  ASSERT_TRUE(
+      device.ReadBlock(first.value(), [&](bool) { order.push_back(2); }).ok());
+  ASSERT_TRUE(device.AppendBlock(0, kHour, [&](BlockId) { order.push_back(3); }).ok());
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

@@ -1,0 +1,115 @@
+// Parameter-grid property tests for the ECC design machinery: across a grid
+// of (codeword size, RBER, UBER target) the designed code must meet its
+// target, be minimal, and behave monotonically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/mrm/ecc.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+using GridParam = std::tuple<std::uint64_t /*payload bytes*/, double /*rber*/,
+                             double /*target uber*/>;
+
+class EccGridTest : public ::testing::TestWithParam<GridParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EccGridTest,
+    ::testing::Combine(::testing::Values(512ull, 4096ull, 65536ull),
+                       ::testing::Values(1e-6, 1e-4, 1e-3),
+                       ::testing::Values(1e-12, 1e-15, 1e-18)),
+    [](const auto& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(static_cast<int>(-std::log10(std::get<1>(info.param)))) + "_u" +
+             std::to_string(static_cast<int>(-std::log10(std::get<2>(info.param))));
+    });
+
+TEST_P(EccGridTest, DesignMeetsTarget) {
+  const auto [bytes, rber, uber] = GetParam();
+  const std::uint64_t bits = bytes * 8;
+  const double target_failure = uber * static_cast<double>(bits);
+  const EccScheme scheme = DesignEcc(bits, rber, target_failure);
+  EXPECT_LE(scheme.codeword_failure_prob, target_failure);
+  EXPECT_LE(UberOf(scheme, rber), uber * 1.0000001);
+}
+
+TEST_P(EccGridTest, DesignIsMinimal) {
+  const auto [bytes, rber, uber] = GetParam();
+  const std::uint64_t bits = bytes * 8;
+  const double target_failure = uber * static_cast<double>(bits);
+  const EccScheme scheme = DesignEcc(bits, rber, target_failure);
+  if (scheme.t > 0) {
+    EXPECT_GT(BinomialTail(bits, scheme.t - 1, rber), target_failure)
+        << "t could have been smaller";
+  }
+}
+
+TEST_P(EccGridTest, ParityConsistentWithT) {
+  const auto [bytes, rber, uber] = GetParam();
+  const std::uint64_t bits = bytes * 8;
+  const EccScheme scheme = DesignEcc(bits, rber, uber * static_cast<double>(bits));
+  EXPECT_EQ(scheme.parity_bits, BchParityBits(bits, scheme.t));
+  EXPECT_NEAR(scheme.overhead,
+              static_cast<double>(scheme.parity_bits) / static_cast<double>(bits), 1e-12);
+}
+
+TEST_P(EccGridTest, OverheadBoundedForRealisticPoints) {
+  const auto [bytes, rber, uber] = GetParam();
+  const std::uint64_t bits = bytes * 8;
+  const EccScheme scheme = DesignEcc(bits, rber, uber * static_cast<double>(bits));
+  // Even the worst grid point (tiny codeword, RBER 1e-3, UBER 1e-18) must
+  // stay under 100% parity; large codewords far under.
+  EXPECT_LT(scheme.overhead, 1.0);
+  if (bytes >= 4096 && rber <= 1e-4) {
+    EXPECT_LT(scheme.overhead, 0.05);
+  }
+}
+
+TEST(EccRandomized, TailMatchesMonteCarloEstimate) {
+  // Cross-validate BinomialTail against simulation for a small case where
+  // Monte Carlo converges quickly.
+  const std::uint64_t n = 2000;
+  const double p = 0.005;  // mean = 10
+  const std::uint64_t t = 15;
+  const double analytic = BinomialTail(n, t, p);
+
+  Rng rng(4242);
+  constexpr int kTrials = 20000;
+  int exceed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Sample Binomial(n, p) via Poisson approximation-free direct count of a
+    // binomial using per-bit Bernoulli in chunks (fast enough at this size).
+    std::uint64_t errors = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      errors += rng.NextBool(p) ? 1 : 0;
+    }
+    if (errors > t) {
+      ++exceed;
+    }
+  }
+  const double empirical = static_cast<double>(exceed) / kTrials;
+  // Analytic ~5%; allow generous Monte Carlo noise.
+  EXPECT_NEAR(empirical, analytic, 5.0 * std::sqrt(analytic / kTrials) + 0.005);
+}
+
+TEST(EccRandomized, MaxSafeAgeMonotoneInTargetUber) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  const EccScheme scheme = DesignEcc(8ull * 64 * 1024, 1e-4, 1e-11);
+  double previous = 0.0;
+  for (double target : {1e-18, 1e-15, 1e-12, 1e-9}) {
+    const double age = MaxSafeAge(*tradeoff, 86400.0, scheme, target);
+    EXPECT_GE(age, previous) << target;
+    previous = age;
+  }
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

@@ -1,0 +1,156 @@
+#include "src/mrm/ecc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_EQ(BinomialTail(100, 5, 0.0), 0.0);
+  EXPECT_EQ(BinomialTail(100, 5, 1.0), 1.0);
+  EXPECT_EQ(BinomialTail(100, 100, 0.5), 0.0);  // cannot exceed n
+}
+
+TEST(BinomialTail, MatchesExactSmallCase) {
+  // X ~ Bin(4, 0.5): P[X > 2] = P(3) + P(4) = 4/16 + 1/16 = 0.3125.
+  EXPECT_NEAR(BinomialTail(4, 2, 0.5), 0.3125, 1e-12);
+}
+
+TEST(BinomialTail, MatchesComplementSmallCase) {
+  // X ~ Bin(10, 0.1): P[X > 0] = 1 - 0.9^10.
+  EXPECT_NEAR(BinomialTail(10, 0, 0.1), 1.0 - std::pow(0.9, 10), 1e-12);
+}
+
+TEST(BinomialTail, MonotoneDecreasingInT) {
+  double previous = 1.0;
+  for (std::uint64_t t = 0; t < 50; t += 5) {
+    const double tail = BinomialTail(1000, t, 0.01);
+    EXPECT_LE(tail, previous + 1e-15);
+    previous = tail;
+  }
+}
+
+TEST(BinomialTail, MonotoneIncreasingInP) {
+  double previous = 0.0;
+  for (double p = 1e-6; p < 0.1; p *= 10.0) {
+    const double tail = BinomialTail(10000, 10, p);
+    EXPECT_GE(tail, previous);
+    previous = tail;
+  }
+}
+
+TEST(BinomialTail, FarBelowMeanIsOne) {
+  EXPECT_DOUBLE_EQ(BinomialTail(1000000, 10, 0.01), 1.0);  // mean = 10000
+}
+
+TEST(BinomialTail, LargeNStable) {
+  // mean = 100; the tail past 200 is tiny but must not be NaN/negative.
+  const double tail = BinomialTail(1000000, 200, 1e-4);
+  EXPECT_GE(tail, 0.0);
+  EXPECT_LT(tail, 1e-15);
+  EXPECT_FALSE(std::isnan(tail));
+}
+
+TEST(BchParityBits, ZeroForZeroT) { EXPECT_EQ(BchParityBits(4096, 0), 0u); }
+
+TEST(BchParityBits, GrowsLinearlyInT) {
+  const std::uint64_t one = BchParityBits(1 << 15, 1);
+  const std::uint64_t ten = BchParityBits(1 << 15, 10);
+  EXPECT_NEAR(static_cast<double>(ten), 10.0 * static_cast<double>(one), 2.0 * one);
+}
+
+TEST(BchParityBits, FieldSizeMatchesPayload) {
+  // For a ~2^13-bit payload, m = 14 once parity is included.
+  EXPECT_EQ(BchParityBits(8192, 1), 14u);
+}
+
+TEST(DesignEcc, MeetsTarget) {
+  const EccScheme scheme = DesignEcc(/*payload_bits=*/8 * 4096, /*rber=*/1e-4,
+                                     /*target_failure=*/1e-12);
+  EXPECT_LE(scheme.codeword_failure_prob, 1e-12);
+  EXPECT_GT(scheme.t, 0u);
+  // Sanity: one fewer correctable bit would miss the target.
+  EXPECT_GT(BinomialTail(scheme.payload_bits, scheme.t - 1, 1e-4), 1e-12);
+}
+
+TEST(DesignEcc, ZeroRberNeedsNoCorrection) {
+  const EccScheme scheme = DesignEcc(4096, 0.0, 1e-15);
+  EXPECT_EQ(scheme.t, 0u);
+  EXPECT_EQ(scheme.parity_bits, 0u);
+  EXPECT_EQ(scheme.overhead, 0.0);
+}
+
+TEST(DesignEcc, OverheadShrinksWithBlockSize) {
+  // The Dolinar-Divsalar/E8 effect: same RBER and reliability target, bigger
+  // codewords need proportionally less parity.
+  const double rber = 1e-4;
+  double previous_overhead = 1.0;
+  for (std::uint64_t payload_bytes : {512ull, 4096ull, 32768ull, 262144ull}) {
+    const std::uint64_t bits = payload_bytes * 8;
+    const EccScheme scheme = DesignEcc(bits, rber, 1e-15 * static_cast<double>(bits));
+    EXPECT_LT(scheme.overhead, previous_overhead)
+        << "payload " << payload_bytes;
+    previous_overhead = scheme.overhead;
+  }
+}
+
+TEST(DesignEcc, StrongerTargetCostsMore) {
+  const EccScheme loose = DesignEcc(32768, 1e-4, 1e-6);
+  const EccScheme tight = DesignEcc(32768, 1e-4, 1e-15);
+  EXPECT_GT(tight.t, loose.t);
+  EXPECT_GT(tight.overhead, loose.overhead);
+}
+
+TEST(UberOf, NormalizesPerBit) {
+  const EccScheme scheme = DesignEcc(8192, 1e-4, 1e-9);
+  const double uber = UberOf(scheme, 1e-4);
+  EXPECT_NEAR(uber, scheme.codeword_failure_prob / 8192.0, 1e-20);
+}
+
+TEST(MaxSafeAge, WithinRetentionWindow) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  const double retention = kDay;
+  const EccScheme scheme = DesignEcc(8ull * 64 * 1024, 1e-4, 1e-11);
+  const double safe_age = MaxSafeAge(*tradeoff, retention, scheme, 1e-15);
+  EXPECT_GT(safe_age, 0.0);
+  // Strong ECC can stretch usable age a little past the programmed
+  // retention (RBER at retention is 1e-4, below the code's limit), but it
+  // must stay the same order of magnitude.
+  EXPECT_LT(safe_age, 2.0 * retention);
+}
+
+TEST(MaxSafeAge, StrongerCodeExtendsSafeAge) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  const double retention = kDay;
+  const EccScheme weak = DesignEcc(8ull * 64 * 1024, 1e-4, 1e-6);
+  const EccScheme strong = DesignEcc(8ull * 64 * 1024, 1e-4, 1e-14);
+  const double weak_age = MaxSafeAge(*tradeoff, retention, weak, 1e-15);
+  const double strong_age = MaxSafeAge(*tradeoff, retention, strong, 1e-15);
+  EXPECT_GT(strong_age, weak_age);
+}
+
+TEST(MaxSafeAge, ImpossibleTargetIsZero) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  EccScheme none;
+  none.payload_bits = 8ull * 64 * 1024;
+  none.t = 0;  // no correction at all
+  const double safe_age = MaxSafeAge(*tradeoff, kDay, none, 1e-30);
+  EXPECT_LT(safe_age, 1e-3);  // effectively unusable
+}
+
+TEST(MaxSafeAge, LongerRetentionLongerSafeAge) {
+  auto tradeoff = cell::MakeSttMramTradeoff();
+  const EccScheme scheme = DesignEcc(8ull * 64 * 1024, 1e-4, 1e-11);
+  const double short_age = MaxSafeAge(*tradeoff, kHour, scheme, 1e-15);
+  const double long_age = MaxSafeAge(*tradeoff, kDay, scheme, 1e-15);
+  EXPECT_GT(long_age, short_age);
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

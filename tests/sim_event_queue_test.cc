@@ -1,0 +1,117 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrm {
+namespace sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.NextTime(), kTickNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, [&] { order.push_back(3); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(20, [&] { order.push_back(2); });
+  Tick when = 0;
+  while (!queue.empty()) {
+    queue.Pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(when, 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5, [&order, i] { order.push_back(i); });
+  }
+  Tick when = 0;
+  while (!queue.empty()) {
+    queue.Pop(&when)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeTracksHead) {
+  EventQueue queue;
+  queue.Push(50, [] {});
+  EXPECT_EQ(queue.NextTime(), 50u);
+  queue.Push(20, [] {});
+  EXPECT_EQ(queue.NextTime(), 20u);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(10, [&] { fired = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.NextTime(), kTickNever);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.Push(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(12345));
+}
+
+TEST(EventQueue, CancelledHeadSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventId first = queue.Push(1, [&] { order.push_back(1); });
+  queue.Push(2, [&] { order.push_back(2); });
+  queue.Cancel(first);
+  EXPECT_EQ(queue.NextTime(), 2u);
+  Tick when = 0;
+  queue.Pop(&when)();
+  EXPECT_EQ(when, 2u);
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue queue;
+  const EventId a = queue.Push(1, [] {});
+  queue.Push(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStress) {
+  EventQueue queue;
+  std::uint64_t sum = 0;
+  for (Tick t = 1000; t > 0; --t) {
+    queue.Push(t, [&sum, t] { sum += t; });
+  }
+  Tick previous = 0;
+  Tick when = 0;
+  while (!queue.empty()) {
+    queue.Pop(&when)();
+    EXPECT_GE(when, previous);
+    previous = when;
+  }
+  EXPECT_EQ(sum, 1000ull * 1001 / 2);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mrm

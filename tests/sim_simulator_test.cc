@@ -1,0 +1,167 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/periodic_task.h"
+
+namespace mrm {
+namespace sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), 0u);
+  EXPECT_EQ(simulator.now_seconds(), 0.0);
+}
+
+TEST(Simulator, TimeAdvancesToEventTimestamps) {
+  Simulator simulator;
+  std::vector<Tick> seen;
+  simulator.ScheduleAt(100, [&] { seen.push_back(simulator.now()); });
+  simulator.ScheduleAt(50, [&] { seen.push_back(simulator.now()); });
+  simulator.Run();
+  EXPECT_EQ(seen, (std::vector<Tick>{50, 100}));
+  EXPECT_EQ(simulator.now(), 100u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator simulator;
+  Tick fired_at = 0;
+  simulator.ScheduleAt(10, [&] {
+    simulator.ScheduleAfter(5, [&] { fired_at = simulator.now(); });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator simulator;
+  Tick fired_at = 0;
+  simulator.ScheduleAt(10, [&] {
+    simulator.ScheduleAt(3, [&] { fired_at = simulator.now(); });  // in the past
+  });
+  simulator.Run();
+  EXPECT_EQ(fired_at, 10u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(10, [&] { ++fired; });
+  simulator.ScheduleAt(100, [&] { ++fired; });
+  const std::uint64_t executed = simulator.RunUntil(50);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.now(), 50u);  // clock parked at the deadline
+  EXPECT_EQ(simulator.pending_events(), 1u);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) {
+    simulator.ScheduleAt(static_cast<Tick>(i), [] {});
+  }
+  EXPECT_EQ(simulator.Run(), 7u);
+  EXPECT_EQ(simulator.events_executed(), 7u);
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(1, [&] {
+    ++fired;
+    simulator.Stop();
+  });
+  simulator.ScheduleAt(2, [&] { ++fired; });
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  // A subsequent Run picks up the remaining event.
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(simulator.Cancel(id));
+  simulator.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SecondsConversionRoundTrips) {
+  Simulator simulator(1e9);  // 1 ns ticks
+  EXPECT_EQ(simulator.SecondsToTicks(1e-6), 1000u);
+  EXPECT_DOUBLE_EQ(simulator.TicksToSeconds(2000), 2e-6);
+}
+
+TEST(Simulator, CustomTickRate) {
+  Simulator simulator(1e12);  // 1 ps ticks
+  EXPECT_EQ(simulator.SecondsToTicks(1e-9), 1000u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(5, [&] { ++fired; });
+  simulator.ScheduleAt(6, [&] { ++fired; });
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_FALSE(simulator.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator simulator;
+  int count = 0;
+  PeriodicTask task(&simulator, 10, [&] { ++count; });
+  simulator.RunUntil(55);
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+  EXPECT_EQ(task.fire_count(), 5u);
+}
+
+TEST(PeriodicTask, StopCeasesFiring) {
+  Simulator simulator;
+  int count = 0;
+  PeriodicTask task(&simulator, 10, [&] {
+    ++count;
+    if (count == 3) {
+      task.Stop();
+    }
+  });
+  simulator.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, PhaseOffsetsFirstFire) {
+  Simulator simulator;
+  Tick first = 0;
+  PeriodicTask task(&simulator, 10, [&] {
+    if (first == 0) {
+      first = simulator.now();
+    }
+  }, /*phase=*/3);
+  simulator.RunUntil(30);
+  EXPECT_EQ(first, 3u);
+}
+
+TEST(PeriodicTask, PeriodChangeTakesEffect) {
+  Simulator simulator;
+  std::vector<Tick> fires;
+  PeriodicTask task(&simulator, 10, [&] {
+    fires.push_back(simulator.now());
+    task.set_period(20);
+  });
+  simulator.RunUntil(60);
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 10u);
+  EXPECT_EQ(fires[1], 30u);
+  EXPECT_EQ(fires[2], 50u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mrm

@@ -1,0 +1,183 @@
+#include "src/tier/tiered_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace tier {
+namespace {
+
+using workload::Stream;
+using workload::TierSpec;
+
+TierSpec Hbm() {
+  TierSpec spec;
+  spec.name = "hbm";
+  spec.capacity_bytes = 192ull * kGiB;
+  spec.read_bw_bytes_per_s = 8e12;
+  spec.write_bw_bytes_per_s = 8e12;
+  spec.read_pj_per_bit = 6.0;
+  spec.write_pj_per_bit = 6.0;
+  spec.static_power_w = 60.0;
+  spec.cost_per_gib = 12.0;
+  return spec;
+}
+
+TierSpec Mrm() {
+  TierSpec spec;
+  spec.name = "mrm";
+  spec.capacity_bytes = 1024ull * kGiB;
+  spec.read_bw_bytes_per_s = 4e12;
+  spec.write_bw_bytes_per_s = 0.2e12;
+  spec.read_pj_per_bit = 1.5;
+  spec.write_pj_per_bit = 3.0;
+  spec.static_power_w = 2.0;
+  spec.cost_per_gib = 5.4;
+  return spec;
+}
+
+TEST(TieredBackend, RoutesWeightsToConfiguredTier) {
+  Placement placement;
+  placement.weights_tier = 1;  // MRM
+  TieredBackend backend({Hbm(), Mrm()}, placement, 100ull * kGiB);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 1'000'000);
+  backend.EndStep();
+  EXPECT_EQ(backend.tier_dynamic_joules()[0], 0.0);
+  EXPECT_GT(backend.tier_dynamic_joules()[1], 0.0);
+}
+
+TEST(TieredBackend, ParallelTiersOverlap) {
+  Placement placement;
+  placement.weights_tier = 1;       // MRM
+  placement.kv_hot_tier = 0;        // HBM
+  placement.kv_cold_tier = 0;
+  placement.activations_tier = 0;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 4'000'000'000ull);  // 1 ms on MRM (4 TB/s)
+  backend.Read(Stream::kKvCache, 8'000'000'000ull);  // 1 ms on HBM (8 TB/s)
+  // Parallel: max, not sum.
+  EXPECT_NEAR(backend.EndStep(), 1e-3, 1e-6);
+}
+
+TEST(TieredBackend, SameTierSerializes) {
+  Placement placement;  // everything on tier 0
+  TieredBackend backend({Hbm()}, placement, 0);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 8'000'000'000ull);
+  backend.Read(Stream::kKvCache, 8'000'000'000ull);
+  EXPECT_NEAR(backend.EndStep(), 2e-3, 1e-6);
+}
+
+TEST(TieredBackend, KvSplitsByHotFraction) {
+  Placement placement;
+  placement.kv_hot_tier = 0;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.25;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0);
+  backend.BeginStep();
+  backend.Read(Stream::kKvCache, 1'000'000'000ull);
+  backend.EndStep();
+  // 25% of bits on HBM at 6 pJ, 75% on MRM at 1.5 pJ.
+  const double hbm_j = 0.25e9 * 8 * 6.0 * 1e-12;
+  const double mrm_j = 0.75e9 * 8 * 1.5 * 1e-12;
+  EXPECT_NEAR(backend.tier_dynamic_joules()[0], hbm_j, hbm_j * 0.01);
+  EXPECT_NEAR(backend.tier_dynamic_joules()[1], mrm_j, mrm_j * 0.01);
+}
+
+TEST(TieredBackend, StaticPowerSumsAllTiers) {
+  TieredBackend backend({Hbm(), Mrm()}, Placement{}, 0);
+  backend.AccountTime(1.0);
+  EXPECT_NEAR(backend.static_joules(), 62.0, 1e-9);
+}
+
+TEST(TieredBackend, KvCapacityRespectsWeightsCarveOut) {
+  Placement placement;  // weights + kv all on tier 0
+  TieredBackend backend({Hbm()}, placement, 92ull * kGiB);
+  EXPECT_EQ(backend.KvCapacityBytes(), 100ull * kGiB);
+}
+
+TEST(TieredBackend, KvCapacityLimitedByHotFraction) {
+  Placement placement;
+  placement.weights_tier = 1;
+  placement.kv_hot_tier = 0;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.5;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0);
+  // Hot tier holds 50% of KV: total KV <= 192 GiB / 0.5 = 384 GiB.
+  EXPECT_EQ(backend.KvCapacityBytes(), 384ull * kGiB);
+}
+
+TEST(TieredBackend, ScrubChargesEnergyOnResidentKv) {
+  Placement placement;
+  placement.kv_hot_tier = 1;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.0;
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.scrub_safe_age_s = 10.0;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
+  backend.BeginStep();
+  backend.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.EndStep();
+  backend.AccountTime(10.0);  // one full scrub cycle
+  EXPECT_GT(backend.scrub_joules(), 0.0);
+  EXPECT_NEAR(static_cast<double>(backend.scrub_bytes()), 1e9, 1e7);
+}
+
+TEST(TieredBackend, KvFreeStopsScrubCharges) {
+  Placement placement;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.0;
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.scrub_safe_age_s = 10.0;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
+  backend.BeginStep();
+  backend.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.EndStep();
+  backend.OnKvFreed(1'000'000'000ull);
+  backend.AccountTime(10.0);
+  EXPECT_EQ(backend.scrub_bytes(), 0u);
+}
+
+TEST(TieredBackend, NoScrubTierNoCharges) {
+  TieredBackend backend({Hbm(), Mrm()}, Placement{}, 0);
+  backend.BeginStep();
+  backend.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.EndStep();
+  backend.AccountTime(100.0);
+  EXPECT_EQ(backend.scrub_joules(), 0.0);
+}
+
+TEST(TieredBackend, NameListsTiers) {
+  TieredBackend backend({Hbm(), Mrm()}, Placement{}, 0);
+  EXPECT_EQ(backend.name(), "tiered(hbm+mrm)");
+}
+
+TEST(TieredBackend, EnergyIncludesAllComponents) {
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.scrub_safe_age_s = 5.0;
+  Placement placement;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.0;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 1000);
+  backend.Write(Stream::kKvCache, 1000);
+  backend.EndStep();
+  backend.AccountTime(1.0);
+  const double total = backend.EnergyJoules();
+  double parts = backend.static_joules() + backend.scrub_joules();
+  for (double j : backend.tier_dynamic_joules()) {
+    parts += j;
+  }
+  EXPECT_DOUBLE_EQ(total, parts);
+}
+
+}  // namespace
+}  // namespace tier
+}  // namespace mrm

@@ -1,0 +1,84 @@
+#include "src/tier/refresh_or_recompute.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace tier {
+namespace {
+
+RefreshOrRecomputeParams BaseParams() {
+  RefreshOrRecomputeParams params;
+  params.kv_bytes = 10ull << 30;         // 10 GiB context
+  params.context_tokens = 4096;
+  params.rewrite_j_per_byte = 5e-12;     // ~5 pJ/B MRM rewrite
+  params.recompute_j_per_token = 0.5;    // prefill is expensive
+  params.reuse_probability = 0.5;
+  return params;
+}
+
+TEST(RefreshOrRecompute, RefreshWinsWhenReuseLikely) {
+  RefreshOrRecomputeParams params = BaseParams();
+  params.reuse_probability = 0.9;
+  const RefreshDecision decision = DecideRefreshOrRecompute(params);
+  EXPECT_TRUE(decision.refresh);
+  EXPECT_LT(decision.refresh_cost_j, decision.expected_recompute_cost_j);
+}
+
+TEST(RefreshOrRecompute, DropWinsWhenReuseUnlikely) {
+  RefreshOrRecomputeParams params = BaseParams();
+  params.reuse_probability = 1e-6;
+  const RefreshDecision decision = DecideRefreshOrRecompute(params);
+  EXPECT_FALSE(decision.refresh);
+}
+
+TEST(RefreshOrRecompute, CostsComputedCorrectly) {
+  RefreshOrRecomputeParams params = BaseParams();
+  const RefreshDecision decision = DecideRefreshOrRecompute(params);
+  EXPECT_NEAR(decision.refresh_cost_j,
+              static_cast<double>(params.kv_bytes) * params.rewrite_j_per_byte, 1e-9);
+  EXPECT_NEAR(decision.expected_recompute_cost_j, 0.5 * 4096 * 0.5, 1e-9);
+}
+
+TEST(RefreshOrRecompute, BreakEvenMatchesDecisionBoundary) {
+  RefreshOrRecomputeParams params = BaseParams();
+  const double break_even = BreakEvenReuseProbability(params);
+  ASSERT_GT(break_even, 0.0);
+  ASSERT_LT(break_even, 1.0);
+
+  params.reuse_probability = break_even * 1.01;
+  EXPECT_TRUE(DecideRefreshOrRecompute(params).refresh);
+  params.reuse_probability = break_even * 0.99;
+  EXPECT_FALSE(DecideRefreshOrRecompute(params).refresh);
+}
+
+TEST(RefreshOrRecompute, LatencyPenaltyFavorsRefresh) {
+  RefreshOrRecomputeParams params = BaseParams();
+  params.reuse_probability = BreakEvenReuseProbability(params) * 0.9;  // drop side
+  ASSERT_FALSE(DecideRefreshOrRecompute(params).refresh);
+  params.recompute_seconds_per_token = 0.01;
+  params.latency_penalty_j_per_s = 100.0;  // latency matters a lot
+  EXPECT_TRUE(DecideRefreshOrRecompute(params).refresh);
+}
+
+TEST(RefreshOrRecompute, ZeroRecomputeCostClampsBreakEven) {
+  RefreshOrRecomputeParams params = BaseParams();
+  params.recompute_j_per_token = 0.0;
+  EXPECT_DOUBLE_EQ(BreakEvenReuseProbability(params), 1.0);
+  EXPECT_FALSE(DecideRefreshOrRecompute(params).refresh);
+}
+
+TEST(RefreshOrRecompute, TinyContextAlwaysWorthRecompute) {
+  // A short context is cheap to re-prefill but its KV is also small; scale
+  // both and confirm the break-even is scale-free in context length.
+  RefreshOrRecomputeParams small = BaseParams();
+  small.kv_bytes = 1 << 20;
+  small.context_tokens = 4;
+  RefreshOrRecomputeParams large = BaseParams();
+  large.kv_bytes = static_cast<std::uint64_t>(small.kv_bytes) * 1024;
+  large.context_tokens = 4 * 1024;
+  EXPECT_NEAR(BreakEvenReuseProbability(small), BreakEvenReuseProbability(large), 1e-12);
+}
+
+}  // namespace
+}  // namespace tier
+}  // namespace mrm

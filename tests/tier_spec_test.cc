@@ -1,0 +1,83 @@
+#include "src/tier/tier_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/mem/stream_model.h"
+
+namespace mrm {
+namespace tier {
+namespace {
+
+TEST(TierSpec, FromDeviceMatchesStreamModel) {
+  const mem::DeviceConfig config = mem::HBM3EConfig();
+  const workload::TierSpec spec = TierSpecFromDevice(config, 1);
+  EXPECT_NEAR(spec.read_bw_bytes_per_s, mem::StreamModel(config).EffectiveBandwidth(), 1.0);
+  EXPECT_EQ(spec.capacity_bytes, config.capacity_bytes());
+  EXPECT_GT(spec.static_power_w, 0.0);  // background + refresh
+  EXPECT_GT(spec.read_pj_per_bit, config.energy.read_pj_per_bit);  // adds IO+ACT
+}
+
+TEST(TierSpec, DeviceCountScalesLinearly) {
+  const mem::DeviceConfig config = mem::HBM3Config();
+  const workload::TierSpec one = TierSpecFromDevice(config, 1);
+  const workload::TierSpec eight = TierSpecFromDevice(config, 8);
+  EXPECT_EQ(eight.capacity_bytes, one.capacity_bytes * 8);
+  EXPECT_NEAR(eight.read_bw_bytes_per_s, one.read_bw_bytes_per_s * 8, 1.0);
+  EXPECT_NEAR(eight.static_power_w, one.static_power_w * 8, 1e-9);
+  EXPECT_DOUBLE_EQ(eight.cost_per_gib, one.cost_per_gib);
+}
+
+TEST(TierSpec, HbmCostsMoreThanLpddr) {
+  const workload::TierSpec hbm = TierSpecFromDevice(mem::HBM3EConfig(), 1);
+  const workload::TierSpec lpddr = TierSpecFromDevice(mem::LPDDR5XConfig(), 1);
+  EXPECT_GT(hbm.cost_per_gib, lpddr.cost_per_gib);
+  EXPECT_GT(hbm.read_bw_bytes_per_s, lpddr.read_bw_bytes_per_s);
+}
+
+TEST(TierSpec, MrmWriteBandwidthDependsOnRetention) {
+  mrmcore::MrmDeviceConfig config;
+  config.technology = cell::Technology::kSttMram;
+  const workload::TierSpec relaxed = TierSpecFromMrm(config, 1, kHour);
+  const workload::TierSpec nonvolatile = TierSpecFromMrm(config, 1, 10.0 * kYear);
+  EXPECT_GT(relaxed.write_bw_bytes_per_s, nonvolatile.write_bw_bytes_per_s);
+  EXPECT_LT(relaxed.write_pj_per_bit, nonvolatile.write_pj_per_bit);
+  // Read path identical.
+  EXPECT_DOUBLE_EQ(relaxed.read_bw_bytes_per_s, nonvolatile.read_bw_bytes_per_s);
+}
+
+TEST(TierSpec, MrmHasNoRefreshPower) {
+  mrmcore::MrmDeviceConfig config;
+  config.background_mw = 50.0;
+  const workload::TierSpec spec = TierSpecFromMrm(config, 1, kHour);
+  EXPECT_NEAR(spec.static_power_w, 0.05, 1e-9);
+}
+
+TEST(TierSpec, MrmNameEncodesRetention) {
+  mrmcore::MrmDeviceConfig config;
+  config.name = "mrm";
+  const workload::TierSpec spec = TierSpecFromMrm(config, 1, 3600.0);
+  EXPECT_NE(spec.name.find("mrm@"), std::string::npos);
+}
+
+TEST(TierSpec, SystemCostSumsTiers) {
+  workload::TierSpec a;
+  a.capacity_bytes = 10ull * kGiB;
+  a.cost_per_gib = 12.0;
+  workload::TierSpec b;
+  b.capacity_bytes = 100ull * kGiB;
+  b.cost_per_gib = 2.0;
+  EXPECT_NEAR(SystemCostDollars({a, b}), 120.0 + 200.0, 1e-9);
+}
+
+TEST(TierSpec, HbmRefreshContributesToStaticPower) {
+  mem::DeviceConfig config = mem::HBM3EConfig();
+  const workload::TierSpec with_refresh = TierSpecFromDevice(config, 1);
+  config.needs_refresh = false;
+  const workload::TierSpec without = TierSpecFromDevice(config, 1);
+  EXPECT_GT(with_refresh.static_power_w, without.static_power_w);
+}
+
+}  // namespace
+}  // namespace tier
+}  // namespace mrm

@@ -1,0 +1,81 @@
+#include "src/workload/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace workload {
+namespace {
+
+TierSpec SimpleTier() {
+  TierSpec spec;
+  spec.name = "test-tier";
+  spec.capacity_bytes = 100ull * kGiB;
+  spec.read_bw_bytes_per_s = 1e12;
+  spec.write_bw_bytes_per_s = 0.5e12;
+  spec.read_pj_per_bit = 2.0;
+  spec.write_pj_per_bit = 4.0;
+  spec.static_power_w = 10.0;
+  return spec;
+}
+
+TEST(AnalyticBackend, StepTimeIsSerializedTransferTime) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 1'000'000'000ull);   // 1 GB at 1 TB/s = 1 ms
+  backend.Write(Stream::kKvCache, 500'000'000ull);    // 0.5 GB at 0.5 TB/s = 1 ms
+  EXPECT_NEAR(backend.EndStep(), 2e-3, 1e-9);
+}
+
+TEST(AnalyticBackend, StepResetsOnBegin) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 1'000'000'000ull);
+  backend.EndStep();
+  backend.BeginStep();
+  EXPECT_EQ(backend.EndStep(), 0.0);
+}
+
+TEST(AnalyticBackend, DynamicEnergyPerBit) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  backend.BeginStep();
+  backend.Read(Stream::kWeights, 1000);
+  // 8000 bits x 2 pJ = 16 nJ.
+  EXPECT_NEAR(backend.dynamic_joules(), 16e-9, 1e-15);
+  backend.Write(Stream::kKvCache, 1000);
+  EXPECT_NEAR(backend.dynamic_joules(), 16e-9 + 32e-9, 1e-15);
+}
+
+TEST(AnalyticBackend, StaticEnergyFromTime) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  backend.AccountTime(2.0);
+  EXPECT_NEAR(backend.static_joules(), 20.0, 1e-12);
+  EXPECT_NEAR(backend.EnergyJoules(), 20.0, 1e-12);
+}
+
+TEST(AnalyticBackend, KvCapacityExcludesWeights) {
+  AnalyticBackend backend(SimpleTier(), 40ull * kGiB);
+  EXPECT_EQ(backend.KvCapacityBytes(), 60ull * kGiB);
+}
+
+TEST(AnalyticBackend, UnlimitedCapacityPropagates) {
+  TierSpec spec = SimpleTier();
+  spec.capacity_bytes = 0;
+  AnalyticBackend backend(spec, 40ull * kGiB);
+  EXPECT_EQ(backend.KvCapacityBytes(), 0u);
+}
+
+TEST(AnalyticBackend, WeightsLargerThanCapacityLeavesMinimum) {
+  AnalyticBackend backend(SimpleTier(), 200ull * kGiB);
+  EXPECT_EQ(backend.KvCapacityBytes(), 1u);
+}
+
+TEST(AnalyticBackend, NameFromSpec) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  EXPECT_EQ(backend.name(), "test-tier");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace mrm

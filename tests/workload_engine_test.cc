@@ -1,0 +1,285 @@
+#include "src/workload/inference_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/workload/backend.h"
+
+namespace mrm {
+namespace workload {
+namespace {
+
+TierSpec FastTier() {
+  TierSpec spec;
+  spec.name = "hbm-like";
+  spec.capacity_bytes = 0;  // unlimited unless a test says otherwise
+  spec.read_bw_bytes_per_s = 8e12;
+  spec.write_bw_bytes_per_s = 8e12;
+  spec.read_pj_per_bit = 4.0;
+  spec.write_pj_per_bit = 4.0;
+  spec.static_power_w = 100.0;
+  return spec;
+}
+
+FoundationModelConfig TinyModel() {
+  FoundationModelConfig model;
+  model.name = "tiny";
+  model.parameters = 1'000'000'000ull;  // 1B params -> 2 GB weights
+  model.layers = 16;
+  model.heads = 16;
+  model.kv_heads = 4;
+  model.head_dim = 64;
+  model.max_context_tokens = 4096;
+  return model;
+}
+
+EngineConfig TinyEngine() {
+  EngineConfig config;
+  config.model = TinyModel();
+  config.max_batch = 4;
+  config.compute_tflops = 100.0;
+  config.prefill_chunk_tokens = 256;
+  return config;
+}
+
+std::vector<InferenceRequest> MakeRequests(int count, int prompt, int output) {
+  std::vector<InferenceRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    InferenceRequest request;
+    request.id = static_cast<std::uint64_t>(i + 1);
+    request.arrival_s = 0.0;
+    request.prompt_tokens = prompt;
+    request.output_tokens = output;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST(Engine, CompletesAllRequests) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(5, 128, 16));
+  EXPECT_EQ(summary.requests_completed, 5u);
+  EXPECT_EQ(summary.decode_tokens, 5u * 16);
+  EXPECT_EQ(summary.prefill_tokens, 5u * 128);
+  EXPECT_GT(summary.duration_s, 0.0);
+}
+
+TEST(Engine, EmptyRequestListIsEmptySummary) {
+  AnalyticBackend backend(FastTier(), 0);
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run({});
+  EXPECT_EQ(summary.steps, 0u);
+  EXPECT_EQ(summary.duration_s, 0.0);
+}
+
+TEST(Engine, ReadWriteRatioExceeds1000ToOne) {
+  // The paper's E2 claim: decode reads weights + whole KV per token but
+  // writes only one vector.
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(4, 512, 128));
+  EXPECT_GT(summary.read_write_ratio(), 1000.0);
+}
+
+TEST(Engine, WeightsReadOncePerStepRegardlessOfBatch) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(4, 64, 32));
+  // weight_read_bytes == steps x weight_bytes exactly.
+  EXPECT_EQ(summary.weight_read_bytes, summary.steps * TinyModel().weight_bytes());
+}
+
+TEST(Engine, BatchingImprovesTokensPerSecond) {
+  auto run_with_batch = [](int max_batch) {
+    AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+    EngineConfig config = TinyEngine();
+    config.max_batch = max_batch;
+    InferenceEngine engine(config, &backend);
+    return engine.Run(MakeRequests(8, 64, 64)).decode_tokens_per_s();
+  };
+  const double unbatched = run_with_batch(1);
+  const double batched = run_with_batch(8);
+  EXPECT_GT(batched, unbatched * 2.0);
+}
+
+TEST(Engine, KvBytesGrowDuringDecode) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(1, 100, 50));
+  const std::uint64_t kv_per_token = TinyModel().kv_bytes_per_token();
+  // Writes: prefill 100 vectors + decode 50 vectors.
+  EXPECT_EQ(summary.kv_write_bytes, kv_per_token * 150);
+  // Peak resident KV close to the end-of-run context size.
+  EXPECT_GE(summary.peak_kv_bytes, static_cast<double>(kv_per_token) * 140);
+}
+
+TEST(Engine, TtftRecordedPerRequest) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(3, 64, 8));
+  EXPECT_EQ(summary.ttft_ms.count(), 3u);
+  EXPECT_EQ(summary.e2e_latency_s.count(), 3u);
+  EXPECT_GT(summary.ttft_ms.mean(), 0.0);
+}
+
+TEST(Engine, MemoryBoundOnSlowMemoryComputeBoundOnFast) {
+  // Slow memory, huge compute -> memory bound.
+  TierSpec slow = FastTier();
+  slow.read_bw_bytes_per_s = 1e11;
+  slow.write_bw_bytes_per_s = 1e11;
+  AnalyticBackend slow_backend(slow, TinyModel().weight_bytes());
+  EngineConfig config = TinyEngine();
+  config.compute_tflops = 10000.0;
+  InferenceEngine memory_bound(config, &slow_backend);
+  const EngineSummary mb = memory_bound.Run(MakeRequests(2, 64, 32));
+  EXPECT_GT(mb.memory_bound_fraction(), 0.95);
+
+  // Fast memory, weak compute -> compute bound.
+  TierSpec fast = FastTier();
+  fast.read_bw_bytes_per_s = 1e14;
+  fast.write_bw_bytes_per_s = 1e14;
+  AnalyticBackend fast_backend(fast, TinyModel().weight_bytes());
+  config.compute_tflops = 1.0;
+  InferenceEngine compute_bound(config, &fast_backend);
+  const EngineSummary cb = compute_bound.Run(MakeRequests(2, 64, 32));
+  EXPECT_LT(cb.memory_bound_fraction(), 0.05);
+}
+
+TEST(Engine, KvCapacityLimitsBatch) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  EngineConfig config = TinyEngine();
+  config.max_batch = 8;
+  // Room for only ~2 concurrent requests' KV.
+  config.kv_capacity_bytes = TinyModel().kv_bytes_per_token() * 96 * 2;
+  InferenceEngine engine(config, &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(8, 64, 32));
+  EXPECT_EQ(summary.requests_completed, 8u);  // all served, just slower
+  EXPECT_LT(summary.mean_batch, 3.0);
+}
+
+TEST(Engine, ImpossibleRequestRejected) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  EngineConfig config = TinyEngine();
+  config.kv_capacity_bytes = TinyModel().kv_bytes_per_token() * 10;  // tiny
+  InferenceEngine engine(config, &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(1, 64, 32));
+  EXPECT_EQ(summary.requests_completed, 0u);
+  EXPECT_EQ(summary.requests_rejected, 1u);
+}
+
+TEST(Engine, LateArrivalsIdleTheEngine) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  std::vector<InferenceRequest> requests = MakeRequests(2, 64, 16);
+  requests[1].arrival_s = 100.0;  // long gap
+  const EngineSummary summary = engine.Run(requests);
+  EXPECT_EQ(summary.requests_completed, 2u);
+  EXPECT_GT(summary.duration_s, 100.0);
+}
+
+TEST(Engine, TraceRecordsAllStreams) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  TraceSink sink;
+  InferenceEngine engine(TinyEngine(), &backend, &sink);
+  engine.Run(MakeRequests(2, 64, 8));
+  bool saw_weights = false;
+  bool saw_kv = false;
+  bool saw_act = false;
+  for (const auto& extent : sink.extents()) {
+    saw_weights |= extent.stream == Stream::kWeights;
+    saw_kv |= extent.stream == Stream::kKvCache;
+    saw_act |= extent.stream == Stream::kActivations;
+  }
+  EXPECT_TRUE(saw_weights);
+  EXPECT_TRUE(saw_kv);
+  EXPECT_TRUE(saw_act);
+}
+
+TEST(Engine, TraceShowsPredictablePattern) {
+  // The E4 properties hold on an engine-generated trace.
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  TraceSink sink;
+  InferenceEngine engine(TinyEngine(), &backend, &sink);
+  engine.Run(MakeRequests(3, 128, 32));
+  const PredictabilityReport report = AnalyzeTrace(sink.extents());
+  EXPECT_GT(report.read_sequential_fraction, 0.5);
+  EXPECT_GT(report.write_append_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.step_order_stability, 1.0);
+}
+
+TEST(Engine, EnergyAttributedToBackend) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  InferenceEngine engine(TinyEngine(), &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(2, 64, 16));
+  EXPECT_GT(summary.backend_energy_j, 0.0);
+  EXPECT_NEAR(summary.backend_energy_j, backend.EnergyJoules(), 1e-12);
+  EXPECT_GT(summary.energy_per_decode_token_j(), 0.0);
+}
+
+TEST(Engine, MeanBatchBounded) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  EngineConfig config = TinyEngine();
+  config.max_batch = 4;
+  InferenceEngine engine(config, &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(16, 32, 32));
+  EXPECT_GT(summary.mean_batch, 1.0);
+  EXPECT_LE(summary.mean_batch, 4.0);
+}
+
+TEST(Engine, KvCompressionReducesBytesMovedNotLedger) {
+  AnalyticBackend backend(FastTier(), TinyModel().weight_bytes());
+  EngineConfig config = TinyEngine();
+  config.kv_compression_ratio = 0.5;
+  InferenceEngine engine(config, &backend);
+  const EngineSummary summary = engine.Run(MakeRequests(2, 128, 32));
+  // Logical ledger unchanged semantics.
+  EXPECT_EQ(summary.kv_write_bytes,
+            TinyModel().kv_bytes_per_token() * (summary.prefill_tokens + summary.decode_tokens));
+  // Physical traffic roughly halved.
+  const double ratio = static_cast<double>(summary.kv_moved_bytes) /
+                       static_cast<double>(summary.kv_read_bytes + summary.kv_write_bytes);
+  EXPECT_NEAR(ratio, 0.5, 0.01);
+}
+
+TEST(Engine, KvCompressionSpeedsUpMemoryBoundDecode) {
+  TierSpec slow = FastTier();
+  slow.read_bw_bytes_per_s = 2e11;
+  slow.write_bw_bytes_per_s = 2e11;
+  auto run_with_ratio = [&](double ratio) {
+    AnalyticBackend backend(slow, TinyModel().weight_bytes());
+    EngineConfig config = TinyEngine();
+    config.compute_tflops = 10000.0;  // memory bound
+    config.kv_compression_ratio = ratio;
+    InferenceEngine engine(config, &backend);
+    return engine.Run(MakeRequests(4, 256, 128)).duration_s;
+  };
+  EXPECT_LT(run_with_ratio(0.25), run_with_ratio(1.0));
+}
+
+TEST(Engine, KvCodecComputeCostCanDominate) {
+  // With an expensive codec on a weak accelerator, compression slows the
+  // run down — the limitation the paper notes for these mitigations.
+  TierSpec fast = FastTier();
+  auto run = [&](double ratio, double codec_flops) {
+    AnalyticBackend backend(fast, TinyModel().weight_bytes());
+    EngineConfig config = TinyEngine();
+    config.compute_tflops = 20.0;  // weak accelerator
+    config.kv_compression_ratio = ratio;
+    config.kv_codec_flops_per_byte = codec_flops;
+    InferenceEngine engine(config, &backend);
+    return engine.Run(MakeRequests(2, 128, 32)).duration_s;
+  };
+  EXPECT_GT(run(0.5, 500.0), run(1.0, 0.0));
+}
+
+TEST(Engine, InvalidCompressionRatioRejected) {
+  AnalyticBackend backend(FastTier(), 0);
+  EngineConfig config = TinyEngine();
+  config.kv_compression_ratio = 0.0;
+  EXPECT_DEATH(InferenceEngine engine(config, &backend), "kv_compression_ratio");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,91 @@
+#include "src/workload/model_config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace workload {
+namespace {
+
+TEST(ModelConfig, AllPresetsValid) {
+  for (const auto& model : AllModels()) {
+    EXPECT_TRUE(model.Validate().ok()) << model.name;
+  }
+}
+
+TEST(ModelConfig, LookupByName) {
+  for (const auto& model : AllModels()) {
+    auto found = ModelByName(model.name);
+    ASSERT_TRUE(found.ok()) << model.name;
+    EXPECT_EQ(found.value().parameters, model.parameters);
+  }
+  EXPECT_FALSE(ModelByName("gpt9000").ok());
+}
+
+TEST(ModelConfig, Llama70BWeightBytes) {
+  // 70e9 params x 2 B = 140 GB (paper §2: 250 GB - 1 TB for >500 B models;
+  // 70 B at FP16 sits at 140 GB).
+  EXPECT_EQ(Llama2_70B().weight_bytes(), 140'000'000'000ull);
+}
+
+TEST(ModelConfig, Llama70BKvVectorSizeGqa) {
+  // 2 x 80 layers x 8 KV heads x 128 dim x 2 B = 320 KiB per token.
+  EXPECT_EQ(Llama2_70B().kv_bytes_per_token(), 327'680ull);
+}
+
+TEST(ModelConfig, MhaVariantVectorIsFewMB) {
+  // Paper §2: "each vector is typically a few MBs" — MHA-class models.
+  const std::uint64_t vector = Llama2_70B_MHA().kv_bytes_per_token();
+  EXPECT_GE(vector, 2ull * kMiB);
+  EXPECT_LE(vector, 4ull * kMiB);
+}
+
+TEST(ModelConfig, Gpt3VectorAlsoMBScale) {
+  const std::uint64_t vector = Gpt3_175B().kv_bytes_per_token();
+  EXPECT_GE(vector, 4ull * kMiB);
+}
+
+TEST(ModelConfig, KvCacheGrowsToTensOfGB) {
+  // Paper §2: "the KV cache usually grows to a few tens of GBs".
+  const FoundationModelConfig model = Llama2_70B_MHA();
+  const std::uint64_t cache = model.kv_cache_bytes(8192);
+  EXPECT_GE(cache, 20ull * kGiB);
+  EXPECT_LE(cache, 80ull * kGiB);
+}
+
+TEST(ModelConfig, ActivationsOrderOfMagnitudeSmaller) {
+  // Paper §2: activations are ~10x smaller than weights and KV cache.
+  const FoundationModelConfig model = Llama2_70B();
+  const std::uint64_t act = model.activation_bytes(32);
+  EXPECT_LT(act, model.weight_bytes() / 10);
+  EXPECT_LT(act, model.kv_cache_bytes(2048) / 5);
+}
+
+TEST(ModelConfig, FrontierModelWeightsApproachTB) {
+  // Paper §2: large models represent 250 GB to over 1 TB.
+  const std::uint64_t weights = Frontier_1T().weight_bytes();
+  EXPECT_GE(weights, 500ull * kGB);
+  EXPECT_LE(weights, 2ull * kTB);
+}
+
+TEST(ModelConfig, ValidationCatchesBadConfigs) {
+  FoundationModelConfig model = Llama2_70B();
+  model.kv_heads = model.heads + 1;
+  EXPECT_FALSE(model.Validate().ok());
+  model = Llama2_70B();
+  model.layers = 0;
+  EXPECT_FALSE(model.Validate().ok());
+  model = Llama2_70B();
+  model.bytes_per_param = 0;
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(ModelConfig, DModelConsistent) {
+  const FoundationModelConfig model = Llama2_70B();
+  EXPECT_EQ(model.d_model(), 64 * 128);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace mrm

@@ -1,0 +1,106 @@
+#include "src/workload/request_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace mrm {
+namespace workload {
+namespace {
+
+TEST(TokenDistribution, RespectsBounds) {
+  TokenDistribution dist{.median = 100, .sigma = 2.0, .min_tokens = 10, .max_tokens = 500};
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const int tokens = dist.Sample(rng);
+    EXPECT_GE(tokens, 10);
+    EXPECT_LE(tokens, 500);
+  }
+}
+
+TEST(TokenDistribution, MedianApproximatelyCorrect) {
+  TokenDistribution dist{.median = 1000, .sigma = 1.0, .min_tokens = 1, .max_tokens = 1 << 20};
+  Rng rng(2);
+  std::vector<int> samples;
+  for (int i = 0; i < 20001; ++i) {
+    samples.push_back(dist.Sample(rng));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 1000, 60);
+}
+
+TEST(RequestGenerator, ArrivalsAreMonotone) {
+  RequestGenerator generator(SplitwiseConversation(), 10.0, 3);
+  double previous = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const InferenceRequest request = generator.Next();
+    EXPECT_GT(request.arrival_s, previous);
+    previous = request.arrival_s;
+  }
+}
+
+TEST(RequestGenerator, IdsAreSequential) {
+  RequestGenerator generator(SplitwiseConversation(), 10.0, 4);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_EQ(generator.Next().id, i);
+  }
+}
+
+TEST(RequestGenerator, ArrivalRateApproximatesLambda) {
+  RequestGenerator generator(SplitwiseConversation(), 50.0, 5);
+  const auto requests = generator.GenerateFor(100.0);
+  EXPECT_NEAR(static_cast<double>(requests.size()), 5000.0, 300.0);
+}
+
+TEST(RequestGenerator, GenerateForRespectsHorizon) {
+  RequestGenerator generator(SplitwiseCoding(), 5.0, 6);
+  const auto requests = generator.GenerateFor(10.0);
+  for (const auto& request : requests) {
+    EXPECT_LT(request.arrival_s, 10.0);
+  }
+}
+
+TEST(RequestGenerator, DeterministicAcrossRuns) {
+  RequestGenerator a(SplitwiseConversation(), 10.0, 42);
+  RequestGenerator b(SplitwiseConversation(), 10.0, 42);
+  for (int i = 0; i < 100; ++i) {
+    const InferenceRequest ra = a.Next();
+    const InferenceRequest rb = b.Next();
+    EXPECT_EQ(ra.arrival_s, rb.arrival_s);
+    EXPECT_EQ(ra.prompt_tokens, rb.prompt_tokens);
+    EXPECT_EQ(ra.output_tokens, rb.output_tokens);
+  }
+}
+
+TEST(Profiles, ConversationMatchesSplitwiseMedians) {
+  const WorkloadProfile profile = SplitwiseConversation();
+  EXPECT_EQ(profile.prompt.median, 1020);
+  EXPECT_EQ(profile.output.median, 129);
+}
+
+TEST(Profiles, CodingIsPromptHeavy) {
+  const WorkloadProfile profile = SplitwiseCoding();
+  EXPECT_GT(profile.prompt.median, SplitwiseConversation().prompt.median);
+  EXPECT_LT(profile.output.median, SplitwiseConversation().output.median);
+}
+
+TEST(Profiles, LongContextStressesKv) {
+  const WorkloadProfile profile = LongContextSummarization();
+  EXPECT_GE(profile.prompt.median, 8000);
+}
+
+TEST(Profiles, TokensArePositive) {
+  Rng rng(9);
+  for (const auto& profile :
+       {SplitwiseConversation(), SplitwiseCoding(), LongContextSummarization()}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GT(profile.prompt.Sample(rng), 0);
+      EXPECT_GT(profile.output.Sample(rng), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace mrm

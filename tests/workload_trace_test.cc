@@ -1,0 +1,122 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace workload {
+namespace {
+
+TraceExtent Read(Stream stream, std::uint64_t key, std::uint64_t offset, std::uint64_t length,
+                 std::uint64_t step = 0) {
+  return TraceExtent{stream, key, false, offset, length, step};
+}
+
+TraceExtent Write(Stream stream, std::uint64_t key, std::uint64_t offset, std::uint64_t length,
+                  std::uint64_t step = 0) {
+  return TraceExtent{stream, key, true, offset, length, step};
+}
+
+TEST(Trace, EmptyTraceAnalyzes) {
+  const PredictabilityReport report = AnalyzeTrace({});
+  EXPECT_EQ(report.read_bytes, 0u);
+  EXPECT_EQ(report.write_bytes, 0u);
+  EXPECT_EQ(report.step_order_stability, 1.0);
+}
+
+TEST(Trace, SinkRecordsAndClears) {
+  TraceSink sink;
+  sink.Record(Read(Stream::kWeights, 0, 0, 64));
+  EXPECT_EQ(sink.extents().size(), 1u);
+  sink.Clear();
+  EXPECT_TRUE(sink.extents().empty());
+}
+
+TEST(Trace, PureSequentialReadsAreFullySequential) {
+  std::vector<TraceExtent> extents;
+  for (int i = 0; i < 10; ++i) {
+    extents.push_back(Read(Stream::kWeights, 0, static_cast<std::uint64_t>(i) * 100, 100));
+  }
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  // Only the first extent's first access granule (64 B of 1000 B) is a jump.
+  EXPECT_NEAR(report.read_sequential_fraction, 1.0 - 64.0 / 1000.0, 1e-9);
+}
+
+TEST(Trace, RandomReadsAreNotSequential) {
+  std::vector<TraceExtent> extents;
+  for (int i = 0; i < 10; ++i) {
+    extents.push_back(Read(Stream::kWeights, 0, static_cast<std::uint64_t>((i * 7) % 10) * 1000,
+                           100));
+  }
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  // Every 100 B extent jumps: only the 36 B tail of each streams.
+  EXPECT_LT(report.read_sequential_fraction, 0.5);
+}
+
+TEST(Trace, AppendOnlyWritesDetected) {
+  std::vector<TraceExtent> extents;
+  for (int i = 0; i < 8; ++i) {
+    extents.push_back(Write(Stream::kKvCache, 1, static_cast<std::uint64_t>(i) * 64, 64));
+  }
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  EXPECT_DOUBLE_EQ(report.write_append_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.overwrite_fraction, 0.0);
+}
+
+TEST(Trace, OverwritesDetected) {
+  std::vector<TraceExtent> extents;
+  extents.push_back(Write(Stream::kActivations, 0, 0, 100));
+  extents.push_back(Write(Stream::kActivations, 0, 0, 100));  // overwrite
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  EXPECT_DOUBLE_EQ(report.write_append_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.overwrite_fraction, 0.5);
+}
+
+TEST(Trace, StreamsAnalyzedIndependently) {
+  // Interleaved sequential streams stay sequential per (stream, key).
+  std::vector<TraceExtent> extents;
+  for (int i = 0; i < 5; ++i) {
+    extents.push_back(Read(Stream::kKvCache, 1, static_cast<std::uint64_t>(i) * 10, 10));
+    extents.push_back(Read(Stream::kKvCache, 2, static_cast<std::uint64_t>(i) * 10, 10));
+  }
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  EXPECT_GT(report.read_sequential_fraction, 0.3);
+}
+
+TEST(Trace, StableStepOrderDetected) {
+  std::vector<TraceExtent> extents;
+  for (std::uint64_t step = 0; step < 4; ++step) {
+    extents.push_back(Read(Stream::kWeights, 0, 0, 8 * 1024 * 1024, step));
+  }
+  const PredictabilityReport report = AnalyzeTrace(extents, 2 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(report.step_order_stability, 1.0);
+}
+
+TEST(Trace, UnstableStepOrderDetected) {
+  std::vector<TraceExtent> extents;
+  // Step 0 reads pages [0..4); step 1 reads a different span.
+  extents.push_back(Read(Stream::kWeights, 0, 0, 8 * 1024 * 1024, 0));
+  extents.push_back(Read(Stream::kWeights, 0, 32 * 1024 * 1024, 8 * 1024 * 1024, 1));
+  const PredictabilityReport report = AnalyzeTrace(extents, 2 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(report.step_order_stability, 0.0);
+}
+
+TEST(Trace, ByteCountsAccumulate) {
+  std::vector<TraceExtent> extents;
+  extents.push_back(Read(Stream::kWeights, 0, 0, 1000));
+  extents.push_back(Write(Stream::kKvCache, 0, 0, 200));
+  extents.push_back(Read(Stream::kKvCache, 0, 0, 300));
+  const PredictabilityReport report = AnalyzeTrace(extents);
+  EXPECT_EQ(report.read_bytes, 1300u);
+  EXPECT_EQ(report.write_bytes, 200u);
+}
+
+TEST(Trace, StreamNames) {
+  EXPECT_STREQ(StreamName(Stream::kWeights), "weights");
+  EXPECT_STREQ(StreamName(Stream::kKvCache), "kv-cache");
+  EXPECT_STREQ(StreamName(Stream::kActivations), "activations");
+  EXPECT_STREQ(StreamName(Stream::kNone), "none");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace mrm
