@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_tech_compare.dir/bench_e10_tech_compare.cc.o"
+  "CMakeFiles/bench_e10_tech_compare.dir/bench_e10_tech_compare.cc.o.d"
+  "bench_e10_tech_compare"
+  "bench_e10_tech_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_tech_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_batching.dir/bench_e11_batching.cc.o"
+  "CMakeFiles/bench_e11_batching.dir/bench_e11_batching.cc.o.d"
+  "bench_e11_batching"
+  "bench_e11_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_cluster.dir/bench_e13_cluster.cc.o"
+  "CMakeFiles/bench_e13_cluster.dir/bench_e13_cluster.cc.o.d"
+  "bench_e13_cluster"
+  "bench_e13_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e14_density.cc" "bench/CMakeFiles/bench_e14_density.dir/bench_e14_density.cc.o" "gcc" "bench/CMakeFiles/bench_e14_density.dir/bench_e14_density.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mrm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/mrm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mrm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/mrm_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrm/CMakeFiles/mrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/mrm_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

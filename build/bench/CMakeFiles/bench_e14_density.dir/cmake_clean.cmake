@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_density.dir/bench_e14_density.cc.o"
+  "CMakeFiles/bench_e14_density.dir/bench_e14_density.cc.o.d"
+  "bench_e14_density"
+  "bench_e14_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

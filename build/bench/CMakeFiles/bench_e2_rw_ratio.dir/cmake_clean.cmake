@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_rw_ratio.dir/bench_e2_rw_ratio.cc.o"
+  "CMakeFiles/bench_e2_rw_ratio.dir/bench_e2_rw_ratio.cc.o.d"
+  "bench_e2_rw_ratio"
+  "bench_e2_rw_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_rw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

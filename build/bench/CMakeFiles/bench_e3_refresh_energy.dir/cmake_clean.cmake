@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_refresh_energy.dir/bench_e3_refresh_energy.cc.o"
+  "CMakeFiles/bench_e3_refresh_energy.dir/bench_e3_refresh_energy.cc.o.d"
+  "bench_e3_refresh_energy"
+  "bench_e3_refresh_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_refresh_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sequentiality.dir/bench_e4_sequentiality.cc.o"
+  "CMakeFiles/bench_e4_sequentiality.dir/bench_e4_sequentiality.cc.o.d"
+  "bench_e4_sequentiality"
+  "bench_e4_sequentiality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sequentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_housekeeping.dir/bench_e6_housekeeping.cc.o"
+  "CMakeFiles/bench_e6_housekeeping.dir/bench_e6_housekeeping.cc.o.d"
+  "bench_e6_housekeeping"
+  "bench_e6_housekeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_housekeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

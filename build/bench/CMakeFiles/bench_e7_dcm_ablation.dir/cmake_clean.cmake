@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_dcm_ablation.dir/bench_e7_dcm_ablation.cc.o"
+  "CMakeFiles/bench_e7_dcm_ablation.dir/bench_e7_dcm_ablation.cc.o.d"
+  "bench_e7_dcm_ablation"
+  "bench_e7_dcm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_dcm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_ecc_blocksize.dir/bench_e8_ecc_blocksize.cc.o"
+  "CMakeFiles/bench_e8_ecc_blocksize.dir/bench_e8_ecc_blocksize.cc.o.d"
+  "bench_e8_ecc_blocksize"
+  "bench_e8_ecc_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_ecc_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_tiering.dir/bench_e9_tiering.cc.o"
+  "CMakeFiles/bench_e9_tiering.dir/bench_e9_tiering.cc.o.d"
+  "bench_e9_tiering"
+  "bench_e9_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

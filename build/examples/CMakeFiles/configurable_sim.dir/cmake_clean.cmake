@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configurable_sim.dir/configurable_sim.cpp.o"
+  "CMakeFiles/configurable_sim.dir/configurable_sim.cpp.o.d"
+  "configurable_sim"
+  "configurable_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configurable_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

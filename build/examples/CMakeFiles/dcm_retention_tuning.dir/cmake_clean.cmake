@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcm_retention_tuning.dir/dcm_retention_tuning.cpp.o"
+  "CMakeFiles/dcm_retention_tuning.dir/dcm_retention_tuning.cpp.o.d"
+  "dcm_retention_tuning"
+  "dcm_retention_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcm_retention_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

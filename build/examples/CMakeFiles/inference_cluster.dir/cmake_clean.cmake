@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_cluster.dir/inference_cluster.cpp.o"
+  "CMakeFiles/inference_cluster.dir/inference_cluster.cpp.o.d"
+  "inference_cluster"
+  "inference_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_analysis.dir/density.cc.o"
+  "CMakeFiles/mrm_analysis.dir/density.cc.o.d"
+  "CMakeFiles/mrm_analysis.dir/endurance.cc.o"
+  "CMakeFiles/mrm_analysis.dir/endurance.cc.o.d"
+  "CMakeFiles/mrm_analysis.dir/tco.cc.o"
+  "CMakeFiles/mrm_analysis.dir/tco.cc.o.d"
+  "libmrm_analysis.a"
+  "libmrm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

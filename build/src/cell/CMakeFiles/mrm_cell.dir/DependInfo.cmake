@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/crossbar.cc" "src/cell/CMakeFiles/mrm_cell.dir/crossbar.cc.o" "gcc" "src/cell/CMakeFiles/mrm_cell.dir/crossbar.cc.o.d"
+  "/root/repo/src/cell/mlc.cc" "src/cell/CMakeFiles/mrm_cell.dir/mlc.cc.o" "gcc" "src/cell/CMakeFiles/mrm_cell.dir/mlc.cc.o.d"
+  "/root/repo/src/cell/refresh_model.cc" "src/cell/CMakeFiles/mrm_cell.dir/refresh_model.cc.o" "gcc" "src/cell/CMakeFiles/mrm_cell.dir/refresh_model.cc.o.d"
+  "/root/repo/src/cell/technology.cc" "src/cell/CMakeFiles/mrm_cell.dir/technology.cc.o" "gcc" "src/cell/CMakeFiles/mrm_cell.dir/technology.cc.o.d"
+  "/root/repo/src/cell/tradeoff.cc" "src/cell/CMakeFiles/mrm_cell.dir/tradeoff.cc.o" "gcc" "src/cell/CMakeFiles/mrm_cell.dir/tradeoff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

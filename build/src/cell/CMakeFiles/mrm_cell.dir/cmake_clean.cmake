@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_cell.dir/crossbar.cc.o"
+  "CMakeFiles/mrm_cell.dir/crossbar.cc.o.d"
+  "CMakeFiles/mrm_cell.dir/mlc.cc.o"
+  "CMakeFiles/mrm_cell.dir/mlc.cc.o.d"
+  "CMakeFiles/mrm_cell.dir/refresh_model.cc.o"
+  "CMakeFiles/mrm_cell.dir/refresh_model.cc.o.d"
+  "CMakeFiles/mrm_cell.dir/technology.cc.o"
+  "CMakeFiles/mrm_cell.dir/technology.cc.o.d"
+  "CMakeFiles/mrm_cell.dir/tradeoff.cc.o"
+  "CMakeFiles/mrm_cell.dir/tradeoff.cc.o.d"
+  "libmrm_cell.a"
+  "libmrm_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

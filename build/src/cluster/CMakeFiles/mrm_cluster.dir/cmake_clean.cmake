@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_cluster.dir/cluster.cc.o"
+  "CMakeFiles/mrm_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/mrm_cluster.dir/node_model.cc.o"
+  "CMakeFiles/mrm_cluster.dir/node_model.cc.o.d"
+  "libmrm_cluster.a"
+  "libmrm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_common.dir/config.cc.o"
+  "CMakeFiles/mrm_common.dir/config.cc.o.d"
+  "CMakeFiles/mrm_common.dir/logging.cc.o"
+  "CMakeFiles/mrm_common.dir/logging.cc.o.d"
+  "CMakeFiles/mrm_common.dir/rng.cc.o"
+  "CMakeFiles/mrm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mrm_common.dir/stats.cc.o"
+  "CMakeFiles/mrm_common.dir/stats.cc.o.d"
+  "CMakeFiles/mrm_common.dir/table.cc.o"
+  "CMakeFiles/mrm_common.dir/table.cc.o.d"
+  "libmrm_common.a"
+  "libmrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

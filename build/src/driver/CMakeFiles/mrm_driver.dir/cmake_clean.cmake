@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_driver.dir/builders.cc.o"
+  "CMakeFiles/mrm_driver.dir/builders.cc.o.d"
+  "libmrm_driver.a"
+  "libmrm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

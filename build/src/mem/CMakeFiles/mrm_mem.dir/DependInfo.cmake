@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/mem/CMakeFiles/mrm_mem.dir/address_map.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/address_map.cc.o.d"
+  "/root/repo/src/mem/bank.cc" "src/mem/CMakeFiles/mrm_mem.dir/bank.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/bank.cc.o.d"
+  "/root/repo/src/mem/controller.cc" "src/mem/CMakeFiles/mrm_mem.dir/controller.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/controller.cc.o.d"
+  "/root/repo/src/mem/device_config.cc" "src/mem/CMakeFiles/mrm_mem.dir/device_config.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/device_config.cc.o.d"
+  "/root/repo/src/mem/flash.cc" "src/mem/CMakeFiles/mrm_mem.dir/flash.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/flash.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/mrm_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/stream_model.cc" "src/mem/CMakeFiles/mrm_mem.dir/stream_model.cc.o" "gcc" "src/mem/CMakeFiles/mrm_mem.dir/stream_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/mrm_cell.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_mem.dir/address_map.cc.o"
+  "CMakeFiles/mrm_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/bank.cc.o"
+  "CMakeFiles/mrm_mem.dir/bank.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/controller.cc.o"
+  "CMakeFiles/mrm_mem.dir/controller.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/device_config.cc.o"
+  "CMakeFiles/mrm_mem.dir/device_config.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/flash.cc.o"
+  "CMakeFiles/mrm_mem.dir/flash.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/memory_system.cc.o"
+  "CMakeFiles/mrm_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/mrm_mem.dir/stream_model.cc.o"
+  "CMakeFiles/mrm_mem.dir/stream_model.cc.o.d"
+  "libmrm_mem.a"
+  "libmrm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

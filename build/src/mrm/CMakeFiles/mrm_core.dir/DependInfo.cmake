@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrm/control_plane.cc" "src/mrm/CMakeFiles/mrm_core.dir/control_plane.cc.o" "gcc" "src/mrm/CMakeFiles/mrm_core.dir/control_plane.cc.o.d"
+  "/root/repo/src/mrm/dcm.cc" "src/mrm/CMakeFiles/mrm_core.dir/dcm.cc.o" "gcc" "src/mrm/CMakeFiles/mrm_core.dir/dcm.cc.o.d"
+  "/root/repo/src/mrm/ecc.cc" "src/mrm/CMakeFiles/mrm_core.dir/ecc.cc.o" "gcc" "src/mrm/CMakeFiles/mrm_core.dir/ecc.cc.o.d"
+  "/root/repo/src/mrm/mrm_device.cc" "src/mrm/CMakeFiles/mrm_core.dir/mrm_device.cc.o" "gcc" "src/mrm/CMakeFiles/mrm_core.dir/mrm_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/mrm_cell.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_core.dir/control_plane.cc.o"
+  "CMakeFiles/mrm_core.dir/control_plane.cc.o.d"
+  "CMakeFiles/mrm_core.dir/dcm.cc.o"
+  "CMakeFiles/mrm_core.dir/dcm.cc.o.d"
+  "CMakeFiles/mrm_core.dir/ecc.cc.o"
+  "CMakeFiles/mrm_core.dir/ecc.cc.o.d"
+  "CMakeFiles/mrm_core.dir/mrm_device.cc.o"
+  "CMakeFiles/mrm_core.dir/mrm_device.cc.o.d"
+  "libmrm_core.a"
+  "libmrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

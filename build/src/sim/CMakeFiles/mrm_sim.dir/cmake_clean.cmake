@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mrm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mrm_sim.dir/simulator.cc.o"
+  "CMakeFiles/mrm_sim.dir/simulator.cc.o.d"
+  "libmrm_sim.a"
+  "libmrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

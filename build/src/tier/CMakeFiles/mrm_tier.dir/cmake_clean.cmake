@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_tier.dir/refresh_or_recompute.cc.o"
+  "CMakeFiles/mrm_tier.dir/refresh_or_recompute.cc.o.d"
+  "CMakeFiles/mrm_tier.dir/tier_spec.cc.o"
+  "CMakeFiles/mrm_tier.dir/tier_spec.cc.o.d"
+  "CMakeFiles/mrm_tier.dir/tiered_backend.cc.o"
+  "CMakeFiles/mrm_tier.dir/tiered_backend.cc.o.d"
+  "libmrm_tier.a"
+  "libmrm_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/backend.cc" "src/workload/CMakeFiles/mrm_workload.dir/backend.cc.o" "gcc" "src/workload/CMakeFiles/mrm_workload.dir/backend.cc.o.d"
+  "/root/repo/src/workload/inference_engine.cc" "src/workload/CMakeFiles/mrm_workload.dir/inference_engine.cc.o" "gcc" "src/workload/CMakeFiles/mrm_workload.dir/inference_engine.cc.o.d"
+  "/root/repo/src/workload/model_config.cc" "src/workload/CMakeFiles/mrm_workload.dir/model_config.cc.o" "gcc" "src/workload/CMakeFiles/mrm_workload.dir/model_config.cc.o.d"
+  "/root/repo/src/workload/request_generator.cc" "src/workload/CMakeFiles/mrm_workload.dir/request_generator.cc.o" "gcc" "src/workload/CMakeFiles/mrm_workload.dir/request_generator.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mrm_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mrm_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_workload.dir/backend.cc.o"
+  "CMakeFiles/mrm_workload.dir/backend.cc.o.d"
+  "CMakeFiles/mrm_workload.dir/inference_engine.cc.o"
+  "CMakeFiles/mrm_workload.dir/inference_engine.cc.o.d"
+  "CMakeFiles/mrm_workload.dir/model_config.cc.o"
+  "CMakeFiles/mrm_workload.dir/model_config.cc.o.d"
+  "CMakeFiles/mrm_workload.dir/request_generator.cc.o"
+  "CMakeFiles/mrm_workload.dir/request_generator.cc.o.d"
+  "CMakeFiles/mrm_workload.dir/trace.cc.o"
+  "CMakeFiles/mrm_workload.dir/trace.cc.o.d"
+  "libmrm_workload.a"
+  "libmrm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

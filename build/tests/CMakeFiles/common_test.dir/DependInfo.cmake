@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_config_test.cc" "tests/CMakeFiles/common_test.dir/common_config_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_config_test.cc.o.d"
+  "/root/repo/tests/common_logging_test.cc" "tests/CMakeFiles/common_test.dir/common_logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_logging_test.cc.o.d"
+  "/root/repo/tests/common_result_test.cc" "tests/CMakeFiles/common_test.dir/common_result_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_result_test.cc.o.d"
+  "/root/repo/tests/common_rng_test.cc" "tests/CMakeFiles/common_test.dir/common_rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_rng_test.cc.o.d"
+  "/root/repo/tests/common_stats_test.cc" "tests/CMakeFiles/common_test.dir/common_stats_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_stats_test.cc.o.d"
+  "/root/repo/tests/common_table_test.cc" "tests/CMakeFiles/common_test.dir/common_table_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mrm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/mrm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mrm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/mrm_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrm/CMakeFiles/mrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/mrm_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

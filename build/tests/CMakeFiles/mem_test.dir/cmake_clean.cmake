@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem_address_map_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_address_map_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_bank_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_bank_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_controller_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_controller_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_flash_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_flash_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_memory_system_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_memory_system_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_property_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_property_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem_stream_model_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem_stream_model_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrm_test.dir/mrm_control_plane_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_control_plane_test.cc.o.d"
+  "CMakeFiles/mrm_test.dir/mrm_dcm_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_dcm_test.cc.o.d"
+  "CMakeFiles/mrm_test.dir/mrm_device_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_device_test.cc.o.d"
+  "CMakeFiles/mrm_test.dir/mrm_ecc_property_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_ecc_property_test.cc.o.d"
+  "CMakeFiles/mrm_test.dir/mrm_ecc_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_ecc_test.cc.o.d"
+  "CMakeFiles/mrm_test.dir/mrm_property_test.cc.o"
+  "CMakeFiles/mrm_test.dir/mrm_property_test.cc.o.d"
+  "mrm_test"
+  "mrm_test.pdb"
+  "mrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_test.dir/tier_backend_test.cc.o"
+  "CMakeFiles/tier_test.dir/tier_backend_test.cc.o.d"
+  "CMakeFiles/tier_test.dir/tier_refresh_or_recompute_test.cc.o"
+  "CMakeFiles/tier_test.dir/tier_refresh_or_recompute_test.cc.o.d"
+  "CMakeFiles/tier_test.dir/tier_spec_test.cc.o"
+  "CMakeFiles/tier_test.dir/tier_spec_test.cc.o.d"
+  "tier_test"
+  "tier_test.pdb"
+  "tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload_backend_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_backend_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload_engine_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_engine_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload_model_config_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_model_config_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload_property_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_property_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload_request_generator_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_request_generator_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload_trace_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload_trace_test.cc.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
