@@ -2,25 +2,81 @@
 // performance and energy on par or better than DRAM... They also have
 // potential for higher density and/or lower TCO/TB."
 //
-// Prints the cell-level comparison table and the MRM operating points each
-// candidate reaches once retention is relaxed (the paper's opportunity).
+// Two parts:
+//  1. The paper's cell-level comparison table plus the MRM operating points
+//     each candidate reaches once retention is relaxed (printed directly).
+//  2. A simulated sweep: each (technology, retention) operating point is
+//     dropped into a DRAM-socket device (DDR5 geometry, cell-derived column
+//     timing/energy, refresh off) and run under an identical closed-loop
+//     workload. The sweep executes on the parallel BenchRunner harness and
+//     emits BENCH_e10_tech_compare.json; per-point metrics are bit-identical
+//     between single- and multi-threaded runs (MRMSIM_BENCH_THREADS=1 to
+//     check).
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "bench/common/bench_runner.h"
+#include "bench/common/sim_workloads.h"
 #include "src/cell/technology.h"
 #include "src/cell/tradeoff.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
+#include "src/mem/device_config.h"
 
 namespace {
 
 using namespace mrm;  // NOLINT: bench binary
 
-}  // namespace
+// A DDR5-geometry device whose column path is driven by the cell operating
+// point: reads wait the cell's read latency, write recovery covers the
+// programming pulse, array energy follows the cell model, and refresh is off
+// (retention is managed, not fought). Interface (IO) cost stays DRAM-class —
+// that is the "same socket" assumption of paper §3.
+mem::DeviceConfig DeviceForOperatingPoint(cell::Technology tech,
+                                          const cell::OperatingPoint& point) {
+  mem::DeviceConfig config = mem::DDR5Config();
+  config.name = std::string(cell::TechnologyName(tech)) + "@" + FormatSeconds(point.retention_s);
+  config.tech = tech;
+  config.timings.tcas_ns = std::max(config.timings.tcas_ns, point.read_latency_ns);
+  config.timings.trtp_ns = std::max(config.timings.trtp_ns, point.read_latency_ns / 2.0);
+  config.timings.twr_ns = std::max(config.timings.twr_ns, point.write_latency_ns);
+  config.energy.read_pj_per_bit = point.read_energy_pj_per_bit;
+  config.energy.write_pj_per_bit = point.write_energy_pj_per_bit;
+  config.energy.refresh_pj_per_row = 0.0;
+  config.needs_refresh = false;
+  return config;
+}
 
-int main() {
-  std::printf("E10: memory technology comparison (paper §3)\n\n");
+void AddSweepPoint(bench::BenchRunner& runner, const std::string& label,
+                   const mem::DeviceConfig& config, double endurance_cycles,
+                   double retention_s) {
+  runner.Add(label, [=](bench::PointResult& r) {
+    sim::Simulator sim;
+    mem::MemorySystem system(&sim, config, mem::SchedulerPolicy::kFrFcfs);
+    if (!config.needs_refresh) {
+      system.DisableRefresh();
+    }
+    // Same workload for every point: 70% reads, 60% sequential-ish — an
+    // inference-serving-like mix (paper §2.2 is far more read-heavy; this
+    // keeps the write path visible so slow writes show up).
+    const bench::MemRunResult run = bench::MemClosedLoop(
+        sim, system, /*total=*/60000, /*window=*/192, /*read_pct=*/70, /*seq_pct=*/60,
+        /*rng_seed=*/11);
+    const mem::SystemStats stats = system.GetStats();
+    const double bytes = static_cast<double>(stats.bytes_read + stats.bytes_written);
+    r.events = run.events;
+    r.metrics["retention_s"] = retention_s;
+    r.metrics["endurance_cycles"] = endurance_cycles;
+    r.metrics["achieved_gbps"] = run.sim_seconds > 0.0 ? bytes / run.sim_seconds / 1e9 : 0.0;
+    r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
+    r.metrics["row_hit_rate"] = run.row_hit_rate;
+    r.metrics["energy_pj_per_bit"] = bytes > 0.0 ? stats.energy.total_pj() / (bytes * 8.0) : 0.0;
+  });
+}
 
+void PrintCellTables() {
   TablePrinter table({"technology", "read ns", "write ns", "read pJ/b", "write pJ/b",
                       "retention", "endurance (prod)", "endurance (pot.)", "rel density",
                       "rel $/bit"});
@@ -64,5 +120,33 @@ int main() {
                 profile.read_energy_pj_per_bit,
                 profile.read_energy_pj_per_bit <= dram_read_pj ? "holds" : "VIOLATED");
   }
-  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: memory technology comparison (paper §3)\n\n");
+  PrintCellTables();
+
+  // Part 2: drop each operating point into the cycle-level simulator.
+  bench::BenchRunner runner("e10_tech_compare");
+  runner.SetConfig("sweep", "technology x retention, DDR5-socket device, FR-FCFS");
+  runner.SetConfig("workload", "closed-loop 60k requests, 70% read, 60% sequential");
+
+  AddSweepPoint(runner, "dram_baseline", mem::DDR5Config(),
+                cell::GetTechnologyProfile(cell::Technology::kDram).endurance.product_cycles,
+                cell::GetTechnologyProfile(cell::Technology::kDram).retention_s);
+  for (cell::Technology tech :
+       {cell::Technology::kSttMram, cell::Technology::kRram, cell::Technology::kPcm}) {
+    auto tradeoff = cell::MakeTradeoffFor(tech).value();
+    for (double retention : {10.0 * kYear, 30.0 * kDay, kDay, kHour}) {
+      const cell::OperatingPoint point = tradeoff->AtRetention(retention);
+      std::string label =
+          std::string(cell::TechnologyName(tech)) + "_" + FormatSeconds(point.retention_s);
+      std::erase(label, ' ');
+      AddSweepPoint(runner, label, DeviceForOperatingPoint(tech, point),
+                    point.endurance_cycles, point.retention_s);
+    }
+  }
+  return runner.RunAndReport();
 }

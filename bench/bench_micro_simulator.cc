@@ -1,119 +1,87 @@
-// Microbenchmarks of the simulator substrate itself (google-benchmark):
-// event-queue throughput, controller command scheduling, ECC design and the
-// endurance bookkeeping — the hot paths of every experiment binary.
+// Microbenchmarks of the simulator core: event-queue churn patterns plus
+// closed-loop memory-system runs, executed through the parallel BenchRunner
+// harness. Emits BENCH_micro_simulator.json (schema: DESIGN.md §"Event core
+// internals") so before/after events-per-second comparisons are scriptable.
+//
+// "events" per point = operations processed: executed events for the queue
+// and memory workloads, push/cancel or retime operations for the churn
+// patterns (work performed even though the events never run).
 
-#include <benchmark/benchmark.h>
+#include <string>
 
-#include "src/cell/tradeoff.h"
-#include "src/common/rng.h"
-#include "src/mem/memory_system.h"
-#include "src/mrm/ecc.h"
-#include "src/sim/simulator.h"
+#include "bench/common/bench_runner.h"
+#include "bench/common/sim_workloads.h"
+#include "src/mem/device_config.h"
 
 namespace {
 
 using namespace mrm;  // NOLINT: bench binary
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  const std::int64_t batch = state.range(0);
-  Rng rng(1);
-  for (auto _ : state) {
-    sim::EventQueue queue;
-    for (std::int64_t i = 0; i < batch; ++i) {
-      queue.Push(rng.NextU64() % 100000, [] {});
-    }
-    sim::Tick when = 0;
-    while (!queue.empty()) {
-      benchmark::DoNotOptimize(queue.Pop(&when));
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * batch);
+void AddQueuePoints(bench::BenchRunner& runner) {
+  runner.Add("queue_dispatch", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueDispatch(sim, 10000, 20);  // warmup
+    r.events = bench::QueueDispatch(sim, 10000, 300);
+  });
+  runner.Add("queue_random", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueRandom(sim, 16384, 10, 100000);  // warmup
+    r.events = bench::QueueRandom(sim, 16384, 180, 100000);
+  });
+  runner.Add("queue_steady_64", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueSteady(sim, 64, 100000);  // warmup
+    r.events = bench::QueueSteady(sim, 64, 2000000);
+  });
+  runner.Add("queue_steady_4096", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueSteady(sim, 4096, 100000);  // warmup
+    r.events = bench::QueueSteady(sim, 4096, 3000000);
+  });
+  runner.Add("queue_retime_wake", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueRetime(sim, 100000);  // warmup
+    r.events = bench::QueueRetime(sim, 3000000);
+  });
+  runner.Add("queue_cancel_churn", [](bench::PointResult& r) {
+    sim::Simulator sim;
+    bench::QueueCancel(sim, 100000);  // warmup
+    r.events = bench::QueueCancel(sim, 3000000);
+  });
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
 
-void BM_SimulatorEventDispatch(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator simulator;
-    std::uint64_t counter = 0;
-    for (int i = 0; i < 10000; ++i) {
-      simulator.ScheduleAt(static_cast<sim::Tick>(i), [&counter] { ++counter; });
-    }
-    simulator.Run();
-    benchmark::DoNotOptimize(counter);
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
+void AddMemoryPoint(bench::BenchRunner& runner, const std::string& label,
+                    const std::string& device, mem::SchedulerPolicy policy, std::uint64_t total,
+                    int read_pct, int seq_pct, std::uint64_t seed) {
+  runner.Add(label, [=](bench::PointResult& r) {
+    sim::Simulator sim;
+    mem::MemorySystem system(&sim, mem::DeviceConfigByName(device).value(), policy);
+    const bench::MemRunResult run =
+        bench::MemClosedLoop(sim, system, total, /*window=*/192, read_pct, seq_pct, seed);
+    r.events = run.events;
+    r.metrics["reads"] = static_cast<double>(run.reads);
+    r.metrics["writes"] = static_cast<double>(run.writes);
+    r.metrics["row_hit_rate"] = run.row_hit_rate;
+    r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
+    r.metrics["sim_seconds"] = run.sim_seconds;
+  });
 }
-BENCHMARK(BM_SimulatorEventDispatch);
-
-void BM_MemorySequentialRead(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator simulator(1e12);  // ps ticks: keep sub-ns timings exact
-    mem::DeviceConfig config = mem::HBM3Config();
-    config.channels = 4;  // keep the microbench fast
-    mem::MemorySystem system(&simulator, config);
-    bool done = false;
-    system.Transfer(mem::Request::Kind::kRead, 0, 256 * 1024, 0, [&] { done = true; });
-    simulator.Run();
-    benchmark::DoNotOptimize(done);
-  }
-  state.SetBytesProcessed(state.iterations() * 256 * 1024);
-}
-BENCHMARK(BM_MemorySequentialRead);
-
-void BM_MemoryRandomRead(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator simulator(1e9);
-    mem::DeviceConfig config = mem::HBM3Config();
-    config.channels = 4;
-    mem::MemorySystem system(&simulator, config);
-    Rng rng(7);
-    int completed = 0;
-    for (int i = 0; i < 1024; ++i) {
-      mem::Request request;
-      request.kind = mem::Request::Kind::kRead;
-      request.addr = rng.NextBounded(config.capacity_bytes() / 64) * 64;
-      request.size = 64;
-      request.on_complete = [&completed](const mem::Request&) { ++completed; };
-      system.Enqueue(std::move(request));
-    }
-    simulator.Run();
-    benchmark::DoNotOptimize(completed);
-  }
-  state.SetItemsProcessed(state.iterations() * 1024);
-}
-BENCHMARK(BM_MemoryRandomRead);
-
-void BM_EccDesign(benchmark::State& state) {
-  const std::uint64_t payload_bits = static_cast<std::uint64_t>(state.range(0)) * 8;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        mrmcore::DesignEcc(payload_bits, 1e-4, 1e-15 * static_cast<double>(payload_bits)));
-  }
-}
-BENCHMARK(BM_EccDesign)->Arg(4096)->Arg(65536)->Arg(262144);
-
-void BM_BinomialTail(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mrmcore::BinomialTail(1 << 20, 150, 1e-4));
-  }
-}
-BENCHMARK(BM_BinomialTail);
-
-void BM_TradeoffQuery(benchmark::State& state) {
-  auto tradeoff = cell::MakeSttMramTradeoff();
-  Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tradeoff->AtRetention(rng.UniformDouble(60.0, 1e8)));
-  }
-}
-BENCHMARK(BM_TradeoffQuery);
-
-void BM_RngU64(benchmark::State& state) {
-  Rng rng(11);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.NextU64());
-  }
-}
-BENCHMARK(BM_RngU64);
 
 }  // namespace
+
+int main() {
+  bench::BenchRunner runner("micro_simulator");
+  runner.SetConfig("suite", "event core + memory system microbenchmarks");
+
+  AddQueuePoints(runner);
+  AddMemoryPoint(runner, "mem_ddr5_frfcfs_mixed", "ddr5", mem::SchedulerPolicy::kFrFcfs,
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/1);
+  AddMemoryPoint(runner, "mem_ddr5_fcfs_mixed", "ddr5", mem::SchedulerPolicy::kFcfs,
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/2);
+  AddMemoryPoint(runner, "mem_hbm3e_frfcfs_seq", "hbm3e", mem::SchedulerPolicy::kFrFcfs,
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/90, /*seed=*/3);
+  AddMemoryPoint(runner, "mem_lpddr5x_frfcfs_rand", "lpddr5x", mem::SchedulerPolicy::kFrFcfs,
+                 /*total=*/120000, /*read_pct=*/50, /*seq_pct=*/10, /*seed=*/4);
+
+  return runner.RunAndReport();
+}

@@ -1,0 +1,212 @@
+#include "bench/common/bench_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace mrm {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// %.17g round-trips IEEE doubles exactly, so two runs that computed the same
+// value print the same bytes — the property the single- vs multi-threaded
+// bit-identity check relies on.
+void PrintDouble(std::FILE* f, double value) { std::fprintf(f, "%.17g", value); }
+
+void PrintJsonString(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        std::fputs("\\\"", f);
+        break;
+      case '\\':
+        std::fputs("\\\\", f);
+        break;
+      case '\n':
+        std::fputs("\\n", f);
+        break;
+      case '\t':
+        std::fputs("\\t", f);
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(f, "\\u%04x", c);
+        } else {
+          std::fputc(c, f);
+        }
+    }
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+BenchRunner::BenchRunner(std::string name) : name_(std::move(name)) {}
+
+void BenchRunner::Add(std::string label, std::function<void(PointResult&)> fn) {
+  points_.push_back({std::move(label), std::move(fn)});
+}
+
+void BenchRunner::SetConfig(std::string key, std::string value) {
+  config_[std::move(key)] = std::move(value);
+}
+
+unsigned BenchRunner::ResolveThreads(unsigned requested) const {
+  unsigned threads = requested;
+  if (threads == 0) {
+    if (const char* env = std::getenv("MRMSIM_BENCH_THREADS")) {
+      threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+  if (threads > points_.size()) {
+    threads = static_cast<unsigned>(points_.size());
+  }
+  return threads;
+}
+
+int BenchRunner::RunAndReport(unsigned requested_threads) {
+  const unsigned threads = ResolveThreads(requested_threads);
+
+  results_.assign(points_.size(), {});
+  wall_seconds_.assign(points_.size(), 0.0);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    results_[i].first = points_[i].label;
+  }
+
+  // Work-stealing by atomic index: threads race for the next unstarted point,
+  // but each point's result lands in its registration slot, so the report is
+  // deterministic in order and (per the contract) in content.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points_.size()) {
+        return;
+      }
+      const auto begin = Clock::now();
+      points_[i].fn(results_[i].second);
+      wall_seconds_[i] = Seconds(begin, Clock::now());
+    }
+  };
+
+  const auto sweep_begin = Clock::now();
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  total_wall_seconds_ = Seconds(sweep_begin, Clock::now());
+
+  std::uint64_t total_events = 0;
+  for (const auto& [label, result] : results_) {
+    total_events += result.events;
+  }
+
+  std::printf("\n%-34s %14s %12s %16s\n", "point", "events", "wall s", "events/sec");
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const PointResult& r = results_[i].second;
+    const double rate = wall_seconds_[i] > 0.0 ? static_cast<double>(r.events) / wall_seconds_[i]
+                                               : 0.0;
+    std::printf("%-34s %14llu %12.4f %16.0f\n", results_[i].first.c_str(),
+                static_cast<unsigned long long>(r.events), wall_seconds_[i], rate);
+  }
+  const double total_rate =
+      total_wall_seconds_ > 0.0 ? static_cast<double>(total_events) / total_wall_seconds_ : 0.0;
+  std::printf("%-34s %14llu %12.4f %16.0f  (%u threads)\n", "TOTAL",
+              static_cast<unsigned long long>(total_events), total_wall_seconds_, total_rate,
+              threads);
+
+  return WriteJson(threads, total_wall_seconds_, wall_seconds_) ? 0 : 1;
+}
+
+bool BenchRunner::WriteJson(unsigned threads, double total_wall_seconds,
+                            const std::vector<double>& point_wall_seconds) const {
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("MRMSIM_BENCH_OUT")) {
+    path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_runner: cannot write %s\n", path.c_str());
+    return false;
+  }
+
+  std::uint64_t total_events = 0;
+  for (const auto& [label, result] : results_) {
+    total_events += result.events;
+  }
+
+  std::fprintf(f, "{\n  \"bench\": ");
+  PrintJsonString(f, name_);
+  std::fprintf(f, ",\n  \"threads\": %u,\n  \"config\": {", threads);
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    std::fprintf(f, "%s\n    ", first ? "" : ",");
+    PrintJsonString(f, key);
+    std::fputs(": ", f);
+    PrintJsonString(f, value);
+    first = false;
+  }
+  std::fprintf(f, "%s},\n", config_.empty() ? "" : "\n  ");
+
+  const double total_rate =
+      total_wall_seconds > 0.0 ? static_cast<double>(total_events) / total_wall_seconds : 0.0;
+  std::fprintf(f, "  \"totals\": {\n    \"wall_seconds\": ");
+  PrintDouble(f, total_wall_seconds);
+  std::fprintf(f, ",\n    \"events\": %llu,\n    \"events_per_sec\": ",
+               static_cast<unsigned long long>(total_events));
+  PrintDouble(f, total_rate);
+  std::fprintf(f, "\n  },\n  \"points\": [");
+
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const PointResult& r = results_[i].second;
+    const double wall = point_wall_seconds[i];
+    const double rate = wall > 0.0 ? static_cast<double>(r.events) / wall : 0.0;
+    std::fprintf(f, "%s\n    {\n      \"label\": ", i == 0 ? "" : ",");
+    PrintJsonString(f, results_[i].first);
+    std::fprintf(f, ",\n      \"wall_seconds\": ");
+    PrintDouble(f, wall);
+    std::fprintf(f, ",\n      \"events\": %llu,\n      \"events_per_sec\": ",
+                 static_cast<unsigned long long>(r.events));
+    PrintDouble(f, rate);
+    std::fprintf(f, ",\n      \"metrics\": {");
+    bool first_metric = true;
+    for (const auto& [key, value] : r.metrics) {
+      std::fprintf(f, "%s\n        ", first_metric ? "" : ",");
+      PrintJsonString(f, key);
+      std::fputs(": ", f);
+      PrintDouble(f, value);
+      first_metric = false;
+    }
+    std::fprintf(f, "%s}\n    }", r.metrics.empty() ? "" : "\n      ");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace mrm

@@ -1,0 +1,76 @@
+// Parallel benchmark harness: a registry of named sweep points executed by a
+// thread pool, reported as a table plus a machine-readable BENCH_<name>.json
+// (schema in DESIGN.md §"Event core internals").
+//
+// Determinism contract: every point function must be self-contained (own
+// Simulator / RNG, no shared mutable state), so the per-point `events` and
+// `metrics` are bit-identical whether the sweep runs on one thread or many.
+// Only wall-clock fields vary between runs. Results are stored and reported
+// in registration order regardless of which thread finished first.
+
+#ifndef MRMSIM_BENCH_COMMON_BENCH_RUNNER_H_
+#define MRMSIM_BENCH_COMMON_BENCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrm {
+namespace bench {
+
+// Filled in by a point function; wall time is measured by the runner around
+// the call. `events` is whatever unit of work the bench counts (simulator
+// events, requests, ...) and drives the events/sec throughput figures.
+// `metrics` holds the point's simulation results (latencies, bandwidths,
+// energies, ...) — the deterministic part compared between runs.
+struct PointResult {
+  std::uint64_t events = 0;
+  std::map<std::string, double> metrics;
+};
+
+class BenchRunner {
+ public:
+  // `name` becomes the JSON file name: BENCH_<name>.json.
+  explicit BenchRunner(std::string name);
+
+  // Registers a sweep point. Functions run concurrently; each must be
+  // self-contained (see determinism contract above).
+  void Add(std::string label, std::function<void(PointResult&)> fn);
+
+  // Static key/value context recorded in the JSON "config" object.
+  void SetConfig(std::string key, std::string value);
+
+  // Runs all points on a pool of `threads` threads (0 = MRMSIM_BENCH_THREADS
+  // env var, else hardware_concurrency), prints a table, writes
+  // BENCH_<name>.json into MRMSIM_BENCH_OUT (default: cwd). Returns 0 on
+  // success, 1 when the JSON file could not be written.
+  int RunAndReport(unsigned threads = 0);
+
+  // The measured results, in registration order (valid after RunAndReport).
+  const std::vector<std::pair<std::string, PointResult>>& results() const { return results_; }
+
+ private:
+  struct Point {
+    std::string label;
+    std::function<void(PointResult&)> fn;
+  };
+
+  unsigned ResolveThreads(unsigned requested) const;
+  bool WriteJson(unsigned threads, double total_wall_seconds,
+                 const std::vector<double>& point_wall_seconds) const;
+
+  std::string name_;
+  std::vector<Point> points_;
+  std::map<std::string, std::string> config_;
+  std::vector<std::pair<std::string, PointResult>> results_;
+  std::vector<double> wall_seconds_;
+  double total_wall_seconds_ = 0.0;
+};
+
+}  // namespace bench
+}  // namespace mrm
+
+#endif  // MRMSIM_BENCH_COMMON_BENCH_RUNNER_H_

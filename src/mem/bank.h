@@ -39,6 +39,11 @@ class Bank {
   State state() const { return state_; }
   std::uint64_t open_row() const { return open_row_; }
 
+  // True when the bank is active with exactly `row` open (a row hit).
+  bool IsOpenRow(std::uint64_t row) const {
+    return state_ == State::kActive && open_row_ == row;
+  }
+
   // Earliest tick at which `command` may be issued to this bank. For kRead /
   // kWrite the row must already be open (callers check open_row()).
   sim::Tick EarliestIssue(Command command) const;

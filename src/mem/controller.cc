@@ -69,6 +69,13 @@ ChannelController::ChannelController(sim::Simulator* simulator, const DeviceConf
   for (int i = 0; i < banks; ++i) {
     banks_.emplace_back(&ticks_);
   }
+  bank_queues_.resize(static_cast<std::size_t>(banks));
+  pass2_failed_.resize(static_cast<std::size_t>(banks));
+  pool_.resize(kQueueCapacity);
+  for (std::size_t i = 0; i < kQueueCapacity; ++i) {
+    pool_[i].next_age = i + 1 < kQueueCapacity ? static_cast<std::uint32_t>(i + 1) : kNilIndex;
+  }
+  free_head_ = 0;
   ranks_.resize(static_cast<std::size_t>(config_->ranks));
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     // Stagger initial refresh due times across ranks to avoid lockstep.
@@ -80,17 +87,89 @@ ChannelController::ChannelController(sim::Simulator* simulator, const DeviceConf
 }
 
 bool ChannelController::Enqueue(Request request) {
-  if (queue_.size() >= kQueueCapacity) {
-    return false;
+  const Location location = map_->Decode(request.addr);
+  return Enqueue(request, location);
+}
+
+bool ChannelController::Enqueue(Request& request, const Location& location) {
+  if (free_head_ == kNilIndex) {
+    return false;  // pool exhausted == queue full
   }
   MRM_CHECK(request.size <= config_->access_bytes) << "request exceeds access granularity";
   request.enqueue_tick = simulator_->now();
-  Pending pending;
-  pending.location = map_->Decode(request.addr);
-  pending.request = std::move(request);
-  queue_.push_back(std::move(pending));
+  const std::uint32_t index = free_head_;
+  Pending& p = pool_[index];
+  free_head_ = p.next_age;
+  p.location = location;
+  p.request = std::move(request);
+  p.age_seq = next_age_seq_++;
+  p.bank = static_cast<std::uint32_t>(
+      p.location.FlatBank(config_->bank_groups, config_->banks_per_group));
+  p.needed_activate = false;
+  p.prev_age = age_tail_;
+  p.next_age = kNilIndex;
+  (age_tail_ == kNilIndex ? age_head_ : pool_[age_tail_].next_age) = index;
+  age_tail_ = index;
+  BankList& bl = bank_queues_[p.bank];
+  p.prev_in_bank = bl.tail;
+  p.next_in_bank = kNilIndex;
+  (bl.tail == kNilIndex ? bl.head : pool_[bl.tail].next_in_bank) = index;
+  bl.tail = index;
+  ++queue_size_;
+  if (bl.row_hit_head == kNilIndex && banks_[p.bank].IsOpenRow(p.location.row)) {
+    SetRowHitHead(p.bank, index);
+  }
   ScheduleWakeAt(simulator_->now());
   return true;
+}
+
+void ChannelController::SetRowHitHead(std::uint32_t bank, std::uint32_t head) {
+  BankList& bl = bank_queues_[bank];
+  if ((bl.row_hit_head == kNilIndex) != (head == kNilIndex)) {
+    if (head == kNilIndex) {
+      const std::uint32_t last = hit_banks_.back();
+      hit_banks_[bl.hit_pos] = last;
+      bank_queues_[last].hit_pos = bl.hit_pos;
+      hit_banks_.pop_back();
+      bl.hit_pos = kNilIndex;
+    } else {
+      bl.hit_pos = static_cast<std::uint32_t>(hit_banks_.size());
+      hit_banks_.push_back(bank);
+    }
+  }
+  bl.row_hit_head = head;
+}
+
+void ChannelController::RemovePending(std::uint32_t index) {
+  Pending& p = pool_[index];
+  (p.prev_age == kNilIndex ? age_head_ : pool_[p.prev_age].next_age) = p.next_age;
+  (p.next_age == kNilIndex ? age_tail_ : pool_[p.next_age].prev_age) = p.prev_age;
+  BankList& bl = bank_queues_[p.bank];
+  if (bl.row_hit_head == index) {
+    // Advance to the next pending on the same row: data commands leave the
+    // row open, so the row-match invariant carries over.
+    std::uint32_t j = p.next_in_bank;
+    const std::uint64_t row = p.location.row;
+    while (j != kNilIndex && pool_[j].location.row != row) {
+      j = pool_[j].next_in_bank;
+    }
+    SetRowHitHead(p.bank, j);
+  }
+  (p.prev_in_bank == kNilIndex ? bl.head : pool_[p.prev_in_bank].next_in_bank) = p.next_in_bank;
+  (p.next_in_bank == kNilIndex ? bl.tail : pool_[p.next_in_bank].prev_in_bank) = p.prev_in_bank;
+  p.next_age = free_head_;
+  free_head_ = index;
+  --queue_size_;
+}
+
+std::uint32_t ChannelController::AcquireInflight() {
+  if (inflight_free_ != kNilIndex) {
+    const std::uint32_t slot = inflight_free_;
+    inflight_free_ = inflight_[slot].next_free;
+    return slot;
+  }
+  inflight_.emplace_back();
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
 }
 
 void ChannelController::DisableRefresh() { refresh_enabled_ = false; }
@@ -99,11 +178,17 @@ void ChannelController::ScheduleWakeAt(sim::Tick when) {
   if (when < simulator_->now()) {
     when = simulator_->now();
   }
-  if (wake_scheduled_ && wake_at_ <= when) {
-    return;
-  }
   if (wake_scheduled_) {
-    simulator_->Cancel(wake_event_);
+    if (wake_at_ <= when) {
+      return;
+    }
+    // Pull the existing wake earlier in place; no cancel + re-push churn.
+    const sim::EventId moved = simulator_->Retime(wake_event_, when);
+    if (moved != sim::kInvalidEventId) {
+      wake_event_ = moved;
+      wake_at_ = when;
+      return;
+    }
   }
   wake_scheduled_ = true;
   wake_at_ = when;
@@ -136,7 +221,7 @@ bool ChannelController::RankActAllowed(int rank, sim::Tick now) const {
   if (now < rs.next_act) {
     return false;
   }
-  if (rs.recent_acts.size() >= 4 && now < rs.recent_acts.front() + ticks_.tfaw) {
+  if (rs.act_count == 4 && now < rs.recent_acts[rs.act_pos] + ticks_.tfaw) {
     return false;
   }
   return true;
@@ -145,8 +230,8 @@ bool ChannelController::RankActAllowed(int rank, sim::Tick now) const {
 sim::Tick ChannelController::RankNextActTick(int rank) const {
   const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   sim::Tick t = rs.next_act;
-  if (rs.recent_acts.size() >= 4) {
-    t = std::max(t, rs.recent_acts.front() + ticks_.tfaw);
+  if (rs.act_count == 4) {
+    t = std::max(t, rs.recent_acts[rs.act_pos] + ticks_.tfaw);
   }
   return t;
 }
@@ -154,9 +239,10 @@ sim::Tick ChannelController::RankNextActTick(int rank) const {
 void ChannelController::RecordActivate(int rank, sim::Tick now) {
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   rs.next_act = now + ticks_.trrd;
-  rs.recent_acts.push_back(now);
-  while (rs.recent_acts.size() > 4) {
-    rs.recent_acts.pop_front();
+  rs.recent_acts[rs.act_pos] = now;
+  rs.act_pos = (rs.act_pos + 1) & 3;
+  if (rs.act_count < 4) {
+    ++rs.act_count;
   }
 }
 
@@ -179,6 +265,7 @@ bool ChannelController::TryRefresh(sim::Tick now) {
       Bank& bank = banks_[static_cast<std::size_t>(b)];
       if (bank.state() == Bank::State::kActive && bank.CanIssue(Command::kPrecharge, now)) {
         bank.Issue(Command::kPrecharge, 0, now);
+        SetRowHitHead(static_cast<std::uint32_t>(b), kNilIndex);
         ++energy_.precharges;
         return true;
       }
@@ -210,37 +297,92 @@ bool ChannelController::TryRefresh(sim::Tick now) {
 }
 
 bool ChannelController::TryRequests(sim::Tick now) {
-  if (queue_.empty()) {
+  if (age_head_ == kNilIndex) {
     return false;
   }
   if (policy_ == SchedulerPolicy::kFcfs) {
-    return TryIssueFor(queue_.front(), now, /*row_hit_only=*/false);
+    return TryIssueFor(age_head_, now, /*row_hit_only=*/false);
   }
-  // FR-FCFS pass 1: oldest row hit.
-  for (auto& pending : queue_) {
-    if (TryIssueFor(pending, now, /*row_hit_only=*/true)) {
-      return true;
+  // FR-FCFS pass 1: oldest row hit. Each bank's candidates are the row-hit
+  // head and the same-row pendings behind it, in age order, so the global
+  // winner is the minimum age over per-bank first-issuable candidates. When
+  // the data bus blocks both command kinds, no row hit can issue at all.
+  if (bus_free_ <= now + std::max(ticks_.tcas, ticks_.tcwl)) {
+    std::uint32_t best = kNilIndex;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (const std::uint32_t b : hit_banks_) {
+      std::uint32_t i = bank_queues_[b].row_hit_head;
+      if (pool_[i].age_seq >= best_seq) {
+        continue;
+      }
+      if (ranks_[static_cast<std::size_t>(pool_[i].location.rank)].refresh_pending) {
+        continue;
+      }
+      const Bank& bank = banks_[b];
+      const std::uint64_t row = bank.open_row();
+      for (; i != kNilIndex; i = pool_[i].next_in_bank) {
+        const Pending& p = pool_[i];
+        if (p.age_seq >= best_seq) {
+          break;  // bank FIFO is age-ordered: nothing further can win
+        }
+        if (p.location.row != row) {
+          continue;
+        }
+        const bool is_read = p.request.kind == Request::Kind::kRead;
+        const Command cmd = is_read ? Command::kRead : Command::kWrite;
+        const sim::Tick data_offset = is_read ? ticks_.tcas : ticks_.tcwl;
+        if (bank.CanIssue(cmd, now) && bus_free_ <= now + data_offset) {
+          best = i;
+          best_seq = p.age_seq;
+          break;
+        }
+      }
+    }
+    if (best != kNilIndex) {
+      return TryIssueFor(best, now, /*row_hit_only=*/true);
     }
   }
-  // Pass 2: oldest request that can make any progress.
-  for (auto& pending : queue_) {
-    if (TryIssueFor(pending, now, /*row_hit_only=*/false)) {
-      return true;
+  // Pass 2: oldest request that can make any progress. Within a bank, every
+  // pending of the same class hits identical gates — row-hit read/write
+  // share the bank+bus timing, conflict PREs share the precharge window, and
+  // idle ACTs share the activate + rank gates — so after one failure the
+  // rest of the class can be skipped without changing which request issues.
+  std::fill(pass2_failed_.begin(), pass2_failed_.end(), std::uint8_t{0});
+  for (std::uint32_t i = age_head_; i != kNilIndex;) {
+    const std::uint32_t next = pool_[i].next_age;
+    const Pending& p = pool_[i];
+    const Bank& bank = banks_[p.bank];
+    std::uint8_t cls;
+    if (bank.state() != Bank::State::kActive) {
+      cls = 1;  // idle: ACT
+    } else if (bank.open_row() == p.location.row) {
+      cls = p.request.kind == Request::Kind::kRead ? 2 : 4;  // row hit
+    } else {
+      cls = 8;  // conflict: PRE
     }
+    std::uint8_t& failed = pass2_failed_[p.bank];
+    if ((failed & cls) == 0) {
+      if (TryIssueFor(i, now, /*row_hit_only=*/false)) {
+        return true;
+      }
+      failed |= cls;
+    }
+    i = next;
   }
   return false;
 }
 
-bool ChannelController::TryIssueFor(Pending& pending, sim::Tick now, bool row_hit_only) {
+bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row_hit_only) {
+  Pending& pending = pool_[index];
   const Location& loc = pending.location;
   const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];
   if (rs.refresh_pending) {
     return false;
   }
-  Bank& bank = BankAt(loc);
+  Bank& bank = banks_[pending.bank];
   const bool is_read = pending.request.kind == Request::Kind::kRead;
 
-  if (bank.state() == Bank::State::kActive && bank.open_row() == loc.row) {
+  if (bank.IsOpenRow(loc.row)) {
     const Command cmd = is_read ? Command::kRead : Command::kWrite;
     const sim::Tick data_offset = is_read ? ticks_.tcas : ticks_.tcwl;
     if (!bank.CanIssue(cmd, now) || bus_free_ > now + data_offset) {
@@ -260,31 +402,16 @@ bool ChannelController::TryIssueFor(Pending& pending, sim::Tick now, bool row_hi
     } else {
       energy_.write_bits += bits;
     }
-    // Move the request out, free the queue slot, schedule completion.
-    Request request = std::move(pending.request);
-    request.complete_tick = data_end;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (&*it == &pending) {
-        queue_.erase(it);
-        break;
-      }
-    }
-    simulator_->ScheduleAt(data_end, [this, request = std::move(request), is_read]() mutable {
-      const double latency_ns =
-          simulator_->TicksToSeconds(request.complete_tick - request.enqueue_tick) * 1e9;
-      if (is_read) {
-        ++stats_.reads_completed;
-        stats_.bytes_read += request.size;
-        stats_.read_latency_ns.Add(latency_ns);
-      } else {
-        ++stats_.writes_completed;
-        stats_.bytes_written += request.size;
-        stats_.write_latency_ns.Add(latency_ns);
-      }
-      if (request.on_complete) {
-        request.on_complete(request);
-      }
-    });
+    // Park the request in the in-flight slab, free the queue slot, and
+    // schedule completion. The {this, slot} capture stays in the event
+    // queue's inline storage, so issuing a command never heap-allocates.
+    const std::uint32_t slot = AcquireInflight();
+    Inflight& inflight = inflight_[slot];
+    inflight.request = std::move(pending.request);
+    inflight.request.complete_tick = data_end;
+    inflight.is_read = is_read;
+    RemovePending(index);
+    simulator_->ScheduleAt(data_end, [this, slot] { CompleteDataCommand(slot); });
     if (on_slot_free_) {
       on_slot_free_();
     }
@@ -299,6 +426,7 @@ bool ChannelController::TryIssueFor(Pending& pending, sim::Tick now, bool row_hi
     // Row conflict: close the row.
     if (bank.CanIssue(Command::kPrecharge, now)) {
       bank.Issue(Command::kPrecharge, 0, now);
+      SetRowHitHead(pending.bank, kNilIndex);
       ++energy_.precharges;
       pending.needed_activate = true;
       return true;
@@ -312,9 +440,42 @@ bool ChannelController::TryIssueFor(Pending& pending, sim::Tick now, bool row_hi
     RecordActivate(loc.rank, now);
     ++energy_.activates;
     pending.needed_activate = true;
+    // The freshly opened row makes its oldest same-row pending the bank's
+    // row-hit candidate.
+    std::uint32_t j = bank_queues_[pending.bank].head;
+    while (pool_[j].location.row != loc.row) {
+      j = pool_[j].next_in_bank;  // terminates: `index` itself matches
+    }
+    SetRowHitHead(pending.bank, j);
     return true;
   }
   return false;
+}
+
+void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
+  // Move everything out and release the slot first: the callbacks below may
+  // re-enter Enqueue and issue a new command, reusing (or growing) the slab.
+  Request request = std::move(inflight_[inflight_slot].request);
+  const bool is_read = inflight_[inflight_slot].is_read;
+  inflight_[inflight_slot].next_free = inflight_free_;
+  inflight_free_ = inflight_slot;
+  const double latency_ns =
+      simulator_->TicksToSeconds(request.complete_tick - request.enqueue_tick) * 1e9;
+  if (is_read) {
+    ++stats_.reads_completed;
+    stats_.bytes_read += request.size;
+    stats_.read_latency_ns.Add(latency_ns);
+  } else {
+    ++stats_.writes_completed;
+    stats_.bytes_written += request.size;
+    stats_.write_latency_ns.Add(latency_ns);
+  }
+  if (on_request_complete_) {
+    on_request_complete_(request);
+  }
+  if (request.on_complete) {
+    request.on_complete(request);
+  }
 }
 
 sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
@@ -324,9 +485,9 @@ sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
     // Refresh machinery generates its own wakes; this request waits.
     return sim::kTickNever;
   }
-  const Bank& bank = BankAt(loc);
+  const Bank& bank = banks_[pending.bank];
   const bool is_read = pending.request.kind == Request::Kind::kRead;
-  if (bank.state() == Bank::State::kActive && bank.open_row() == loc.row) {
+  if (bank.IsOpenRow(loc.row)) {
     const Command cmd = is_read ? Command::kRead : Command::kWrite;
     const sim::Tick data_offset = is_read ? ticks_.tcas : ticks_.tcwl;
     sim::Tick t = bank.EarliestIssue(cmd);
@@ -350,7 +511,7 @@ sim::Tick ChannelController::NextInterestingTick(sim::Tick now) const {
         // Arm a wake for the next refresh only while there is work queued:
         // an idle controller sleeps, and refresh energy while idle is
         // charged analytically (see GetEnergyReport).
-        if (!queue_.empty()) {
+        if (age_head_ != kNilIndex) {
           next = std::min(next, rs.next_refresh_due);
         }
         continue;
@@ -374,8 +535,11 @@ sim::Tick ChannelController::NextInterestingTick(sim::Tick now) const {
       next = std::min(next, any_active ? pre_tick : ref_tick);
     }
   }
-  for (const auto& pending : queue_) {
-    next = std::min(next, EarliestActionFor(pending));
+  for (std::uint32_t i = age_head_; i != kNilIndex; i = pool_[i].next_age) {
+    next = std::min(next, EarliestActionFor(pool_[i]));
+    if (next <= now + 1) {
+      break;  // the clamp below caps the answer at now + 1 anyway
+    }
   }
   if (next != sim::kTickNever && next <= now) {
     next = now + 1;

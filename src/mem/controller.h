@@ -5,12 +5,18 @@
 // timing constraint expires, or when a refresh comes due; each wake issues at
 // most one command (one command-bus slot) and computes the next interesting
 // tick, so simulated time advances without per-cycle polling.
+//
+// Scheduling structures are allocation-free on the steady-state path: pending
+// requests live in a fixed pool threaded onto per-bank FIFO lists plus a
+// global age list (FR-FCFS pass 1 walks per-bank row-hit candidates from a
+// cached head; pass 2 walks age order), in-flight data transfers park in a
+// reusable slab so completion events capture only {this, slot}, and the
+// single wake event is retimed in place instead of cancelled and re-pushed.
 
 #ifndef MRMSIM_SRC_MEM_CONTROLLER_H_
 #define MRMSIM_SRC_MEM_CONTROLLER_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -74,12 +80,24 @@ class ChannelController {
   // Accepts a request unless the queue is full.
   bool Enqueue(Request request);
 
-  std::size_t queue_depth() const { return queue_.size(); }
+  // Same, with the address already decoded (the memory system decodes once
+  // per request and reuses the location across backlog retries). On success
+  // `request` is moved from; on failure it is left untouched.
+  bool Enqueue(Request& request, const Location& location);
+
+  std::size_t queue_depth() const { return queue_size_; }
   std::size_t queue_capacity() const { return kQueueCapacity; }
 
   // Invoked after each request completes AND a queue slot freed; the memory
   // system uses it to drain its backlog.
   void set_on_slot_free(std::function<void()> callback) { on_slot_free_ = std::move(callback); }
+
+  // Invoked for every completed request, before the request's own
+  // on_complete. Lets an owner keep in-flight accounting without wrapping
+  // each request's callback in a fresh (heap-allocated) closure.
+  void set_on_request_complete(std::function<void(const Request&)> callback) {
+    on_request_complete_ = std::move(callback);
+  }
 
   const ChannelStats& stats() const { return stats_; }
   const EnergyCounters& energy_counters() const { return energy_; }
@@ -92,21 +110,55 @@ class ChannelController {
 
  private:
   static constexpr std::size_t kQueueCapacity = 64;
+  static constexpr std::uint32_t kNilIndex = ~std::uint32_t{0};
 
+  // A queued request, threaded onto two intrusive lists: the channel-wide
+  // age list (FCFS order) and its bank's FIFO. Slots come from a fixed pool,
+  // so indices are stable for a request's whole queued life and removal is
+  // an O(1) unlink instead of a deque erase.
   struct Pending {
     Request request;
     Location location;
+    std::uint64_t age_seq = 0;  // global arrival order
+    std::uint32_t bank = 0;     // flat bank index
+    std::uint32_t prev_age = kNilIndex;
+    std::uint32_t next_age = kNilIndex;  // doubles as the free-list link
+    std::uint32_t prev_in_bank = kNilIndex;
+    std::uint32_t next_in_bank = kNilIndex;
     // True when the controller had to ACT (or PRE+ACT) to serve this
     // request; drives row-hit/miss statistics.
     bool needed_activate = false;
+  };
+
+  // Per-bank scheduling state. row_hit_head caches the oldest pending whose
+  // row matches the bank's open row (kNilIndex when the bank is closed or no
+  // pending matches), so FR-FCFS pass 1 starts at a candidate instead of
+  // rescanning the whole queue.
+  struct BankList {
+    std::uint32_t head = kNilIndex;
+    std::uint32_t tail = kNilIndex;
+    std::uint32_t row_hit_head = kNilIndex;
+    std::uint32_t hit_pos = kNilIndex;  // position in hit_banks_ when listed
+  };
+
+  // A request whose data transfer has been issued and awaits completion. The
+  // slab keeps the Request alive so the completion event only captures
+  // {this, slot} — small enough for the event queue's inline storage.
+  struct Inflight {
+    Request request;
+    bool is_read = false;
+    std::uint32_t next_free = kNilIndex;
   };
 
   void Wake();
   void ScheduleWakeAt(sim::Tick when);
   bool TryRefresh(sim::Tick now);
   bool TryRequests(sim::Tick now);
-  bool TryIssueFor(Pending& pending, sim::Tick now, bool row_hit_only);
-  void CompleteDataCommand(std::size_t queue_index, sim::Tick now);
+  bool TryIssueFor(std::uint32_t index, sim::Tick now, bool row_hit_only);
+  void RemovePending(std::uint32_t index);
+  void SetRowHitHead(std::uint32_t bank, std::uint32_t head);
+  std::uint32_t AcquireInflight();
+  void CompleteDataCommand(std::uint32_t inflight_slot);
   sim::Tick NextInterestingTick(sim::Tick now) const;
   sim::Tick EarliestActionFor(const Pending& pending) const;
   bool RankActAllowed(int rank, sim::Tick now) const;
@@ -130,15 +182,36 @@ class ChannelController {
   TimingTicks ticks_;
 
   std::vector<Bank> banks_;
-  std::deque<Pending> queue_;
+
+  // Request pool and the lists threaded through it.
+  std::vector<Pending> pool_;  // fixed kQueueCapacity slots
+  std::uint32_t free_head_ = kNilIndex;
+  std::uint32_t age_head_ = kNilIndex;
+  std::uint32_t age_tail_ = kNilIndex;
+  std::size_t queue_size_ = 0;
+  std::uint64_t next_age_seq_ = 0;
+  std::vector<BankList> bank_queues_;
+  // Banks whose row_hit_head is set (unordered, swap-remove): FR-FCFS pass 1
+  // visits only these instead of scanning every bank.
+  std::vector<std::uint32_t> hit_banks_;
+  // Per-bank bitmask of request classes that already failed during the
+  // current FR-FCFS pass 2 (scratch, reset each pass).
+  std::vector<std::uint8_t> pass2_failed_;
+
+  std::vector<Inflight> inflight_;  // grows to peak outstanding, then reused
+  std::uint32_t inflight_free_ = kNilIndex;
 
   // Data bus: busy until this tick.
   sim::Tick bus_free_ = 0;
 
-  // Per-rank activate bookkeeping (tRRD / tFAW) and refresh state.
+  // Per-rank activate bookkeeping (tRRD / tFAW) and refresh state. The last
+  // four ACT times sit in a ring: once full, `act_pos` is the oldest entry,
+  // which is exactly the tFAW horizon.
   struct RankState {
-    sim::Tick next_act = 0;               // tRRD gate
-    std::deque<sim::Tick> recent_acts;    // for tFAW (keep last 4)
+    sim::Tick next_act = 0;  // tRRD gate
+    sim::Tick recent_acts[4] = {0, 0, 0, 0};
+    std::uint8_t act_count = 0;  // saturates at 4
+    std::uint8_t act_pos = 0;    // oldest slot once saturated
     sim::Tick next_refresh_due = 0;
     bool refresh_pending = false;
   };
@@ -146,7 +219,8 @@ class ChannelController {
   bool refresh_enabled_ = true;
   std::uint64_t rows_per_refresh_ = 0;
 
-  // Wake management: at most one outstanding wake event.
+  // Wake management: at most one outstanding wake event, retimed in place
+  // when a nearer deadline appears.
   bool wake_scheduled_ = false;
   sim::Tick wake_at_ = 0;
   sim::EventId wake_event_ = 0;
@@ -154,6 +228,7 @@ class ChannelController {
   ChannelStats stats_;
   EnergyCounters energy_;
   std::function<void()> on_slot_free_;
+  std::function<void(const Request&)> on_request_complete_;
 };
 
 }  // namespace mem

@@ -14,46 +14,43 @@ MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, Sched
   const Status valid = config_.Validate();
   MRM_CHECK(valid.ok()) << valid.message();
   channels_.reserve(static_cast<std::size_t>(config_.channels));
+  backlog_.resize(static_cast<std::size_t>(config_.channels));
   for (int c = 0; c < config_.channels; ++c) {
     channels_.push_back(
         std::make_unique<ChannelController>(simulator_, &config_, &map_, c, policy));
-    channels_.back()->set_on_slot_free([this] { DrainBacklog(); });
+    channels_.back()->set_on_slot_free([this, c] { DrainBacklog(c); });
+    // In-flight accounting rides the controller's completion tap, so Enqueue
+    // never has to wrap each request's on_complete in a fresh closure.
+    channels_.back()->set_on_request_complete([this](const Request&) { --inflight_requests_; });
   }
 }
 
 void MemorySystem::Enqueue(Request request) {
   request.id = next_request_id_++;
   ++inflight_requests_;
-  auto user_callback = std::move(request.on_complete);
-  request.on_complete = [this, user_callback = std::move(user_callback)](const Request& done) {
-    --inflight_requests_;
-    if (user_callback) {
-      user_callback(done);
-    }
-  };
   Route(std::move(request));
 }
 
 void MemorySystem::Route(Request request) {
   MRM_CHECK(request.addr + request.size <= config_.capacity_bytes())
       << "address out of range: " << request.addr;
-  const int channel = map_.Decode(request.addr).channel;
-  if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(request)) {
-    backlog_.push_back(std::move(request));
+  const Location location = map_.Decode(request.addr);
+  auto& channel = channels_[static_cast<std::size_t>(location.channel)];
+  if (!channel->Enqueue(request, location)) {
+    backlog_[static_cast<std::size_t>(location.channel)].push_back({std::move(request), location});
+    ++backlog_count_;
   }
 }
 
-void MemorySystem::DrainBacklog() {
-  // Requests may target a still-full channel; retry each at most once per
-  // drain pass to avoid spinning.
-  std::size_t attempts = backlog_.size();
-  while (attempts-- > 0 && !backlog_.empty()) {
-    Request request = std::move(backlog_.front());
-    backlog_.pop_front();
-    const int channel = map_.Decode(request.addr).channel;
-    if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(request)) {
-      backlog_.push_back(std::move(request));
+void MemorySystem::DrainBacklog(int channel) {
+  auto& backlog = backlog_[static_cast<std::size_t>(channel)];
+  while (!backlog.empty()) {
+    Backlogged& entry = backlog.front();
+    if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(entry.request, entry.location)) {
+      break;  // channel full again; wait for the next freed slot
     }
+    backlog.pop_front();
+    --backlog_count_;
   }
 }
 
@@ -108,7 +105,7 @@ void MemorySystem::PumpTransfer(const std::shared_ptr<TransferState>& transfer) 
   }
 }
 
-bool MemorySystem::Idle() const { return inflight_requests_ == 0 && backlog_.empty(); }
+bool MemorySystem::Idle() const { return inflight_requests_ == 0 && backlog_count_ == 0; }
 
 SystemStats MemorySystem::GetStats() const {
   SystemStats total;

@@ -84,15 +84,25 @@ class MemorySystem {
     std::function<void()> on_done;
   };
 
+  // A request waiting for a queue slot, with its decoded location so retries
+  // never re-run the address map.
+  struct Backlogged {
+    Request request;
+    Location location;
+  };
+
   void PumpTransfer(const std::shared_ptr<TransferState>& transfer);
-  void DrainBacklog();
+  void DrainBacklog(int channel);
   void Route(Request request);
 
   sim::Simulator* simulator_;
   DeviceConfig config_;
   AddressMap map_;
   std::vector<std::unique_ptr<ChannelController>> channels_;
-  std::deque<Request> backlog_;
+  // One backlog per channel: an entry only becomes admittable when its own
+  // channel frees a slot, so a freed slot never rescans unrelated requests.
+  std::vector<std::deque<Backlogged>> backlog_;
+  std::size_t backlog_count_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t inflight_requests_ = 0;
 };

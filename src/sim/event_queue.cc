@@ -1,41 +1,430 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+
+#ifdef MRMSIM_QUEUE_VALIDATE
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+namespace {
+std::multiset<std::pair<mrm::sim::Tick, std::uint64_t>> g_shadow;
+std::map<std::uint64_t, std::pair<mrm::sim::Tick, std::uint64_t>> g_keys;
+}  // namespace
+#define MRM_QV_PUSH(id, when, seq)        \
+  do {                                    \
+    g_shadow.insert({(when), (seq)});     \
+    g_keys[(id)] = {(when), (seq)};       \
+  } while (0)
+#define MRM_QV_DROP(id)                                    \
+  do {                                                     \
+    auto it = g_keys.find(id);                             \
+    if (it == g_keys.end()) {                              \
+      std::printf("QV: drop of unknown id\n");             \
+      std::abort();                                        \
+    }                                                      \
+    g_shadow.erase(g_shadow.find(it->second));             \
+    g_keys.erase(it);                                      \
+  } while (0)
+#define MRM_QV_CHECK_TOP(when, seq)                                                     \
+  do {                                                                                  \
+    if (g_shadow.empty() || g_shadow.begin()->first != (when) ||                        \
+        g_shadow.begin()->second != (seq)) {                                            \
+      std::printf("QV: top (%llu,%llu) want (%llu,%llu)\n",                             \
+                  (unsigned long long)(when), (unsigned long long)(seq),                \
+                  g_shadow.empty() ? 0ull : (unsigned long long)g_shadow.begin()->first,\
+                  g_shadow.empty() ? 0ull : (unsigned long long)g_shadow.begin()->second); \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+#define MRM_QV_CHECK_DRAINED()                                            \
+  do {                                                                    \
+    if (!g_shadow.empty()) {                                              \
+      std::printf("QV: drained but %zu live events lost, first (%llu)\n", \
+                  g_shadow.size(),                                        \
+                  (unsigned long long)g_shadow.begin()->first);           \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+#else
+#define MRM_QV_PUSH(id, when, seq) (void)0
+#define MRM_QV_DROP(id) (void)0
+#define MRM_QV_CHECK_TOP(when, seq) (void)0
+#define MRM_QV_CHECK_DRAINED() (void)0
+#endif
 
 namespace mrm {
 namespace sim {
 
-EventId EventQueue::Push(Tick when, EventCallback callback) {
-  const EventId id = next_id_++;
-  callbacks_.emplace(id, std::move(callback));
-  heap_.push(Entry{when, id, id});
-  return id;
-}
+namespace {
 
-bool EventQueue::Cancel(EventId id) { return callbacks_.erase(id) != 0; }
+// When the whole far buffer (or a drained bucket) is this small, sorting it
+// outright beats spreading it into another rung.
+constexpr std::size_t kDirectSortThreshold = 32;
+// A drained bucket larger than this is respread into a narrower rung instead
+// of being sorted, keeping per-event sort work O(1) amortised.
+constexpr std::size_t kSpreadThreshold = 48;
+constexpr std::size_t kMaxRungDepth = 8;
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = 4096;
 
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+}  // namespace
+
+// Descending (when, sequence) order so the queue front is bottom_.back().
+// Buckets are a handful of entries; a branchy insertion sort beats the
+// introsort dispatch overhead there, and std::sort handles the rare pile-up.
+void EventQueue::SortBottomDescending() {
+  const std::size_t n = bottom_.size();
+  if (n > 24) {
+    std::sort(bottom_.begin(), bottom_.end(),
+              [](const Entry& a, const Entry& b) { return Before(b, a); });
+    return;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const Entry e = bottom_[i];
+    std::size_t j = i;
+    while (j > 0 && Before(bottom_[j - 1], e)) {
+      bottom_[j] = bottom_[j - 1];
+      --j;
+    }
+    bottom_[j] = e;
   }
 }
 
-Tick EventQueue::NextTime() const {
-  SkipCancelled();
-  return heap_.empty() ? kTickNever : heap_.top().when;
+EventQueue::EventQueue() {
+  bottom_.reserve(64);
+  far_.reserve(64);
+  scratch_.reserve(64);
+}
+
+bool EventQueue::IsLive(EventId id, std::uint32_t* slot_out) const {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id);
+  if (slot >= slot_count_ || SlotAt(slot).generation != generation) {
+    return false;
+  }
+  *slot_out = slot;
+  return true;
+}
+
+std::uint32_t EventQueue::AcquireSlot() {
+  if (free_slot_head_ != kNil) {
+    const std::uint32_t slot = free_slot_head_;
+    free_slot_head_ = SlotAt(slot).next_free;
+    return slot;
+  }
+  if (slot_count_ == slabs_.size() * kSlabChunkSize) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabChunkSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) {
+  Slot& s = SlotAt(slot);
+  s.callback = EventCallback();
+  // Bumping the generation invalidates the slot's outstanding id and any
+  // stale ladder entry in one step.
+  ++s.generation;
+  s.next_free = free_slot_head_;
+  free_slot_head_ = slot;
+}
+
+std::uint32_t EventQueue::AcquireBucketChunk() {
+  std::uint32_t chunk;
+  if (free_chunk_head_ != kNil) {
+    chunk = free_chunk_head_;
+    free_chunk_head_ = bucket_pool_[chunk].next;
+  } else {
+    chunk = static_cast<std::uint32_t>(bucket_pool_.size());
+    bucket_pool_.emplace_back();
+  }
+  bucket_pool_[chunk].count = 0;
+  bucket_pool_[chunk].next = kNil;
+  return chunk;
+}
+
+void EventQueue::AppendToBucket(Rung& rung, const Entry& entry) {
+  const std::size_t idx =
+      static_cast<std::size_t>((entry.when - rung.start) >> rung.width_log);
+  std::uint32_t tail = rung.tail[idx];
+  if (tail == kNil || bucket_pool_[tail].count == kBucketChunkCapacity) {
+    const std::uint32_t chunk = AcquireBucketChunk();
+    if (tail == kNil) {
+      rung.head[idx] = chunk;
+    } else {
+      bucket_pool_[tail].next = chunk;
+    }
+    rung.tail[idx] = chunk;
+    tail = chunk;
+  }
+  BucketChunk& c = bucket_pool_[tail];
+  c.entries[c.count++] = entry;
+}
+
+void EventQueue::SpawnRung(Tick start, Tick max_key, std::size_t expected) {
+  // Aim for several entries per bucket: each bucket drain has a fixed cost
+  // (chunk walk, sort dispatch, bound update), so near-empty buckets waste
+  // it while modest pile-ups still insertion-sort cheaply.
+  std::size_t buckets = kMinBuckets;
+  while (buckets < expected / 8 && buckets < kMaxBuckets) {
+    buckets <<= 1;
+  }
+  const Tick span = max_key - start;  // inclusive span, >= 0
+  int width_log = 0;
+  while (static_cast<std::size_t>(span >> width_log) + 1 > buckets) {
+    ++width_log;
+  }
+  const std::size_t used = static_cast<std::size_t>(span >> width_log) + 1;
+  if (rung_depth_ == rungs_.size()) {
+    rungs_.emplace_back();
+  }
+  Rung& r = rungs_[rung_depth_++];
+  r.start = start;
+  r.width_log = width_log;
+  r.cur = 0;
+  // assign() reuses the vectors' capacity, so rung churn stays off the
+  // allocator once the ladder has seen its peak shape.
+  r.head.assign(used, kNil);
+  r.tail.assign(used, kNil);
+}
+
+void EventQueue::Insert(const Entry& entry) {
+  if (entry.when < bottom_bound_) {
+    if (bottom_.empty() && rung_depth_ == 0 && far_.empty()) {
+      // The queue is empty, so nothing constrains placement: reset the bound
+      // and take the O(1) far-buffer path. Without this, a burst of pushes
+      // after a full drain would grow bottom_ one sorted insert at a time.
+      bottom_bound_ = 0;
+      far_.push_back(entry);
+      return;
+    }
+    // Keys below the bound MUST live in bottom_: the rungs' drained buckets
+    // are behind their cursors and would silently swallow an earlier key.
+    // Descending order, so the queue front is a cheap pop_back. FIFO ties:
+    // the new entry has the largest sequence, and upper_bound places it
+    // before (= popped after) existing entries with the same timestamp.
+    bottom_.insert(std::upper_bound(bottom_.begin(), bottom_.end(), entry,
+                                    [](const Entry& a, const Entry& b) { return Before(b, a); }),
+                   entry);
+    return;
+  }
+  bool below_ladder = false;
+  for (std::size_t k = rung_depth_; k-- > 0;) {
+    Rung& r = rungs_[k];
+    if (entry.when < r.start) {
+      // Earlier than the innermost rung's coverage (possible right after a
+      // rebuild whose minimum sat above bottom_bound_): the key precedes
+      // every laddered event, which is exactly what bottom_ holds.
+      below_ladder = true;
+      break;
+    }
+    const Tick idx = (entry.when - r.start) >> r.width_log;
+    if (idx < static_cast<Tick>(r.head.size())) {
+      AppendToBucket(r, entry);
+      return;
+    }
+  }
+  if (below_ladder) {
+    bottom_.insert(std::upper_bound(bottom_.begin(), bottom_.end(), entry,
+                                    [](const Entry& a, const Entry& b) { return Before(b, a); }),
+                   entry);
+    return;
+  }
+  far_.push_back(entry);
+}
+
+bool EventQueue::RefillBottom() {
+  for (;;) {
+    if (rung_depth_ > 0) {
+      Rung& r = rungs_[rung_depth_ - 1];
+      while (r.cur < r.head.size() && r.head[r.cur] == kNil) {
+        ++r.cur;
+      }
+      if (r.cur == r.head.size()) {
+        --rung_depth_;  // rung drained; vectors keep capacity for reuse
+        continue;
+      }
+      const std::uint32_t bucket = r.cur++;
+      const Tick bucket_start = r.start + (static_cast<Tick>(bucket) << r.width_log);
+      Tick bucket_end = bucket_start + (Tick{1} << r.width_log);
+      if (bucket_end < bucket_start) {
+        bucket_end = kTickNever;  // saturate near the top of the tick range
+      }
+      scratch_.clear();
+      std::uint32_t chunk = r.head[bucket];
+      while (chunk != kNil) {
+        BucketChunk& c = bucket_pool_[chunk];
+        for (std::uint32_t i = 0; i < c.count; ++i) {
+          // Cancelled/retimed entries die here instead of riding through
+          // respreads, the sort and the pop path: cancel-heavy workloads
+          // otherwise pay full ladder cost for events that never run.
+          if (SlotAt(c.entries[i].slot).generation == c.entries[i].generation) {
+            scratch_.push_back(c.entries[i]);
+          }
+        }
+        const std::uint32_t next = c.next;
+        c.next = free_chunk_head_;
+        free_chunk_head_ = chunk;
+        chunk = next;
+      }
+      r.head[bucket] = kNil;
+      r.tail[bucket] = kNil;
+      if (scratch_.size() > kSpreadThreshold && rung_depth_ < kMaxRungDepth) {
+        Tick mn = kTickNever;
+        Tick mx = 0;
+        for (const Entry& e : scratch_) {
+          mn = std::min(mn, e.when);
+          mx = std::max(mx, e.when);
+        }
+        if (mn != mx) {  // a single-tick pile can only be sorted
+          // The child rung must cover the parent bucket's FULL span, not just
+          // [mn, mx] of the drained entries: the parent bucket is behind its
+          // cursor now, so a future insert landing in the uncovered remainder
+          // would match the parent's membership test and vanish into the
+          // drained bucket.
+          SpawnRung(bucket_start, bucket_end == kTickNever ? kTickNever : bucket_end - 1,
+                    scratch_.size());
+          Rung& inner = rungs_[rung_depth_ - 1];
+          for (const Entry& e : scratch_) {
+            AppendToBucket(inner, e);
+          }
+          continue;
+        }
+      }
+      bottom_.swap(scratch_);
+      SortBottomDescending();
+      bottom_bound_ = bucket_end;
+      return true;
+    }
+    if (far_.empty()) {
+      return false;
+    }
+    // Drop stale entries before deciding how to spread: a cancel-churn
+    // workload can fill far_ with events that will never run.
+    std::erase_if(far_, [this](const Entry& e) {
+      return SlotAt(e.slot).generation != e.generation;
+    });
+    if (far_.empty()) {
+      return false;
+    }
+    if (far_.size() <= kDirectSortThreshold) {
+      bottom_.swap(far_);
+      far_.clear();
+      SortBottomDescending();
+      const Tick top = bottom_.front().when;
+      bottom_bound_ = top == kTickNever ? kTickNever : top + 1;
+      return true;
+    }
+    Tick mn = kTickNever;
+    Tick mx = 0;
+    for (const Entry& e : far_) {
+      mn = std::min(mn, e.when);
+      mx = std::max(mx, e.when);
+    }
+    SpawnRung(mn, mx, far_.size());
+    Rung& rung = rungs_[rung_depth_ - 1];
+    for (const Entry& e : far_) {
+      AppendToBucket(rung, e);
+    }
+    far_.clear();
+  }
+}
+
+bool EventQueue::SettleFront() {
+  for (;;) {
+    while (!bottom_.empty()) {
+      const Entry& e = bottom_.back();
+      if (SlotAt(e.slot).generation == e.generation) {
+        return true;
+      }
+      bottom_.pop_back();  // cancelled or retimed: discard lazily
+    }
+    if (!RefillBottom()) {
+      MRM_QV_CHECK_DRAINED();
+      return false;
+    }
+  }
+}
+
+EventId EventQueue::Push(Tick when, EventCallback callback) {
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = SlotAt(slot);
+  s.callback = std::move(callback);
+  MRM_QV_PUSH(MakeId(slot, s.generation), when, next_sequence_);
+  Insert(Entry{when, next_sequence_++, slot, s.generation});
+  ++live_;
+  return MakeId(slot, s.generation);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  std::uint32_t slot = 0;
+  if (!IsLive(id, &slot)) {
+    return false;
+  }
+  MRM_QV_DROP(id);
+  ReleaseSlot(slot);
+  --live_;
+  return true;
+}
+
+EventId EventQueue::Retime(EventId id, Tick when) {
+  std::uint32_t slot = 0;
+  if (!IsLive(id, &slot)) {
+    return kInvalidEventId;
+  }
+  // Bump the generation: the old ladder entry goes stale in place, and the
+  // new entry (same slot, same callback) carries the fresh generation. The
+  // event ties with others at `when` as if it had been scheduled just now,
+  // matching the cancel+reschedule it replaces.
+  Slot& s = SlotAt(slot);
+  ++s.generation;
+  MRM_QV_DROP(id);
+  MRM_QV_PUSH(MakeId(slot, s.generation), when, next_sequence_);
+  Insert(Entry{when, next_sequence_++, slot, s.generation});
+  return MakeId(slot, s.generation);
+}
+
+Tick EventQueue::NextTime() {
+  if (!SettleFront()) {
+    return kTickNever;
+  }
+  return bottom_.back().when;
 }
 
 EventCallback EventQueue::Pop(Tick* when) {
-  SkipCancelled();
-  assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
+  const bool has_front = SettleFront();
+  assert(has_front);
+  (void)has_front;
+  const Entry top = bottom_.back();
+  MRM_QV_CHECK_TOP(top.when, top.sequence);
+  MRM_QV_DROP(MakeId(top.slot, top.generation));
+  bottom_.pop_back();
   *when = top.when;
-  auto it = callbacks_.find(top.id);
-  EventCallback callback = std::move(it->second);
-  callbacks_.erase(it);
+  EventCallback callback = std::move(SlotAt(top.slot).callback);
+  ReleaseSlot(top.slot);
+  --live_;
   return callback;
+}
+
+void EventQueue::ExecuteTop() {
+  assert(!bottom_.empty());
+  const Entry top = bottom_.back();
+  MRM_QV_CHECK_TOP(top.when, top.sequence);
+  MRM_QV_DROP(MakeId(top.slot, top.generation));
+  assert(SlotAt(top.slot).generation == top.generation);
+  bottom_.pop_back();
+  Slot& s = SlotAt(top.slot);
+  // Mark dead before invoking so Cancel/Retime on the executing event's own
+  // id fail, matching the erase-before-call behaviour callers rely on. The
+  // slot is not on the free list yet, so reentrant pushes cannot reuse it.
+  ++s.generation;
+  --live_;
+  s.callback();
+  s.callback = EventCallback();
+  s.next_free = free_slot_head_;
+  free_slot_head_ = top.slot;
 }
 
 }  // namespace sim

@@ -4,15 +4,22 @@
 // tick frequency (ticks/second) so modules can convert to wall time. Events
 // with equal timestamps fire in scheduling order (stable FIFO), which keeps
 // simulations deterministic.
+//
+// Internals: callbacks live in a slab of reusable slots; ordering is kept by
+// a ladder queue over lightweight (when, sequence, slot, generation) entries.
+// An EventId encodes slot index + the slot's generation at schedule time, so
+// Cancel is an O(1) generation check with no hash lookup, and a freed slot's
+// bumped generation lazily invalidates any stale entry still pointing at it.
+// See DESIGN.md §"Event core internals".
 
 #ifndef MRMSIM_SRC_SIM_EVENT_QUEUE_H_
 #define MRMSIM_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
+
+#include "src/sim/event_callback.h"
 
 namespace mrm {
 namespace sim {
@@ -21,15 +28,21 @@ using Tick = std::uint64_t;
 
 inline constexpr Tick kTickNever = ~Tick{0};
 
-using EventCallback = std::function<void()>;
-
-// Handle for cancelling a scheduled event. Cancellation is lazy: the entry
-// stays in the heap but is skipped when it reaches the top.
+// Handle for cancelling or retiming a scheduled event. Encodes
+// (slot << 32) | generation; generations start at 1, so 0 is never a live id.
 using EventId = std::uint64_t;
 
+inline constexpr EventId kInvalidEventId = 0;
+
+// Priority queue specialised for discrete-event simulation. Exploits the
+// monotonicity of event-driven pushes (Simulator clamps timestamps to now())
+// with a ladder queue: pushes append in O(1), and ordering work is deferred
+// until pop time, when events are spread into time buckets and only the
+// front bucket is sorted. Amortised O(1) per event for the distributions a
+// simulator produces, against O(log n) comparison sifts for a binary heap.
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue();
 
   // Not copyable (callbacks may capture owners).
   EventQueue(const EventQueue&) = delete;
@@ -38,40 +51,135 @@ class EventQueue {
   EventId Push(Tick when, EventCallback callback);
 
   // Marks an event as cancelled; returns false when the id was already
-  // executed, cancelled, or never existed.
+  // executed, cancelled, retimed, or never existed.
   bool Cancel(EventId id);
 
-  bool empty() const { return callbacks_.empty(); }
-  std::size_t size() const { return callbacks_.size(); }
+  // Moves a pending event to fire at `when` without touching its callback.
+  // Returns the event's new id (the old id is invalidated), or
+  // kInvalidEventId when `id` is no longer live. O(1) amortised,
+  // allocation-free: the callback stays in its slab slot.
+  EventId Retime(EventId id, Tick when);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Number of slab slots ever allocated; bounded by the peak number of
+  // outstanding events, not by total events scheduled (slots are reused).
+  std::size_t slab_capacity() const { return slot_count_; }
 
   // Timestamp of the next live event; kTickNever when empty.
-  Tick NextTime() const;
+  Tick NextTime();
 
   // Pops and returns the next live event's callback, setting *when to its
   // timestamp. Precondition: !empty().
   EventCallback Pop(Tick* when);
 
+  // Pops the next live event and invokes its callback in place — no callback
+  // move, no slot copy. The callback may freely schedule, cancel, or retime
+  // other events (slot storage is chunk-stable). Precondition: NextTime()
+  // was just called and returned != kTickNever.
+  void ExecuteTop();
+
  private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  // Slots live in fixed-size chunks so growth never relocates a callback:
+  // a slot's address is stable for its whole life, and growing the slab is
+  // one chunk allocation instead of an O(n) vector move.
+  static constexpr std::uint32_t kSlabChunkShift = 8;
+  static constexpr std::uint32_t kSlabChunkSize = 1u << kSlabChunkShift;
+
+  struct Slot {
+    EventCallback callback;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNil;
+  };
+
   struct Entry {
     Tick when;
     std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    // Heap order: earliest time first, then lowest sequence.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return sequence > other.sequence;
-    }
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
-  void SkipCancelled() const;
+  // Bucket storage: singly-linked fixed-capacity chunks from a pooled free
+  // list, so scattering events into buckets never touches the allocator in
+  // steady state. Ten entries keep a chunk at four cache lines and make the
+  // one-chunk bucket the overwhelmingly common case.
+  static constexpr std::uint32_t kBucketChunkCapacity = 10;
+  struct BucketChunk {
+    Entry entries[kBucketChunkCapacity];
+    std::uint32_t count;
+    std::uint32_t next;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // Live events only; erased on execution or cancellation so memory is
-  // bounded by the number of outstanding events, not total events ever.
-  std::unordered_map<EventId, EventCallback> callbacks_;
-  std::uint64_t next_id_ = 0;
+  // One ladder level: a span of time cut into power-of-two-width buckets,
+  // drained front to back. head/tail index into the bucket-chunk pool; a key
+  // belongs to the level iff (key - start) >> width_log lands in head's
+  // range, which sidesteps overflow near kTickNever entirely.
+  struct Rung {
+    Tick start = 0;
+    int width_log = 0;
+    std::uint32_t cur = 0;  // next bucket index to drain
+    std::vector<std::uint32_t> head;
+    std::vector<std::uint32_t> tail;
+  };
+
+  // Entry order: earliest time first, then lowest sequence. Sequences are
+  // unique, so this is a strict total order and pop order is independent of
+  // the ladder's internal bucketing.
+  static bool Before(const Entry& a, const Entry& b) {
+    return a.when != b.when ? a.when < b.when : a.sequence < b.sequence;
+  }
+
+  static EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) << 32) | generation;
+  }
+
+  bool IsLive(EventId id, std::uint32_t* slot_out) const;
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+
+  void Insert(const Entry& entry);
+  void AppendToBucket(Rung& rung, const Entry& entry);
+  std::uint32_t AcquireBucketChunk();
+  // Pushes a fresh innermost rung covering keys in [start, max_key].
+  void SpawnRung(Tick start, Tick max_key, std::size_t expected);
+  // Ensures bottom_.back() is the live front entry; false when drained.
+  bool SettleFront();
+  bool RefillBottom();
+  void SortBottomDescending();
+
+  Slot& SlotAt(std::uint32_t slot) {
+    return slabs_[slot >> kSlabChunkShift][slot & (kSlabChunkSize - 1)];
+  }
+  const Slot& SlotAt(std::uint32_t slot) const {
+    return slabs_[slot >> kSlabChunkShift][slot & (kSlabChunkSize - 1)];
+  }
+
+  // --- callback slab ---
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::uint32_t slot_count_ = 0;  // slots handed out across all slab chunks
+  std::uint32_t free_slot_head_ = kNil;
+
+  // --- ladder queue ---
+  // bottom_ holds the earliest events, sorted descending so the front of the
+  // queue is bottom_.back(). Every key below bottom_bound_ belongs here.
+  std::vector<Entry> bottom_;
+  Tick bottom_bound_ = 0;
+  // rungs_[0..rung_depth_) is a stack of ever-narrower time spans; the
+  // innermost (back) covers the earliest region. Vectors are reused across
+  // rebuilds, so rung churn is allocation-free in steady state.
+  std::vector<Rung> rungs_;
+  std::size_t rung_depth_ = 0;
+  // far_ collects events beyond every rung, unsorted; they are spread into a
+  // fresh rung (one counting pass + one scatter pass) once the ladder drains.
+  std::vector<Entry> far_;
+  std::vector<BucketChunk> bucket_pool_;
+  std::uint32_t free_chunk_head_ = kNil;
+  std::vector<Entry> scratch_;  // gather buffer for bucket drains
+
+  std::size_t live_ = 0;
+  std::uint64_t next_sequence_ = 0;
 };
 
 }  // namespace sim

@@ -31,14 +31,20 @@ EventId Simulator::ScheduleAfter(Tick delay, EventCallback callback) {
   return queue_.Push(now_ + delay, std::move(callback));
 }
 
+EventId Simulator::Retime(EventId id, Tick when) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.Retime(id, when);
+}
+
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  const Tick next = queue_.NextTime();
+  if (next == kTickNever) {
     return false;
   }
-  Tick when = 0;
-  EventCallback callback = queue_.Pop(&when);
-  now_ = when;
-  callback();
+  now_ = next;
+  queue_.ExecuteTop();
   ++events_executed_;
   return true;
 }
@@ -57,7 +63,10 @@ std::uint64_t Simulator::RunUntil(Tick deadline) {
       now_ = deadline;
       break;
     }
-    Step();
+    now_ = next;
+    // Invokes the callback in place: no per-event callback move or copy.
+    queue_.ExecuteTop();
+    ++events_executed_;
     ++executed;
   }
   return executed;

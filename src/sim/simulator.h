@@ -38,6 +38,11 @@ class Simulator {
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
+  // Moves a pending event to absolute tick `when` (clamped to now()) without
+  // touching its callback; cheaper than Cancel + ScheduleAt. Returns the new
+  // id, or kInvalidEventId when `id` is no longer live.
+  EventId Retime(EventId id, Tick when);
+
   // Runs until the queue is empty. Returns the number of events executed.
   std::uint64_t Run();
 

@@ -1,0 +1,91 @@
+#include "bench/common/bench_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "bench/common/sim_workloads.h"
+#include "src/mem/device_config.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace bench {
+namespace {
+
+// Builds the same sweep every time: a mix of pure-CPU points and real
+// closed-loop simulations, all self-contained per the runner's determinism
+// contract.
+void BuildSweep(BenchRunner& runner) {
+  for (int p = 0; p < 6; ++p) {
+    runner.Add("cpu_" + std::to_string(p), [p](PointResult& r) {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(p) + 1);
+      double sum = 0.0;
+      for (int i = 0; i < 50000; ++i) {
+        sum += static_cast<double>(rng() % 1000);
+      }
+      r.events = 50000;
+      r.metrics["sum"] = sum;
+    });
+  }
+  for (int p = 0; p < 2; ++p) {
+    runner.Add("sim_" + std::to_string(p), [p](PointResult& r) {
+      sim::Simulator sim;
+      mem::MemorySystem system(&sim, mem::DDR5Config());
+      const MemRunResult run = MemClosedLoop(sim, system, /*total=*/4000, /*window=*/64,
+                                             /*read_pct=*/60, /*seq_pct=*/50,
+                                             /*rng_seed=*/static_cast<std::uint64_t>(p) + 1);
+      r.events = run.events;
+      r.metrics["reads"] = static_cast<double>(run.reads);
+      r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
+      r.metrics["row_hit_rate"] = run.row_hit_rate;
+    });
+  }
+}
+
+TEST(BenchRunner, MultiThreadedSweepMatchesSingleThreaded) {
+  setenv("MRMSIM_BENCH_OUT", "/tmp", 1);
+
+  BenchRunner single("runner_test_st");
+  BuildSweep(single);
+  ASSERT_EQ(single.RunAndReport(/*threads=*/1), 0);
+
+  BenchRunner multi("runner_test_mt");
+  BuildSweep(multi);
+  ASSERT_EQ(multi.RunAndReport(/*threads=*/8), 0);
+
+  ASSERT_EQ(single.results().size(), multi.results().size());
+  for (std::size_t i = 0; i < single.results().size(); ++i) {
+    const auto& [st_label, st] = single.results()[i];
+    const auto& [mt_label, mt] = multi.results()[i];
+    EXPECT_EQ(st_label, mt_label) << "point " << i;
+    EXPECT_EQ(st.events, mt.events) << st_label;
+    ASSERT_EQ(st.metrics.size(), mt.metrics.size()) << st_label;
+    for (const auto& [key, value] : st.metrics) {
+      const auto it = mt.metrics.find(key);
+      ASSERT_NE(it, mt.metrics.end()) << st_label << "." << key;
+      // Bit-identical, not approximately equal: the sweep points must not
+      // share any state for threading to reorder.
+      EXPECT_EQ(value, it->second) << st_label << "." << key;
+    }
+  }
+}
+
+TEST(BenchRunner, ResultsKeepRegistrationOrder) {
+  setenv("MRMSIM_BENCH_OUT", "/tmp", 1);
+  BenchRunner runner("runner_test_order");
+  for (int p = 0; p < 16; ++p) {
+    runner.Add("p" + std::to_string(p), [p](PointResult& r) { r.events = 100u + p; });
+  }
+  ASSERT_EQ(runner.RunAndReport(/*threads=*/4), 0);
+  ASSERT_EQ(runner.results().size(), 16u);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(runner.results()[static_cast<std::size_t>(p)].first, "p" + std::to_string(p));
+    EXPECT_EQ(runner.results()[static_cast<std::size_t>(p)].second.events, 100u + p);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mrm

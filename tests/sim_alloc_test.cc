@@ -1,0 +1,126 @@
+// Zero-allocation guarantee for the steady-state simulation path (built only
+// with -DMRMSIM_ALLOC_TEST=ON).
+//
+// The event core and controller promise that once warmed up — event slab,
+// bucket-chunk pool, pending pool, inflight slab and rung vectors all at
+// their peak shapes — running requests through the system performs no heap
+// allocation at all: wakes are retimed in place, callbacks fit the event
+// queue's inline storage, and completions recycle pool slots. This test
+// counts every operator new under a closed-loop workload's steady phase and
+// requires exactly zero.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/mem/device_config.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting hooks. Replacing the global operators is the only way to observe
+// every allocation, including ones hidden inside the standard library.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mrm {
+namespace {
+
+// Closed-loop driver kept behind a single global so the completion callback
+// is a captureless lambda — it converts to a bare function pointer inside
+// std::function, which never heap-allocates.
+struct Driver {
+  sim::Simulator* sim = nullptr;
+  mem::MemorySystem* system = nullptr;
+  std::uint64_t remaining_to_issue = 0;
+  std::uint64_t remaining_to_complete = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t line = 0;
+  std::uint64_t lcg = 12345;
+
+  std::uint64_t NextRand() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  }
+
+  void IssueOne() {
+    --remaining_to_issue;
+    mem::Request request;
+    request.kind = NextRand() % 100 < 60 ? mem::Request::Kind::kRead : mem::Request::Kind::kWrite;
+    request.addr = (NextRand() % lines) * line;
+    request.size = static_cast<std::uint32_t>(line);
+    request.on_complete = [](const mem::Request&) {
+      Driver* d = Instance();
+      --d->remaining_to_complete;
+      if (d->remaining_to_issue > 0) {
+        d->IssueOne();
+      }
+    };
+    system->Enqueue(std::move(request));
+  }
+
+  static Driver* Instance() {
+    static Driver driver;
+    return &driver;
+  }
+};
+
+TEST(SteadyStateAllocation, ClosedLoopRunAllocatesNothing) {
+  sim::Simulator sim;
+  mem::MemorySystem system(&sim, mem::DDR5Config());
+
+  Driver* driver = Driver::Instance();
+  driver->sim = &sim;
+  driver->system = &system;
+  driver->lines = system.capacity_bytes() / system.config().access_bytes;
+  driver->line = system.config().access_bytes;
+
+  // Warmup: grows every pool/slab/rung to its peak shape for this workload.
+  driver->remaining_to_issue = 40000;
+  driver->remaining_to_complete = 40000;
+  for (int i = 0; i < 48; ++i) {
+    driver->IssueOne();
+  }
+  sim.Run();
+  ASSERT_EQ(driver->remaining_to_complete, 0u);
+
+  // Steady phase: identical workload, counted. Must be allocation-free.
+  driver->remaining_to_issue = 40000;
+  driver->remaining_to_complete = 40000;
+  g_counting.store(true);
+  g_alloc_count.store(0);
+  for (int i = 0; i < 48; ++i) {
+    driver->IssueOne();
+  }
+  sim.Run();
+  g_counting.store(false);
+
+  EXPECT_EQ(driver->remaining_to_complete, 0u);
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "steady-state simulation path performed heap allocations";
+}
+
+}  // namespace
+}  // namespace mrm

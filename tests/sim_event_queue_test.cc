@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <vector>
 
 namespace mrm {
@@ -94,6 +95,137 @@ TEST(EventQueue, SizeCountsLiveOnly) {
   EXPECT_EQ(queue.size(), 2u);
   queue.Cancel(a);
   EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, CancelAfterExecutionFails) {
+  EventQueue queue;
+  const EventId id = queue.Push(5, [] {});
+  Tick when = 0;
+  queue.Pop(&when)();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueue, CancelOwnIdDuringExecutionFails) {
+  EventQueue queue;
+  EventId id = 0;
+  bool cancelled = true;
+  id = queue.Push(5, [&queue, &id, &cancelled] { cancelled = queue.Cancel(id); });
+  ASSERT_EQ(queue.NextTime(), 5u);  // settles the front, as Simulator does
+  queue.ExecuteTop();
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(EventQueue, RetimeMovesEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(100, [&] { fired = true; });
+  queue.Push(50, [] {});
+  const EventId moved = queue.Retime(id, 10);
+  ASSERT_NE(moved, kInvalidEventId);
+  EXPECT_EQ(queue.NextTime(), 10u);
+  // The old id died with the retime; the new one controls the event.
+  EXPECT_FALSE(queue.Cancel(id));
+  Tick when = 0;
+  queue.Pop(&when)();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(when, 10u);
+}
+
+TEST(EventQueue, RetimeDeadEventReturnsInvalid) {
+  EventQueue queue;
+  const EventId id = queue.Push(5, [] {});
+  Tick when = 0;
+  queue.Pop(&when)();
+  EXPECT_EQ(queue.Retime(id, 10), kInvalidEventId);
+  EventId cancelled = queue.Push(5, [] {});
+  queue.Cancel(cancelled);
+  EXPECT_EQ(queue.Retime(cancelled, 10), kInvalidEventId);
+}
+
+TEST(EventQueue, RetimeTieBreaksAsFreshPush) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventId a = queue.Push(5, [&] { order.push_back(1); });
+  queue.Push(5, [&] { order.push_back(2); });
+  // Retiming A to the same tick re-queues it behind B, exactly like the
+  // cancel + re-push it replaces.
+  ASSERT_NE(queue.Retime(a, 5), kInvalidEventId);
+  Tick when = 0;
+  while (!queue.empty()) {
+    queue.Pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+// Regression: a drained over-threshold bucket respreads into a child rung.
+// That child must cover the parent bucket's FULL span — not just the span of
+// the drained entries — or later pushes into the uncovered remainder match
+// the parent's membership test and vanish into the already-drained bucket.
+TEST(EventQueue, RespreadCoversFullParentBucket) {
+  EventQueue queue;
+  const Tick base = Tick{1} << 20;
+  std::size_t total = 0;
+  // A tight cluster (well past the spread threshold) plus a far outlier, so
+  // the first rung is wide and the whole cluster piles into one bucket.
+  for (int i = 0; i < 96; ++i) {
+    queue.Push(base + static_cast<Tick>(i % 48), [] {});
+    ++total;
+  }
+  queue.Push(base + (Tick{1} << 16), [] {});
+  ++total;
+  // Draining triggers the respread of the cluster bucket.
+  Tick when = 0;
+  std::size_t popped = 0;
+  for (int i = 0; i < 8; ++i) {
+    queue.Pop(&when)();
+    ++popped;
+  }
+  // New events inside the parent bucket's span but beyond the cluster's
+  // maximum key: these were silently lost when the child rung only covered
+  // [min, max] of the drained entries.
+  for (int i = 0; i < 16; ++i) {
+    queue.Push(base + 100 + static_cast<Tick>(i), [] {});
+    ++total;
+  }
+  Tick previous = 0;
+  while (!queue.empty()) {
+    queue.Pop(&when)();
+    ++popped;
+    EXPECT_GE(when, previous);
+    previous = when;
+  }
+  EXPECT_EQ(popped, total);
+}
+
+// Steady-state churn must reuse slots and chunks: the slab grows to the peak
+// outstanding population and then stays put, no matter how many events flow
+// through.
+TEST(EventQueue, MillionEventChurnKeepsSlabBounded) {
+  EventQueue queue;
+  std::mt19937_64 rng(1);
+  constexpr int kOutstanding = 256;
+  constexpr std::uint64_t kTotal = 1'000'000;
+  Tick now = 0;
+  for (int i = 0; i < kOutstanding; ++i) {
+    queue.Push(now + 1 + rng() % 1000, [] {});
+  }
+  Tick when = 0;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    queue.Pop(&when)();
+    now = when;
+    const EventId id = queue.Push(now + 1 + rng() % 1000, [] {});
+    // Sprinkle cancels and retimes to churn the free lists too.
+    if ((i & 7) == 0) {
+      queue.Cancel(id);
+      queue.Push(now + 1 + rng() % 1000, [] {});
+    } else if ((i & 7) == 1) {
+      queue.Retime(id, now + 1 + rng() % 100);
+    }
+  }
+  EXPECT_EQ(queue.size(), kOutstanding);
+  // Peak live population is kOutstanding + 1; allow generous slack for slab
+  // chunk granularity but fail on unbounded growth.
+  EXPECT_LE(queue.slab_capacity(), 1024u);
 }
 
 TEST(EventQueue, ManyEventsStress) {

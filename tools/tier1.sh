@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): configure, build and run the full test
+# suite. This is the gate every change must pass.
+#
+# Usage: tools/tier1.sh [build-dir]
+#
+# Environment:
+#   MRMSIM_SANITIZE=1   add -fsanitize=address,undefined to the build
+#   MRMSIM_ALLOC_TEST=1 also build + run the operator-new counting test
+#   CMAKE_BUILD_TYPE    build type (default RelWithDebInfo)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}")
+if [[ "${MRMSIM_SANITIZE:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all")
+fi
+if [[ "${MRMSIM_ALLOC_TEST:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DMRMSIM_ALLOC_TEST=ON)
+fi
+
+cmake -S . -B "$BUILD_DIR" "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
