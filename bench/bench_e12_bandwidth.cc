@@ -3,12 +3,19 @@
 //
 // Part 1: cycle-level sequential-read bandwidth of every DRAM preset vs.
 //         the analytic stream model (cross-validation).
-// Part 2: decode-step roofline — memory-bound fraction as accelerator
+// Part 2: shard scaling — the same HBM3e sequential stream executed
+//         serially and on a channel-sharded worker pool (--sim-threads=N);
+//         metrics are bit-identical, only events/sec moves.
+// Part 3: decode-step roofline — memory-bound fraction as accelerator
 //         compute scales, on HBM and on an MRM weights tier.
+//
+// Runs through BenchRunner, so the sweep also lands in
+// BENCH_e12_bandwidth.json for scripted before/after comparisons.
 
 #include <cstdio>
 #include <string>
 
+#include "bench/common/bench_runner.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/mem/memory_system.h"
@@ -22,16 +29,25 @@ namespace {
 
 using namespace mrm;  // NOLINT: bench binary
 
-double MeasureSequentialBandwidth(const mem::DeviceConfig& config) {
+struct BandwidthRun {
+  double bytes_per_s = 0.0;
+  std::uint64_t events = 0;
+};
+
+BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim_threads) {
   // Picosecond ticks: HBM-class sub-ns burst timings would be quantized to
   // whole nanoseconds otherwise, understating bandwidth by up to 60%.
   sim::Simulator simulator(1e12);
   mem::MemorySystem system(&simulator, config);
+  simulator.SetWorkerThreads(sim_threads);
   const std::uint64_t bytes = 8ull << 20;
   bool done = false;
   system.Transfer(mem::Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
   simulator.Run();
-  return done ? static_cast<double>(bytes) / simulator.now_seconds() : 0.0;
+  BandwidthRun run;
+  run.bytes_per_s = done ? static_cast<double>(bytes) / simulator.now_seconds() : 0.0;
+  run.events = simulator.events_executed();
+  return run;
 }
 
 workload::EngineSummary RunDecodeHeavy(workload::MemoryBackend* backend, double tflops) {
@@ -51,22 +67,46 @@ workload::EngineSummary RunDecodeHeavy(workload::MemoryBackend* backend, double 
   return engine.Run(requests);
 }
 
+double Metric(const bench::PointResult& r, const std::string& key) {
+  const auto it = r.metrics.find(key);
+  return it == r.metrics.end() ? 0.0 : it->second;
+}
+
 }  // namespace
 
-int main() {
-  std::printf("E12: bandwidth validation and the memory-bound roofline (§2.1/§3)\n\n");
+int main(int argc, char** argv) {
+  const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+  std::printf("E12: bandwidth validation and the memory-bound roofline (§2.1/§3)\n");
 
-  TablePrinter bandwidth({"device", "peak GB/s", "model GB/s", "measured GB/s",
-                          "model/measured"});
-  for (const auto& config :
-       {mem::HBM3Config(), mem::HBM3EConfig(), mem::LPDDR5XConfig(), mem::DDR5Config()}) {
-    const double peak = config.peak_bandwidth_bytes_per_s();
-    const double model = mem::StreamModel(config).EffectiveBandwidth();
-    const double measured = MeasureSequentialBandwidth(config);
-    bandwidth.AddRow({config.name, FormatNumber(peak / 1e9), FormatNumber(model / 1e9),
-                      FormatNumber(measured / 1e9), FormatNumber(model / measured)});
+  bench::BenchRunner runner("e12_bandwidth");
+  runner.SetConfig("suite", "sequential bandwidth + decode roofline");
+  runner.SetConfig("sim_threads", std::to_string(sim_threads));
+
+  const std::vector<mem::DeviceConfig> devices = {mem::HBM3Config(), mem::HBM3EConfig(),
+                                                  mem::LPDDR5XConfig(), mem::DDR5Config()};
+  for (const mem::DeviceConfig& config : devices) {
+    runner.Add("bw_" + config.name, [config](bench::PointResult& r) {
+      const BandwidthRun run = MeasureSequentialBandwidth(config, /*sim_threads=*/1);
+      r.events = run.events;
+      r.metrics["peak_gb_s"] = config.peak_bandwidth_bytes_per_s() / 1e9;
+      r.metrics["model_gb_s"] = mem::StreamModel(config).EffectiveBandwidth() / 1e9;
+      r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;
+    });
   }
-  bandwidth.Print("Sequential-read bandwidth: cycle simulator vs. analytic model");
+
+  // Shard-scaling pair on the 16-channel device: compare the two labels'
+  // events/sec for the parallel-engine speedup (run under
+  // MRMSIM_BENCH_THREADS=1 so the bench pool does not steal cores).
+  for (const int threads : {1, sim_threads}) {
+    const std::string label =
+        threads == 1 ? "bw_hbm3e_shard_serial" : "bw_hbm3e_shard_parallel";
+    runner.Add(label, [threads](bench::PointResult& r) {
+      const BandwidthRun run = MeasureSequentialBandwidth(mem::HBM3EConfig(), threads);
+      r.events = run.events;
+      r.metrics["sim_threads"] = static_cast<double>(threads);
+      r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;
+    });
+  }
 
   const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
   mrmcore::MrmDeviceConfig mrm_config;
@@ -75,29 +115,56 @@ int main() {
   mrm_config.channel_read_bw_bytes_per_s = 100e9;
   const workload::TierSpec mrm = tier::TierSpecFromMrm(mrm_config, 1, 6.0 * kHour);
 
+  for (const double tflops : {100.0, 400.0, 1000.0, 2500.0, 5000.0}) {
+    runner.Add("roofline_" + std::to_string(static_cast<int>(tflops)) + "tflops",
+               [hbm, mrm, tflops](bench::PointResult& r) {
+                 workload::AnalyticBackend hbm_backend(hbm, workload::Llama2_70B().weight_bytes());
+                 const auto hbm_summary = RunDecodeHeavy(&hbm_backend, tflops);
+
+                 tier::Placement placement;
+                 placement.weights_tier = 1;
+                 placement.kv_cold_tier = 1;
+                 placement.kv_hot_fraction = 0.15;
+                 tier::TieredBackend tiered({hbm, mrm}, placement,
+                                            workload::Llama2_70B().weight_bytes());
+                 const auto mrm_summary = RunDecodeHeavy(&tiered, tflops);
+
+                 r.events = 16 * (512 + 128);  // tokens decoded per backend
+                 r.metrics["tflops"] = tflops;
+                 r.metrics["hbm_mem_bound_frac"] = hbm_summary.memory_bound_fraction();
+                 r.metrics["hbm_tokens_per_s"] = hbm_summary.decode_tokens_per_s();
+                 r.metrics["mrm_mem_bound_frac"] = mrm_summary.memory_bound_fraction();
+                 r.metrics["mrm_tokens_per_s"] = mrm_summary.decode_tokens_per_s();
+               });
+  }
+
+  const int rc = runner.RunAndReport();
+
+  TablePrinter bandwidth({"device", "peak GB/s", "model GB/s", "measured GB/s",
+                          "model/measured"});
   TablePrinter roofline({"accelerator TFLOPs", "HBM mem-bound frac", "HBM tokens/s",
                          "HBM+MRM mem-bound frac", "HBM+MRM tokens/s"});
-  for (double tflops : {100.0, 400.0, 1000.0, 2500.0, 5000.0}) {
-    workload::AnalyticBackend hbm_backend(hbm, workload::Llama2_70B().weight_bytes());
-    const auto hbm_summary = RunDecodeHeavy(&hbm_backend, tflops);
-
-    tier::Placement placement;
-    placement.weights_tier = 1;
-    placement.kv_cold_tier = 1;
-    placement.kv_hot_fraction = 0.15;
-    tier::TieredBackend tiered({hbm, mrm}, placement, workload::Llama2_70B().weight_bytes());
-    const auto mrm_summary = RunDecodeHeavy(&tiered, tflops);
-
-    roofline.AddRow({FormatNumber(tflops), FormatNumber(hbm_summary.memory_bound_fraction()),
-                     FormatNumber(hbm_summary.decode_tokens_per_s()),
-                     FormatNumber(mrm_summary.memory_bound_fraction()),
-                     FormatNumber(mrm_summary.decode_tokens_per_s())});
+  for (const auto& [label, result] : runner.results()) {
+    if (label.rfind("bw_", 0) == 0 && label.find("shard") == std::string::npos) {
+      const double model = Metric(result, "model_gb_s");
+      const double measured = Metric(result, "measured_gb_s");
+      bandwidth.AddRow({label.substr(3), FormatNumber(Metric(result, "peak_gb_s")),
+                        FormatNumber(model), FormatNumber(measured),
+                        FormatNumber(measured > 0.0 ? model / measured : 0.0)});
+    } else if (label.rfind("roofline_", 0) == 0) {
+      roofline.AddRow({FormatNumber(Metric(result, "tflops")),
+                       FormatNumber(Metric(result, "hbm_mem_bound_frac")),
+                       FormatNumber(Metric(result, "hbm_tokens_per_s")),
+                       FormatNumber(Metric(result, "mrm_mem_bound_frac")),
+                       FormatNumber(Metric(result, "mrm_tokens_per_s"))});
+    }
   }
+  bandwidth.Print("Sequential-read bandwidth: cycle simulator vs. analytic model");
   roofline.Print("Decode roofline: memory-boundedness vs. accelerator compute");
 
   std::printf("Shape check: the analytic model tracks the cycle simulator within ~5%%;\n");
   std::printf("decode is memory bound on HBM across realistic accelerator speeds (§2.1),\n");
   std::printf("and an MRM tier sized at comparable read bandwidth tracks the HBM\n");
   std::printf("roofline — read throughput, not write performance, is what matters (§3).\n");
-  return 0;
+  return rc;
 }

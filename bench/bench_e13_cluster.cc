@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/common/bench_runner.h"
 #include "src/cluster/cluster.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
@@ -38,8 +39,15 @@ struct RunResult {
   cluster::ClusterStats stats;
 };
 
+// Worker-pool size for any epoch domains the cluster's node models attach
+// (--sim-threads=N / MRMSIM_SIM_THREADS); the analytic nodes used today run
+// serial regardless, so the knob is plumbed but inert until cycle-level
+// node memories land.
+int g_sim_threads = 1;
+
 RunResult Run(cluster::ClusterConfig config, double arrivals_per_s) {
   sim::Simulator simulator(1e9);
+  simulator.SetWorkerThreads(g_sim_threads);
   cluster::Cluster cluster(&simulator, config);
   workload::RequestGenerator generator(workload::SplitwiseCoding(), arrivals_per_s, 404);
   for (int i = 0; i < 200; ++i) {
@@ -53,7 +61,8 @@ RunResult Run(cluster::ClusterConfig config, double arrivals_per_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/1);
   std::printf("E13: cluster organizations — colocated vs. disaggregated vs. MRM KV pool\n");
   std::printf("Llama2-70B, 8 nodes total, Splitwise coding arrivals (4/s, prompt-heavy), 200 reqs\n\n");
 

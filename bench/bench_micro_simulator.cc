@@ -67,11 +67,42 @@ void AddMemoryPoint(bench::BenchRunner& runner, const std::string& label,
   });
 }
 
+// Shard-scaling pair: the same 16-channel closed-loop workload executed
+// serially and on `sim_threads` worker threads (channel-sharded epochs).
+// The two points produce bit-identical metrics — only events/sec may differ.
+// Compare their events/sec for the parallel-engine speedup; run with
+// MRMSIM_BENCH_THREADS=1 so the bench pool does not steal cores from the
+// sharded point.
+void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads) {
+  const auto add = [&runner](const std::string& label, int threads) {
+    runner.Add(label, [threads](bench::PointResult& r) {
+      sim::Simulator sim;
+      mem::MemorySystem system(&sim, mem::HBM3EConfig());
+      sim.SetWorkerThreads(threads);
+      const bench::MemRunResult run =
+          bench::MemClosedLoop(sim, system, /*total=*/400000, /*window=*/1024,
+                               /*read_pct=*/63, /*seq_pct=*/80, /*seed=*/7);
+      r.events = run.events;
+      r.metrics["sim_threads"] = static_cast<double>(threads);
+      r.metrics["reads"] = static_cast<double>(run.reads);
+      r.metrics["writes"] = static_cast<double>(run.writes);
+      r.metrics["row_hit_rate"] = run.row_hit_rate;
+      r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
+      r.metrics["sim_seconds"] = run.sim_seconds;
+    });
+  };
+  add("mem_hbm3e16_shard_serial", 1);
+  add("mem_hbm3e16_shard_parallel", sim_threads);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+
   bench::BenchRunner runner("micro_simulator");
   runner.SetConfig("suite", "event core + memory system microbenchmarks");
+  runner.SetConfig("sim_threads", std::to_string(sim_threads));
 
   AddQueuePoints(runner);
   AddMemoryPoint(runner, "mem_ddr5_frfcfs_mixed", "ddr5", mem::SchedulerPolicy::kFrFcfs,
@@ -82,6 +113,7 @@ int main() {
                  /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/90, /*seed=*/3);
   AddMemoryPoint(runner, "mem_lpddr5x_frfcfs_rand", "lpddr5x", mem::SchedulerPolicy::kFrFcfs,
                  /*total=*/120000, /*read_pct=*/50, /*seq_pct=*/10, /*seed=*/4);
+  AddShardScalingPoints(runner, sim_threads);
 
   return runner.RunAndReport();
 }

@@ -50,6 +50,21 @@ void PrintJsonString(std::FILE* f, const std::string& s) {
 
 }  // namespace
 
+int ParseSimThreads(int argc, char** argv, int fallback) {
+  int threads = fallback;
+  if (const char* env = std::getenv("MRMSIM_SIM_THREADS")) {
+    threads = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--sim-threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      threads = static_cast<int>(std::strtol(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  return threads < 1 ? 1 : threads;
+}
+
 BenchRunner::BenchRunner(std::string name) : name_(std::move(name)) {}
 
 void BenchRunner::Add(std::string label, std::function<void(PointResult&)> fn) {

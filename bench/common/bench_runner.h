@@ -21,6 +21,12 @@
 namespace mrm {
 namespace bench {
 
+// Worker-pool size for the simulation itself (sim::Simulator::SetWorkerThreads
+// inside a point), as opposed to the bench pool that runs points side by side.
+// Resolution order: a `--sim-threads=N` argument, the MRMSIM_SIM_THREADS
+// environment variable, then `fallback`. Values < 1 resolve to 1 (serial).
+int ParseSimThreads(int argc, char** argv, int fallback = 1);
+
 // Filled in by a point function; wall time is measured by the runner around
 // the call. `events` is whatever unit of work the bench counts (simulator
 // events, requests, ...) and drives the events/sec throughput figures.

@@ -1,0 +1,62 @@
+// A FIFO over a contiguous vector with a sliding head index.
+//
+// push_back appends; pop_front advances the head without moving elements, and
+// storage is recycled (head reset, capacity kept) whenever the queue drains.
+// In a steady-state producer/consumer cycle that periodically empties — the
+// shape of the memory system's arrival, backlog and completion queues — this
+// is allocation-free once warmed up, unlike std::deque whose block map churns
+// the allocator at chunk boundaries.
+
+#ifndef MRMSIM_SRC_COMMON_SLIDING_QUEUE_H_
+#define MRMSIM_SRC_COMMON_SLIDING_QUEUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mrm {
+
+template <typename T>
+class SlidingQueue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+
+  void push_back(T value) { items_.push_back(std::move(value)); }
+
+  T& front() { return items_[head_]; }
+  const T& front() const { return items_[head_]; }
+
+  // Indexed from the current head (operator[](0) == front()).
+  T& operator[](std::size_t i) { return items_[head_ + i]; }
+  const T& operator[](std::size_t i) const { return items_[head_ + i]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == items_.size()) {
+      clear();
+    }
+  }
+
+  // Drops everything but keeps the vector's capacity.
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  // The underlying storage from the head onward, for bulk consumption.
+  typename std::vector<T>::iterator begin() { return items_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  typename std::vector<T>::iterator end() { return items_.end(); }
+  typename std::vector<T>::const_iterator begin() const {
+    return items_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  typename std::vector<T>::const_iterator end() const { return items_.end(); }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_SLIDING_QUEUE_H_

@@ -58,6 +58,10 @@ class Histogram {
   // Convenience: p50/p99 etc. formatted as "p50=.. p90=.. p99=.. max=..".
   std::string Summary() const;
 
+  // Exact state equality (bucket counts and moments), used to verify
+  // bit-identical aggregation across execution modes.
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
  private:
   static constexpr int kSubBuckets = 16;
   static constexpr int kDecades = 64;  // covers doubles up to 2^63

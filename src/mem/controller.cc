@@ -411,6 +411,7 @@ bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row
     inflight.request.complete_tick = data_end;
     inflight.is_read = is_read;
     RemovePending(index);
+    scheduled_completions_.push_back(data_end);
     simulator_->ScheduleAt(data_end, [this, slot] { CompleteDataCommand(slot); });
     if (on_slot_free_) {
       on_slot_free_();
@@ -459,6 +460,7 @@ void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
   const bool is_read = inflight_[inflight_slot].is_read;
   inflight_[inflight_slot].next_free = inflight_free_;
   inflight_free_ = inflight_slot;
+  scheduled_completions_.pop_front();
   const double latency_ns =
       simulator_->TicksToSeconds(request.complete_tick - request.enqueue_tick) * 1e9;
   if (is_read) {
@@ -469,6 +471,12 @@ void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
     ++stats_.writes_completed;
     stats_.bytes_written += request.size;
     stats_.write_latency_ns.Add(latency_ns);
+  }
+  if (completion_sink_) {
+    // Epoch mode: completion callbacks are cross-lane effects; hand the
+    // request to the owner for deferred, deterministically-ordered delivery.
+    completion_sink_(std::move(request));
+    return;
   }
   if (on_request_complete_) {
     on_request_complete_(request);

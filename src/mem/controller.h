@@ -16,9 +16,11 @@
 #ifndef MRMSIM_SRC_MEM_CONTROLLER_H_
 #define MRMSIM_SRC_MEM_CONTROLLER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "src/common/sliding_queue.h"
 #include "src/common/stats.h"
 #include "src/mem/address_map.h"
 #include "src/mem/bank.h"
@@ -53,6 +55,20 @@ struct EnergyReport {
   double total_pj() const {
     return activate_pj + read_pj + write_pj + io_pj + refresh_pj + background_pj;
   }
+
+  // Component-wise accumulation. Addition is commutative but not exactly
+  // associative in floating point, so deterministic aggregation must merge
+  // in a fixed order (the memory system merges channel 0, 1, 2, ...).
+  void Merge(const EnergyReport& other) {
+    activate_pj += other.activate_pj;
+    read_pj += other.read_pj;
+    write_pj += other.write_pj;
+    io_pj += other.io_pj;
+    refresh_pj += other.refresh_pj;
+    background_pj += other.background_pj;
+  }
+
+  friend bool operator==(const EnergyReport&, const EnergyReport&) = default;
 };
 
 struct ChannelStats {
@@ -65,6 +81,8 @@ struct ChannelStats {
   std::uint64_t refreshes = 0;
   Histogram read_latency_ns;
   Histogram write_latency_ns;
+
+  friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
 };
 
 class ChannelController {
@@ -97,6 +115,35 @@ class ChannelController {
   // each request's callback in a fresh (heap-allocated) closure.
   void set_on_request_complete(std::function<void(const Request&)> callback) {
     on_request_complete_ = std::move(callback);
+  }
+
+  // Epoch mode: when set, a completed request is handed to the sink (after
+  // channel-local stats/energy accounting) INSTEAD of invoking
+  // on_request_complete_/request.on_complete inline. The memory system uses
+  // this to defer completion callbacks to its serial hub phase; standalone
+  // controllers (unit tests) keep the inline path.
+  void set_completion_sink(std::function<void(Request&&)> sink) {
+    completion_sink_ = std::move(sink);
+  }
+
+  // Tick of the earliest already-scheduled data completion; kTickNever when
+  // nothing is in flight. Completion ticks are strictly increasing per
+  // channel (the data bus serializes bursts), so a FIFO ring suffices.
+  sim::Tick NextScheduledCompletion() const {
+    return scheduled_completions_.empty() ? sim::kTickNever : scheduled_completions_.front();
+  }
+
+  // Lower bound, in ticks, between issuing any data command and its
+  // completion: min(tCAS, tCWL) + tBURST. Together with
+  // NextScheduledCompletion() this bounds how soon a not-yet-issued request
+  // could complete — the epoch driver's lookahead.
+  sim::Tick MinCommandLatencyTicks() const {
+    return std::min(ticks_.tcas, ticks_.tcwl) + ticks_.tburst;
+  }
+
+  // True while any accepted request has not yet completed its data burst.
+  bool HasUnfinishedRequests() const {
+    return queue_size_ > 0 || !scheduled_completions_.empty();
   }
 
   const ChannelStats& stats() const { return stats_; }
@@ -229,6 +276,10 @@ class ChannelController {
   EnergyCounters energy_;
   std::function<void()> on_slot_free_;
   std::function<void(const Request&)> on_request_complete_;
+  std::function<void(Request&&)> completion_sink_;
+  // Data-completion ticks in schedule order (strictly increasing); the front
+  // is popped as each completion event fires.
+  SlidingQueue<sim::Tick> scheduled_completions_;
 };
 
 }  // namespace mem

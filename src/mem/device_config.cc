@@ -24,6 +24,9 @@ Status DeviceConfig::Validate() const {
   if (needs_refresh && (timings.trefi_ns <= 0.0 || timings.trfc_ns <= 0.0)) {
     return Error(name + ": refresh timings must be positive when refresh is on");
   }
+  if (fabric_latency_ns < 0.0) {
+    return Error(name + ": fabric latency must be non-negative");
+  }
   return Status::Ok();
 }
 

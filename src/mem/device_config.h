@@ -36,6 +36,13 @@ struct DeviceConfig {
 
   bool needs_refresh = true;
 
+  // One-way latency of the front-end fabric between the host-facing port and
+  // a channel controller (request routing in, completion notification out).
+  // Physically this is the PHY + on-die interconnect hop; in the simulator it
+  // is also the cross-channel lookahead that lets channels execute in
+  // parallel epochs (DESIGN.md §8). Rounded up to at least one tick.
+  double fabric_latency_ns = 4.0;
+
   // Derived quantities.
   int banks_per_rank() const { return bank_groups * banks_per_group; }
   int total_banks() const { return channels * ranks * banks_per_rank(); }

@@ -1,29 +1,51 @@
 #include "src/mem/memory_system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/logging.h"
 
 namespace mrm {
 namespace mem {
+namespace {
+
+// Same rounding convention as the controller's timing conversion: round the
+// nanosecond latency up to whole ticks, never below one tick (a zero-tick
+// fabric would collapse the epoch lookahead).
+sim::Tick FabricTicks(double ns, const sim::Simulator& simulator) {
+  const double ticks = ns * 1e-9 * simulator.ticks_per_second();
+  const auto rounded = static_cast<sim::Tick>(std::ceil(ticks - 1e-9));
+  return std::max<sim::Tick>(rounded, 1);
+}
+
+}  // namespace
 
 MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, SchedulerPolicy policy,
                            AddressMapPolicy map_policy)
     : simulator_(simulator), config_(std::move(config)), map_(config_, map_policy) {
   const Status valid = config_.Validate();
   MRM_CHECK(valid.ok()) << valid.message();
-  channels_.reserve(static_cast<std::size_t>(config_.channels));
-  backlog_.resize(static_cast<std::size_t>(config_.channels));
+  fabric_ticks_ = FabricTicks(config_.fabric_latency_ns, *simulator_);
+  lanes_.resize(static_cast<std::size_t>(config_.channels));
   for (int c = 0; c < config_.channels; ++c) {
-    channels_.push_back(
-        std::make_unique<ChannelController>(simulator_, &config_, &map_, c, policy));
-    channels_.back()->set_on_slot_free([this, c] { DrainBacklog(c); });
-    // In-flight accounting rides the controller's completion tap, so Enqueue
-    // never has to wrap each request's on_complete in a fresh closure.
-    channels_.back()->set_on_request_complete([this](const Request&) { --inflight_requests_; });
+    Lane& lane = lanes_[static_cast<std::size_t>(c)];
+    lane.sim = std::make_unique<sim::Simulator>(simulator_->ticks_per_second());
+    lane.controller =
+        std::make_unique<ChannelController>(lane.sim.get(), &config_, &map_, c, policy);
+    lane.controller->set_on_slot_free([this, c] { DrainBacklog(c); });
+    // Completions leave the lane as records; the hub applies their callbacks
+    // one fabric hop later in deterministic order.
+    lane.controller->set_completion_sink([this, c](Request&& request) {
+      Lane& owner = lanes_[static_cast<std::size_t>(c)];
+      owner.records.push_back(
+          {sim::TickAdd(request.complete_tick, fabric_ticks_), std::move(request)});
+    });
   }
+  simulator_->RegisterEpochDomain(this);
 }
+
+MemorySystem::~MemorySystem() { simulator_->UnregisterEpochDomain(this); }
 
 void MemorySystem::Enqueue(Request request) {
   request.id = next_request_id_++;
@@ -35,22 +57,21 @@ void MemorySystem::Route(Request request) {
   MRM_CHECK(request.addr + request.size <= config_.capacity_bytes())
       << "address out of range: " << request.addr;
   const Location location = map_.Decode(request.addr);
-  auto& channel = channels_[static_cast<std::size_t>(location.channel)];
-  if (!channel->Enqueue(request, location)) {
-    backlog_[static_cast<std::size_t>(location.channel)].push_back({std::move(request), location});
-    ++backlog_count_;
-  }
+  Lane& lane = lanes_[static_cast<std::size_t>(location.channel)];
+  // Hub time only moves forward, so per-lane arrivals stay tick-sorted.
+  const sim::Tick arrival_tick = sim::TickAdd(simulator_->now(), fabric_ticks_);
+  lane.arrivals.push_back({arrival_tick, std::move(request), location});
+  work_next_cache_ = std::min(work_next_cache_, arrival_tick);
 }
 
 void MemorySystem::DrainBacklog(int channel) {
-  auto& backlog = backlog_[static_cast<std::size_t>(channel)];
-  while (!backlog.empty()) {
-    Backlogged& entry = backlog.front();
-    if (!channels_[static_cast<std::size_t>(channel)]->Enqueue(entry.request, entry.location)) {
+  Lane& lane = lanes_[static_cast<std::size_t>(channel)];
+  while (!lane.backlog.empty()) {
+    Backlogged& entry = lane.backlog.front();
+    if (!lane.controller->Enqueue(entry.request, entry.location)) {
       break;  // channel full again; wait for the next freed slot
     }
-    backlog.pop_front();
-    --backlog_count_;
+    lane.backlog.pop_front();
   }
 }
 
@@ -64,10 +85,12 @@ void MemorySystem::Transfer(Request::Kind kind, std::uint64_t addr, std::uint64_
   transfer->end_addr = addr + bytes;
   transfer->stream = stream;
   // Default window: enough outstanding accesses per channel to cover the
-  // ACT+CAS latency pipeline at full bus rate (HBM3e needs ~35 in flight per
-  // channel), bounded by the per-channel queue capacity.
+  // ACT+CAS latency pipeline plus the fabric round trip at full bus rate
+  // (HBM3e needs ~35 in flight per channel for the command pipeline alone,
+  // and the 2x fabric hop adds ~8 ns of latency to hide). Overflow beyond
+  // the per-channel queue capacity parks in the backlog.
   transfer->window =
-      window != 0 ? window : static_cast<std::size_t>(48 * config_.channels);
+      window != 0 ? window : static_cast<std::size_t>(96 * config_.channels);
   transfer->on_done = std::move(on_done);
   PumpTransfer(transfer);
 }
@@ -105,13 +128,170 @@ void MemorySystem::PumpTransfer(const std::shared_ptr<TransferState>& transfer) 
   }
 }
 
-bool MemorySystem::Idle() const { return inflight_requests_ == 0 && backlog_count_ == 0; }
+bool MemorySystem::Idle() const { return inflight_requests_ == 0; }
+
+// --- EpochDomain ----------------------------------------------------------
+
+int MemorySystem::LaneCount() const { return config_.channels; }
+
+sim::Tick MemorySystem::ArrivalDelay() const { return fabric_ticks_; }
+
+sim::Tick MemorySystem::NextWorkTime() { return work_next_cache_; }
+
+sim::Tick MemorySystem::NextRecordTime() const {
+  return record_heap_.empty()
+             ? sim::kTickNever
+             : lanes_[static_cast<std::size_t>(record_heap_.front())].records.front().effect_tick;
+}
+
+sim::Tick MemorySystem::EarliestCompletionEffect(sim::Tick from) const {
+  sim::Tick earliest = sim::kTickNever;
+  for (const Lane& lane : lanes_) {
+    if (!lane.controller->HasUnfinishedRequests() && lane.backlog.empty() &&
+        lane.arrivals.empty()) {
+      continue;
+    }
+    // Either a data burst already on the wire completes (ring front), or a
+    // not-yet-issued command — which cannot issue before `from` — takes at
+    // least the minimum command latency.
+    earliest = std::min(earliest, lane.controller->NextScheduledCompletion());
+    earliest =
+        std::min(earliest, sim::TickAdd(from, lane.controller->MinCommandLatencyTicks()));
+  }
+  return sim::TickAdd(earliest, fabric_ticks_);
+}
+
+std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  std::uint64_t executed = 0;
+  for (;;) {
+    const sim::Tick arrival =
+        lane.arrivals.empty() ? sim::kTickNever : lane.arrivals.front().tick;
+    const sim::Tick event = lane.sim->NextEventTime();
+    if (arrival <= event) {
+      // Arrivals admit before lane events on tick ties: a request reaching
+      // the controller at tick T is visible to the scheduling decision made
+      // at T, exactly as in serial execution.
+      if (arrival >= horizon) {
+        break;
+      }
+      lane.sim->AdvanceTo(arrival);
+      Arrival message = std::move(lane.arrivals.front());
+      lane.arrivals.pop_front();
+      if (!lane.controller->Enqueue(message.request, message.location)) {
+        // Queue full. The backlog preserves arrival order: the controller
+        // refuses new work whenever the backlog is non-empty (slots freed
+        // drain the backlog first), so no later arrival can jump the line.
+        lane.backlog.push_back({std::move(message.request), message.location});
+      }
+    } else {
+      if (event >= horizon) {
+        break;
+      }
+      lane.sim->ExecutePeeked(event);
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+bool MemorySystem::RecordBefore(int lane_a, int lane_b) const {
+  const Record& a = lanes_[static_cast<std::size_t>(lane_a)].records.front();
+  const Record& b = lanes_[static_cast<std::size_t>(lane_b)].records.front();
+  if (a.effect_tick != b.effect_tick) {
+    return a.effect_tick < b.effect_tick;
+  }
+  return a.request.id < b.request.id;
+}
+
+void MemorySystem::RecordHeapSift(std::size_t hole) {
+  // Standard binary-heap sift-down over lane indices; the key of a lane is
+  // its front record's (effect_tick, request id).
+  const std::size_t size = record_heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * hole + 1;
+    if (left >= size) {
+      return;
+    }
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < size && RecordBefore(record_heap_[right], record_heap_[left])) {
+      best = right;
+    }
+    if (!RecordBefore(record_heap_[best], record_heap_[hole])) {
+      return;
+    }
+    std::swap(record_heap_[hole], record_heap_[best]);
+    hole = best;
+  }
+}
+
+void MemorySystem::RebuildRecordHeap() {
+  record_heap_.clear();
+  for (int c = 0; c < config_.channels; ++c) {
+    if (!lanes_[static_cast<std::size_t>(c)].records.empty()) {
+      record_heap_.push_back(c);
+    }
+  }
+  if (record_heap_.size() > 1) {
+    for (std::size_t i = record_heap_.size() / 2; i-- > 0;) {
+      RecordHeapSift(i);
+    }
+  }
+}
+
+void MemorySystem::SealEpoch() {
+  // Records emitted during the epoch sit in their lane queues, already
+  // sorted by effect tick (the channel bus serializes bursts). Re-key the
+  // lane heap so the hub pops them globally by (effect_tick, request id) —
+  // an order independent of how lanes were scheduled onto threads — and
+  // refresh the work-time cache the epoch just invalidated.
+  RebuildRecordHeap();
+  sim::Tick next = sim::kTickNever;
+  for (Lane& lane : lanes_) {
+    if (!lane.arrivals.empty()) {
+      next = std::min(next, lane.arrivals.front().tick);
+    }
+    next = std::min(next, lane.sim->NextEventTime());
+  }
+  work_next_cache_ = next;
+}
+
+void MemorySystem::ProcessOneRecord() {
+  Lane& lane = lanes_[static_cast<std::size_t>(record_heap_.front())];
+  --inflight_requests_;
+  {
+    Record& record = lane.records.front();
+    if (record.request.on_complete) {
+      // Move the callback out first: it may re-enter Enqueue/Transfer, and
+      // the Request is dead once the lane queue advances.
+      auto callback = std::move(record.request.on_complete);
+      callback(record.request);
+    }
+  }
+  lane.records.pop_front();
+  if (lane.records.empty()) {
+    record_heap_.front() = record_heap_.back();
+    record_heap_.pop_back();
+  }
+  if (record_heap_.size() > 1) {
+    RecordHeapSift(0);
+  }
+}
+
+// --------------------------------------------------------------------------
 
 SystemStats MemorySystem::GetStats() const {
   SystemStats total;
-  const sim::Tick now = simulator_->now();
-  for (const auto& channel : channels_) {
-    const ChannelStats& cs = channel->stats();
+  // Background/refresh energy integrates to the latest clock in the system:
+  // the hub may trail the lanes (it only advances on hub-side activity), and
+  // every channel is charged over the same interval.
+  sim::Tick now = simulator_->now();
+  for (const Lane& lane : lanes_) {
+    now = std::max(now, lane.sim->now());
+  }
+  for (const Lane& lane : lanes_) {
+    const ChannelStats& cs = lane.controller->stats();
     total.reads_completed += cs.reads_completed;
     total.writes_completed += cs.writes_completed;
     total.bytes_read += cs.bytes_read;
@@ -121,20 +301,14 @@ SystemStats MemorySystem::GetStats() const {
     total.refreshes += cs.refreshes;
     total.read_latency_ns.Merge(cs.read_latency_ns);
     total.write_latency_ns.Merge(cs.write_latency_ns);
-    const EnergyReport energy = channel->GetEnergyReport(now);
-    total.energy.activate_pj += energy.activate_pj;
-    total.energy.read_pj += energy.read_pj;
-    total.energy.write_pj += energy.write_pj;
-    total.energy.io_pj += energy.io_pj;
-    total.energy.refresh_pj += energy.refresh_pj;
-    total.energy.background_pj += energy.background_pj;
+    total.energy.Merge(lane.controller->GetEnergyReport(now));
   }
   return total;
 }
 
 void MemorySystem::DisableRefresh() {
-  for (auto& channel : channels_) {
-    channel->DisableRefresh();
+  for (Lane& lane : lanes_) {
+    lane.controller->DisableRefresh();
   }
 }
 

@@ -3,20 +3,34 @@
 // engine that decomposes multi-KB/MB transfers into column accesses with a
 // bounded issue window (closed-loop, so measured bandwidth reflects real
 // queue/bank contention).
+//
+// Execution model (DESIGN.md §8): every channel controller runs on its own
+// lane — a private sub-simulator with its own clock and event queue — and
+// the MemorySystem registers itself as an EpochDomain on the hub simulator
+// it was constructed with. Requests cross the front-end fabric
+// (config.fabric_latency_ns each way): Enqueue() posts an arrival message
+// the lane admits fabric-latency ticks later, and a completed request
+// surfaces as a completion record whose callback the hub processes
+// fabric-latency ticks after the data burst ends, in (effect tick, request
+// id) order. The same epoch schedule runs whether lanes execute serially
+// (the default, and the only mode when channels == 1) or on a worker pool
+// (sim::Simulator::SetWorkerThreads), so stats are bit-identical for any
+// thread count.
 
 #ifndef MRMSIM_SRC_MEM_MEMORY_SYSTEM_H_
 #define MRMSIM_SRC_MEM_MEMORY_SYSTEM_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/common/sliding_queue.h"
 #include "src/mem/address_map.h"
 #include "src/mem/controller.h"
 #include "src/mem/device_config.h"
 #include "src/mem/request.h"
+#include "src/sim/epoch_domain.h"
 #include "src/sim/simulator.h"
 
 namespace mrm {
@@ -38,13 +52,16 @@ struct SystemStats {
     const double total = static_cast<double>(row_hits + row_misses);
     return total == 0.0 ? 0.0 : static_cast<double>(row_hits) / total;
   }
+
+  friend bool operator==(const SystemStats&, const SystemStats&) = default;
 };
 
-class MemorySystem {
+class MemorySystem : public sim::EpochDomain {
  public:
   MemorySystem(sim::Simulator* simulator, DeviceConfig config,
                SchedulerPolicy policy = SchedulerPolicy::kFrFcfs,
                AddressMapPolicy map_policy = AddressMapPolicy::kRowBankRankColumnChannel);
+  ~MemorySystem() override;
 
   MemorySystem(const MemorySystem&) = delete;
   MemorySystem& operator=(const MemorySystem&) = delete;
@@ -52,7 +69,8 @@ class MemorySystem {
   const DeviceConfig& config() const { return config_; }
 
   // Single column access. Never fails: overflow goes to an internal backlog
-  // drained as queue slots free up. `on_complete` fires at data completion.
+  // drained as queue slots free up. `on_complete` fires at data completion
+  // (plus the fabric's return latency).
   void Enqueue(Request request);
 
   // Bulk sequential transfer of [addr, addr + bytes). Decomposed into
@@ -64,8 +82,8 @@ class MemorySystem {
   // True when no requests are queued, backlogged or in flight.
   bool Idle() const;
 
-  // Aggregated statistics across channels (energy includes background power
-  // up to the simulator's current time).
+  // Aggregated statistics across channels, merged in channel order (energy
+  // includes background power up to the latest clock in the system).
   SystemStats GetStats() const;
 
   // Turns off refresh in every channel (ablations / MRM-style devices).
@@ -84,6 +102,14 @@ class MemorySystem {
     std::function<void()> on_done;
   };
 
+  // A request crossing the fabric toward its channel, with the decoded
+  // location so lanes never touch the (shared) address map.
+  struct Arrival {
+    sim::Tick tick = 0;  // lane admission tick (hub time + fabric latency)
+    Request request;
+    Location location;
+  };
+
   // A request waiting for a queue slot, with its decoded location so retries
   // never re-run the address map.
   struct Backlogged {
@@ -91,18 +117,57 @@ class MemorySystem {
     Location location;
   };
 
+  // A completed request traveling back across the fabric; the hub runs its
+  // callback at effect_tick.
+  struct Record {
+    sim::Tick effect_tick = 0;
+    Request request;
+  };
+
+  // Everything one channel's lane owns. Lanes are mutated only by RunLane
+  // (one thread per lane per epoch) plus the serial hub phases, never
+  // concurrently.
+  struct Lane {
+    std::unique_ptr<sim::Simulator> sim;
+    std::unique_ptr<ChannelController> controller;
+    SlidingQueue<Arrival> arrivals;    // fabric-in, sorted by tick
+    SlidingQueue<Backlogged> backlog;  // admission overflow, FIFO
+    SlidingQueue<Record> records;      // fabric-out, sorted by effect tick
+  };
+
+  // sim::EpochDomain (driven by the hub simulator's epoch loop).
+  int LaneCount() const override;
+  sim::Tick ArrivalDelay() const override;
+  sim::Tick NextWorkTime() override;
+  sim::Tick NextRecordTime() const override;
+  sim::Tick EarliestCompletionEffect(sim::Tick from) const override;
+  std::uint64_t RunLane(int lane, sim::Tick horizon) override;
+  void SealEpoch() override;
+  void ProcessOneRecord() override;
+
   void PumpTransfer(const std::shared_ptr<TransferState>& transfer);
   void DrainBacklog(int channel);
   void Route(Request request);
 
+  // Record ordering: per-lane queues are already sorted by effect tick (the
+  // channel bus serializes bursts), so global (effect_tick, request id)
+  // order falls out of a small heap of LANE INDICES keyed by each lane's
+  // front record. Processing a record is a head-index bump plus an O(log
+  // channels) sift — the Request itself never moves.
+  bool RecordBefore(int lane_a, int lane_b) const;
+  void RecordHeapSift(std::size_t hole);
+  void RebuildRecordHeap();
+
   sim::Simulator* simulator_;
   DeviceConfig config_;
   AddressMap map_;
-  std::vector<std::unique_ptr<ChannelController>> channels_;
-  // One backlog per channel: an entry only becomes admittable when its own
-  // channel frees a slot, so a freed slot never rescans unrelated requests.
-  std::vector<std::deque<Backlogged>> backlog_;
-  std::size_t backlog_count_ = 0;
+  sim::Tick fabric_ticks_ = 1;  // one-way fabric latency, >= 1 tick
+  std::vector<Lane> lanes_;
+  std::vector<int> record_heap_;  // lanes with pending records, min-heap
+  // Earliest lane-side work (arrival or lane event), maintained so the epoch
+  // driver's per-record bookkeeping is O(1): exact after every SealEpoch,
+  // and lowered as Route() posts arrivals in between.
+  sim::Tick work_next_cache_ = sim::kTickNever;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t inflight_requests_ = 0;
 };

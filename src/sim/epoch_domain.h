@@ -1,0 +1,80 @@
+// EpochDomain: the contract between the simulation executive and a component
+// that owns internal "lanes" (sub-simulators) which may execute in parallel.
+//
+// The executive alternates two regimes (see DESIGN.md §8):
+//
+//   * Hub steps. While the earliest pending activity is a hub event or a
+//     completion record, the executive processes exactly one item at a time,
+//     serially, in deterministic order (records before hub events on tick
+//     ties; records across domains by registration order, within a domain by
+//     the domain's own total order).
+//
+//   * Epochs. While every lane's earliest work strictly precedes any possible
+//     hub-side activity, the executive derives a horizon H no lane may reach
+//     and runs all lanes up to (exclusive) H — concurrently when worker
+//     threads are configured. Lanes never touch shared state during an epoch;
+//     cross-lane effects surface only as records collected at the epoch seal.
+//
+// The horizon is conservative: H = B + ArrivalDelay(), where B lower-bounds
+// the earliest tick at which anything outside a lane (a hub event, a pending
+// record, or a completion that has not happened yet) could inject new work,
+// and ArrivalDelay() is the modeled latency before injected work reaches a
+// lane. Because H, the per-lane execution, and the seal are all independent
+// of how lanes map onto threads, results are bit-identical for any thread
+// count — including one.
+
+#ifndef MRMSIM_SRC_SIM_EPOCH_DOMAIN_H_
+#define MRMSIM_SRC_SIM_EPOCH_DOMAIN_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+
+namespace mrm {
+namespace sim {
+
+class EpochDomain {
+ public:
+  virtual ~EpochDomain() = default;
+
+  // Number of independently-executable lanes (channels).
+  virtual int LaneCount() const = 0;
+
+  // Modeled latency, in ticks (>= 1), between hub-side activity and its
+  // earliest effect inside a lane. This is the PDES lookahead.
+  virtual Tick ArrivalDelay() const = 0;
+
+  // Earliest tick at which any lane has work: an undelivered arrival or a
+  // pending lane event. kTickNever when all lanes are quiescent. Non-const:
+  // peeking a lane's event queue may prune cancelled entries.
+  virtual Tick NextWorkTime() = 0;
+
+  // Effect tick of the earliest sealed completion record awaiting hub-side
+  // processing; kTickNever when none are pending.
+  virtual Tick NextRecordTime() const = 0;
+
+  // Lower bound on the effect tick of any completion record NOT yet sealed,
+  // given that no lane executes anything before `from`. Must be > `from`
+  // whenever it is finite; kTickNever when no unfinished request exists.
+  virtual Tick EarliestCompletionEffect(Tick from) const = 0;
+
+  // Runs lane `lane` up to (exclusive) `horizon`: delivers due arrivals and
+  // executes lane events in tick order, arrivals first on ties. Called
+  // concurrently for distinct lanes; must not touch state shared across
+  // lanes. Returns the number of lane events executed.
+  virtual std::uint64_t RunLane(int lane, Tick horizon) = 0;
+
+  // Serial epoch barrier: publishes records emitted by lanes during the
+  // epoch into the pending set read by NextRecordTime()/ProcessOneRecord().
+  virtual void SealEpoch() = 0;
+
+  // Processes the earliest pending record (hub-side completion callback and
+  // any routing it triggers). Called serially with the hub clock already at
+  // NextRecordTime().
+  virtual void ProcessOneRecord() = 0;
+};
+
+}  // namespace sim
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SIM_EPOCH_DOMAIN_H_

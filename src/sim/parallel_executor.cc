@@ -1,0 +1,92 @@
+#include "src/sim/parallel_executor.h"
+
+namespace mrm {
+namespace sim {
+namespace {
+
+// Spin-wait knob: relaxed polls between yields. Epochs recur on a
+// microsecond scale, so a waiting worker almost always sees the next
+// generation within the spin budget; the yield bounds the cost when the hub
+// is busy with long serial phases.
+constexpr int kSpinsPerYield = 256;
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(int threads) {
+  const int worker_count = threads > 1 ? threads - 1 : 0;
+  if (worker_count > 0) {
+    slots_ = std::make_unique<WorkerSlot[]>(static_cast<std::size_t>(worker_count));
+    workers_.reserve(static_cast<std::size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      // Participant 0 is the calling thread; workers are 1..threads-1.
+      workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+    }
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  shutdown_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ParallelExecutor::DrainStride(int participant) {
+  const int stride = threads();
+  for (int i = participant; i < task_count_; i += stride) {
+    (*fn_)(i);
+  }
+}
+
+void ParallelExecutor::WorkerLoop(int participant) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t current;
+    int spins = 0;
+    while ((current = generation_.load(std::memory_order_acquire)) == seen) {
+      if (++spins >= kSpinsPerYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    seen = current;
+    DrainStride(participant);
+    slots_[participant - 1].done_gen.store(current, std::memory_order_release);
+  }
+}
+
+void ParallelExecutor::Run(int task_count, const std::function<void(int)>& fn) {
+  if (task_count <= 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (int i = 0; i < task_count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  fn_ = &fn;
+  task_count_ = task_count;
+  const std::uint64_t gen = generation_.fetch_add(1, std::memory_order_release) + 1;
+  DrainStride(0);
+  // Wait for every worker, tasks or not: once all have checked in for `gen`
+  // no thread can still be reading this generation's fn_/task_count_, so the
+  // next Run may safely overwrite them.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    int spins = 0;
+    while (slots_[w].done_gen.load(std::memory_order_acquire) != gen) {
+      if (++spins >= kSpinsPerYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+  fn_ = nullptr;
+}
+
+}  // namespace sim
+}  // namespace mrm

@@ -1,8 +1,10 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/sim/parallel_executor.h"
 
 namespace mrm {
 namespace sim {
@@ -10,6 +12,8 @@ namespace sim {
 Simulator::Simulator(double ticks_per_second) : ticks_per_second_(ticks_per_second) {
   MRM_CHECK(ticks_per_second > 0.0);
 }
+
+Simulator::~Simulator() = default;
 
 Tick Simulator::SecondsToTicks(double seconds) const {
   MRM_CHECK(seconds >= 0.0);
@@ -38,6 +42,34 @@ EventId Simulator::Retime(EventId id, Tick when) {
   return queue_.Retime(id, when);
 }
 
+void Simulator::AdvanceTo(Tick when) {
+  MRM_CHECK(when >= now_);
+  now_ = when;
+}
+
+void Simulator::RegisterEpochDomain(EpochDomain* domain) {
+  MRM_CHECK(domain != nullptr);
+  domains_.push_back(domain);
+}
+
+void Simulator::UnregisterEpochDomain(EpochDomain* domain) {
+  domains_.erase(std::remove(domains_.begin(), domains_.end(), domain), domains_.end());
+}
+
+void Simulator::SetWorkerThreads(int threads) {
+  if (threads < 1) {
+    threads = 1;
+  }
+  if (threads == worker_threads_) {
+    return;
+  }
+  worker_threads_ = threads;
+  executor_.reset();
+  if (threads > 1) {
+    executor_ = std::make_unique<ParallelExecutor>(threads);
+  }
+}
+
 bool Simulator::Step() {
   const Tick next = queue_.NextTime();
   if (next == kTickNever) {
@@ -52,6 +84,10 @@ bool Simulator::Step() {
 std::uint64_t Simulator::Run() { return RunUntil(kTickNever); }
 
 std::uint64_t Simulator::RunUntil(Tick deadline) {
+  return domains_.empty() ? RunClassic(deadline) : RunEpochs(deadline);
+}
+
+std::uint64_t Simulator::RunClassic(Tick deadline) {
   stop_requested_ = false;
   std::uint64_t executed = 0;
   while (!stop_requested_) {
@@ -68,6 +104,89 @@ std::uint64_t Simulator::RunUntil(Tick deadline) {
     queue_.ExecuteTop();
     ++events_executed_;
     ++executed;
+  }
+  return executed;
+}
+
+// The epoch driver. Each iteration either processes exactly one hub-side
+// item (a completion record or a hub event, whichever is earliest, records
+// first on ties) or — when every lane's earliest work strictly precedes any
+// possible hub-side activity — runs one epoch: all lanes advance to a
+// horizon no cross-lane effect can penetrate, in parallel when a worker pool
+// is configured. Everything the schedule depends on (next-times, the
+// horizon, record order) is derived from simulation state alone, so the
+// execution is bit-identical for any worker count.
+std::uint64_t Simulator::RunEpochs(Tick deadline) {
+  stop_requested_ = false;
+  std::uint64_t executed = 0;
+  const std::function<void(int)> run_lane = [this](int i) {
+    LaneTask& task = lane_tasks_[static_cast<std::size_t>(i)];
+    task.executed = task.domain->RunLane(task.lane, task.horizon);
+  };
+  while (!stop_requested_) {
+    const Tick hub_next = queue_.NextTime();
+    Tick record_next = kTickNever;
+    Tick work_next = kTickNever;
+    for (EpochDomain* domain : domains_) {
+      record_next = std::min(record_next, domain->NextRecordTime());
+      work_next = std::min(work_next, domain->NextWorkTime());
+    }
+    const Tick hub_activity = std::min(hub_next, record_next);
+    const Tick t = std::min(hub_activity, work_next);
+    if (t == kTickNever) {
+      break;
+    }
+    if (t > deadline) {
+      now_ = deadline;
+      break;
+    }
+    if (hub_activity <= work_next) {
+      // Serial hub step at `hub_activity`.
+      now_ = hub_activity;
+      if (record_next <= hub_next) {
+        for (EpochDomain* domain : domains_) {
+          if (domain->NextRecordTime() == record_next) {
+            domain->ProcessOneRecord();
+            break;
+          }
+        }
+      } else {
+        queue_.ExecuteTop();
+      }
+      ++events_executed_;
+      ++executed;
+      continue;
+    }
+    // Epoch: lanes hold all activity in [work_next, bound). New work can
+    // only enter a lane ArrivalDelay() after the earliest hub-side activity,
+    // which itself cannot precede `bound`.
+    Tick bound = hub_activity;
+    for (EpochDomain* domain : domains_) {
+      bound = std::min(bound, domain->EarliestCompletionEffect(work_next));
+    }
+    MRM_CHECK(bound > work_next);
+    lane_tasks_.clear();
+    for (EpochDomain* domain : domains_) {
+      const Tick horizon = std::min(TickAdd(bound, domain->ArrivalDelay()), TickAdd(deadline, 1));
+      const int lanes = domain->LaneCount();
+      for (int lane = 0; lane < lanes; ++lane) {
+        lane_tasks_.push_back({domain, lane, horizon, 0});
+      }
+    }
+    if (executor_ != nullptr && lane_tasks_.size() > 1) {
+      executor_->Run(static_cast<int>(lane_tasks_.size()), run_lane);
+    } else {
+      for (std::size_t i = 0; i < lane_tasks_.size(); ++i) {
+        run_lane(static_cast<int>(i));
+      }
+    }
+    for (const LaneTask& task : lane_tasks_) {
+      events_executed_ += task.executed;
+      executed += task.executed;
+    }
+    for (EpochDomain* domain : domains_) {
+      domain->SealEpoch();
+    }
   }
   return executed;
 }

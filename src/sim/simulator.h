@@ -3,22 +3,39 @@
 // Components schedule callbacks at absolute ticks or relative delays. The
 // executive runs events in timestamp order until the queue drains, a
 // deadline passes, or Stop() is called from within a callback.
+//
+// When an EpochDomain is registered (a MemorySystem does this on
+// construction), Run()/RunUntil() switch to the epoch driver: the domain's
+// lanes execute in conservative, epoch-synchronized batches — optionally on
+// a worker pool (SetWorkerThreads) — while hub events and completion records
+// are processed serially in a fixed total order. The schedule is derived
+// only from simulation state, never from thread timing, so results are
+// bit-identical for any worker count. See DESIGN.md §8.
 
 #ifndef MRMSIM_SRC_SIM_SIMULATOR_H_
 #define MRMSIM_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "src/sim/epoch_domain.h"
 #include "src/sim/event_queue.h"
 
 namespace mrm {
 namespace sim {
+
+class ParallelExecutor;
+
+// Saturating tick addition: kTickNever stays kTickNever.
+inline Tick TickAdd(Tick a, Tick b) { return a >= kTickNever - b ? kTickNever : a + b; }
 
 class Simulator {
  public:
   // ticks_per_second fixes the wall-time meaning of a tick. The default
   // (1 GHz) gives 1 ns ticks, a convenient controller-clock granularity.
   explicit Simulator(double ticks_per_second = 1e9);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -50,21 +67,67 @@ class Simulator {
   // `deadline`. Time ends at min(deadline, last event time).
   std::uint64_t RunUntil(Tick deadline);
 
-  // Executes exactly one event if present; returns whether one ran.
+  // Executes exactly one event if present; returns whether one ran. Does not
+  // advance registered epoch domains — use Run()/RunUntil() when a
+  // MemorySystem is attached.
   bool Step();
 
-  // Requests that Run()/RunUntil() return after the current event.
+  // Requests that Run()/RunUntil() return after the current event (or, in
+  // epoch mode, after the current epoch).
   void Stop() { stop_requested_ = true; }
+
+  // Timestamp of the next pending event; kTickNever when the queue is empty.
+  Tick NextEventTime() { return queue_.NextTime(); }
+
+  // Executes the event NextEventTime() just peeked (its timestamp, `when`,
+  // must be that return value). Skips the redundant second queue probe a
+  // NextEventTime() + Step() pair would pay — the epoch driver's lane loop
+  // peeks every iteration to merge arrivals with events in tick order.
+  void ExecutePeeked(Tick when) {
+    now_ = when;
+    queue_.ExecuteTop();
+    ++events_executed_;
+  }
+
+  // Moves the clock forward to `when` without executing anything. Used by
+  // epoch domains to position a lane clock at an arrival's tick before
+  // admitting it; `when` must be >= now().
+  void AdvanceTo(Tick when);
+
+  // Attaches a domain whose lanes the epoch driver advances alongside the
+  // event queue. Registration order is the tie-break between domains.
+  void RegisterEpochDomain(EpochDomain* domain);
+  void UnregisterEpochDomain(EpochDomain* domain);
+
+  // Sets the worker-pool size used to run domain lanes within an epoch
+  // (counting the calling thread; <= 1 means serial, the default). Purely a
+  // performance knob: simulation results are identical for any value.
+  void SetWorkerThreads(int threads);
+  int worker_threads() const { return worker_threads_; }
 
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  struct LaneTask {
+    EpochDomain* domain;
+    int lane;
+    Tick horizon;
+    std::uint64_t executed;
+  };
+
+  std::uint64_t RunClassic(Tick deadline);
+  std::uint64_t RunEpochs(Tick deadline);
+
   EventQueue queue_;
   Tick now_ = 0;
   double ticks_per_second_;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
+  std::vector<EpochDomain*> domains_;
+  std::vector<LaneTask> lane_tasks_;  // reused across epochs
+  std::unique_ptr<ParallelExecutor> executor_;
+  int worker_threads_ = 1;
 };
 
 }  // namespace sim

@@ -189,5 +189,73 @@ TEST(Histogram, SummaryContainsCount) {
   EXPECT_NE(summary.find("p50"), std::string::npos);
 }
 
+// The deterministic-aggregation contract the sharded memory system relies
+// on (DESIGN.md §8): merging per-channel histograms in a fixed order must be
+// exactly the histogram of the combined stream — not approximately.
+
+TEST(HistogramMerge, MergeWithEmptyIsExactIdentity) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(static_cast<double>(1 + i * 37 % 5000));
+  }
+  const Histogram before = h;
+  h.Merge(Histogram{});
+  EXPECT_TRUE(h == before);
+
+  Histogram empty;
+  empty.Merge(before);
+  EXPECT_TRUE(empty == before);
+}
+
+TEST(HistogramMerge, BucketAlignmentAcrossMagnitudes) {
+  // The same value must land in the same bucket whichever histogram counted
+  // it: state after merge equals state after adding everything directly.
+  // Covers the underflow bucket (< 1), bucket boundaries, and huge values.
+  const double values[] = {0.0,    0.25,   0.999, 1.0,   1.0625, 2.0,  15.0, 16.0,
+                           17.0,   100.0,  1e3,   1e6,   1e12,   1e300};
+  Histogram direct;
+  Histogram a;
+  Histogram b;
+  int i = 0;
+  for (const double v : values) {
+    direct.Add(v);
+    ((i++ % 2) == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_TRUE(a == direct);
+}
+
+TEST(HistogramMerge, MergeOrderInvariantOnExactValues) {
+  // Integer-valued samples keep the running sum exact in a double, so the
+  // merge is associative and commutative bit-for-bit: any merge order gives
+  // the same state. (The memory system still merges channels in a fixed
+  // order so non-integer sums stay deterministic too.)
+  Histogram parts[3];
+  Histogram direct;
+  Rng rng(11);
+  for (int n = 0; n < 3000; ++n) {
+    const double v = static_cast<double>(rng.NextBounded(1000000));
+    parts[n % 3].Add(v);
+    direct.Add(v);
+  }
+
+  Histogram forward = parts[0];  // (p0 + p1) + p2
+  forward.Merge(parts[1]);
+  forward.Merge(parts[2]);
+
+  Histogram backward = parts[2];  // (p2 + p1) + p0
+  backward.Merge(parts[1]);
+  backward.Merge(parts[0]);
+
+  Histogram nested = parts[1];  // p1 + (p2 + p0)
+  Histogram tail = parts[2];
+  tail.Merge(parts[0]);
+  nested.Merge(tail);
+
+  EXPECT_TRUE(forward == direct);
+  EXPECT_TRUE(backward == direct);
+  EXPECT_TRUE(nested == direct);
+}
+
 }  // namespace
 }  // namespace mrm

@@ -1,0 +1,187 @@
+// Bit-identity of the channel-sharded epoch engine (DESIGN.md §8): the same
+// workload — mixed reads/writes, a concurrent bulk transfer, and enough
+// outstanding requests to overflow into the backlog — must produce the same
+// SystemStats (every counter, histogram bucket and picojoule), event count
+// and final clock at 1, 2 and 4 worker threads as in sequential mode.
+
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/mem/controller.h"
+#include "src/mem/device_config.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mem {
+namespace {
+
+struct RunResult {
+  SystemStats stats;
+  std::uint64_t events = 0;
+  sim::Tick end_tick = 0;
+};
+
+// Closed loop of `total` mixed requests with `window` outstanding, plus a
+// 256 KiB bulk read racing the loop. `threads` <= 0 leaves the simulator at
+// its default (sequential) configuration.
+RunResult RunWorkload(const DeviceConfig& config, int threads, std::uint64_t total, int window) {
+  sim::Simulator simulator;
+  MemorySystem system(&simulator, config);
+  if (threads > 0) {
+    simulator.SetWorkerThreads(threads);
+  }
+
+  const std::uint64_t lines = system.capacity_bytes() / config.access_bytes;
+  std::mt19937_64 rng(99);
+  std::uint64_t to_issue = total;
+
+  bool transfer_done = false;
+  system.Transfer(Request::Kind::kRead, system.capacity_bytes() / 2, 256 * 1024, /*stream=*/1,
+                  [&] { transfer_done = true; });
+
+  std::function<void(const Request&)> on_complete;
+  const auto issue_one = [&] {
+    --to_issue;
+    Request request;
+    request.kind = rng() % 100 < 60 ? Request::Kind::kRead : Request::Kind::kWrite;
+    request.addr = rng() % lines * config.access_bytes;
+    request.size = static_cast<std::uint32_t>(config.access_bytes);
+    request.on_complete = on_complete;
+    system.Enqueue(std::move(request));
+  };
+  on_complete = [&](const Request&) {
+    if (to_issue > 0) {
+      issue_one();
+    }
+  };
+
+  const int initial = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(window), total));
+  for (int i = 0; i < initial; ++i) {
+    issue_one();
+  }
+  simulator.Run();
+
+  EXPECT_TRUE(transfer_done);
+  EXPECT_TRUE(system.Idle());
+  RunResult result;
+  result.stats = system.GetStats();
+  result.events = simulator.events_executed();
+  result.end_tick = simulator.now();
+  return result;
+}
+
+void ExpectIdentical(const RunResult& base, const RunResult& run, int threads) {
+  // Spell out the headline counters for readable failures, then require
+  // exact equality of everything — histogram buckets and energy included.
+  EXPECT_EQ(base.stats.reads_completed, run.stats.reads_completed) << "threads=" << threads;
+  EXPECT_EQ(base.stats.writes_completed, run.stats.writes_completed) << "threads=" << threads;
+  EXPECT_EQ(base.stats.row_hits, run.stats.row_hits) << "threads=" << threads;
+  EXPECT_EQ(base.stats.refreshes, run.stats.refreshes) << "threads=" << threads;
+  EXPECT_TRUE(base.stats.read_latency_ns == run.stats.read_latency_ns) << "threads=" << threads;
+  EXPECT_TRUE(base.stats.write_latency_ns == run.stats.write_latency_ns)
+      << "threads=" << threads;
+  EXPECT_TRUE(base.stats.energy == run.stats.energy) << "threads=" << threads;
+  EXPECT_TRUE(base.stats == run.stats) << "threads=" << threads;
+  EXPECT_EQ(base.events, run.events) << "threads=" << threads;
+  EXPECT_EQ(base.end_tick, run.end_tick) << "threads=" << threads;
+}
+
+TEST(ParallelDeterminism, MixedTransferBacklogWorkloadBitIdentical) {
+  const DeviceConfig config = HBM3EConfig();  // 16 channels
+  // window 2048 > 16 channels x 64 queue slots: the backlog overflow path
+  // runs from the very first batch.
+  const RunResult base = RunWorkload(config, /*threads=*/1, /*total=*/6000, /*window=*/2048);
+  EXPECT_GT(base.stats.reads_completed, 0u);
+  EXPECT_GT(base.stats.writes_completed, 0u);
+  for (const int threads : {0, 2, 4}) {  // 0 = default sequential configuration
+    ExpectIdentical(base, RunWorkload(config, threads, 6000, 2048), threads);
+  }
+}
+
+TEST(ParallelDeterminism, ModerateWindowAcrossShardCounts) {
+  const DeviceConfig config = HBM3EConfig();
+  const RunResult base = RunWorkload(config, 1, /*total=*/4000, /*window=*/192);
+  for (const int threads : {2, 4}) {
+    ExpectIdentical(base, RunWorkload(config, threads, 4000, 192), threads);
+  }
+}
+
+TEST(ParallelDeterminism, SingleChannelDeviceStaysSequential) {
+  // channels == 1 leaves nothing to shard: the epoch driver runs the one
+  // lane inline, and a worker pool must change nothing.
+  DeviceConfig config = DDR5Config();
+  config.channels = 1;
+  const RunResult base = RunWorkload(config, /*threads=*/0, /*total=*/1500, /*window=*/96);
+  ExpectIdentical(base, RunWorkload(config, /*threads=*/4, 1500, 96), 4);
+}
+
+// --- EnergyReport::Merge (deterministic stats aggregation) -----------------
+
+TEST(EnergyReportMerge, MergeWithEmptyIsIdentity) {
+  EnergyReport report;
+  report.activate_pj = 1.25;
+  report.read_pj = 2.5;
+  report.write_pj = 0.75;
+  report.io_pj = 3.125;
+  report.refresh_pj = 0.5;
+  report.background_pj = 7.0;
+  const EnergyReport before = report;
+  report.Merge(EnergyReport{});
+  EXPECT_TRUE(report == before);
+
+  EnergyReport empty;
+  empty.Merge(before);
+  EXPECT_TRUE(empty == before);
+}
+
+TEST(EnergyReportMerge, ComponentWiseSums) {
+  EnergyReport a;
+  a.activate_pj = 1.0;
+  a.read_pj = 2.0;
+  a.refresh_pj = 4.0;
+  EnergyReport b;
+  b.activate_pj = 8.0;
+  b.write_pj = 16.0;
+  b.background_pj = 32.0;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.activate_pj, 9.0);
+  EXPECT_DOUBLE_EQ(a.read_pj, 2.0);
+  EXPECT_DOUBLE_EQ(a.write_pj, 16.0);
+  EXPECT_DOUBLE_EQ(a.refresh_pj, 4.0);
+  EXPECT_DOUBLE_EQ(a.background_pj, 32.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 63.0);
+}
+
+TEST(EnergyReportMerge, MergeOrderInvariantOnExactValues) {
+  // Dyadic rationals are exact in binary floating point, so pairwise sums
+  // are associative and any merge order yields the same report — mirroring
+  // the fixed channel-order merge MemorySystem::GetStats performs.
+  const auto make = [](double seed) {
+    EnergyReport r;
+    r.activate_pj = seed;
+    r.read_pj = seed * 0.5;
+    r.io_pj = seed * 0.25;
+    return r;
+  };
+  const EnergyReport a = make(1.0);
+  const EnergyReport b = make(2.0);
+  const EnergyReport c = make(4.0);
+
+  EnergyReport left;  // (a + b) + c
+  left.Merge(a);
+  left.Merge(b);
+  left.Merge(c);
+  EnergyReport right = a;  // a + (b + c)
+  EnergyReport bc = b;
+  bc.Merge(c);
+  right.Merge(bc);
+  EXPECT_TRUE(left == right);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

@@ -7,7 +7,15 @@
 # Environment:
 #   MRMSIM_SANITIZE=1   add -fsanitize=address,undefined to the build
 #   MRMSIM_ALLOC_TEST=1 also build + run the operator-new counting test
+#   MRMSIM_BENCH=0      skip the tracked benchmark JSONs (default: emit them,
+#                       unless the build is sanitized)
 #   CMAKE_BUILD_TYPE    build type (default RelWithDebInfo)
+#
+# After the tests pass, the tracked perf benches run single-threaded (both
+# the bench pool and the sim worker pool) and refresh BENCH_micro_simulator
+# .json and BENCH_e12_bandwidth.json at the repo root; committing them records
+# the perf trajectory between PRs. Sanitized builds skip this — their wall
+# times measure the sanitizer, not the code.
 
 set -euo pipefail
 
@@ -25,3 +33,11 @@ fi
 cmake -S . -B "$BUILD_DIR" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${MRMSIM_BENCH:-1}" == "1" && "${MRMSIM_SANITIZE:-0}" != "1" ]]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro_simulator bench_e12_bandwidth
+  MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
+    "./$BUILD_DIR/bench/bench_micro_simulator"
+  MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
+    "./$BUILD_DIR/bench/bench_e12_bandwidth"
+fi
