@@ -42,6 +42,13 @@ mem::DeviceConfig DeviceForOperatingPoint(cell::Technology tech,
   config.timings.tcas_ns = std::max(config.timings.tcas_ns, point.read_latency_ns);
   config.timings.trtp_ns = std::max(config.timings.trtp_ns, point.read_latency_ns / 2.0);
   config.timings.twr_ns = std::max(config.timings.twr_ns, point.write_latency_ns);
+  // Slow cell reads stretch the column path; keep the row-cycle timings
+  // covering it (tRAS >= tRCD + tCAS, tRC >= tRAS + tRP) or the controller
+  // would close rows before the first read completes.
+  config.timings.tras_ns =
+      std::max(config.timings.tras_ns, config.timings.trcd_ns + config.timings.tcas_ns);
+  config.timings.trc_ns =
+      std::max(config.timings.trc_ns, config.timings.tras_ns + config.timings.trp_ns);
   config.energy.read_pj_per_bit = point.read_energy_pj_per_bit;
   config.energy.write_pj_per_bit = point.write_energy_pj_per_bit;
   config.energy.refresh_pj_per_row = 0.0;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/common/bench_runner.h"
+#include "src/check/attach.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/mem/memory_system.h"
@@ -39,6 +40,9 @@ BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim
   // whole nanoseconds otherwise, understating bandwidth by up to 60%.
   sim::Simulator simulator(1e12);
   mem::MemorySystem system(&simulator, config);
+  // In a checked build with MRMSIM_CHECK set, audit every command of the run
+  // (the auditor is passive: measured stats are unchanged).
+  check::ScopedChecker checker(&simulator, &system);
   simulator.SetWorkerThreads(sim_threads);
   const std::uint64_t bytes = 8ull << 20;
   bool done = false;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <random>
 
+#include "src/check/attach.h"
 #include "src/mem/memory_system.h"
 #include "src/sim/simulator.h"
 
@@ -133,6 +134,9 @@ struct MemRunResult {
 inline MemRunResult MemClosedLoop(sim::Simulator& sim, mem::MemorySystem& system,
                                   std::uint64_t total, int window, int read_pct, int seq_pct,
                                   std::uint64_t rng_seed) {
+  // In a checked build with MRMSIM_CHECK set, audit every command of the run
+  // (the auditor is passive: measured stats are unchanged).
+  check::ScopedChecker protocol_audit(&sim, &system);
   const std::uint64_t start_events = sim.events_executed();
   const std::uint64_t capacity = system.capacity_bytes();
   const std::uint64_t line = system.config().access_bytes;

@@ -1,0 +1,58 @@
+#include "src/check/attach.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check_hooks.h"
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace check {
+
+bool CheckRequestedByEnv() {
+  const char* value = std::getenv("MRMSIM_CHECK");
+  return value != nullptr && value[0] != '\0' && std::strcmp(value, "0") != 0;
+}
+
+ScopedChecker::ScopedChecker(sim::Simulator* simulator, mem::MemorySystem* system, bool force)
+    : system_(system) {
+  if (!kCheckedHooks || system == nullptr || (!force && !CheckRequestedByEnv())) {
+    return;
+  }
+  checker_ = std::make_unique<ProtocolChecker>(system->config(), simulator->ticks_per_second());
+  system->SetCommandObserver(checker_.get());
+}
+
+ScopedChecker::~ScopedChecker() {
+  if (!checker_) {
+    return;
+  }
+  system_->SetCommandObserver(nullptr);
+  std::fprintf(stderr, "[mrmsim] protocol audit: %llu commands, %llu violations\n",
+               static_cast<unsigned long long>(checker_->commands_observed()),
+               static_cast<unsigned long long>(checker_->violation_count()));
+  MRM_CHECK(checker_->violation_count() == 0) << "\n" << checker_->Report();
+}
+
+ScopedMrmChecker::ScopedMrmChecker(mrmcore::MrmDevice* device, bool force) : device_(device) {
+  if (!kCheckedHooks || device == nullptr || (!force && !CheckRequestedByEnv())) {
+    return;
+  }
+  checker_ = std::make_unique<MrmChecker>(device->config(), &device->tradeoff());
+  device->SetObserver(checker_.get());
+}
+
+ScopedMrmChecker::~ScopedMrmChecker() {
+  if (!checker_) {
+    return;
+  }
+  device_->SetObserver(nullptr);
+  std::fprintf(stderr, "[mrmsim] mrm audit: %llu events, %llu violations\n",
+               static_cast<unsigned long long>(checker_->events_observed()),
+               static_cast<unsigned long long>(checker_->violation_count()));
+  MRM_CHECK(checker_->violation_count() == 0) << "\n" << checker_->Report();
+}
+
+}  // namespace check
+}  // namespace mrm

@@ -1,0 +1,70 @@
+// RAII attachment of the auditors to a running simulation.
+//
+// A ScopedChecker (memory system) or ScopedMrmChecker (MRM device) decides at
+// construction whether auditing is on: the build must define MRMSIM_CHECKED
+// (otherwise the hook sites do not exist and attaching would observe nothing)
+// and the run must opt in, either programmatically (`force`) or through the
+// MRMSIM_CHECK environment variable. When inactive, construction is free and
+// the simulation is untouched.
+//
+// On destruction the scope detaches the observer, prints a one-line audit
+// summary to stderr, and — if any violation was recorded — prints the full
+// diagnostic report and aborts, so a checked bench or test run cannot pass
+// while the simulator breaks its own protocol. The auditors never mutate
+// simulation state, so checked and unchecked runs produce bit-identical
+// statistics.
+
+#ifndef MRMSIM_SRC_CHECK_ATTACH_H_
+#define MRMSIM_SRC_CHECK_ATTACH_H_
+
+#include <memory>
+
+#include "src/check/mrm_checker.h"
+#include "src/check/protocol_checker.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace check {
+
+// True when the MRMSIM_CHECK environment variable is set to anything but ""
+// or "0".
+bool CheckRequestedByEnv();
+
+class ScopedChecker {
+ public:
+  ScopedChecker(sim::Simulator* simulator, mem::MemorySystem* system, bool force = false);
+  ~ScopedChecker();
+
+  ScopedChecker(const ScopedChecker&) = delete;
+  ScopedChecker& operator=(const ScopedChecker&) = delete;
+
+  bool active() const { return checker_ != nullptr; }
+  const ProtocolChecker* checker() const { return checker_.get(); }
+
+ private:
+  mem::MemorySystem* system_;
+  std::unique_ptr<ProtocolChecker> checker_;
+};
+
+class ScopedMrmChecker {
+ public:
+  explicit ScopedMrmChecker(mrmcore::MrmDevice* device, bool force = false);
+  ~ScopedMrmChecker();
+
+  ScopedMrmChecker(const ScopedMrmChecker&) = delete;
+  ScopedMrmChecker& operator=(const ScopedMrmChecker&) = delete;
+
+  bool active() const { return checker_ != nullptr; }
+  const MrmChecker* checker() const { return checker_.get(); }
+
+ private:
+  mrmcore::MrmDevice* device_;
+  std::unique_ptr<MrmChecker> checker_;
+};
+
+}  // namespace check
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CHECK_ATTACH_H_

@@ -1,0 +1,172 @@
+#include "src/check/mrm_checker.h"
+
+#include <sstream>
+
+namespace mrm {
+namespace check {
+namespace {
+
+const char* ZoneStateName(int state) {
+  switch (state) {
+    case 0:
+      return "empty";
+    case 1:
+      return "open";
+    case 2:
+      return "full";
+    case 3:
+      return "retired";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MrmChecker::MrmChecker(const mrmcore::MrmDeviceConfig& config,
+                       const cell::RetentionTradeoff* tradeoff)
+    : config_(config), tradeoff_(tradeoff) {
+  zones_.resize(config_.zones);
+}
+
+void MrmChecker::AddViolation(ViolationKind kind, std::string detail) {
+  ++violations_total_;
+  if (violations_.size() >= kMaxViolations) {
+    return;
+  }
+  Violation v;
+  v.kind = kind;
+  v.message = std::string(ViolationName(kind)) + ": " + detail;
+  violations_.push_back(std::move(v));
+}
+
+void MrmChecker::OnZoneOpen(std::uint32_t zone) {
+  ++events_;
+  ZoneAudit& audit = zones_[zone];
+  if (audit.state != ZoneState::kEmpty) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "zone " + std::to_string(zone) + " opened while " +
+                     ZoneStateName(static_cast<int>(audit.state)));
+  }
+  audit.state = ZoneState::kOpen;
+  audit.write_pointer = 0;
+}
+
+void MrmChecker::OnZoneReset(std::uint32_t zone) {
+  ++events_;
+  ZoneAudit& audit = zones_[zone];
+  if (audit.state == ZoneState::kRetired) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "zone " + std::to_string(zone) + " reset while retired");
+  }
+  // Resets clear the data but not the wear: there is no erase, the cells
+  // simply become appendable again.
+  const std::uint64_t base = static_cast<std::uint64_t>(zone) * config_.zone_blocks;
+  for (std::uint32_t i = 0; i < audit.write_pointer; ++i) {
+    auto it = blocks_.find(base + i);
+    if (it != blocks_.end()) {
+      it->second.written = false;
+    }
+  }
+  audit.state = ZoneState::kEmpty;
+  audit.write_pointer = 0;
+}
+
+void MrmChecker::OnZoneRetire(std::uint32_t zone) {
+  ++events_;
+  zones_[zone].state = ZoneState::kRetired;
+}
+
+void MrmChecker::OnAppend(const mrmcore::MrmAppendRecord& record) {
+  ++events_;
+  ZoneAudit& audit = zones_[record.zone];
+  if (audit.state != ZoneState::kOpen) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "append to zone " + std::to_string(record.zone) + " while " +
+                     ZoneStateName(static_cast<int>(audit.state)));
+  }
+  const std::uint64_t expected_block =
+      static_cast<std::uint64_t>(record.zone) * config_.zone_blocks + audit.write_pointer;
+  if (record.block != expected_block || record.write_pointer_after != audit.write_pointer + 1) {
+    AddViolation(ViolationKind::kWritePointer,
+                 "append to zone " + std::to_string(record.zone) + " landed on block " +
+                     std::to_string(record.block) + " (pointer after: " +
+                     std::to_string(record.write_pointer_after) + "), expected block " +
+                     std::to_string(expected_block) + " (pointer after: " +
+                     std::to_string(audit.write_pointer + 1) + ")");
+  }
+  BlockAudit& block = blocks_[record.block];
+  if (record.wear_after != block.wear + 1) {
+    AddViolation(ViolationKind::kWearAccounting,
+                 "block " + std::to_string(record.block) + " reports wear " +
+                     std::to_string(record.wear_after) + " after append, audit expects " +
+                     std::to_string(block.wear + 1));
+  }
+  const cell::OperatingPoint point = tradeoff_->AtRetention(record.requested_retention_s);
+  if (static_cast<double>(block.wear) + 1.0 > point.endurance_cycles) {
+    AddViolation(ViolationKind::kEndurance,
+                 "append to block " + std::to_string(record.block) + " accepted at wear " +
+                     std::to_string(block.wear + 1) + " but the operating point at retention " +
+                     std::to_string(record.requested_retention_s) + "s endures only " +
+                     std::to_string(point.endurance_cycles) + " cycles");
+  }
+  if (record.programmed_retention_s != point.retention_s) {
+    AddViolation(ViolationKind::kRetentionClaim,
+                 "block " + std::to_string(record.block) + " programmed retention " +
+                     std::to_string(record.programmed_retention_s) +
+                     "s disagrees with the trade-off model's " +
+                     std::to_string(point.retention_s) + "s");
+  }
+  block.wear = record.wear_after;
+  block.written = true;
+  block.written_at_s = record.now_s;
+  block.retention_s = record.programmed_retention_s;
+  ++audit.write_pointer;
+  if (audit.write_pointer == config_.zone_blocks && audit.state == ZoneState::kOpen) {
+    audit.state = ZoneState::kFull;
+  }
+}
+
+void MrmChecker::OnRead(const mrmcore::MrmReadRecord& record) {
+  ++events_;
+  const auto it = blocks_.find(record.block);
+  if (it == blocks_.end() || !it->second.written) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "read of block " + std::to_string(record.block) + " that was never appended");
+    return;
+  }
+  const BlockAudit& block = it->second;
+  if (record.written_at_s != block.written_at_s || record.retention_s != block.retention_s) {
+    AddViolation(ViolationKind::kRetentionClaim,
+                 "block " + std::to_string(record.block) + " metadata (written_at " +
+                     std::to_string(record.written_at_s) + "s, retention " +
+                     std::to_string(record.retention_s) + "s) disagrees with the audit (" +
+                     std::to_string(block.written_at_s) + "s, " +
+                     std::to_string(block.retention_s) + "s)");
+  }
+  const bool alive_expected = record.now_s - block.written_at_s <= block.retention_s;
+  if (record.alive_claimed != alive_expected) {
+    AddViolation(ViolationKind::kRetentionClaim,
+                 "block " + std::to_string(record.block) + " claimed " +
+                     (record.alive_claimed ? "alive" : "expired") + " at age " +
+                     std::to_string(record.now_s - block.written_at_s) +
+                     "s against programmed retention " + std::to_string(block.retention_s) + "s");
+  }
+}
+
+std::string MrmChecker::Report(std::size_t max_violations) const {
+  std::ostringstream out;
+  out << "mrm audit: " << events_ << " events, " << violations_total_ << " violations\n";
+  std::size_t shown = 0;
+  for (const Violation& v : violations_) {
+    if (shown == max_violations) {
+      out << "  ... (further violations suppressed)\n";
+      break;
+    }
+    out << "  " << v.message << "\n";
+    ++shown;
+  }
+  return out.str();
+}
+
+}  // namespace check
+}  // namespace mrm

@@ -1,0 +1,92 @@
+// MRM invariant auditor (DESIGN.md §9): independently re-derives the managed
+// retention contract an MrmDevice claims to enforce.
+//
+// The checker keeps its own shadow of the zone lifecycle and per-block wear
+// and write metadata, driven only by the observer records, and cross-checks
+// the device's accounting against it:
+//
+//   zone lifecycle   Empty -> Open -> Full, Reset -> Empty, Retire -> Retired;
+//                    opening a non-empty zone or appending to a non-open zone
+//                    is a violation.
+//   write pointer    every append lands on zone * zone_blocks + write_pointer
+//                    and advances the pointer by exactly one (appends are
+//                    strictly sequential within a zone).
+//   wear accounting  the device's post-append wear counter equals the shadow
+//                    counter + 1 (wear survives zone resets: there is no
+//                    erase, but the cells still age).
+//   endurance        an append accepted by the device must satisfy the
+//                    operating point's endurance at the *requested* retention,
+//                    re-derived through the same RetentionTradeoff model.
+//   retention claim  a read's alive/expired verdict must match the deadline
+//                    re-computed from the shadow's written_at + programmed
+//                    retention.
+//
+// MrmDevice runs on a single simulator thread, so the checker needs no
+// synchronization.
+
+#ifndef MRMSIM_SRC_CHECK_MRM_CHECKER_H_
+#define MRMSIM_SRC_CHECK_MRM_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cell/tradeoff.h"
+#include "src/check/violation.h"
+#include "src/mrm/mrm_config.h"
+#include "src/mrm/mrm_observer.h"
+
+namespace mrm {
+namespace check {
+
+class MrmChecker : public mrmcore::MrmObserver {
+ public:
+  static constexpr std::size_t kMaxViolations = 64;
+
+  // `tradeoff` must be the same model the audited device uses (see
+  // MrmDevice::tradeoff()) and must outlive the checker.
+  MrmChecker(const mrmcore::MrmDeviceConfig& config, const cell::RetentionTradeoff* tradeoff);
+
+  // mrmcore::MrmObserver
+  void OnZoneOpen(std::uint32_t zone) override;
+  void OnZoneReset(std::uint32_t zone) override;
+  void OnZoneRetire(std::uint32_t zone) override;
+  void OnAppend(const mrmcore::MrmAppendRecord& record) override;
+  void OnRead(const mrmcore::MrmReadRecord& record) override;
+
+  std::uint64_t events_observed() const { return events_; }
+  std::uint64_t violation_count() const { return violations_total_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::string Report(std::size_t max_violations = 16) const;
+
+ private:
+  enum class ZoneState { kEmpty, kOpen, kFull, kRetired };
+  struct ZoneAudit {
+    ZoneState state = ZoneState::kEmpty;
+    std::uint32_t write_pointer = 0;
+  };
+  struct BlockAudit {
+    std::uint32_t wear = 0;
+    bool written = false;
+    double written_at_s = 0.0;
+    double retention_s = 0.0;
+  };
+
+  void AddViolation(ViolationKind kind, std::string detail);
+
+  mrmcore::MrmDeviceConfig config_;
+  const cell::RetentionTradeoff* tradeoff_;
+  std::vector<ZoneAudit> zones_;
+  // Sparse shadow of per-block state: lookups only, never iterated, so the
+  // unordered map cannot introduce ordering nondeterminism.
+  std::unordered_map<std::uint64_t, BlockAudit> blocks_;
+  std::uint64_t events_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::vector<Violation> violations_;  // capped at kMaxViolations
+};
+
+}  // namespace check
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CHECK_MRM_CHECKER_H_

@@ -1,0 +1,396 @@
+#include "src/check/protocol_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/mem/controller.h"
+
+namespace mrm {
+namespace check {
+namespace {
+
+// True when `now` respects a `window`-tick gap after `last` (or no such event
+// ever happened).
+bool WindowOk(sim::Tick last, sim::Tick window, sim::Tick now) {
+  return last == sim::kTickNever || now >= last + window;
+}
+
+std::string Describe(const mem::CommandRecord& record) {
+  std::ostringstream out;
+  out << mem::CommandName(record.command) << " @" << record.tick << " ch" << record.channel
+      << " rank" << record.rank;
+  if (record.flat_bank == mem::CommandRecord::kAllBanks) {
+    out << " bank*";
+  } else {
+    out << " bank" << record.flat_bank;
+  }
+  out << " row" << record.row;
+  return out.str();
+}
+
+}  // namespace
+
+ProtocolChecker::ProtocolChecker(const mem::DeviceConfig& config, double ticks_per_second)
+    : ticks_(mem::TimingTicksFromNs(config.timings, ticks_per_second)),
+      ranks_(config.ranks),
+      banks_per_rank_(config.banks_per_rank()) {
+  // Same rounding as the MemorySystem fabric: ceil to whole ticks, >= 1.
+  {
+    const double ticks = config.fabric_latency_ns * 1e-9 * ticks_per_second;
+    const auto rounded = static_cast<sim::Tick>(std::ceil(ticks - 1e-9));
+    fabric_ticks_ = std::max<sim::Tick>(rounded, 1);
+  }
+  channels_.resize(static_cast<std::size_t>(config.channels));
+  for (ChannelAudit& channel : channels_) {
+    channel.banks.resize(static_cast<std::size_t>(config.ranks * banks_per_rank_));
+    channel.ranks.resize(static_cast<std::size_t>(config.ranks));
+    channel.refresh_enabled = config.needs_refresh;
+    for (std::size_t r = 0; r < channel.ranks.size(); ++r) {
+      // Mirrors the controller's staggered initial due ticks exactly,
+      // including the integer tick division.
+      channel.ranks[r].refresh_due =
+          ticks_.trefi + r * (ticks_.trefi / std::max(1, ranks_));
+    }
+  }
+  hub_.last_routed.assign(static_cast<std::size_t>(config.channels), 0);
+}
+
+void ProtocolChecker::AddViolation(ChannelAudit& channel, ViolationKind kind,
+                                   const mem::CommandRecord& record, std::string detail) {
+  ++channel.violations_total;
+  if (channel.violations.size() >= kMaxViolationsPerChannel) {
+    return;
+  }
+  Violation v;
+  v.kind = kind;
+  v.tick = record.tick;
+  v.channel = record.channel;
+  v.message = std::string(ViolationName(kind)) + ": " + Describe(record) + ": " + detail;
+  channel.violations.push_back(std::move(v));
+}
+
+void ProtocolChecker::AddHubViolation(ViolationKind kind, int channel, sim::Tick tick,
+                                      std::string detail) {
+  ++hub_.violations_total;
+  if (hub_.violations.size() >= kMaxViolationsPerChannel) {
+    return;
+  }
+  Violation v;
+  v.kind = kind;
+  v.tick = tick;
+  v.channel = channel;
+  v.message = std::string(ViolationName(kind)) + ": ch" + std::to_string(channel) + " @" +
+              std::to_string(tick) + ": " + detail;
+  hub_.violations.push_back(std::move(v));
+}
+
+void ProtocolChecker::OnCommand(const mem::CommandRecord& record) {
+  ChannelAudit& audit = channels_[static_cast<std::size_t>(record.channel)];
+  ++audit.commands;
+  audit.history[audit.history_count % kHistoryDepth] = record;
+  ++audit.history_count;
+  if (record.tick < audit.last_tick) {
+    AddViolation(audit, ViolationKind::kEpochAdmitOrder, record,
+                 "command issued before the channel's previous command at tick " +
+                     std::to_string(audit.last_tick));
+  }
+  audit.last_tick = std::max(audit.last_tick, record.tick);
+  switch (record.command) {
+    case mem::Command::kActivate:
+      CheckActivate(audit, record);
+      break;
+    case mem::Command::kPrecharge:
+      CheckPrecharge(audit, record);
+      break;
+    case mem::Command::kRead:
+    case mem::Command::kWrite:
+      CheckColumn(audit, record);
+      break;
+    case mem::Command::kRefresh:
+      CheckRefresh(audit, record);
+      break;
+  }
+}
+
+void ProtocolChecker::CheckRefreshOverdue(ChannelAudit& audit, const mem::CommandRecord& record) {
+  if (!audit.refresh_enabled) {
+    return;
+  }
+  const RankAudit& rank = audit.ranks[static_cast<std::size_t>(record.rank)];
+  if (record.tick >= rank.refresh_due) {
+    AddViolation(audit, ViolationKind::kRefreshOverdue, record,
+                 "data command while the rank's refresh has been due since tick " +
+                     std::to_string(rank.refresh_due));
+  }
+}
+
+void ProtocolChecker::CheckActivate(ChannelAudit& audit, const mem::CommandRecord& record) {
+  BankAudit& bank = audit.banks[static_cast<std::size_t>(record.flat_bank)];
+  RankAudit& rank = audit.ranks[static_cast<std::size_t>(record.rank)];
+  const sim::Tick now = record.tick;
+  if (bank.active) {
+    AddViolation(audit, ViolationKind::kBankState,
+                 record, "ACT while row " + std::to_string(bank.open_row) + " is open");
+  }
+  if (!WindowOk(bank.last_pre, ticks_.trp, now)) {
+    AddViolation(audit, ViolationKind::kTrp, record,
+                 "only " + std::to_string(now - bank.last_pre) + " ticks after PRE @" +
+                     std::to_string(bank.last_pre) + ", requires " + std::to_string(ticks_.trp));
+  }
+  if (!WindowOk(bank.last_act, ticks_.trc, now)) {
+    AddViolation(audit, ViolationKind::kTrc, record,
+                 "only " + std::to_string(now - bank.last_act) + " ticks after ACT @" +
+                     std::to_string(bank.last_act) + ", requires " + std::to_string(ticks_.trc));
+  }
+  if (!WindowOk(bank.last_ref, ticks_.trfc, now)) {
+    AddViolation(audit, ViolationKind::kTrfc, record,
+                 "only " + std::to_string(now - bank.last_ref) + " ticks after REF @" +
+                     std::to_string(bank.last_ref) + ", requires " + std::to_string(ticks_.trfc));
+  }
+  if (!WindowOk(rank.last_act, ticks_.trrd, now)) {
+    AddViolation(audit, ViolationKind::kTrrd, record,
+                 "only " + std::to_string(now - rank.last_act) + " ticks after the rank's ACT @" +
+                     std::to_string(rank.last_act) + ", requires " + std::to_string(ticks_.trrd));
+  }
+  if (rank.act_count == 4 && now < rank.recent_acts[rank.act_pos] + ticks_.tfaw) {
+    AddViolation(audit, ViolationKind::kTfaw, record,
+                 "fifth ACT only " + std::to_string(now - rank.recent_acts[rank.act_pos]) +
+                     " ticks after ACT @" + std::to_string(rank.recent_acts[rank.act_pos]) +
+                     ", window is " + std::to_string(ticks_.tfaw));
+  }
+  CheckRefreshOverdue(audit, record);
+  bank.active = true;
+  bank.open_row = record.row;
+  bank.last_act = now;
+  rank.last_act = now;
+  rank.recent_acts[rank.act_pos] = now;
+  rank.act_pos = (rank.act_pos + 1) & 3;
+  if (rank.act_count < 4) {
+    ++rank.act_count;
+  }
+}
+
+void ProtocolChecker::CheckPrecharge(ChannelAudit& audit, const mem::CommandRecord& record) {
+  BankAudit& bank = audit.banks[static_cast<std::size_t>(record.flat_bank)];
+  const sim::Tick now = record.tick;
+  if (!bank.active) {
+    AddViolation(audit, ViolationKind::kBankState, record, "PRE on an idle bank");
+  }
+  if (!WindowOk(bank.last_act, ticks_.tras, now)) {
+    AddViolation(audit, ViolationKind::kTras, record,
+                 "only " + std::to_string(now - bank.last_act) + " ticks after ACT @" +
+                     std::to_string(bank.last_act) + ", requires " + std::to_string(ticks_.tras));
+  }
+  if (!WindowOk(bank.last_rd, ticks_.trtp, now)) {
+    AddViolation(audit, ViolationKind::kTrtp, record,
+                 "only " + std::to_string(now - bank.last_rd) + " ticks after RD @" +
+                     std::to_string(bank.last_rd) + ", requires " + std::to_string(ticks_.trtp));
+  }
+  const sim::Tick write_recovery = ticks_.tcwl + ticks_.tburst + ticks_.twr;
+  if (!WindowOk(bank.last_wr, write_recovery, now)) {
+    AddViolation(audit, ViolationKind::kTwr, record,
+                 "only " + std::to_string(now - bank.last_wr) + " ticks after WR @" +
+                     std::to_string(bank.last_wr) + ", write recovery needs " +
+                     std::to_string(write_recovery));
+  }
+  bank.active = false;
+  bank.last_pre = now;
+}
+
+void ProtocolChecker::CheckColumn(ChannelAudit& audit, const mem::CommandRecord& record) {
+  BankAudit& bank = audit.banks[static_cast<std::size_t>(record.flat_bank)];
+  const sim::Tick now = record.tick;
+  const bool is_read = record.command == mem::Command::kRead;
+  if (!bank.active) {
+    AddViolation(audit, ViolationKind::kBankState, record,
+                 is_read ? "RD on an idle bank" : "WR on an idle bank");
+  } else if (bank.open_row != record.row) {
+    AddViolation(audit, ViolationKind::kRowMismatch, record,
+                 "open row is " + std::to_string(bank.open_row));
+  }
+  if (!WindowOk(bank.last_act, ticks_.trcd, now)) {
+    AddViolation(audit, ViolationKind::kTrcd, record,
+                 "only " + std::to_string(now - bank.last_act) + " ticks after ACT @" +
+                     std::to_string(bank.last_act) + ", requires " + std::to_string(ticks_.trcd));
+  }
+  if (!WindowOk(bank.last_col, ticks_.tccd, now)) {
+    AddViolation(audit, ViolationKind::kTccd, record,
+                 "only " + std::to_string(now - bank.last_col) + " ticks after the last column "
+                 "command @" + std::to_string(bank.last_col) + ", requires " +
+                     std::to_string(ticks_.tccd));
+  }
+  const sim::Tick data_start = now + (is_read ? ticks_.tcas : ticks_.tcwl);
+  if (data_start < audit.bus_free) {
+    AddViolation(audit, ViolationKind::kDataBusOverlap, record,
+                 "data burst starts @" + std::to_string(data_start) +
+                     " but the bus is busy until @" + std::to_string(audit.bus_free));
+  }
+  CheckRefreshOverdue(audit, record);
+  audit.bus_free = std::max(audit.bus_free, data_start + ticks_.tburst);
+  bank.last_col = now;
+  if (is_read) {
+    bank.last_rd = now;
+  } else {
+    bank.last_wr = now;
+  }
+}
+
+void ProtocolChecker::CheckRefresh(ChannelAudit& audit, const mem::CommandRecord& record) {
+  RankAudit& rank = audit.ranks[static_cast<std::size_t>(record.rank)];
+  const sim::Tick now = record.tick;
+  const int first = record.rank * banks_per_rank_;
+  for (int b = first; b < first + banks_per_rank_; ++b) {
+    BankAudit& bank = audit.banks[static_cast<std::size_t>(b)];
+    if (bank.active) {
+      AddViolation(audit, ViolationKind::kBankState, record,
+                   "REF while bank " + std::to_string(b) + " has row " +
+                       std::to_string(bank.open_row) + " open");
+    }
+    if (!WindowOk(bank.last_pre, ticks_.trp, now)) {
+      AddViolation(audit, ViolationKind::kTrp, record,
+                   "REF only " + std::to_string(now - bank.last_pre) + " ticks after bank " +
+                       std::to_string(b) + "'s PRE @" + std::to_string(bank.last_pre) +
+                       ", requires " + std::to_string(ticks_.trp));
+    }
+    if (!WindowOk(bank.last_ref, ticks_.trfc, now)) {
+      AddViolation(audit, ViolationKind::kTrfc, record,
+                   "REF only " + std::to_string(now - bank.last_ref) + " ticks after bank " +
+                       std::to_string(b) + "'s REF @" + std::to_string(bank.last_ref) +
+                       ", requires " + std::to_string(ticks_.trfc));
+    }
+    bank.last_ref = now;
+  }
+  if (audit.refresh_enabled && now < rank.refresh_due) {
+    AddViolation(audit, ViolationKind::kRefreshEarly, record,
+                 "REF before the rank's due tick " + std::to_string(rank.refresh_due));
+  }
+  // Mirrors the controller's catch-up rule: refreshes skipped while the
+  // controller slept idle are dropped, not queued.
+  rank.refresh_due = std::max(rank.refresh_due + ticks_.trefi, now + 1);
+}
+
+void ProtocolChecker::OnRefreshDisabled(int channel) {
+  channels_[static_cast<std::size_t>(channel)].refresh_enabled = false;
+}
+
+void ProtocolChecker::OnRouted(int channel, sim::Tick hub_now, sim::Tick arrival_tick) {
+  if (arrival_tick != sim::TickAdd(hub_now, fabric_ticks_)) {
+    AddHubViolation(ViolationKind::kEpochFabricLatency, channel, arrival_tick,
+                    "arrival tick is not hub time " + std::to_string(hub_now) + " + fabric " +
+                        std::to_string(fabric_ticks_));
+  }
+  sim::Tick& last = hub_.last_routed[static_cast<std::size_t>(channel)];
+  if (arrival_tick < last) {
+    AddHubViolation(ViolationKind::kEpochRouteOrder, channel, arrival_tick,
+                    "arrival routed behind the lane's previous arrival at tick " +
+                        std::to_string(last));
+  }
+  last = std::max(last, arrival_tick);
+}
+
+void ProtocolChecker::OnArrivalAdmitted(int channel, sim::Tick admit_tick, sim::Tick horizon) {
+  ChannelAudit& audit = channels_[static_cast<std::size_t>(channel)];
+  if (admit_tick >= horizon) {
+    Violation v;
+    v.kind = ViolationKind::kEpochHorizon;
+    v.tick = admit_tick;
+    v.channel = channel;
+    v.message = std::string(ViolationName(v.kind)) + ": ch" + std::to_string(channel) +
+                " admitted an arrival @" + std::to_string(admit_tick) +
+                " at/past the epoch horizon " + std::to_string(horizon);
+    ++audit.violations_total;
+    if (audit.violations.size() < kMaxViolationsPerChannel) {
+      audit.violations.push_back(std::move(v));
+    }
+  }
+  if (admit_tick < audit.last_admit) {
+    Violation v;
+    v.kind = ViolationKind::kEpochAdmitOrder;
+    v.tick = admit_tick;
+    v.channel = channel;
+    v.message = std::string(ViolationName(v.kind)) + ": ch" + std::to_string(channel) +
+                " admission @" + std::to_string(admit_tick) +
+                " regressed behind the previous admission @" + std::to_string(audit.last_admit);
+    ++audit.violations_total;
+    if (audit.violations.size() < kMaxViolationsPerChannel) {
+      audit.violations.push_back(std::move(v));
+    }
+  }
+  audit.last_admit = std::max(audit.last_admit, admit_tick);
+}
+
+void ProtocolChecker::OnRecordProcessed(int channel, sim::Tick effect_tick,
+                                        std::uint64_t request_id, sim::Tick hub_now) {
+  if (hub_now != effect_tick) {
+    AddHubViolation(ViolationKind::kEpochEffectTick, channel, effect_tick,
+                    "record applied with the hub clock at " + std::to_string(hub_now));
+  }
+  if (hub_.any_record &&
+      (effect_tick < hub_.last_effect ||
+       (effect_tick == hub_.last_effect && request_id <= hub_.last_request_id))) {
+    AddHubViolation(ViolationKind::kEpochRecordOrder, channel, effect_tick,
+                    "record (tick " + std::to_string(effect_tick) + ", id " +
+                        std::to_string(request_id) + ") applied after (tick " +
+                        std::to_string(hub_.last_effect) + ", id " +
+                        std::to_string(hub_.last_request_id) + ")");
+  }
+  hub_.any_record = true;
+  hub_.last_effect = effect_tick;
+  hub_.last_request_id = request_id;
+}
+
+std::uint64_t ProtocolChecker::commands_observed() const {
+  std::uint64_t total = 0;
+  for (const ChannelAudit& channel : channels_) {
+    total += channel.commands;
+  }
+  return total;
+}
+
+std::uint64_t ProtocolChecker::violation_count() const {
+  std::uint64_t total = hub_.violations_total;
+  for (const ChannelAudit& channel : channels_) {
+    total += channel.violations_total;
+  }
+  return total;
+}
+
+std::vector<Violation> ProtocolChecker::violations() const {
+  std::vector<Violation> all;
+  for (const ChannelAudit& channel : channels_) {
+    all.insert(all.end(), channel.violations.begin(), channel.violations.end());
+  }
+  all.insert(all.end(), hub_.violations.begin(), hub_.violations.end());
+  return all;
+}
+
+std::string ProtocolChecker::Report(std::size_t max_violations) const {
+  std::ostringstream out;
+  out << "protocol audit: " << commands_observed() << " commands, " << violation_count()
+      << " violations\n";
+  std::size_t shown = 0;
+  for (const Violation& v : violations()) {
+    if (shown == max_violations) {
+      out << "  ... (further violations suppressed)\n";
+      break;
+    }
+    out << "  " << v.message << "\n";
+    ++shown;
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const ChannelAudit& channel = channels_[c];
+    if (channel.violations.empty()) {
+      continue;
+    }
+    out << "  ch" << c << " recent commands:\n";
+    const std::uint64_t depth = std::min<std::uint64_t>(channel.history_count, kHistoryDepth);
+    for (std::uint64_t i = channel.history_count - depth; i < channel.history_count; ++i) {
+      out << "    " << Describe(channel.history[i % kHistoryDepth]) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace check
+}  // namespace mrm

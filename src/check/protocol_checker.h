@@ -1,0 +1,144 @@
+// Runtime protocol auditor (DESIGN.md §9): an independent re-derivation of
+// every legality rule the channel controller claims to enforce.
+//
+// The checker deliberately shares no scheduling state with the controller.
+// Where the controller precomputes "earliest next issue" ticks, the auditor
+// records the raw event history (last ACT/PRE/RD/WR/REF per bank, the last
+// four ACTs per rank, the data-bus busy horizon, the refresh due clock) and
+// re-checks each JEDEC window from first principles on every command. The
+// only shared code is TimingTicksFromNs, so both sides agree on what one
+// nanosecond parameter means in ticks — the audit then verifies exactly the
+// constraints the controller claims to honor, via a second implementation.
+//
+// Checked constraints per command:
+//   ACT: bank idle, tRP since PRE, tRC since ACT, tRFC since REF, tRRD since
+//        the rank's last ACT, tFAW over the rank's last four ACTs, and the
+//        rank's refresh not overdue.
+//   PRE: bank active, tRAS since ACT, tRTP since RD, write recovery
+//        (tCWL + tBURST + tWR) since WR.
+//   RD/WR: bank active with the matching row open, tRCD since ACT, tCCD
+//        since the last column command, no data-bus burst overlap, refresh
+//        not overdue.
+//   REF: every bank of the rank idle and past recovery, and the REF not
+//        earlier than the rank's due tick; the due clock then advances by
+//        tREFI (or to now + 1 after an idle skip, mirroring the controller's
+//        documented catch-up rule).
+//
+// Epoch-execution invariants (DESIGN.md §8) are audited through the
+// MemorySystem hooks: every routed request arrives exactly one fabric hop
+// after hub time, per-lane arrival/admission ticks never regress, no
+// admission at or past the epoch horizon, and completion records apply in
+// strictly increasing (effect_tick, request id) order with the hub clock
+// equal to the record's effect tick.
+//
+// Thread safety follows the observer threading contract (src/mem/observer.h):
+// per-channel state is only touched from that channel's lane, hub state only
+// from the serial hub phase, so the checker needs no locks and runs clean
+// under TSAN at any --sim-threads count.
+
+#ifndef MRMSIM_SRC_CHECK_PROTOCOL_CHECKER_H_
+#define MRMSIM_SRC_CHECK_PROTOCOL_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/violation.h"
+#include "src/mem/bank.h"
+#include "src/mem/device_config.h"
+#include "src/mem/observer.h"
+
+namespace mrm {
+namespace check {
+
+class ProtocolChecker : public mem::CommandObserver {
+ public:
+  // Number of recent commands kept per channel for diagnostics.
+  static constexpr std::size_t kHistoryDepth = 32;
+  // Violations recorded per channel before further ones are only counted.
+  static constexpr std::size_t kMaxViolationsPerChannel = 64;
+
+  ProtocolChecker(const mem::DeviceConfig& config, double ticks_per_second);
+
+  // mem::CommandObserver
+  void OnCommand(const mem::CommandRecord& record) override;
+  void OnRefreshDisabled(int channel) override;
+  void OnRouted(int channel, sim::Tick hub_now, sim::Tick arrival_tick) override;
+  void OnArrivalAdmitted(int channel, sim::Tick admit_tick, sim::Tick horizon) override;
+  void OnRecordProcessed(int channel, sim::Tick effect_tick, std::uint64_t request_id,
+                         sim::Tick hub_now) override;
+
+  // Aggregated results. Call only after the simulation quiesces (no lane is
+  // running), e.g. after Simulator::Run returns.
+  std::uint64_t commands_observed() const;
+  std::uint64_t violation_count() const;
+  std::vector<Violation> violations() const;
+
+  // Human-readable report: every recorded violation plus the recent command
+  // history of each offending channel.
+  std::string Report(std::size_t max_violations = 16) const;
+
+ private:
+  struct BankAudit {
+    bool active = false;
+    std::uint64_t open_row = 0;
+    sim::Tick last_act = sim::kTickNever;
+    sim::Tick last_pre = sim::kTickNever;
+    sim::Tick last_rd = sim::kTickNever;
+    sim::Tick last_wr = sim::kTickNever;
+    sim::Tick last_col = sim::kTickNever;  // last RD or WR
+    sim::Tick last_ref = sim::kTickNever;
+  };
+  struct RankAudit {
+    sim::Tick last_act = sim::kTickNever;      // tRRD base
+    sim::Tick recent_acts[4] = {0, 0, 0, 0};   // tFAW ring
+    int act_pos = 0;
+    int act_count = 0;
+    sim::Tick refresh_due = 0;
+  };
+  // Everything a single lane mutates; never touched by another lane.
+  struct ChannelAudit {
+    std::vector<BankAudit> banks;
+    std::vector<RankAudit> ranks;
+    sim::Tick bus_free = 0;       // first tick the data bus is free again
+    sim::Tick last_tick = 0;      // commands must issue in nondecreasing order
+    sim::Tick last_admit = 0;     // arrival admissions must not regress
+    bool refresh_enabled = true;
+    std::uint64_t commands = 0;
+    std::uint64_t violations_total = 0;
+    std::vector<Violation> violations;              // capped
+    mem::CommandRecord history[kHistoryDepth] = {};  // ring of recent commands
+    std::uint64_t history_count = 0;
+  };
+  // Hub-phase state (serial by construction).
+  struct HubAudit {
+    std::vector<sim::Tick> last_routed;  // per channel
+    sim::Tick last_effect = 0;
+    std::uint64_t last_request_id = 0;
+    bool any_record = false;
+    std::uint64_t violations_total = 0;
+    std::vector<Violation> violations;  // capped at kMaxViolationsPerChannel
+  };
+
+  void AddViolation(ChannelAudit& channel, ViolationKind kind, const mem::CommandRecord& record,
+                    std::string detail);
+  void AddHubViolation(ViolationKind kind, int channel, sim::Tick tick, std::string detail);
+
+  void CheckActivate(ChannelAudit& audit, const mem::CommandRecord& record);
+  void CheckPrecharge(ChannelAudit& audit, const mem::CommandRecord& record);
+  void CheckColumn(ChannelAudit& audit, const mem::CommandRecord& record);
+  void CheckRefresh(ChannelAudit& audit, const mem::CommandRecord& record);
+  void CheckRefreshOverdue(ChannelAudit& audit, const mem::CommandRecord& record);
+
+  mem::TimingTicks ticks_;
+  sim::Tick fabric_ticks_ = 1;
+  int ranks_ = 1;
+  int banks_per_rank_ = 1;
+  std::vector<ChannelAudit> channels_;
+  HubAudit hub_;
+};
+
+}  // namespace check
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CHECK_PROTOCOL_CHECKER_H_

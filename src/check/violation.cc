@@ -1,0 +1,65 @@
+#include "src/check/violation.h"
+
+namespace mrm {
+namespace check {
+
+const char* ViolationName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBankState:
+      return "bank-state";
+    case ViolationKind::kRowMismatch:
+      return "row-mismatch";
+    case ViolationKind::kTrcd:
+      return "tRCD";
+    case ViolationKind::kTrp:
+      return "tRP";
+    case ViolationKind::kTras:
+      return "tRAS";
+    case ViolationKind::kTrc:
+      return "tRC";
+    case ViolationKind::kTrrd:
+      return "tRRD";
+    case ViolationKind::kTccd:
+      return "tCCD";
+    case ViolationKind::kTfaw:
+      return "tFAW";
+    case ViolationKind::kTwr:
+      return "tWR";
+    case ViolationKind::kTrtp:
+      return "tRTP";
+    case ViolationKind::kTrfc:
+      return "tRFC";
+    case ViolationKind::kDataBusOverlap:
+      return "data-bus-overlap";
+    case ViolationKind::kRefreshEarly:
+      return "refresh-early";
+    case ViolationKind::kRefreshOverdue:
+      return "refresh-overdue";
+    case ViolationKind::kEpochFabricLatency:
+      return "epoch-fabric-latency";
+    case ViolationKind::kEpochRouteOrder:
+      return "epoch-route-order";
+    case ViolationKind::kEpochHorizon:
+      return "epoch-horizon";
+    case ViolationKind::kEpochAdmitOrder:
+      return "epoch-admit-order";
+    case ViolationKind::kEpochEffectTick:
+      return "epoch-effect-tick";
+    case ViolationKind::kEpochRecordOrder:
+      return "epoch-record-order";
+    case ViolationKind::kZoneLifecycle:
+      return "zone-lifecycle";
+    case ViolationKind::kWritePointer:
+      return "write-pointer";
+    case ViolationKind::kWearAccounting:
+      return "wear-accounting";
+    case ViolationKind::kEndurance:
+      return "endurance";
+    case ViolationKind::kRetentionClaim:
+      return "retention-claim";
+  }
+  return "unknown";
+}
+
+}  // namespace check
+}  // namespace mrm

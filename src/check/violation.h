@@ -1,0 +1,66 @@
+// Structured diagnostics emitted by the verification layer (DESIGN.md §9).
+//
+// Every violation names the constraint it breaks (the enum + ViolationName)
+// and carries a human-readable message with the ticks/ids involved, so a
+// failing checked run points directly at the broken rule rather than at a
+// downstream symptom.
+
+#ifndef MRMSIM_SRC_CHECK_VIOLATION_H_
+#define MRMSIM_SRC_CHECK_VIOLATION_H_
+
+#include <string>
+
+#include "src/sim/event_queue.h"
+
+namespace mrm {
+namespace check {
+
+enum class ViolationKind {
+  // Bank / rank state machine.
+  kBankState,        // command illegal in the bank's current state
+  kRowMismatch,      // RD/WR to a row other than the open one
+  // JEDEC timing windows.
+  kTrcd,             // ACT -> RD/WR too early
+  kTrp,              // PRE -> ACT too early
+  kTras,             // ACT -> PRE too early
+  kTrc,              // ACT -> ACT (same bank) too early
+  kTrrd,             // ACT -> ACT (same rank) too early
+  kTccd,             // column -> column too early
+  kTfaw,             // fifth ACT inside the four-activate window
+  kTwr,              // WR -> PRE before write recovery
+  kTrtp,             // RD -> PRE too early
+  kTrfc,             // REF -> ACT before refresh recovery
+  kDataBusOverlap,   // data burst overlaps the previous one on the channel bus
+  // Refresh cadence.
+  kRefreshEarly,     // REF issued before the rank's refresh was due
+  kRefreshOverdue,   // data command issued at/after the rank's refresh due tick
+  // Epoch-execution invariants (DESIGN.md §8).
+  kEpochFabricLatency,  // arrival tick != hub time + fabric latency
+  kEpochRouteOrder,     // per-lane arrival ticks regressed
+  kEpochHorizon,        // lane admitted an arrival at/after the epoch horizon
+  kEpochAdmitOrder,     // per-lane admissions regressed
+  kEpochEffectTick,     // record applied with hub clock != its effect tick
+  kEpochRecordOrder,    // records not in (effect_tick, request id) order
+  // MRM device invariants.
+  kZoneLifecycle,    // open/reset/retire/append in an illegal zone state
+  kWritePointer,     // append landed off the zone's write pointer
+  kWearAccounting,   // device wear counter disagrees with the audit
+  kEndurance,        // append accepted past the operating point's endurance
+  kRetentionClaim,   // read liveness verdict disagrees with the deadline
+};
+
+// Stable short name of the violated constraint, e.g. "tRCD" or
+// "refresh-overdue". Diagnostics and tests key on these.
+const char* ViolationName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kBankState;
+  std::string message;   // full diagnostic, starts with ViolationName(kind)
+  sim::Tick tick = 0;    // simulation tick of the offending event (0 if n/a)
+  int channel = -1;      // channel of the offending event (-1 if n/a)
+};
+
+}  // namespace check
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CHECK_VIOLATION_H_

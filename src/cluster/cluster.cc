@@ -179,22 +179,22 @@ void Cluster::RescheduleCompletion(std::size_t node_index) {
   }
   node.completion_event = simulator_->ScheduleAfter(
       simulator_->SecondsToTicks(soonest_s) + 1, [this, node_index] {
-        DecodeNode& node = decode_pool_[node_index];
-        node.has_completion_event = false;
-        AdvanceNode(node);
+        DecodeNode& target = decode_pool_[node_index];
+        target.has_completion_event = false;
+        AdvanceNode(target);
         // Retire finished jobs.
-        for (std::size_t i = node.active.size(); i-- > 0;) {
-          Job& job = node.active[i];
+        for (std::size_t i = target.active.size(); i-- > 0;) {
+          Job& job = target.active[i];
           if (job.produced + kEpsilonTokens >=
               static_cast<double>(job.request.output_tokens)) {
             stats_.decode_tokens += static_cast<std::uint64_t>(job.request.output_tokens);
             stats_.e2e_s.Add(simulator_->now_seconds() - job.request.arrival_s);
             stats_.last_completion_s = simulator_->now_seconds();
             ++stats_.completed;
-            node.active.erase(node.active.begin() + static_cast<std::ptrdiff_t>(i));
+            target.active.erase(target.active.begin() + static_cast<std::ptrdiff_t>(i));
           }
         }
-        AdmitFromQueue(node);
+        AdmitFromQueue(target);
         RescheduleCompletion(node_index);
       });
   node.has_completion_event = true;
@@ -217,9 +217,9 @@ void Cluster::PumpColocatedPrefill(std::size_t node_index) {
   simulator_->ScheduleAfter(
       simulator_->SecondsToTicks(service_s),
       [this, node_index, job = std::move(job)]() mutable {
-        DecodeNode& node = decode_pool_[node_index];
-        AdvanceNode(node);  // no decode progress accrued (rate was 0)
-        node.prefill_running = false;
+        DecodeNode& target = decode_pool_[node_index];
+        AdvanceNode(target);  // no decode progress accrued (rate was 0)
+        target.prefill_running = false;
         OnPrefillDone(std::move(job), static_cast<int>(node_index));
         PumpColocatedPrefill(node_index);
         RescheduleCompletion(node_index);

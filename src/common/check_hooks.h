@@ -1,0 +1,27 @@
+// Compile-time switch for the verification layer's observer hooks.
+//
+// The protocol auditor (src/check/, DESIGN.md §9) observes every command the
+// simulator issues through hook points in ChannelController, MemorySystem and
+// MrmDevice. The hooks are compiled in only when the MRMSIM_CHECKED CMake
+// option is ON; otherwise `kCheckedHooks` is false and every hook site is an
+// `if constexpr (false)` branch the compiler removes entirely, so unchecked
+// builds pay nothing — not even a branch on the observer pointer.
+//
+// Even in a checked build, auditing is opt-in at runtime: nothing is checked
+// until an observer is attached (see src/check/attach.h and the MRMSIM_CHECK
+// environment variable).
+
+#ifndef MRMSIM_SRC_COMMON_CHECK_HOOKS_H_
+#define MRMSIM_SRC_COMMON_CHECK_HOOKS_H_
+
+namespace mrm {
+
+#ifdef MRMSIM_CHECKED
+inline constexpr bool kCheckedHooks = true;
+#else
+inline constexpr bool kCheckedHooks = false;
+#endif
+
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_CHECK_HOOKS_H_

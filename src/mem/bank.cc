@@ -1,11 +1,41 @@
 #include "src/mem/bank.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 
 namespace mrm {
 namespace mem {
+namespace {
+
+sim::Tick NsToTicks(double ns, double ticks_per_second) {
+  const double ticks = ns * 1e-9 * ticks_per_second;
+  const auto rounded = static_cast<sim::Tick>(std::ceil(ticks - 1e-9));
+  return std::max<sim::Tick>(rounded, 1);
+}
+
+}  // namespace
+
+TimingTicks TimingTicksFromNs(const Timings& t, double ticks_per_second) {
+  TimingTicks ticks;
+  ticks.tck = NsToTicks(t.tck_ns, ticks_per_second);
+  ticks.trcd = NsToTicks(t.trcd_ns, ticks_per_second);
+  ticks.trp = NsToTicks(t.trp_ns, ticks_per_second);
+  ticks.tcas = NsToTicks(t.tcas_ns, ticks_per_second);
+  ticks.tcwl = NsToTicks(t.tcwl_ns, ticks_per_second);
+  ticks.tras = NsToTicks(t.tras_ns, ticks_per_second);
+  ticks.trc = NsToTicks(t.trc_ns, ticks_per_second);
+  ticks.trrd = NsToTicks(t.trrd_ns, ticks_per_second);
+  ticks.tccd = NsToTicks(t.tccd_ns, ticks_per_second);
+  ticks.tburst = NsToTicks(t.tburst_ns, ticks_per_second);
+  ticks.tfaw = NsToTicks(t.tfaw_ns, ticks_per_second);
+  ticks.twr = NsToTicks(t.twr_ns, ticks_per_second);
+  ticks.trtp = NsToTicks(t.trtp_ns, ticks_per_second);
+  ticks.trfc = NsToTicks(t.trfc_ns, ticks_per_second);
+  ticks.trefi = NsToTicks(t.trefi_ns, ticks_per_second);
+  return ticks;
+}
 
 sim::Tick Bank::EarliestIssue(Command command) const {
   switch (command) {

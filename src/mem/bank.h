@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/mem/request.h"
+#include "src/mem/timing.h"
 #include "src/sim/event_queue.h"
 
 namespace mrm {
@@ -29,6 +30,13 @@ struct TimingTicks {
   sim::Tick trfc = 350;
   sim::Tick trefi = 3900;
 };
+
+// Converts nanosecond timing parameters to controller ticks: each window is
+// rounded up to whole ticks and clamped to at least one tick. Both the
+// controller and the protocol auditor derive their tick windows through this
+// one function, so a checked run audits exactly the constraints the
+// controller claims to honor.
+TimingTicks TimingTicksFromNs(const Timings& timings, double ticks_per_second);
 
 class Bank {
  public:

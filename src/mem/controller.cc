@@ -9,32 +9,6 @@ namespace mrm {
 namespace mem {
 namespace {
 
-sim::Tick NsToTicks(double ns, const sim::Simulator& simulator) {
-  const double ticks = ns * 1e-9 * simulator.ticks_per_second();
-  const auto rounded = static_cast<sim::Tick>(std::ceil(ticks - 1e-9));
-  return std::max<sim::Tick>(rounded, 1);
-}
-
-TimingTicks ConvertTimings(const Timings& t, const sim::Simulator& simulator) {
-  TimingTicks ticks;
-  ticks.tck = NsToTicks(t.tck_ns, simulator);
-  ticks.trcd = NsToTicks(t.trcd_ns, simulator);
-  ticks.trp = NsToTicks(t.trp_ns, simulator);
-  ticks.tcas = NsToTicks(t.tcas_ns, simulator);
-  ticks.tcwl = NsToTicks(t.tcwl_ns, simulator);
-  ticks.tras = NsToTicks(t.tras_ns, simulator);
-  ticks.trc = NsToTicks(t.trc_ns, simulator);
-  ticks.trrd = NsToTicks(t.trrd_ns, simulator);
-  ticks.tccd = NsToTicks(t.tccd_ns, simulator);
-  ticks.tburst = NsToTicks(t.tburst_ns, simulator);
-  ticks.tfaw = NsToTicks(t.tfaw_ns, simulator);
-  ticks.twr = NsToTicks(t.twr_ns, simulator);
-  ticks.trtp = NsToTicks(t.trtp_ns, simulator);
-  ticks.trfc = NsToTicks(t.trfc_ns, simulator);
-  ticks.trefi = NsToTicks(t.trefi_ns, simulator);
-  return ticks;
-}
-
 // JEDEC convention: the refresh window is covered by 8192 REF commands.
 constexpr std::uint64_t kRefreshCommandsPerWindow = 8192;
 
@@ -63,7 +37,7 @@ ChannelController::ChannelController(sim::Simulator* simulator, const DeviceConf
       map_(map),
       channel_(channel),
       policy_(policy),
-      ticks_(ConvertTimings(config->timings, *simulator)) {
+      ticks_(TimingTicksFromNs(config->timings, simulator->ticks_per_second())) {
   const int banks = config_->ranks * config_->banks_per_rank();
   banks_.reserve(static_cast<std::size_t>(banks));
   for (int i = 0; i < banks; ++i) {
@@ -172,7 +146,14 @@ std::uint32_t ChannelController::AcquireInflight() {
   return static_cast<std::uint32_t>(inflight_.size() - 1);
 }
 
-void ChannelController::DisableRefresh() { refresh_enabled_ = false; }
+void ChannelController::DisableRefresh() {
+  refresh_enabled_ = false;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnRefreshDisabled(channel_);
+    }
+  }
+}
 
 void ChannelController::ScheduleWakeAt(sim::Tick when) {
   if (when < simulator_->now()) {
@@ -265,6 +246,7 @@ bool ChannelController::TryRefresh(sim::Tick now) {
       Bank& bank = banks_[static_cast<std::size_t>(b)];
       if (bank.state() == Bank::State::kActive && bank.CanIssue(Command::kPrecharge, now)) {
         bank.Issue(Command::kPrecharge, 0, now);
+        Observe(Command::kPrecharge, rank, b, 0, 0);
         SetRowHitHead(static_cast<std::uint32_t>(b), kNilIndex);
         ++energy_.precharges;
         return true;
@@ -284,6 +266,7 @@ bool ChannelController::TryRefresh(sim::Tick now) {
     for (int b = first; b < last; ++b) {
       banks_[static_cast<std::size_t>(b)].Issue(Command::kRefresh, 0, now);
     }
+    Observe(Command::kRefresh, rank, CommandRecord::kAllBanks, 0, 0);
     energy_.refresh_rows +=
         rows_per_refresh_ * static_cast<std::uint64_t>(config_->banks_per_rank());
     ++stats_.refreshes;
@@ -394,6 +377,7 @@ bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row
       ++stats_.row_hits;
     }
     bank.Issue(cmd, loc.row, now);
+    Observe(cmd, loc.rank, static_cast<int>(pending.bank), loc.row, pending.request.size);
     const sim::Tick data_end = now + data_offset + ticks_.tburst;
     bus_free_ = data_end;
     const std::uint64_t bits = static_cast<std::uint64_t>(pending.request.size) * 8;
@@ -427,6 +411,7 @@ bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row
     // Row conflict: close the row.
     if (bank.CanIssue(Command::kPrecharge, now)) {
       bank.Issue(Command::kPrecharge, 0, now);
+      Observe(Command::kPrecharge, loc.rank, static_cast<int>(pending.bank), 0, 0);
       SetRowHitHead(pending.bank, kNilIndex);
       ++energy_.precharges;
       pending.needed_activate = true;
@@ -438,6 +423,7 @@ bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row
   // Bank idle: open the row.
   if (bank.CanIssue(Command::kActivate, now) && RankActAllowed(loc.rank, now)) {
     bank.Issue(Command::kActivate, loc.row, now);
+    Observe(Command::kActivate, loc.rank, static_cast<int>(pending.bank), loc.row, 0);
     RecordActivate(loc.rank, now);
     ++energy_.activates;
     pending.needed_activate = true;

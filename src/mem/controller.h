@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/check_hooks.h"
 #include "src/common/sliding_queue.h"
 #include "src/common/stats.h"
 #include "src/mem/address_map.h"
 #include "src/mem/bank.h"
 #include "src/mem/device_config.h"
+#include "src/mem/observer.h"
 #include "src/mem/request.h"
 #include "src/sim/simulator.h"
 
@@ -155,6 +157,11 @@ class ChannelController {
   // Disables the refresh engine (for no-refresh ablations).
   void DisableRefresh();
 
+  // Attaches a passive observer that receives every issued command (the
+  // protocol auditor, DESIGN.md §9). Only effective in MRMSIM_CHECKED builds;
+  // otherwise the hook sites are compiled out and the observer never fires.
+  void SetCommandObserver(CommandObserver* observer) { observer_ = observer; }
+
  private:
   static constexpr std::size_t kQueueCapacity = 64;
   static constexpr std::uint32_t kNilIndex = ~std::uint32_t{0};
@@ -211,6 +218,24 @@ class ChannelController {
   bool RankActAllowed(int rank, sim::Tick now) const;
   sim::Tick RankNextActTick(int rank) const;
   void RecordActivate(int rank, sim::Tick now);
+
+  // Auditor hook: reports an issued command. Compiled out (branch and all)
+  // unless MRMSIM_CHECKED is ON.
+  void Observe(Command command, int rank, int flat_bank, std::uint64_t row, std::uint32_t size) {
+    if constexpr (kCheckedHooks) {
+      if (observer_ != nullptr) {
+        CommandRecord record;
+        record.tick = simulator_->now();
+        record.command = command;
+        record.channel = channel_;
+        record.rank = rank;
+        record.flat_bank = flat_bank;
+        record.row = row;
+        record.size = size;
+        observer_->OnCommand(record);
+      }
+    }
+  }
 
   Bank& BankAt(const Location& location) {
     return banks_[static_cast<std::size_t>(
@@ -274,6 +299,7 @@ class ChannelController {
 
   ChannelStats stats_;
   EnergyCounters energy_;
+  CommandObserver* observer_ = nullptr;
   std::function<void()> on_slot_free_;
   std::function<void(const Request&)> on_request_complete_;
   std::function<void(Request&&)> completion_sink_;

@@ -21,8 +21,27 @@ Status DeviceConfig::Validate() const {
   if (timings.tck_ns <= 0.0 || timings.tburst_ns <= 0.0) {
     return Error(name + ": clock/burst timings must be positive");
   }
+  if (timings.trcd_ns <= 0.0 || timings.trp_ns <= 0.0 || timings.tcas_ns <= 0.0 ||
+      timings.tcwl_ns <= 0.0 || timings.tras_ns <= 0.0 || timings.trc_ns <= 0.0 ||
+      timings.trrd_ns <= 0.0 || timings.tccd_ns <= 0.0 || timings.tfaw_ns <= 0.0 ||
+      timings.twr_ns <= 0.0 || timings.trtp_ns <= 0.0) {
+    return Error(name + ": command timings must be positive");
+  }
+  // Cross-field consistency: a row must stay open long enough to complete the
+  // access that opened it, and the ACT-to-ACT cycle must cover open + close.
+  // A config violating these would let the controller "legally" schedule
+  // command sequences a real device rejects.
+  if (timings.tras_ns < timings.trcd_ns + timings.tcas_ns) {
+    return Error(name + ": tRAS must cover tRCD + tCAS (row open through first read)");
+  }
+  if (timings.trc_ns < timings.tras_ns + timings.trp_ns) {
+    return Error(name + ": tRC must cover tRAS + tRP (full activate cycle)");
+  }
   if (needs_refresh && (timings.trefi_ns <= 0.0 || timings.trfc_ns <= 0.0)) {
     return Error(name + ": refresh timings must be positive when refresh is on");
+  }
+  if (needs_refresh && timings.trefi_ns < timings.trfc_ns) {
+    return Error(name + ": tREFI below tRFC leaves no time between refreshes");
   }
   if (fabric_latency_ns < 0.0) {
     return Error(name + ": fabric latency must be non-negative");

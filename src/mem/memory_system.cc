@@ -60,6 +60,11 @@ void MemorySystem::Route(Request request) {
   Lane& lane = lanes_[static_cast<std::size_t>(location.channel)];
   // Hub time only moves forward, so per-lane arrivals stay tick-sorted.
   const sim::Tick arrival_tick = sim::TickAdd(simulator_->now(), fabric_ticks_);
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnRouted(location.channel, simulator_->now(), arrival_tick);
+    }
+  }
   lane.arrivals.push_back({arrival_tick, std::move(request), location});
   work_next_cache_ = std::min(work_next_cache_, arrival_tick);
 }
@@ -178,6 +183,11 @@ std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
       lane.sim->AdvanceTo(arrival);
       Arrival message = std::move(lane.arrivals.front());
       lane.arrivals.pop_front();
+      if constexpr (kCheckedHooks) {
+        if (observer_ != nullptr) {
+          observer_->OnArrivalAdmitted(lane_index, message.tick, horizon);
+        }
+      }
       if (!lane.controller->Enqueue(message.request, message.location)) {
         // Queue full. The backlog preserves arrival order: the controller
         // refuses new work whenever the backlog is non-empty (slots freed
@@ -258,10 +268,17 @@ void MemorySystem::SealEpoch() {
 }
 
 void MemorySystem::ProcessOneRecord() {
-  Lane& lane = lanes_[static_cast<std::size_t>(record_heap_.front())];
+  const int channel = record_heap_.front();
+  Lane& lane = lanes_[static_cast<std::size_t>(channel)];
   --inflight_requests_;
   {
     Record& record = lane.records.front();
+    if constexpr (kCheckedHooks) {
+      if (observer_ != nullptr) {
+        observer_->OnRecordProcessed(channel, record.effect_tick, record.request.id,
+                                     simulator_->now());
+      }
+    }
     if (record.request.on_complete) {
       // Move the callback out first: it may re-enter Enqueue/Transfer, and
       // the Request is dead once the lane queue advances.
@@ -309,6 +326,13 @@ SystemStats MemorySystem::GetStats() const {
 void MemorySystem::DisableRefresh() {
   for (Lane& lane : lanes_) {
     lane.controller->DisableRefresh();
+  }
+}
+
+void MemorySystem::SetCommandObserver(CommandObserver* observer) {
+  observer_ = observer;
+  for (Lane& lane : lanes_) {
+    lane.controller->SetCommandObserver(observer);
   }
 }
 

@@ -25,9 +25,11 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/check_hooks.h"
 #include "src/common/sliding_queue.h"
 #include "src/mem/address_map.h"
 #include "src/mem/controller.h"
+#include "src/mem/observer.h"
 #include "src/mem/device_config.h"
 #include "src/mem/request.h"
 #include "src/sim/epoch_domain.h"
@@ -88,6 +90,12 @@ class MemorySystem : public sim::EpochDomain {
 
   // Turns off refresh in every channel (ablations / MRM-style devices).
   void DisableRefresh();
+
+  // Attaches a strictly passive command/epoch observer (the protocol
+  // auditor, DESIGN.md §9). Forwarded to every channel controller; the
+  // epoch-routing hooks fire on the hub side. Hook sites compile away unless
+  // the build defines MRMSIM_CHECKED. Pass nullptr to detach.
+  void SetCommandObserver(CommandObserver* observer);
 
   std::uint64_t capacity_bytes() const { return config_.capacity_bytes(); }
 
@@ -170,6 +178,7 @@ class MemorySystem : public sim::EpochDomain {
   sim::Tick work_next_cache_ = sim::kTickNever;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t inflight_requests_ = 0;
+  CommandObserver* observer_ = nullptr;
 };
 
 }  // namespace mem

@@ -1,0 +1,76 @@
+// Observation interface for the protocol auditor (DESIGN.md §9).
+//
+// A CommandObserver attached to a ChannelController (or, via
+// MemorySystem::SetCommandObserver, to every controller of a device) receives
+// one OnCommand callback per issued command, after the controller decided the
+// command is legal but before any simulation state depends on the observer —
+// observers are strictly passive and must not mutate simulation state, so an
+// observed run produces bit-identical statistics to an unobserved one.
+//
+// Threading contract: OnCommand and OnArrivalAdmitted fire on the lane that
+// owns `record.channel` / `channel` (one thread per lane per epoch, never two
+// lanes on one channel), while OnRouted and OnRecordProcessed fire on the
+// serial hub phase. An observer that keeps per-channel state plus hub-only
+// state therefore needs no synchronization.
+//
+// The hook sites compile away entirely unless the MRMSIM_CHECKED CMake
+// option is ON (see src/common/check_hooks.h).
+
+#ifndef MRMSIM_SRC_MEM_OBSERVER_H_
+#define MRMSIM_SRC_MEM_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/mem/request.h"
+
+namespace mrm {
+namespace mem {
+
+// One issued command. REF is rank-scoped (the controller refreshes all banks
+// of a rank at once): it is reported once with flat_bank == kAllBanks.
+struct CommandRecord {
+  static constexpr int kAllBanks = -1;
+
+  sim::Tick tick = 0;
+  Command command = Command::kActivate;
+  int channel = 0;
+  int rank = 0;
+  int flat_bank = 0;        // rank-major flat index within the channel
+  std::uint64_t row = 0;    // target row (ACT) or open row (RD/WR); 0 for PRE/REF
+  std::uint32_t size = 0;   // transferred bytes for RD/WR, 0 otherwise
+};
+
+class CommandObserver {
+ public:
+  virtual ~CommandObserver() = default;
+
+  // Every command a controller issues, in issue order per channel.
+  virtual void OnCommand(const CommandRecord& record) = 0;
+
+  // The channel's refresh engine was turned off (ablations / MRM devices);
+  // refresh-cadence invariants stop applying from this point on.
+  virtual void OnRefreshDisabled(int /*channel*/) {}
+
+  // --- MemorySystem epoch plumbing (hooks below are no-ops by default so
+  // --- standalone controller observers need not care) ----------------------
+
+  // A request was posted toward `channel`'s lane at hub time `hub_now`, to be
+  // admitted at `arrival_tick` (one fabric hop later).
+  virtual void OnRouted(int /*channel*/, sim::Tick /*hub_now*/, sim::Tick /*arrival_tick*/) {}
+
+  // `channel`'s lane admitted an arrival at `admit_tick` while running an
+  // epoch bounded by `horizon` (exclusive).
+  virtual void OnArrivalAdmitted(int /*channel*/, sim::Tick /*admit_tick*/,
+                                 sim::Tick /*horizon*/) {}
+
+  // The hub applied the completion record of request `request_id` from
+  // `channel` with the hub clock at `hub_now`; the record's cross-shard
+  // effect tick is `effect_tick`.
+  virtual void OnRecordProcessed(int /*channel*/, sim::Tick /*effect_tick*/,
+                                 std::uint64_t /*request_id*/, sim::Tick /*hub_now*/) {}
+};
+
+}  // namespace mem
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MEM_OBSERVER_H_

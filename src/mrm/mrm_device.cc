@@ -50,6 +50,11 @@ Status MrmDevice::OpenZone(std::uint32_t zone) {
   }
   info.state = ZoneState::kOpen;
   info.write_pointer = 0;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnZoneOpen(zone);
+    }
+  }
   return Status::Ok();
 }
 
@@ -67,12 +72,22 @@ Status MrmDevice::ResetZone(std::uint32_t zone) {
   }
   info.state = ZoneState::kEmpty;
   info.write_pointer = 0;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnZoneReset(zone);
+    }
+  }
   return Status::Ok();
 }
 
 void MrmDevice::RetireZone(std::uint32_t zone) {
   MRM_CHECK(zone < zones_.size());
   zones_[zone].state = ZoneState::kRetired;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnZoneRetire(zone);
+    }
+  }
 }
 
 void MrmDevice::EnqueueOnChannel(int channel, ChannelOp op) {
@@ -144,6 +159,19 @@ Result<BlockId> MrmDevice::AppendBlock(std::uint32_t zone, double retention_s,
   meta.written_at_s = simulator_->now_seconds();
   meta.retention_s = point.retention_s;
   ++meta.wear;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      MrmAppendRecord record;
+      record.zone = zone;
+      record.block = block_id;
+      record.write_pointer_after = info.write_pointer;
+      record.requested_retention_s = retention_s;
+      record.programmed_retention_s = point.retention_s;
+      record.wear_after = meta.wear;
+      record.now_s = meta.written_at_s;
+      observer_->OnAppend(record);
+    }
+  }
 
   // Service time: the programming pulse throttles streaming writes. The
   // reference bandwidth is defined at the max-retention pulse; shorter
@@ -198,6 +226,17 @@ Status MrmDevice::ReadBlock(BlockId block, std::function<void(bool)> on_done) {
   const bool alive = BlockAlive(block);
   if (!alive) {
     ++stats_.expired_reads;
+  }
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      MrmReadRecord record;
+      record.block = block;
+      record.alive_claimed = alive;
+      record.written_at_s = meta.written_at_s;
+      record.retention_s = meta.retention_s;
+      record.now_s = simulator_->now_seconds();
+      observer_->OnRead(record);
+    }
   }
 
   const cell::OperatingPoint point = tradeoff_->AtRetention(meta.retention_s);

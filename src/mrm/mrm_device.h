@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "src/cell/tradeoff.h"
+#include "src/common/check_hooks.h"
 #include "src/common/result.h"
 #include "src/common/stats.h"
 #include "src/mrm/mrm_config.h"
+#include "src/mrm/mrm_observer.h"
 #include "src/sim/simulator.h"
 
 namespace mrm {
@@ -111,6 +113,11 @@ class MrmDevice {
 
   bool Idle() const { return inflight_ == 0; }
 
+  // Attaches a strictly passive observer (the MRM auditor, DESIGN.md §9).
+  // Hook sites compile away unless the build defines MRMSIM_CHECKED. Pass
+  // nullptr to detach.
+  void SetObserver(MrmObserver* observer) { observer_ = observer; }
+
  private:
   struct ChannelOp {
     bool is_read = false;
@@ -137,6 +144,7 @@ class MrmDevice {
   std::vector<ChannelState> channels_;
   MrmDeviceStats stats_;
   std::uint64_t inflight_ = 0;
+  MrmObserver* observer_ = nullptr;
 };
 
 }  // namespace mrmcore

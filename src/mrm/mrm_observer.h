@@ -1,0 +1,54 @@
+// Observation interface for auditing the MRM device + control plane
+// (DESIGN.md §9).
+//
+// An MrmObserver attached to an MrmDevice receives one callback per
+// control-plane-visible state change: zone lifecycle transitions, block
+// appends (with the device's own wear/write-pointer accounting, so a checker
+// can re-derive both independently and compare), and block reads (with the
+// device's liveness claim, so a checker can re-derive the retention deadline
+// and catch a device that serves data past it).
+//
+// Observers are strictly passive. The hook sites compile away entirely
+// unless the MRMSIM_CHECKED CMake option is ON (src/common/check_hooks.h).
+
+#ifndef MRMSIM_SRC_MRM_MRM_OBSERVER_H_
+#define MRMSIM_SRC_MRM_MRM_OBSERVER_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace mrmcore {
+
+struct MrmAppendRecord {
+  std::uint32_t zone = 0;
+  std::uint64_t block = 0;              // global block id the append landed on
+  std::uint32_t write_pointer_after = 0;  // zone write pointer after the append
+  double requested_retention_s = 0.0;   // after default substitution
+  double programmed_retention_s = 0.0;  // achieved (operating-point) retention
+  std::uint32_t wear_after = 0;         // block wear counter after the append
+  double now_s = 0.0;                   // simulation time of the append
+};
+
+struct MrmReadRecord {
+  std::uint64_t block = 0;
+  bool alive_claimed = false;     // the device's "data still valid" verdict
+  double written_at_s = 0.0;      // when the block was programmed
+  double retention_s = 0.0;       // its programmed retention
+  double now_s = 0.0;             // simulation time of the read
+};
+
+class MrmObserver {
+ public:
+  virtual ~MrmObserver() = default;
+
+  virtual void OnZoneOpen(std::uint32_t /*zone*/) {}
+  virtual void OnZoneReset(std::uint32_t /*zone*/) {}
+  virtual void OnZoneRetire(std::uint32_t /*zone*/) {}
+  virtual void OnAppend(const MrmAppendRecord& /*record*/) {}
+  virtual void OnRead(const MrmReadRecord& /*record*/) {}
+};
+
+}  // namespace mrmcore
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_MRM_MRM_OBSERVER_H_

@@ -18,8 +18,8 @@ class TradeoffParamTest : public ::testing::TestWithParam<Technology> {};
 INSTANTIATE_TEST_SUITE_P(AllProgrammable, TradeoffParamTest,
                          ::testing::Values(Technology::kSttMram, Technology::kRram,
                                            Technology::kPcm),
-                         [](const auto& info) {
-                           std::string name = TechnologyName(info.param);
+                         [](const auto& param_info) {
+                           std::string name = TechnologyName(param_info.param);
                            for (char& ch : name) {
                              if (!std::isalnum(static_cast<unsigned char>(ch))) {
                                ch = '_';

@@ -1,0 +1,145 @@
+// End-to-end audit wiring: attach the checkers to a real MemorySystem /
+// MrmDevice run through the production hook sites.
+//
+// In a default build the hook sites compile away (kCheckedHooks == false), so
+// these tests assert the observers see nothing; under -DMRMSIM_CHECKED=ON
+// they assert a full closed-loop run issues thousands of commands with zero
+// violations at 1 and 4 sim threads, and that an observed run's statistics
+// are bit-identical to an unobserved one.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/check/mrm_checker.h"
+#include "src/check/protocol_checker.h"
+#include "src/common/check_hooks.h"
+#include "src/mem/device_config.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/mrm_config.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace {
+
+mem::DeviceConfig SmallConfig() {
+  mem::DeviceConfig config = mem::DDR5Config();
+  config.rows_per_bank = 1 << 10;  // keep the address space small
+  return config;
+}
+
+// Mixed read/write closed loop over a deterministic LCG address stream.
+// Returns the final stats; `observer` may be null.
+mem::SystemStats RunClosedLoop(int threads, mem::CommandObserver* observer) {
+  sim::Simulator sim;
+  if (threads > 1) {
+    sim.SetWorkerThreads(threads);
+  }
+  mem::MemorySystem system(&sim, SmallConfig());
+  system.SetCommandObserver(observer);
+
+  const std::uint64_t line = system.config().access_bytes;
+  const std::uint64_t lines = system.capacity_bytes() / line;
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+
+  constexpr int kTotal = 4000;
+  int issued = 0;
+  int completed = 0;
+  std::function<void()> issue = [&]() {
+    ++issued;
+    mem::Request request;
+    request.kind = next() % 100 < 60 ? mem::Request::Kind::kRead : mem::Request::Kind::kWrite;
+    request.addr = (next() % lines) * line;
+    request.size = static_cast<std::uint32_t>(line);
+    request.on_complete = [&](const mem::Request&) {
+      ++completed;
+      if (issued < kTotal) {
+        issue();
+      }
+    };
+    system.Enqueue(std::move(request));
+  };
+  for (int i = 0; i < 32; ++i) {
+    issue();
+  }
+  sim.Run();
+  EXPECT_EQ(completed, kTotal);
+  EXPECT_TRUE(system.Idle());
+  return system.GetStats();
+}
+
+TEST(CheckEndToEnd, ClosedLoopRunIsAuditClean) {
+  for (const int threads : {1, 4}) {
+    check::ProtocolChecker checker(SmallConfig(), 1e9);
+    RunClosedLoop(threads, &checker);
+    if (kCheckedHooks) {
+      EXPECT_GT(checker.commands_observed(), 1000u) << "threads=" << threads;
+      EXPECT_EQ(checker.violation_count(), 0u)
+          << "threads=" << threads << "\n"
+          << checker.Report();
+    } else {
+      EXPECT_EQ(checker.commands_observed(), 0u)
+          << "hook sites must compile away in unchecked builds";
+    }
+  }
+}
+
+TEST(CheckEndToEnd, ObservedRunStatsAreBitIdentical) {
+  check::ProtocolChecker checker(SmallConfig(), 1e9);
+  const mem::SystemStats observed = RunClosedLoop(1, &checker);
+  const mem::SystemStats unobserved = RunClosedLoop(1, nullptr);
+  EXPECT_TRUE(observed == unobserved)
+      << "attaching the auditor changed the simulation's statistics";
+}
+
+TEST(CheckEndToEnd, MrmDeviceRunIsAuditClean) {
+  sim::Simulator sim;
+  mrmcore::MrmDeviceConfig config;
+  config.zones = 8;
+  config.zone_blocks = 16;
+  config.block_bytes = 4096;
+  mrmcore::MrmDevice device(&sim, config);
+  check::MrmChecker checker(config, &device.tradeoff());
+  device.SetObserver(&checker);
+
+  // Two full zone cycles: open, fill, read back, reset, refill.
+  std::uint32_t completions = 0;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (std::uint32_t zone = 0; zone < config.zones; ++zone) {
+      if (cycle > 0) {
+        ASSERT_TRUE(device.ResetZone(zone).ok());
+      }
+      ASSERT_TRUE(device.OpenZone(zone).ok());
+      for (std::uint32_t b = 0; b < config.zone_blocks; ++b) {
+        auto appended = device.AppendBlock(zone, 3600.0, [&](mrmcore::BlockId) { ++completions; });
+        ASSERT_TRUE(appended.ok()) << appended.status().message();
+      }
+    }
+    sim.Run();
+    for (std::uint64_t block = 0; block < config.total_blocks(); block += 3) {
+      ASSERT_TRUE(device.ReadBlock(block, [&](bool ok) {
+                    EXPECT_TRUE(ok);
+                    ++completions;
+                  }).ok());
+    }
+    sim.Run();
+  }
+  EXPECT_GT(completions, 0u);
+
+  if (kCheckedHooks) {
+    EXPECT_GT(checker.events_observed(), 2u * config.zones * config.zone_blocks);
+    EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+  } else {
+    EXPECT_EQ(checker.events_observed(), 0u)
+        << "hook sites must compile away in unchecked builds";
+  }
+}
+
+}  // namespace
+}  // namespace mrm

@@ -1,0 +1,253 @@
+// Mutation tests for the MRM invariant auditor: drive MrmChecker with
+// hand-built observer records and verify that the managed-retention contract
+// violations are caught with diagnostics naming the broken invariant.
+
+#include "src/check/mrm_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/cell/tradeoff.h"
+#include "src/check/violation.h"
+#include "src/mrm/mrm_config.h"
+
+namespace mrm {
+namespace check {
+namespace {
+
+mrmcore::MrmDeviceConfig TestConfig() {
+  mrmcore::MrmDeviceConfig config;
+  config.name = "mrm-checker-test";
+  config.zones = 4;
+  config.zone_blocks = 2;
+  return config;
+}
+
+class MrmCheckerTest : public testing::Test {
+ protected:
+  MrmCheckerTest()
+      : config_(TestConfig()),
+        tradeoff_(cell::MakeSttMramTradeoff()),
+        checker_(config_, tradeoff_.get()) {}
+
+  // A legal append record for block `index` of `zone`, as the device would
+  // emit it: block id and write pointer derived from the zone geometry,
+  // programmed retention from the trade-off model.
+  mrmcore::MrmAppendRecord Append(std::uint32_t zone, std::uint32_t index,
+                                  std::uint32_t wear_after, double now_s,
+                                  double requested_retention_s = 3600.0) {
+    mrmcore::MrmAppendRecord record;
+    record.zone = zone;
+    record.block = static_cast<std::uint64_t>(zone) * config_.zone_blocks + index;
+    record.write_pointer_after = index + 1;
+    record.requested_retention_s = requested_retention_s;
+    record.programmed_retention_s = tradeoff_->AtRetention(requested_retention_s).retention_s;
+    record.wear_after = wear_after;
+    record.now_s = now_s;
+    return record;
+  }
+
+  mrmcore::MrmReadRecord Read(const mrmcore::MrmAppendRecord& append, double now_s,
+                              bool alive_claimed) {
+    mrmcore::MrmReadRecord record;
+    record.block = append.block;
+    record.alive_claimed = alive_claimed;
+    record.written_at_s = append.now_s;
+    record.retention_s = append.programmed_retention_s;
+    record.now_s = now_s;
+    return record;
+  }
+
+  testing::AssertionResult CaughtAs(ViolationKind kind) {
+    const std::string name = ViolationName(kind);
+    for (const Violation& v : checker_.violations()) {
+      if (v.kind != kind) {
+        continue;
+      }
+      if (v.message.rfind(name + ":", 0) != 0) {
+        return testing::AssertionFailure()
+               << "violation recorded but its diagnostic does not name '" << name
+               << "': " << v.message;
+      }
+      return testing::AssertionSuccess();
+    }
+    auto failure = testing::AssertionFailure() << "no '" << name << "' violation recorded; got "
+                                               << checker_.violation_count() << ":";
+    for (const Violation& v : checker_.violations()) {
+      failure << "\n  " << v.message;
+    }
+    return failure;
+  }
+
+  mrmcore::MrmDeviceConfig config_;
+  std::unique_ptr<cell::RetentionTradeoff> tradeoff_;
+  MrmChecker checker_;
+};
+
+TEST_F(MrmCheckerTest, AcceptsLegalLifecycle) {
+  checker_.OnZoneOpen(0);
+  const auto first = Append(0, 0, 1, 10.0);
+  checker_.OnAppend(first);
+  checker_.OnAppend(Append(0, 1, 1, 20.0));  // zone is now full
+  checker_.OnRead(Read(first, 15.0, /*alive_claimed=*/true));
+  checker_.OnZoneReset(0);
+  checker_.OnZoneOpen(0);
+  checker_.OnAppend(Append(0, 0, 2, 30.0));  // wear carries across the reset
+  EXPECT_EQ(checker_.events_observed(), 7u);
+  EXPECT_EQ(checker_.violation_count(), 0u) << checker_.Report();
+}
+
+TEST_F(MrmCheckerTest, CatchesAppendToUnopenedZone) {
+  checker_.OnAppend(Append(1, 0, 1, 10.0));
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+TEST_F(MrmCheckerTest, CatchesDoubleOpen) {
+  checker_.OnZoneOpen(0);
+  checker_.OnZoneOpen(0);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+TEST_F(MrmCheckerTest, CatchesResetOfRetiredZone) {
+  checker_.OnZoneRetire(2);
+  checker_.OnZoneReset(2);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+TEST_F(MrmCheckerTest, CatchesWritePointerSkip) {
+  checker_.OnZoneOpen(0);
+  checker_.OnAppend(Append(0, 1, 1, 10.0));  // skips index 0
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kWritePointer));
+}
+
+TEST_F(MrmCheckerTest, CatchesWearJump) {
+  checker_.OnZoneOpen(0);
+  checker_.OnAppend(Append(0, 0, 5, 10.0));  // fresh cells must report wear 1
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kWearAccounting));
+}
+
+TEST_F(MrmCheckerTest, CatchesWearErasedByZoneReset) {
+  checker_.OnZoneOpen(0);
+  checker_.OnAppend(Append(0, 0, 1, 10.0));
+  checker_.OnAppend(Append(0, 1, 1, 11.0));
+  checker_.OnZoneReset(0);
+  checker_.OnZoneOpen(0);
+  // There is no erase in MRM: a device that restarts wear at 1 after a reset
+  // is hiding cell aging from the endurance accounting.
+  checker_.OnAppend(Append(0, 0, 1, 20.0));
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kWearAccounting));
+}
+
+TEST_F(MrmCheckerTest, CatchesAppendPastEndurance) {
+  // A trade-off model with an endurance of exactly 2 cycles at the reference
+  // (max-retention) point, so the third append to the same block is illegal.
+  cell::SttMramParams params;
+  params.endurance_ref = 2.0;
+  auto tiny = cell::MakeSttMramTradeoff(params);
+  MrmChecker checker(config_, tiny.get());
+  const double retention = tiny->max_retention_s();
+
+  auto append = [&](std::uint32_t index, std::uint32_t wear_after, double now_s) {
+    mrmcore::MrmAppendRecord record;
+    record.zone = 0;
+    record.block = index;
+    record.write_pointer_after = index + 1;
+    record.requested_retention_s = retention;
+    record.programmed_retention_s = tiny->AtRetention(retention).retention_s;
+    record.wear_after = wear_after;
+    record.now_s = now_s;
+    return record;
+  };
+
+  for (std::uint32_t cycle = 1; cycle <= 2; ++cycle) {
+    checker.OnZoneOpen(0);
+    checker.OnAppend(append(0, cycle, 10.0 * cycle));
+    checker.OnAppend(append(1, cycle, 10.0 * cycle + 1.0));
+    checker.OnZoneReset(0);
+  }
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+
+  checker.OnZoneOpen(0);
+  checker.OnAppend(append(0, 3, 30.0));  // wear 3 > endurance 2
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+
+  bool found = false;
+  for (const Violation& v : checker.violations()) {
+    if (v.kind == ViolationKind::kEndurance) {
+      EXPECT_EQ(v.message.rfind("endurance:", 0), 0u) << v.message;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << checker.Report();
+}
+
+TEST_F(MrmCheckerTest, CatchesProgrammedRetentionOffModel) {
+  checker_.OnZoneOpen(0);
+  auto record = Append(0, 0, 1, 10.0);
+  record.programmed_retention_s *= 2.0;  // claims more than the pulse buys
+  checker_.OnAppend(record);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kRetentionClaim));
+}
+
+TEST_F(MrmCheckerTest, CatchesAliveClaimPastRetention) {
+  checker_.OnZoneOpen(0);
+  const auto append = Append(0, 0, 1, 10.0);
+  checker_.OnAppend(append);
+  // Read far past the programmed deadline but still claimed alive.
+  checker_.OnRead(Read(append, 10.0 + append.programmed_retention_s * 2.0, true));
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kRetentionClaim));
+}
+
+TEST_F(MrmCheckerTest, CatchesExpiredClaimWithinRetention) {
+  checker_.OnZoneOpen(0);
+  const auto append = Append(0, 0, 1, 10.0);
+  checker_.OnAppend(append);
+  checker_.OnRead(Read(append, 11.0, /*alive_claimed=*/false));
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kRetentionClaim));
+}
+
+TEST_F(MrmCheckerTest, CatchesReadMetadataMismatch) {
+  checker_.OnZoneOpen(0);
+  const auto append = Append(0, 0, 1, 10.0);
+  checker_.OnAppend(append);
+  auto read = Read(append, 15.0, true);
+  read.written_at_s = 12.0;  // device lies about the write time
+  checker_.OnRead(read);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kRetentionClaim));
+}
+
+TEST_F(MrmCheckerTest, CatchesReadOfNeverWrittenBlock) {
+  mrmcore::MrmReadRecord record;
+  record.block = 7;
+  record.alive_claimed = true;
+  record.now_s = 5.0;
+  checker_.OnRead(record);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+TEST_F(MrmCheckerTest, CatchesReadOfBlockErasedByReset) {
+  checker_.OnZoneOpen(0);
+  const auto append = Append(0, 0, 1, 10.0);
+  checker_.OnAppend(append);
+  checker_.OnZoneReset(0);
+  checker_.OnRead(Read(append, 15.0, true));  // data is gone after the reset
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace mrm

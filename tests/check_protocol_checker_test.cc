@@ -1,0 +1,350 @@
+// Mutation tests for the protocol auditor: feed hand-built command streams
+// to the ProtocolChecker and verify that a legal stream is accepted and that
+// each seeded protocol violation is caught with a diagnostic naming the
+// violated constraint. These run in every build — the checker's own logic is
+// independent of the MRMSIM_CHECKED hook gating.
+
+#include "src/check/protocol_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/check/violation.h"
+#include "src/mem/device_config.h"
+
+namespace mrm {
+namespace check {
+namespace {
+
+// At 1 GHz one tick is one nanosecond, so the integer timings below are also
+// the checker's derived tick windows.
+constexpr double kTicksPerSecond = 1e9;
+
+constexpr sim::Tick kTrcd = 14;
+constexpr sim::Tick kTrp = 14;
+constexpr sim::Tick kTcas = 14;
+constexpr sim::Tick kTcwl = 10;
+constexpr sim::Tick kTras = 28;  // == tRCD + tCAS
+constexpr sim::Tick kTrc = 42;   // == tRAS + tRP
+constexpr sim::Tick kTrrd = 2;
+constexpr sim::Tick kTccd = 2;
+constexpr sim::Tick kTburst = 2;
+constexpr sim::Tick kTfaw = 16;
+constexpr sim::Tick kTwr = 12;
+constexpr sim::Tick kTrtp = 6;
+constexpr sim::Tick kTrfc = 100;
+constexpr sim::Tick kTrefi = 500;
+constexpr sim::Tick kWriteRecovery = kTcwl + kTburst + kTwr;
+
+mem::DeviceConfig TestConfig(bool needs_refresh) {
+  mem::DeviceConfig config = mem::HBM3Config();
+  config.name = "checker-test";
+  config.channels = 1;
+  config.ranks = 1;
+  config.bank_groups = 2;
+  config.banks_per_group = 4;  // 8 banks: enough for a tFAW scenario
+  config.timings.trcd_ns = static_cast<double>(kTrcd);
+  config.timings.trp_ns = static_cast<double>(kTrp);
+  config.timings.tcas_ns = static_cast<double>(kTcas);
+  config.timings.tcwl_ns = static_cast<double>(kTcwl);
+  config.timings.tras_ns = static_cast<double>(kTras);
+  config.timings.trc_ns = static_cast<double>(kTrc);
+  config.timings.trrd_ns = static_cast<double>(kTrrd);
+  config.timings.tccd_ns = static_cast<double>(kTccd);
+  config.timings.tburst_ns = static_cast<double>(kTburst);
+  config.timings.tfaw_ns = static_cast<double>(kTfaw);
+  config.timings.twr_ns = static_cast<double>(kTwr);
+  config.timings.trtp_ns = static_cast<double>(kTrtp);
+  config.timings.trfc_ns = static_cast<double>(kTrfc);
+  config.timings.trefi_ns = static_cast<double>(kTrefi);
+  config.fabric_latency_ns = 10.0;
+  config.needs_refresh = needs_refresh;
+  EXPECT_TRUE(config.Validate().ok());
+  return config;
+}
+
+mem::CommandRecord Rec(mem::Command command, sim::Tick tick, int flat_bank, std::uint64_t row = 0,
+                       int rank = 0) {
+  mem::CommandRecord record;
+  record.tick = tick;
+  record.command = command;
+  record.channel = 0;
+  record.rank = rank;
+  record.flat_bank = flat_bank;
+  record.row = row;
+  record.size = 64;
+  return record;
+}
+
+// The seeded violation must be recorded AND its diagnostic must lead with the
+// constraint's name, so a failing checked run names what was broken.
+testing::AssertionResult CaughtAs(const ProtocolChecker& checker, ViolationKind kind) {
+  const std::string name = ViolationName(kind);
+  for (const Violation& v : checker.violations()) {
+    if (v.kind != kind) {
+      continue;
+    }
+    if (v.message.rfind(name + ":", 0) != 0) {
+      return testing::AssertionFailure()
+             << "violation recorded but its diagnostic does not name '" << name
+             << "': " << v.message;
+    }
+    return testing::AssertionSuccess();
+  }
+  auto failure = testing::AssertionFailure()
+                 << "no '" << name << "' violation recorded; got " << checker.violation_count()
+                 << ":";
+  for (const Violation& v : checker.violations()) {
+    failure << "\n  " << v.message;
+  }
+  return failure;
+}
+
+TEST(ProtocolChecker, AcceptsLegalStream) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTras, 0));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTras + kTrp, 0, 6));
+  checker.OnCommand(Rec(mem::Command::kWrite, kTras + kTrp + kTrcd, 0, 6));
+  EXPECT_EQ(checker.commands_observed(), 5u);
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+}
+
+TEST(ProtocolChecker, CatchesReadBeforeTrcd) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd - 1, 0, 5));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrcd));
+}
+
+TEST(ProtocolChecker, CatchesActivateBeforeTrp) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTras, 0));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTras + kTrp - 1, 0, 6));
+  // tRC == tRAS + tRP here, so the early ACT breaks both windows.
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrp));
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrc));
+}
+
+TEST(ProtocolChecker, CatchesPrechargeBeforeTras) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTras - 1, 0));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTras));
+}
+
+TEST(ProtocolChecker, CatchesActivateBeforeTrcAlone) {
+  // Stretch tRC past tRAS + tRP so the early second ACT violates only tRC.
+  mem::DeviceConfig config = TestConfig(false);
+  config.timings.trc_ns = 50.0;
+  ProtocolChecker checker(config, kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTras, 0));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTras + kTrp + 1, 0, 6));  // 43 < tRC 50
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrc));
+}
+
+TEST(ProtocolChecker, CatchesActivatePairBeforeTrrd) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTrrd - 1, 1, 5));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrrd));
+}
+
+TEST(ProtocolChecker, CatchesFifthActivateInsideTfaw) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 1));
+  checker.OnCommand(Rec(mem::Command::kActivate, 4, 1, 1));
+  checker.OnCommand(Rec(mem::Command::kActivate, 8, 2, 1));
+  checker.OnCommand(Rec(mem::Command::kActivate, 12, 3, 1));
+  // tRRD-legal (12 + 2 <= 15) but the rolling-four window is 16 ticks.
+  checker.OnCommand(Rec(mem::Command::kActivate, kTfaw - 1, 4, 1));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTfaw));
+}
+
+TEST(ProtocolChecker, CatchesColumnPairBeforeTccd) {
+  // Widen tCCD beyond the burst so the early second RD breaks only tCCD,
+  // not the data-bus check.
+  mem::DeviceConfig config = TestConfig(false);
+  config.timings.tccd_ns = 4.0;
+  ProtocolChecker checker(config, kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd + 3, 0, 5));  // needs +4
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTccd));
+}
+
+TEST(ProtocolChecker, CatchesDataBusOverlapAcrossBanks) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kActivate, 2, 1, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, 16, 0, 5));
+  // Per-bank tCCD does not apply across banks; only the shared bus does.
+  // First burst occupies [30, 32); this one would start at 31.
+  checker.OnCommand(Rec(mem::Command::kRead, 17, 1, 5));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kDataBusOverlap));
+}
+
+TEST(ProtocolChecker, CatchesPrechargeInsideWriteRecovery) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kWrite, kTrcd, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTrcd + kWriteRecovery - 1, 0));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTwr));
+}
+
+TEST(ProtocolChecker, CatchesPrechargeBeforeTrtp) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTras - 3, 0, 5));  // tRCD-legal
+  checker.OnCommand(Rec(mem::Command::kPrecharge, kTras + 1, 0));  // tRAS-legal, tRTP not
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrtp));
+}
+
+TEST(ProtocolChecker, CatchesRowMismatch) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 7));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd, 0, 8));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kRowMismatch));
+}
+
+TEST(ProtocolChecker, CatchesColumnAndPrechargeOnIdleBank) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kRead, 5, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kPrecharge, 40, 1));
+  EXPECT_EQ(checker.violation_count(), 2u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kBankState));
+}
+
+TEST(ProtocolChecker, AcceptsLegalRefreshCadence) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kRefresh, kTrefi, mem::CommandRecord::kAllBanks));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTrefi + kTrfc, 0, 5));
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+}
+
+TEST(ProtocolChecker, CatchesEarlyRefresh) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kRefresh, kTrefi - 1, mem::CommandRecord::kAllBanks));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kRefreshEarly));
+}
+
+TEST(ProtocolChecker, CatchesDataCommandWithRefreshOverdue) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, kTrefi, 0, 5));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kRefreshOverdue));
+}
+
+TEST(ProtocolChecker, RefreshOverdueNotReportedWhenRefreshDisabled) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnRefreshDisabled(0);
+  checker.OnCommand(Rec(mem::Command::kActivate, kTrefi * 3, 0, 5));
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+}
+
+TEST(ProtocolChecker, CatchesActivateInsideTrfc) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kRefresh, kTrefi, mem::CommandRecord::kAllBanks));
+  checker.OnCommand(Rec(mem::Command::kActivate, kTrefi + kTrfc - 1, 0, 5));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kTrfc));
+}
+
+TEST(ProtocolChecker, CatchesRefreshWithRowOpen) {
+  ProtocolChecker checker(TestConfig(true), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 3));
+  checker.OnCommand(Rec(mem::Command::kRefresh, kTrefi, mem::CommandRecord::kAllBanks));
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kBankState));
+}
+
+// --- Epoch-execution invariants (hub / lane hooks) -------------------------
+
+TEST(ProtocolChecker, CatchesWrongFabricLatency) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnRouted(0, 100, 110);  // fabric_latency_ns = 10 -> 10 ticks: legal
+  EXPECT_EQ(checker.violation_count(), 0u);
+  checker.OnRouted(0, 120, 125);
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochFabricLatency));
+}
+
+TEST(ProtocolChecker, CatchesRouteOrderRegression) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnRouted(0, 100, 110);
+  checker.OnRouted(0, 90, 100);  // correct latency, but routed behind 110
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochRouteOrder));
+}
+
+TEST(ProtocolChecker, CatchesAdmissionAtHorizon) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnArrivalAdmitted(0, 99, 100);
+  EXPECT_EQ(checker.violation_count(), 0u);
+  checker.OnArrivalAdmitted(0, 100, 100);
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochHorizon));
+}
+
+TEST(ProtocolChecker, CatchesAdmissionOrderRegression) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnArrivalAdmitted(0, 100, 1000);
+  checker.OnArrivalAdmitted(0, 99, 1000);
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochAdmitOrder));
+}
+
+TEST(ProtocolChecker, CatchesRecordAppliedOffItsEffectTick) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnRecordProcessed(0, 50, 1, 49);
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochEffectTick));
+}
+
+TEST(ProtocolChecker, CatchesRecordOrderRegression) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnRecordProcessed(0, 50, 2, 50);
+  checker.OnRecordProcessed(0, 50, 1, 50);  // same tick, id went backwards
+  EXPECT_EQ(checker.violation_count(), 1u) << checker.Report();
+  EXPECT_TRUE(CaughtAs(checker, ViolationKind::kEpochRecordOrder));
+}
+
+TEST(ProtocolChecker, ReportNamesViolationAndShowsHistory) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  checker.OnCommand(Rec(mem::Command::kActivate, 0, 0, 5));
+  checker.OnCommand(Rec(mem::Command::kRead, kTrcd - 1, 0, 5));
+  const std::string report = checker.Report();
+  EXPECT_NE(report.find("tRCD"), std::string::npos) << report;
+  EXPECT_NE(report.find("recent commands"), std::string::npos) << report;
+  EXPECT_NE(report.find("ACT"), std::string::npos) << report;
+}
+
+TEST(ProtocolChecker, ViolationCapCountsButStopsRecording) {
+  ProtocolChecker checker(TestConfig(false), kTicksPerSecond);
+  const auto n = static_cast<sim::Tick>(ProtocolChecker::kMaxViolationsPerChannel + 8);
+  for (sim::Tick i = 0; i < n; ++i) {
+    // Each RD on an idle bank is one bank-state violation.
+    checker.OnCommand(Rec(mem::Command::kRead, 1000 * (i + 1), 0, 5));
+  }
+  EXPECT_EQ(checker.violation_count(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(checker.violations().size(), ProtocolChecker::kMaxViolationsPerChannel);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace mrm

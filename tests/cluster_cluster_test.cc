@@ -49,8 +49,8 @@ class ClusterModeTest : public ::testing::TestWithParam<ClusterMode> {};
 INSTANTIATE_TEST_SUITE_P(Modes, ClusterModeTest,
                          ::testing::Values(ClusterMode::kColocated,
                                            ClusterMode::kDisaggregated),
-                         [](const auto& info) {
-                           return info.param == ClusterMode::kColocated ? "Colocated"
+                         [](const auto& param_info) {
+                           return param_info.param == ClusterMode::kColocated ? "Colocated"
                                                                         : "Disaggregated";
                          });
 

@@ -1,0 +1,101 @@
+// DeviceConfig::Validate coverage: every built-in preset passes, and each
+// single-field mutation that breaks a physical invariant is rejected with a
+// message naming the constraint.
+
+#include "src/mem/device_config.h"
+
+#include <gtest/gtest.h>
+
+namespace mrm {
+namespace mem {
+namespace {
+
+TEST(DeviceConfigValidate, AllPresetsAreValid) {
+  for (const char* name : {"hbm2e", "hbm3", "hbm3e", "lpddr5x", "ddr5", "gddr6"}) {
+    const auto config = DeviceConfigByName(name);
+    ASSERT_TRUE(config.ok()) << name;
+    const Status valid = config.value().Validate();
+    EXPECT_TRUE(valid.ok()) << name << ": " << valid.message();
+  }
+}
+
+DeviceConfig Base() { return HBM3Config(); }
+
+void ExpectRejected(const DeviceConfig& config, const std::string& expected_substring) {
+  const Status valid = config.Validate();
+  ASSERT_FALSE(valid.ok()) << "expected rejection mentioning '" << expected_substring << "'";
+  EXPECT_NE(valid.message().find(expected_substring), std::string::npos) << valid.message();
+}
+
+TEST(DeviceConfigValidate, RejectsNonPositiveTrcd) {
+  DeviceConfig config = Base();
+  config.timings.trcd_ns = 0.0;
+  ExpectRejected(config, "command timings must be positive");
+}
+
+TEST(DeviceConfigValidate, RejectsNonPositiveTras) {
+  DeviceConfig config = Base();
+  config.timings.tras_ns = -1.0;
+  ExpectRejected(config, "command timings must be positive");
+}
+
+TEST(DeviceConfigValidate, RejectsNonPositiveTfaw) {
+  DeviceConfig config = Base();
+  config.timings.tfaw_ns = 0.0;
+  ExpectRejected(config, "command timings must be positive");
+}
+
+TEST(DeviceConfigValidate, RejectsNonPositiveTccd) {
+  DeviceConfig config = Base();
+  config.timings.tccd_ns = 0.0;
+  ExpectRejected(config, "command timings must be positive");
+}
+
+TEST(DeviceConfigValidate, RejectsNonPositiveTrrdTwrTrtp) {
+  for (auto mutate : {+[](Timings& t) { t.trrd_ns = 0.0; }, +[](Timings& t) { t.twr_ns = 0.0; },
+                      +[](Timings& t) { t.trtp_ns = -2.5; }}) {
+    DeviceConfig config = Base();
+    mutate(config.timings);
+    ExpectRejected(config, "command timings must be positive");
+  }
+}
+
+TEST(DeviceConfigValidate, RejectsTrasBelowTrcdPlusTcas) {
+  DeviceConfig config = Base();
+  // tRAS must be long enough to open the row and complete the first read.
+  config.timings.tras_ns = config.timings.trcd_ns + config.timings.tcas_ns - 0.5;
+  ExpectRejected(config, "tRAS must cover tRCD + tCAS");
+}
+
+TEST(DeviceConfigValidate, RejectsTrcBelowTrasPlusTrp) {
+  DeviceConfig config = Base();
+  config.timings.trc_ns = config.timings.tras_ns + config.timings.trp_ns - 0.5;
+  ExpectRejected(config, "tRC must cover tRAS + tRP");
+}
+
+TEST(DeviceConfigValidate, RejectsTrefiBelowTrfc) {
+  DeviceConfig config = Base();
+  ASSERT_TRUE(config.needs_refresh);
+  config.timings.trefi_ns = config.timings.trfc_ns - 1.0;
+  ExpectRejected(config, "tREFI below tRFC");
+}
+
+TEST(DeviceConfigValidate, TrefiBelowTrfcAllowedWhenRefreshOff) {
+  DeviceConfig config = Base();
+  config.needs_refresh = false;
+  config.timings.trefi_ns = config.timings.trfc_ns - 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(DeviceConfigValidate, EqualityBoundsAreAccepted) {
+  // DDR5 sits exactly at tRAS == tRCD + tCAS and tRC == tRAS + tRP; the
+  // cross-field rules must accept equality.
+  DeviceConfig config = DDR5Config();
+  ASSERT_DOUBLE_EQ(config.timings.tras_ns, config.timings.trcd_ns + config.timings.tcas_ns);
+  ASSERT_DOUBLE_EQ(config.timings.trc_ns, config.timings.tras_ns + config.timings.trp_ns);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace mrm

@@ -46,7 +46,7 @@ INSTANTIATE_TEST_SUITE_P(Presets, MemPropertyTest,
                          ::testing::Values(PresetCase{"hbm3", &SmallHbm3},
                                            PresetCase{"lpddr5x", &SmallLpddr},
                                            PresetCase{"ddr5", &SmallDdr5}),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 TEST_P(MemPropertyTest, RandomTrafficAllCompletesExactlyOnce) {
   const DeviceConfig config = GetParam().make();

@@ -25,10 +25,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(512ull, 4096ull, 65536ull),
                        ::testing::Values(1e-6, 1e-4, 1e-3),
                        ::testing::Values(1e-12, 1e-15, 1e-18)),
-    [](const auto& info) {
-      return "b" + std::to_string(std::get<0>(info.param)) + "_r" +
-             std::to_string(static_cast<int>(-std::log10(std::get<1>(info.param)))) + "_u" +
-             std::to_string(static_cast<int>(-std::log10(std::get<2>(info.param))));
+    [](const auto& param_info) {
+      return "b" + std::to_string(std::get<0>(param_info.param)) + "_r" +
+             std::to_string(static_cast<int>(-std::log10(std::get<1>(param_info.param)))) + "_u" +
+             std::to_string(static_cast<int>(-std::log10(std::get<2>(param_info.param))));
     });
 
 TEST_P(EccGridTest, DesignMeetsTarget) {

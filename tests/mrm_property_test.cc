@@ -32,8 +32,8 @@ MrmDeviceConfig SmallDevice() {
 class MrmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MrmPropertyTest, ::testing::Values(1, 17, 1234, 777777),
-                         [](const auto& info) {
-                           return "seed_" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
                          });
 
 TEST_P(MrmPropertyTest, RandomLifecyclePreservesInvariants) {

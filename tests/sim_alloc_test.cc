@@ -27,7 +27,12 @@ std::atomic<bool> g_counting{false};
 }  // namespace
 
 // Counting hooks. Replacing the global operators is the only way to observe
-// every allocation, including ones hidden inside the standard library.
+// every allocation, including ones hidden inside the standard library. GCC
+// cannot see that these replacements pair new with malloc consistently and
+// flags the free() calls below.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   if (g_counting.load(std::memory_order_relaxed)) {
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);

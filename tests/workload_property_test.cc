@@ -36,7 +36,7 @@ INSTANTIATE_TEST_SUITE_P(Models, EnginePropertyTest,
                          ::testing::Values(ModelCase{"phi3", &Phi3_14B},
                                            ModelCase{"llama70b", &Llama2_70B},
                                            ModelCase{"llama70b_mha", &Llama2_70B_MHA}),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 EngineSummary RunRandomWorkload(const FoundationModelConfig& model, std::uint64_t seed,
                                 int requests, TraceSink* trace = nullptr) {

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulator core (DESIGN.md §9).
+
+The simulator's contract is bit-identical statistics for a given seed at any
+thread count. This lint statically forbids the constructs that silently break
+that contract in the deterministic core (src/sim, src/mem, src/mrm):
+
+  call-rand          libc randomness: rand(), srand(), random(), drand48(), …
+                     (seeded std::mt19937 etc. are fine — they are explicit
+                     and reproducible).
+  random-device      std::random_device — nondeterministic by definition.
+  wall-clock         wall-clock time as an input: time(), clock(),
+                     gettimeofday(), std::chrono ...::now(). Simulation time
+                     must come from the simulator's tick clock.
+  unordered-iter     iterating a std::unordered_{map,set}: iteration order is
+                     implementation- and address-dependent, so anything
+                     ordered or accumulated from it (stats, scheduling)
+                     varies run to run. Lookups are fine; iterate a sorted
+                     copy or keep a side vector instead.
+  pointer-key        std::map/std::set ordered by a pointer key: the order is
+                     the allocator's address order, which varies run to run
+                     (ASLR), so iteration feeds nondeterminism downstream.
+
+A finding can be suppressed, with justification, by putting
+`determinism-lint: allow(<rule>)` in a comment on the same line.
+
+Usage:
+  determinism_lint.py [--root DIR] [PATH...]   # default paths: the core dirs
+  determinism_lint.py --self-test              # verify the lint catches a
+                                               # planted rand() in a fixture
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CORE_DIRS = ("src/sim", "src/mem", "src/mrm")
+CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+
+ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)")
+
+# (rule, regex, message). Patterns run against code with string/char literals
+# blanked and comments removed, so `"rand()"` in a message never trips them.
+PATTERN_RULES = [
+    (
+        "call-rand",
+        re.compile(r"(?<![\w.:>])(?:std\s*::\s*)?(?:s?rand|random|[dlm]rand48)\s*\("),
+        "libc randomness is not reproducible across platforms; use a seeded "
+        "generator (src/common/rng.h)",
+    ),
+    (
+        "random-device",
+        re.compile(r"std\s*::\s*random_device"),
+        "std::random_device is nondeterministic; seed explicitly",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"(?<![\w.:>])(?:std\s*::\s*)?(?:time|clock|gettimeofday|clock_gettime)\s*\("
+            r"|std\s*::\s*chrono\s*::\s*\w+_clock\s*::\s*now"
+        ),
+        "wall-clock time is nondeterministic input; use the simulator tick clock",
+    ),
+    (
+        "pointer-key",
+        re.compile(r"std\s*::\s*(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:<>\s]*\*\s*[,>]"),
+        "ordered container keyed by pointer iterates in address order, which "
+        "varies run to run; key by a stable id",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<[^;=]*?>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*?:\s*(?:\*?\s*)?([A-Za-z_]\w*)\s*\)")
+BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+
+def strip_literals(line):
+    """Blanks out string/char literal contents so patterns don't match them."""
+    out = []
+    quote = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                out.append("..")
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+                out.append(ch)
+            else:
+                out.append(".")
+        else:
+            if ch in "\"'":
+                quote = ch
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def split_code_comment(line):
+    """Returns (code, comment) for a line; block comments are handled by the
+    caller via the in_block flag, this only strips // and same-line /* */."""
+    code = strip_literals(line)
+    comment = ""
+    slash = code.find("//")
+    if slash >= 0:
+        comment = line[slash:]
+        code = code[:slash]
+    # Same-line /* ... */ chunks.
+    code = re.sub(r"/\*.*?\*/", " ", code)
+    return code, comment
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def lint_file(path, display_path=None):
+    display_path = display_path or path
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+    except OSError as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+    # Pass 1: names declared as unordered containers in this file.
+    unordered_names = set()
+    in_block = False
+    for raw in lines:
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        code, _ = split_code_comment(line)
+        if "/*" in code:
+            code = code[: code.index("/*")]
+            in_block = True
+        for match in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(match.group(1))
+
+    # Pass 2: findings.
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        code, comment = split_code_comment(line)
+        if "/*" in code:
+            code = code[: code.index("/*")]
+            in_block = True
+        allowed = set(ALLOW_RE.findall(raw))
+
+        for rule, pattern, message in PATTERN_RULES:
+            if rule in allowed:
+                continue
+            if pattern.search(code):
+                findings.append(Finding(display_path, lineno, rule, message))
+
+        if "unordered-iter" not in allowed and unordered_names:
+            names = set(RANGE_FOR_RE.findall(code)) | set(BEGIN_CALL_RE.findall(code))
+            for name in sorted(names & unordered_names):
+                findings.append(
+                    Finding(
+                        display_path,
+                        lineno,
+                        "unordered-iter",
+                        f"iterating unordered container '{name}': iteration "
+                        "order is address-dependent and varies run to run",
+                    )
+                )
+    return findings
+
+
+def collect_files(root, paths):
+    files = []
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(full):
+            files.append((full, os.path.relpath(full, root)))
+        elif os.path.isdir(full):
+            for dirpath, _, names in os.walk(full):
+                for name in sorted(names):
+                    if name.endswith(CXX_SUFFIXES):
+                        f = os.path.join(dirpath, name)
+                        files.append((f, os.path.relpath(f, root)))
+        else:
+            print(f"error: no such path: {full}", file=sys.stderr)
+            sys.exit(2)
+    files.sort(key=lambda pair: pair[1])
+    return files
+
+
+def run_lint(root, paths):
+    findings = []
+    files = collect_files(root, paths)
+    for full, rel in files:
+        findings.extend(lint_file(full, rel))
+    for finding in findings:
+        print(finding)
+    print(
+        f"determinism-lint: {len(files)} files, {len(findings)} finding"
+        f"{'' if len(findings) == 1 else 's'}"
+    )
+    return 1 if findings else 0
+
+
+SELF_TEST_BAD = """\
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+int Roll() { return rand() % 6; }                      // call-rand
+long Now() { return time(nullptr); }                   // wall-clock
+int Seed() { std::random_device rd; return rd(); }     // random-device
+std::map<int*, int> by_address;                        // pointer-key
+std::unordered_map<int, int> counts;
+int Sum() {
+  int total = 0;
+  for (const auto& entry : counts) {                   // unordered-iter
+    total += entry.second;
+  }
+  return total;
+}
+"""
+
+SELF_TEST_CLEAN = """\
+#include <unordered_map>
+#include <vector>
+
+// A comment saying rand() or time() must not trip the lint.
+const char* kLabel = "rand() inside a string literal";
+std::unordered_map<int, int> lookup_only;
+int Get(int key) { return lookup_only.at(key); }
+std::uint64_t Mix(std::uint64_t x) { return x * 6364136223846793005ull + 1442695040888963407ull; }
+"""
+
+SELF_TEST_SUPPRESSED = """\
+#include <unordered_map>
+std::unordered_map<int, int> table;
+int CountAll() {
+  int n = 0;
+  for (const auto& kv : table) {  // determinism-lint: allow(unordered-iter) -- count is order-free
+    n += kv.second;
+  }
+  return n;
+}
+"""
+
+
+def self_test():
+    expected_bad = {"call-rand", "wall-clock", "random-device", "pointer-key", "unordered-iter"}
+    with tempfile.TemporaryDirectory(prefix="determinism_lint_") as tmp:
+        bad = os.path.join(tmp, "bad.cc")
+        clean = os.path.join(tmp, "clean.cc")
+        suppressed = os.path.join(tmp, "suppressed.cc")
+        for path, content in ((bad, SELF_TEST_BAD), (clean, SELF_TEST_CLEAN),
+                              (suppressed, SELF_TEST_SUPPRESSED)):
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+
+        bad_findings = lint_file(bad)
+        bad_rules = {f.rule for f in bad_findings}
+        clean_findings = lint_file(clean)
+        suppressed_findings = lint_file(suppressed)
+
+        ok = True
+        missing = expected_bad - bad_rules
+        if missing:
+            print(f"self-test FAIL: planted violations not caught: {sorted(missing)}")
+            ok = False
+        if clean_findings:
+            print("self-test FAIL: false positives on the clean fixture:")
+            for f in clean_findings:
+                print(f"  {f}")
+            ok = False
+        if suppressed_findings:
+            print("self-test FAIL: allow() suppression not honored:")
+            for f in suppressed_findings:
+                print(f"  {f}")
+            ok = False
+        if ok:
+            print(
+                f"self-test OK: caught {sorted(bad_rules)} on the planted fixture, "
+                "no false positives, suppression honored"
+            )
+        return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help=f"files/dirs to lint (default: {CORE_DIRS})")
+    parser.add_argument("--root", default=None, help="repo root (default: two dirs up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="plant violations in a scratch fixture and verify they are caught")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    paths = args.paths or list(CORE_DIRS)
+    sys.exit(run_lint(root, paths))
+
+
+if __name__ == "__main__":
+    main()

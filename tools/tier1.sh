@@ -7,6 +7,9 @@
 # Environment:
 #   MRMSIM_SANITIZE=1   add -fsanitize=address,undefined to the build
 #   MRMSIM_ALLOC_TEST=1 also build + run the operator-new counting test
+#   MRMSIM_CHECKED=1    compile the protocol-auditor hook sites in
+#                       (-DMRMSIM_CHECKED=ON); benches then honor MRMSIM_CHECK
+#   MRMSIM_WERROR=1     promote warnings to errors (-DMRMSIM_WERROR=ON)
 #   MRMSIM_BENCH=0      skip the tracked benchmark JSONs (default: emit them,
 #                       unless the build is sanitized)
 #   CMAKE_BUILD_TYPE    build type (default RelWithDebInfo)
@@ -28,6 +31,12 @@ if [[ "${MRMSIM_SANITIZE:-0}" == "1" ]]; then
 fi
 if [[ "${MRMSIM_ALLOC_TEST:-0}" == "1" ]]; then
   CMAKE_ARGS+=(-DMRMSIM_ALLOC_TEST=ON)
+fi
+if [[ "${MRMSIM_CHECKED:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DMRMSIM_CHECKED=ON)
+fi
+if [[ "${MRMSIM_WERROR:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DMRMSIM_WERROR=ON)
 fi
 
 cmake -S . -B "$BUILD_DIR" "${CMAKE_ARGS[@]}"
