@@ -54,5 +54,27 @@ ScopedMrmChecker::~ScopedMrmChecker() {
   MRM_CHECK(checker_->violation_count() == 0) << "\n" << checker_->Report();
 }
 
+ScopedFaultChecker::ScopedFaultChecker(fault::FaultInjector* injector, bool force)
+    : injector_(injector) {
+  if (!kCheckedHooks || injector == nullptr || (!force && !CheckRequestedByEnv())) {
+    return;
+  }
+  checker_ = std::make_unique<FaultChecker>();
+  injector->SetObserver(checker_.get());
+}
+
+ScopedFaultChecker::~ScopedFaultChecker() {
+  if (!checker_) {
+    return;
+  }
+  injector_->SetObserver(nullptr);
+  checker_->Finalize();
+  std::fprintf(stderr, "[mrmsim] fault audit: %llu faults, %llu resolutions, %llu violations\n",
+               static_cast<unsigned long long>(checker_->faults_observed()),
+               static_cast<unsigned long long>(checker_->resolutions_observed()),
+               static_cast<unsigned long long>(checker_->violation_count()));
+  MRM_CHECK(checker_->violation_count() == 0) << "\n" << checker_->Report();
+}
+
 }  // namespace check
 }  // namespace mrm

@@ -19,8 +19,10 @@
 
 #include <memory>
 
+#include "src/check/fault_checker.h"
 #include "src/check/mrm_checker.h"
 #include "src/check/protocol_checker.h"
+#include "src/fault/fault_injector.h"
 #include "src/mem/memory_system.h"
 #include "src/mrm/mrm_device.h"
 #include "src/sim/simulator.h"
@@ -62,6 +64,25 @@ class ScopedMrmChecker {
  private:
   mrmcore::MrmDevice* device_;
   std::unique_ptr<MrmChecker> checker_;
+};
+
+// Attaches a FaultChecker to a FaultInjector for the scope's lifetime. On
+// destruction it finalizes the conservation ledger (every injected fault must
+// have a terminal disposition) before the usual report-and-abort step.
+class ScopedFaultChecker {
+ public:
+  explicit ScopedFaultChecker(fault::FaultInjector* injector, bool force = false);
+  ~ScopedFaultChecker();
+
+  ScopedFaultChecker(const ScopedFaultChecker&) = delete;
+  ScopedFaultChecker& operator=(const ScopedFaultChecker&) = delete;
+
+  bool active() const { return checker_ != nullptr; }
+  const FaultChecker* checker() const { return checker_.get(); }
+
+ private:
+  fault::FaultInjector* injector_;
+  std::unique_ptr<FaultChecker> checker_;
 };
 
 }  // namespace check

@@ -1,0 +1,93 @@
+#include "src/check/fault_checker.h"
+
+#include <sstream>
+
+namespace mrm {
+namespace check {
+
+void FaultChecker::OnFault(const fault::FaultRecord& record) {
+  ++events_;
+  ++faults_;
+  const int kind = static_cast<int>(record.kind);
+  if (kind >= 0 && kind < kKindCount) {
+    ++injected_by_kind_[kind];
+  }
+  ++open_[Key(kind, record.entity)];
+}
+
+void FaultChecker::OnResolution(const fault::ResolutionRecord& record) {
+  ++events_;
+  ++resolutions_;
+  const int kind = static_cast<int>(record.kind);
+  if (kind >= 0 && kind < kKindCount) {
+    ++resolved_by_kind_[kind];
+  }
+  const auto it = open_.find(Key(kind, record.entity));
+  if (it == open_.end() || it->second == 0) {
+    std::ostringstream detail;
+    detail << ViolationName(ViolationKind::kFaultUnmatched) << ": resolution '"
+           << fault::FaultResolutionName(record.resolution) << "' for "
+           << fault::FaultKindName(record.kind) << " on entity " << record.entity
+           << " with no open fault";
+    AddViolation(ViolationKind::kFaultUnmatched, detail.str());
+    return;
+  }
+  if (--it->second == 0) {
+    open_.erase(it);
+  }
+}
+
+void FaultChecker::Finalize() {
+  for (const auto& [key, count] : open_) {
+    std::ostringstream detail;
+    detail << ViolationName(ViolationKind::kFaultUnresolved) << ": " << count << " "
+           << fault::FaultKindName(static_cast<fault::FaultKind>(key.first))
+           << " fault(s) on entity " << key.second << " never resolved";
+    AddViolation(ViolationKind::kFaultUnresolved, detail.str());
+  }
+  open_.clear();
+}
+
+std::uint64_t FaultChecker::unresolved_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : open_) {
+    (void)key;
+    total += count;
+  }
+  return total;
+}
+
+void FaultChecker::AddViolation(ViolationKind kind, std::string detail) {
+  ++violations_total_;
+  if (violations_.size() < kMaxViolations) {
+    Violation violation;
+    violation.kind = kind;
+    violation.message = std::move(detail);
+    violations_.push_back(std::move(violation));
+  }
+}
+
+std::string FaultChecker::Report(std::size_t max_violations) const {
+  std::ostringstream out;
+  out << "fault audit: " << faults_ << " faults, " << resolutions_ << " resolutions, "
+      << unresolved_count() << " open, " << violations_total_ << " violations\n";
+  for (int kind = 0; kind < kKindCount; ++kind) {
+    if (injected_by_kind_[kind] == 0 && resolved_by_kind_[kind] == 0) {
+      continue;
+    }
+    out << "  " << fault::FaultKindName(static_cast<fault::FaultKind>(kind)) << ": "
+        << injected_by_kind_[kind] << " injected, " << resolved_by_kind_[kind] << " resolved\n";
+  }
+  std::size_t shown = 0;
+  for (const Violation& violation : violations_) {
+    if (shown++ >= max_violations) {
+      out << "  ... " << (violations_total_ - max_violations) << " more\n";
+      break;
+    }
+    out << "  " << violation.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace check
+}  // namespace mrm

@@ -1,0 +1,82 @@
+// Fault conservation auditor (DESIGN.md §10): proves that every fault the
+// injector fires receives exactly one terminal disposition from the recovery
+// machinery.
+//
+// The injector reports each injected fault (FaultRecord) and each recovery
+// action (ResolutionRecord) naming the same (kind, entity) pair — the block,
+// zone or request the fault landed on. The checker keeps a ledger of open
+// faults per (kind, entity):
+//
+//   open fault       OnFault increments the ledger entry.
+//   resolution       OnResolution decrements it; a resolution with no open
+//                    fault on that entity is a kFaultUnmatched violation
+//                    (the recovery path claimed credit for a fault that was
+//                    never injected, or resolved the same fault twice).
+//   conservation     Finalize() converts every still-open entry into a
+//                    kFaultUnresolved violation: an injected fault must not
+//                    simply vanish — it was retried clean, scrubbed, dropped
+//                    to the owner, retired with its zone, delivered late, or
+//                    accounted in the RAS statistics.
+//
+// The injector runs on the hub simulator thread, so the checker needs no
+// synchronization.
+
+#ifndef MRMSIM_SRC_CHECK_FAULT_CHECKER_H_
+#define MRMSIM_SRC_CHECK_FAULT_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/violation.h"
+#include "src/fault/fault_observer.h"
+
+namespace mrm {
+namespace check {
+
+class FaultChecker : public fault::FaultObserver {
+ public:
+  static constexpr std::size_t kMaxViolations = 64;
+  static constexpr int kKindCount = static_cast<int>(fault::FaultKind::kDroppedCompletion) + 1;
+
+  // fault::FaultObserver
+  void OnFault(const fault::FaultRecord& record) override;
+  void OnResolution(const fault::ResolutionRecord& record) override;
+
+  // Flushes the conservation check: every fault still open in the ledger
+  // becomes a kFaultUnresolved violation. Call once, after the simulation
+  // has drained (the scoped attachment does this on detach).
+  void Finalize();
+
+  std::uint64_t events_observed() const { return events_; }
+  std::uint64_t faults_observed() const { return faults_; }
+  std::uint64_t resolutions_observed() const { return resolutions_; }
+  // Injected faults currently without a terminal disposition.
+  std::uint64_t unresolved_count() const;
+  std::uint64_t violation_count() const { return violations_total_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::string Report(std::size_t max_violations = 16) const;
+
+ private:
+  // Ledger key: (kind, entity). Ordered so the report lists leftovers
+  // deterministically.
+  using Key = std::pair<int, std::uint64_t>;
+
+  void AddViolation(ViolationKind kind, std::string detail);
+
+  std::map<Key, std::uint64_t> open_;  // open fault count per (kind, entity)
+  std::uint64_t injected_by_kind_[kKindCount] = {};
+  std::uint64_t resolved_by_kind_[kKindCount] = {};
+  std::uint64_t events_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t resolutions_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::vector<Violation> violations_;  // capped at kMaxViolations
+};
+
+}  // namespace check
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_CHECK_FAULT_CHECKER_H_

@@ -76,6 +76,45 @@ void MrmChecker::OnZoneRetire(std::uint32_t zone) {
   zones_[zone].state = ZoneState::kRetired;
 }
 
+void MrmChecker::OnZoneFail(std::uint32_t zone) {
+  ++events_;
+  zones_[zone].failed = true;
+}
+
+void MrmChecker::OnSlotBurn(const mrmcore::MrmSlotBurnRecord& record) {
+  ++events_;
+  ZoneAudit& audit = zones_[record.zone];
+  if (audit.state != ZoneState::kOpen) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "slot burn in zone " + std::to_string(record.zone) + " while " +
+                     ZoneStateName(static_cast<int>(audit.state)));
+  }
+  const std::uint64_t expected_block =
+      static_cast<std::uint64_t>(record.zone) * config_.zone_blocks + audit.write_pointer;
+  if (record.block != expected_block || record.write_pointer_after != audit.write_pointer + 1) {
+    AddViolation(ViolationKind::kWritePointer,
+                 "slot burn in zone " + std::to_string(record.zone) + " consumed block " +
+                     std::to_string(record.block) + " (pointer after: " +
+                     std::to_string(record.write_pointer_after) + "), expected block " +
+                     std::to_string(expected_block) + " (pointer after: " +
+                     std::to_string(audit.write_pointer + 1) + ")");
+  }
+  BlockAudit& block = blocks_[record.block];
+  // The failed program attempt still wears the cells by one cycle.
+  if (record.wear_after != block.wear + 1) {
+    AddViolation(ViolationKind::kWearAccounting,
+                 "block " + std::to_string(record.block) + " reports wear " +
+                     std::to_string(record.wear_after) + " after slot burn, audit expects " +
+                     std::to_string(block.wear + 1));
+  }
+  block.wear = record.wear_after;
+  block.written = false;  // a burned slot holds no data
+  ++audit.write_pointer;
+  if (audit.write_pointer == config_.zone_blocks && audit.state == ZoneState::kOpen) {
+    audit.state = ZoneState::kFull;
+  }
+}
+
 void MrmChecker::OnAppend(const mrmcore::MrmAppendRecord& record) {
   ++events_;
   ZoneAudit& audit = zones_[record.zone];
@@ -83,6 +122,10 @@ void MrmChecker::OnAppend(const mrmcore::MrmAppendRecord& record) {
     AddViolation(ViolationKind::kZoneLifecycle,
                  "append to zone " + std::to_string(record.zone) + " while " +
                      ZoneStateName(static_cast<int>(audit.state)));
+  }
+  if (audit.failed) {
+    AddViolation(ViolationKind::kZoneLifecycle,
+                 "append to zone " + std::to_string(record.zone) + " after zone failure");
   }
   const std::uint64_t expected_block =
       static_cast<std::uint64_t>(record.zone) * config_.zone_blocks + audit.write_pointer;

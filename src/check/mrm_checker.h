@@ -52,7 +52,9 @@ class MrmChecker : public mrmcore::MrmObserver {
   void OnZoneOpen(std::uint32_t zone) override;
   void OnZoneReset(std::uint32_t zone) override;
   void OnZoneRetire(std::uint32_t zone) override;
+  void OnZoneFail(std::uint32_t zone) override;
   void OnAppend(const mrmcore::MrmAppendRecord& record) override;
+  void OnSlotBurn(const mrmcore::MrmSlotBurnRecord& record) override;
   void OnRead(const mrmcore::MrmReadRecord& record) override;
 
   std::uint64_t events_observed() const { return events_; }
@@ -65,6 +67,7 @@ class MrmChecker : public mrmcore::MrmObserver {
   struct ZoneAudit {
     ZoneState state = ZoneState::kEmpty;
     std::uint32_t write_pointer = 0;
+    bool failed = false;  // whole-zone fault reported; appends must stop
   };
   struct BlockAudit {
     std::uint32_t wear = 0;

@@ -57,6 +57,10 @@ const char* ViolationName(ViolationKind kind) {
       return "endurance";
     case ViolationKind::kRetentionClaim:
       return "retention-claim";
+    case ViolationKind::kFaultUnmatched:
+      return "fault-unmatched";
+    case ViolationKind::kFaultUnresolved:
+      return "fault-unresolved";
   }
   return "unknown";
 }

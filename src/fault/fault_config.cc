@@ -1,0 +1,119 @@
+#include "src/fault/fault_config.h"
+
+#include <cstdlib>
+
+namespace mrm {
+namespace fault {
+namespace {
+
+Status CheckProbability(const char* name, double value) {
+  if (value < 0.0 || value > 1.0) {
+    return Error(std::string("fault config: ") + name + " must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+Status CheckNonNegative(const char* name, double value) {
+  if (value < 0.0) {
+    return Error(std::string("fault config: ") + name + " must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultConfig::Validate() const {
+  struct Rule {
+    const char* name;
+    double value;
+    bool is_probability;
+  };
+  const Rule rules[] = {
+      {"transient_rber", transient_rber, true},
+      {"stuck_block_prob", stuck_block_prob, true},
+      {"stuck_wear_fraction", stuck_wear_fraction, true},
+      {"zone_failure_prob", zone_failure_prob, true},
+      {"channel_stall_prob", channel_stall_prob, true},
+      {"drop_completion_prob", drop_completion_prob, true},
+      {"silent_fraction", silent_fraction, true},
+      {"channel_stall_ns", channel_stall_ns, false},
+      {"completion_retry_ns", completion_retry_ns, false},
+  };
+  for (const Rule& rule : rules) {
+    const Status status = rule.is_probability ? CheckProbability(rule.name, rule.value)
+                                              : CheckNonNegative(rule.name, rule.value);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  if (transient_rber > 0.5) {
+    return Error("fault config: transient_rber must be <= 0.5 (data is noise beyond)");
+  }
+  return Status::Ok();
+}
+
+Result<FaultConfig> ParseFaultSpec(const std::string& spec, FaultConfig base) {
+  FaultConfig config = base;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Error("fault spec: expected key=value, got '" + entry + "'");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double number = std::strtod(value.c_str(), &parse_end);
+    if (value.empty() || parse_end == nullptr || *parse_end != '\0') {
+      return Error("fault spec: malformed value for '" + key + "': '" + value + "'");
+    }
+    if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(number);
+    } else if (key == "transient_rber") {
+      config.transient_rber = number;
+    } else if (key == "stuck_block_prob") {
+      config.stuck_block_prob = number;
+    } else if (key == "stuck_wear_fraction") {
+      config.stuck_wear_fraction = number;
+    } else if (key == "zone_failure_prob") {
+      config.zone_failure_prob = number;
+    } else if (key == "channel_stall_prob") {
+      config.channel_stall_prob = number;
+    } else if (key == "channel_stall_ns") {
+      config.channel_stall_ns = number;
+    } else if (key == "drop_completion_prob") {
+      config.drop_completion_prob = number;
+    } else if (key == "completion_retry_ns") {
+      config.completion_retry_ns = number;
+    } else if (key == "silent_fraction") {
+      config.silent_fraction = number;
+    } else {
+      return Error("fault spec: unknown key '" + key + "'");
+    }
+  }
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    return valid.error();
+  }
+  return config;
+}
+
+Result<FaultConfig> FaultConfigFromEnv(FaultConfig base) {
+  const char* spec = std::getenv("MRMSIM_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return base;
+  }
+  return ParseFaultSpec(spec, base);
+}
+
+}  // namespace fault
+}  // namespace mrm

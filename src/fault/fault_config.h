@@ -1,0 +1,82 @@
+// Configuration of the deterministic fault injector (DESIGN.md §10).
+//
+// All rates are probabilities per injection opportunity (one read attempt,
+// one append, one routed request, one completion record), rolled through
+// keyed mrm::Rng streams so a (seed, config) pair reproduces every fault
+// bit-for-bit at any worker-thread count. A default-constructed config
+// injects nothing; `enabled()` is the single gate the device and memory
+// system consult before paying any fault-path cost.
+
+#ifndef MRMSIM_SRC_FAULT_FAULT_CONFIG_H_
+#define MRMSIM_SRC_FAULT_FAULT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace mrm {
+namespace fault {
+
+struct FaultConfig {
+  // Seed of every keyed decision stream (see FaultInjector::Roll).
+  std::uint64_t seed = 0;
+
+  // (a) Raw bit errors: additive transient-upset RBER applied on every read
+  // attempt on top of the cell model's RBER(age, retention, wear) curve.
+  // Retries re-roll, so transient upsets are recoverable; the age-driven
+  // component persists.
+  double transient_rber = 0.0;
+
+  // (b) Stuck-at blocks: once a block's wear crosses `stuck_wear_fraction`
+  // of its operating point's endurance bound, each further append fires a
+  // stuck-at fault with probability `stuck_block_prob` (the slot is burned
+  // and the append fails).
+  double stuck_block_prob = 0.0;
+  double stuck_wear_fraction = 0.9;
+
+  // (c) Whole-zone failures: per-append probability that the target zone
+  // fails outright (all of its data becomes uncorrectable and further
+  // appends are rejected until the control plane retires it).
+  double zone_failure_prob = 0.0;
+
+  // (d) Transient fabric faults in mem::MemorySystem: a routed request is
+  // stalled for `channel_stall_ns` before entering the fabric with
+  // probability `channel_stall_prob`; a completion record is dropped and
+  // re-delivered `completion_retry_ns` later with probability
+  // `drop_completion_prob`.
+  double channel_stall_prob = 0.0;
+  double channel_stall_ns = 200.0;
+  double drop_completion_prob = 0.0;
+  double completion_retry_ns = 500.0;
+
+  // Share of detected-uncorrectable codeword events that the decoder
+  // miscorrects silently instead of flagging (silent data corruption).
+  double silent_fraction = 1e-3;
+
+  // True when any injection path can fire; false reproduces the fault-free
+  // simulator exactly (no rolls are drawn at all).
+  bool enabled() const {
+    return transient_rber > 0.0 || stuck_block_prob > 0.0 || zone_failure_prob > 0.0 ||
+           channel_stall_prob > 0.0 || drop_completion_prob > 0.0;
+  }
+
+  Status Validate() const;
+};
+
+// Parses a "key=value,key=value" fault spec (the MRMSIM_FAULTS format, see
+// README "Fault injection"): transient_rber, stuck_block_prob,
+// stuck_wear_fraction, zone_failure_prob, channel_stall_prob,
+// channel_stall_ns, drop_completion_prob, completion_retry_ns,
+// silent_fraction, seed. Unknown keys and malformed values are errors; the
+// result starts from `base` so a spec only overrides what it names.
+Result<FaultConfig> ParseFaultSpec(const std::string& spec, FaultConfig base = {});
+
+// Reads the MRMSIM_FAULTS environment variable; returns `base` unchanged
+// when it is unset or empty.
+Result<FaultConfig> FaultConfigFromEnv(FaultConfig base = {});
+
+}  // namespace fault
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_FAULT_FAULT_CONFIG_H_

@@ -1,0 +1,193 @@
+#include "src/fault/fault_injector.h"
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace mrm {
+namespace fault {
+namespace {
+
+// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReadCorrected:
+      return "read-corrected";
+    case FaultKind::kReadUncorrectable:
+      return "read-uncorrectable";
+    case FaultKind::kReadSilent:
+      return "read-silent";
+    case FaultKind::kStuckBlock:
+      return "stuck-block";
+    case FaultKind::kZoneFailure:
+      return "zone-failure";
+    case FaultKind::kChannelStall:
+      return "channel-stall";
+    case FaultKind::kDroppedCompletion:
+      return "dropped-completion";
+  }
+  return "?";
+}
+
+const char* FaultResolutionName(FaultResolution resolution) {
+  switch (resolution) {
+    case FaultResolution::kRetryCorrected:
+      return "retry-corrected";
+    case FaultResolution::kEmergencyScrub:
+      return "emergency-scrub";
+    case FaultResolution::kDropped:
+      return "dropped";
+    case FaultResolution::kReported:
+      return "reported";
+    case FaultResolution::kZoneRetired:
+      return "zone-retired";
+    case FaultResolution::kDelivered:
+      return "delivered";
+    case FaultResolution::kAccountedInStats:
+      return "accounted-in-stats";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  const Status valid = config_.Validate();
+  MRM_CHECK(valid.ok()) << valid.message();
+}
+
+double FaultInjector::Roll(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const {
+  // Chain the key through the SplitMix64 finalizer; the resulting state
+  // seeds a throwaway Rng whose first variate is the decision. Keyed, not
+  // sequential: the draw is a pure function of (seed, stream, a, b).
+  const std::uint64_t key = Mix64(Mix64(Mix64(config_.seed ^ stream) ^ a) ^ b);
+  Rng rng(key);
+  return rng.NextDouble();
+}
+
+void FaultInjector::ReportFault(FaultKind kind, std::uint64_t entity) {
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      FaultRecord record;
+      record.kind = kind;
+      record.entity = entity;
+      observer_->OnFault(record);
+    }
+  }
+}
+
+void FaultInjector::ReportResolution(FaultKind kind, FaultResolution resolution,
+                                     std::uint64_t entity) {
+  ++stats_.resolutions;
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      ResolutionRecord record;
+      record.kind = kind;
+      record.resolution = resolution;
+      record.entity = entity;
+      observer_->OnResolution(record);
+    }
+  }
+}
+
+FaultInjector::ReadRoll FaultInjector::RollRead(std::uint64_t block, std::uint64_t read_seq,
+                                                double p_uncorrectable, double p_any_error) {
+  ++stats_.read_rolls;
+  const double u = Roll(kStreamRead, block, read_seq);
+  if (u < p_uncorrectable) {
+    // Uncorrectable codeword: with silent_fraction the decoder miscorrects
+    // instead of detecting. An independent stream keeps the two decisions
+    // uncorrelated.
+    if (Roll(kStreamSilent, block, read_seq) < config_.silent_fraction) {
+      ++stats_.reads_silent;
+      ReportFault(FaultKind::kReadSilent, block);
+      // Silent corruption is terminal at injection: nothing downstream can
+      // observe it, so it is accounted in the statistics ledger here.
+      ReportResolution(FaultKind::kReadSilent, FaultResolution::kAccountedInStats, block);
+      return ReadRoll::kSilent;
+    }
+    ++stats_.reads_uncorrectable;
+    ReportFault(FaultKind::kReadUncorrectable, block);
+    return ReadRoll::kUncorrectable;
+  }
+  if (p_any_error > 0.0 && Roll(kStreamCorrected, block, read_seq) < p_any_error) {
+    ++stats_.reads_corrected;
+    ReportFault(FaultKind::kReadCorrected, block);
+    // Corrected errors are invisible to the caller by construction; the ECC
+    // stats ledger is their accounting.
+    ReportResolution(FaultKind::kReadCorrected, FaultResolution::kAccountedInStats, block);
+    return ReadRoll::kCorrected;
+  }
+  return ReadRoll::kClean;
+}
+
+bool FaultInjector::RollStuck(std::uint64_t block, std::uint32_t wear, double wear_fraction) {
+  if (config_.stuck_block_prob <= 0.0 || wear_fraction < config_.stuck_wear_fraction) {
+    return false;
+  }
+  if (Roll(kStreamStuck, block, wear) >= config_.stuck_block_prob) {
+    return false;
+  }
+  ++stats_.stuck_blocks;
+  ReportFault(FaultKind::kStuckBlock, block);
+  return true;
+}
+
+bool FaultInjector::RollZoneFailure(std::uint32_t zone, std::uint64_t zone_seq) {
+  if (config_.zone_failure_prob <= 0.0 ||
+      Roll(kStreamZone, zone, zone_seq) >= config_.zone_failure_prob) {
+    return false;
+  }
+  ++stats_.zone_failures;
+  ReportFault(FaultKind::kZoneFailure, zone);
+  return true;
+}
+
+bool FaultInjector::RollStall(std::uint64_t request_id) {
+  if (config_.channel_stall_prob <= 0.0 ||
+      Roll(kStreamStall, request_id, 0) >= config_.channel_stall_prob) {
+    return false;
+  }
+  ++stats_.channel_stalls;
+  ReportFault(FaultKind::kChannelStall, request_id);
+  return true;
+}
+
+bool FaultInjector::RollDrop(std::uint64_t request_id) {
+  if (config_.drop_completion_prob <= 0.0 ||
+      Roll(kStreamDrop, request_id, 0) >= config_.drop_completion_prob) {
+    return false;
+  }
+  ++stats_.dropped_completions;
+  ReportFault(FaultKind::kDroppedCompletion, request_id);
+  return true;
+}
+
+void FaultInjector::ResolveRead(std::uint64_t block, FaultResolution resolution) {
+  ReportResolution(FaultKind::kReadUncorrectable, resolution, block);
+}
+
+void FaultInjector::ResolveStuck(std::uint64_t block, FaultResolution resolution) {
+  ReportResolution(FaultKind::kStuckBlock, resolution, block);
+}
+
+void FaultInjector::ResolveZone(std::uint32_t zone, FaultResolution resolution) {
+  ReportResolution(FaultKind::kZoneFailure, resolution, zone);
+}
+
+void FaultInjector::ResolveStall(std::uint64_t request_id) {
+  ReportResolution(FaultKind::kChannelStall, FaultResolution::kDelivered, request_id);
+}
+
+void FaultInjector::ResolveDrop(std::uint64_t request_id) {
+  ReportResolution(FaultKind::kDroppedCompletion, FaultResolution::kDelivered, request_id);
+}
+
+}  // namespace fault
+}  // namespace mrm

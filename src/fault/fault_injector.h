@@ -1,0 +1,118 @@
+// Deterministic fault injection (DESIGN.md §10).
+//
+// Every injection decision is a *keyed roll*: the uniform variate for a
+// decision is drawn from an mrm::Rng seeded by a SplitMix64 hash of
+// (config.seed, decision stream, entity id, sequence number). A decision
+// therefore depends only on simulation state — never on the order in which
+// threads reach the decision point — so a (seed, config) pair reproduces the
+// exact same fault sequence at any --sim-threads count. This is the same
+// argument that makes counter-based RNGs (Philox-style) parallel-safe, built
+// from the repo's existing generator.
+//
+// The injector decides; the device / control plane / memory system act. Each
+// actor reports recovery back through the Resolve* calls so the RAS ledger
+// (and, in checked builds, check::FaultChecker) can prove every injected
+// fault was corrected, reported or accounted — never silently lost.
+
+#ifndef MRMSIM_SRC_FAULT_FAULT_INJECTOR_H_
+#define MRMSIM_SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/common/check_hooks.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_observer.h"
+
+namespace mrm {
+namespace fault {
+
+struct FaultStats {
+  std::uint64_t read_rolls = 0;           // decode decisions drawn
+  std::uint64_t reads_corrected = 0;      // injected faults by kind
+  std::uint64_t reads_uncorrectable = 0;
+  std::uint64_t reads_silent = 0;
+  std::uint64_t stuck_blocks = 0;
+  std::uint64_t zone_failures = 0;
+  std::uint64_t channel_stalls = 0;
+  std::uint64_t dropped_completions = 0;
+  std::uint64_t resolutions = 0;          // recovery reports received
+
+  std::uint64_t injected_total() const {
+    return reads_corrected + reads_uncorrectable + reads_silent + stuck_blocks + zone_failures +
+           channel_stalls + dropped_completions;
+  }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+class FaultInjector {
+ public:
+  // Decode outcome of one read attempt. kClean/kCorrected deliver good data;
+  // kUncorrectable is detected (the caller must recover); kSilent delivers
+  // corrupt data as good — only the stats (and checker) know.
+  enum class ReadRoll { kClean, kCorrected, kUncorrectable, kSilent };
+
+  // The config must be valid (FaultConfig::Validate).
+  explicit FaultInjector(const FaultConfig& config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // --- Decisions (keyed rolls; deterministic for any call order) ----------
+  // `p_uncorrectable` / `p_any_error` come from the caller's ECC model at
+  // the effective RBER (which already includes config().transient_rber).
+  ReadRoll RollRead(std::uint64_t block, std::uint64_t read_seq, double p_uncorrectable,
+                    double p_any_error);
+
+  // Per-append stuck-at decision; `wear_fraction` = wear / endurance at the
+  // operating point. Fires only past config().stuck_wear_fraction.
+  bool RollStuck(std::uint64_t block, std::uint32_t wear, double wear_fraction);
+
+  // Per-append whole-zone failure decision; `zone_seq` is the zone's
+  // cumulative append count (so repeated rolls are independent).
+  bool RollZoneFailure(std::uint32_t zone, std::uint64_t zone_seq);
+
+  // Per-request fabric decisions, keyed by the (unique) request id.
+  bool RollStall(std::uint64_t request_id);
+  bool RollDrop(std::uint64_t request_id);
+
+  // --- Recovery reports ---------------------------------------------------
+  void ResolveRead(std::uint64_t block, FaultResolution resolution);
+  void ResolveStuck(std::uint64_t block, FaultResolution resolution);
+  void ResolveZone(std::uint32_t zone, FaultResolution resolution);
+  void ResolveStall(std::uint64_t request_id);
+  void ResolveDrop(std::uint64_t request_id);
+
+  // Attaches the conservation auditor (checked builds only; the hook sites
+  // compile away otherwise). Pass nullptr to detach.
+  void SetObserver(FaultObserver* observer) { observer_ = observer; }
+
+ private:
+  // Decision streams; part of the roll key so the same entity draws
+  // independent variates for different decisions.
+  enum Stream : std::uint64_t {
+    kStreamRead = 1,
+    kStreamSilent = 2,
+    kStreamCorrected = 3,
+    kStreamStuck = 4,
+    kStreamZone = 5,
+    kStreamStall = 6,
+    kStreamDrop = 7,
+  };
+
+  double Roll(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const;
+  void ReportFault(FaultKind kind, std::uint64_t entity);
+  void ReportResolution(FaultKind kind, FaultResolution resolution, std::uint64_t entity);
+
+  FaultConfig config_;
+  FaultStats stats_;
+  FaultObserver* observer_ = nullptr;
+};
+
+}  // namespace fault
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_FAULT_FAULT_INJECTOR_H_

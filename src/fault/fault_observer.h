@@ -1,0 +1,69 @@
+// Observation interface for the fault subsystem (DESIGN.md §10).
+//
+// Every fault the injector fires is reported as a FaultRecord; every
+// recovery action the device / control plane / memory system takes on a
+// fault is reported as a ResolutionRecord referencing the same entity
+// (block, zone or request id). check::FaultChecker matches the two streams
+// and proves conservation: no injected fault may remain unresolved when the
+// run ends.
+//
+// Like the other auditing interfaces, observers are strictly passive and the
+// hook sites compile away unless MRMSIM_CHECKED is defined.
+
+#ifndef MRMSIM_SRC_FAULT_FAULT_OBSERVER_H_
+#define MRMSIM_SRC_FAULT_FAULT_OBSERVER_H_
+
+#include <cstdint>
+
+namespace mrm {
+namespace fault {
+
+enum class FaultKind {
+  kReadCorrected,      // raw bit errors occurred, ECC corrected them
+  kReadUncorrectable,  // detected-uncorrectable codeword (needs recovery)
+  kReadSilent,         // miscorrection: bad data delivered as good
+  kStuckBlock,         // cell wear-out: append slot burned
+  kZoneFailure,        // whole zone lost
+  kChannelStall,       // request delayed entering the fabric
+  kDroppedCompletion,  // completion record lost, re-delivered after timeout
+};
+
+const char* FaultKindName(FaultKind kind);
+
+enum class FaultResolution {
+  kRetryCorrected,   // a bounded read-retry eventually decoded clean
+  kEmergencyScrub,   // re-programmed from the logical copy
+  kDropped,          // data loss surfaced to the owner (recompute per §4)
+  kReported,         // error returned to an unmanaged caller
+  kZoneRetired,      // control plane retired the zone and remapped survivors
+  kDelivered,        // stalled/dropped message eventually delivered
+  kAccountedInStats, // terminal at injection: recorded in RAS statistics
+};
+
+const char* FaultResolutionName(FaultResolution resolution);
+
+struct FaultRecord {
+  FaultKind kind = FaultKind::kReadCorrected;
+  // Block id for read/stuck faults, zone for zone failures, request id for
+  // fabric faults.
+  std::uint64_t entity = 0;
+};
+
+struct ResolutionRecord {
+  FaultKind kind = FaultKind::kReadCorrected;
+  FaultResolution resolution = FaultResolution::kReported;
+  std::uint64_t entity = 0;
+};
+
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+
+  virtual void OnFault(const FaultRecord& /*record*/) {}
+  virtual void OnResolution(const ResolutionRecord& /*record*/) {}
+};
+
+}  // namespace fault
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_FAULT_FAULT_OBSERVER_H_

@@ -50,7 +50,32 @@ MemorySystem::~MemorySystem() { simulator_->UnregisterEpochDomain(this); }
 void MemorySystem::Enqueue(Request request) {
   request.id = next_request_id_++;
   ++inflight_requests_;
+  // Transient channel stall (fault path): the request is held at the fabric
+  // entrance and routed stall_ticks_ later. The delayed Route() still runs
+  // on the hub at a later hub time, so per-lane arrivals stay tick-sorted
+  // and the epoch schedule — hence determinism — is untouched. The decision
+  // is a keyed roll on the (unique) request id: identical at any thread
+  // count and any call order.
+  if (injector_ != nullptr && injector_->config().enabled() &&
+      injector_->RollStall(request.id)) {
+    ++injected_stalls_;
+    const std::uint64_t id = request.id;
+    simulator_->ScheduleAfter(stall_ticks_,
+                              [this, id, request = std::move(request)]() mutable {
+                                injector_->ResolveStall(id);
+                                Route(std::move(request));
+                              });
+    return;
+  }
   Route(std::move(request));
+}
+
+void MemorySystem::SetFaultInjector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    stall_ticks_ = FabricTicks(injector_->config().channel_stall_ns, *simulator_);
+    drop_retry_ticks_ = FabricTicks(injector_->config().completion_retry_ns, *simulator_);
+  }
 }
 
 void MemorySystem::Route(Request request) {
@@ -270,7 +295,6 @@ void MemorySystem::SealEpoch() {
 void MemorySystem::ProcessOneRecord() {
   const int channel = record_heap_.front();
   Lane& lane = lanes_[static_cast<std::size_t>(channel)];
-  --inflight_requests_;
   {
     Record& record = lane.records.front();
     if constexpr (kCheckedHooks) {
@@ -279,11 +303,31 @@ void MemorySystem::ProcessOneRecord() {
                                      simulator_->now());
       }
     }
-    if (record.request.on_complete) {
-      // Move the callback out first: it may re-enter Enqueue/Transfer, and
-      // the Request is dead once the lane queue advances.
-      auto callback = std::move(record.request.on_complete);
-      callback(record.request);
+    if (injector_ != nullptr && injector_->config().enabled() &&
+        injector_->RollDrop(record.request.id)) {
+      // Dropped completion (fault path): the record is still consumed at its
+      // effect tick in the deterministic global order — only the callback
+      // delivery is lost, re-delivered after the timeout. The request stays
+      // in flight until then, so Idle() keeps waiting for it.
+      ++dropped_completions_;
+      const std::uint64_t id = record.request.id;
+      simulator_->ScheduleAfter(drop_retry_ticks_,
+                                [this, id, request = std::move(record.request)]() mutable {
+                                  injector_->ResolveDrop(id);
+                                  --inflight_requests_;
+                                  if (request.on_complete) {
+                                    auto callback = std::move(request.on_complete);
+                                    callback(request);
+                                  }
+                                });
+    } else {
+      --inflight_requests_;
+      if (record.request.on_complete) {
+        // Move the callback out first: it may re-enter Enqueue/Transfer, and
+        // the Request is dead once the lane queue advances.
+        auto callback = std::move(record.request.on_complete);
+        callback(record.request);
+      }
     }
   }
   lane.records.pop_front();
@@ -300,6 +344,8 @@ void MemorySystem::ProcessOneRecord() {
 
 SystemStats MemorySystem::GetStats() const {
   SystemStats total;
+  total.injected_stalls = injected_stalls_;
+  total.dropped_completions = dropped_completions_;
   // Background/refresh energy integrates to the latest clock in the system:
   // the hub may trail the lanes (it only advances on hub-side activity), and
   // every channel is charged over the same interval.

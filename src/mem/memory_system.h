@@ -27,6 +27,7 @@
 
 #include "src/common/check_hooks.h"
 #include "src/common/sliding_queue.h"
+#include "src/fault/fault_injector.h"
 #include "src/mem/address_map.h"
 #include "src/mem/controller.h"
 #include "src/mem/observer.h"
@@ -46,6 +47,9 @@ struct SystemStats {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t refreshes = 0;
+  // Fabric fault injection (DESIGN.md §10); zero without an injector.
+  std::uint64_t injected_stalls = 0;       // requests delayed entering the fabric
+  std::uint64_t dropped_completions = 0;   // completions re-delivered after timeout
   Histogram read_latency_ns;
   Histogram write_latency_ns;
   EnergyReport energy;
@@ -96,6 +100,14 @@ class MemorySystem : public sim::EpochDomain {
   // epoch-routing hooks fire on the hub side. Hook sites compile away unless
   // the build defines MRMSIM_CHECKED. Pass nullptr to detach.
   void SetCommandObserver(CommandObserver* observer);
+
+  // Attaches the deterministic fault injector (DESIGN.md §10): per-request
+  // keyed rolls may stall a request before it enters the fabric or drop a
+  // completion record's delivery (re-delivered completion_retry_ns later).
+  // Both fault points run on the hub side, so the epoch schedule — and hence
+  // bit-identical stats at any --sim-threads — is preserved. Pass nullptr to
+  // detach; detached or all-zero-rate reproduces the fault-free system.
+  void SetFaultInjector(fault::FaultInjector* injector);
 
   std::uint64_t capacity_bytes() const { return config_.capacity_bytes(); }
 
@@ -179,6 +191,11 @@ class MemorySystem : public sim::EpochDomain {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t inflight_requests_ = 0;
   CommandObserver* observer_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  sim::Tick stall_ticks_ = 1;       // channel_stall_ns in hub ticks
+  sim::Tick drop_retry_ticks_ = 1;  // completion_retry_ns in hub ticks
+  std::uint64_t injected_stalls_ = 0;
+  std::uint64_t dropped_completions_ = 0;
 };
 
 }  // namespace mem

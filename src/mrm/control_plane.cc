@@ -20,8 +20,21 @@ ControlPlane::ControlPlane(sim::Simulator* simulator, MrmDevice* device,
                                  static_cast<double>(device_->config().block_bytes) * 8);
   }
   zone_live_.assign(device_->config().zones, 0);
+  zone_uncorrectable_.assign(device_->config().zones, 0);
   scrub_task_ = std::make_unique<sim::PeriodicTask>(
       simulator_, simulator_->SecondsToTicks(options_.scrub_period_s), [this] { ScrubNow(); });
+}
+
+double ControlPlane::UsableCapacityFraction() const {
+  const auto& config = device_->config();
+  std::uint32_t unusable = 0;
+  for (std::uint32_t z = 0; z < config.zones; ++z) {
+    const ZoneInfo& info = device_->zone_info(z);
+    if (info.state == ZoneState::kRetired || info.failed) {
+      ++unusable;
+    }
+  }
+  return 1.0 - static_cast<double>(unusable) / static_cast<double>(config.zones);
 }
 
 double ControlPlane::RetentionForLifetime(double lifetime_s) const {
@@ -65,8 +78,9 @@ Result<std::uint32_t> ControlPlane::AllocateZone() {
 }
 
 Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (!has_open_zone_ || device_->zone_info(open_zone_).state != ZoneState::kOpen) {
+  for (int attempt = 0; attempt < 2;) {
+    if (!has_open_zone_ || device_->zone_info(open_zone_).state != ZoneState::kOpen ||
+        device_->ZoneFailed(open_zone_)) {
       auto zone = AllocateZone();
       if (!zone.ok()) {
         return zone.error();
@@ -74,12 +88,28 @@ Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
       open_zone_ = zone.value();
       has_open_zone_ = true;
     }
+    const std::uint32_t pointer_before = device_->zone_info(open_zone_).write_pointer;
     auto block = device_->AppendBlock(open_zone_, retention_s, nullptr);
     if (block.ok()) {
       return block;
     }
+    if (device_->ZoneFailed(open_zone_)) {
+      // Whole-zone failure fired on this append: everything in the zone is
+      // lost; retire it and move on to a fresh zone.
+      HandleZoneFailure(open_zone_);
+      ++attempt;
+      continue;
+    }
+    if (device_->zone_info(open_zone_).state == ZoneState::kOpen &&
+        device_->zone_info(open_zone_).write_pointer > pointer_before) {
+      // A stuck-at slot burned: the zone advanced past it and stays usable,
+      // so retry the next slot without consuming a reallocation attempt.
+      // Bounded by the zone size (every burn advances the pointer).
+      continue;
+    }
     // Zone filled up or wore out between checks; grab a fresh one.
     has_open_zone_ = false;
+    ++attempt;
   }
   return Error("append failed after zone reallocation");
 }
@@ -108,11 +138,245 @@ Result<LogicalId> ControlPlane::Append(double lifetime_s) {
 }
 
 Status ControlPlane::Read(LogicalId id, std::function<void(bool)> on_done) {
-  const auto it = map_.find(id);
-  if (it == map_.end()) {
+  if (map_.find(id) == map_.end()) {
     return Error("unknown or dropped logical block");
   }
-  return device_->ReadBlock(it->second.phys, std::move(on_done));
+  return DoRead(id, 0, 0, 0, std::make_shared<std::function<void(bool)>>(std::move(on_done)));
+}
+
+Status ControlPlane::DoRead(LogicalId id, int attempt, std::uint32_t open_faults,
+                            BlockId held_phys, SharedDone on_done) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    // Freed (or dropped) while a retry was pending: the data is gone.
+    ResolveReads(held_phys, open_faults, fault::FaultResolution::kDropped);
+    if (*on_done) {
+      (*on_done)(false);
+    }
+    return Status::Ok();
+  }
+  const BlockId phys = it->second.phys;
+  if (open_faults > 0 && phys != held_phys) {
+    // The block was migrated (scrubbed) between attempts: the re-program
+    // renewed the data, which is what resolved the held faults.
+    ResolveReads(held_phys, open_faults, fault::FaultResolution::kEmergencyScrub);
+    open_faults = 0;
+  }
+  const Status issued =
+      device_->ReadBlockEx(phys, [this, id, phys, attempt, open_faults, on_done](ReadResult r) {
+        OnReadResult(id, phys, attempt, open_faults, r, on_done);
+      });
+  if (!issued.ok()) {
+    ResolveReads(phys, open_faults, fault::FaultResolution::kDropped);
+    ++stats_.accounting_errors;  // mapped blocks should always be readable
+    if (*on_done) {
+      (*on_done)(false);
+    }
+  }
+  return issued;
+}
+
+void ControlPlane::ResolveReads(BlockId phys, std::uint32_t count,
+                                fault::FaultResolution resolution) {
+  if (injector_ == nullptr) {
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    injector_->ResolveRead(phys, resolution);
+  }
+}
+
+void ControlPlane::OnReadResult(LogicalId id, BlockId phys, int attempt,
+                                std::uint32_t open_faults, ReadResult result, SharedDone on_done) {
+  if (result.outcome != ReadOutcome::kUncorrectable) {
+    // Data delivered (clean, corrected, or silently corrupt — the control
+    // plane cannot tell the last two apart; only the RAS stats know).
+    ResolveReads(phys, open_faults, fault::FaultResolution::kRetryCorrected);
+    if (attempt > 0) {
+      ++stats_.retry_successes;
+    }
+    if (*on_done) {
+      (*on_done)(true);
+    }
+    return;
+  }
+
+  std::uint32_t ue_zone = device_->config().zones;  // sentinel: no UE charged
+  if (result.injected) {
+    ++open_faults;
+    ue_zone = static_cast<std::uint32_t>(phys / device_->config().zone_blocks);
+    ++zone_uncorrectable_[ue_zone];
+  }
+
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    // Freed mid-flight; nothing left to recover for.
+    ResolveReads(phys, open_faults, fault::FaultResolution::kDropped);
+    if (*on_done) {
+      (*on_done)(false);
+    }
+    return;
+  }
+
+  if (result.permanent) {
+    ResolveReads(phys, open_faults, fault::FaultResolution::kDropped);
+    const std::uint32_t zone = it->second.zone;
+    if (device_->ZoneFailed(zone)) {
+      // Whole-zone failure: this read is one of the casualties. Retire the
+      // zone and surface the loss for every mapped block in it.
+      HandleZoneFailure(zone);
+    }
+    // Expired data keeps the legacy contract: report the loss, let the
+    // periodic scrub collect the mapping.
+    if (*on_done) {
+      (*on_done)(false);
+    }
+    return;
+  }
+
+  // Transient detected-uncorrectable: bounded retry with exponential backoff
+  // (each retry draws a fresh decode roll).
+  if (attempt < options_.max_read_retries) {
+    ++stats_.read_retries;
+    const double delay_s = options_.retry_backoff_ns * 1e-9 * static_cast<double>(1 << attempt);
+    simulator_->ScheduleAfter(
+        simulator_->SecondsToTicks(delay_s), [this, id, attempt, open_faults, phys, on_done] {
+          (void)DoRead(id, attempt + 1, open_faults, phys, on_done);
+        });
+    if (ue_zone < device_->config().zones) {
+      MaybeRetireZone(ue_zone);
+    }
+    return;
+  }
+
+  // Retries exhausted: emergency scrub (re-program from the logical copy)
+  // or drop-and-recompute, per policy (§4).
+  if (options_.emergency_scrub && MigrateBlock(it->second, id, /*account_old_zone=*/true)) {
+    ++stats_.emergency_scrubs;
+    ResolveReads(phys, open_faults, fault::FaultResolution::kEmergencyScrub);
+    if (*on_done) {
+      (*on_done)(true);
+    }
+  } else {
+    ResolveReads(phys, open_faults, fault::FaultResolution::kDropped);
+    ++stats_.uncorrectable_drops;
+    DropBlock(id, /*account_zone=*/true);
+    if (*on_done) {
+      (*on_done)(false);
+    }
+  }
+  if (ue_zone < device_->config().zones) {
+    MaybeRetireZone(ue_zone);
+  }
+}
+
+bool ControlPlane::MigrateBlock(Tracked& tracked, LogicalId id, bool account_old_zone) {
+  const double now = simulator_->now_seconds();
+  const double remaining = tracked.expiry_s - now;
+  if (remaining <= 0.0) {
+    return false;  // expired anyway: not worth re-programming
+  }
+  auto block = AppendPhysical(RetentionForLifetime(remaining));
+  if (!block.ok()) {
+    return false;
+  }
+  const std::uint32_t old_zone = tracked.zone;
+  tracked.phys = block.value();
+  tracked.zone = static_cast<std::uint32_t>(tracked.phys / device_->config().zone_blocks);
+  const BlockMeta& meta = device_->block_meta(tracked.phys);
+  tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+  ++zone_live_[tracked.zone];
+  deadlines_.push(HeapEntry{tracked.deadline_s, id, tracked.phys});
+  if (account_old_zone) {
+    OnZoneBlockDead(old_zone);
+  }
+  return true;
+}
+
+void ControlPlane::DropBlock(LogicalId id, bool account_zone) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    return;
+  }
+  const std::uint32_t zone = it->second.zone;
+  map_.erase(it);
+  if (account_zone) {
+    OnZoneBlockDead(zone);
+  }
+  if (loss_handler_) {
+    loss_handler_(id);
+  }
+}
+
+void ControlPlane::HandleZoneFailure(std::uint32_t zone) {
+  if (device_->zone_info(zone).state == ZoneState::kRetired) {
+    return;  // a concurrent read already retired it
+  }
+  // All data in the zone is gone: surface the loss for every mapped block
+  // (the owner recomputes, §4), then retire the zone for good.
+  std::vector<LogicalId> victims;
+  for (const auto& entry : map_) {
+    if (entry.second.zone == zone) {
+      victims.push_back(entry.first);
+    }
+  }
+  for (const LogicalId victim : victims) {
+    ++stats_.uncorrectable_drops;
+    DropBlock(victim, /*account_zone=*/false);
+  }
+  zone_live_[zone] = 0;
+  if (has_open_zone_ && open_zone_ == zone) {
+    has_open_zone_ = false;
+  }
+  device_->RetireZone(zone);
+  ++stats_.zones_retired;
+  if (injector_ != nullptr) {
+    injector_->ResolveZone(zone, fault::FaultResolution::kZoneRetired);
+  }
+}
+
+void ControlPlane::MaybeRetireZone(std::uint32_t zone) {
+  if (options_.zone_retire_uncorrectable == 0 ||
+      zone_uncorrectable_[zone] < options_.zone_retire_uncorrectable) {
+    return;
+  }
+  if (device_->zone_info(zone).state == ZoneState::kRetired) {
+    return;
+  }
+  if (device_->ZoneFailed(zone)) {
+    HandleZoneFailure(zone);
+    return;
+  }
+  // The zone keeps producing uncorrectable reads: migrate its live blocks to
+  // healthy zones while they are still (mostly) readable, then retire it.
+  // Stop appending into it first so migrations land elsewhere.
+  if (has_open_zone_ && open_zone_ == zone) {
+    has_open_zone_ = false;
+  }
+  std::vector<LogicalId> residents;
+  for (const auto& entry : map_) {
+    if (entry.second.zone == zone) {
+      residents.push_back(entry.first);
+    }
+  }
+  for (const LogicalId resident : residents) {
+    const auto it = map_.find(resident);
+    if (it == map_.end()) {
+      continue;
+    }
+    if (MigrateBlock(it->second, resident, /*account_old_zone=*/false)) {
+      ++stats_.blocks_remapped;
+    } else {
+      ++stats_.uncorrectable_drops;
+      DropBlock(resident, /*account_zone=*/false);
+    }
+  }
+  zone_live_[zone] = 0;
+  if (has_open_zone_ && open_zone_ == zone) {
+    has_open_zone_ = false;
+  }
+  device_->RetireZone(zone);
+  ++stats_.zones_retired;
 }
 
 bool ControlPlane::Alive(LogicalId id) const { return map_.count(id) != 0; }
@@ -127,7 +391,12 @@ void ControlPlane::Free(LogicalId id) {
 }
 
 void ControlPlane::OnZoneBlockDead(std::uint32_t zone) {
-  MRM_CHECK(zone_live_[zone] > 0);
+  // Bookkeeping guard instead of a hard abort: a miscounted zone is recorded
+  // and skipped; the run degrades instead of dying (DESIGN.md §10).
+  if (zone >= zone_live_.size() || zone_live_[zone] == 0) {
+    ++stats_.accounting_errors;
+    return;
+  }
   if (--zone_live_[zone] == 0) {
     const ZoneInfo& info = device_->zone_info(zone);
     // Only reclaim sealed/full or open zones that the writer moved past.
@@ -135,6 +404,7 @@ void ControlPlane::OnZoneBlockDead(std::uint32_t zone) {
         (info.state == ZoneState::kOpen && !(has_open_zone_ && open_zone_ == zone))) {
       if (device_->ResetZone(zone).ok()) {
         ++stats_.zones_reclaimed;
+        zone_uncorrectable_[zone] = 0;  // fresh data, fresh RAS history
       }
     }
   }

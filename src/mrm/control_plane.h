@@ -25,11 +25,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/mrm/dcm.h"
 #include "src/mrm/ecc.h"
 #include "src/mrm/mrm_device.h"
@@ -55,6 +56,20 @@ struct ControlPlaneOptions {
   // When false, expiring-but-still-needed data is dropped (owner recomputes)
   // instead of rewritten.
   bool refresh_expiring = true;
+
+  // --- RAS recovery (DESIGN.md §10) ---------------------------------------
+  // Bounded read-retry on transient detected-uncorrectable reads: each retry
+  // waits retry_backoff_ns * 2^attempt before re-reading (transient upsets
+  // re-roll, so a retry can decode clean).
+  int max_read_retries = 3;
+  double retry_backoff_ns = 1000.0;
+  // After retries are exhausted: re-program the block from the logical copy
+  // (emergency scrub) when true; otherwise drop it and let the owner
+  // recompute (the paper's §4 refresh-or-recompute decision).
+  bool emergency_scrub = true;
+  // Retire a zone (and remap its live blocks) once this many uncorrectable
+  // reads have landed in it. 0 disables threshold retirement.
+  std::uint32_t zone_retire_uncorrectable = 4;
 };
 
 struct ControlPlaneStats {
@@ -64,6 +79,14 @@ struct ControlPlaneStats {
   std::uint64_t drops = 0;             // expired, owner must recompute
   std::uint64_t zones_reclaimed = 0;
   std::uint64_t allocation_failures = 0;
+  // RAS recovery ledger (all zero on a fault-free run).
+  std::uint64_t read_retries = 0;        // retry attempts issued
+  std::uint64_t retry_successes = 0;     // reads rescued by a retry
+  std::uint64_t emergency_scrubs = 0;    // blocks re-programmed after UE
+  std::uint64_t uncorrectable_drops = 0; // data lost to uncorrectable reads
+  std::uint64_t zones_retired = 0;
+  std::uint64_t blocks_remapped = 0;     // live blocks migrated off a retiring zone
+  std::uint64_t accounting_errors = 0;   // internal bookkeeping guards tripped
 };
 
 class ControlPlane {
@@ -104,6 +127,19 @@ class ControlPlane {
   // Runs one scrub pass immediately (tests / shutdown flushes).
   void ScrubNow();
 
+  // Attaches the deterministic fault injector to this control plane and its
+  // device (nullptr detaches). The control plane reports its recovery
+  // actions (retry, emergency scrub, zone retirement, drop) back through it.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+    device_->SetFaultInjector(injector);
+  }
+
+  // Graceful degradation: fraction of the device's zones still usable
+  // (neither retired nor failed). Shrinks as RAS retires zones; allocation
+  // pressure (stats().allocation_failures) is the backpressure signal.
+  double UsableCapacityFraction() const;
+
  private:
   struct Tracked {
     BlockId phys = 0;
@@ -124,19 +160,47 @@ class ControlPlane {
   void OnZoneBlockDead(std::uint32_t zone);
   double ScrubDeadlineFor(double written_at_s, double retention_s) const;
 
+  // --- RAS recovery path (DESIGN.md §10) ----------------------------------
+  using SharedDone = std::shared_ptr<std::function<void(bool)>>;
+  // Issues read attempt `attempt` of a logical block. `open_faults` injected
+  // uncorrectable faults (all on `held_phys`) are carried until the op's
+  // disposition is known, then resolved with it.
+  Status DoRead(LogicalId id, int attempt, std::uint32_t open_faults, BlockId held_phys,
+                SharedDone on_done);
+  void OnReadResult(LogicalId id, BlockId phys, int attempt, std::uint32_t open_faults,
+                    ReadResult result, SharedDone on_done);
+  // Reports `count` injected read faults on `phys` as resolved.
+  void ResolveReads(BlockId phys, std::uint32_t count, fault::FaultResolution resolution);
+  // Re-programs a live block from its logical copy into a fresh zone.
+  // `account_old_zone` runs the old zone's live-count bookkeeping (off when
+  // the old zone is being retired wholesale).
+  bool MigrateBlock(Tracked& tracked, LogicalId id, bool account_old_zone);
+  // Drops a logical block: data lost, owner must recompute (§4).
+  void DropBlock(LogicalId id, bool account_zone);
+  // Whole-zone failure: every mapped block in the zone is lost; drop them,
+  // retire the zone, resolve the zone fault.
+  void HandleZoneFailure(std::uint32_t zone);
+  // Threshold retirement: too many uncorrectable reads landed in the zone —
+  // remap its live blocks elsewhere and retire it.
+  void MaybeRetireZone(std::uint32_t zone);
+
   sim::Simulator* simulator_;
   MrmDevice* device_;
   ControlPlaneOptions options_;
 
-  std::unordered_map<LogicalId, Tracked> map_;
+  // Ordered map: zone retirement iterates it to collect a zone's blocks, and
+  // iteration order must be deterministic (determinism lint, DESIGN.md §9).
+  std::map<LogicalId, Tracked> map_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> deadlines_;
   std::vector<std::uint32_t> zone_live_;  // live logical blocks per zone
+  std::vector<std::uint32_t> zone_uncorrectable_;  // UE reads per zone (RAS)
   std::uint32_t open_zone_ = 0;
   bool has_open_zone_ = false;
   LogicalId next_id_ = 1;
   ControlPlaneStats stats_;
   std::function<void(LogicalId)> loss_handler_;
   std::unique_ptr<sim::PeriodicTask> scrub_task_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace mrmcore

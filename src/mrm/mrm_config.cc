@@ -1,0 +1,55 @@
+#include "src/mrm/mrm_config.h"
+
+namespace mrm {
+namespace mrmcore {
+
+// Each rule rejects with its own diagnostic so a misconfiguration points at
+// the offending field, not at "the config".
+Status MrmDeviceConfig::Validate() const {
+  if (channels <= 0) {
+    return Error(name + ": channels must be positive");
+  }
+  if (zones == 0) {
+    return Error(name + ": zones must be positive");
+  }
+  if (zone_blocks == 0) {
+    return Error(name + ": zone_blocks must be positive");
+  }
+  if (block_bytes == 0) {
+    return Error(name + ": block_bytes must be positive");
+  }
+  if (read_latency_ns < 0.0) {
+    return Error(name + ": read latency must be non-negative");
+  }
+  if (channel_read_bw_bytes_per_s <= 0.0 || channel_write_bw_ref_bytes_per_s <= 0.0) {
+    return Error(name + ": bandwidths must be positive");
+  }
+  if (io_pj_per_bit < 0.0 || background_mw < 0.0) {
+    return Error(name + ": energy parameters must be non-negative");
+  }
+  if (default_retention_s <= 0.0) {
+    return Error(name + ": default retention must be positive");
+  }
+  if (retention_floor_s < 0.0 || retention_cap_s < 0.0) {
+    return Error(name + ": retention bounds must be non-negative");
+  }
+  if (retention_cap_s > 0.0 && retention_floor_s > retention_cap_s) {
+    return Error(name + ": retention bounds out of order (floor > cap)");
+  }
+  if (retention_floor_s > 0.0 && default_retention_s < retention_floor_s) {
+    return Error(name + ": default retention below the retention floor");
+  }
+  if (retention_cap_s > 0.0 && default_retention_s > retention_cap_s) {
+    return Error(name + ": default retention above the retention cap");
+  }
+  if (static_cast<std::uint64_t>(ecc_codeword_bits) > block_bits()) {
+    return Error(name + ": ECC codeword larger than the block");
+  }
+  if (static_cast<std::uint64_t>(ecc_t) >= ecc_payload_bits()) {
+    return Error(name + ": ECC strength t must be smaller than the codeword payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrmcore
+}  // namespace mrm

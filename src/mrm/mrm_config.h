@@ -44,6 +44,19 @@ struct MrmDeviceConfig {
   // Default programmed retention when the writer does not specify one.
   double default_retention_s = 6.0 * 3600.0;
 
+  // Optional bounds on programmable retention, applied on top of the cell
+  // model's own range: append requests are clamped into [floor, cap]. Zero
+  // means unbounded on that side (the default: no clamp at all).
+  double retention_floor_s = 0.0;
+  double retention_cap_s = 0.0;
+
+  // ECC decode model for the fault path (DESIGN.md §10): a t-error-
+  // correcting BCH-like code per codeword. ecc_codeword_bits == 0 spans the
+  // whole block with one codeword (MRM's large-block coding-efficiency win,
+  // paper §4).
+  std::uint32_t ecc_t = 16;
+  std::uint32_t ecc_codeword_bits = 0;
+
   // Lightweight-controller scheduling (paper §4): when true, queued reads
   // preempt queued writes on a channel, so slow retention-programmed writes
   // do not add to read latency. Ops in service are never interrupted.
@@ -59,7 +72,14 @@ struct MrmDeviceConfig {
   double peak_read_bw_bytes_per_s() const {
     return static_cast<double>(channels) * channel_read_bw_bytes_per_s;
   }
+  std::uint64_t block_bits() const { return static_cast<std::uint64_t>(block_bytes) * 8; }
+  // Effective ECC codeword payload: the configured size, or the whole block.
+  std::uint64_t ecc_payload_bits() const {
+    return ecc_codeword_bits > 0 ? ecc_codeword_bits : block_bits();
+  }
 
+  // Cross-field validation; each rule rejects with its own diagnostic (see
+  // mrm_config.cc). Implemented out of line in mrm_config.cc.
   Status Validate() const;
 };
 

@@ -9,19 +9,6 @@
 namespace mrm {
 namespace mrmcore {
 
-Status MrmDeviceConfig::Validate() const {
-  if (channels <= 0 || zones == 0 || zone_blocks == 0 || block_bytes == 0) {
-    return Error(name + ": geometry must be positive");
-  }
-  if (channel_read_bw_bytes_per_s <= 0.0 || channel_write_bw_ref_bytes_per_s <= 0.0) {
-    return Error(name + ": bandwidths must be positive");
-  }
-  if (default_retention_s <= 0.0) {
-    return Error(name + ": default retention must be positive");
-  }
-  return Status::Ok();
-}
-
 MrmDevice::MrmDevice(sim::Simulator* simulator, const MrmDeviceConfig& config,
                      std::unique_ptr<cell::RetentionTradeoff> tradeoff)
     : simulator_(simulator), config_(config), tradeoff_(std::move(tradeoff)) {
@@ -35,6 +22,13 @@ MrmDevice::MrmDevice(sim::Simulator* simulator, const MrmDeviceConfig& config,
   zones_.resize(config_.zones);
   blocks_.resize(config_.total_blocks());
   channels_.resize(static_cast<std::size_t>(config_.channels));
+  // The decode scheme is fixed by the config; only its failure probability
+  // varies with data age, so that part is computed per read.
+  ecc_.payload_bits = config_.ecc_payload_bits();
+  ecc_.t = config_.ecc_t;
+  ecc_.parity_bits = BchParityBits(ecc_.payload_bits, ecc_.t);
+  ecc_.overhead = static_cast<double>(ecc_.parity_bits) / static_cast<double>(ecc_.payload_bits);
+  ecc_codewords_per_block_ = (config_.block_bits() + ecc_.payload_bits - 1) / ecc_.payload_bits;
 }
 
 Status MrmDevice::OpenZone(std::uint32_t zone) {
@@ -44,6 +38,9 @@ Status MrmDevice::OpenZone(std::uint32_t zone) {
   ZoneInfo& info = zones_[zone];
   if (info.state == ZoneState::kRetired) {
     return Error("zone is retired");
+  }
+  if (info.failed) {
+    return Error("zone failed");
   }
   if (info.state != ZoneState::kEmpty) {
     return Error("zone is not empty");
@@ -65,6 +62,9 @@ Status MrmDevice::ResetZone(std::uint32_t zone) {
   ZoneInfo& info = zones_[zone];
   if (info.state == ZoneState::kRetired) {
     return Error("zone is retired");
+  }
+  if (info.failed) {
+    return Error("zone failed");
   }
   const BlockId base = static_cast<BlockId>(zone) * config_.zone_blocks;
   for (std::uint32_t i = 0; i < info.write_pointer; ++i) {
@@ -125,22 +125,82 @@ void MrmDevice::PumpChannel(int channel) {
                             });
 }
 
+void MrmDevice::BurnSlot(std::uint32_t zone, BlockId block, bool fresh) {
+  ZoneInfo& info = zones_[zone];
+  BlockMeta& meta = blocks_[block];
+  meta.stuck = true;
+  meta.written = false;
+  ++meta.wear;  // the failed program attempt still stresses the cells
+  ++info.write_pointer;
+  ++info.wear_cycles;
+  if (info.write_pointer == config_.zone_blocks && info.state == ZoneState::kOpen) {
+    info.state = ZoneState::kFull;
+  }
+  if (fresh) {
+    ++stats_.stuck_blocks;
+  }
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      MrmSlotBurnRecord record;
+      record.zone = zone;
+      record.block = block;
+      record.write_pointer_after = info.write_pointer;
+      record.wear_after = meta.wear;
+      observer_->OnSlotBurn(record);
+    }
+  }
+  if (fresh && injector_ != nullptr) {
+    // The append error is the recovery: the caller sees the failure and
+    // retries on the next slot, so the fault is reported, not lost.
+    injector_->ResolveStuck(block, fault::FaultResolution::kReported);
+  }
+}
+
 Result<BlockId> MrmDevice::AppendBlock(std::uint32_t zone, double retention_s,
                                        std::function<void(BlockId)> on_done) {
   if (zone >= zones_.size()) {
     return Error("zone out of range");
   }
   ZoneInfo& info = zones_[zone];
+  if (info.failed) {
+    return Error("zone failed");
+  }
   if (info.state != ZoneState::kOpen) {
     return Error("zone not open");
   }
   if (retention_s <= 0.0) {
     retention_s = config_.default_retention_s;
   }
+  // Config-level retention clamp (validated ordered; zero means unbounded).
+  if (config_.retention_floor_s > 0.0 && retention_s < config_.retention_floor_s) {
+    retention_s = config_.retention_floor_s;
+  }
+  if (config_.retention_cap_s > 0.0 && retention_s > config_.retention_cap_s) {
+    retention_s = config_.retention_cap_s;
+  }
   const cell::OperatingPoint point = tradeoff_->AtRetention(retention_s);
 
   const BlockId block_id = static_cast<BlockId>(zone) * config_.zone_blocks + info.write_pointer;
   BlockMeta& meta = blocks_[block_id];
+
+  const bool faults = injector_ != nullptr && injector_->config().enabled();
+  if (faults && injector_->RollZoneFailure(zone, info.wear_cycles)) {
+    info.failed = true;
+    ++stats_.zone_failures;
+    if constexpr (kCheckedHooks) {
+      if (observer_ != nullptr) {
+        observer_->OnZoneFail(zone);
+      }
+    }
+    return Error("zone failed");
+  }
+
+  // A slot already known stuck (hit again after a zone reset) burns again
+  // without a new injection.
+  if (meta.stuck) {
+    BurnSlot(zone, block_id, /*fresh=*/false);
+    return Error("append slot stuck-at; slot burned");
+  }
 
   // Endurance gate: the cells of this block fail once their cumulative wear
   // exceeds the endurance of the weakest operating point they were written
@@ -148,6 +208,14 @@ Result<BlockId> MrmDevice::AppendBlock(std::uint32_t zone, double retention_s,
   if (static_cast<double>(meta.wear) + 1.0 > point.endurance_cycles) {
     ++stats_.endurance_failures;
     return Error("block endurance exhausted at this retention point");
+  }
+
+  // Wear-out stuck-at faults fire only near the endurance bound.
+  if (faults &&
+      injector_->RollStuck(block_id, meta.wear,
+                           (static_cast<double>(meta.wear) + 1.0) / point.endurance_cycles)) {
+    BurnSlot(zone, block_id, /*fresh=*/true);
+    return Error("append slot stuck-at; slot burned");
   }
 
   ++info.write_pointer;
@@ -216,10 +284,68 @@ double MrmDevice::BlockAge(BlockId block) const {
 }
 
 Status MrmDevice::ReadBlock(BlockId block, std::function<void(bool)> on_done) {
+  return ReadBlockEx(block, [on_done = std::move(on_done)](ReadResult result) {
+    if (on_done) {
+      on_done(result.ok());
+    }
+  });
+}
+
+ReadResult MrmDevice::DecodeRead(BlockId block, BlockMeta& meta, bool alive) {
+  ReadResult result;
+  const std::uint32_t zone = static_cast<std::uint32_t>(block / config_.zone_blocks);
+  if (zones_[zone].failed) {
+    // Whole-zone failure: everything in the zone is gone; the zone-level
+    // fault is the tracked one, so the read itself is not a new injection.
+    result.outcome = ReadOutcome::kUncorrectable;
+    result.permanent = true;
+    return result;
+  }
+  if (!alive) {
+    // Aged past the programmed retention: uncorrectable by contract,
+    // exactly the legacy verdict.
+    result.outcome = ReadOutcome::kUncorrectable;
+    result.permanent = true;
+    return result;
+  }
+  if (injector_ == nullptr || !injector_->config().enabled()) {
+    return result;  // fault-free: decoded clean, no roll drawn
+  }
+  ++stats_.decoded_reads;
+  const double age_rber = tradeoff_->RberAtAge(meta.retention_s, BlockAge(block));
+  const double rber = std::min(0.5, age_rber + injector_->config().transient_rber);
+  const double p_codeword = BinomialTail(ecc_.payload_bits, ecc_.t, rber);
+  const double p_uncorrectable =
+      1.0 - std::pow(1.0 - p_codeword, static_cast<double>(ecc_codewords_per_block_));
+  const double p_any_error =
+      1.0 - std::pow(1.0 - rber, static_cast<double>(config_.block_bits()));
+  switch (injector_->RollRead(block, meta.read_attempts++, p_uncorrectable, p_any_error)) {
+    case fault::FaultInjector::ReadRoll::kClean:
+      break;
+    case fault::FaultInjector::ReadRoll::kCorrected:
+      result.outcome = ReadOutcome::kCorrected;
+      ++stats_.corrected_reads;
+      break;
+    case fault::FaultInjector::ReadRoll::kUncorrectable:
+      // Transient: a retry draws a fresh roll (read_attempts advanced) and
+      // may decode clean. The injector tracks it until the caller resolves.
+      result.outcome = ReadOutcome::kUncorrectable;
+      result.injected = true;
+      ++stats_.uncorrectable_reads;
+      break;
+    case fault::FaultInjector::ReadRoll::kSilent:
+      result.outcome = ReadOutcome::kSilent;
+      ++stats_.silent_corruptions;
+      break;
+  }
+  return result;
+}
+
+Status MrmDevice::ReadBlockEx(BlockId block, std::function<void(ReadResult)> on_done) {
   if (block >= blocks_.size()) {
     return Error("block out of range");
   }
-  const BlockMeta& meta = blocks_[block];
+  BlockMeta& meta = blocks_[block];
   if (!meta.written) {
     return Error("block not written");
   }
@@ -227,6 +353,7 @@ Status MrmDevice::ReadBlock(BlockId block, std::function<void(bool)> on_done) {
   if (!alive) {
     ++stats_.expired_reads;
   }
+  const ReadResult result = DecodeRead(block, meta, alive);
   if constexpr (kCheckedHooks) {
     if (observer_ != nullptr) {
       MrmReadRecord record;
@@ -255,11 +382,11 @@ Status MrmDevice::ReadBlock(BlockId block, std::function<void(bool)> on_done) {
   ChannelOp op;
   op.is_read = true;
   op.service_ticks = simulator_->SecondsToTicks(service_s);
-  op.on_service_done = [this, alive, enqueued, on_done = std::move(on_done)] {
+  op.on_service_done = [this, result, enqueued, on_done = std::move(on_done)] {
     stats_.read_latency_us.Add(simulator_->TicksToSeconds(simulator_->now() - enqueued) * 1e6);
     --inflight_;
     if (on_done) {
-      on_done(alive);
+      on_done(result);
     }
   };
   EnqueueOnChannel(ChannelOf(block), std::move(op));

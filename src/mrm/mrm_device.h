@@ -20,6 +20,8 @@
 #include "src/common/check_hooks.h"
 #include "src/common/result.h"
 #include "src/common/stats.h"
+#include "src/fault/fault_injector.h"
+#include "src/mrm/ecc.h"
 #include "src/mrm/mrm_config.h"
 #include "src/mrm/mrm_observer.h"
 #include "src/sim/simulator.h"
@@ -32,9 +34,11 @@ using BlockId = std::uint64_t;
 
 struct BlockMeta {
   bool written = false;
+  bool stuck = false;             // wear-out: stuck-at cells, slot unusable
   double written_at_s = 0.0;      // simulation time of the write
   double retention_s = 0.0;       // programmed retention target
   std::uint32_t wear = 0;         // write cycles on this block's cells
+  std::uint64_t read_attempts = 0;  // keys the decode roll, so retries re-roll
 };
 
 enum class ZoneState { kEmpty, kOpen, kFull, kRetired };
@@ -43,6 +47,30 @@ struct ZoneInfo {
   ZoneState state = ZoneState::kEmpty;
   std::uint32_t write_pointer = 0;  // next block index within the zone
   std::uint64_t wear_cycles = 0;    // cumulative appends since manufacture
+  bool failed = false;              // whole-zone failure: data lost, appends rejected
+};
+
+// ECC decode verdict of one read attempt (DESIGN.md §10).
+enum class ReadOutcome {
+  kOk,             // decoded clean
+  kCorrected,      // raw bit errors present, ECC corrected them; data good
+  kUncorrectable,  // detected-uncorrectable; no data delivered
+  kSilent,         // miscorrection: bad data delivered as good
+};
+
+struct ReadResult {
+  ReadOutcome outcome = ReadOutcome::kOk;
+  // True when retries cannot help: the data aged past its programmed
+  // retention or its zone failed. Transient (injected) decode failures
+  // re-roll on retry and may succeed.
+  bool permanent = false;
+  // True when the fault injector tracks this uncorrectable error; the caller
+  // owes it a FaultInjector::ResolveRead once recovery concludes.
+  bool injected = false;
+
+  // Data was delivered and claimed good (silent corruption claims good too —
+  // only the RAS stats and the checker know).
+  bool ok() const { return outcome != ReadOutcome::kUncorrectable; }
 };
 
 struct MrmDeviceStats {
@@ -53,6 +81,14 @@ struct MrmDeviceStats {
   std::uint64_t expired_reads = 0;   // reads past the ECC-safe age
   std::uint64_t endurance_failures = 0;
   std::uint64_t read_preemptions = 0;  // reads served ahead of queued writes
+  // RAS ledger (fault path, DESIGN.md §10). All zero when no injector is
+  // attached: the decode path then short-circuits to the legacy verdict.
+  std::uint64_t decoded_reads = 0;        // reads that drew a decode roll
+  std::uint64_t corrected_reads = 0;      // ECC corrected raw bit errors
+  std::uint64_t uncorrectable_reads = 0;  // injected detected-uncorrectable
+  std::uint64_t silent_corruptions = 0;   // miscorrections delivered as good
+  std::uint64_t stuck_blocks = 0;         // append slots burned by wear-out
+  std::uint64_t zone_failures = 0;        // whole zones lost
   double write_energy_pj = 0.0;
   double read_energy_pj = 0.0;
   double io_energy_pj = 0.0;
@@ -95,7 +131,14 @@ class MrmDevice {
   // Reads one block; `on_done(ok)` fires at data delivery. ok == false means
   // the data aged past its programmed retention (uncorrectable): the caller
   // must recompute or refetch — MRM's managed-retention contract.
+  // Convenience wrapper over ReadBlockEx (ok == ReadResult::ok()).
   Status ReadBlock(BlockId block, std::function<void(bool)> on_done);
+
+  // Reads one block through the full ECC decode model; `on_done` fires at
+  // data delivery with the decode verdict. Without an attached (and enabled)
+  // fault injector the verdict is exactly the legacy one: kOk while the data
+  // is within retention, permanent kUncorrectable past it.
+  Status ReadBlockEx(BlockId block, std::function<void(ReadResult)> on_done);
 
   // Sequential read of `count` blocks starting at `first` (must be written).
   // `on_done(ok_count)` fires when the last block is delivered.
@@ -106,6 +149,13 @@ class MrmDevice {
   bool BlockAlive(BlockId block) const;
   // Age of a block's data in seconds.
   double BlockAge(BlockId block) const;
+  // True once the zone suffered a whole-zone failure (its data is gone; the
+  // control plane should retire it and remap survivors elsewhere).
+  bool ZoneFailed(std::uint32_t zone) const { return zones_[zone].failed; }
+
+  // The ECC scheme reads are decoded under (from config ecc_t /
+  // ecc_codeword_bits).
+  const EccScheme& ecc() const { return ecc_; }
 
   const MrmDeviceStats& stats() const { return stats_; }
   // Total energy including background power up to now.
@@ -117,6 +167,11 @@ class MrmDevice {
   // Hook sites compile away unless the build defines MRMSIM_CHECKED. Pass
   // nullptr to detach.
   void SetObserver(MrmObserver* observer) { observer_ = observer; }
+
+  // Attaches the deterministic fault injector (DESIGN.md §10). Pass nullptr
+  // to detach; a detached or all-zero-rate injector reproduces the fault-free
+  // device bit for bit.
+  void SetFaultInjector(fault::FaultInjector* injector) { injector_ = injector; }
 
  private:
   struct ChannelOp {
@@ -136,6 +191,14 @@ class MrmDevice {
     return static_cast<int>(block % static_cast<std::uint64_t>(config_.channels));
   }
 
+  // Runs the ECC decode model for one read attempt (draws a keyed injector
+  // roll when faults are enabled; otherwise returns the legacy verdict).
+  ReadResult DecodeRead(BlockId block, BlockMeta& meta, bool alive);
+  // Consumes a stuck append slot: advances the pointer, stresses the cells,
+  // syncs the shadow accounting. `fresh` marks a new injection (vs. hitting
+  // an already-stuck block again after a zone reset).
+  void BurnSlot(std::uint32_t zone, BlockId block, bool fresh);
+
   sim::Simulator* simulator_;
   MrmDeviceConfig config_;
   std::unique_ptr<cell::RetentionTradeoff> tradeoff_;
@@ -143,8 +206,11 @@ class MrmDevice {
   std::vector<BlockMeta> blocks_;
   std::vector<ChannelState> channels_;
   MrmDeviceStats stats_;
+  EccScheme ecc_;
+  std::uint64_t ecc_codewords_per_block_ = 1;
   std::uint64_t inflight_ = 0;
   MrmObserver* observer_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace mrmcore

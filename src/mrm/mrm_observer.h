@@ -37,6 +37,16 @@ struct MrmReadRecord {
   double now_s = 0.0;             // simulation time of the read
 };
 
+// A stuck-at append slot being consumed without storing data (fault path,
+// DESIGN.md §10): the failed program attempt stresses the cells and advances
+// the zone's write pointer, so the shadow accounting must advance too.
+struct MrmSlotBurnRecord {
+  std::uint32_t zone = 0;
+  std::uint64_t block = 0;
+  std::uint32_t write_pointer_after = 0;
+  std::uint32_t wear_after = 0;
+};
+
 class MrmObserver {
  public:
   virtual ~MrmObserver() = default;
@@ -44,7 +54,9 @@ class MrmObserver {
   virtual void OnZoneOpen(std::uint32_t /*zone*/) {}
   virtual void OnZoneReset(std::uint32_t /*zone*/) {}
   virtual void OnZoneRetire(std::uint32_t /*zone*/) {}
+  virtual void OnZoneFail(std::uint32_t /*zone*/) {}
   virtual void OnAppend(const MrmAppendRecord& /*record*/) {}
+  virtual void OnSlotBurn(const MrmSlotBurnRecord& /*record*/) {}
   virtual void OnRead(const MrmReadRecord& /*record*/) {}
 };
 

@@ -1,0 +1,161 @@
+// Fault conservation auditor: every injected fault must receive exactly one
+// terminal disposition (DESIGN.md §10).
+
+#include "src/check/fault_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/check/attach.h"
+#include "src/common/check_hooks.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_observer.h"
+
+namespace mrm {
+namespace check {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultRecord;
+using fault::FaultResolution;
+using fault::ResolutionRecord;
+
+FaultRecord Fault(FaultKind kind, std::uint64_t entity) { return FaultRecord{kind, entity}; }
+
+ResolutionRecord Resolution(FaultKind kind, FaultResolution resolution, std::uint64_t entity) {
+  return ResolutionRecord{kind, resolution, entity};
+}
+
+TEST(FaultCheckerTest, BalancedLedgerHasNoViolations) {
+  FaultChecker checker;
+  checker.OnFault(Fault(FaultKind::kReadUncorrectable, 7));
+  checker.OnFault(Fault(FaultKind::kZoneFailure, 3));
+  checker.OnResolution(
+      Resolution(FaultKind::kReadUncorrectable, FaultResolution::kRetryCorrected, 7));
+  checker.OnResolution(Resolution(FaultKind::kZoneFailure, FaultResolution::kZoneRetired, 3));
+  checker.Finalize();
+  EXPECT_EQ(checker.faults_observed(), 2u);
+  EXPECT_EQ(checker.resolutions_observed(), 2u);
+  EXPECT_EQ(checker.unresolved_count(), 0u);
+  EXPECT_EQ(checker.violation_count(), 0u);
+}
+
+TEST(FaultCheckerTest, RepeatedFaultsOnOneEntityNeedMatchingResolutions) {
+  FaultChecker checker;
+  // Three uncorrectable decodes of the same block (a retry storm) need three
+  // terminal dispositions, not one.
+  for (int i = 0; i < 3; ++i) {
+    checker.OnFault(Fault(FaultKind::kReadUncorrectable, 11));
+  }
+  checker.OnResolution(
+      Resolution(FaultKind::kReadUncorrectable, FaultResolution::kEmergencyScrub, 11));
+  EXPECT_EQ(checker.unresolved_count(), 2u);
+  checker.Finalize();
+  EXPECT_EQ(checker.violation_count(), 1u);  // one ledger entry left open
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].kind, ViolationKind::kFaultUnresolved);
+}
+
+TEST(FaultCheckerTest, UnmatchedResolutionIsAViolation) {
+  FaultChecker checker;
+  checker.OnResolution(Resolution(FaultKind::kReadUncorrectable, FaultResolution::kDropped, 5));
+  EXPECT_EQ(checker.violation_count(), 1u);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].kind, ViolationKind::kFaultUnmatched);
+  // The diagnostic names the resolution, the kind and the entity.
+  EXPECT_NE(checker.violations()[0].message.find("dropped"), std::string::npos);
+  EXPECT_NE(checker.violations()[0].message.find("5"), std::string::npos);
+}
+
+TEST(FaultCheckerTest, DoubleResolutionIsAViolation) {
+  FaultChecker checker;
+  checker.OnFault(Fault(FaultKind::kChannelStall, 9));
+  checker.OnResolution(Resolution(FaultKind::kChannelStall, FaultResolution::kDelivered, 9));
+  EXPECT_EQ(checker.violation_count(), 0u);
+  checker.OnResolution(Resolution(FaultKind::kChannelStall, FaultResolution::kDelivered, 9));
+  EXPECT_EQ(checker.violation_count(), 1u);
+  EXPECT_EQ(checker.violations()[0].kind, ViolationKind::kFaultUnmatched);
+}
+
+TEST(FaultCheckerTest, KindAndEntityMustBothMatch) {
+  FaultChecker checker;
+  checker.OnFault(Fault(FaultKind::kStuckBlock, 4));
+  // Same entity, wrong kind: not a match.
+  checker.OnResolution(Resolution(FaultKind::kReadUncorrectable, FaultResolution::kReported, 4));
+  EXPECT_EQ(checker.violation_count(), 1u);
+  checker.Finalize();
+  EXPECT_EQ(checker.violation_count(), 2u);  // the stuck fault is still open
+}
+
+TEST(FaultCheckerTest, FinalizeReportsEachOpenEntry) {
+  FaultChecker checker;
+  checker.OnFault(Fault(FaultKind::kZoneFailure, 1));
+  checker.OnFault(Fault(FaultKind::kDroppedCompletion, 2));
+  checker.Finalize();
+  EXPECT_EQ(checker.violation_count(), 2u);
+  const std::string report = checker.Report();
+  EXPECT_NE(report.find("zone-failure"), std::string::npos);
+  EXPECT_NE(report.find("dropped-completion"), std::string::npos);
+  EXPECT_NE(report.find("never resolved"), std::string::npos);
+}
+
+TEST(FaultCheckerTest, ViolationListIsCapped) {
+  FaultChecker checker;
+  for (std::uint64_t entity = 0; entity < 2 * FaultChecker::kMaxViolations; ++entity) {
+    checker.OnResolution(
+        Resolution(FaultKind::kReadUncorrectable, FaultResolution::kDropped, entity));
+  }
+  EXPECT_EQ(checker.violation_count(), 2 * FaultChecker::kMaxViolations);
+  EXPECT_EQ(checker.violations().size(), FaultChecker::kMaxViolations);
+}
+
+TEST(FaultCheckerTest, ObservesInjectorWhenHooksCompiledIn) {
+  // End to end through the real injector. The hook sites only exist in
+  // MRMSIM_CHECKED builds; elsewhere the observer must see nothing.
+  fault::FaultConfig config;
+  config.transient_rber = 1e-3;
+  config.silent_fraction = 0.0;
+  fault::FaultInjector injector(config);
+  FaultChecker checker;
+  injector.SetObserver(&checker);
+  // Certain uncorrectable, then an emergency-scrub resolution.
+  ASSERT_EQ(injector.RollRead(21, 0, 1.0, 1.0), fault::FaultInjector::ReadRoll::kUncorrectable);
+  injector.ResolveRead(21, FaultResolution::kEmergencyScrub);
+  // Certain corrected: terminal at injection, auto-resolved.
+  ASSERT_EQ(injector.RollRead(21, 1, 0.0, 1.0), fault::FaultInjector::ReadRoll::kCorrected);
+  injector.SetObserver(nullptr);
+  checker.Finalize();
+  if (kCheckedHooks) {
+    EXPECT_EQ(checker.faults_observed(), 2u);
+    EXPECT_EQ(checker.resolutions_observed(), 2u);
+    EXPECT_EQ(checker.violation_count(), 0u);
+  } else {
+    EXPECT_EQ(checker.events_observed(), 0u);
+  }
+}
+
+TEST(FaultCheckerTest, ScopedAttachmentIsActiveExactlyWhenHooksExist) {
+  fault::FaultConfig config;
+  config.transient_rber = 1e-4;
+  fault::FaultInjector injector(config);
+  {
+    ScopedFaultChecker scoped(&injector, /*force=*/true);
+    EXPECT_EQ(scoped.active(), kCheckedHooks);
+    if (scoped.active()) {
+      // A balanced inject/resolve pair keeps the dtor's conservation check
+      // (which aborts on violations) green.
+      injector.RollRead(2, 0, 1.0, 1.0);
+      injector.ResolveRead(2, FaultResolution::kDropped);
+      EXPECT_GE(scoped.checker()->faults_observed(), 1u);
+    }
+  }
+  // Attaching to a null injector is a no-op, never a crash.
+  ScopedFaultChecker null_scope(nullptr, /*force=*/true);
+  EXPECT_FALSE(null_scope.active());
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace mrm

@@ -1,0 +1,208 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fault/fault_config.h"
+
+namespace mrm {
+namespace fault {
+namespace {
+
+TEST(FaultConfigTest, DefaultIsDisabledAndValid) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(FaultConfigTest, AnyRateEnables) {
+  FaultConfig config;
+  config.transient_rber = 1e-6;
+  EXPECT_TRUE(config.enabled());
+  config = FaultConfig();
+  config.stuck_block_prob = 0.1;
+  EXPECT_TRUE(config.enabled());
+  config = FaultConfig();
+  config.zone_failure_prob = 0.1;
+  EXPECT_TRUE(config.enabled());
+  config = FaultConfig();
+  config.channel_stall_prob = 0.1;
+  EXPECT_TRUE(config.enabled());
+  config = FaultConfig();
+  config.drop_completion_prob = 0.1;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultConfigTest, ValidationRejectsEachBadField) {
+  FaultConfig config;
+  config.transient_rber = 0.6;  // beyond the 0.5 RBER ceiling
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.stuck_block_prob = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.stuck_wear_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.zone_failure_prob = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.channel_stall_prob = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.channel_stall_ns = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.drop_completion_prob = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.completion_retry_ns = -5.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.silent_fraction = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FaultSpecTest, ParsesKeyValueList) {
+  const auto parsed =
+      ParseFaultSpec("transient_rber=1e-4,seed=7,zone_failure_prob=0.25,channel_stall_ns=300");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().transient_rber, 1e-4);
+  EXPECT_EQ(parsed.value().seed, 7u);
+  EXPECT_DOUBLE_EQ(parsed.value().zone_failure_prob, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.value().channel_stall_ns, 300.0);
+  // Unnamed fields keep their defaults.
+  EXPECT_DOUBLE_EQ(parsed.value().stuck_wear_fraction, 0.9);
+}
+
+TEST(FaultSpecTest, EmptySpecReturnsBase) {
+  FaultConfig base;
+  base.seed = 42;
+  const auto parsed = ParseFaultSpec("", base);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().seed, 42u);
+  EXPECT_FALSE(parsed.value().enabled());
+}
+
+TEST(FaultSpecTest, RejectsUnknownKeyAndMalformedValue) {
+  EXPECT_FALSE(ParseFaultSpec("bogus_knob=1").ok());
+  EXPECT_FALSE(ParseFaultSpec("transient_rber=banana").ok());
+  EXPECT_FALSE(ParseFaultSpec("transient_rber").ok());
+  EXPECT_FALSE(ParseFaultSpec("transient_rber=0.7").ok());  // fails Validate
+}
+
+TEST(FaultInjectorTest, RollsAreKeyedNotSequential) {
+  FaultConfig config;
+  config.seed = 99;
+  config.transient_rber = 1e-3;
+  config.silent_fraction = 0.0;
+  FaultInjector forward(config);
+  FaultInjector backward(config);
+
+  // The same (block, read_seq) pairs rolled in opposite orders must produce
+  // identical outcomes: each decision is a pure function of the key, never
+  // of injector call history. This is the --sim-threads determinism claim.
+  std::vector<FaultInjector::ReadRoll> a;
+  std::vector<FaultInjector::ReadRoll> b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(forward.RollRead(i, 0, 0.3, 0.5));
+  }
+  for (int i = 63; i >= 0; --i) {
+    b.push_back(backward.RollRead(i, 0, 0.3, 0.5));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a[i], b[63 - i]) << "block " << i;
+  }
+  EXPECT_EQ(forward.stats().read_rolls, 64u);
+  EXPECT_EQ(forward.stats(), backward.stats());
+}
+
+TEST(FaultInjectorTest, DistinctSeedsDecorrelate) {
+  FaultConfig config;
+  config.transient_rber = 1e-3;
+  config.seed = 1;
+  FaultInjector one(config);
+  config.seed = 2;
+  FaultInjector two(config);
+  int differing = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (one.RollRead(i, 0, 0.5, 0.0) != two.RollRead(i, 0, 0.5, 0.0)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, ReadRollRespectsProbabilities) {
+  FaultConfig config;
+  config.transient_rber = 1e-3;
+  config.silent_fraction = 0.0;
+  FaultInjector injector(config);
+  // Certain uncorrectable (silent fraction zero) and certain clean.
+  EXPECT_EQ(injector.RollRead(1, 0, 1.0, 1.0), FaultInjector::ReadRoll::kUncorrectable);
+  EXPECT_EQ(injector.RollRead(1, 1, 0.0, 0.0), FaultInjector::ReadRoll::kClean);
+  // Certain corrected: no uncorrectable mass, all raw-error mass.
+  EXPECT_EQ(injector.RollRead(1, 2, 0.0, 1.0), FaultInjector::ReadRoll::kCorrected);
+  EXPECT_EQ(injector.stats().reads_uncorrectable, 1u);
+  EXPECT_EQ(injector.stats().reads_corrected, 1u);
+  EXPECT_EQ(injector.stats().reads_silent, 0u);
+}
+
+TEST(FaultInjectorTest, SilentFractionConvertsUncorrectables) {
+  FaultConfig config;
+  config.transient_rber = 1e-3;
+  config.silent_fraction = 1.0;  // every uncorrectable miscorrects
+  FaultInjector injector(config);
+  EXPECT_EQ(injector.RollRead(1, 0, 1.0, 0.0), FaultInjector::ReadRoll::kSilent);
+  EXPECT_EQ(injector.stats().reads_silent, 1u);
+  // Silent corruption is terminal at injection: accounted immediately.
+  EXPECT_EQ(injector.stats().resolutions, 1u);
+}
+
+TEST(FaultInjectorTest, StuckRollGatedByWearFraction) {
+  FaultConfig config;
+  config.stuck_block_prob = 1.0;
+  config.stuck_wear_fraction = 0.9;
+  FaultInjector injector(config);
+  EXPECT_FALSE(injector.RollStuck(1, 10, 0.5));  // below the wear gate
+  EXPECT_TRUE(injector.RollStuck(1, 10, 0.95));
+  EXPECT_EQ(injector.stats().stuck_blocks, 1u);
+}
+
+TEST(FaultInjectorTest, ZoneStallDropRollsCountStats) {
+  FaultConfig config;
+  config.zone_failure_prob = 1.0;
+  config.channel_stall_prob = 1.0;
+  config.drop_completion_prob = 1.0;
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.RollZoneFailure(3, 0));
+  EXPECT_TRUE(injector.RollStall(17));
+  EXPECT_TRUE(injector.RollDrop(17));
+  EXPECT_EQ(injector.stats().zone_failures, 1u);
+  EXPECT_EQ(injector.stats().channel_stalls, 1u);
+  EXPECT_EQ(injector.stats().dropped_completions, 1u);
+  EXPECT_EQ(injector.stats().injected_total(), 3u);
+
+  injector.ResolveZone(3, FaultResolution::kZoneRetired);
+  injector.ResolveStall(17);
+  injector.ResolveDrop(17);
+  EXPECT_EQ(injector.stats().resolutions, 3u);
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFire) {
+  FaultConfig config;
+  config.seed = 5;
+  FaultInjector injector(config);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(injector.RollStuck(i, 100, 1.0));
+    EXPECT_FALSE(injector.RollZoneFailure(i, 0));
+    EXPECT_FALSE(injector.RollStall(i));
+    EXPECT_FALSE(injector.RollDrop(i));
+  }
+  EXPECT_EQ(injector.stats().injected_total(), 0u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace mrm

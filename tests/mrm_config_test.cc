@@ -1,0 +1,123 @@
+#include "src/mrm/mrm_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/units.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+MrmDeviceConfig Valid() {
+  MrmDeviceConfig config;
+  config.name = "cfg-mrm";
+  config.channels = 2;
+  config.zones = 8;
+  config.zone_blocks = 16;
+  config.block_bytes = 4096;
+  config.default_retention_s = kHour;
+  return config;
+}
+
+// Every rule must reject with a diagnostic naming the offending field — a
+// misconfiguration should point at the field, not at "the config".
+void ExpectRejects(const MrmDeviceConfig& config, const std::string& expected_fragment) {
+  const Status status = config.Validate();
+  ASSERT_FALSE(status.ok()) << "expected rejection mentioning '" << expected_fragment << "'";
+  EXPECT_NE(status.message().find(expected_fragment), std::string::npos)
+      << "diagnostic was: " << status.message();
+}
+
+TEST(MrmConfigTest, ValidConfigPasses) {
+  EXPECT_TRUE(Valid().Validate().ok());
+  // The stock presets must stay valid too.
+  EXPECT_TRUE(MrmDeviceConfig().Validate().ok());
+}
+
+TEST(MrmConfigTest, RejectsNonPositiveGeometry) {
+  MrmDeviceConfig config = Valid();
+  config.channels = 0;
+  ExpectRejects(config, "channels");
+  config = Valid();
+  config.zones = 0;
+  ExpectRejects(config, "zones");
+  config = Valid();
+  config.zone_blocks = 0;
+  ExpectRejects(config, "zone_blocks");
+  config = Valid();
+  config.block_bytes = 0;
+  ExpectRejects(config, "block_bytes");
+}
+
+TEST(MrmConfigTest, RejectsBadTimingAndEnergy) {
+  MrmDeviceConfig config = Valid();
+  config.read_latency_ns = -1.0;
+  ExpectRejects(config, "read latency");
+  config = Valid();
+  config.channel_read_bw_bytes_per_s = 0.0;
+  ExpectRejects(config, "bandwidths");
+  config = Valid();
+  config.channel_write_bw_ref_bytes_per_s = -1.0;
+  ExpectRejects(config, "bandwidths");
+  config = Valid();
+  config.io_pj_per_bit = -0.1;
+  ExpectRejects(config, "energy");
+  config = Valid();
+  config.background_mw = -5.0;
+  ExpectRejects(config, "energy");
+}
+
+TEST(MrmConfigTest, RejectsBadRetention) {
+  MrmDeviceConfig config = Valid();
+  config.default_retention_s = 0.0;
+  ExpectRejects(config, "default retention must be positive");
+  config = Valid();
+  config.retention_floor_s = -1.0;
+  ExpectRejects(config, "retention bounds must be non-negative");
+  config = Valid();
+  config.retention_floor_s = 2.0 * kHour;
+  config.retention_cap_s = kHour;
+  config.default_retention_s = kHour;
+  ExpectRejects(config, "floor > cap");
+  config = Valid();
+  config.retention_floor_s = 2.0 * kHour;
+  config.default_retention_s = kHour;
+  ExpectRejects(config, "below the retention floor");
+  config = Valid();
+  config.retention_cap_s = kHour / 2.0;
+  config.default_retention_s = kHour;
+  ExpectRejects(config, "above the retention cap");
+}
+
+TEST(MrmConfigTest, AcceptsRetentionBoundsThatBracketTheDefault) {
+  MrmDeviceConfig config = Valid();
+  config.retention_floor_s = kHour / 2.0;
+  config.retention_cap_s = 2.0 * kHour;
+  EXPECT_TRUE(config.Validate().ok());
+  // Zero means unbounded on that side.
+  config.retention_cap_s = 0.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(MrmConfigTest, RejectsBadEcc) {
+  MrmDeviceConfig config = Valid();
+  config.ecc_codeword_bits = config.block_bytes * 8 + 1;
+  ExpectRejects(config, "ECC codeword larger than the block");
+  config = Valid();
+  config.ecc_codeword_bits = 64;
+  config.ecc_t = 64;
+  ExpectRejects(config, "ECC strength");
+}
+
+TEST(MrmConfigTest, EccPayloadDefaultsToWholeBlock) {
+  MrmDeviceConfig config = Valid();
+  EXPECT_EQ(config.ecc_payload_bits(), config.block_bits());
+  config.ecc_codeword_bits = 4096;
+  EXPECT_EQ(config.ecc_payload_bits(), 4096u);
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

@@ -1,0 +1,354 @@
+// RAS recovery path under deterministic fault injection (DESIGN.md §10):
+// ECC decode outcomes, bounded read-retry, emergency scrub vs
+// drop-and-recompute, zone failure/retirement, and the legacy failure
+// counters (expired reads, endurance, read preemption).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/units.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_injector.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+
+namespace mrm {
+namespace mrmcore {
+namespace {
+
+MrmDeviceConfig RasMrm(std::uint32_t ecc_t = 16) {
+  MrmDeviceConfig config;
+  config.name = "ras-mrm";
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 2;
+  config.zones = 8;
+  config.zone_blocks = 16;
+  config.block_bytes = 4096;
+  config.channel_read_bw_bytes_per_s = 10e9;
+  config.channel_write_bw_ref_bytes_per_s = 10e9;
+  config.default_retention_s = kHour;
+  config.ecc_t = ecc_t;
+  return config;
+}
+
+fault::FaultConfig Faults(double transient_rber) {
+  fault::FaultConfig config;
+  config.seed = 1234;
+  config.transient_rber = transient_rber;
+  config.silent_fraction = 0.0;  // deterministic detected-uncorrectable
+  return config;
+}
+
+// A rig owning one independent simulated device + control plane + injector.
+struct Rig {
+  Rig(const MrmDeviceConfig& config, const fault::FaultConfig& faults,
+      ControlPlaneOptions options = {})
+      : simulator(1e9),
+        device(&simulator, config),
+        plane(&simulator, &device, std::move(options)),
+        injector(faults) {
+    plane.SetFaultInjector(&injector);
+  }
+
+  void AdvanceTo(double seconds) { simulator.RunUntil(simulator.SecondsToTicks(seconds)); }
+
+  sim::Simulator simulator;
+  MrmDevice device;
+  ControlPlane plane;
+  fault::FaultInjector injector;
+};
+
+TEST(MrmRasTest, FaultRateZeroReproducesLegacyRunExactly) {
+  // The acceptance bar: an attached all-zero-rate injector must not perturb
+  // a single statistic or event relative to the fault-free simulator.
+  struct Summary {
+    std::uint64_t events, blocks_written, blocks_read, decoded, appends, reclaimed;
+    double write_energy;
+  };
+  auto run = [](bool attach_injector) -> Summary {
+    sim::Simulator simulator(1e9);
+    MrmDevice device(&simulator, RasMrm());
+    ControlPlane plane(&simulator, &device, {});
+    fault::FaultInjector injector((fault::FaultConfig()));
+    if (attach_injector) {
+      plane.SetFaultInjector(&injector);
+    }
+    std::vector<LogicalId> ids;
+    int reads_ok = 0;
+    for (int i = 0; i < 20; ++i) {
+      auto id = plane.Append(120.0);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (const LogicalId id : ids) {
+      EXPECT_TRUE(plane.Read(id, [&reads_ok](bool ok) { reads_ok += ok ? 1 : 0; }).ok());
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(1.0));
+    for (int i = 0; i < 10; ++i) {
+      plane.Free(ids[i]);
+    }
+    simulator.RunUntil(simulator.SecondsToTicks(65.0));  // one scrub pass
+    EXPECT_EQ(reads_ok, 20);
+    return Summary{simulator.events_executed(),        device.stats().blocks_written,
+                   device.stats().blocks_read,         device.stats().decoded_reads,
+                   plane.stats().appends,              plane.stats().zones_reclaimed,
+                   device.stats().write_energy_pj};
+  };
+
+  const auto legacy = run(false);
+  const auto faulted = run(true);
+  EXPECT_EQ(legacy.events, faulted.events);
+  EXPECT_EQ(legacy.blocks_written, faulted.blocks_written);
+  EXPECT_EQ(legacy.blocks_read, faulted.blocks_read);
+  EXPECT_EQ(legacy.appends, faulted.appends);
+  EXPECT_EQ(legacy.reclaimed, faulted.reclaimed);
+  EXPECT_DOUBLE_EQ(legacy.write_energy, faulted.write_energy);
+  // And the decode path never ran in either: no enabled injector.
+  EXPECT_EQ(legacy.decoded, 0u);
+  EXPECT_EQ(faulted.decoded, 0u);
+}
+
+TEST(MrmRasTest, CorrectedReadsDeliverDataAndCountInStats) {
+  // Weak raw errors, strong code: every read sees raw bit errors (p_any ~ 1)
+  // but the code corrects them all (p_uncorrectable ~ 0).
+  Rig rig(RasMrm(/*ecc_t=*/512), Faults(1e-4));
+  auto id = rig.plane.Append(120.0);
+  ASSERT_TRUE(id.ok());
+  bool ok_flag = false;
+  ASSERT_TRUE(rig.plane.Read(id.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  rig.AdvanceTo(1.0);
+  EXPECT_TRUE(ok_flag);
+  EXPECT_EQ(rig.device.stats().decoded_reads, 1u);
+  EXPECT_EQ(rig.device.stats().corrected_reads, 1u);
+  EXPECT_EQ(rig.device.stats().uncorrectable_reads, 0u);
+  EXPECT_EQ(rig.plane.stats().read_retries, 0u);
+}
+
+TEST(MrmRasTest, UncorrectableReadRecoversThroughEmergencyScrub) {
+  // Saturated RBER against a weak code: every attempt decodes uncorrectable,
+  // retries exhaust, and the emergency scrub re-programs from the logical
+  // copy — the read still succeeds, the RAS ledger records the rescue.
+  Rig rig(RasMrm(/*ecc_t=*/4), Faults(0.5));
+  auto id = rig.plane.Append(600.0);
+  ASSERT_TRUE(id.ok());
+  bool ok_flag = false;
+  ASSERT_TRUE(rig.plane.Read(id.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  rig.AdvanceTo(1.0);
+  EXPECT_TRUE(ok_flag);
+  EXPECT_TRUE(rig.plane.Alive(id.value()));
+  EXPECT_EQ(rig.plane.stats().read_retries, 3u);  // default max_read_retries
+  EXPECT_EQ(rig.plane.stats().retry_successes, 0u);
+  EXPECT_EQ(rig.plane.stats().emergency_scrubs, 1u);
+  EXPECT_EQ(rig.plane.stats().uncorrectable_drops, 0u);
+  EXPECT_EQ(rig.device.stats().uncorrectable_reads, 4u);  // 1 + 3 retries
+  // Four UEs landed in the first zone: the default threshold retires it.
+  EXPECT_EQ(rig.plane.stats().zones_retired, 1u);
+  EXPECT_EQ(rig.device.zone_info(0).state, ZoneState::kRetired);
+  EXPECT_LT(rig.plane.UsableCapacityFraction(), 1.0);
+  // Every injected fault got a terminal disposition.
+  EXPECT_EQ(rig.injector.stats().injected_total(), rig.injector.stats().resolutions);
+}
+
+TEST(MrmRasTest, RetryRescuesTransientUpsets) {
+  // Intermediate RBER against a matched code: roughly half the attempts
+  // decode uncorrectable, so bounded retries rescue most reads.
+  Rig rig(RasMrm(/*ecc_t=*/32), Faults(1e-3));
+  std::vector<LogicalId> ids;
+  for (int i = 0; i < 12; ++i) {
+    auto id = rig.plane.Append(600.0);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  int completed = 0;
+  int ok_count = 0;
+  for (const LogicalId id : ids) {
+    ASSERT_TRUE(rig.plane
+                    .Read(id,
+                          [&](bool ok) {
+                            ++completed;
+                            ok_count += ok ? 1 : 0;
+                          })
+                    .ok());
+  }
+  rig.AdvanceTo(1.0);
+  EXPECT_EQ(completed, 12);
+  EXPECT_EQ(ok_count, 12);  // retries or emergency scrubs rescue every read
+  EXPECT_GE(rig.plane.stats().read_retries, 1u);
+  EXPECT_GE(rig.plane.stats().retry_successes, 1u);
+  EXPECT_EQ(rig.injector.stats().injected_total(), rig.injector.stats().resolutions);
+}
+
+TEST(MrmRasTest, DropAndRecomputeSurfacesLossToOwner) {
+  ControlPlaneOptions options;
+  options.emergency_scrub = false;  // §4: drop, owner recomputes
+  Rig rig(RasMrm(/*ecc_t=*/4), Faults(0.5), options);
+  std::vector<LogicalId> lost;
+  rig.plane.SetLossHandler([&lost](LogicalId id) { lost.push_back(id); });
+  auto id = rig.plane.Append(600.0);
+  ASSERT_TRUE(id.ok());
+  bool ok_flag = true;
+  ASSERT_TRUE(rig.plane.Read(id.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  rig.AdvanceTo(1.0);
+  EXPECT_FALSE(ok_flag);
+  EXPECT_FALSE(rig.plane.Alive(id.value()));
+  EXPECT_EQ(rig.plane.stats().uncorrectable_drops, 1u);
+  EXPECT_EQ(rig.plane.stats().emergency_scrubs, 0u);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], id.value());
+  EXPECT_EQ(rig.injector.stats().injected_total(), rig.injector.stats().resolutions);
+}
+
+TEST(MrmRasTest, ZoneFailureRetiresZonesAndDegradesCapacity) {
+  fault::FaultConfig faults;
+  faults.seed = 7;
+  faults.zone_failure_prob = 1.0;  // every append kills its zone
+  Rig rig(RasMrm(), faults);
+  const auto id = rig.plane.Append(600.0);
+  EXPECT_FALSE(id.ok());  // both reallocation attempts hit failing zones
+  EXPECT_EQ(rig.plane.stats().zones_retired, 2u);
+  EXPECT_EQ(rig.device.stats().zone_failures, 2u);
+  EXPECT_EQ(rig.device.zone_info(0).state, ZoneState::kRetired);
+  EXPECT_DOUBLE_EQ(rig.plane.UsableCapacityFraction(), 0.75);  // 6 of 8 left
+  EXPECT_EQ(rig.injector.stats().injected_total(), rig.injector.stats().resolutions);
+}
+
+TEST(MrmRasTest, StuckSlotsBurnAndAppendsMoveOn) {
+  fault::FaultConfig faults;
+  faults.seed = 7;
+  faults.stuck_block_prob = 1.0;
+  faults.stuck_wear_fraction = 0.0;  // wear gate open from the first cycle
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, RasMrm());
+  fault::FaultInjector injector(faults);
+  device.SetFaultInjector(&injector);
+
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  const auto first = device.AppendBlock(0, kHour, nullptr);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(device.zone_info(0).write_pointer, 1u);  // slot consumed by the burn
+  EXPECT_TRUE(device.block_meta(0).stuck);
+  EXPECT_FALSE(device.block_meta(0).written);
+  EXPECT_EQ(device.stats().stuck_blocks, 1u);
+  // The next append targets the next slot — and burns it too at prob 1.
+  EXPECT_FALSE(device.AppendBlock(0, kHour, nullptr).ok());
+  EXPECT_EQ(device.stats().stuck_blocks, 2u);
+  EXPECT_EQ(injector.stats().injected_total(), injector.stats().resolutions);
+}
+
+TEST(MrmRasTest, ExpiredReadFailsAndCountsExpiredReads) {
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, RasMrm());
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  const auto block = device.AppendBlock(0, /*retention_s=*/10.0, nullptr);
+  ASSERT_TRUE(block.ok());
+  // The tradeoff may clamp the requested retention up to its own floor: age
+  // the block past whatever was actually programmed.
+  const double programmed_s = device.block_meta(block.value()).retention_s;
+  simulator.ScheduleAt(simulator.SecondsToTicks(2.0 * programmed_s + 1.0), [] {});
+  simulator.Run();
+  bool ok_flag = true;
+  ASSERT_TRUE(device.ReadBlock(block.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  simulator.Run();
+  EXPECT_FALSE(ok_flag);
+  EXPECT_EQ(device.stats().expired_reads, 1u);
+}
+
+// A trade-off model with a tiny fixed endurance, to exhaust it in a test.
+class TinyEnduranceTradeoff : public cell::RetentionTradeoff {
+ public:
+  cell::Technology technology() const override { return cell::Technology::kSttMram; }
+  std::string name() const override { return "tiny-endurance"; }
+  double min_retention_s() const override { return 1e-6; }
+  double max_retention_s() const override { return 1e9; }
+  cell::OperatingPoint AtRetention(double retention_s) const override {
+    cell::OperatingPoint point;
+    point.retention_s = std::clamp(retention_s, min_retention_s(), max_retention_s());
+    point.write_latency_ns = 10.0;
+    point.write_energy_pj_per_bit = 1.0;
+    point.read_latency_ns = 5.0;
+    point.read_energy_pj_per_bit = 0.5;
+    point.endurance_cycles = 2.0;
+    return point;
+  }
+};
+
+TEST(MrmRasTest, EnduranceExhaustionCountsFailures) {
+  MrmDeviceConfig config = RasMrm();
+  config.zones = 2;
+  config.zone_blocks = 1;
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, config, std::make_unique<TinyEnduranceTradeoff>());
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_TRUE(device.OpenZone(0).ok());
+    ASSERT_TRUE(device.AppendBlock(0, kHour, nullptr).ok()) << "cycle " << cycle;
+    ASSERT_TRUE(device.ResetZone(0).ok());
+  }
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  const auto worn_out = device.AppendBlock(0, kHour, nullptr);
+  EXPECT_FALSE(worn_out.ok());
+  EXPECT_EQ(device.stats().endurance_failures, 1u);
+}
+
+TEST(MrmRasTest, ReadsPreemptQueuedWrites) {
+  MrmDeviceConfig config = RasMrm();
+  config.channels = 1;  // serialize everything onto one channel queue
+  sim::Simulator simulator(1e9);
+  MrmDevice device(&simulator, config);
+  ASSERT_TRUE(device.OpenZone(0).ok());
+  const auto first = device.AppendBlock(0, kHour, nullptr);   // in service
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(device.AppendBlock(0, kHour, nullptr).ok());    // queued write
+  bool ok_flag = false;
+  ASSERT_TRUE(device.ReadBlock(first.value(), [&](bool ok) { ok_flag = ok; }).ok());
+  simulator.Run();
+  EXPECT_TRUE(ok_flag);
+  EXPECT_EQ(device.stats().read_preemptions, 1u);
+}
+
+TEST(MrmRasTest, FaultedRunsAreDeterministic) {
+  // The same (seed, config, workload) triple must reproduce every statistic.
+  auto run = [] {
+    Rig rig(RasMrm(/*ecc_t=*/32), Faults(1e-3));
+    std::vector<LogicalId> ids;
+    for (int i = 0; i < 16; ++i) {
+      auto id = rig.plane.Append(600.0);
+      if (id.ok()) {
+        ids.push_back(id.value());
+      }
+    }
+    int ok_count = 0;
+    for (const LogicalId id : ids) {
+      (void)rig.plane.Read(id, [&ok_count](bool ok) { ok_count += ok ? 1 : 0; });
+    }
+    rig.AdvanceTo(1.0);
+    struct Summary {
+      std::uint64_t events, retries, successes, scrubs, drops, ue;
+      int ok_count;
+    };
+    return Summary{rig.simulator.events_executed(),
+                   rig.plane.stats().read_retries,
+                   rig.plane.stats().retry_successes,
+                   rig.plane.stats().emergency_scrubs,
+                   rig.plane.stats().uncorrectable_drops,
+                   rig.device.stats().uncorrectable_reads,
+                   ok_count};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.scrubs, b.scrubs);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.ue, b.ue);
+  EXPECT_EQ(a.ok_count, b.ok_count);
+}
+
+}  // namespace
+}  // namespace mrmcore
+}  // namespace mrm

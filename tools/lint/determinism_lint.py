@@ -3,7 +3,7 @@
 
 The simulator's contract is bit-identical statistics for a given seed at any
 thread count. This lint statically forbids the constructs that silently break
-that contract in the deterministic core (src/sim, src/mem, src/mrm):
+that contract in the deterministic core (src/sim, src/mem, src/mrm, src/fault):
 
   call-rand          libc randomness: rand(), srand(), random(), drand48(), …
                      (seeded std::mt19937 etc. are fine — they are explicit
@@ -37,7 +37,7 @@ import re
 import sys
 import tempfile
 
-CORE_DIRS = ("src/sim", "src/mem", "src/mrm")
+CORE_DIRS = ("src/sim", "src/mem", "src/mrm", "src/fault")
 CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
 ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)")
