@@ -65,6 +65,53 @@ NodeModelConfig HbmNode(const workload::FoundationModelConfig& model,
   return config;
 }
 
+NodeModelConfig CalibrateNodeModel(const workload::FoundationModelConfig& model,
+                                   workload::MemoryBackend* backend, double tflops,
+                                   int prefill_chunk_tokens, int probe_batch) {
+  MRM_CHECK(backend != nullptr);
+  MRM_CHECK(model.Validate().ok());
+  MRM_CHECK(probe_batch > 0);
+  NodeModelConfig config;
+  config.model = model;
+  config.compute_tflops = tflops;
+  config.prefill_chunk_tokens = prefill_chunk_tokens;
+
+  const std::uint64_t weight_probe = model.weight_bytes();
+  // A decode-sized KV working set: probe_batch requests at 4K context.
+  const std::uint64_t kv_probe =
+      static_cast<std::uint64_t>(probe_batch) * 4096ULL * model.kv_bytes_per_token();
+
+  workload::StepBatch batch;
+  batch.Read(workload::Stream::kWeights, weight_probe);
+  const double weight_s = backend->SubmitStep(batch).seconds;
+  MRM_CHECK(weight_s > 0.0) << "weight probe produced zero step time";
+  config.weight_read_bw_bytes_per_s = static_cast<double>(weight_probe) / weight_s;
+
+  batch.Clear();
+  batch.Read(workload::Stream::kKvCache, kv_probe);
+  const double kv_read_s = backend->SubmitStep(batch).seconds;
+  MRM_CHECK(kv_read_s > 0.0) << "KV read probe produced zero step time";
+  config.kv_read_bw_bytes_per_s = static_cast<double>(kv_probe) / kv_read_s;
+
+  batch.Clear();
+  batch.Write(workload::Stream::kKvCache, kv_probe);
+  const double kv_write_s = backend->SubmitStep(batch).seconds;
+  MRM_CHECK(kv_write_s > 0.0) << "KV write probe produced zero step time";
+  config.kv_write_bw_bytes_per_s = static_cast<double>(kv_probe) / kv_write_s;
+
+  // If the combined step costs roughly the sum of the solo probes the two
+  // streams serialize on one bus; if it costs about the max they overlap.
+  // The midpoint (max + half the min) splits the two hypotheses.
+  batch.Clear();
+  batch.Read(workload::Stream::kWeights, weight_probe);
+  batch.Read(workload::Stream::kKvCache, kv_probe);
+  const double combined_s = backend->SubmitStep(batch).seconds;
+  const double solo_max = std::max(weight_s, kv_read_s);
+  const double solo_min = std::min(weight_s, kv_read_s);
+  config.streams_share_tier = combined_s >= solo_max + 0.5 * solo_min;
+  return config;
+}
+
 NodeModelConfig HbmMrmNode(const workload::FoundationModelConfig& model,
                            const workload::TierSpec& hbm, const workload::TierSpec& mrm,
                            double tflops) {

@@ -67,6 +67,19 @@ NodeModelConfig HbmMrmNode(const workload::FoundationModelConfig& model,
                            const workload::TierSpec& hbm, const workload::TierSpec& mrm,
                            double tflops);
 
+// Calibrates a node model against a live backend by probing it with
+// synthetic SubmitStep batches: a pure weight sweep and pure KV read/write
+// probes pin the three stream bandwidths, and a combined weights+KV probe
+// decides whether the streams share a bus (time adds) or overlap (max).
+// Works on any MemoryBackend — analytic, tiered or cycle-level sim — so the
+// cluster layer inherits whichever fidelity the backend provides. The
+// backend's energy/scrub ledgers advance during probing; calibrate on a
+// dedicated instance when those matter.
+NodeModelConfig CalibrateNodeModel(const workload::FoundationModelConfig& model,
+                                   workload::MemoryBackend* backend, double tflops,
+                                   int prefill_chunk_tokens = 2048,
+                                   int probe_batch = 8);
+
 }  // namespace cluster
 }  // namespace mrm
 

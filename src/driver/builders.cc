@@ -1,8 +1,11 @@
 #include "src/driver/builders.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/units.h"
+#include "src/driver/sim_backend.h"
 #include "src/tier/tier_spec.h"
 
 namespace mrm {
@@ -23,6 +26,31 @@ Result<cell::Technology> TechnologyByName(const std::string& name) {
 }
 
 }  // namespace
+
+Result<BackendKind> BackendKindByName(const std::string& name) {
+  if (name == "analytic") {
+    return BackendKind::kAnalytic;
+  }
+  if (name == "tiered") {
+    return BackendKind::kTiered;
+  }
+  if (name == "sim") {
+    return BackendKind::kSim;
+  }
+  return Error("unknown backend: '" + name + "' (analytic | tiered | sim)");
+}
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kAnalytic:
+      return "analytic";
+    case BackendKind::kTiered:
+      return "tiered";
+    case BackendKind::kSim:
+      return "sim";
+  }
+  return "unknown";
+}
 
 Result<mem::DeviceConfig> BuildDeviceConfig(const Config& config, const std::string& prefix) {
   const std::string preset = config.GetString(prefix + ".preset", "hbm3e");
@@ -122,6 +150,8 @@ Result<Scenario> BuildScenario(const Config& config) {
   if (hbm_devices <= 0) {
     return Error("hbm.devices must be positive");
   }
+  scenario.hbm_device = hbm_device.value();
+  scenario.hbm_devices = hbm_devices;
   scenario.tiers.push_back(tier::TierSpecFromDevice(hbm_device.value(), hbm_devices));
 
   // Optional MRM tier.
@@ -133,6 +163,12 @@ Result<Scenario> BuildScenario(const Config& config) {
     }
     scenario.mrm_retention_s = config.GetDuration("mrm.retention", 6.0 * kHour);
     const int mrm_devices = static_cast<int>(config.GetInt("mrm.devices", 1));
+    if (mrm_devices <= 0) {
+      return Error("mrm.devices must be positive");
+    }
+    scenario.mrm_enabled = true;
+    scenario.mrm_device = mrm_config.value();
+    scenario.mrm_devices = mrm_devices;
     scenario.tiers.push_back(
         tier::TierSpecFromMrm(mrm_config.value(), mrm_devices, scenario.mrm_retention_s));
   }
@@ -147,14 +183,40 @@ Result<Scenario> BuildScenario(const Config& config) {
   scenario.placement.kv_cold_tier = has_mrm ? 1 : 0;
   scenario.placement.kv_hot_fraction =
       config.GetDouble("placement.kv_hot_fraction", has_mrm ? 0.15 : 1.0);
-  if (scenario.placement.kv_hot_fraction < 0.0 || scenario.placement.kv_hot_fraction > 1.0) {
-    return Error("placement.kv_hot_fraction must be in [0, 1]");
-  }
   scenario.placement.activations_tier = 0;
   if (has_mrm && config.GetBool("mrm.scrub", true)) {
     scenario.backend_options.scrub_tier = 1;
     scenario.backend_options.scrub_safe_age_s =
         config.GetDuration("mrm.scrub_safe_age", scenario.mrm_retention_s / 2.0);
+  }
+  const int tier_count = static_cast<int>(scenario.tiers.size());
+  const Status placement_ok = scenario.placement.Validate(tier_count);
+  if (!placement_ok.ok()) {
+    return Error(placement_ok.message());
+  }
+  const Status options_ok = scenario.backend_options.Validate(tier_count);
+  if (!options_ok.ok()) {
+    return Error(options_ok.message());
+  }
+
+  // Backend selection.
+  auto backend = BackendKindByName(config.GetString("backend", "tiered"));
+  if (!backend.ok()) {
+    return backend.error();
+  }
+  scenario.backend = backend.value();
+  scenario.sim_threads = static_cast<int>(config.GetInt("sim.threads", 1));
+  if (scenario.sim_threads <= 0) {
+    return Error("sim.threads must be positive");
+  }
+  const std::int64_t lower_scale = config.GetInt("sim.lower_scale", 8192);
+  if (lower_scale <= 0) {
+    return Error("sim.lower_scale must be positive");
+  }
+  scenario.sim_lower_scale = static_cast<std::uint64_t>(lower_scale);
+  if (scenario.backend == BackendKind::kAnalytic && has_mrm) {
+    return Error("backend = analytic supports a single HBM tier; "
+                 "use backend = tiered or sim for MRM scenarios");
   }
 
   // Engine.
@@ -180,10 +242,49 @@ Result<Scenario> BuildScenario(const Config& config) {
   return scenario;
 }
 
+Result<std::unique_ptr<workload::MemoryBackend>> MakeBackend(const Scenario& scenario) {
+  const std::uint64_t weight_bytes = scenario.model.weight_bytes();
+  switch (scenario.backend) {
+    case BackendKind::kAnalytic: {
+      if (scenario.tiers.size() != 1) {
+        return Error("backend = analytic requires exactly one (HBM) tier");
+      }
+      return std::unique_ptr<workload::MemoryBackend>(
+          new workload::AnalyticBackend(scenario.tiers[0], weight_bytes));
+    }
+    case BackendKind::kTiered: {
+      return std::unique_ptr<workload::MemoryBackend>(
+          new tier::TieredBackend(scenario.tiers, scenario.placement, weight_bytes,
+                                  scenario.backend_options));
+    }
+    case BackendKind::kSim: {
+      SimBackendOptions options;
+      options.device = scenario.hbm_device;
+      options.devices = scenario.hbm_devices;
+      options.sim_threads = scenario.sim_threads;
+      options.lower_scale = scenario.sim_lower_scale;
+      options.mrm_enabled = scenario.mrm_enabled;
+      options.mrm = scenario.mrm_device;
+      options.mrm_devices = scenario.mrm_devices;
+      options.mrm_retention_s =
+          scenario.mrm_retention_s > 0.0 ? scenario.mrm_retention_s : 6.0 * kHour;
+      options.placement = scenario.placement;
+      const Status valid = options.Validate(weight_bytes);
+      if (!valid.ok()) {
+        return Error(valid.message());
+      }
+      return std::unique_ptr<workload::MemoryBackend>(
+          new SimBackend(std::move(options), weight_bytes));
+    }
+  }
+  return Error("unknown backend kind");
+}
+
 ScenarioResult RunScenario(const Scenario& scenario) {
-  tier::TieredBackend backend(scenario.tiers, scenario.placement,
-                              scenario.model.weight_bytes(), scenario.backend_options);
-  workload::InferenceEngine engine(scenario.engine, &backend);
+  auto backend_or = MakeBackend(scenario);
+  MRM_CHECK(backend_or.ok()) << backend_or.status().message();
+  std::unique_ptr<workload::MemoryBackend> backend = std::move(backend_or.value());
+  workload::InferenceEngine engine(scenario.engine, backend.get());
   workload::RequestGenerator generator(scenario.profile, scenario.arrivals_per_s,
                                        scenario.seed);
   std::vector<workload::InferenceRequest> requests;
@@ -194,7 +295,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   ScenarioResult result;
   result.summary = engine.Run(std::move(requests));
   result.tco = analysis::ComputeTco(result.summary, scenario.tiers);
-  result.backend_name = backend.name();
+  result.backend_name = backend->name();
   return result;
 }
 

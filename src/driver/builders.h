@@ -57,6 +57,17 @@ Result<workload::FoundationModelConfig> BuildModel(const Config& config);
 // long-context-summarization.
 Result<workload::WorkloadProfile> BuildProfile(const std::string& name);
 
+// Which MemoryBackend implementation serves the workload. All three consume
+// the same Scenario — the point of the unified transfer-batch contract.
+enum class BackendKind {
+  kAnalytic,  // single-tier constants (HBM only)
+  kTiered,    // multi-tier analytic with placement + scrub model
+  kSim,       // cycle-level: sharded mem::MemorySystem (+ zoned MRM)
+};
+
+Result<BackendKind> BackendKindByName(const std::string& name);
+const char* BackendKindName(BackendKind kind);
+
 // A complete single-node serving scenario parsed from a config.
 struct Scenario {
   workload::FoundationModelConfig model;
@@ -70,9 +81,26 @@ struct Scenario {
   std::uint64_t seed = 1;
   // The MRM retention used for the mrm tier (informational).
   double mrm_retention_s = 0.0;
+
+  // Backend selection (`backend = analytic | tiered | sim`) and the
+  // cycle-level device configs behind the tier specs, kept so the sim
+  // backend can instantiate the real devices.
+  BackendKind backend = BackendKind::kTiered;
+  mem::DeviceConfig hbm_device;
+  int hbm_devices = 8;
+  bool mrm_enabled = false;
+  mrmcore::MrmDeviceConfig mrm_device;
+  int mrm_devices = 1;
+  // Cycle-level knobs (`sim.threads`, `sim.lower_scale`).
+  int sim_threads = 1;
+  std::uint64_t sim_lower_scale = 8192;
 };
 
 Result<Scenario> BuildScenario(const Config& config);
+
+// Instantiates the scenario's backend. The same scenario runs unmodified on
+// any BackendKind; kAnalytic requires an HBM-only scenario (one tier).
+Result<std::unique_ptr<workload::MemoryBackend>> MakeBackend(const Scenario& scenario);
 
 struct ScenarioResult {
   workload::EngineSummary summary;

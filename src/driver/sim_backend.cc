@@ -1,0 +1,466 @@
+#include "src/driver/sim_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tier/tier_spec.h"
+
+namespace mrm {
+namespace driver {
+namespace {
+
+// Logical lifetime hint for simulated blocks. The closed-loop clock only
+// spans memory-active time (microseconds per run), so blocks must never
+// expire mid-run; frees are driven explicitly by OnKvFreed instead.
+constexpr double kBlockLifetimeS = 1e9;
+
+std::uint64_t AlignUp(std::uint64_t value, std::uint64_t unit) {
+  return (value + unit - 1) / unit * unit;
+}
+
+std::uint64_t CeilDiv(std::uint64_t value, std::uint64_t divisor) {
+  return (value + divisor - 1) / divisor;
+}
+
+}  // namespace
+
+Status SimBackendOptions::Validate(std::uint64_t weight_bytes) const {
+  if (devices < 1) {
+    return Error("sim backend: devices must be >= 1");
+  }
+  if (sim_threads < 1) {
+    return Error("sim backend: sim_threads must be >= 1");
+  }
+  if (lower_scale < 1) {
+    return Error("sim backend: lower_scale must be >= 1");
+  }
+  if (!(ticks_per_second > 0.0)) {
+    return Error("sim backend: ticks_per_second must be positive");
+  }
+  if (Status s = device.Validate(); !s.ok()) {
+    return s;
+  }
+  const int tier_count = mrm_enabled ? 2 : 1;
+  if (Status s = placement.Validate(tier_count); !s.ok()) {
+    return s;
+  }
+  if (mrm_enabled) {
+    if (mrm_devices < 1) {
+      return Error("sim backend: mrm_devices must be >= 1");
+    }
+    if (!(mrm_retention_s > 0.0)) {
+      return Error("sim backend: mrm_retention_s must be positive");
+    }
+    if (Status s = mrm.Validate(); !s.ok()) {
+      return s;
+    }
+  }
+  // The lowered working sets must leave room on the simulated devices: the
+  // weight sweep at most half the DRAM capacity (the rest serves KV +
+  // activations), the MRM weight set at most half its blocks.
+  const std::uint64_t divisor = static_cast<std::uint64_t>(devices) * lower_scale;
+  if (placement.weights_tier == 0 &&
+      AlignUp(CeilDiv(weight_bytes, divisor), device.access_bytes) >
+          device.capacity_bytes() / 2) {
+    return Error("sim backend: lowered weight sweep exceeds half the simulated "
+                 "device; raise lower_scale or devices");
+  }
+  if (mrm_enabled && placement.weights_tier == 1) {
+    const std::uint64_t mrm_divisor =
+        static_cast<std::uint64_t>(mrm_devices) * lower_scale;
+    if (CeilDiv(CeilDiv(weight_bytes, mrm_divisor), mrm.block_bytes) >
+        mrm.total_blocks() / 2) {
+      return Error("sim backend: lowered weight set exceeds half the simulated MRM "
+                   "blocks; raise lower_scale or mrm_devices");
+    }
+  }
+  return Status::Ok();
+}
+
+SimBackend::SimBackend(SimBackendOptions options, std::uint64_t weight_bytes)
+    : options_(std::move(options)),
+      weight_bytes_(weight_bytes),
+      simulator_(options_.ticks_per_second) {
+  const Status valid = options_.Validate(weight_bytes_);
+  MRM_CHECK(valid.ok()) << valid.message();
+
+  tier_specs_.push_back(tier::TierSpecFromDevice(options_.device, options_.devices));
+  simulator_.SetWorkerThreads(options_.sim_threads);
+  system_ = std::make_unique<mem::MemorySystem>(&simulator_, options_.device);
+
+  // Carve the simulated DRAM device into cyclic per-stream regions. Weights
+  // get their exact lowered sweep (a full-region read per step reproduces
+  // the steady-state sequential pattern); activations an eighth of the
+  // device; the KV cache the remainder.
+  const std::uint64_t access = options_.device.access_bytes;
+  const std::uint64_t capacity = system_->capacity_bytes();
+  const std::uint64_t min_region = std::max<std::uint64_t>(access, options_.device.row_bytes);
+  std::uint64_t weight_span = min_region;
+  if (options_.placement.weights_tier == 0) {
+    weight_span = std::max(weight_span, AlignUp(LowerDramBytes(weight_bytes_), access));
+  }
+  const std::uint64_t act_span = std::max(min_region, capacity / 8 / access * access);
+  MRM_CHECK(weight_span + act_span < capacity) << "simulated device too small";
+  weights_region_ = Region{0, weight_span, 0, 0};
+  act_region_ = Region{capacity - act_span, act_span, 0, 0};
+  kv_region_ = Region{weight_span, capacity - act_span - weight_span, 0, 0};
+
+  if (options_.mrm_enabled) {
+    tier_specs_.push_back(
+        tier::TierSpecFromMrm(options_.mrm, options_.mrm_devices, options_.mrm_retention_s));
+    mrm_device_ = std::make_unique<mrmcore::MrmDevice>(&simulator_, options_.mrm);
+    mrmcore::ControlPlaneOptions cp_options;
+    control_ = std::make_unique<mrmcore::ControlPlane>(&simulator_, mrm_device_.get(),
+                                                       cp_options);
+    // KV ring bound: leave headroom over the preloaded weight set so zone
+    // reclamation always finds free zones.
+    const std::uint64_t total_blocks = options_.mrm.total_blocks();
+    std::uint64_t weight_blocks = 0;
+    if (options_.placement.weights_tier == 1) {
+      weight_blocks = LowerMrmBlocks(weight_bytes_);
+    }
+    mrm_max_live_blocks_ = (total_blocks - weight_blocks) / 2;
+    MRM_CHECK(mrm_max_live_blocks_ > 0) << "simulated MRM device too small";
+
+    if (weight_blocks > 0) {
+      // Preload the weight set; the programming time is load-time, not step
+      // time, so the span is discarded.
+      mrm_weight_ids_.reserve(weight_blocks);
+      mrm_outstanding_ = weight_blocks;
+      active_chains_ = 1;
+      for (std::uint64_t i = 0; i < weight_blocks; ++i) {
+        auto id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+        MRM_CHECK(id.ok()) << "weight preload failed: " << id.error().message();
+        mrm_weight_ids_.push_back(id.value());
+        ++stats_.mrm_blocks_written;
+      }
+      simulator_.Run();
+      MRM_CHECK(active_chains_ == 0) << "weight preload did not drain";
+    }
+  }
+}
+
+SimBackend::~SimBackend() = default;
+
+std::string SimBackend::name() const {
+  std::string name = "sim(" + options_.device.name + " x" + std::to_string(options_.devices);
+  if (options_.mrm_enabled) {
+    name += " + " + tier_specs_[1].name;
+    if (options_.mrm_devices > 1) {
+      name += " x" + std::to_string(options_.mrm_devices);
+    }
+  }
+  return name + ")";
+}
+
+std::uint64_t SimBackend::LowerDramBytes(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  const std::uint64_t divisor =
+      static_cast<std::uint64_t>(options_.devices) * options_.lower_scale;
+  return AlignUp(std::max<std::uint64_t>(CeilDiv(bytes, divisor), 1),
+                 options_.device.access_bytes);
+}
+
+std::uint64_t SimBackend::LowerMrmBlocks(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  const std::uint64_t divisor =
+      static_cast<std::uint64_t>(options_.mrm_devices) * options_.lower_scale;
+  return std::max<std::uint64_t>(CeilDiv(CeilDiv(bytes, divisor), options_.mrm.block_bytes),
+                                 1);
+}
+
+void SimBackend::PlanDramTransfer(Region* region, bool is_write, std::uint64_t len,
+                                  std::uint32_t stream) {
+  if (len == 0) {
+    return;
+  }
+  MRM_CHECK(region->size > 0);
+  std::uint64_t* cursor = is_write ? &region->write_cursor : &region->read_cursor;
+  while (len > 0) {
+    const std::uint64_t avail = region->size - *cursor;
+    const std::uint64_t seg = std::min(len, avail);
+    dram_plan_.push_back(DramSegment{is_write, region->base + *cursor, seg, stream});
+    *cursor = (*cursor + seg) % region->size;
+    len -= seg;
+  }
+}
+
+void SimBackend::PlanStream(int tier, workload::Stream stream, bool is_write,
+                            std::uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  if (tier == 1) {
+    mrm_plan_.push_back(MrmOp{is_write, LowerMrmBlocks(bytes), stream});
+    return;
+  }
+  Region* region = &act_region_;
+  if (stream == workload::Stream::kWeights) {
+    region = &weights_region_;
+  } else if (stream == workload::Stream::kKvCache) {
+    region = &kv_region_;
+  }
+  PlanDramTransfer(region, is_write, LowerDramBytes(bytes), static_cast<std::uint32_t>(stream));
+}
+
+void SimBackend::PlanTransfer(const workload::Transfer& transfer) {
+  const tier::Placement& placement = options_.placement;
+  switch (transfer.stream) {
+    case workload::Stream::kWeights:
+      PlanStream(placement.weights_tier, transfer.stream, transfer.is_write, transfer.bytes);
+      break;
+    case workload::Stream::kKvCache: {
+      const auto hot = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(transfer.bytes) * placement.kv_hot_fraction));
+      PlanStream(placement.kv_hot_tier, transfer.stream, transfer.is_write, hot);
+      PlanStream(placement.kv_cold_tier, transfer.stream, transfer.is_write,
+                 transfer.bytes - hot);
+      break;
+    }
+    case workload::Stream::kActivations:
+    case workload::Stream::kNone:
+      PlanStream(placement.activations_tier, transfer.stream, transfer.is_write,
+                 transfer.bytes);
+      break;
+  }
+}
+
+double SimBackend::DramDynamicPj() const {
+  const mem::SystemStats stats = system_->GetStats();
+  return stats.energy.activate_pj + stats.energy.read_pj + stats.energy.write_pj +
+         stats.energy.io_pj;
+}
+
+double SimBackend::MrmDynamicPj() const {
+  if (mrm_device_ == nullptr) {
+    return 0.0;
+  }
+  const mrmcore::MrmDeviceStats& stats = mrm_device_->stats();
+  return stats.write_energy_pj + stats.read_energy_pj + stats.io_energy_pj;
+}
+
+void SimBackend::IssueNextDramSegment() {
+  if (dram_next_ == dram_plan_.size()) {
+    ChainFinished();
+    return;
+  }
+  const DramSegment& seg = dram_plan_[dram_next_++];
+  ++stats_.dram_segments;
+  stats_.dram_bytes += seg.len;
+  system_->Transfer(seg.is_write ? mem::Request::Kind::kWrite : mem::Request::Kind::kRead,
+                    seg.addr, seg.len, seg.stream, [this] { IssueNextDramSegment(); });
+}
+
+void SimBackend::AppendKvBlock() {
+  auto id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+  if (!id.ok()) {
+    // Capacity pressure: reclaim the oldest ring blocks and retry once.
+    const std::size_t reclaim =
+        std::min<std::size_t>(mrm_kv_ids_.size(), options_.mrm.zone_blocks);
+    for (std::size_t i = 0; i < reclaim; ++i) {
+      control_->Free(mrm_kv_ids_.front());
+      mrm_kv_ids_.pop_front();
+    }
+    id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+    MRM_CHECK(id.ok()) << "MRM append failed: " << id.error().message();
+  }
+  mrm_kv_ids_.push_back(id.value());
+  ++stats_.mrm_blocks_written;
+  while (mrm_kv_ids_.size() > mrm_max_live_blocks_) {
+    control_->Free(mrm_kv_ids_.front());
+    mrm_kv_ids_.pop_front();
+  }
+}
+
+void SimBackend::IssueNextMrmOp() {
+  if (mrm_next_ == mrm_plan_.size()) {
+    ChainFinished();
+    return;
+  }
+  const MrmOp op = mrm_plan_[mrm_next_++];
+  mrm_outstanding_ = op.blocks;
+  for (std::uint64_t i = 0; i < op.blocks; ++i) {
+    if (op.is_write) {
+      AppendKvBlock();
+      continue;
+    }
+    // Read path: weights cycle over the preloaded set, KV over the live
+    // ring; an empty working set is a cold miss served by writing (the
+    // owner recomputes and re-appends, §4's recompute arm).
+    const bool weights = op.stream == workload::Stream::kWeights && !mrm_weight_ids_.empty();
+    if (!weights && mrm_kv_ids_.empty()) {
+      ++stats_.mrm_fill_blocks;
+      AppendKvBlock();
+      continue;
+    }
+    mrmcore::LogicalId id = 0;
+    if (weights) {
+      id = mrm_weight_ids_[mrm_weight_read_cursor_ % mrm_weight_ids_.size()];
+      ++mrm_weight_read_cursor_;
+    } else {
+      id = mrm_kv_ids_[mrm_kv_read_cursor_ % mrm_kv_ids_.size()];
+      ++mrm_kv_read_cursor_;
+    }
+    ++stats_.mrm_blocks_read;
+    const Status status = control_->Read(id, [this](bool ok) {
+      if (!ok) {
+        ++stats_.mrm_read_failures;
+      }
+      OnMrmBlockDone();
+    });
+    if (!status.ok()) {
+      // Block dropped by the control plane (lost to a fault); the owner
+      // recomputes. Completes synchronously.
+      ++stats_.mrm_read_failures;
+      OnMrmBlockDone();
+    }
+  }
+}
+
+void SimBackend::OnMrmBlockDone() {
+  MRM_CHECK(mrm_outstanding_ > 0);
+  if (--mrm_outstanding_ == 0) {
+    IssueNextMrmOp();
+  }
+}
+
+void SimBackend::ChainFinished() {
+  MRM_CHECK(active_chains_ > 0);
+  if (--active_chains_ == 0) {
+    step_end_tick_ = simulator_.now();
+    simulator_.Stop();
+  }
+}
+
+sim::Tick SimBackend::RunPlans() {
+  // Lanes may have run ahead of the hub in the previous span; re-align so
+  // new arrivals never land in a lane's past (MemorySystem::LatestClock).
+  const sim::Tick resume = std::max(simulator_.now(), system_->LatestClock());
+  if (resume > simulator_.now()) {
+    simulator_.AdvanceTo(resume);
+  }
+  const sim::Tick start = simulator_.now();
+  step_end_tick_ = start;
+  active_chains_ = 0;
+  if (!dram_plan_.empty()) {
+    ++active_chains_;
+  }
+  if (!mrm_plan_.empty()) {
+    ++active_chains_;
+  }
+  if (active_chains_ == 0) {
+    return 0;
+  }
+  // The two tiers transfer concurrently; within a tier ops serialize on its
+  // bus — the same overlap model as TieredBackend and the analytic path.
+  if (!dram_plan_.empty()) {
+    IssueNextDramSegment();
+  }
+  if (!mrm_plan_.empty()) {
+    IssueNextMrmOp();
+  }
+  simulator_.Run();
+  MRM_CHECK(active_chains_ == 0) << "closed-loop step did not drain";
+  MRM_CHECK(system_->Idle()) << "DRAM requests left in flight after step";
+  return step_end_tick_ - start;
+}
+
+workload::StepCost SimBackend::SubmitStep(const std::vector<workload::Transfer>& transfers) {
+  dram_plan_.clear();
+  mrm_plan_.clear();
+  dram_next_ = 0;
+  mrm_next_ = 0;
+  mrm_outstanding_ = 0;
+  for (const workload::Transfer& transfer : transfers) {
+    PlanTransfer(transfer);
+  }
+  ++stats_.steps;
+
+  const double dram_pj_before = DramDynamicPj();
+  const double mrm_pj_before = MrmDynamicPj();
+  const sim::Tick span = RunPlans();
+
+  workload::StepCost cost;
+  const double span_s = simulator_.TicksToSeconds(span);
+  simulated_seconds_ += span_s;
+  cost.seconds = span_s * static_cast<double>(options_.lower_scale);
+  // One simulated device carries 1/(devices * lower_scale) of the tier's
+  // bytes; per-tier dynamic energy scales back by its device count and the
+  // shared lowering factor.
+  const double scaled_pj =
+      (DramDynamicPj() - dram_pj_before) * static_cast<double>(options_.devices) +
+      (MrmDynamicPj() - mrm_pj_before) * static_cast<double>(options_.mrm_devices);
+  cost.energy_j = scaled_pj * 1e-12 * static_cast<double>(options_.lower_scale);
+  dynamic_j_ += cost.energy_j;
+  return cost;
+}
+
+void SimBackend::AccountTime(double seconds) {
+  // The simulated clock only spans memory-active (and lowered) time, so
+  // background + refresh power is charged analytically over real step time,
+  // from the same TierSpec derivation the analytic backends use.
+  for (const workload::TierSpec& spec : tier_specs_) {
+    static_j_ += spec.static_power_w * seconds;
+  }
+}
+
+double SimBackend::EnergyJoules() const { return dynamic_j_ + static_j_; }
+
+std::uint64_t SimBackend::KvCapacityBytes() const {
+  // Same hot/cold-split capacity formula as tier::TieredBackend, over the
+  // real (un-lowered) tier capacities.
+  auto available = [this](int index) -> double {
+    const workload::TierSpec& spec = tier_specs_[static_cast<std::size_t>(index)];
+    if (spec.capacity_bytes == 0) {
+      return 1e30;
+    }
+    double capacity = static_cast<double>(spec.capacity_bytes);
+    if (index == options_.placement.weights_tier) {
+      capacity -= static_cast<double>(weight_bytes_);
+    }
+    return std::max(capacity, 0.0);
+  };
+  const double f = options_.placement.kv_hot_fraction;
+  double limit = 1e30;
+  if (f > 0.0) {
+    limit = std::min(limit, available(options_.placement.kv_hot_tier) / f);
+  }
+  if (f < 1.0) {
+    limit = std::min(limit, available(options_.placement.kv_cold_tier) / (1.0 - f));
+  }
+  if (limit >= 1e30) {
+    return 0;  // unlimited
+  }
+  return static_cast<std::uint64_t>(limit);
+}
+
+void SimBackend::OnKvFreed(std::uint64_t bytes) {
+  if (control_ == nullptr || mrm_kv_ids_.empty()) {
+    return;
+  }
+  // Free the oldest lowered blocks covering the freed share of the cold KV.
+  const tier::Placement& placement = options_.placement;
+  double fraction = 0.0;
+  if (placement.kv_cold_tier == 1) {
+    fraction += 1.0 - placement.kv_hot_fraction;
+  }
+  if (placement.kv_hot_tier == 1) {
+    fraction += placement.kv_hot_fraction;
+  }
+  const auto mrm_bytes = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) * fraction));
+  std::uint64_t blocks = LowerMrmBlocks(mrm_bytes);
+  while (blocks > 0 && !mrm_kv_ids_.empty()) {
+    control_->Free(mrm_kv_ids_.front());
+    mrm_kv_ids_.pop_front();
+    --blocks;
+  }
+}
+
+}  // namespace driver
+}  // namespace mrm

@@ -1,0 +1,201 @@
+// Cycle-level workload::MemoryBackend: closed-loop LLM inference on the
+// channel-sharded simulator (DESIGN.md §11).
+//
+// Each SubmitStep() lowers the step's transfer batch into real device
+// traffic — mem::Request streams through mem::MemorySystem for the DRAM
+// tier, zoned appends/reads through mrm::ControlPlane for the optional MRM
+// tier — runs the hub simulator for exactly the step's span, and converts
+// the measured tick span and energy-counter deltas back into the step's
+// StepCost. The sharded engine executes the same epoch schedule at any
+// sim-thread count, so step times, SystemStats and energy are bit-identical
+// for --sim-threads 1/2/4.
+//
+// Sampled lowering: simulating every byte of a 140 GB weight sweep per step
+// is ~2e9 column accesses; instead one device of `devices` identical stacks
+// is simulated and only 1/lower_scale of its share of each transfer is
+// issued. Measured time and dynamic energy scale back by lower_scale (and
+// energy by `devices`), which is exact for steady-state sequential streams
+// (the LLM weight/KV traffic this backend exists for) and validated against
+// the analytic model by tests/closed_loop_validation_test.cc.
+
+#ifndef MRMSIM_SRC_DRIVER_SIM_BACKEND_H_
+#define MRMSIM_SRC_DRIVER_SIM_BACKEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/mem/device_config.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/mrm_config.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+#include "src/tier/tiered_backend.h"
+#include "src/workload/backend.h"
+
+namespace mrm {
+namespace driver {
+
+struct SimBackendOptions {
+  // DRAM tier: `devices` identical stacks; one is simulated and traffic is
+  // divided by `devices` (each stack carries an equal share concurrently).
+  mem::DeviceConfig device = mem::HBM3EConfig();
+  int devices = 8;
+
+  // Worker threads for the channel-sharded epoch engine (stats are
+  // bit-identical for any value; >1 needs free hardware threads to pay off).
+  int sim_threads = 1;
+
+  // Sampled-lowering divisor: simulate 1/lower_scale of each device's share
+  // of every transfer, scale measured time/energy back up. Must keep the
+  // lowered weight sweep within half the simulated device's capacity.
+  std::uint64_t lower_scale = 4096;
+
+  // Hub clock resolution; ps keeps sub-ns DRAM timing exact.
+  double ticks_per_second = 1e12;
+
+  // Optional cycle-level MRM tier behind the zoned control plane. Tier
+  // indices for `placement`: 0 = DRAM, 1 = MRM.
+  bool mrm_enabled = false;
+  mrmcore::MrmDeviceConfig mrm;
+  int mrm_devices = 1;
+  double mrm_retention_s = 6.0 * kHour;
+  tier::Placement placement;
+
+  // `weight_bytes` (the model's resident weights) lets the check bound the
+  // lowered working sets against the simulated devices' capacity.
+  Status Validate(std::uint64_t weight_bytes = 0) const;
+};
+
+// Closed-loop op counters (lowered units, post-division).
+struct SimBackendStats {
+  std::uint64_t steps = 0;
+  std::uint64_t dram_segments = 0;      // bulk transfers issued to the DRAM tier
+  std::uint64_t dram_bytes = 0;         // lowered bytes through the DRAM tier
+  std::uint64_t mrm_blocks_written = 0;
+  std::uint64_t mrm_blocks_read = 0;
+  std::uint64_t mrm_fill_blocks = 0;    // reads served by writing (cold miss)
+  std::uint64_t mrm_read_failures = 0;  // lost/expired blocks (recompute)
+};
+
+class SimBackend final : public workload::MemoryBackend {
+ public:
+  // Dies (MRM_CHECK) on invalid options; call options.Validate() first for a
+  // recoverable error.
+  SimBackend(SimBackendOptions options, std::uint64_t weight_bytes);
+  ~SimBackend() override;
+
+  SimBackend(const SimBackend&) = delete;
+  SimBackend& operator=(const SimBackend&) = delete;
+
+  using workload::MemoryBackend::SubmitStep;
+
+  std::string name() const override;
+  workload::StepCost SubmitStep(const std::vector<workload::Transfer>& transfers) override;
+  void AccountTime(double seconds) override;
+  double EnergyJoules() const override;
+  std::uint64_t KvCapacityBytes() const override;
+  void OnKvFreed(std::uint64_t bytes) override;
+
+  // Introspection for tests, benches and the protocol auditor.
+  sim::Simulator* simulator() { return &simulator_; }
+  mem::MemorySystem* memory_system() { return system_.get(); }
+  mrmcore::MrmDevice* mrm_device() { return mrm_device_.get(); }
+  mrmcore::ControlPlane* control_plane() { return control_.get(); }
+  mem::SystemStats MemStats() const { return system_->GetStats(); }
+  const SimBackendStats& sim_stats() const { return stats_; }
+  const SimBackendOptions& options() const { return options_; }
+  // Analytic twins of the simulated tiers ([0]=DRAM, [1]=MRM when enabled).
+  const std::vector<workload::TierSpec>& tier_specs() const { return tier_specs_; }
+  // Un-scaled simulator time spent inside SubmitStep spans so far.
+  double simulated_seconds() const { return simulated_seconds_; }
+
+ private:
+  // One bulk transfer on the simulated DRAM device (already lowered).
+  struct DramSegment {
+    bool is_write = false;
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    std::uint32_t stream = 0;
+  };
+  // One lowered MRM operation (blocks move as a unit per channel schedule).
+  struct MrmOp {
+    bool is_write = false;
+    std::uint64_t blocks = 0;
+    workload::Stream stream = workload::Stream::kNone;
+  };
+  // A cyclic window of the simulated address space backing one stream.
+  struct Region {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    std::uint64_t read_cursor = 0;   // offset within the region
+    std::uint64_t write_cursor = 0;
+  };
+
+  std::uint64_t LowerDramBytes(std::uint64_t bytes) const;
+  std::uint64_t LowerMrmBlocks(std::uint64_t bytes) const;
+  // Splits a lowered transfer into cyclic segments of `region` and appends
+  // them to the DRAM plan.
+  void PlanDramTransfer(Region* region, bool is_write, std::uint64_t len,
+                        std::uint32_t stream);
+  // Routes one batch transfer to the DRAM and/or MRM plans per placement.
+  void PlanTransfer(const workload::Transfer& transfer);
+  void PlanStream(int tier, workload::Stream stream, bool is_write, std::uint64_t bytes);
+
+  void IssueNextDramSegment();
+  void IssueNextMrmOp();
+  void AppendKvBlock();  // one lowered KV block through the control plane
+  void OnMrmBlockDone();
+  void ChainFinished();
+  // Runs the hub until both chains drain, returns the span in ticks.
+  sim::Tick RunPlans();
+
+  double DramDynamicPj() const;
+  double MrmDynamicPj() const;
+
+  SimBackendOptions options_;
+  std::uint64_t weight_bytes_ = 0;
+  std::vector<workload::TierSpec> tier_specs_;  // [0]=DRAM, [1]=MRM (analytic twin)
+
+  sim::Simulator simulator_;
+  std::unique_ptr<mem::MemorySystem> system_;
+  std::unique_ptr<mrmcore::MrmDevice> mrm_device_;
+  std::unique_ptr<mrmcore::ControlPlane> control_;
+
+  Region weights_region_;
+  Region kv_region_;
+  Region act_region_;
+
+  // MRM logical-block working set: weights are preloaded once; KV blocks
+  // ring-buffer (appends push, OnKvFreed pops oldest).
+  std::vector<mrmcore::LogicalId> mrm_weight_ids_;
+  std::deque<mrmcore::LogicalId> mrm_kv_ids_;
+  std::uint64_t mrm_kv_read_cursor_ = 0;
+  std::uint64_t mrm_weight_read_cursor_ = 0;
+  std::uint64_t mrm_max_live_blocks_ = 0;
+
+  // Per-step plan + chain state.
+  std::vector<DramSegment> dram_plan_;
+  std::vector<MrmOp> mrm_plan_;
+  std::size_t dram_next_ = 0;
+  std::size_t mrm_next_ = 0;
+  std::uint64_t mrm_outstanding_ = 0;
+  int active_chains_ = 0;
+  sim::Tick step_end_tick_ = 0;
+
+  // Ledgers.
+  SimBackendStats stats_;
+  double dynamic_j_ = 0.0;  // scaled-back dynamic energy across steps
+  double static_j_ = 0.0;   // analytic background/refresh via AccountTime
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace driver
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_DRIVER_SIM_BACKEND_H_

@@ -160,6 +160,14 @@ void MemorySystem::PumpTransfer(const std::shared_ptr<TransferState>& transfer) 
 
 bool MemorySystem::Idle() const { return inflight_requests_ == 0; }
 
+sim::Tick MemorySystem::LatestClock() const {
+  sim::Tick now = simulator_->now();
+  for (const Lane& lane : lanes_) {
+    now = std::max(now, lane.sim->now());
+  }
+  return now;
+}
+
 // --- EpochDomain ----------------------------------------------------------
 
 int MemorySystem::LaneCount() const { return config_.channels; }

@@ -111,6 +111,13 @@ class MemorySystem : public sim::EpochDomain {
 
   std::uint64_t capacity_bytes() const { return config_.capacity_bytes(); }
 
+  // Latest clock anywhere in the system — the hub may trail the lanes, which
+  // run ahead to each epoch's horizon. A driver issuing traffic in multiple
+  // Run() spans (the closed-loop backend) must advance the hub here first so
+  // new arrivals never land in a lane's past. Deterministic for any worker
+  // count (the epoch schedule is).
+  sim::Tick LatestClock() const;
+
  private:
   struct TransferState {
     Request::Kind kind;

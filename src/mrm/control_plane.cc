@@ -77,7 +77,8 @@ Result<std::uint32_t> ControlPlane::AllocateZone() {
   return best;
 }
 
-Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
+Result<BlockId> ControlPlane::AppendPhysical(double retention_s,
+                                             std::function<void(BlockId)> on_programmed) {
   for (int attempt = 0; attempt < 2;) {
     if (!has_open_zone_ || device_->zone_info(open_zone_).state != ZoneState::kOpen ||
         device_->ZoneFailed(open_zone_)) {
@@ -89,7 +90,10 @@ Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
       has_open_zone_ = true;
     }
     const std::uint32_t pointer_before = device_->zone_info(open_zone_).write_pointer;
-    auto block = device_->AppendBlock(open_zone_, retention_s, nullptr);
+    // The callback is only consumed by a successful append: failed attempts
+    // below never schedule a programming pulse, so it stays intact for the
+    // retry.
+    auto block = device_->AppendBlock(open_zone_, retention_s, on_programmed);
     if (block.ok()) {
       return block;
     }
@@ -114,9 +118,12 @@ Result<BlockId> ControlPlane::AppendPhysical(double retention_s) {
   return Error("append failed after zone reallocation");
 }
 
-Result<LogicalId> ControlPlane::Append(double lifetime_s) {
+Result<LogicalId> ControlPlane::Append(double lifetime_s, std::function<void()> on_programmed) {
   const double retention = RetentionForLifetime(lifetime_s);
-  auto block = AppendPhysical(retention);
+  auto block = AppendPhysical(
+      retention, on_programmed == nullptr
+                     ? std::function<void(BlockId)>()
+                     : [cb = std::move(on_programmed)](BlockId /*block*/) { cb(); });
   if (!block.ok()) {
     return block.error();
   }

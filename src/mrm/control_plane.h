@@ -99,8 +99,10 @@ class ControlPlane {
 
   // Writes one block of data expected to be useful for `lifetime_s`.
   // Returns the logical id. Physical placement, retention programming and
-  // any later scrub migration are invisible to the caller.
-  Result<LogicalId> Append(double lifetime_s);
+  // any later scrub migration are invisible to the caller. `on_programmed`
+  // (optional) fires when the device finishes the programming pulse — the
+  // closed-loop driver uses it to time a step's MRM writes.
+  Result<LogicalId> Append(double lifetime_s, std::function<void()> on_programmed = nullptr);
 
   // Reads a logical block; on_done(ok) — ok==false when the data was lost
   // (expired before read and not refreshed).
@@ -156,7 +158,8 @@ class ControlPlane {
   };
 
   Result<std::uint32_t> AllocateZone();
-  Result<BlockId> AppendPhysical(double retention_s);
+  Result<BlockId> AppendPhysical(double retention_s,
+                                 std::function<void(BlockId)> on_programmed = nullptr);
   void OnZoneBlockDead(std::uint32_t zone);
   double ScrubDeadlineFor(double written_at_s, double retention_s) const;
 

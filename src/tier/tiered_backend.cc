@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/common/logging.h"
 
@@ -10,6 +11,55 @@ namespace tier {
 
 using workload::Stream;
 
+namespace {
+
+Status CheckTierIndex(const char* field, int index, int tier_count) {
+  if (index < 0 || index >= tier_count) {
+    return Error(std::string(field) + " = " + std::to_string(index) +
+                 " out of range for " + std::to_string(tier_count) + " tier(s)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Placement::Validate(int tier_count) const {
+  if (tier_count <= 0) {
+    return Error("placement requires at least one tier");
+  }
+  if (Status s = CheckTierIndex("weights_tier", weights_tier, tier_count); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckTierIndex("kv_hot_tier", kv_hot_tier, tier_count); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckTierIndex("kv_cold_tier", kv_cold_tier, tier_count); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckTierIndex("activations_tier", activations_tier, tier_count); !s.ok()) {
+    return s;
+  }
+  if (!(kv_hot_fraction >= 0.0 && kv_hot_fraction <= 1.0)) {
+    // The negated form also rejects NaN.
+    return Error("kv_hot_fraction must be in [0, 1], got " +
+                 std::to_string(kv_hot_fraction));
+  }
+  return Status::Ok();
+}
+
+Status TieredBackendOptions::Validate(int tier_count) const {
+  if (scrub_tier < -1 || scrub_tier >= tier_count) {
+    return Error("scrub_tier = " + std::to_string(scrub_tier) +
+                 " must be -1 (off) or a tier index below " + std::to_string(tier_count));
+  }
+  if (scrub_tier >= 0 && !(scrub_safe_age_s > 0.0 && std::isfinite(scrub_safe_age_s))) {
+    return Error("scrub_safe_age_s must be positive and finite when a scrub tier is "
+                 "configured, got " +
+                 std::to_string(scrub_safe_age_s));
+  }
+  return Status::Ok();
+}
+
 TieredBackend::TieredBackend(std::vector<workload::TierSpec> tiers, Placement placement,
                              std::uint64_t weight_bytes, TieredBackendOptions options)
     : tiers_(std::move(tiers)),
@@ -17,15 +67,11 @@ TieredBackend::TieredBackend(std::vector<workload::TierSpec> tiers, Placement pl
       weight_bytes_(weight_bytes),
       options_(options) {
   MRM_CHECK(!tiers_.empty());
-  auto check_tier = [this](int index) {
-    MRM_CHECK(index >= 0 && index < static_cast<int>(tiers_.size()))
-        << "placement references tier " << index;
-  };
-  check_tier(placement_.weights_tier);
-  check_tier(placement_.kv_hot_tier);
-  check_tier(placement_.kv_cold_tier);
-  check_tier(placement_.activations_tier);
-  MRM_CHECK(placement_.kv_hot_fraction >= 0.0 && placement_.kv_hot_fraction <= 1.0);
+  const int tier_count = static_cast<int>(tiers_.size());
+  const Status placement_ok = placement_.Validate(tier_count);
+  MRM_CHECK(placement_ok.ok()) << placement_ok.message();
+  const Status options_ok = options_.Validate(tier_count);
+  MRM_CHECK(options_ok.ok()) << options_ok.message();
   MRM_CHECK(tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes == 0 ||
             tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes >=
                 weight_bytes_)
@@ -45,8 +91,6 @@ std::string TieredBackend::name() const {
   return name + ")";
 }
 
-void TieredBackend::BeginStep() { std::fill(busy_s_.begin(), busy_s_.end(), 0.0); }
-
 void TieredBackend::Charge(int tier, bool is_write, std::uint64_t bytes) {
   if (bytes == 0) {
     return;
@@ -55,11 +99,12 @@ void TieredBackend::Charge(int tier, bool is_write, std::uint64_t bytes) {
   const double bw = is_write ? spec.write_bw_bytes_per_s : spec.read_bw_bytes_per_s;
   busy_s_[static_cast<std::size_t>(tier)] += static_cast<double>(bytes) / bw;
   const double pj_per_bit = is_write ? spec.write_pj_per_bit : spec.read_pj_per_bit;
-  dynamic_j_[static_cast<std::size_t>(tier)] +=
-      static_cast<double>(bytes) * 8.0 * pj_per_bit * 1e-12;
+  const double joules = static_cast<double>(bytes) * 8.0 * pj_per_bit * 1e-12;
+  dynamic_j_[static_cast<std::size_t>(tier)] += joules;
+  step_dynamic_j_ += joules;
 }
 
-void TieredBackend::Read(Stream stream, std::uint64_t bytes) {
+void TieredBackend::RouteRead(Stream stream, std::uint64_t bytes) {
   switch (stream) {
     case Stream::kWeights:
       Charge(placement_.weights_tier, false, bytes);
@@ -78,7 +123,7 @@ void TieredBackend::Read(Stream stream, std::uint64_t bytes) {
   }
 }
 
-void TieredBackend::Write(Stream stream, std::uint64_t bytes) {
+void TieredBackend::RouteWrite(Stream stream, std::uint64_t bytes) {
   switch (stream) {
     case Stream::kWeights:
       Charge(placement_.weights_tier, true, bytes);
@@ -104,6 +149,25 @@ void TieredBackend::Write(Stream stream, std::uint64_t bytes) {
   }
 }
 
+workload::StepCost TieredBackend::SubmitStep(
+    const std::vector<workload::Transfer>& transfers) {
+  std::fill(busy_s_.begin(), busy_s_.end(), 0.0);
+  step_dynamic_j_ = 0.0;
+  for (const workload::Transfer& transfer : transfers) {
+    if (transfer.is_write) {
+      RouteWrite(transfer.stream, transfer.bytes);
+    } else {
+      RouteRead(transfer.stream, transfer.bytes);
+    }
+  }
+  workload::StepCost cost;
+  for (const double busy : busy_s_) {
+    cost.seconds = std::max(cost.seconds, busy);
+  }
+  cost.energy_j = step_dynamic_j_;
+  return cost;
+}
+
 void TieredBackend::OnKvFreed(std::uint64_t bytes) {
   if (options_.scrub_tier < 0) {
     return;
@@ -118,14 +182,6 @@ void TieredBackend::OnKvFreed(std::uint64_t bytes) {
   const auto freed = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(bytes) * fraction));
   resident_kv_cold_ -= std::min(resident_kv_cold_, freed);
-}
-
-double TieredBackend::EndStep() {
-  double step = 0.0;
-  for (const double busy : busy_s_) {
-    step = std::max(step, busy);
-  }
-  return step;
 }
 
 void TieredBackend::AccountTime(double seconds) {

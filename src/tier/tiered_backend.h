@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/workload/backend.h"
 
 namespace mrm {
@@ -28,6 +29,10 @@ struct Placement {
   // Fraction of KV-cache reads/writes served by the hot tier.
   double kv_hot_fraction = 1.0;
   int activations_tier = 0;
+
+  // Cross-field validation against a system of `tier_count` tiers: every
+  // tier index in range, kv_hot_fraction a real number in [0, 1].
+  Status Validate(int tier_count) const;
 };
 
 struct TieredBackendOptions {
@@ -35,6 +40,10 @@ struct TieredBackendOptions {
   int scrub_tier = -1;
   // Data on the scrub tier is rewritten every this many seconds.
   double scrub_safe_age_s = 3600.0;
+
+  // Cross-field validation: scrub_tier is -1 or a valid tier index, and a
+  // configured scrub tier requires a positive finite safe age.
+  Status Validate(int tier_count) const;
 };
 
 class TieredBackend final : public workload::MemoryBackend {
@@ -42,11 +51,10 @@ class TieredBackend final : public workload::MemoryBackend {
   TieredBackend(std::vector<workload::TierSpec> tiers, Placement placement,
                 std::uint64_t weight_bytes, TieredBackendOptions options = {});
 
+  using workload::MemoryBackend::SubmitStep;
+
   std::string name() const override;
-  void BeginStep() override;
-  void Read(workload::Stream stream, std::uint64_t bytes) override;
-  void Write(workload::Stream stream, std::uint64_t bytes) override;
-  double EndStep() override;
+  workload::StepCost SubmitStep(const std::vector<workload::Transfer>& transfers) override;
   void AccountTime(double seconds) override;
   double EnergyJoules() const override;
   std::uint64_t KvCapacityBytes() const override;
@@ -56,6 +64,7 @@ class TieredBackend final : public workload::MemoryBackend {
   double static_joules() const { return static_j_; }
   double scrub_joules() const { return scrub_j_; }
   std::uint64_t scrub_bytes() const { return scrub_bytes_; }
+  std::uint64_t resident_scrub_kv_bytes() const { return resident_kv_cold_; }
   const std::vector<workload::TierSpec>& tiers() const { return tiers_; }
 
   // The engine reports KV frees so the scrub model tracks residency.
@@ -63,6 +72,8 @@ class TieredBackend final : public workload::MemoryBackend {
 
  private:
   void Charge(int tier, bool is_write, std::uint64_t bytes);
+  void RouteRead(workload::Stream stream, std::uint64_t bytes);
+  void RouteWrite(workload::Stream stream, std::uint64_t bytes);
 
   std::vector<workload::TierSpec> tiers_;
   Placement placement_;
@@ -71,6 +82,7 @@ class TieredBackend final : public workload::MemoryBackend {
 
   std::vector<double> busy_s_;     // current step, per tier
   std::vector<double> dynamic_j_;  // cumulative, per tier
+  double step_dynamic_j_ = 0.0;    // current step's dynamic-energy delta
   double static_j_ = 0.0;
   double scrub_j_ = 0.0;
   std::uint64_t scrub_bytes_ = 0;

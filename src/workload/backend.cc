@@ -10,14 +10,19 @@ AnalyticBackend::AnalyticBackend(TierSpec spec, std::uint64_t weight_bytes)
   MRM_CHECK(spec_.read_bw_bytes_per_s > 0.0 && spec_.write_bw_bytes_per_s > 0.0);
 }
 
-void AnalyticBackend::Read(Stream /*stream*/, std::uint64_t bytes) {
-  dynamic_j_ += static_cast<double>(bytes) * 8.0 * spec_.read_pj_per_bit * 1e-12;
-  step_s_ += static_cast<double>(bytes) / spec_.read_bw_bytes_per_s;
-}
-
-void AnalyticBackend::Write(Stream /*stream*/, std::uint64_t bytes) {
-  dynamic_j_ += static_cast<double>(bytes) * 8.0 * spec_.write_pj_per_bit * 1e-12;
-  step_s_ += static_cast<double>(bytes) / spec_.write_bw_bytes_per_s;
+StepCost AnalyticBackend::SubmitStep(const std::vector<Transfer>& transfers) {
+  StepCost cost;
+  for (const Transfer& transfer : transfers) {
+    const double bytes = static_cast<double>(transfer.bytes);
+    const double bw =
+        transfer.is_write ? spec_.write_bw_bytes_per_s : spec_.read_bw_bytes_per_s;
+    const double pj_per_bit =
+        transfer.is_write ? spec_.write_pj_per_bit : spec_.read_pj_per_bit;
+    cost.seconds += bytes / bw;
+    cost.energy_j += bytes * 8.0 * pj_per_bit * 1e-12;
+  }
+  dynamic_j_ += cost.energy_j;
+  return cost;
 }
 
 void AnalyticBackend::AccountTime(double seconds) {

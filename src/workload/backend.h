@@ -1,18 +1,25 @@
 // Memory backends: where the inference engine's bytes go.
 //
 // A MemoryBackend answers "how long does this step's traffic take" and keeps
-// the energy ledger. Traffic is issued between BeginStep()/EndStep(); the
-// backend decides how transfers overlap (a single device serializes on its
-// bus; independent tiers run in parallel). AnalyticBackend models a single
-// tier from bandwidth/energy constants (derived from the cycle-level device
-// presets via tier::TierSpecFromDevice); tier::TieredBackend routes streams
-// across several tiers per placement policy.
+// the energy ledger. The contract is a transfer batch: the engine collects
+// one step's per-stream transfers into a StepBatch and submits them in one
+// call; the backend decides how they overlap (a single device serializes on
+// its bus; independent tiers run in parallel; the cycle-level backend
+// replays them through the sharded simulator) and returns the step's memory
+// time plus the dynamic-energy delta it charged.
+//
+// Implementations: AnalyticBackend models a single tier from bandwidth /
+// energy constants (derived from the cycle-level device presets via
+// tier::TierSpecFromDevice); tier::TieredBackend routes streams across
+// several tiers per placement policy; driver::SimBackend lowers the batch
+// onto mem::MemorySystem / mrm::ControlPlane and measures it.
 
 #ifndef MRMSIM_SRC_WORKLOAD_BACKEND_H_
 #define MRMSIM_SRC_WORKLOAD_BACKEND_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/workload/trace.h"
 
@@ -31,21 +38,50 @@ struct TierSpec {
   double cost_per_gib = 0.0;      // relative $ for the TCO model
 };
 
+// One logical transfer within a step.
+struct Transfer {
+  Stream stream = Stream::kNone;
+  bool is_write = false;
+  std::uint64_t bytes = 0;
+};
+
+// What one submitted step cost: memory time under the backend's overlap
+// model plus the dynamic energy charged for the batch (static/background
+// energy is charged separately via AccountTime, which sees the roofline
+// step time rather than the memory time alone).
+struct StepCost {
+  double seconds = 0.0;
+  double energy_j = 0.0;
+};
+
+// Builder the engine reuses across steps; order within the batch is
+// preserved (the cycle-level backend issues transfers per stream in batch
+// order).
+class StepBatch {
+ public:
+  void Read(Stream stream, std::uint64_t bytes) {
+    transfers_.push_back(Transfer{stream, false, bytes});
+  }
+  void Write(Stream stream, std::uint64_t bytes) {
+    transfers_.push_back(Transfer{stream, true, bytes});
+  }
+  void Clear() { transfers_.clear(); }
+  bool empty() const { return transfers_.empty(); }
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+ private:
+  std::vector<Transfer> transfers_;
+};
+
 class MemoryBackend {
  public:
   virtual ~MemoryBackend() = default;
 
   virtual std::string name() const = 0;
 
-  // Starts a new engine step; transfer time accumulates until EndStep.
-  virtual void BeginStep() = 0;
-
-  // Issues traffic for the current step and accumulates dynamic energy.
-  virtual void Read(Stream stream, std::uint64_t bytes) = 0;
-  virtual void Write(Stream stream, std::uint64_t bytes) = 0;
-
-  // Memory time of the step under the backend's overlap model.
-  virtual double EndStep() = 0;
+  // Executes one step's transfer batch and returns its memory time and
+  // dynamic-energy delta. The batch may be empty (cost zero).
+  virtual StepCost SubmitStep(const std::vector<Transfer>& transfers) = 0;
 
   // Charges static/background power for `seconds` of wall time.
   virtual void AccountTime(double seconds) = 0;
@@ -60,6 +96,9 @@ class MemoryBackend {
   // The engine reports KV-cache frees (request completion) so backends that
   // track residency (e.g. for scrub modelling) stay accurate. Default no-op.
   virtual void OnKvFreed(std::uint64_t bytes) { (void)bytes; }
+
+  // Convenience forwarder for callers holding a StepBatch.
+  StepCost SubmitStep(const StepBatch& batch) { return SubmitStep(batch.transfers()); }
 };
 
 // Single-tier analytic backend: everything lives in one memory, all
@@ -70,11 +109,10 @@ class AnalyticBackend final : public MemoryBackend {
   // activations.
   AnalyticBackend(TierSpec spec, std::uint64_t weight_bytes);
 
+  using MemoryBackend::SubmitStep;
+
   std::string name() const override { return spec_.name; }
-  void BeginStep() override { step_s_ = 0.0; }
-  void Read(Stream stream, std::uint64_t bytes) override;
-  void Write(Stream stream, std::uint64_t bytes) override;
-  double EndStep() override { return step_s_; }
+  StepCost SubmitStep(const std::vector<Transfer>& transfers) override;
   void AccountTime(double seconds) override;
   double EnergyJoules() const override { return dynamic_j_ + static_j_; }
   std::uint64_t KvCapacityBytes() const override;
@@ -86,7 +124,6 @@ class AnalyticBackend final : public MemoryBackend {
  private:
   TierSpec spec_;
   std::uint64_t weight_bytes_;
-  double step_s_ = 0.0;
   double dynamic_j_ = 0.0;
   double static_j_ = 0.0;
 };

@@ -43,6 +43,7 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
   };
 
   double t = 0.0;
+  StepBatch step_batch;  // reused across steps; one SubmitStep per step
   std::uint64_t reserved_kv = 0;
   std::uint64_t decode_steps = 0;
   double batch_accum = 0.0;
@@ -89,7 +90,7 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
 
     double comp_s = 0.0;
     const std::uint64_t step = summary.steps;
-    backend_->BeginStep();
+    step_batch.Clear();
 
     // Prefill-priority scheduling: while any admitted request still has
     // prompt tokens to ingest, run one prefill chunk (Sarathi-style chunking
@@ -106,19 +107,19 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
       const int chunk = std::min<int>(config_.prefill_chunk_tokens,
                                       prefill->request.prompt_tokens - prefill->prefilled_tokens);
       const std::uint64_t kv_write = kv_per_token * static_cast<std::uint64_t>(chunk);
-      backend_->Read(Stream::kWeights, weight_bytes);
+      step_batch.Read(Stream::kWeights, weight_bytes);
       record(Stream::kWeights, 0, false, 0, weight_bytes, step);
       summary.weight_read_bytes += weight_bytes;
 
-      backend_->Write(Stream::kKvCache, compressed(kv_write));
+      step_batch.Write(Stream::kKvCache, compressed(kv_write));
       record(Stream::kKvCache, prefill->request.id, true, prefill->kv_bytes, kv_write, step);
       summary.kv_write_bytes += kv_write;
       summary.kv_moved_bytes += compressed(kv_write);
       comp_s += static_cast<double>(kv_write) * codec_s_per_byte;
 
       const std::uint64_t act = model.activation_bytes(1);
-      backend_->Write(Stream::kActivations, act);
-      backend_->Read(Stream::kActivations, act);
+      step_batch.Write(Stream::kActivations, act);
+      step_batch.Read(Stream::kActivations, act);
       record(Stream::kActivations, 0, true, 0, act, step);
       record(Stream::kActivations, 0, false, 0, act, step);
       summary.activation_read_bytes += act;
@@ -135,18 +136,18 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
       ++decode_steps;
       batch_accum += static_cast<double>(batch);
 
-      backend_->Read(Stream::kWeights, weight_bytes);
+      step_batch.Read(Stream::kWeights, weight_bytes);
       record(Stream::kWeights, 0, false, 0, weight_bytes, step);
       summary.weight_read_bytes += weight_bytes;
 
       for (Active& entry : active) {
-        backend_->Read(Stream::kKvCache, compressed(entry.kv_bytes));
+        step_batch.Read(Stream::kKvCache, compressed(entry.kv_bytes));
         record(Stream::kKvCache, entry.request.id, false, 0, entry.kv_bytes, step);
         summary.kv_read_bytes += entry.kv_bytes;
         summary.kv_moved_bytes += compressed(entry.kv_bytes);
         comp_s += static_cast<double>(entry.kv_bytes) * codec_s_per_byte;
 
-        backend_->Write(Stream::kKvCache, compressed(kv_per_token));
+        step_batch.Write(Stream::kKvCache, compressed(kv_per_token));
         record(Stream::kKvCache, entry.request.id, true, entry.kv_bytes, kv_per_token, step);
         summary.kv_write_bytes += kv_per_token;
         summary.kv_moved_bytes += compressed(kv_per_token);
@@ -155,8 +156,8 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
       }
 
       const std::uint64_t act = model.activation_bytes(static_cast<int>(batch));
-      backend_->Write(Stream::kActivations, act);
-      backend_->Read(Stream::kActivations, act);
+      step_batch.Write(Stream::kActivations, act);
+      step_batch.Read(Stream::kActivations, act);
       record(Stream::kActivations, 0, true, 0, act, step);
       record(Stream::kActivations, 0, false, 0, act, step);
       summary.activation_read_bytes += act;
@@ -168,7 +169,7 @@ EngineSummary InferenceEngine::Run(std::vector<InferenceRequest> requests) {
       summary.decode_write_bytes += kv_per_token * batch + act;
     }
 
-    const double mem_s = backend_->EndStep();
+    const double mem_s = backend_->SubmitStep(step_batch).seconds;
     const double step_time = std::max(mem_s, comp_s);
     summary.memory_seconds += mem_s;
     summary.compute_seconds += comp_s;

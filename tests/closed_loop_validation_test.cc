@@ -1,0 +1,128 @@
+// Cross-validation of the two memory paths behind the unified backend
+// interface: the cycle-level sim backend must land within 10% of the
+// analytic roofline on the HBM calibration workload (Llama2-70B decode),
+// and the full closed-loop serving run must agree on throughput.
+
+#include <gtest/gtest.h>
+
+#include "src/driver/sim_backend.h"
+#include "src/tier/tier_spec.h"
+#include "src/workload/inference_engine.h"
+
+namespace mrm {
+namespace {
+
+using workload::StepBatch;
+using workload::Stream;
+
+constexpr int kDevices = 8;
+
+workload::StepBatch DecodeBatch(const workload::FoundationModelConfig& model,
+                                int batch, int context) {
+  StepBatch step;
+  step.Read(Stream::kWeights, model.weight_bytes());
+  step.Read(Stream::kKvCache, static_cast<std::uint64_t>(batch) * context *
+                                  model.kv_bytes_per_token());
+  step.Write(Stream::kKvCache,
+             static_cast<std::uint64_t>(batch) * model.kv_bytes_per_token());
+  return step;
+}
+
+driver::SimBackendOptions CalibrationOptions() {
+  driver::SimBackendOptions options;
+  options.device = mem::HBM3EConfig();
+  options.devices = kDevices;
+  options.lower_scale = 8192;
+  return options;
+}
+
+TEST(ClosedLoopValidation, DecodeStepWithinTenPercentOfAnalytic) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), kDevices);
+
+  workload::AnalyticBackend analytic(hbm, model.weight_bytes());
+  driver::SimBackend sim(CalibrationOptions(), model.weight_bytes());
+
+  const StepBatch batch = DecodeBatch(model, /*batch=*/8, /*context=*/2048);
+  const double analytic_s = analytic.SubmitStep(batch).seconds;
+  const double sim_s = sim.SubmitStep(batch).seconds;
+  ASSERT_GT(analytic_s, 0.0);
+  ASSERT_GT(sim_s, 0.0);
+  EXPECT_NEAR(sim_s, analytic_s, 0.10 * analytic_s)
+      << "cycle-level decode step diverged from the analytic roofline";
+}
+
+TEST(ClosedLoopValidation, PrefillStepWithinTenPercentOfAnalytic) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), kDevices);
+
+  workload::AnalyticBackend analytic(hbm, model.weight_bytes());
+  driver::SimBackend sim(CalibrationOptions(), model.weight_bytes());
+
+  // A prefill chunk: weight sweep + chunk-sized KV append + activations.
+  StepBatch batch;
+  batch.Read(Stream::kWeights, model.weight_bytes());
+  batch.Write(Stream::kKvCache, 2048ull * model.kv_bytes_per_token());
+  batch.Read(Stream::kActivations, 1ull << 30);
+  batch.Write(Stream::kActivations, 1ull << 30);
+  const double analytic_s = analytic.SubmitStep(batch).seconds;
+  const double sim_s = sim.SubmitStep(batch).seconds;
+  EXPECT_NEAR(sim_s, analytic_s, 0.10 * analytic_s);
+}
+
+TEST(ClosedLoopValidation, DynamicEnergyTracksAnalytic) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), kDevices);
+
+  workload::AnalyticBackend analytic(hbm, model.weight_bytes());
+  driver::SimBackend sim(CalibrationOptions(), model.weight_bytes());
+
+  const StepBatch batch = DecodeBatch(model, /*batch=*/8, /*context=*/2048);
+  const double analytic_j = analytic.SubmitStep(batch).energy_j;
+  const double sim_j = sim.SubmitStep(batch).energy_j;
+  ASSERT_GT(sim_j, 0.0);
+  // Energy models differ in what they amortize (activate energy, IO); a
+  // factor-of-two agreement pins gross unit errors without over-fitting.
+  EXPECT_GT(sim_j, 0.5 * analytic_j);
+  EXPECT_LT(sim_j, 2.0 * analytic_j);
+}
+
+TEST(ClosedLoopValidation, ServingRunAgreesOnThroughputShape) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), kDevices);
+
+  auto run = [&](workload::MemoryBackend* backend) {
+    workload::EngineConfig config;
+    config.model = model;
+    config.max_batch = 4;
+    config.compute_tflops = 1000.0;
+    workload::InferenceEngine engine(config, backend);
+    std::vector<workload::InferenceRequest> requests;
+    for (int i = 0; i < 4; ++i) {
+      workload::InferenceRequest request;
+      request.id = static_cast<std::uint64_t>(i + 1);
+      request.prompt_tokens = 128;
+      request.output_tokens = 16;
+      requests.push_back(request);
+    }
+    return engine.Run(requests);
+  };
+
+  workload::AnalyticBackend analytic(hbm, model.weight_bytes());
+  driver::SimBackend sim(CalibrationOptions(), model.weight_bytes());
+  const workload::EngineSummary analytic_summary = run(&analytic);
+  const workload::EngineSummary sim_summary = run(&sim);
+
+  EXPECT_EQ(sim_summary.requests_completed, analytic_summary.requests_completed);
+  EXPECT_EQ(sim_summary.decode_tokens, analytic_summary.decode_tokens);
+  ASSERT_GT(analytic_summary.memory_seconds, 0.0);
+  // A full serving run mixes in ramp-up steps whose transfers are too small
+  // to amortize fixed device latencies (row activation, fabric hops) that
+  // the analytic model ignores, so the whole-run tolerance is wider than the
+  // 10% steady-state decode bound above.
+  EXPECT_NEAR(sim_summary.memory_seconds, analytic_summary.memory_seconds,
+              0.25 * analytic_summary.memory_seconds);
+}
+
+}  // namespace
+}  // namespace mrm

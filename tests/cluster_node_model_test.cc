@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"
+#include "src/driver/sim_backend.h"
 #include "src/mem/device_config.h"
 #include "src/tier/tier_spec.h"
+#include "src/tier/tiered_backend.h"
 #include "src/workload/inference_engine.h"
 
 namespace mrm {
@@ -114,6 +116,56 @@ TEST(NodeModel, HbmMrmBuilderUsesPerTierBandwidth) {
   EXPECT_DOUBLE_EQ(config.weight_read_bw_bytes_per_s, 6e12);
   EXPECT_DOUBLE_EQ(config.kv_read_bw_bytes_per_s, hbm.read_bw_bytes_per_s);
   EXPECT_DOUBLE_EQ(config.kv_write_bw_bytes_per_s, 0.5e12);
+}
+
+TEST(NodeModel, CalibrateFromAnalyticBackendRecoversTierBandwidth) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  workload::AnalyticBackend backend(hbm, model.weight_bytes());
+  const NodeModelConfig config = CalibrateNodeModel(model, &backend, 1000.0);
+  EXPECT_NEAR(config.weight_read_bw_bytes_per_s, hbm.read_bw_bytes_per_s,
+              0.01 * hbm.read_bw_bytes_per_s);
+  EXPECT_NEAR(config.kv_read_bw_bytes_per_s, hbm.read_bw_bytes_per_s,
+              0.01 * hbm.read_bw_bytes_per_s);
+  EXPECT_NEAR(config.kv_write_bw_bytes_per_s, hbm.write_bw_bytes_per_s,
+              0.01 * hbm.write_bw_bytes_per_s);
+  // One tier, one bus: the combined probe must serialize.
+  EXPECT_TRUE(config.streams_share_tier);
+}
+
+TEST(NodeModel, CalibrateFromTieredBackendDetectsOverlap) {
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  workload::TierSpec mrm;
+  mrm.name = "mrm";
+  mrm.read_bw_bytes_per_s = 4e12;
+  mrm.write_bw_bytes_per_s = 0.2e12;
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  tier::Placement placement;
+  placement.weights_tier = 1;  // weights on MRM, KV stays on HBM
+  tier::TieredBackend backend({hbm, mrm}, placement, model.weight_bytes());
+  const NodeModelConfig config = CalibrateNodeModel(model, &backend, 1000.0);
+  EXPECT_NEAR(config.weight_read_bw_bytes_per_s, 4e12, 0.01 * 4e12);
+  EXPECT_NEAR(config.kv_read_bw_bytes_per_s, hbm.read_bw_bytes_per_s,
+              0.01 * hbm.read_bw_bytes_per_s);
+  // Separate tiers overlap: the combined probe costs ~max, not sum.
+  EXPECT_FALSE(config.streams_share_tier);
+}
+
+TEST(NodeModel, CalibrateFromSimBackendTracksDeviceBandwidth) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  driver::SimBackendOptions options;
+  options.device = mem::HBM3EConfig();
+  options.devices = 8;
+  options.lower_scale = 8192;
+  driver::SimBackend backend(options, model.weight_bytes());
+  const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
+  const NodeModelConfig config = CalibrateNodeModel(model, &backend, 1000.0);
+  EXPECT_NEAR(config.weight_read_bw_bytes_per_s, hbm.read_bw_bytes_per_s,
+              0.2 * hbm.read_bw_bytes_per_s);
+  EXPECT_TRUE(config.streams_share_tier);
+  // The calibrated model is usable end to end.
+  const NodeModel node(config);
+  EXPECT_GT(node.PrefillTokensPerSecond(), 0.0);
 }
 
 TEST(NodeModel, InvalidConfigsRejected) {

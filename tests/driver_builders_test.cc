@@ -146,6 +146,91 @@ TEST(Builders, RunScenarioCompletesRequests) {
   EXPECT_GT(result.tco.memory_cost_dollars, 0.0);
 }
 
+TEST(Builders, BackendKindParses) {
+  EXPECT_TRUE(BackendKindByName("analytic").ok());
+  EXPECT_TRUE(BackendKindByName("tiered").ok());
+  EXPECT_TRUE(BackendKindByName("sim").ok());
+  EXPECT_FALSE(BackendKindByName("quantum").ok());
+  EXPECT_STREQ(BackendKindName(BackendKind::kSim), "sim");
+}
+
+TEST(Builders, ScenarioDefaultsToTieredBackend) {
+  auto scenario = BuildScenario(Parse("model = phi3-14b\nworkload.requests = 1\n"));
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario.value().backend, BackendKind::kTiered);
+}
+
+TEST(Builders, BackendKeySelectsAndValidates) {
+  auto scenario = BuildScenario(Parse(
+      "model = phi3-14b\n"
+      "backend = sim\n"
+      "sim.threads = 4\n"
+      "sim.lower_scale = 2048\n"
+      "workload.requests = 1\n"));
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+  EXPECT_EQ(scenario.value().backend, BackendKind::kSim);
+  EXPECT_EQ(scenario.value().sim_threads, 4);
+  EXPECT_EQ(scenario.value().sim_lower_scale, 2048u);
+  EXPECT_FALSE(BuildScenario(Parse(
+                   "model = phi3-14b\nbackend = warp\nworkload.requests = 1\n"))
+                   .ok());
+  EXPECT_FALSE(BuildScenario(Parse(
+                   "model = phi3-14b\nbackend = sim\nsim.threads = 0\n"
+                   "workload.requests = 1\n"))
+                   .ok());
+}
+
+TEST(Builders, AnalyticBackendRejectsMrmScenario) {
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "backend = analytic\n"
+      "mrm.technology = stt-mram\n"
+      "workload.requests = 1\n");
+  EXPECT_FALSE(BuildScenario(config).ok());
+}
+
+TEST(Builders, MakeBackendBuildsEachKind) {
+  const char* base =
+      "model = phi3-14b\n"
+      "hbm.devices = 4\n"
+      "workload.requests = 1\n";
+  auto tiered = BuildScenario(Parse(base));
+  ASSERT_TRUE(tiered.ok());
+  auto tiered_backend = MakeBackend(tiered.value());
+  ASSERT_TRUE(tiered_backend.ok());
+  EXPECT_NE(tiered_backend.value()->name().find("tiered"), std::string::npos);
+
+  auto analytic = BuildScenario(Parse(std::string(base) + "backend = analytic\n"));
+  ASSERT_TRUE(analytic.ok());
+  auto analytic_backend = MakeBackend(analytic.value());
+  ASSERT_TRUE(analytic_backend.ok());
+
+  auto sim = BuildScenario(Parse(std::string(base) + "backend = sim\n"));
+  ASSERT_TRUE(sim.ok());
+  auto sim_backend = MakeBackend(sim.value());
+  ASSERT_TRUE(sim_backend.ok()) << sim_backend.status().message();
+  EXPECT_NE(sim_backend.value()->name().find("sim"), std::string::npos);
+}
+
+TEST(Builders, RunScenarioOnSimBackendCompletesRequests) {
+  // The same workload config as the tiered run, only the backend key moved —
+  // the point of the unified interface.
+  const Config config = Parse(
+      "model = phi3-14b\n"
+      "hbm.devices = 4\n"
+      "backend = sim\n"
+      "sim.lower_scale = 16384\n"
+      "workload.requests = 2\n"
+      "workload.rate = 5\n"
+      "engine.max_batch = 2\n");
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+  const ScenarioResult result = RunScenario(scenario.value());
+  EXPECT_EQ(result.summary.requests_completed, 2u);
+  EXPECT_GT(result.summary.decode_tokens_per_s(), 0.0);
+  EXPECT_NE(result.backend_name.find("sim"), std::string::npos);
+}
+
 TEST(Builders, ScenarioIsDeterministicInSeed) {
   const char* text =
       "model = phi3-14b\n"

@@ -1,0 +1,197 @@
+#include "src/driver/sim_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/workload/backend.h"
+
+namespace mrm {
+namespace driver {
+namespace {
+
+using workload::StepBatch;
+using workload::Stream;
+
+SimBackendOptions SmallHbmOptions() {
+  SimBackendOptions options;
+  options.device = mem::HBM3EConfig();
+  options.devices = 1;
+  options.lower_scale = 4096;
+  return options;
+}
+
+constexpr std::uint64_t kWeights = 8ull * kGiB;
+
+StepBatch DecodeBatch() {
+  StepBatch batch;
+  batch.Read(Stream::kWeights, kWeights);
+  batch.Read(Stream::kKvCache, 2ull * kGiB);
+  batch.Write(Stream::kKvCache, 64ull * kMiB);
+  return batch;
+}
+
+TEST(SimBackendOptions, ValidatesRanges) {
+  SimBackendOptions options = SmallHbmOptions();
+  EXPECT_TRUE(options.Validate(kWeights).ok());
+  options.devices = 0;
+  EXPECT_FALSE(options.Validate(kWeights).ok());
+  options = SmallHbmOptions();
+  options.sim_threads = -1;
+  EXPECT_FALSE(options.Validate(kWeights).ok());
+  options = SmallHbmOptions();
+  options.lower_scale = 0;
+  EXPECT_FALSE(options.Validate(kWeights).ok());
+  options = SmallHbmOptions();
+  options.ticks_per_second = 0.0;
+  EXPECT_FALSE(options.Validate(kWeights).ok());
+}
+
+TEST(SimBackendOptions, RejectsWeightsOverflowingSimulatedDevice) {
+  SimBackendOptions options = SmallHbmOptions();
+  options.lower_scale = 1;  // a full device's worth of weights per sweep
+  const Status status = options.Validate(10ull * options.device.capacity_bytes());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("lower_scale"), std::string::npos);
+}
+
+TEST(SimBackend, StepCostTracksDeviceBandwidth) {
+  SimBackend backend(SmallHbmOptions(), kWeights);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, kWeights);
+  const workload::StepCost cost = backend.SubmitStep(batch);
+  ASSERT_GT(cost.seconds, 0.0);
+  // The measured stream should land within 20% of the analytic stream model
+  // (tier spec [0] is built from the same device config).
+  const double analytic_s = static_cast<double>(kWeights) /
+                            backend.tier_specs()[0].read_bw_bytes_per_s;
+  EXPECT_NEAR(cost.seconds, analytic_s, 0.2 * analytic_s);
+  EXPECT_GT(cost.energy_j, 0.0);
+}
+
+TEST(SimBackend, EnergyLedgerAccumulates) {
+  SimBackend backend(SmallHbmOptions(), kWeights);
+  const workload::StepCost cost = backend.SubmitStep(DecodeBatch());
+  EXPECT_NEAR(backend.EnergyJoules(), cost.energy_j, 1e-12);
+  backend.AccountTime(1.0);
+  // Static/background power joins via AccountTime.
+  EXPECT_GT(backend.EnergyJoules(), cost.energy_j);
+}
+
+TEST(SimBackend, EmptyStepIsFree) {
+  SimBackend backend(SmallHbmOptions(), kWeights);
+  const workload::StepCost cost = backend.SubmitStep(StepBatch());
+  EXPECT_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(cost.energy_j, 0.0);
+}
+
+TEST(SimBackend, KvCapacityExcludesWeights) {
+  SimBackend backend(SmallHbmOptions(), kWeights);
+  const std::uint64_t capacity = backend.options().device.capacity_bytes();
+  EXPECT_EQ(backend.KvCapacityBytes(), capacity - kWeights);
+}
+
+// The acceptance bar for the sharded closed loop: SystemStats, step times
+// and energy are bit-identical at --sim-threads 1, 2 and 4.
+TEST(SimBackend, StatsBitIdenticalAcrossSimThreads) {
+  std::vector<double> seconds;
+  std::vector<double> energy;
+  std::vector<mem::SystemStats> stats;
+  std::vector<SimBackendStats> counters;
+  for (const int threads : {1, 2, 4}) {
+    SimBackendOptions options = SmallHbmOptions();
+    options.sim_threads = threads;
+    SimBackend backend(options, kWeights);
+    double total_s = 0.0;
+    for (int step = 0; step < 3; ++step) {
+      total_s += backend.SubmitStep(DecodeBatch()).seconds;
+    }
+    seconds.push_back(total_s);
+    energy.push_back(backend.EnergyJoules());
+    stats.push_back(backend.MemStats());
+    counters.push_back(backend.sim_stats());
+  }
+  for (std::size_t i = 1; i < seconds.size(); ++i) {
+    EXPECT_EQ(seconds[i], seconds[0]);  // exact, not NEAR: bit-identical
+    EXPECT_EQ(energy[i], energy[0]);
+    EXPECT_TRUE(stats[i] == stats[0]);
+    EXPECT_EQ(counters[i].dram_segments, counters[0].dram_segments);
+    EXPECT_EQ(counters[i].dram_bytes, counters[0].dram_bytes);
+  }
+}
+
+SimBackendOptions SmallMrmOptions() {
+  SimBackendOptions options = SmallHbmOptions();
+  options.mrm_enabled = true;
+  options.mrm.technology = cell::Technology::kSttMram;
+  options.mrm.channels = 8;
+  options.mrm.zones = 64;
+  options.mrm.zone_blocks = 256;
+  options.placement.weights_tier = 1;
+  options.placement.kv_cold_tier = 1;
+  options.placement.kv_hot_fraction = 0.25;
+  return options;
+}
+
+TEST(SimBackend, MrmWeightsPreloadAndRead) {
+  SimBackend backend(SmallMrmOptions(), kWeights);
+  EXPECT_GT(backend.sim_stats().mrm_blocks_written, 0u);  // preload
+  const std::uint64_t preloaded = backend.sim_stats().mrm_blocks_written;
+  StepBatch batch;
+  batch.Read(Stream::kWeights, kWeights);
+  const workload::StepCost cost = backend.SubmitStep(batch);
+  EXPECT_GT(cost.seconds, 0.0);
+  EXPECT_GT(backend.sim_stats().mrm_blocks_read, 0u);
+  EXPECT_EQ(backend.sim_stats().mrm_blocks_written, preloaded);  // reads only
+  EXPECT_EQ(backend.sim_stats().mrm_read_failures, 0u);
+}
+
+TEST(SimBackend, MrmKvWritesAppendBlocks) {
+  SimBackend backend(SmallMrmOptions(), kWeights);
+  const std::uint64_t preloaded = backend.sim_stats().mrm_blocks_written;
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1ull * kGiB);
+  backend.SubmitStep(batch);
+  EXPECT_GT(backend.sim_stats().mrm_blocks_written, preloaded);
+}
+
+TEST(SimBackend, MrmStatsBitIdenticalAcrossSimThreads) {
+  std::vector<double> seconds;
+  std::vector<std::uint64_t> reads;
+  for (const int threads : {1, 4}) {
+    SimBackendOptions options = SmallMrmOptions();
+    options.sim_threads = threads;
+    SimBackend backend(options, kWeights);
+    StepBatch batch;
+    batch.Read(Stream::kWeights, kWeights);
+    batch.Write(Stream::kKvCache, 256ull * kMiB);
+    double total_s = 0.0;
+    for (int step = 0; step < 2; ++step) {
+      total_s += backend.SubmitStep(batch).seconds;
+    }
+    seconds.push_back(total_s);
+    reads.push_back(backend.sim_stats().mrm_blocks_read);
+  }
+  EXPECT_EQ(seconds[1], seconds[0]);
+  EXPECT_EQ(reads[1], reads[0]);
+}
+
+TEST(SimBackend, OnKvFreedReleasesMrmBlocks) {
+  SimBackend backend(SmallMrmOptions(), kWeights);
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1ull * kGiB);
+  backend.SubmitStep(batch);
+  const auto live_before = backend.control_plane()->live_blocks();
+  backend.OnKvFreed(1ull * kGiB);
+  EXPECT_LT(backend.control_plane()->live_blocks(), live_before);
+}
+
+TEST(SimBackend, NameReflectsTiers) {
+  SimBackend hbm_backend(SmallHbmOptions(), kWeights);
+  EXPECT_NE(hbm_backend.name().find("sim"), std::string::npos);
+  SimBackend mrm_backend(SmallMrmOptions(), kWeights);
+  EXPECT_NE(mrm_backend.name().find("mrm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace driver
+}  // namespace mrm

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "src/common/units.h"
+#include "src/workload/backend.h"
 
 namespace mrm {
 namespace tier {
 namespace {
 
+using workload::StepBatch;
 using workload::Stream;
 using workload::TierSpec;
 
@@ -41,9 +43,9 @@ TEST(TieredBackend, RoutesWeightsToConfiguredTier) {
   Placement placement;
   placement.weights_tier = 1;  // MRM
   TieredBackend backend({Hbm(), Mrm()}, placement, 100ull * kGiB);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 1'000'000);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1'000'000);
+  backend.SubmitStep(batch);
   EXPECT_EQ(backend.tier_dynamic_joules()[0], 0.0);
   EXPECT_GT(backend.tier_dynamic_joules()[1], 0.0);
 }
@@ -55,20 +57,31 @@ TEST(TieredBackend, ParallelTiersOverlap) {
   placement.kv_cold_tier = 0;
   placement.activations_tier = 0;
   TieredBackend backend({Hbm(), Mrm()}, placement, 0);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 4'000'000'000ull);  // 1 ms on MRM (4 TB/s)
-  backend.Read(Stream::kKvCache, 8'000'000'000ull);  // 1 ms on HBM (8 TB/s)
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 4'000'000'000ull);  // 1 ms on MRM (4 TB/s)
+  batch.Read(Stream::kKvCache, 8'000'000'000ull);  // 1 ms on HBM (8 TB/s)
   // Parallel: max, not sum.
-  EXPECT_NEAR(backend.EndStep(), 1e-3, 1e-6);
+  EXPECT_NEAR(backend.SubmitStep(batch).seconds, 1e-3, 1e-6);
 }
 
 TEST(TieredBackend, SameTierSerializes) {
   Placement placement;  // everything on tier 0
   TieredBackend backend({Hbm()}, placement, 0);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 8'000'000'000ull);
-  backend.Read(Stream::kKvCache, 8'000'000'000ull);
-  EXPECT_NEAR(backend.EndStep(), 2e-3, 1e-6);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 8'000'000'000ull);
+  batch.Read(Stream::kKvCache, 8'000'000'000ull);
+  EXPECT_NEAR(backend.SubmitStep(batch).seconds, 2e-3, 1e-6);
+}
+
+TEST(TieredBackend, StepCostEnergyMatchesLedgerDelta) {
+  TieredBackend backend({Hbm(), Mrm()}, Placement{}, 0);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1'000'000);
+  batch.Write(Stream::kKvCache, 1'000'000);
+  const double before = backend.EnergyJoules();
+  const workload::StepCost cost = backend.SubmitStep(batch);
+  EXPECT_GT(cost.energy_j, 0.0);
+  EXPECT_NEAR(backend.EnergyJoules() - before, cost.energy_j, 1e-15);
 }
 
 TEST(TieredBackend, KvSplitsByHotFraction) {
@@ -77,9 +90,9 @@ TEST(TieredBackend, KvSplitsByHotFraction) {
   placement.kv_cold_tier = 1;
   placement.kv_hot_fraction = 0.25;
   TieredBackend backend({Hbm(), Mrm()}, placement, 0);
-  backend.BeginStep();
-  backend.Read(Stream::kKvCache, 1'000'000'000ull);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Read(Stream::kKvCache, 1'000'000'000ull);
+  backend.SubmitStep(batch);
   // 25% of bits on HBM at 6 pJ, 75% on MRM at 1.5 pJ.
   const double hbm_j = 0.25e9 * 8 * 6.0 * 1e-12;
   const double mrm_j = 0.75e9 * 8 * 1.5 * 1e-12;
@@ -119,12 +132,38 @@ TEST(TieredBackend, ScrubChargesEnergyOnResidentKv) {
   options.scrub_tier = 1;
   options.scrub_safe_age_s = 10.0;
   TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
-  backend.BeginStep();
-  backend.Write(Stream::kKvCache, 1'000'000'000ull);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.SubmitStep(batch);
   backend.AccountTime(10.0);  // one full scrub cycle
   EXPECT_GT(backend.scrub_joules(), 0.0);
   EXPECT_NEAR(static_cast<double>(backend.scrub_bytes()), 1e9, 1e7);
+}
+
+// Regression: OnKvFreed must shrink the scrub-tier resident set — a backend
+// that drops the override keeps re-scrubbing freed KV forever. Pins the
+// resident ledger exactly before and after each free.
+TEST(TieredBackend, KvFreeShrinksScrubResidentSet) {
+  Placement placement;
+  placement.kv_hot_tier = 0;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.25;  // 75% of every KV byte is scrub-resident
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.scrub_safe_age_s = 10.0;
+  TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.SubmitStep(batch);
+  EXPECT_EQ(backend.resident_scrub_kv_bytes(), 750'000'000ull);
+  backend.OnKvFreed(400'000'000ull);  // 75% cold share = 300 MB off the tier
+  EXPECT_EQ(backend.resident_scrub_kv_bytes(), 450'000'000ull);
+  backend.AccountTime(10.0);
+  EXPECT_EQ(backend.scrub_bytes(), 450'000'000ull);
+  backend.OnKvFreed(600'000'000ull);  // frees the remainder
+  EXPECT_EQ(backend.resident_scrub_kv_bytes(), 0u);
+  backend.AccountTime(10.0);
+  EXPECT_EQ(backend.scrub_bytes(), 450'000'000ull);  // no new scrub traffic
 }
 
 TEST(TieredBackend, KvFreeStopsScrubCharges) {
@@ -135,9 +174,9 @@ TEST(TieredBackend, KvFreeStopsScrubCharges) {
   options.scrub_tier = 1;
   options.scrub_safe_age_s = 10.0;
   TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
-  backend.BeginStep();
-  backend.Write(Stream::kKvCache, 1'000'000'000ull);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.SubmitStep(batch);
   backend.OnKvFreed(1'000'000'000ull);
   backend.AccountTime(10.0);
   EXPECT_EQ(backend.scrub_bytes(), 0u);
@@ -145,9 +184,9 @@ TEST(TieredBackend, KvFreeStopsScrubCharges) {
 
 TEST(TieredBackend, NoScrubTierNoCharges) {
   TieredBackend backend({Hbm(), Mrm()}, Placement{}, 0);
-  backend.BeginStep();
-  backend.Write(Stream::kKvCache, 1'000'000'000ull);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Write(Stream::kKvCache, 1'000'000'000ull);
+  backend.SubmitStep(batch);
   backend.AccountTime(100.0);
   EXPECT_EQ(backend.scrub_joules(), 0.0);
 }
@@ -165,10 +204,10 @@ TEST(TieredBackend, EnergyIncludesAllComponents) {
   placement.kv_cold_tier = 1;
   placement.kv_hot_fraction = 0.0;
   TieredBackend backend({Hbm(), Mrm()}, placement, 0, options);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 1000);
-  backend.Write(Stream::kKvCache, 1000);
-  backend.EndStep();
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1000);
+  batch.Write(Stream::kKvCache, 1000);
+  backend.SubmitStep(batch);
   backend.AccountTime(1.0);
   const double total = backend.EnergyJoules();
   double parts = backend.static_joules() + backend.scrub_joules();

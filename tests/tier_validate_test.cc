@@ -1,0 +1,136 @@
+// Cross-field validation of tier::Placement and tier::TieredBackendOptions:
+// every rule rejects with a distinct message, and the valid corner cases
+// stay accepted.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/tier/tiered_backend.h"
+
+namespace mrm {
+namespace tier {
+namespace {
+
+TEST(PlacementValidate, DefaultIsValidOnOneTier) {
+  EXPECT_TRUE(Placement{}.Validate(1).ok());
+}
+
+TEST(PlacementValidate, RejectsNonPositiveTierCount) {
+  const Status status = Placement{}.Validate(0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("at least one tier"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsWeightsTierOutOfRange) {
+  Placement placement;
+  placement.weights_tier = 2;
+  const Status status = placement.Validate(2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("weights_tier"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsNegativeKvHotTier) {
+  Placement placement;
+  placement.kv_hot_tier = -1;
+  const Status status = placement.Validate(2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_hot_tier"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsKvColdTierOutOfRange) {
+  Placement placement;
+  placement.kv_cold_tier = 1;
+  const Status status = placement.Validate(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_cold_tier"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsActivationsTierOutOfRange) {
+  Placement placement;
+  placement.activations_tier = 3;
+  const Status status = placement.Validate(2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("activations_tier"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsHotFractionOutsideUnitInterval) {
+  Placement placement;
+  placement.kv_hot_fraction = 1.5;
+  ASSERT_FALSE(placement.Validate(1).ok());
+  placement.kv_hot_fraction = -0.1;
+  const Status status = placement.Validate(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_hot_fraction"), std::string::npos);
+}
+
+TEST(PlacementValidate, RejectsNanHotFraction) {
+  Placement placement;
+  placement.kv_hot_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(placement.Validate(1).ok());
+}
+
+TEST(PlacementValidate, AcceptsBoundaryHotFractions) {
+  Placement placement;
+  placement.kv_hot_fraction = 0.0;
+  EXPECT_TRUE(placement.Validate(1).ok());
+  placement.kv_hot_fraction = 1.0;
+  EXPECT_TRUE(placement.Validate(1).ok());
+}
+
+TEST(PlacementValidate, AcceptsTwoTierMrmLayout) {
+  Placement placement;
+  placement.weights_tier = 1;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.15;
+  EXPECT_TRUE(placement.Validate(2).ok());
+}
+
+TEST(OptionsValidate, ScrubOffIsValidAndIgnoresSafeAge) {
+  TieredBackendOptions options;  // scrub_tier = -1
+  options.scrub_safe_age_s = -5.0;
+  EXPECT_TRUE(options.Validate(1).ok());
+}
+
+TEST(OptionsValidate, RejectsScrubTierOutOfRange) {
+  TieredBackendOptions options;
+  options.scrub_tier = 2;
+  options.scrub_safe_age_s = 10.0;
+  const Status status = options.Validate(2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("scrub_tier"), std::string::npos);
+}
+
+TEST(OptionsValidate, RejectsScrubTierBelowMinusOne) {
+  TieredBackendOptions options;
+  options.scrub_tier = -2;
+  EXPECT_FALSE(options.Validate(2).ok());
+}
+
+TEST(OptionsValidate, RejectsNonPositiveSafeAgeWhenScrubbing) {
+  TieredBackendOptions options;
+  options.scrub_tier = 0;
+  options.scrub_safe_age_s = 0.0;
+  const Status status = options.Validate(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("scrub_safe_age_s"), std::string::npos);
+}
+
+TEST(OptionsValidate, RejectsInfiniteSafeAgeWhenScrubbing) {
+  TieredBackendOptions options;
+  options.scrub_tier = 0;
+  options.scrub_safe_age_s = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(options.Validate(1).ok());
+}
+
+TEST(OptionsValidate, AcceptsScrubOnValidTier) {
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.scrub_safe_age_s = 3600.0;
+  EXPECT_TRUE(options.Validate(2).ok());
+}
+
+}  // namespace
+}  // namespace tier
+}  // namespace mrm

@@ -20,30 +20,57 @@ TierSpec SimpleTier() {
   return spec;
 }
 
-TEST(AnalyticBackend, StepTimeIsSerializedTransferTime) {
-  AnalyticBackend backend(SimpleTier(), 0);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 1'000'000'000ull);   // 1 GB at 1 TB/s = 1 ms
-  backend.Write(Stream::kKvCache, 500'000'000ull);    // 0.5 GB at 0.5 TB/s = 1 ms
-  EXPECT_NEAR(backend.EndStep(), 2e-3, 1e-9);
+TEST(StepBatch, AccumulatesAndClears) {
+  StepBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.Read(Stream::kWeights, 100);
+  batch.Write(Stream::kKvCache, 200);
+  ASSERT_EQ(batch.transfers().size(), 2u);
+  EXPECT_FALSE(batch.transfers()[0].is_write);
+  EXPECT_EQ(batch.transfers()[0].stream, Stream::kWeights);
+  EXPECT_EQ(batch.transfers()[0].bytes, 100u);
+  EXPECT_TRUE(batch.transfers()[1].is_write);
+  EXPECT_EQ(batch.transfers()[1].stream, Stream::kKvCache);
+  EXPECT_EQ(batch.transfers()[1].bytes, 200u);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
 }
 
-TEST(AnalyticBackend, StepResetsOnBegin) {
+TEST(AnalyticBackend, StepTimeIsSerializedTransferTime) {
   AnalyticBackend backend(SimpleTier(), 0);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 1'000'000'000ull);
-  backend.EndStep();
-  backend.BeginStep();
-  EXPECT_EQ(backend.EndStep(), 0.0);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1'000'000'000ull);   // 1 GB at 1 TB/s = 1 ms
+  batch.Write(Stream::kKvCache, 500'000'000ull);    // 0.5 GB at 0.5 TB/s = 1 ms
+  EXPECT_NEAR(backend.SubmitStep(batch).seconds, 2e-3, 1e-9);
+}
+
+TEST(AnalyticBackend, EmptyBatchIsFree) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  const StepCost cost = backend.SubmitStep(StepBatch());
+  EXPECT_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(cost.energy_j, 0.0);
+}
+
+TEST(AnalyticBackend, StepsAreIndependent) {
+  AnalyticBackend backend(SimpleTier(), 0);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1'000'000'000ull);
+  const double first = backend.SubmitStep(batch).seconds;
+  // The same batch resubmitted costs the same: no state leaks across steps.
+  EXPECT_DOUBLE_EQ(backend.SubmitStep(batch).seconds, first);
 }
 
 TEST(AnalyticBackend, DynamicEnergyPerBit) {
   AnalyticBackend backend(SimpleTier(), 0);
-  backend.BeginStep();
-  backend.Read(Stream::kWeights, 1000);
+  StepBatch batch;
+  batch.Read(Stream::kWeights, 1000);
   // 8000 bits x 2 pJ = 16 nJ.
+  const StepCost read_cost = backend.SubmitStep(batch);
+  EXPECT_NEAR(read_cost.energy_j, 16e-9, 1e-15);
   EXPECT_NEAR(backend.dynamic_joules(), 16e-9, 1e-15);
-  backend.Write(Stream::kKvCache, 1000);
+  batch.Clear();
+  batch.Write(Stream::kKvCache, 1000);
+  EXPECT_NEAR(backend.SubmitStep(batch).energy_j, 32e-9, 1e-15);
   EXPECT_NEAR(backend.dynamic_joules(), 16e-9 + 32e-9, 1e-15);
 }
 

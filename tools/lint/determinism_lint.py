@@ -37,7 +37,8 @@ import re
 import sys
 import tempfile
 
-CORE_DIRS = ("src/sim", "src/mem", "src/mrm", "src/fault")
+CORE_DIRS = ("src/sim", "src/mem", "src/mrm", "src/fault", "src/workload", "src/tier",
+             "src/driver")
 CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
 ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)")

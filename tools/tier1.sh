@@ -16,8 +16,9 @@
 #
 # After the tests pass, the tracked perf benches run single-threaded (both
 # the bench pool and the sim worker pool) and refresh BENCH_micro_simulator
-# .json, BENCH_e12_bandwidth.json and BENCH_f2_fault_sweep.json at the repo
-# root; committing them records the perf/RAS trajectory between PRs.
+# .json, BENCH_e12_bandwidth.json, BENCH_e12_closed_loop.json and
+# BENCH_f2_fault_sweep.json at the repo root; committing them records the
+# perf/RAS/validation trajectory between PRs.
 # Sanitized builds skip this — their wall times measure the sanitizer, not
 # the code.
 
@@ -46,11 +47,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 if [[ "${MRMSIM_BENCH:-1}" == "1" && "${MRMSIM_SANITIZE:-0}" != "1" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_micro_simulator bench_e12_bandwidth bench_f2_fault_sweep
+    --target bench_micro_simulator bench_e12_bandwidth bench_e12_closed_loop \
+    bench_f2_fault_sweep
   MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
     "./$BUILD_DIR/bench/bench_micro_simulator"
   MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
     "./$BUILD_DIR/bench/bench_e12_bandwidth"
+  MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
+    "./$BUILD_DIR/bench/bench_e12_closed_loop"
   MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_BENCH_OUT="$PWD" \
     "./$BUILD_DIR/bench/bench_f2_fault_sweep"
 fi
