@@ -35,7 +35,8 @@ struct BandwidthRun {
   std::uint64_t events = 0;
 };
 
-BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim_threads) {
+BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim_threads,
+                                        int epoch_batch) {
   // Picosecond ticks: HBM-class sub-ns burst timings would be quantized to
   // whole nanoseconds otherwise, understating bandwidth by up to 60%.
   sim::Simulator simulator(1e12);
@@ -44,6 +45,7 @@ BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim
   // (the auditor is passive: measured stats are unchanged).
   check::ScopedChecker checker(&simulator, &system);
   simulator.SetWorkerThreads(sim_threads);
+  simulator.SetEpochBatch(epoch_batch);
   const std::uint64_t bytes = 8ull << 20;
   bool done = false;
   system.Transfer(mem::Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
@@ -80,17 +82,19 @@ double Metric(const bench::PointResult& r, const std::string& key) {
 
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+  const int epoch_batch = bench::ParseEpochBatch(argc, argv, /*fallback=*/0);
   std::printf("E12: bandwidth validation and the memory-bound roofline (§2.1/§3)\n");
 
   bench::BenchRunner runner("e12_bandwidth");
   runner.SetConfig("suite", "sequential bandwidth + decode roofline");
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
+  runner.SetConfig("epoch_batch", std::to_string(epoch_batch));
 
   const std::vector<mem::DeviceConfig> devices = {mem::HBM3Config(), mem::HBM3EConfig(),
                                                   mem::LPDDR5XConfig(), mem::DDR5Config()};
   for (const mem::DeviceConfig& config : devices) {
-    runner.Add("bw_" + config.name, [config](bench::PointResult& r) {
-      const BandwidthRun run = MeasureSequentialBandwidth(config, /*sim_threads=*/1);
+    runner.Add("bw_" + config.name, [config, epoch_batch](bench::PointResult& r) {
+      const BandwidthRun run = MeasureSequentialBandwidth(config, /*sim_threads=*/1, epoch_batch);
       r.events = run.events;
       r.metrics["peak_gb_s"] = config.peak_bandwidth_bytes_per_s() / 1e9;
       r.metrics["model_gb_s"] = mem::StreamModel(config).EffectiveBandwidth() / 1e9;
@@ -104,8 +108,8 @@ int main(int argc, char** argv) {
   for (const int threads : {1, sim_threads}) {
     const std::string label =
         threads == 1 ? "bw_hbm3e_shard_serial" : "bw_hbm3e_shard_parallel";
-    runner.Add(label, [threads](bench::PointResult& r) {
-      const BandwidthRun run = MeasureSequentialBandwidth(mem::HBM3EConfig(), threads);
+    runner.Add(label, [threads, epoch_batch](bench::PointResult& r) {
+      const BandwidthRun run = MeasureSequentialBandwidth(mem::HBM3EConfig(), threads, epoch_batch);
       r.events = run.events;
       r.metrics["sim_threads"] = static_cast<double>(threads);
       r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;

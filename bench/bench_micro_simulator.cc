@@ -7,15 +7,45 @@
 // and memory workloads, push/cancel or retime operations for the churn
 // patterns (work performed even though the events never run).
 
+#include <algorithm>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "bench/common/bench_runner.h"
 #include "bench/common/sim_workloads.h"
 #include "src/mem/device_config.h"
+#include "src/sim/parallel_executor.h"
 
 namespace {
 
 using namespace mrm;  // NOLINT: bench binary
+
+// Epoch-driver scheduling telemetry for a finished point. Everything here is
+// a pure function of the epoch schedule, so it is bit-identical across
+// bench-pool threading and across --sim-threads; metrics prefixed `sched_`
+// may legitimately differ across --sim-epoch-batch values (that is the knob's
+// entire effect) and are excluded from cross-batch identity diffs.
+void AddSchedMetrics(bench::PointResult& r, const sim::Simulator& sim) {
+  const sim::EpochSchedStats& s = sim.epoch_sched_stats();
+  std::uint64_t cost_max = 0;
+  std::uint64_t cost_sum = 0;
+  for (const std::uint64_t c : s.lane_cost) {
+    cost_max = std::max(cost_max, c);
+    cost_sum += c;
+  }
+  r.metrics["lane_cost_max"] = static_cast<double>(cost_max);
+  r.metrics["lane_cost_mean"] =
+      s.lane_cost.empty() ? 0.0
+                          : static_cast<double>(cost_sum) / static_cast<double>(s.lane_cost.size());
+  r.metrics["sched_epochs"] = static_cast<double>(s.epochs);
+  r.metrics["sched_hub_steps"] = static_cast<double>(s.hub_steps);
+  r.metrics["sched_dispatches"] = static_cast<double>(s.dispatches);
+  r.metrics["sched_epochs_per_dispatch"] =
+      s.dispatches == 0 ? 0.0 : static_cast<double>(s.epochs) / static_cast<double>(s.dispatches);
+  r.metrics["sched_rebalances"] = static_cast<double>(s.rebalances);
+  r.metrics["sched_guard_stops"] = static_cast<double>(s.batch_guard_stops);
+}
 
 void AddQueuePoints(bench::BenchRunner& runner) {
   runner.Add("queue_dispatch", [](bench::PointResult& r) {
@@ -52,10 +82,11 @@ void AddQueuePoints(bench::BenchRunner& runner) {
 
 void AddMemoryPoint(bench::BenchRunner& runner, const std::string& label,
                     const std::string& device, mem::SchedulerPolicy policy, std::uint64_t total,
-                    int read_pct, int seq_pct, std::uint64_t seed) {
+                    int read_pct, int seq_pct, std::uint64_t seed, int epoch_batch) {
   runner.Add(label, [=](bench::PointResult& r) {
     sim::Simulator sim;
     mem::MemorySystem system(&sim, mem::DeviceConfigByName(device).value(), policy);
+    sim.SetEpochBatch(epoch_batch);
     const bench::MemRunResult run =
         bench::MemClosedLoop(sim, system, total, /*window=*/192, read_pct, seq_pct, seed);
     r.events = run.events;
@@ -73,12 +104,13 @@ void AddMemoryPoint(bench::BenchRunner& runner, const std::string& label,
 // Compare their events/sec for the parallel-engine speedup; run with
 // MRMSIM_BENCH_THREADS=1 so the bench pool does not steal cores from the
 // sharded point.
-void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads) {
-  const auto add = [&runner](const std::string& label, int threads) {
-    runner.Add(label, [threads](bench::PointResult& r) {
+void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads, int epoch_batch) {
+  const auto add = [&runner, epoch_batch](const std::string& label, int threads) {
+    runner.Add(label, [threads, epoch_batch](bench::PointResult& r) {
       sim::Simulator sim;
       mem::MemorySystem system(&sim, mem::HBM3EConfig());
       sim.SetWorkerThreads(threads);
+      sim.SetEpochBatch(epoch_batch);
       const bench::MemRunResult run =
           bench::MemClosedLoop(sim, system, /*total=*/400000, /*window=*/1024,
                                /*read_pct=*/63, /*seq_pct=*/80, /*seed=*/7);
@@ -89,31 +121,118 @@ void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads) {
       r.metrics["row_hit_rate"] = run.row_hit_rate;
       r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
       r.metrics["sim_seconds"] = run.sim_seconds;
+      AddSchedMetrics(r, sim);
     });
   };
   add("mem_hbm3e16_shard_serial", 1);
   add("mem_hbm3e16_shard_parallel", sim_threads);
 }
 
+// Barrier-overhead micro-points: raw ParallelExecutor dispatch cost with
+// near-zero task bodies, isolating the fork/join handshake the epoch driver
+// pays per dispatch. Three variants of the same 16-task dispatch:
+//
+//   exec_dispatch_static — PR-2 behavior: static striding engages the whole
+//       pool, one publish + full join per dispatch.
+//   exec_dispatch_packed — an installed plan packs every task onto the
+//       caller, so no worker is engaged and the dispatch costs no barrier at
+//       all. This is what the rebalancer produces on core-limited machines,
+//       where it matters most: with more pool threads than free cores every
+//       engaged worker is a forced context switch.
+//   exec_dispatch_rounds — one publish drives 16 task rounds (the epoch-
+//       batching shape), amortizing the publish/join across the batch.
+//
+// `events` counts dispatched task rounds (deterministic); the handshake cost
+// shows up in wall time / events_per_sec, which identity diffs ignore. The
+// packed/static events_per_sec ratio is the committed barrier-overhead
+// figure; interpret it against the recorded hardware_threads.
+void AddExecutorPoints(bench::BenchRunner& runner, int sim_threads) {
+  constexpr int kTasks = 16;
+  constexpr std::uint64_t kWarmup = 500;
+  constexpr std::uint64_t kDispatches = 10000;
+  const int pool = sim_threads > 1 ? sim_threads : 4;
+  struct alignas(64) Slot {
+    std::uint64_t value = 0;
+  };
+  const auto common_metrics = [pool](bench::PointResult& r, const std::vector<Slot>& slots,
+                                     int engaged) {
+    std::uint64_t invocations = 0;
+    for (const Slot& slot : slots) {
+      invocations += slot.value;
+    }
+    r.metrics["pool_threads"] = static_cast<double>(pool);
+    r.metrics["tasks_per_dispatch"] = static_cast<double>(kTasks);
+    r.metrics["engaged_participants"] = static_cast<double>(engaged);
+    r.metrics["task_invocations"] = static_cast<double>(invocations);
+  };
+  runner.Add("exec_dispatch_static", [pool, common_metrics](bench::PointResult& r) {
+    sim::ParallelExecutor exec(pool);
+    std::vector<Slot> slots(kTasks);
+    const std::function<void(int)> fn = [&slots](int i) {
+      ++slots[static_cast<std::size_t>(i)].value;
+    };
+    for (std::uint64_t d = 0; d < kWarmup + kDispatches; ++d) {
+      exec.Run(kTasks, fn);
+    }
+    r.events = kWarmup + kDispatches;
+    common_metrics(r, slots, pool < kTasks ? pool : kTasks);
+  });
+  runner.Add("exec_dispatch_packed", [pool, common_metrics](bench::PointResult& r) {
+    sim::ParallelExecutor exec(pool);
+    std::vector<Slot> slots(kTasks);
+    const std::function<void(int)> fn = [&slots](int i) {
+      ++slots[static_cast<std::size_t>(i)].value;
+    };
+    std::vector<int> order(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      order[static_cast<std::size_t>(i)] = i;
+    }
+    exec.SetPlan(order, {0, kTasks});
+    for (std::uint64_t d = 0; d < kWarmup + kDispatches; ++d) {
+      exec.Run(kTasks, fn);
+    }
+    r.events = kWarmup + kDispatches;
+    common_metrics(r, slots, 1);
+  });
+  runner.Add("exec_dispatch_rounds", [pool, common_metrics](bench::PointResult& r) {
+    constexpr int kRounds = 16;
+    sim::ParallelExecutor exec(pool);
+    std::vector<Slot> slots(kTasks);
+    const std::function<void(int)> fn = [&slots](int i) {
+      ++slots[static_cast<std::size_t>(i)].value;
+    };
+    for (std::uint64_t d = 0; d < (kWarmup + kDispatches) / kRounds; ++d) {
+      int rounds_left = kRounds;
+      exec.RunRounds(kTasks, fn, [&rounds_left] { return --rounds_left > 0; });
+    }
+    r.events = (kWarmup + kDispatches) / kRounds * kRounds;
+    common_metrics(r, slots, pool < kTasks ? pool : kTasks);
+    r.metrics["rounds_per_publish"] = static_cast<double>(kRounds);
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+  const int epoch_batch = bench::ParseEpochBatch(argc, argv, /*fallback=*/0);
 
   bench::BenchRunner runner("micro_simulator");
   runner.SetConfig("suite", "event core + memory system microbenchmarks");
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
+  runner.SetConfig("epoch_batch", std::to_string(epoch_batch));
 
   AddQueuePoints(runner);
   AddMemoryPoint(runner, "mem_ddr5_frfcfs_mixed", "ddr5", mem::SchedulerPolicy::kFrFcfs,
-                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/1);
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/1, epoch_batch);
   AddMemoryPoint(runner, "mem_ddr5_fcfs_mixed", "ddr5", mem::SchedulerPolicy::kFcfs,
-                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/2);
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/60, /*seed=*/2, epoch_batch);
   AddMemoryPoint(runner, "mem_hbm3e_frfcfs_seq", "hbm3e", mem::SchedulerPolicy::kFrFcfs,
-                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/90, /*seed=*/3);
+                 /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/90, /*seed=*/3, epoch_batch);
   AddMemoryPoint(runner, "mem_lpddr5x_frfcfs_rand", "lpddr5x", mem::SchedulerPolicy::kFrFcfs,
-                 /*total=*/120000, /*read_pct=*/50, /*seq_pct=*/10, /*seed=*/4);
-  AddShardScalingPoints(runner, sim_threads);
+                 /*total=*/120000, /*read_pct=*/50, /*seq_pct=*/10, /*seed=*/4, epoch_batch);
+  AddShardScalingPoints(runner, sim_threads, epoch_batch);
+  AddExecutorPoints(runner, sim_threads);
 
   return runner.RunAndReport();
 }

@@ -65,6 +65,21 @@ int ParseSimThreads(int argc, char** argv, int fallback) {
   return threads < 1 ? 1 : threads;
 }
 
+int ParseEpochBatch(int argc, char** argv, int fallback) {
+  int batch = fallback;
+  if (const char* env = std::getenv("MRMSIM_EPOCH_BATCH")) {
+    batch = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--sim-epoch-batch=";
+    if (arg.rfind(prefix, 0) == 0) {
+      batch = static_cast<int>(std::strtol(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  return batch < 0 ? 0 : batch;
+}
+
 BenchRunner::BenchRunner(std::string name) : name_(std::move(name)) {}
 
 void BenchRunner::Add(std::string label, std::function<void(PointResult&)> fn) {
@@ -173,9 +188,13 @@ bool BenchRunner::WriteJson(unsigned threads, double total_wall_seconds,
     total_events += result.events;
   }
 
+  // hardware_threads records the machine the numbers came from: wall-clock
+  // figures (and any parallel-speedup point pair) are meaningless without
+  // knowing how many cores were actually available.
   std::fprintf(f, "{\n  \"bench\": ");
   PrintJsonString(f, name_);
-  std::fprintf(f, ",\n  \"threads\": %u,\n  \"config\": {", threads);
+  std::fprintf(f, ",\n  \"threads\": %u,\n  \"hardware_threads\": %u,\n  \"config\": {", threads,
+               std::thread::hardware_concurrency());
   bool first = true;
   for (const auto& [key, value] : config_) {
     std::fprintf(f, "%s\n    ", first ? "" : ",");

@@ -27,6 +27,14 @@ namespace bench {
 // environment variable, then `fallback`. Values < 1 resolve to 1 (serial).
 int ParseSimThreads(int argc, char** argv, int fallback = 1);
 
+// Epoch-batch limit for the simulation (sim::Simulator::SetEpochBatch inside
+// a point): how many back-to-back epochs one worker-pool fork/join may drive
+// when provably safe. Resolution order: a `--sim-epoch-batch=K` argument, the
+// MRMSIM_EPOCH_BATCH environment variable, then `fallback`. 0 (the default
+// fallback) is the safe auto mode — the simulator picks its built-in limit;
+// 1 disables batching; values < 0 resolve to 0.
+int ParseEpochBatch(int argc, char** argv, int fallback = 0);
+
 // Filled in by a point function; wall time is measured by the runner around
 // the call. `events` is whatever unit of work the bench counts (simulator
 // events, requests, ...) and drives the events/sec throughput figures.

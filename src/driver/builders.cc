@@ -209,6 +209,10 @@ Result<Scenario> BuildScenario(const Config& config) {
   if (scenario.sim_threads <= 0) {
     return Error("sim.threads must be positive");
   }
+  scenario.sim_epoch_batch = static_cast<int>(config.GetInt("sim.epoch_batch", 0));
+  if (scenario.sim_epoch_batch < 0) {
+    return Error("sim.epoch_batch must be >= 0 (0 = auto, 1 = off)");
+  }
   const std::int64_t lower_scale = config.GetInt("sim.lower_scale", 8192);
   if (lower_scale <= 0) {
     return Error("sim.lower_scale must be positive");
@@ -262,6 +266,7 @@ Result<std::unique_ptr<workload::MemoryBackend>> MakeBackend(const Scenario& sce
       options.device = scenario.hbm_device;
       options.devices = scenario.hbm_devices;
       options.sim_threads = scenario.sim_threads;
+      options.sim_epoch_batch = scenario.sim_epoch_batch;
       options.lower_scale = scenario.sim_lower_scale;
       options.mrm_enabled = scenario.mrm_enabled;
       options.mrm = scenario.mrm_device;

@@ -32,6 +32,9 @@ Status SimBackendOptions::Validate(std::uint64_t weight_bytes) const {
   if (sim_threads < 1) {
     return Error("sim backend: sim_threads must be >= 1");
   }
+  if (sim_epoch_batch < 0) {
+    return Error("sim backend: sim_epoch_batch must be >= 0");
+  }
   if (lower_scale < 1) {
     return Error("sim backend: lower_scale must be >= 1");
   }
@@ -87,6 +90,7 @@ SimBackend::SimBackend(SimBackendOptions options, std::uint64_t weight_bytes)
 
   tier_specs_.push_back(tier::TierSpecFromDevice(options_.device, options_.devices));
   simulator_.SetWorkerThreads(options_.sim_threads);
+  simulator_.SetEpochBatch(options_.sim_epoch_batch);
   system_ = std::make_unique<mem::MemorySystem>(&simulator_, options_.device);
 
   // Carve the simulated DRAM device into cyclic per-stream regions. Weights

@@ -51,6 +51,12 @@ struct SimBackendOptions {
   // bit-identical for any value; >1 needs free hardware threads to pay off).
   int sim_threads = 1;
 
+  // Epoch-batch limit: back-to-back epochs per worker-pool fork/join when no
+  // cross-shard effects are pending. 0 = auto, 1 = off, K > 1 = cap. Stats
+  // are bit-identical for any value (the batch guard preserves the epoch
+  // schedule exactly).
+  int sim_epoch_batch = 0;
+
   // Sampled-lowering divisor: simulate 1/lower_scale of each device's share
   // of every transfer, scale measured time/energy back up. Must keep the
   // lowered weight sweep within half the simulated device's capacity.

@@ -167,6 +167,7 @@ class MemorySystem : public sim::EpochDomain {
   sim::Tick ArrivalDelay() const override;
   sim::Tick NextWorkTime() override;
   sim::Tick NextRecordTime() const override;
+  bool HasPendingRecords() const override { return !record_heap_.empty(); }
   sim::Tick EarliestCompletionEffect(sim::Tick from) const override;
   std::uint64_t RunLane(int lane, sim::Tick horizon) override;
   void SealEpoch() override;

@@ -53,6 +53,13 @@ class EpochDomain {
   // processing; kTickNever when none are pending.
   virtual Tick NextRecordTime() const = 0;
 
+  // Whether any sealed completion record awaits hub-side processing. The
+  // epoch-batching guard asks this after every seal: a pending record may
+  // bound the next horizon, so a batch must stop and return to the executive
+  // while one exists. Equivalent to NextRecordTime() != kTickNever; override
+  // when a cheaper emptiness test exists.
+  virtual bool HasPendingRecords() const { return NextRecordTime() != kTickNever; }
+
   // Lower bound on the effect tick of any completion record NOT yet sealed,
   // given that no lane executes anything before `from`. Must be > `from`
   // whenever it is finite; kTickNever when no unfinished request exists.

@@ -68,6 +68,19 @@ void Simulator::SetWorkerThreads(int threads) {
   if (threads > 1) {
     executor_ = std::make_unique<ParallelExecutor>(threads);
   }
+  // The lane->participant plan is meaningless for a different pool size;
+  // forget the scheduling state so it re-derives from a clean static stride.
+  sched_.lane_cost.clear();
+  sched_.lane_owner.clear();
+  lane_cost_est_.clear();
+  plan_order_.clear();
+  plan_starts_.clear();
+  epochs_since_rebalance_ = 0;
+}
+
+void Simulator::SetEpochBatch(int batch) {
+  MRM_CHECK(batch >= 0);
+  epoch_batch_ = batch;
 }
 
 bool Simulator::Step() {
@@ -108,6 +121,95 @@ std::uint64_t Simulator::RunClassic(Tick deadline) {
   return executed;
 }
 
+void Simulator::EnsureSchedSlots() {
+  const std::size_t n = lane_tasks_.size();
+  if (sched_.lane_cost.size() == n) {
+    return;
+  }
+  sched_.lane_cost.assign(n, 0);
+  lane_cost_est_.assign(n, 0);
+  // Until the first rebalance the executor partitions by static stride;
+  // mirror that in the owner telemetry.
+  sched_.lane_owner.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched_.lane_owner[i] = static_cast<int>(i) % worker_threads_;
+  }
+  plan_order_.clear();
+  plan_starts_.clear();
+  epochs_since_rebalance_ = 0;
+}
+
+void Simulator::MaybeRebalance() {
+  const std::size_t n = lane_tasks_.size();
+  if (executor_ == nullptr || n <= 1 || epochs_since_rebalance_ < kRebalanceEpochs) {
+    return;
+  }
+  epochs_since_rebalance_ = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t est : lane_cost_est_) {
+    total += est;
+  }
+  // Engage one participant per kMinEstPerParticipant of decayed work: on a
+  // lightly loaded system packing every lane onto the caller skips the
+  // barrier entirely, which beats any parallel split of sub-microsecond
+  // epochs.
+  int bins = std::min(worker_threads_, static_cast<int>(n));
+  const std::uint64_t justified = total / kMinEstPerParticipant + 1;
+  if (static_cast<std::uint64_t>(bins) > justified) {
+    bins = static_cast<int>(justified);
+  }
+  // LPT: heaviest lane first into the least-loaded bin. Ties break on lane
+  // index / bin index, so the plan is a pure function of the estimates.
+  lpt_order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lpt_order_[i] = static_cast<int>(i);
+  }
+  std::sort(lpt_order_.begin(), lpt_order_.end(), [this](int a, int b) {
+    const std::uint64_t ca = lane_cost_est_[static_cast<std::size_t>(a)];
+    const std::uint64_t cb = lane_cost_est_[static_cast<std::size_t>(b)];
+    return ca != cb ? ca > cb : a < b;
+  });
+  lpt_bin_load_.assign(static_cast<std::size_t>(bins), 0);
+  std::vector<std::vector<int>> bin_lanes(static_cast<std::size_t>(bins));
+  for (int lane : lpt_order_) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < lpt_bin_load_.size(); ++b) {
+      if (lpt_bin_load_[b] < lpt_bin_load_[best]) {
+        best = b;
+      }
+    }
+    lpt_bin_load_[best] += lane_cost_est_[static_cast<std::size_t>(lane)];
+    bin_lanes[best].push_back(lane);
+  }
+  // Flatten, dropping bins every lane with zero estimate skipped: an engaged
+  // participant with an empty range would still pay the round handshake.
+  std::vector<int> order;
+  std::vector<int> starts;
+  order.reserve(n);
+  starts.push_back(0);
+  for (std::vector<int>& lanes : bin_lanes) {
+    if (lanes.empty()) {
+      continue;
+    }
+    std::sort(lanes.begin(), lanes.end());
+    order.insert(order.end(), lanes.begin(), lanes.end());
+    starts.push_back(static_cast<int>(order.size()));
+  }
+  if (order == plan_order_ && starts == plan_starts_) {
+    return;
+  }
+  for (std::size_t p = 0; p + 1 < starts.size(); ++p) {
+    for (int i = starts[p]; i < starts[p + 1]; ++i) {
+      sched_.lane_owner[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          static_cast<int>(p);
+    }
+  }
+  plan_order_ = order;
+  plan_starts_ = starts;
+  ++sched_.rebalances;
+  executor_->SetPlan(std::move(order), std::move(starts));
+}
+
 // The epoch driver. Each iteration either processes exactly one hub-side
 // item (a completion record or a hub event, whichever is earliest, records
 // first on ties) or — when every lane's earliest work strictly precedes any
@@ -116,6 +218,16 @@ std::uint64_t Simulator::RunClassic(Tick deadline) {
 // is configured. Everything the schedule depends on (next-times, the
 // horizon, record order) is derived from simulation state alone, so the
 // execution is bit-identical for any worker count.
+//
+// Epoch batching: after an epoch seals, the driver re-derives what the next
+// iteration of the outer loop would do. If — and only if — that would again
+// be a pure epoch AND no domain holds a pending completion record, the next
+// epoch's horizons are installed and the lanes run again under the same
+// worker-pool dispatch, up to the batch limit. Any other case (pending
+// record, hub event due, deadline, drained) falls back to the outer loop,
+// which handles it exactly as it would have at batch limit 1. The batch
+// decision reads only simulation state, so the epoch/hub-step schedule is
+// identical for every batch limit; only the fork/join count changes.
 std::uint64_t Simulator::RunEpochs(Tick deadline) {
   stop_requested_ = false;
   std::uint64_t executed = 0;
@@ -123,6 +235,8 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
     LaneTask& task = lane_tasks_[static_cast<std::size_t>(i)];
     task.executed = task.domain->RunLane(task.lane, task.horizon);
   };
+  const int batch_limit = ResolvedEpochBatch();
+  MRM_CHECK(batch_limit >= 1);
   while (!stop_requested_) {
     const Tick hub_next = queue_.NextTime();
     Tick record_next = kTickNever;
@@ -155,6 +269,7 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
       }
       ++events_executed_;
       ++executed;
+      ++sched_.hub_steps;
       continue;
     }
     // Epoch: lanes hold all activity in [work_next, bound). New work can
@@ -173,19 +288,72 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
         lane_tasks_.push_back({domain, lane, horizon, 0});
       }
     }
-    if (executor_ != nullptr && lane_tasks_.size() > 1) {
-      executor_->Run(static_cast<int>(lane_tasks_.size()), run_lane);
-    } else {
+    EnsureSchedSlots();
+    MaybeRebalance();
+    int rounds_left = batch_limit;
+    // Seals the epoch a round just ran, then decides whether the next epoch
+    // may run back-to-back in the same dispatch. Runs serially on the
+    // dispatching thread between rounds.
+    const auto after_round = [&]() -> bool {
       for (std::size_t i = 0; i < lane_tasks_.size(); ++i) {
-        run_lane(static_cast<int>(i));
+        const std::uint64_t cost = lane_tasks_[i].executed;
+        events_executed_ += cost;
+        executed += cost;
+        sched_.lane_cost[i] += cost;
+        lane_cost_est_[i] += cost - (lane_cost_est_[i] >> kCostDecayShift);
       }
-    }
-    for (const LaneTask& task : lane_tasks_) {
-      events_executed_ += task.executed;
-      executed += task.executed;
-    }
-    for (EpochDomain* domain : domains_) {
-      domain->SealEpoch();
+      for (EpochDomain* domain : domains_) {
+        domain->SealEpoch();
+      }
+      ++sched_.epochs;
+      ++epochs_since_rebalance_;
+      if (--rounds_left <= 0 || stop_requested_) {
+        return false;
+      }
+      // Safety guard: a pending completion record may bound the next horizon
+      // (the outer loop folds NextRecordTime() into it); the batch path does
+      // not look at record times, so it must not run while any record is
+      // pending. This is what keeps batching schedule-identical to K=1.
+      bool pending = false;
+      for (EpochDomain* domain : domains_) {
+        pending = pending || domain->HasPendingRecords();
+      }
+      if (pending && !test_ignore_batch_guard_) {
+        ++sched_.batch_guard_stops;
+        return false;
+      }
+      const Tick next_hub = queue_.NextTime();
+      Tick next_work = kTickNever;
+      for (EpochDomain* domain : domains_) {
+        next_work = std::min(next_work, domain->NextWorkTime());
+      }
+      if (std::min(next_hub, next_work) == kTickNever ||
+          std::min(next_hub, next_work) > deadline || next_hub <= next_work) {
+        return false;  // drained, deadline, or a hub event is due first
+      }
+      Tick next_bound = next_hub;
+      for (EpochDomain* domain : domains_) {
+        next_bound = std::min(next_bound, domain->EarliestCompletionEffect(next_work));
+      }
+      MRM_CHECK(next_bound > next_work);
+      for (LaneTask& task : lane_tasks_) {
+        task.horizon =
+            std::min(TickAdd(next_bound, task.domain->ArrivalDelay()), TickAdd(deadline, 1));
+        task.executed = 0;
+      }
+      return true;
+    };
+    ++sched_.dispatches;
+    if (executor_ != nullptr && lane_tasks_.size() > 1) {
+      executor_->RunRounds(static_cast<int>(lane_tasks_.size()), run_lane, after_round);
+    } else {
+      bool more;
+      do {
+        for (std::size_t i = 0; i < lane_tasks_.size(); ++i) {
+          run_lane(static_cast<int>(i));
+        }
+        more = after_round();
+      } while (more);
     }
   }
   return executed;

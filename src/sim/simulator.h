@@ -11,6 +11,23 @@
 // are processed serially in a fixed total order. The schedule is derived
 // only from simulation state, never from thread timing, so results are
 // bit-identical for any worker count. See DESIGN.md §8.
+//
+// Two schedule-preserving optimizations ride on top (DESIGN.md §8, "Lane
+// scheduling & epoch batching"):
+//
+//   * Measured-cost lane rebalancing. The driver keeps a decayed per-lane
+//     cost estimate fed by the lane's executed-event counts (a deterministic
+//     quantity — never wall time) and periodically repartitions the
+//     lane->thread assignment by greedy LPT bin-packing, engaging only as
+//     many pool participants as the measured work justifies. The plan
+//     changes who runs a lane, never what or when, so results are unchanged.
+//
+//   * Epoch batching. When an epoch seals with no pending cross-shard
+//     effects anywhere and the next driver action would again be a pure
+//     epoch, the next epoch starts back-to-back under the same worker-pool
+//     dispatch (up to SetEpochBatch epochs per fork/join). The guard is a
+//     pure function of simulation state, so the epoch schedule — and hence
+//     every statistic — is bit-identical for any batch limit.
 
 #ifndef MRMSIM_SRC_SIM_SIMULATOR_H_
 #define MRMSIM_SRC_SIM_SIMULATOR_H_
@@ -29,6 +46,22 @@ class ParallelExecutor;
 
 // Saturating tick addition: kTickNever stays kTickNever.
 inline Tick TickAdd(Tick a, Tick b) { return a >= kTickNever - b ? kTickNever : a + b; }
+
+// Epoch-driver scheduling telemetry (cumulative per Simulator). Everything
+// here derives from executed-event counts and the epoch schedule alone, so
+// for a fixed batch limit every field except lane_owner/rebalances is
+// bit-identical at any worker-thread count (the schedule is); lane_owner and
+// rebalances describe the lane->participant plan, which adapts to the pool
+// size by design.
+struct EpochSchedStats {
+  std::uint64_t epochs = 0;       // lane-execution epochs driven
+  std::uint64_t dispatches = 0;   // worker-pool publishes (a K-epoch batch pays one)
+  std::uint64_t hub_steps = 0;    // serial record/hub-event steps
+  std::uint64_t rebalances = 0;   // lane->participant plan changes installed
+  std::uint64_t batch_guard_stops = 0;  // batches cut short by a pending effect
+  std::vector<std::uint64_t> lane_cost;  // cumulative executed events per lane slot
+  std::vector<int> lane_owner;           // current participant per lane slot
+};
 
 class Simulator {
  public:
@@ -73,7 +106,7 @@ class Simulator {
   bool Step();
 
   // Requests that Run()/RunUntil() return after the current event (or, in
-  // epoch mode, after the current epoch).
+  // epoch mode, after the current epoch batch).
   void Stop() { stop_requested_ = true; }
 
   // Timestamp of the next pending event; kTickNever when the queue is empty.
@@ -105,19 +138,61 @@ class Simulator {
   void SetWorkerThreads(int threads);
   int worker_threads() const { return worker_threads_; }
 
+  // Caps how many back-to-back epochs one worker-pool dispatch may drive
+  // when no cross-shard effects are pending: 0 (the default) resolves to a
+  // built-in limit, 1 disables batching (one epoch per fork/join, the PR-2
+  // behavior), K > 1 batches up to K. Purely a performance knob: the batch
+  // guard keeps the epoch schedule — and hence all results — bit-identical
+  // for any value.
+  void SetEpochBatch(int batch);
+  int epoch_batch() const { return epoch_batch_; }
+  int ResolvedEpochBatch() const { return epoch_batch_ > 0 ? epoch_batch_ : kAutoEpochBatch; }
+
+  const EpochSchedStats& epoch_sched_stats() const { return sched_; }
+
+  // Test-only mutation hook: ignore the epoch-batch safety guard so batches
+  // run past pending cross-shard effects. Violates causality by design —
+  // used to prove the guard is load-bearing (the run must abort).
+  void TestOnlyIgnoreBatchGuard(bool ignore) { test_ignore_batch_guard_ = ignore; }
+
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  struct LaneTask {
+  // One lane dispatch slot per epoch. Cache-line-sized: `executed` is
+  // written by whichever worker ran the lane, and neighboring slots must not
+  // share a line or short-lane workers false-share with long-lane ones.
+  struct alignas(64) LaneTask {
     EpochDomain* domain;
     int lane;
     Tick horizon;
     std::uint64_t executed;
   };
+  static_assert(sizeof(LaneTask) == 64, "one dispatch slot per cache line");
+  static_assert(alignof(LaneTask) == 64, "slots must start on a cache line");
+
+  // Auto-resolved epoch-batch cap: deep enough to amortize the dispatch over
+  // command-latency-paced epoch runs, shallow enough that a pending effect
+  // is never more than a few microseconds of lane work away.
+  static constexpr int kAutoEpochBatch = 16;
+  // Epochs between lane->participant repartitions.
+  static constexpr std::uint64_t kRebalanceEpochs = 32;
+  // Decay shift of the per-lane cost EMA: est += executed - est/8, so the
+  // estimate settles near 8x the per-epoch event cost.
+  static constexpr int kCostDecayShift = 3;
+  // Decayed-cost units that justify engaging one more pool participant
+  // (~16 events/epoch at the EMA's 8x scale: roughly the lane work that
+  // outweighs one worker's share of the dispatch handshake).
+  static constexpr std::uint64_t kMinEstPerParticipant = 128;
 
   std::uint64_t RunClassic(Tick deadline);
   std::uint64_t RunEpochs(Tick deadline);
+  // Keeps the per-lane scheduling state sized to the current lane set.
+  void EnsureSchedSlots();
+  // Recomputes the LPT lane->participant plan from the decayed cost
+  // estimates when due; installs it into the executor if it changed. A pure
+  // function of deterministic counters and the configured pool size.
+  void MaybeRebalance();
 
   EventQueue queue_;
   Tick now_ = 0;
@@ -128,6 +203,16 @@ class Simulator {
   std::vector<LaneTask> lane_tasks_;  // reused across epochs
   std::unique_ptr<ParallelExecutor> executor_;
   int worker_threads_ = 1;
+  int epoch_batch_ = 0;  // 0 = auto
+  bool test_ignore_batch_guard_ = false;
+  EpochSchedStats sched_;
+  std::vector<std::uint64_t> lane_cost_est_;  // decayed per-lane cost EMA
+  std::uint64_t epochs_since_rebalance_ = 0;
+  // Rebalance scratch, reused to keep the steady state allocation-free.
+  std::vector<int> lpt_order_;
+  std::vector<std::uint64_t> lpt_bin_load_;
+  std::vector<int> plan_order_;
+  std::vector<int> plan_starts_;
 };
 
 }  // namespace sim

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "bench/common/sim_workloads.h"
 #include "src/mem/device_config.h"
@@ -70,6 +71,50 @@ TEST(BenchRunner, MultiThreadedSweepMatchesSingleThreaded) {
       EXPECT_EQ(value, it->second) << st_label << "." << key;
     }
   }
+}
+
+TEST(BenchRunner, ParseFlagsResolveArgOverEnvOverFallback) {
+  const auto with_args = [](std::vector<std::string> args, auto fn) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("bench"));
+    for (std::string& a : args) {
+      argv.push_back(a.data());
+    }
+    return fn(static_cast<int>(argv.size()), argv.data());
+  };
+
+  unsetenv("MRMSIM_SIM_THREADS");
+  unsetenv("MRMSIM_EPOCH_BATCH");
+  EXPECT_EQ(with_args({}, [](int c, char** v) { return ParseSimThreads(c, v, 3); }), 3);
+  EXPECT_EQ(with_args({}, [](int c, char** v) { return ParseEpochBatch(c, v, 0); }), 0);
+  EXPECT_EQ(with_args({"--sim-threads=8"},
+                      [](int c, char** v) { return ParseSimThreads(c, v, 3); }),
+            8);
+  EXPECT_EQ(with_args({"--sim-epoch-batch=16"},
+                      [](int c, char** v) { return ParseEpochBatch(c, v, 0); }),
+            16);
+
+  setenv("MRMSIM_SIM_THREADS", "2", 1);
+  setenv("MRMSIM_EPOCH_BATCH", "4", 1);
+  EXPECT_EQ(with_args({}, [](int c, char** v) { return ParseSimThreads(c, v, 3); }), 2);
+  EXPECT_EQ(with_args({}, [](int c, char** v) { return ParseEpochBatch(c, v, 0); }), 4);
+  // An explicit argument wins over the environment.
+  EXPECT_EQ(with_args({"--sim-threads=6"},
+                      [](int c, char** v) { return ParseSimThreads(c, v, 3); }),
+            6);
+  EXPECT_EQ(with_args({"--sim-epoch-batch=1"},
+                      [](int c, char** v) { return ParseEpochBatch(c, v, 0); }),
+            1);
+  unsetenv("MRMSIM_SIM_THREADS");
+  unsetenv("MRMSIM_EPOCH_BATCH");
+
+  // Out-of-range values clamp to the safe end: serial / auto.
+  EXPECT_EQ(with_args({"--sim-threads=-2"},
+                      [](int c, char** v) { return ParseSimThreads(c, v, 3); }),
+            1);
+  EXPECT_EQ(with_args({"--sim-epoch-batch=-7"},
+                      [](int c, char** v) { return ParseEpochBatch(c, v, 5); }),
+            0);
 }
 
 TEST(BenchRunner, ResultsKeepRegistrationOrder) {

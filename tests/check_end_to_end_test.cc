@@ -32,11 +32,13 @@ mem::DeviceConfig SmallConfig() {
 
 // Mixed read/write closed loop over a deterministic LCG address stream.
 // Returns the final stats; `observer` may be null.
-mem::SystemStats RunClosedLoop(int threads, mem::CommandObserver* observer) {
+mem::SystemStats RunClosedLoop(int threads, mem::CommandObserver* observer,
+                               int epoch_batch = 1) {
   sim::Simulator sim;
   if (threads > 1) {
     sim.SetWorkerThreads(threads);
   }
+  sim.SetEpochBatch(epoch_batch);
   mem::MemorySystem system(&sim, SmallConfig());
   system.SetCommandObserver(observer);
 
@@ -86,6 +88,24 @@ TEST(CheckEndToEnd, ClosedLoopRunIsAuditClean) {
     } else {
       EXPECT_EQ(checker.commands_observed(), 0u)
           << "hook sites must compile away in unchecked builds";
+    }
+  }
+}
+
+TEST(CheckEndToEnd, EpochBatchingStaysAuditCleanAndBitIdentical) {
+  // The epoch-invariant hooks must hold under epoch batching: a batched run
+  // executes the same epoch schedule, so the auditor sees the same command
+  // stream and the stats match an unbatched run bit for bit.
+  const mem::SystemStats base = RunClosedLoop(1, nullptr, /*epoch_batch=*/1);
+  for (const int threads : {1, 4}) {
+    check::ProtocolChecker checker(SmallConfig(), 1e9);
+    const mem::SystemStats batched = RunClosedLoop(threads, &checker, /*epoch_batch=*/16);
+    EXPECT_TRUE(base == batched) << "threads=" << threads << " epoch_batch=16";
+    if (kCheckedHooks) {
+      EXPECT_GT(checker.commands_observed(), 1000u) << "threads=" << threads;
+      EXPECT_EQ(checker.violation_count(), 0u)
+          << "threads=" << threads << "\n"
+          << checker.Report();
     }
   }
 }
