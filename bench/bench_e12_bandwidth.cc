@@ -33,10 +33,12 @@ using namespace mrm;  // NOLINT: bench binary
 struct BandwidthRun {
   double bytes_per_s = 0.0;
   std::uint64_t events = 0;
+  sim::EpochSchedStats sched;
+  mem::SpecStats spec;
 };
 
 BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim_threads,
-                                        int epoch_batch) {
+                                        int epoch_batch, sim::Tick spec_window = 0) {
   // Picosecond ticks: HBM-class sub-ns burst timings would be quantized to
   // whole nanoseconds otherwise, understating bandwidth by up to 60%.
   sim::Simulator simulator(1e12);
@@ -46,6 +48,7 @@ BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim
   check::ScopedChecker checker(&simulator, &system);
   simulator.SetWorkerThreads(sim_threads);
   simulator.SetEpochBatch(epoch_batch);
+  simulator.SetSpeculationWindow(spec_window);
   const std::uint64_t bytes = 8ull << 20;
   bool done = false;
   system.Transfer(mem::Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
@@ -53,7 +56,53 @@ BandwidthRun MeasureSequentialBandwidth(const mem::DeviceConfig& config, int sim
   BandwidthRun run;
   run.bytes_per_s = done ? static_cast<double>(bytes) / simulator.now_seconds() : 0.0;
   run.events = simulator.events_executed();
+  run.sched = simulator.epoch_sched_stats();
+  run.spec = system.GetSpecStats();
   return run;
+}
+
+// Duty-cycled stream: short read bursts separated by idle gaps — the shape
+// where speculation pays. Quiescent lanes jump each gap in a handful of
+// speculative spans instead of marching conservative H-wide epochs through
+// it, so dispatches collapse while measured bandwidth stays bit-identical.
+BandwidthRun MeasureBurstyBandwidth(int sim_threads, int epoch_batch, sim::Tick spec_window) {
+  sim::Simulator simulator(1e12);
+  mem::MemorySystem system(&simulator, mem::HBM3EConfig());
+  check::ScopedChecker checker(&simulator, &system);
+  simulator.SetWorkerThreads(sim_threads);
+  simulator.SetEpochBatch(epoch_batch);
+  simulator.SetSpeculationWindow(spec_window);
+  const std::uint64_t burst_bytes = 64ull << 10;
+  const int bursts = 64;
+  const sim::Tick gap = 2000000;  // 2 us of ps ticks: the device drains fully between bursts
+  std::uint64_t done_bytes = 0;
+  for (int b = 0; b < bursts; ++b) {
+    simulator.ScheduleAt(static_cast<sim::Tick>(b) * gap + 1, [&, b] {
+      system.Transfer(mem::Request::Kind::kRead,
+                      static_cast<std::uint64_t>(b) * burst_bytes, burst_bytes, 0,
+                      [&] { done_bytes += burst_bytes; });
+    });
+  }
+  simulator.Run();
+  BandwidthRun run;
+  run.bytes_per_s = static_cast<double>(done_bytes) / simulator.now_seconds();
+  run.events = simulator.events_executed();
+  run.sched = simulator.epoch_sched_stats();
+  run.spec = system.GetSpecStats();
+  return run;
+}
+
+// Scheduler/speculation telemetry for a shard point: `sched_` fields vary
+// with the epoch-batch and speculation knobs (that is their entire effect)
+// and `spec_` with the window, so both prefixes are excluded from CI's
+// cross-knob identity diffs.
+void AddShardTelemetry(bench::PointResult& r, const BandwidthRun& run) {
+  r.metrics["sched_epochs"] = static_cast<double>(run.sched.epochs);
+  r.metrics["sched_hub_steps"] = static_cast<double>(run.sched.hub_steps);
+  r.metrics["sched_dispatches"] = static_cast<double>(run.sched.dispatches);
+  r.metrics["sched_spec_epochs"] = static_cast<double>(run.sched.spec_epochs);
+  r.metrics["spec_rollbacks"] = static_cast<double>(run.spec.rollbacks);
+  r.metrics["spec_commits"] = static_cast<double>(run.spec.spec_commits);
 }
 
 workload::EngineSummary RunDecodeHeavy(workload::MemoryBackend* backend, double tflops) {
@@ -83,12 +132,15 @@ double Metric(const bench::PointResult& r, const std::string& key) {
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
   const int epoch_batch = bench::ParseEpochBatch(argc, argv, /*fallback=*/0);
+  const auto spec_horizon = static_cast<sim::Tick>(bench::ParseSpecHorizon(argc, argv));
   std::printf("E12: bandwidth validation and the memory-bound roofline (§2.1/§3)\n");
 
   bench::BenchRunner runner("e12_bandwidth");
+  runner.SetSimThreads(sim_threads);
   runner.SetConfig("suite", "sequential bandwidth + decode roofline");
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
   runner.SetConfig("epoch_batch", std::to_string(epoch_batch));
+  runner.SetConfig("spec_horizon", std::to_string(spec_horizon));
 
   const std::vector<mem::DeviceConfig> devices = {mem::HBM3Config(), mem::HBM3EConfig(),
                                                   mem::LPDDR5XConfig(), mem::DDR5Config()};
@@ -113,6 +165,42 @@ int main(int argc, char** argv) {
       r.events = run.events;
       r.metrics["sim_threads"] = static_cast<double>(threads);
       r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;
+      AddShardTelemetry(r, run);
+    });
+  }
+  // Same sharded stream with speculative lane execution enabled: measured
+  // bandwidth is bit-identical to the spec-off pair (the determinism
+  // contract), so this point exists to catch a speculation-induced drift the
+  // moment one appears in CI's spec-on vs spec-off diff. The default window
+  // is sized for this bench's picosecond clock (the fabric hop alone is
+  // 4000 ticks), so a sub-hop window would never engage.
+  runner.Add("bw_hbm3e_shard_parallel_spec", [sim_threads, epoch_batch,
+                                              spec_horizon](bench::PointResult& r) {
+    const BandwidthRun run =
+        MeasureSequentialBandwidth(mem::HBM3EConfig(), sim_threads, epoch_batch,
+                                   spec_horizon > 0 ? spec_horizon : sim::Tick{65536});
+    r.events = run.events;
+    r.metrics["sim_threads"] = static_cast<double>(sim_threads);
+    r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;
+    AddShardTelemetry(r, run);
+  });
+
+  // Bursty duty-cycled pair on the same device: this is where speculation's
+  // dispatch collapse shows up in this suite (the saturated sequential
+  // stream above never quiesces, so its spec point records honest overhead
+  // instead). The spec-on window must cover the 2 us inter-burst gap on the
+  // picosecond clock, hence the 4M-tick default.
+  for (const bool spec_on : {false, true}) {
+    const std::string label = spec_on ? "bw_hbm3e_burst_spec_on" : "bw_hbm3e_burst_spec_off";
+    runner.Add(label, [sim_threads, epoch_batch, spec_horizon, spec_on](bench::PointResult& r) {
+      const sim::Tick window =
+          !spec_on ? sim::Tick{0}
+                   : (spec_horizon > 0 ? spec_horizon : sim::Tick{4 * 1024 * 1024});
+      const BandwidthRun run = MeasureBurstyBandwidth(sim_threads, epoch_batch, window);
+      r.events = run.events;
+      r.metrics["sim_threads"] = static_cast<double>(sim_threads);
+      r.metrics["measured_gb_s"] = run.bytes_per_s / 1e9;
+      AddShardTelemetry(r, run);
     });
   }
 
@@ -153,7 +241,8 @@ int main(int argc, char** argv) {
   TablePrinter roofline({"accelerator TFLOPs", "HBM mem-bound frac", "HBM tokens/s",
                          "HBM+MRM mem-bound frac", "HBM+MRM tokens/s"});
   for (const auto& [label, result] : runner.results()) {
-    if (label.rfind("bw_", 0) == 0 && label.find("shard") == std::string::npos) {
+    if (label.rfind("bw_", 0) == 0 && label.find("shard") == std::string::npos &&
+        label.find("burst") == std::string::npos) {
       const double model = Metric(result, "model_gb_s");
       const double measured = Metric(result, "measured_gb_s");
       bandwidth.AddRow({label.substr(3), FormatNumber(Metric(result, "peak_gb_s")),

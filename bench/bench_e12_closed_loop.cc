@@ -91,11 +91,14 @@ double Metric(const bench::PointResult& r, const std::string& key) {
 
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+  const auto spec_horizon = static_cast<sim::Tick>(bench::ParseSpecHorizon(argc, argv));
   std::printf("E12b: closed-loop inference, analytic vs. cycle-level (DESIGN.md §11)\n");
 
   bench::BenchRunner runner("e12_closed_loop");
+  runner.SetSimThreads(sim_threads);
   runner.SetConfig("suite", "closed-loop decode validation");
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
+  runner.SetConfig("spec_horizon", std::to_string(spec_horizon));
 
   const workload::TierSpec hbm = tier::TierSpecFromDevice(mem::HBM3EConfig(), 8);
   const std::uint64_t weight_bytes = workload::Llama2_70B().weight_bytes();
@@ -113,11 +116,15 @@ int main(int argc, char** argv) {
   // JSON modulo wall-clock fields to prove bit-identity.
   for (const bool parallel : {false, true}) {
     // The label stays fixed as --sim-threads varies so the CI smoke job can
-    // diff two runs' JSON directly.
+    // diff two runs' JSON directly. The same holds for --sim-spec-horizon:
+    // speculative lane execution must not move any deterministic metric, so
+    // the spec-on vs spec-off CI diff compares these very labels.
     const std::string label = parallel ? "sim_hbm_parallel" : "sim_hbm_serial";
     const int threads = parallel ? sim_threads : 1;
-    runner.Add(label, [threads, hbm, weight_bytes](bench::PointResult& r) {
-      driver::SimBackend backend(HbmSimOptions(threads), weight_bytes);
+    runner.Add(label, [threads, hbm, weight_bytes, spec_horizon](bench::PointResult& r) {
+      driver::SimBackendOptions options = HbmSimOptions(threads);
+      options.sim_spec_horizon = spec_horizon;
+      driver::SimBackend backend(std::move(options), weight_bytes);
       // Audit every command when MRMSIM_CHECK=1 in a checked build.
       check::ScopedChecker checker(backend.simulator(), backend.memory_system());
       const double sim_step_s = MeasureDecodeStep(&backend);

@@ -142,8 +142,10 @@ ChurnResult RunMrmChurn(double rate, int ecc_t, const fault::FaultConfig& base) 
 }
 
 // Fabric fault point: a sequential read stream through mem::MemorySystem
-// with stall / dropped-completion injection, at a given worker-pool size.
-void RunFabricPoint(int sim_threads, const fault::FaultConfig& base, bench::PointResult& r) {
+// with stall / dropped-completion injection, at a given worker-pool size and
+// speculation window (0 = off; any window leaves the metrics bit-identical).
+void RunFabricPoint(int sim_threads, sim::Tick spec_horizon, const fault::FaultConfig& base,
+                    bench::PointResult& r) {
   fault::FaultConfig config = base;
   config.channel_stall_prob = 0.01;
   config.drop_completion_prob = 0.01;
@@ -155,6 +157,7 @@ void RunFabricPoint(int sim_threads, const fault::FaultConfig& base, bench::Poin
   check::ScopedChecker checker(&simulator, &system);
   check::ScopedFaultChecker fault_checker(&injector);
   simulator.SetWorkerThreads(sim_threads);
+  simulator.SetSpeculationWindow(spec_horizon);
   const std::uint64_t bytes = 8ull << 20;
   bool done = false;
   system.Transfer(mem::Request::Kind::kRead, 0, bytes, 0, [&] { done = true; });
@@ -188,6 +191,7 @@ double Metric(const bench::PointResult& r, const std::string& key) {
 
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
+  const auto spec_horizon = static_cast<sim::Tick>(bench::ParseSpecHorizon(argc, argv));
 
   fault::FaultConfig base;
   for (int i = 1; i < argc; ++i) {
@@ -210,9 +214,11 @@ int main(int argc, char** argv) {
   std::printf("F2: fault-rate x ECC-strength sweep through the RAS recovery path (§4)\n");
 
   bench::BenchRunner runner("f2_fault_sweep");
+  runner.SetSimThreads(sim_threads);
   runner.SetConfig("suite", "fault injection: availability/goodput vs rate x ecc_t");
   runner.SetConfig("fault_seed", std::to_string(base.seed));
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
+  runner.SetConfig("spec_horizon", std::to_string(spec_horizon));
 
   const std::vector<double> rates = {0.0, 1e-4, 3e-4, 1e-3, 3e-3};
   const std::vector<int> ecc_strengths = {4, 16, 64};
@@ -252,9 +258,11 @@ int main(int argc, char** argv) {
   // metrics must match each other — and a run at any other --sim-threads —
   // bit for bit (the determinism claim; CI diffs the JSON).
   runner.Add("fabric_faults_shard_serial",
-             [base](bench::PointResult& r) { RunFabricPoint(1, base, r); });
-  runner.Add("fabric_faults_shard_parallel",
-             [sim_threads, base](bench::PointResult& r) { RunFabricPoint(sim_threads, base, r); });
+             [base](bench::PointResult& r) { RunFabricPoint(1, /*spec_horizon=*/0, base, r); });
+  runner.Add("fabric_faults_shard_parallel", [sim_threads, spec_horizon,
+                                              base](bench::PointResult& r) {
+    RunFabricPoint(sim_threads, spec_horizon, base, r);
+  });
 
   const int rc = runner.RunAndReport();
 

@@ -45,6 +45,19 @@ void AddSchedMetrics(bench::PointResult& r, const sim::Simulator& sim) {
       s.dispatches == 0 ? 0.0 : static_cast<double>(s.epochs) / static_cast<double>(s.dispatches);
   r.metrics["sched_rebalances"] = static_cast<double>(s.rebalances);
   r.metrics["sched_guard_stops"] = static_cast<double>(s.batch_guard_stops);
+  r.metrics["sched_spec_epochs"] = static_cast<double>(s.spec_epochs);
+}
+
+// Speculation telemetry for a finished point. Thread-invariant (the
+// speculation schedule is derived from simulation state alone) but dependent
+// on the speculation window, so the `spec_` prefix is excluded from spec-on
+// vs spec-off identity diffs alongside `sched_`.
+void AddSpecMetrics(bench::PointResult& r, const mem::MemorySystem& system) {
+  const mem::SpecStats& s = system.GetSpecStats();
+  r.metrics["spec_rollbacks"] = static_cast<double>(s.rollbacks);
+  r.metrics["spec_rolled_back_events"] = static_cast<double>(s.rolled_back_events);
+  r.metrics["spec_commits"] = static_cast<double>(s.spec_commits);
+  r.metrics["spec_suppressed"] = static_cast<double>(s.suppressed_records);
 }
 
 void AddQueuePoints(bench::BenchRunner& runner) {
@@ -104,13 +117,19 @@ void AddMemoryPoint(bench::BenchRunner& runner, const std::string& label,
 // Compare their events/sec for the parallel-engine speedup; run with
 // MRMSIM_BENCH_THREADS=1 so the bench pool does not steal cores from the
 // sharded point.
-void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads, int epoch_batch) {
-  const auto add = [&runner, epoch_batch](const std::string& label, int threads) {
-    runner.Add(label, [threads, epoch_batch](bench::PointResult& r) {
+void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads, int epoch_batch,
+                           int spins_per_yield, sim::Tick spec_horizon) {
+  const auto add = [&runner, epoch_batch, spins_per_yield](const std::string& label, int threads,
+                                                           sim::Tick spec_window) {
+    runner.Add(label, [threads, epoch_batch, spins_per_yield, spec_window](bench::PointResult& r) {
       sim::Simulator sim;
       mem::MemorySystem system(&sim, mem::HBM3EConfig());
       sim.SetWorkerThreads(threads);
       sim.SetEpochBatch(epoch_batch);
+      if (spins_per_yield > 0) {
+        sim.SetSpinsPerYield(spins_per_yield);
+      }
+      sim.SetSpeculationWindow(spec_window);
       const bench::MemRunResult run =
           bench::MemClosedLoop(sim, system, /*total=*/400000, /*window=*/1024,
                                /*read_pct=*/63, /*seq_pct=*/80, /*seed=*/7);
@@ -122,10 +141,52 @@ void AddShardScalingPoints(bench::BenchRunner& runner, int sim_threads, int epoc
       r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
       r.metrics["sim_seconds"] = run.sim_seconds;
       AddSchedMetrics(r, sim);
+      AddSpecMetrics(r, system);
     });
   };
-  add("mem_hbm3e16_shard_serial", 1);
-  add("mem_hbm3e16_shard_parallel", sim_threads);
+  add("mem_hbm3e16_shard_serial", 1, /*spec_window=*/0);
+  add("mem_hbm3e16_shard_parallel", sim_threads, /*spec_window=*/0);
+  // Speculation on a saturated closed loop is the honest-overhead point: all
+  // paper-facing metrics stay bit-identical to the spec-off pair above, while
+  // `sched_epochs` may rise a few percent (rolled-back work is re-executed)
+  // and `hub_steps` stays workload-fixed. The win case is the bursty pair.
+  add("mem_hbm3e16_shard_parallel_spec", sim_threads,
+      spec_horizon > 0 ? spec_horizon : sim::Tick{4096});
+}
+
+// Bursty spec on/off pair: short request bursts separated by long idle gaps,
+// the regime speculation targets. Spec off, the epoch driver crawls through
+// each gap one refresh-paced conservative horizon at a time; spec on, every
+// quiescent lane retires whole refresh trains per dispatch and commits them
+// untouched (zero rollbacks), so `sched_dispatches` / `sched_epochs` collapse
+// while reads/writes/latency stay bit-identical.
+void AddBurstyPoints(bench::BenchRunner& runner, int sim_threads, int epoch_batch,
+                     int spins_per_yield, sim::Tick spec_horizon) {
+  const auto add = [=, &runner](const std::string& label, sim::Tick spec_window) {
+    runner.Add(label, [=](bench::PointResult& r) {
+      sim::Simulator sim;
+      mem::MemorySystem system(&sim, mem::HBM3EConfig());
+      sim.SetWorkerThreads(sim_threads);
+      sim.SetEpochBatch(epoch_batch);
+      if (spins_per_yield > 0) {
+        sim.SetSpinsPerYield(spins_per_yield);
+      }
+      sim.SetSpeculationWindow(spec_window);
+      const bench::MemRunResult run =
+          bench::MemBursty(sim, system, /*bursts=*/60, /*burst_size=*/64,
+                           /*gap_ticks=*/50000, /*read_pct=*/60, /*seed=*/99);
+      r.events = run.events;
+      r.metrics["reads"] = static_cast<double>(run.reads);
+      r.metrics["writes"] = static_cast<double>(run.writes);
+      r.metrics["row_hit_rate"] = run.row_hit_rate;
+      r.metrics["read_latency_mean_ns"] = run.read_latency_mean_ns;
+      r.metrics["sim_seconds"] = run.sim_seconds;
+      AddSchedMetrics(r, sim);
+      AddSpecMetrics(r, system);
+    });
+  };
+  add("mem_hbm3e16_burst_spec_off", /*spec_window=*/0);
+  add("mem_hbm3e16_burst_spec_on", spec_horizon > 0 ? spec_horizon : sim::Tick{65536});
 }
 
 // Barrier-overhead micro-points: raw ParallelExecutor dispatch cost with
@@ -216,11 +277,16 @@ void AddExecutorPoints(bench::BenchRunner& runner, int sim_threads) {
 int main(int argc, char** argv) {
   const int sim_threads = bench::ParseSimThreads(argc, argv, /*fallback=*/4);
   const int epoch_batch = bench::ParseEpochBatch(argc, argv, /*fallback=*/0);
+  const int spins_per_yield = bench::ParseSpinsPerYield(argc, argv);
+  const auto spec_horizon = static_cast<sim::Tick>(bench::ParseSpecHorizon(argc, argv));
 
   bench::BenchRunner runner("micro_simulator");
+  runner.SetSimThreads(sim_threads);
   runner.SetConfig("suite", "event core + memory system microbenchmarks");
   runner.SetConfig("sim_threads", std::to_string(sim_threads));
   runner.SetConfig("epoch_batch", std::to_string(epoch_batch));
+  runner.SetConfig("spins_per_yield", std::to_string(spins_per_yield));
+  runner.SetConfig("spec_horizon", std::to_string(spec_horizon));
 
   AddQueuePoints(runner);
   AddMemoryPoint(runner, "mem_ddr5_frfcfs_mixed", "ddr5", mem::SchedulerPolicy::kFrFcfs,
@@ -231,7 +297,8 @@ int main(int argc, char** argv) {
                  /*total=*/120000, /*read_pct=*/63, /*seq_pct=*/90, /*seed=*/3, epoch_batch);
   AddMemoryPoint(runner, "mem_lpddr5x_frfcfs_rand", "lpddr5x", mem::SchedulerPolicy::kFrFcfs,
                  /*total=*/120000, /*read_pct=*/50, /*seq_pct=*/10, /*seed=*/4, epoch_batch);
-  AddShardScalingPoints(runner, sim_threads, epoch_batch);
+  AddShardScalingPoints(runner, sim_threads, epoch_batch, spins_per_yield, spec_horizon);
+  AddBurstyPoints(runner, sim_threads, epoch_batch, spins_per_yield, spec_horizon);
   AddExecutorPoints(runner, sim_threads);
 
   return runner.RunAndReport();

@@ -80,6 +80,53 @@ int ParseEpochBatch(int argc, char** argv, int fallback) {
   return batch < 0 ? 0 : batch;
 }
 
+namespace {
+
+// Strictly-parsed integer knob: on a malformed or out-of-range value the
+// current setting is kept and one diagnostic line names the offender, so a
+// typo in an env var degrades loudly instead of silently running the wrong
+// configuration.
+long long ResolveKnob(const char* text, const char* source, long long min_valid,
+                      long long current, const char* what) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < min_valid) {
+    std::fprintf(stderr, "bench_runner: ignoring invalid %s '%s' from %s (integer >= %lld)\n",
+                 what, text, source, min_valid);
+    return current;
+  }
+  return value;
+}
+
+long long ParseKnob(int argc, char** argv, const char* arg_prefix, const char* env_name,
+                    long long min_valid, long long fallback, const char* what) {
+  long long value = fallback;
+  if (const char* env = std::getenv(env_name)) {
+    value = ResolveKnob(env, env_name, min_valid, value, what);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(arg_prefix, 0) == 0) {
+      value = ResolveKnob(arg.c_str() + std::string(arg_prefix).size(), arg_prefix, min_valid,
+                          value, what);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+int ParseSpinsPerYield(int argc, char** argv, int fallback) {
+  return static_cast<int>(ParseKnob(argc, argv, "--spins-per-yield=", "MRMSIM_SPINS_PER_YIELD",
+                                    /*min_valid=*/0, fallback, "spins-per-yield"));
+}
+
+std::uint64_t ParseSpecHorizon(int argc, char** argv, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      ParseKnob(argc, argv, "--sim-spec-horizon=", "MRMSIM_SPEC_HORIZON",
+                /*min_valid=*/0, static_cast<long long>(fallback), "sim-spec-horizon"));
+}
+
 BenchRunner::BenchRunner(std::string name) : name_(std::move(name)) {}
 
 void BenchRunner::Add(std::string label, std::function<void(PointResult&)> fn) {
@@ -188,12 +235,18 @@ bool BenchRunner::WriteJson(unsigned threads, double total_wall_seconds,
     total_events += result.events;
   }
 
-  // hardware_threads records the machine the numbers came from: wall-clock
-  // figures (and any parallel-speedup point pair) are meaningless without
-  // knowing how many cores were actually available.
+  // "threads" is the sim worker-pool size when the bench declared one (the
+  // count that shapes the simulation's own numbers); the pool that merely
+  // runs points side by side is "bench_threads". hardware_threads records
+  // the machine the numbers came from: wall-clock figures (and any
+  // parallel-speedup point pair) are meaningless without knowing how many
+  // cores were actually available.
   std::fprintf(f, "{\n  \"bench\": ");
   PrintJsonString(f, name_);
-  std::fprintf(f, ",\n  \"threads\": %u,\n  \"hardware_threads\": %u,\n  \"config\": {", threads,
+  std::fprintf(f,
+               ",\n  \"threads\": %u,\n  \"bench_threads\": %u,\n  \"hardware_threads\": %u,\n"
+               "  \"config\": {",
+               sim_threads_ > 0 ? static_cast<unsigned>(sim_threads_) : threads, threads,
                std::thread::hardware_concurrency());
   bool first = true;
   for (const auto& [key, value] : config_) {

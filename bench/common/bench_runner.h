@@ -35,6 +35,24 @@ int ParseSimThreads(int argc, char** argv, int fallback = 1);
 // 1 disables batching; values < 0 resolve to 0.
 int ParseEpochBatch(int argc, char** argv, int fallback = 0);
 
+// Spin-then-yield budget of the sim worker pool's barriers
+// (sim::Simulator::SetSpinsPerYield inside a point). Resolution order: a
+// `--spins-per-yield=N` argument, the MRMSIM_SPINS_PER_YIELD environment
+// variable, then `fallback`. 0 (the default fallback) keeps the executor's
+// built-in budget — points should only call SetSpinsPerYield for values > 0.
+// Bad values (negative or non-numeric) are ignored with a one-line stderr
+// diagnostic.
+int ParseSpinsPerYield(int argc, char** argv, int fallback = 0);
+
+// Speculation window in ticks (sim::Simulator::SetSpeculationWindow inside a
+// point): how far past the conservative epoch horizon a quiescent lane may
+// run optimistically before deterministic rollback covers for it. Resolution
+// order: a `--sim-spec-horizon=W` argument, the MRMSIM_SPEC_HORIZON
+// environment variable, then `fallback`. 0 (the default fallback) disables
+// speculation. Bad values (negative or non-numeric) are ignored with a
+// one-line stderr diagnostic.
+std::uint64_t ParseSpecHorizon(int argc, char** argv, std::uint64_t fallback = 0);
+
 // Filled in by a point function; wall time is measured by the runner around
 // the call. `events` is whatever unit of work the bench counts (simulator
 // events, requests, ...) and drives the events/sec throughput figures.
@@ -57,6 +75,12 @@ class BenchRunner {
   // Static key/value context recorded in the JSON "config" object.
   void SetConfig(std::string key, std::string value);
 
+  // Declares the sim worker-pool size the points run with. When set (> 0),
+  // the JSON's top-level "threads" reports this — the thread count that
+  // shapes the simulation numbers — and the bench pool size moves to
+  // "bench_threads". Unset, "threads" falls back to the bench pool size.
+  void SetSimThreads(int sim_threads) { sim_threads_ = sim_threads; }
+
   // Runs all points on a pool of `threads` threads (0 = MRMSIM_BENCH_THREADS
   // env var, else hardware_concurrency), prints a table, writes
   // BENCH_<name>.json into MRMSIM_BENCH_OUT (default: cwd). Returns 0 on
@@ -77,6 +101,7 @@ class BenchRunner {
                  const std::vector<double>& point_wall_seconds) const;
 
   std::string name_;
+  int sim_threads_ = 0;  // 0 = not declared; see SetSimThreads
   std::vector<Point> points_;
   std::map<std::string, std::string> config_;
   std::vector<std::pair<std::string, PointResult>> results_;

@@ -203,6 +203,48 @@ inline MemRunResult MemClosedLoop(sim::Simulator& sim, mem::MemorySystem& system
   return result;
 }
 
+// Bursty open-loop workload: `bursts` batches of `burst_size` uniform-random
+// requests land `gap_ticks` apart, the device idle (refresh-paced) between
+// batches. This is the shape where speculative lane execution pays: through
+// each idle gap the conservative driver steps one short epoch per refresh
+// wake across the whole stack, while speculating lanes retire entire refresh
+// trains per dispatch and commit them untouched.
+inline MemRunResult MemBursty(sim::Simulator& sim, mem::MemorySystem& system, int bursts,
+                              int burst_size, sim::Tick gap_ticks, int read_pct,
+                              std::uint64_t rng_seed) {
+  check::ScopedChecker protocol_audit(&sim, &system);
+  const std::uint64_t start_events = sim.events_executed();
+  const std::uint64_t line = system.config().access_bytes;
+  const std::uint64_t lines = system.capacity_bytes() / line;
+
+  std::mt19937_64 rng(rng_seed);
+  for (int b = 0; b < bursts; ++b) {
+    sim.ScheduleAt(static_cast<sim::Tick>(b) * gap_ticks + 1, [&system, &rng, burst_size, lines,
+                                                               line, read_pct] {
+      for (int i = 0; i < burst_size; ++i) {
+        mem::Request request;
+        const bool is_read = static_cast<int>(rng() % 100) < read_pct;
+        request.kind = is_read ? mem::Request::Kind::kRead : mem::Request::Kind::kWrite;
+        request.addr = (rng() % lines) * line;
+        request.size = static_cast<std::uint32_t>(line);
+        request.on_complete = [](const mem::Request&) {};
+        system.Enqueue(std::move(request));
+      }
+    });
+  }
+  sim.Run();
+
+  const mem::SystemStats stats = system.GetStats();
+  MemRunResult result;
+  result.events = sim.events_executed() - start_events;
+  result.reads = stats.reads_completed;
+  result.writes = stats.writes_completed;
+  result.row_hit_rate = stats.row_hit_rate();
+  result.read_latency_mean_ns = stats.read_latency_ns.mean();
+  result.sim_seconds = sim.now_seconds();
+  return result;
+}
+
 }  // namespace bench
 }  // namespace mrm
 

@@ -338,6 +338,38 @@ void ProtocolChecker::OnRecordProcessed(int channel, sim::Tick effect_tick,
   hub_.any_record = true;
   hub_.last_effect = effect_tick;
   hub_.last_request_id = request_id;
+  ChannelAudit& audit = channels_[static_cast<std::size_t>(channel)];
+  audit.last_processed_effect = effect_tick;
+  audit.last_processed_id = request_id;
+  audit.any_processed = true;
+}
+
+void ProtocolChecker::OnRecordSuppressed(int channel, sim::Tick effect_tick,
+                                         std::uint64_t request_id) {
+  // Rollback conservation: a suppressed replay record must correspond to a
+  // record the hub consumed out of the rolled-back span, so its key can
+  // never exceed the channel's hub-processed frontier. Violations are stored
+  // channel-locally (this hook fires on the lane).
+  ChannelAudit& audit = channels_[static_cast<std::size_t>(channel)];
+  const bool beyond_frontier =
+      !audit.any_processed || effect_tick > audit.last_processed_effect ||
+      (effect_tick == audit.last_processed_effect && request_id > audit.last_processed_id);
+  if (!beyond_frontier) {
+    return;
+  }
+  Violation v;
+  v.kind = ViolationKind::kRollbackConservation;
+  v.tick = effect_tick;
+  v.channel = channel;
+  v.message = std::string(ViolationName(v.kind)) + ": ch" + std::to_string(channel) +
+              " suppressed record (tick " + std::to_string(effect_tick) + ", id " +
+              std::to_string(request_id) + ") past the hub-processed frontier (tick " +
+              std::to_string(audit.last_processed_effect) + ", id " +
+              std::to_string(audit.last_processed_id) + ")";
+  ++audit.violations_total;
+  if (audit.violations.size() < kMaxViolationsPerChannel) {
+    audit.violations.push_back(std::move(v));
+  }
 }
 
 std::uint64_t ProtocolChecker::commands_observed() const {

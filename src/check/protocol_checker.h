@@ -67,6 +67,7 @@ class ProtocolChecker : public mem::CommandObserver {
   void OnArrivalAdmitted(int channel, sim::Tick admit_tick, sim::Tick horizon) override;
   void OnRecordProcessed(int channel, sim::Tick effect_tick, std::uint64_t request_id,
                          sim::Tick hub_now) override;
+  void OnRecordSuppressed(int channel, sim::Tick effect_tick, std::uint64_t request_id) override;
 
   // Aggregated results. Call only after the simulation quiesces (no lane is
   // running), e.g. after Simulator::Run returns.
@@ -103,6 +104,13 @@ class ProtocolChecker : public mem::CommandObserver {
     sim::Tick bus_free = 0;       // first tick the data bus is free again
     sim::Tick last_tick = 0;      // commands must issue in nondecreasing order
     sim::Tick last_admit = 0;     // arrival admissions must not regress
+    // Hub-processed record frontier for this channel: written on the serial
+    // hub phase, read on the lane when a replayed record is suppressed
+    // (rollback conservation). Safe without locks — hub phases and lane
+    // epochs alternate with a barrier between them (observer.h contract).
+    sim::Tick last_processed_effect = 0;
+    std::uint64_t last_processed_id = 0;
+    bool any_processed = false;
     bool refresh_enabled = true;
     std::uint64_t commands = 0;
     std::uint64_t violations_total = 0;

@@ -47,6 +47,8 @@ const char* ViolationName(ViolationKind kind) {
       return "epoch-effect-tick";
     case ViolationKind::kEpochRecordOrder:
       return "epoch-record-order";
+    case ViolationKind::kRollbackConservation:
+      return "rollback-conservation";
     case ViolationKind::kZoneLifecycle:
       return "zone-lifecycle";
     case ViolationKind::kWritePointer:

@@ -41,6 +41,7 @@ enum class ViolationKind {
   kEpochAdmitOrder,     // per-lane admissions regressed
   kEpochEffectTick,     // record applied with hub clock != its effect tick
   kEpochRecordOrder,    // records not in (effect_tick, request id) order
+  kRollbackConservation,  // suppressed replay record the hub never consumed
   // MRM device invariants.
   kZoneLifecycle,    // open/reset/retire/append in an illegal zone state
   kWritePointer,     // append landed off the zone's write pointer

@@ -213,6 +213,11 @@ Result<Scenario> BuildScenario(const Config& config) {
   if (scenario.sim_epoch_batch < 0) {
     return Error("sim.epoch_batch must be >= 0 (0 = auto, 1 = off)");
   }
+  const std::int64_t spec_horizon = config.GetInt("sim.spec_horizon", 0);
+  if (spec_horizon < 0) {
+    return Error("sim.spec_horizon must be >= 0 (ticks past the horizon, 0 = off)");
+  }
+  scenario.sim_spec_horizon = static_cast<std::uint64_t>(spec_horizon);
   const std::int64_t lower_scale = config.GetInt("sim.lower_scale", 8192);
   if (lower_scale <= 0) {
     return Error("sim.lower_scale must be positive");
@@ -267,6 +272,7 @@ Result<std::unique_ptr<workload::MemoryBackend>> MakeBackend(const Scenario& sce
       options.devices = scenario.hbm_devices;
       options.sim_threads = scenario.sim_threads;
       options.sim_epoch_batch = scenario.sim_epoch_batch;
+      options.sim_spec_horizon = static_cast<sim::Tick>(scenario.sim_spec_horizon);
       options.lower_scale = scenario.sim_lower_scale;
       options.mrm_enabled = scenario.mrm_enabled;
       options.mrm = scenario.mrm_device;

@@ -91,9 +91,11 @@ struct Scenario {
   bool mrm_enabled = false;
   mrmcore::MrmDeviceConfig mrm_device;
   int mrm_devices = 1;
-  // Cycle-level knobs (`sim.threads`, `sim.epoch_batch`, `sim.lower_scale`).
+  // Cycle-level knobs (`sim.threads`, `sim.epoch_batch`, `sim.spec_horizon`,
+  // `sim.lower_scale`).
   int sim_threads = 1;
   int sim_epoch_batch = 0;  // 0 = auto, 1 = off, K > 1 = epochs per fork/join
+  std::uint64_t sim_spec_horizon = 0;  // speculation window in ticks, 0 = off
   std::uint64_t sim_lower_scale = 8192;
 };
 

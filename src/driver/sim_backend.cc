@@ -35,6 +35,7 @@ Status SimBackendOptions::Validate(std::uint64_t weight_bytes) const {
   if (sim_epoch_batch < 0) {
     return Error("sim backend: sim_epoch_batch must be >= 0");
   }
+  // sim_spec_horizon is unsigned; any value is valid (0 = speculation off).
   if (lower_scale < 1) {
     return Error("sim backend: lower_scale must be >= 1");
   }
@@ -91,6 +92,7 @@ SimBackend::SimBackend(SimBackendOptions options, std::uint64_t weight_bytes)
   tier_specs_.push_back(tier::TierSpecFromDevice(options_.device, options_.devices));
   simulator_.SetWorkerThreads(options_.sim_threads);
   simulator_.SetEpochBatch(options_.sim_epoch_batch);
+  simulator_.SetSpeculationWindow(options_.sim_spec_horizon);
   system_ = std::make_unique<mem::MemorySystem>(&simulator_, options_.device);
 
   // Carve the simulated DRAM device into cyclic per-stream regions. Weights

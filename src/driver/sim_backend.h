@@ -57,6 +57,12 @@ struct SimBackendOptions {
   // schedule exactly).
   int sim_epoch_batch = 0;
 
+  // Speculation window in ticks: how far past the conservative epoch horizon
+  // a quiescent lane may run optimistically, covered by deterministic
+  // rollback (DESIGN.md §8 "Speculative horizons & rollback"). 0 = off.
+  // Stats are bit-identical for any value.
+  sim::Tick sim_spec_horizon = 0;
+
   // Sampled-lowering divisor: simulate 1/lower_scale of each device's share
   // of every transfer, scale measured time/energy back up. Must keep the
   // lowered weight sweep within half the simulated device's capacity.

@@ -90,6 +90,17 @@ class FaultInjector {
   // compile away otherwise). Pass nullptr to detach.
   void SetObserver(FaultObserver* observer) { observer_ = observer; }
 
+  // Checkpoint of the injector's mutable state. Decisions are keyed rolls —
+  // pure functions of (seed, stream, entity, sequence) with no generator
+  // cursor — so the stats ledger is the ONLY mutable state: a speculative
+  // lane rollback that replays its requests re-derives identical fault
+  // decisions without the injector ever rewinding (both fabric fault points
+  // run hub-side anyway). Save/Restore exist for whole-simulation
+  // checkpointing (ROADMAP item 4), mirroring sim::Simulator::SaveState.
+  using SavedState = FaultStats;
+  void SaveState(SavedState* out) const { *out = stats_; }
+  void RestoreState(const SavedState& saved) { stats_ = saved; }
+
  private:
   // Decision streams; part of the roll key so the same entity draws
   // independent variates for different decisions.

@@ -472,6 +472,74 @@ void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
   }
 }
 
+void ChannelController::SaveState(SavedState* out) const {
+  MRM_CHECK(queue_size_ == 0 && scheduled_completions_.empty())
+      << "ChannelController::SaveState requires a quiescent controller";
+  out->banks = banks_;
+  out->ranks = ranks_;
+  out->bus_free = bus_free_;
+  out->next_age_seq = next_age_seq_;
+  out->pool_free_order.clear();
+  for (std::uint32_t i = free_head_; i != kNilIndex; i = pool_[i].next_age) {
+    out->pool_free_order.push_back(i);
+  }
+  MRM_CHECK(out->pool_free_order.size() == pool_.size());
+  out->inflight_free_order.clear();
+  for (std::uint32_t i = inflight_free_; i != kNilIndex; i = inflight_[i].next_free) {
+    out->inflight_free_order.push_back(i);
+  }
+  MRM_CHECK(out->inflight_free_order.size() == inflight_.size());
+  out->inflight_count = inflight_.size();
+  out->wake_scheduled = wake_scheduled_;
+  out->wake_at = wake_at_;
+  out->wake_event = wake_event_;
+  out->stats = stats_;
+  out->energy = energy_;
+}
+
+void ChannelController::RestoreState(const SavedState& saved) {
+  banks_ = saved.banks;
+  ranks_ = saved.ranks;
+  bus_free_ = saved.bus_free;
+  next_age_seq_ = saved.next_age_seq;
+  // The pool was entirely free at save time; relink its free chain in the
+  // saved order so replayed enqueues land in the same slots.
+  free_head_ = kNilIndex;
+  std::uint32_t* link = &free_head_;
+  for (const std::uint32_t index : saved.pool_free_order) {
+    *link = index;
+    link = &pool_[index].next_age;
+  }
+  *link = kNilIndex;
+  age_head_ = kNilIndex;
+  age_tail_ = kNilIndex;
+  queue_size_ = 0;
+  for (BankList& bl : bank_queues_) {
+    bl = BankList{};
+  }
+  hit_banks_.clear();
+  // Same for the in-flight slab, except it may have grown during the
+  // discarded span: keep the grown slots (their indices are unobservable)
+  // appended after the saved chain, in ascending order.
+  inflight_free_ = kNilIndex;
+  link = &inflight_free_;
+  for (const std::uint32_t index : saved.inflight_free_order) {
+    *link = index;
+    link = &inflight_[index].next_free;
+  }
+  for (std::size_t i = saved.inflight_count; i < inflight_.size(); ++i) {
+    *link = static_cast<std::uint32_t>(i);
+    link = &inflight_[i].next_free;
+  }
+  *link = kNilIndex;
+  wake_scheduled_ = saved.wake_scheduled;
+  wake_at_ = saved.wake_at;
+  wake_event_ = saved.wake_event;
+  stats_ = saved.stats;
+  energy_ = saved.energy;
+  scheduled_completions_.clear();
+}
+
 sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
   const Location& loc = pending.location;
   const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];

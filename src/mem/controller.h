@@ -306,6 +306,41 @@ class ChannelController {
   // Data-completion ticks in schedule order (strictly increasing); the front
   // is popped as each completion event fires.
   SlidingQueue<sim::Tick> scheduled_completions_;
+
+ public:
+  // Quiescent-state snapshot, the per-channel half of speculative rollback
+  // (DESIGN.md §8, "Speculative horizons & rollback"). Only legal while
+  // HasUnfinishedRequests() is false: the request pool, age/bank lists and
+  // in-flight slab are then pure free-list structure, so the snapshot is the
+  // bank/rank timing state, the accounting counters, and the free-chain
+  // orders that keep future slot assignment deterministic across a rollback
+  // + replay. The wake event itself lives in the owning lane simulator's
+  // queue; Simulator::SaveState must be taken at the same instant so the
+  // saved wake handle stays valid after both restores.
+  struct SavedState {
+    std::vector<Bank> banks;
+    std::vector<RankState> ranks;
+    sim::Tick bus_free = 0;
+    std::uint64_t next_age_seq = 0;
+    std::vector<std::uint32_t> pool_free_order;      // free_head_ chain, in order
+    std::vector<std::uint32_t> inflight_free_order;  // inflight_free_ chain, in order
+    std::size_t inflight_count = 0;                  // slab size at save time
+    bool wake_scheduled = false;
+    sim::Tick wake_at = 0;
+    sim::EventId wake_event = 0;
+    ChannelStats stats;
+    EnergyCounters energy;
+  };
+
+  // Captures the controller's state into `out` (overwriting it). Dies unless
+  // the controller is quiescent (no queued requests, no in-flight bursts).
+  void SaveState(SavedState* out) const;
+
+  // Restores the state captured by SaveState. The controller must again be
+  // logically quiescent in the sense that every effect since the save is
+  // being discarded wholesale (the caller rewinds the lane simulator's clock
+  // and event queue in the same motion).
+  void RestoreState(const SavedState& saved);
 };
 
 }  // namespace mem

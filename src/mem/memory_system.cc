@@ -35,11 +35,32 @@ MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, Sched
         std::make_unique<ChannelController>(lane.sim.get(), &config_, &map_, c, policy);
     lane.controller->set_on_slot_free([this, c] { DrainBacklog(c); });
     // Completions leave the lane as records; the hub applies their callbacks
-    // one fabric hop later in deterministic order.
+    // one fabric hop later in deterministic order. A replay after rollback
+    // re-completes requests whose records the hub consumed before the
+    // rollback — those duplicates are swallowed here (their hub-side effects
+    // already stand; see DESIGN.md §8, "Speculative horizons & rollback").
     lane.controller->set_completion_sink([this, c](Request&& request) {
       Lane& owner = lanes_[static_cast<std::size_t>(c)];
-      owner.records.push_back(
-          {sim::TickAdd(request.complete_tick, fabric_ticks_), std::move(request)});
+      const sim::Tick effect = sim::TickAdd(request.complete_tick, fabric_ticks_);
+      if (owner.spec.suppress_remaining > 0) {
+        --owner.spec.suppress_remaining;
+        ++owner.spec.suppressed;
+        if constexpr (kCheckedHooks) {
+          MRM_CHECK(!owner.spec.suppress_keys.empty())
+              << "record suppression with no recorded consumed key";
+          const RecordKey& key = owner.spec.suppress_keys.front();
+          MRM_CHECK(key.effect_tick == effect && key.request_id == request.id)
+              << "replayed record (" << effect << ", " << request.id
+              << ") does not match the hub-consumed record (" << key.effect_tick << ", "
+              << key.request_id << ")";
+          owner.spec.suppress_keys.pop_front();
+          if (observer_ != nullptr) {
+            observer_->OnRecordSuppressed(c, effect, request.id);
+          }
+        }
+        return;
+      }
+      owner.records.push_back({effect, std::move(request)});
     });
   }
   simulator_->RegisterEpochDomain(this);
@@ -89,6 +110,14 @@ void MemorySystem::Route(Request request) {
     if (observer_ != nullptr) {
       observer_->OnRouted(location.channel, simulator_->now(), arrival_tick);
     }
+  }
+  // Conflict: the arrival lands at or inside the lane's speculated span (the
+  // lane optimistically executed past this tick). Roll the lane back to its
+  // committed snapshot first; the replay then admits this arrival in its
+  // correct place. Pushing after the rollback keeps the queue tick-sorted:
+  // every restored arrival was routed at an earlier hub time.
+  if (lane.spec.speculating && arrival_tick <= lane.sim->now() && !test_ignore_conflict_) {
+    RollbackLane(location.channel, arrival_tick);
   }
   lane.arrivals.push_back({arrival_tick, std::move(request), location});
   work_next_cache_ = std::min(work_next_cache_, arrival_tick);
@@ -200,6 +229,10 @@ sim::Tick MemorySystem::EarliestCompletionEffect(sim::Tick from) const {
 }
 
 std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
+  return RunLaneTo(lane_index, horizon, /*speculative=*/false);
+}
+
+std::uint64_t MemorySystem::RunLaneTo(int lane_index, sim::Tick horizon, bool speculative) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   std::uint64_t executed = 0;
   for (;;) {
@@ -216,9 +249,18 @@ std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
       lane.sim->AdvanceTo(arrival);
       Arrival message = std::move(lane.arrivals.front());
       lane.arrivals.pop_front();
+      if (speculative) {
+        // Journal a pristine copy before admission mutates the request, so a
+        // rollback can replay the exact arrival sequence.
+        lane.spec.journal.push_back(message);
+      }
       if constexpr (kCheckedHooks) {
         if (observer_ != nullptr) {
-          observer_->OnArrivalAdmitted(lane_index, message.tick, horizon);
+          if (speculative) {
+            lane.spec.hook_buffer.push_back({{}, message.tick, horizon, false});
+          } else {
+            observer_->OnArrivalAdmitted(lane_index, message.tick, horizon);
+          }
         }
       }
       if (!lane.controller->Enqueue(message.request, message.location)) {
@@ -236,6 +278,168 @@ std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
     }
   }
   return executed;
+}
+
+std::uint64_t MemorySystem::RunLaneSpeculative(int lane_index, sim::Tick horizon,
+                                               sim::Tick spec_horizon) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  if (lane.spec.speculating && lane.sim->now() < horizon) {
+    // The conservative horizon has passed the speculated frontier: any
+    // not-yet-routed cross-shard effect lands at >= horizon, so nothing can
+    // conflict with the span any more — it is now committed history.
+    CommitLane(lane_index);
+  }
+  if (lane.spec.speculating) {
+    // The frontier is still at/past the conservative horizon; keep extending
+    // the open span under the same snapshot, but never past the limit frozen
+    // at snapshot time — the span must stay one window deep so a rollback
+    // replays a bounded amount of work.
+    return RunLaneTo(lane_index, std::min(spec_horizon, lane.spec.limit), /*speculative=*/true);
+  }
+  if (spec_horizon > horizon && horizon > lane.spec.cooldown_until && lane.records.empty() &&
+      lane.backlog.empty() && !lane.controller->HasUnfinishedRequests()) {
+    // Quiescent at the epoch boundary (the snapshot is cheap: free-chain
+    // orders plus counters, no live scheduling state) with pending work
+    // inside the speculative window. Snapshot BEFORE admitting anything so
+    // the span covers the whole epoch: the lane chews through entire
+    // requests — hundreds of ticks of commands — instead of stopping at the
+    // conservative horizon mid-request and waiting epochs for it to crawl
+    // forward.
+    const sim::Tick arrival =
+        lane.arrivals.empty() ? sim::kTickNever : lane.arrivals.front().tick;
+    if (std::min(arrival, lane.sim->NextEventTime()) < spec_horizon) {
+      SnapshotLane(lane_index);
+      lane.spec.limit = spec_horizon;
+      return RunLaneTo(lane_index, spec_horizon, /*speculative=*/true);
+    }
+  }
+  return RunLaneTo(lane_index, horizon, /*speculative=*/false);
+}
+
+void MemorySystem::SnapshotLane(int lane_index) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  LaneSpec& spec = lane.spec;
+  lane.sim->SaveState(&spec.sim);
+  lane.controller->SaveState(&spec.controller);
+  spec.suppress_at_snap = spec.suppress_remaining;
+  spec.journal.clear();
+  spec.consumed_since_snap = 0;
+  spec.speculating = true;
+  if constexpr (kCheckedHooks) {
+    spec.suppress_keys_at_snap = spec.suppress_keys;
+    spec.consumed_keys.clear();
+    spec.hook_buffer.clear();
+    if (observer_ != nullptr) {
+      lane.buffer_observer.buffer = &spec.hook_buffer;
+      lane.controller->SetCommandObserver(&lane.buffer_observer);
+    }
+  }
+}
+
+void MemorySystem::CommitLane(int lane_index) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  LaneSpec& spec = lane.spec;
+  MRM_CHECK(spec.speculating);
+  spec.speculating = false;
+  spec.cooldown_until = 0;  // conflicts stopped landing; speculate freely again
+  spec.failures = 0;
+  spec.journal.clear();
+  spec.consumed_since_snap = 0;
+  ++spec.commits;
+  if constexpr (kCheckedHooks) {
+    spec.consumed_keys.clear();
+    spec.suppress_keys_at_snap.clear();
+    if (observer_ != nullptr) {
+      lane.controller->SetCommandObserver(observer_);
+      // Flush the span's buffered hooks in order: the auditor sees the
+      // committed history exactly as a conservative run would have.
+      for (const BufferedHook& hook : spec.hook_buffer) {
+        if (hook.is_command) {
+          observer_->OnCommand(hook.command);
+        } else {
+          observer_->OnArrivalAdmitted(lane_index, hook.admit_tick, hook.horizon);
+        }
+      }
+      spec.hook_buffer.clear();
+    }
+  }
+}
+
+void MemorySystem::RollbackLane(int lane_index, sim::Tick cooldown_until) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  LaneSpec& spec = lane.spec;
+  MRM_CHECK(spec.speculating);
+  ++spec.rollbacks;
+  spec.rolled_back_events += lane.sim->events_executed() - spec.sim.events_executed;
+  if (cooldown_until > 0) {
+    // Deterministic exponential backoff: each consecutive rollback pushes the
+    // next speculation attempt further past the conflict point, in units of
+    // the failed span's depth. A lane the workload keeps conflicting with
+    // stops paying for optimism; one commit re-arms it.
+    const sim::Tick depth = std::max<sim::Tick>(spec.limit - spec.sim.now, 1);
+    const std::uint32_t shift = std::min<std::uint32_t>(spec.failures, 16);
+    const sim::Tick backoff =
+        depth > (sim::kTickNever >> shift) ? sim::kTickNever : depth << shift;
+    spec.cooldown_until = sim::TickAdd(cooldown_until, backoff);
+    ++spec.failures;
+  }
+  const bool had_records = !lane.records.empty();
+  lane.records.clear();  // all speculative: the queue was empty at snapshot
+  lane.sim->RestoreState(spec.sim);
+  lane.controller->RestoreState(spec.controller);
+  lane.backlog.clear();  // overflow from journaled admissions; replay re-derives it
+  // Rebuild the arrival queue: journaled admissions (pristine copies, in
+  // admission order) ahead of the never-admitted remainder — a prefix/suffix
+  // split of one tick-sorted sequence, so the result is sorted too.
+  arrival_scratch_.clear();
+  for (Arrival& entry : spec.journal) {
+    arrival_scratch_.push_back(std::move(entry));
+  }
+  for (Arrival& entry : lane.arrivals) {
+    arrival_scratch_.push_back(std::move(entry));
+  }
+  spec.journal.clear();
+  lane.arrivals.clear();
+  for (Arrival& entry : arrival_scratch_) {
+    lane.arrivals.push_back(std::move(entry));
+  }
+  arrival_scratch_.clear();
+  spec.suppress_remaining = spec.suppress_at_snap + spec.consumed_since_snap;
+  spec.consumed_since_snap = 0;
+  spec.speculating = false;
+  if constexpr (kCheckedHooks) {
+    spec.hook_buffer.clear();  // discarded: the auditor never saw the span
+    spec.suppress_keys = spec.suppress_keys_at_snap;
+    for (const RecordKey& key : spec.consumed_keys) {
+      spec.suppress_keys.push_back(key);
+    }
+    spec.consumed_keys.clear();
+    spec.suppress_keys_at_snap.clear();
+    if (observer_ != nullptr) {
+      lane.controller->SetCommandObserver(observer_);
+    }
+  }
+  if (had_records) {
+    RebuildRecordHeap();
+  }
+  // The restored arrivals/events may precede the cached next-work time.
+  if (!lane.arrivals.empty()) {
+    work_next_cache_ = std::min(work_next_cache_, lane.arrivals.front().tick);
+  }
+  work_next_cache_ = std::min(work_next_cache_, lane.sim->NextEventTime());
+}
+
+void MemorySystem::FinishSpeculation(bool commit) {
+  for (int c = 0; c < config_.channels; ++c) {
+    if (!lanes_[static_cast<std::size_t>(c)].spec.speculating) {
+      continue;
+    }
+    if (commit) {
+      CommitLane(c);
+    } else {
+      RollbackLane(c, /*cooldown_until=*/0);
+    }
+  }
 }
 
 bool MemorySystem::RecordBefore(int lane_a, int lane_b) const {
@@ -303,41 +507,11 @@ void MemorySystem::SealEpoch() {
 void MemorySystem::ProcessOneRecord() {
   const int channel = record_heap_.front();
   Lane& lane = lanes_[static_cast<std::size_t>(channel)];
-  {
-    Record& record = lane.records.front();
-    if constexpr (kCheckedHooks) {
-      if (observer_ != nullptr) {
-        observer_->OnRecordProcessed(channel, record.effect_tick, record.request.id,
-                                     simulator_->now());
-      }
-    }
-    if (injector_ != nullptr && injector_->config().enabled() &&
-        injector_->RollDrop(record.request.id)) {
-      // Dropped completion (fault path): the record is still consumed at its
-      // effect tick in the deterministic global order — only the callback
-      // delivery is lost, re-delivered after the timeout. The request stays
-      // in flight until then, so Idle() keeps waiting for it.
-      ++dropped_completions_;
-      const std::uint64_t id = record.request.id;
-      simulator_->ScheduleAfter(drop_retry_ticks_,
-                                [this, id, request = std::move(record.request)]() mutable {
-                                  injector_->ResolveDrop(id);
-                                  --inflight_requests_;
-                                  if (request.on_complete) {
-                                    auto callback = std::move(request.on_complete);
-                                    callback(request);
-                                  }
-                                });
-    } else {
-      --inflight_requests_;
-      if (record.request.on_complete) {
-        // Move the callback out first: it may re-enter Enqueue/Transfer, and
-        // the Request is dead once the lane queue advances.
-        auto callback = std::move(record.request.on_complete);
-        callback(record.request);
-      }
-    }
-  }
+  // Move the record out and fix the heap BEFORE running anything: the
+  // completion callback may route new work and trigger a rollback — possibly
+  // of this very lane — which clears the lane's record queue and rebuilds
+  // the heap under us.
+  Record record = std::move(lane.records.front());
   lane.records.pop_front();
   if (lane.records.empty()) {
     record_heap_.front() = record_heap_.back();
@@ -345,6 +519,47 @@ void MemorySystem::ProcessOneRecord() {
   }
   if (record_heap_.size() > 1) {
     RecordHeapSift(0);
+  }
+  if (lane.spec.speculating) {
+    // Consuming out of an open speculative span: if the span later rolls
+    // back, the replay re-publishes this record bit-identically and the
+    // completion sink must swallow the duplicate (its effects, applied
+    // below, stand).
+    ++lane.spec.consumed_since_snap;
+    if constexpr (kCheckedHooks) {
+      lane.spec.consumed_keys.push_back({record.effect_tick, record.request.id});
+    }
+  }
+  if constexpr (kCheckedHooks) {
+    if (observer_ != nullptr) {
+      observer_->OnRecordProcessed(channel, record.effect_tick, record.request.id,
+                                   simulator_->now());
+    }
+  }
+  if (injector_ != nullptr && injector_->config().enabled() &&
+      injector_->RollDrop(record.request.id)) {
+    // Dropped completion (fault path): the record is still consumed at its
+    // effect tick in the deterministic global order — only the callback
+    // delivery is lost, re-delivered after the timeout. The request stays
+    // in flight until then, so Idle() keeps waiting for it.
+    ++dropped_completions_;
+    const std::uint64_t id = record.request.id;
+    simulator_->ScheduleAfter(drop_retry_ticks_,
+                              [this, id, request = std::move(record.request)]() mutable {
+                                injector_->ResolveDrop(id);
+                                --inflight_requests_;
+                                if (request.on_complete) {
+                                  auto callback = std::move(request.on_complete);
+                                  callback(request);
+                                }
+                              });
+  } else {
+    --inflight_requests_;
+    if (record.request.on_complete) {
+      // Move the callback out first: it may re-enter Enqueue/Transfer.
+      auto callback = std::move(record.request.on_complete);
+      callback(record.request);
+    }
   }
 }
 
@@ -373,6 +588,17 @@ SystemStats MemorySystem::GetStats() const {
     total.read_latency_ns.Merge(cs.read_latency_ns);
     total.write_latency_ns.Merge(cs.write_latency_ns);
     total.energy.Merge(lane.controller->GetEnergyReport(now));
+  }
+  return total;
+}
+
+SpecStats MemorySystem::GetSpecStats() const {
+  SpecStats total;
+  for (const Lane& lane : lanes_) {
+    total.rollbacks += lane.spec.rollbacks;
+    total.rolled_back_events += lane.spec.rolled_back_events;
+    total.spec_commits += lane.spec.commits;
+    total.suppressed_records += lane.spec.suppressed;
   }
   return total;
 }

@@ -62,6 +62,19 @@ struct SystemStats {
   friend bool operator==(const SystemStats&, const SystemStats&) = default;
 };
 
+// Speculation telemetry (DESIGN.md §8, "Speculative horizons & rollback").
+// Every field derives from the epoch schedule and simulation state alone, so
+// for a fixed speculation window the counts are bit-identical at any
+// --sim-threads; they are all zero when speculation is off.
+struct SpecStats {
+  std::uint64_t rollbacks = 0;            // speculated spans rolled back
+  std::uint64_t rolled_back_events = 0;   // lane events discarded by rollbacks
+  std::uint64_t spec_commits = 0;         // speculated spans committed
+  std::uint64_t suppressed_records = 0;   // replayed duplicate records swallowed
+
+  friend bool operator==(const SpecStats&, const SpecStats&) = default;
+};
+
 class MemorySystem : public sim::EpochDomain {
  public:
   MemorySystem(sim::Simulator* simulator, DeviceConfig config,
@@ -118,6 +131,16 @@ class MemorySystem : public sim::EpochDomain {
   // count (the epoch schedule is).
   sim::Tick LatestClock() const;
 
+  // Aggregated speculation telemetry (zero when sim::Simulator's speculation
+  // window is 0). Call after Run()/RunUntil() returns.
+  SpecStats GetSpecStats() const;
+
+  // Test-only mutation hook: skip the conflict check that rolls a lane back
+  // when a late cross-shard arrival lands inside its speculated span.
+  // Violates causality by design — used to prove the check is load-bearing
+  // (the run must abort on the lane's clock regression).
+  void TestOnlyIgnoreConflictCheck(bool ignore) { test_ignore_conflict_ = ignore; }
+
  private:
   struct TransferState {
     Request::Kind kind;
@@ -151,6 +174,81 @@ class MemorySystem : public sim::EpochDomain {
     Request request;
   };
 
+  // Global record identity, used by checked builds to prove rollback
+  // conservation (every suppressed replay matches a record the hub consumed).
+  struct RecordKey {
+    sim::Tick effect_tick = 0;
+    std::uint64_t request_id = 0;
+  };
+
+  // One buffered auditor callback (checked builds): observer hooks fired
+  // inside a speculative span are held back until the span commits and
+  // discarded when it rolls back, so the auditor sees exactly the committed
+  // history once.
+  struct BufferedHook {
+    CommandRecord command;     // valid when is_command
+    sim::Tick admit_tick = 0;  // valid when !is_command
+    sim::Tick horizon = 0;
+    bool is_command = false;
+  };
+
+  // Redirects a controller's command stream into a lane's hook buffer for
+  // the duration of a speculative span (checked builds only).
+  class BufferingObserver : public CommandObserver {
+   public:
+    void OnCommand(const CommandRecord& record) override {
+      buffer->push_back({record, 0, 0, true});
+    }
+    std::vector<BufferedHook>* buffer = nullptr;
+  };
+
+  // Per-lane speculation state (DESIGN.md §8, "Speculative horizons &
+  // rollback"). The snapshot (sim + controller + suppress watermark) is taken
+  // only when the lane is quiescent — empty record queue and backlog, no
+  // queued or in-flight requests — so it is a handful of copies plus the
+  // event-queue clone, never a deep copy of scheduling structures. The
+  // journal holds pristine pre-admission copies of every arrival admitted
+  // inside the span; a rollback replays them in order, and the suppress
+  // counter swallows the replayed duplicates of records the hub already
+  // consumed before the rollback (the replay reproduces them bit-identically,
+  // so their hub-side effects stand).
+  struct LaneSpec {
+    bool speculating = false;
+    // Frozen end of the open span: the speculative horizon in force when the
+    // snapshot was taken. Later epochs extend the span only up to this tick,
+    // so a rollback never replays more than one window's worth of work; the
+    // lane re-snapshots from a fresh baseline once the span commits.
+    sim::Tick limit = 0;
+    // Optimism throttle: after a rollback, no new span opens until the
+    // conservative horizon passes the conflict point plus a backoff that
+    // doubles with each consecutive rollback (reset on commit). Without this
+    // a conflict-heavy lane re-speculates a doomed window every epoch,
+    // re-executing (and re-discarding) near-identical work while
+    // conservative progress crawls underneath; with it such lanes converge
+    // to conservative execution while burst/idle lanes speculate freely.
+    // Hub-written (rollback), lane-read; safe under the fork/join barrier.
+    sim::Tick cooldown_until = 0;
+    std::uint32_t failures = 0;  // consecutive rollbacks since the last commit
+    sim::Simulator::SavedState sim;
+    ChannelController::SavedState controller;
+    SlidingQueue<Arrival> journal;          // admissions since the snapshot
+    std::uint64_t consumed_since_snap = 0;  // records the hub popped since it
+    std::uint64_t suppress_remaining = 0;   // replayed duplicates to swallow
+    std::uint64_t suppress_at_snap = 0;     // suppress_remaining at snapshot
+    // Telemetry: rollbacks/rolled_back_events are hub-written, the rest
+    // lane-written; aggregated by GetSpecStats() after the run quiesces.
+    std::uint64_t rollbacks = 0;
+    std::uint64_t rolled_back_events = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t suppressed = 0;
+    // Checked-build bookkeeping: exact keys behind the suppress counters and
+    // the buffered auditor hooks for the open span.
+    SlidingQueue<RecordKey> suppress_keys;
+    SlidingQueue<RecordKey> suppress_keys_at_snap;
+    std::vector<RecordKey> consumed_keys;
+    std::vector<BufferedHook> hook_buffer;
+  };
+
   // Everything one channel's lane owns. Lanes are mutated only by RunLane
   // (one thread per lane per epoch) plus the serial hub phases, never
   // concurrently.
@@ -160,6 +258,8 @@ class MemorySystem : public sim::EpochDomain {
     SlidingQueue<Arrival> arrivals;    // fabric-in, sorted by tick
     SlidingQueue<Backlogged> backlog;  // admission overflow, FIFO
     SlidingQueue<Record> records;      // fabric-out, sorted by effect tick
+    LaneSpec spec;
+    BufferingObserver buffer_observer;  // checked builds, speculative spans
   };
 
   // sim::EpochDomain (driven by the hub simulator's epoch loop).
@@ -170,8 +270,21 @@ class MemorySystem : public sim::EpochDomain {
   bool HasPendingRecords() const override { return !record_heap_.empty(); }
   sim::Tick EarliestCompletionEffect(sim::Tick from) const override;
   std::uint64_t RunLane(int lane, sim::Tick horizon) override;
+  std::uint64_t RunLaneSpeculative(int lane, sim::Tick horizon, sim::Tick spec_horizon) override;
+  void FinishSpeculation(bool commit) override;
   void SealEpoch() override;
   void ProcessOneRecord() override;
+
+  // Shared lane loop behind RunLane/RunLaneSpeculative: delivers due arrivals
+  // and executes lane events up to (exclusive) `horizon`; when `speculative`,
+  // journals admissions and (checked builds) buffers auditor hooks.
+  std::uint64_t RunLaneTo(int lane, sim::Tick horizon, bool speculative);
+  void SnapshotLane(int lane);   // lane thread; lane must be quiescent
+  void CommitLane(int lane);     // lane thread or hub (FinishSpeculation)
+  // Hub only (Route conflict / stop exit). `cooldown_until` throttles
+  // re-speculation: the conflict's arrival tick on a Route conflict (past it,
+  // conservative execution has absorbed the conflict), 0 on a stop exit.
+  void RollbackLane(int lane, sim::Tick cooldown_until);
 
   void PumpTransfer(const std::shared_ptr<TransferState>& transfer);
   void DrainBacklog(int channel);
@@ -204,6 +317,9 @@ class MemorySystem : public sim::EpochDomain {
   sim::Tick drop_retry_ticks_ = 1;  // completion_retry_ns in hub ticks
   std::uint64_t injected_stalls_ = 0;
   std::uint64_t dropped_completions_ = 0;
+  bool test_ignore_conflict_ = false;
+  // Rollback scratch for rebuilding a lane's arrival queue (hub-side only).
+  std::vector<Arrival> arrival_scratch_;
 };
 
 }  // namespace mem

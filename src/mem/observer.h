@@ -7,11 +7,14 @@
 // observers are strictly passive and must not mutate simulation state, so an
 // observed run produces bit-identical statistics to an unobserved one.
 //
-// Threading contract: OnCommand and OnArrivalAdmitted fire on the lane that
-// owns `record.channel` / `channel` (one thread per lane per epoch, never two
-// lanes on one channel), while OnRouted and OnRecordProcessed fire on the
-// serial hub phase. An observer that keeps per-channel state plus hub-only
-// state therefore needs no synchronization.
+// Threading contract: OnCommand, OnArrivalAdmitted and OnRecordSuppressed
+// fire on the lane that owns `record.channel` / `channel` (one thread per
+// lane per epoch, never two lanes on one channel), while OnRouted and
+// OnRecordProcessed fire on the serial hub phase. An observer that keeps
+// per-channel state plus hub-only state therefore needs no synchronization:
+// lane epochs and hub phases alternate with a fork/join barrier between
+// them, so even per-channel fields written on the hub and read on the lane
+// (the rollback-conservation frontier) are race-free.
 //
 // The hook sites compile away entirely unless the MRMSIM_CHECKED CMake
 // option is ON (see src/common/check_hooks.h).
@@ -68,6 +71,14 @@ class CommandObserver {
   // effect tick is `effect_tick`.
   virtual void OnRecordProcessed(int /*channel*/, sim::Tick /*effect_tick*/,
                                  std::uint64_t /*request_id*/, sim::Tick /*hub_now*/) {}
+
+  // `channel`'s lane, replaying a rolled-back speculative span (DESIGN.md §8,
+  // "Speculative horizons & rollback"), re-published the completion record of
+  // request `request_id` and swallowed it because the hub consumed the
+  // original before the rollback. Rollback conservation requires the
+  // suppressed key to never exceed the channel's hub-processed frontier.
+  virtual void OnRecordSuppressed(int /*channel*/, sim::Tick /*effect_tick*/,
+                                  std::uint64_t /*request_id*/) {}
 };
 
 }  // namespace mem

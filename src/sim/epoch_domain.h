@@ -71,6 +71,25 @@ class EpochDomain {
   // lanes. Returns the number of lane events executed.
   virtual std::uint64_t RunLane(int lane, Tick horizon) = 0;
 
+  // Like RunLane, but with permission to run optimistically past `horizon`
+  // up to (exclusive) `spec_horizon` when the lane can snapshot its state and
+  // roll back deterministically should a late cross-shard effect land inside
+  // the speculated span (DESIGN.md §8, "Speculative horizons & rollback").
+  // `spec_horizon >= horizon`; equal means no speculation this epoch. The
+  // default implementation ignores the extension — speculation is an opt-in
+  // capability of the domain, not a requirement.
+  virtual std::uint64_t RunLaneSpeculative(int lane, Tick horizon, Tick spec_horizon) {
+    (void)spec_horizon;
+    return RunLane(lane, horizon);
+  }
+
+  // Called once when the epoch driver exits (drain, deadline, or stop): the
+  // domain must resolve every still-speculating lane — commit the speculated
+  // state when `commit` (the driver proved no further cross-shard effect can
+  // reach it), or roll it back to the last committed snapshot (a stopped run
+  // resumes later and may still route conflicting work).
+  virtual void FinishSpeculation(bool commit) { (void)commit; }
+
   // Serial epoch barrier: publishes records emitted by lanes during the
   // epoch into the pending set read by NextRecordTime()/ProcessOneRecord().
   virtual void SealEpoch() = 0;

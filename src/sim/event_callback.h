@@ -71,6 +71,21 @@ class EventCallback {
   // True when the held callable lives in the inline buffer (no allocation).
   bool is_inline() const { return invoke_ != nullptr && destroy_ == nullptr; }
 
+  // Byte-copy duplicate of an inline (or empty) callback. Inline payloads are
+  // trivially copyable by construction, so the copy is exact and independent;
+  // heap-backed callbacks cannot be duplicated this way. The caller must
+  // check is_inline() / operator bool first — this is the snapshot layer's
+  // primitive and it deliberately has no heap fallback.
+  EventCallback CloneInline() const {
+    EventCallback clone;
+    if (invoke_ != nullptr) {
+      clone.invoke_ = invoke_;
+      std::memcpy(static_cast<void*>(clone.storage_.inline_bytes),
+                  static_cast<const void*>(storage_.inline_bytes), kInlineBytes);
+    }
+    return clone;
+  }
+
  private:
   union Storage {
     alignas(std::max_align_t) unsigned char inline_bytes[kInlineBytes];

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/logging.h"
+
 #ifdef MRMSIM_QUEUE_VALIDATE
 #include <cstdio>
 #include <cstdlib>
@@ -406,6 +408,87 @@ EventCallback EventQueue::Pop(Tick* when) {
   ReleaseSlot(top.slot);
   --live_;
   return callback;
+}
+
+void EventQueue::SaveState(SavedState* out) const {
+  out->events.clear();
+  out->next_sequence = next_sequence_;
+  const auto save_entry = [this, out](const Entry& e) {
+    if (SlotAt(e.slot).generation != e.generation) {
+      return;  // cancelled or retimed: not part of the live set
+    }
+    const EventCallback& callback = SlotAt(e.slot).callback;
+    MRM_CHECK(callback.is_inline())
+        << "EventQueue::SaveState: live event at tick " << e.when
+        << " holds a heap-backed callback, which cannot be cloned";
+    out->events.push_back(
+        SavedState::SavedEvent{e.when, e.sequence, e.slot, e.generation, callback.CloneInline()});
+  };
+  for (const Entry& e : bottom_) {
+    save_entry(e);
+  }
+  for (const Entry& e : far_) {
+    save_entry(e);
+  }
+  for (std::size_t k = 0; k < rung_depth_; ++k) {
+    const Rung& r = rungs_[k];
+    for (const std::uint32_t head : r.head) {
+      for (std::uint32_t chunk = head; chunk != kNil; chunk = bucket_pool_[chunk].next) {
+        const BucketChunk& c = bucket_pool_[chunk];
+        for (std::uint32_t i = 0; i < c.count; ++i) {
+          save_entry(c.entries[i]);
+        }
+      }
+    }
+  }
+  MRM_CHECK(out->events.size() == live_);
+}
+
+void EventQueue::RestoreState(const SavedState& saved) {
+  // Tear the ladder down to the empty shape: every bucket chunk returns to
+  // the free list (so repeated restores never grow the pool), the rung stack
+  // empties, and bottom_bound_ = 0 routes the re-inserted entries through the
+  // O(1) far-buffer path.
+  bottom_.clear();
+  far_.clear();
+  rung_depth_ = 0;
+  free_chunk_head_ = kNil;
+  for (std::size_t i = bucket_pool_.size(); i-- > 0;) {
+    bucket_pool_[i].count = 0;
+    bucket_pool_[i].next = free_chunk_head_;
+    free_chunk_head_ = static_cast<std::uint32_t>(i);
+  }
+  bottom_bound_ = 0;
+
+  // Rebuild the slab: saved slots get their exact saved generation and a
+  // clone of the saved callback (so EventIds issued before the save are live
+  // again); every other slot is released with a generation bump, killing any
+  // id issued after the save. Slab capacity is retained.
+  for (const SavedState::SavedEvent& ev : saved.events) {
+    MRM_CHECK(ev.slot < slot_count_);
+    Slot& s = SlotAt(ev.slot);
+    s.callback = ev.callback.CloneInline();
+    s.generation = ev.generation;
+    s.next_free = kNil - 1;  // sentinel: live in the restored set
+  }
+  free_slot_head_ = kNil;
+  for (std::uint32_t slot = slot_count_; slot-- > 0;) {
+    Slot& s = SlotAt(slot);
+    if (s.next_free == kNil - 1) {
+      s.next_free = kNil;
+      continue;
+    }
+    s.callback = EventCallback();
+    ++s.generation;
+    s.next_free = free_slot_head_;
+    free_slot_head_ = slot;
+  }
+
+  for (const SavedState::SavedEvent& ev : saved.events) {
+    far_.push_back(Entry{ev.when, ev.sequence, ev.slot, ev.generation});
+  }
+  live_ = saved.events.size();
+  next_sequence_ = saved.next_sequence;
 }
 
 void EventQueue::ExecuteTop() {

@@ -80,6 +80,36 @@ class EventQueue {
   // was just called and returned != kTickNever.
   void ExecuteTop();
 
+  // Snapshot of every live event, restorable onto the same queue. Only
+  // inline-stored callbacks can be captured (MRM_CHECK in SaveState): they
+  // are trivially copyable, so the clone is exact and independent. The
+  // snapshot preserves each event's slot index and generation, so EventIds
+  // held by callers (e.g. a controller's wake handle) stay valid across a
+  // RestoreState. Storage is reused across SaveState calls — a lane that
+  // snapshots every commit allocates only until its high-water mark.
+  struct SavedState {
+    struct SavedEvent {
+      Tick when;
+      std::uint64_t sequence;
+      std::uint32_t slot;
+      std::uint32_t generation;
+      EventCallback callback;
+    };
+    std::vector<SavedEvent> events;
+    std::uint64_t next_sequence = 0;
+  };
+
+  // Captures all live events into `out` (overwriting it). Dies when a live
+  // event's callback is heap-backed — the snapshot layer is for lane queues,
+  // whose callbacks are inline by construction.
+  void SaveState(SavedState* out) const;
+
+  // Restores the queue to exactly the saved set of live events: same pop
+  // order, same slot/generation pairs (stale EventIds from after the save
+  // become dead, saved ones become live again). The ladder is rebuilt lazily
+  // from scratch; slab capacity is retained.
+  void RestoreState(const SavedState& saved);
+
  private:
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
   // Slots live in fixed-size chunks so growth never relocates a callback:

@@ -67,6 +67,9 @@ void Simulator::SetWorkerThreads(int threads) {
   executor_.reset();
   if (threads > 1) {
     executor_ = std::make_unique<ParallelExecutor>(threads);
+    if (spins_per_yield_ > 0) {
+      executor_->SetSpinsPerYield(spins_per_yield_);
+    }
   }
   // The lane->participant plan is meaningless for a different pool size;
   // forget the scheduling state so it re-derives from a clean static stride.
@@ -81,6 +84,27 @@ void Simulator::SetWorkerThreads(int threads) {
 void Simulator::SetEpochBatch(int batch) {
   MRM_CHECK(batch >= 0);
   epoch_batch_ = batch;
+}
+
+void Simulator::SetSpinsPerYield(int spins) {
+  spins_per_yield_ = spins < 1 ? 1 : spins;
+  if (executor_ != nullptr) {
+    executor_->SetSpinsPerYield(spins_per_yield_);
+  }
+}
+
+void Simulator::SaveState(SavedState* out) const {
+  out->now = now_;
+  out->events_executed = events_executed_;
+  queue_.SaveState(&out->queue);
+}
+
+void Simulator::RestoreState(const SavedState& saved) {
+  MRM_CHECK(saved.now <= now_) << "RestoreState only rewinds: saved clock " << saved.now
+                               << " is ahead of now " << now_;
+  now_ = saved.now;
+  events_executed_ = saved.events_executed;
+  queue_.RestoreState(saved.queue);
 }
 
 bool Simulator::Step() {
@@ -233,7 +257,13 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
   std::uint64_t executed = 0;
   const std::function<void(int)> run_lane = [this](int i) {
     LaneTask& task = lane_tasks_[static_cast<std::size_t>(i)];
-    task.executed = task.domain->RunLane(task.lane, task.horizon);
+    task.executed = task.domain->RunLaneSpeculative(task.lane, task.horizon, task.spec_horizon);
+  };
+  // Speculative horizon: H extended by the configured window, still capped at
+  // the deadline so committed-at-deadline state matches the conservative run.
+  const auto spec_horizon_for = [this, deadline](Tick horizon) {
+    return spec_window_ == 0 ? horizon
+                             : std::min(TickAdd(horizon, spec_window_), TickAdd(deadline, 1));
   };
   const int batch_limit = ResolvedEpochBatch();
   MRM_CHECK(batch_limit >= 1);
@@ -283,9 +313,10 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
     lane_tasks_.clear();
     for (EpochDomain* domain : domains_) {
       const Tick horizon = std::min(TickAdd(bound, domain->ArrivalDelay()), TickAdd(deadline, 1));
+      const Tick spec_horizon = spec_horizon_for(horizon);
       const int lanes = domain->LaneCount();
       for (int lane = 0; lane < lanes; ++lane) {
-        lane_tasks_.push_back({domain, lane, horizon, 0});
+        lane_tasks_.push_back({domain, lane, horizon, spec_horizon, 0});
       }
     }
     EnsureSchedSlots();
@@ -307,6 +338,10 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
       }
       ++sched_.epochs;
       ++epochs_since_rebalance_;
+      if (spec_window_ != 0 && !lane_tasks_.empty() &&
+          lane_tasks_.front().spec_horizon > lane_tasks_.front().horizon) {
+        ++sched_.spec_epochs;
+      }
       if (--rounds_left <= 0 || stop_requested_) {
         return false;
       }
@@ -339,6 +374,7 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
       for (LaneTask& task : lane_tasks_) {
         task.horizon =
             std::min(TickAdd(next_bound, task.domain->ArrivalDelay()), TickAdd(deadline, 1));
+        task.spec_horizon = spec_horizon_for(task.horizon);
         task.executed = 0;
       }
       return true;
@@ -355,6 +391,14 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
         more = after_round();
       } while (more);
     }
+  }
+  // Resolve any still-speculating lane. Drain/deadline exits commit: every
+  // cross-shard cause below the speculated spans has been processed, so no
+  // conflicting arrival can ever land inside them. A stop exit rolls back:
+  // the caller resumes later and may still route work into a lane's
+  // speculated past.
+  for (EpochDomain* domain : domains_) {
+    domain->FinishSpeculation(/*commit=*/!stop_requested_);
   }
   return executed;
 }

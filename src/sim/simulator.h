@@ -59,6 +59,7 @@ struct EpochSchedStats {
   std::uint64_t hub_steps = 0;    // serial record/hub-event steps
   std::uint64_t rebalances = 0;   // lane->participant plan changes installed
   std::uint64_t batch_guard_stops = 0;  // batches cut short by a pending effect
+  std::uint64_t spec_epochs = 0;  // epochs whose speculative horizon exceeded H
   std::vector<std::uint64_t> lane_cost;  // cumulative executed events per lane slot
   std::vector<int> lane_owner;           // current participant per lane slot
 };
@@ -148,7 +149,35 @@ class Simulator {
   int epoch_batch() const { return epoch_batch_; }
   int ResolvedEpochBatch() const { return epoch_batch_ > 0 ? epoch_batch_ : kAutoEpochBatch; }
 
+  // Speculative window past the conservative epoch horizon, in ticks. When
+  // non-zero, RunLaneSpeculative offers each lane an extended horizon
+  // min(H + window, deadline + 1); eligible lanes run optimistically and the
+  // domain rolls them back deterministically when a late cross-shard effect
+  // lands inside the speculated span. 0 (the default) disables speculation.
+  // Results are bit-identical for any value (DESIGN.md §8).
+  void SetSpeculationWindow(Tick window) { spec_window_ = window; }
+  Tick speculation_window() const { return spec_window_; }
+
+  // Spin-then-yield budget for the worker pool's barriers (forwarded to
+  // ParallelExecutor::SetSpinsPerYield; values < 1 clamp to 1). Takes effect
+  // immediately and survives SetWorkerThreads reconfiguration.
+  void SetSpinsPerYield(int spins);
+
   const EpochSchedStats& epoch_sched_stats() const { return sched_; }
+
+  // Snapshot of this simulator's execution state: clock, event count, and
+  // every live event (inline callbacks only — MRM_CHECK otherwise). This is
+  // the per-lane snapshot primitive behind speculative rollback, surfaced
+  // publicly to seed full checkpoint/restore (ROADMAP item 4). EventIds
+  // issued before SaveState remain valid after RestoreState; ids issued in
+  // between become dead.
+  struct SavedState {
+    Tick now = 0;
+    std::uint64_t events_executed = 0;
+    EventQueue::SavedState queue;
+  };
+  void SaveState(SavedState* out) const;
+  void RestoreState(const SavedState& saved);
 
   // Test-only mutation hook: ignore the epoch-batch safety guard so batches
   // run past pending cross-shard effects. Violates causality by design —
@@ -166,6 +195,7 @@ class Simulator {
     EpochDomain* domain;
     int lane;
     Tick horizon;
+    Tick spec_horizon;
     std::uint64_t executed;
   };
   static_assert(sizeof(LaneTask) == 64, "one dispatch slot per cache line");
@@ -204,6 +234,8 @@ class Simulator {
   std::unique_ptr<ParallelExecutor> executor_;
   int worker_threads_ = 1;
   int epoch_batch_ = 0;  // 0 = auto
+  Tick spec_window_ = 0;  // 0 = speculation off
+  int spins_per_yield_ = 0;  // 0 = executor default
   bool test_ignore_batch_guard_ = false;
   EpochSchedStats sched_;
   std::vector<std::uint64_t> lane_cost_est_;  // decayed per-lane cost EMA

@@ -117,6 +117,45 @@ TEST(BenchRunner, ParseFlagsResolveArgOverEnvOverFallback) {
             0);
 }
 
+TEST(BenchRunner, StrictKnobsRejectBadValuesLoudly) {
+  const auto with_args = [](std::vector<std::string> args, auto fn) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("bench"));
+    for (std::string& a : args) {
+      argv.push_back(a.data());
+    }
+    return fn(static_cast<int>(argv.size()), argv.data());
+  };
+  const auto spins = [](int c, char** v) { return ParseSpinsPerYield(c, v); };
+  const auto spec = [](int c, char** v) { return ParseSpecHorizon(c, v); };
+
+  unsetenv("MRMSIM_SPINS_PER_YIELD");
+  unsetenv("MRMSIM_SPEC_HORIZON");
+  EXPECT_EQ(with_args({}, spins), 0);
+  EXPECT_EQ(with_args({}, spec), 0u);
+  EXPECT_EQ(with_args({"--spins-per-yield=512"}, spins), 512);
+  EXPECT_EQ(with_args({"--sim-spec-horizon=4096"}, spec), 4096u);
+
+  // Env applies, an explicit argument wins (the MRMSIM_EPOCH_BATCH pattern).
+  setenv("MRMSIM_SPINS_PER_YIELD", "128", 1);
+  setenv("MRMSIM_SPEC_HORIZON", "256", 1);
+  EXPECT_EQ(with_args({}, spins), 128);
+  EXPECT_EQ(with_args({}, spec), 256u);
+  EXPECT_EQ(with_args({"--spins-per-yield=64"}, spins), 64);
+  EXPECT_EQ(with_args({"--sim-spec-horizon=1024"}, spec), 1024u);
+
+  // Malformed or negative values are ignored (with a one-line stderr
+  // diagnostic) — the previously-resolved value stands.
+  EXPECT_EQ(with_args({"--spins-per-yield=banana"}, spins), 128);
+  EXPECT_EQ(with_args({"--spins-per-yield=-5"}, spins), 128);
+  EXPECT_EQ(with_args({"--sim-spec-horizon=12abc"}, spec), 256u);
+  setenv("MRMSIM_SPINS_PER_YIELD", "not-a-number", 1);
+  EXPECT_EQ(with_args({}, spins), 0);
+  EXPECT_EQ(with_args({"--spins-per-yield=32"}, spins), 32);
+  unsetenv("MRMSIM_SPINS_PER_YIELD");
+  unsetenv("MRMSIM_SPEC_HORIZON");
+}
+
 TEST(BenchRunner, ResultsKeepRegistrationOrder) {
   setenv("MRMSIM_BENCH_OUT", "/tmp", 1);
   BenchRunner runner("runner_test_order");

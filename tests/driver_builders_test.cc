@@ -166,18 +166,21 @@ TEST(Builders, BackendKeySelectsAndValidates) {
       "backend = sim\n"
       "sim.threads = 4\n"
       "sim.epoch_batch = 16\n"
+      "sim.spec_horizon = 4096\n"
       "sim.lower_scale = 2048\n"
       "workload.requests = 1\n"));
   ASSERT_TRUE(scenario.ok()) << scenario.status().message();
   EXPECT_EQ(scenario.value().backend, BackendKind::kSim);
   EXPECT_EQ(scenario.value().sim_threads, 4);
   EXPECT_EQ(scenario.value().sim_epoch_batch, 16);
+  EXPECT_EQ(scenario.value().sim_spec_horizon, 4096u);
   EXPECT_EQ(scenario.value().sim_lower_scale, 2048u);
-  // sim.epoch_batch defaults to 0 = safe auto.
+  // sim.epoch_batch and sim.spec_horizon default to 0 = auto / speculation off.
   auto defaulted = BuildScenario(Parse(
       "model = phi3-14b\nbackend = sim\nworkload.requests = 1\n"));
   ASSERT_TRUE(defaulted.ok());
   EXPECT_EQ(defaulted.value().sim_epoch_batch, 0);
+  EXPECT_EQ(defaulted.value().sim_spec_horizon, 0u);
   EXPECT_FALSE(BuildScenario(Parse(
                    "model = phi3-14b\nbackend = warp\nworkload.requests = 1\n"))
                    .ok());
@@ -187,6 +190,10 @@ TEST(Builders, BackendKeySelectsAndValidates) {
                    .ok());
   EXPECT_FALSE(BuildScenario(Parse(
                    "model = phi3-14b\nbackend = sim\nsim.epoch_batch = -1\n"
+                   "workload.requests = 1\n"))
+                   .ok());
+  EXPECT_FALSE(BuildScenario(Parse(
+                   "model = phi3-14b\nbackend = sim\nsim.spec_horizon = -1\n"
                    "workload.requests = 1\n"))
                    .ok());
 }

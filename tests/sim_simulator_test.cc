@@ -114,6 +114,75 @@ TEST(Simulator, StepExecutesOne) {
   EXPECT_EQ(fired, 2);
 }
 
+// Self-rescheduling chain whose behavior is a pure function of simulator
+// state — no external mutable state besides the log — so a restored snapshot
+// must replay the exact same firing sequence.
+struct Chain {
+  Simulator* simulator;
+  std::vector<Tick>* log;
+  Tick period;
+  Tick last;
+  void Fire() {
+    log->push_back(simulator->now());
+    if (simulator->now() < last) {
+      simulator->ScheduleAfter(period, [this] { Fire(); });
+    }
+  }
+};
+
+TEST(SimulatorSaveRestore, ReplaysIdentically) {
+  Simulator simulator;
+  std::vector<Tick> log;
+  Chain a{&simulator, &log, 37, 900};
+  Chain b{&simulator, &log, 53, 900};
+  simulator.ScheduleAt(5, [&a] { a.Fire(); });
+  simulator.ScheduleAt(11, [&b] { b.Fire(); });
+  simulator.RunUntil(300);
+
+  Simulator::SavedState saved;
+  simulator.SaveState(&saved);
+  EXPECT_EQ(saved.now, simulator.now());
+  EXPECT_EQ(saved.events_executed, simulator.events_executed());
+
+  const std::size_t mark = log.size();
+  simulator.RunUntil(900);
+  const std::vector<Tick> first_leg(log.begin() + static_cast<std::ptrdiff_t>(mark), log.end());
+  const Tick end_tick = simulator.now();
+  const std::uint64_t end_events = simulator.events_executed();
+  ASSERT_FALSE(first_leg.empty());
+
+  // Roll back and replay: the same events fire at the same ticks, and the
+  // clock and event counter land exactly where the first leg left them.
+  simulator.RestoreState(saved);
+  EXPECT_EQ(simulator.now(), saved.now);
+  EXPECT_EQ(simulator.events_executed(), saved.events_executed);
+  log.resize(mark);
+  simulator.RunUntil(900);
+  const std::vector<Tick> second_leg(log.begin() + static_cast<std::ptrdiff_t>(mark), log.end());
+  EXPECT_EQ(first_leg, second_leg);
+  EXPECT_EQ(simulator.now(), end_tick);
+  EXPECT_EQ(simulator.events_executed(), end_events);
+}
+
+TEST(SimulatorSaveRestore, EventIdsSpanTheSnapshot) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId before = simulator.ScheduleAt(950, [&] { ++fired; });
+  simulator.RunUntil(100);
+
+  Simulator::SavedState saved;
+  simulator.SaveState(&saved);
+  // Scheduled between save and restore: dead after the rollback.
+  const EventId between = simulator.ScheduleAt(960, [&] { ++fired; });
+  simulator.RunUntil(200);
+
+  simulator.RestoreState(saved);
+  EXPECT_FALSE(simulator.Cancel(between)) << "id issued inside the span must die";
+  EXPECT_TRUE(simulator.Cancel(before)) << "id issued before the snapshot must survive";
+  simulator.Run();
+  EXPECT_EQ(fired, 0);
+}
+
 TEST(PeriodicTask, FiresAtPeriod) {
   Simulator simulator;
   int count = 0;
