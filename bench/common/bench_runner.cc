@@ -244,10 +244,21 @@ bool BenchRunner::WriteJson(unsigned threads, double total_wall_seconds,
   std::fprintf(f, "{\n  \"bench\": ");
   PrintJsonString(f, name_);
   std::fprintf(f,
-               ",\n  \"threads\": %u,\n  \"bench_threads\": %u,\n  \"hardware_threads\": %u,\n"
-               "  \"config\": {",
+               ",\n  \"threads\": %u,\n  \"bench_threads\": %u,\n  \"hardware_threads\": %u,\n",
                sim_threads_ > 0 ? static_cast<unsigned>(sim_threads_) : threads, threads,
                std::thread::hardware_concurrency());
+
+  // Provenance: which tree produced these numbers and whether the static
+  // analysis layer (DESIGN.md §12) passed on it. tools/tier1.sh exports both
+  // variables after running the lints; a bench launched by hand stamps
+  // "unknown" rather than implying a verdict nobody computed.
+  const char* git_sha = std::getenv("MRMSIM_GIT_SHA");
+  const char* lint_status = std::getenv("MRMSIM_LINT_CLEAN");
+  std::fputs("  \"lint_clean\": {\n    \"git_sha\": ", f);
+  PrintJsonString(f, git_sha != nullptr ? git_sha : "unknown");
+  std::fputs(",\n    \"status\": ", f);
+  PrintJsonString(f, lint_status != nullptr ? lint_status : "unknown");
+  std::fputs("\n  },\n  \"config\": {", f);
   bool first = true;
   for (const auto& [key, value] : config_) {
     std::fprintf(f, "%s\n    ", first ? "" : ",");

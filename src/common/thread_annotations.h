@@ -1,0 +1,124 @@
+// Clang Thread Safety Analysis vocabulary for the hybrid PDES engine.
+//
+// The engine has no conventional fine-grained locking: correctness rests on
+// an ownership protocol (DESIGN.md §8) in which every piece of mutable state
+// belongs to exactly one *context* at any instant:
+//
+//   * hub context — the single thread driving the epoch executive. It owns
+//     all cross-lane state (routing tables, record heaps, request maps) and,
+//     while every lane is parked at the epoch barrier, it may also touch
+//     lane-owned state (routing arrivals, rolling a lane back, sealing).
+//   * lane context — during an epoch, each lane (its sub-Simulator, its
+//     ChannelController, its speculation scratch) is driven by exactly one
+//     worker thread, which owns that lane's state exclusively and must not
+//     touch hub-shared state or any other lane.
+//
+// These contexts are not mutexes, so we model them as *phantom capabilities*
+// (tsa::ThreadRole below): zero-size objects carrying a clang
+// `capability` attribute, acquired/asserted by empty inline functions. The
+// handoff points of the real protocol (the epoch dispatch/join barrier in
+// sim::ParallelExecutor) are where the fictional capability changes hands;
+// an `Assert*` call at the top of a function is the machine-checked form of
+// the comment "runs in hub context" / "runs in lane context". Under
+// `-Werror=thread-safety` (CMake option MRMSIM_THREAD_SAFETY, clang only),
+// any new code path that touches guarded state without the matching context
+// claim fails to compile — e.g. a hub-shared write added to lane code, the
+// aliasing bug class that would silently break bit-identical replay.
+//
+// Everything here compiles away to nothing outside
+// clang + MRMSIM_THREAD_SAFETY, so gcc builds and release builds are
+// byte-for-byte unaffected.
+//
+// Vocabulary (see DESIGN.md §12 for the full policy):
+//   MRMSIM_LANE_OWNED(role)     member owned by one lane; guarded by that
+//                               lane's ThreadRole.
+//   MRMSIM_HUB_SHARED           member owned by the serial hub context;
+//                               guarded by tsa::hub_role.
+//   MRMSIM_EPOCH_BARRIER_ONLY   hub-owned member that is additionally only
+//                               meaningful between epoch dispatches (LPT
+//                               plans, scheduling telemetry). Same guard as
+//                               MRMSIM_HUB_SHARED; the distinct spelling is
+//                               documentation that lanes must never need it
+//                               even at a seal.
+//   MRMSIM_CONST_SHARED         documentation-only: immutable after
+//                               construction, safe to read from any context.
+
+#ifndef MRMSIM_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define MRMSIM_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(MRMSIM_THREAD_SAFETY) && defined(__clang__)
+#define MRMSIM_TSA_ATTR(x) __attribute__((x))
+#else
+#define MRMSIM_TSA_ATTR(x)  // no-op outside clang -Werror=thread-safety builds
+#endif
+
+// Canonical clang thread-safety attribute spellings.
+#define MRMSIM_CAPABILITY(x) MRMSIM_TSA_ATTR(capability(x))
+#define MRMSIM_SCOPED_CAPABILITY MRMSIM_TSA_ATTR(scoped_lockable)
+#define MRMSIM_GUARDED_BY(x) MRMSIM_TSA_ATTR(guarded_by(x))
+#define MRMSIM_PT_GUARDED_BY(x) MRMSIM_TSA_ATTR(pt_guarded_by(x))
+#define MRMSIM_REQUIRES(...) MRMSIM_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define MRMSIM_REQUIRES_SHARED(...) MRMSIM_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define MRMSIM_ACQUIRE(...) MRMSIM_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define MRMSIM_ACQUIRE_SHARED(...) MRMSIM_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define MRMSIM_RELEASE(...) MRMSIM_TSA_ATTR(release_capability(__VA_ARGS__))
+#define MRMSIM_RELEASE_SHARED(...) MRMSIM_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define MRMSIM_EXCLUDES(...) MRMSIM_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define MRMSIM_ASSERT_CAPABILITY(x) MRMSIM_TSA_ATTR(assert_capability(x))
+#define MRMSIM_ASSERT_SHARED_CAPABILITY(x) MRMSIM_TSA_ATTR(assert_shared_capability(x))
+#define MRMSIM_RETURN_CAPABILITY(x) MRMSIM_TSA_ATTR(lock_returned(x))
+#define MRMSIM_NO_THREAD_SAFETY_ANALYSIS MRMSIM_TSA_ATTR(no_thread_safety_analysis)
+
+// Project ownership markers (see header comment).
+#define MRMSIM_LANE_OWNED(role) MRMSIM_GUARDED_BY(role)
+#define MRMSIM_HUB_SHARED MRMSIM_GUARDED_BY(::mrm::tsa::hub_role)
+#define MRMSIM_EPOCH_BARRIER_ONLY MRMSIM_GUARDED_BY(::mrm::tsa::hub_role)
+#define MRMSIM_CONST_SHARED  // immutable after construction; any context may read
+
+namespace mrm {
+namespace tsa {
+
+// A phantom capability standing for "this thread currently plays role X".
+// It has no runtime state: Acquire/Release/Held are empty inline functions
+// whose only effect is the thread-safety attribute. Exclusive hold means
+// "this thread may mutate state guarded by the role"; shared hold means
+// "this thread may read it" (used for hub-side inspection of parked lanes).
+//
+// The Held()/HeldShared() *assert* forms are the workhorse: the ownership
+// handoffs happen through the executor's generation barrier, not through
+// lexically scoped acquire/release pairs, so functions claim — rather than
+// take — the role they run under, exactly like Mutex::AssertHeld in
+// handshake-based code. The claim is then checked against every guarded
+// access in that function body (including lambdas, which clang analyzes as
+// separate functions — each lambda body needs its own claim).
+class MRMSIM_CAPABILITY("role") ThreadRole {
+ public:
+  constexpr ThreadRole() = default;
+  // Copying a phantom is harmless — the capability's identity is the member
+  // object itself, so a moved Lane's role guards the new Lane as expected —
+  // and keeping roles copyable keeps their owners vector-friendly.
+  constexpr ThreadRole(const ThreadRole&) = default;
+  ThreadRole& operator=(const ThreadRole&) = default;
+
+  void Acquire() const MRMSIM_ACQUIRE() {}
+  void Release() const MRMSIM_RELEASE() {}
+  void AcquireShared() const MRMSIM_ACQUIRE_SHARED() {}
+  void ReleaseShared() const MRMSIM_RELEASE_SHARED() {}
+
+  // "The protocol guarantees this thread holds the role here." Checked
+  // claims, not runtime checks: they cost nothing and make the analysis
+  // verify every guarded access downstream in the enclosing body.
+  void Held() const MRMSIM_ASSERT_CAPABILITY(this) {}
+  void HeldShared() const MRMSIM_ASSERT_SHARED_CAPABILITY(this) {}
+};
+
+// The serial hub / epoch-executive context. There is exactly one such
+// context per process-wide simulation step (nested lane Simulators never
+// claim it), so a single global phantom suffices — holding it means "I am
+// the thread serially driving the executive right now".
+inline constexpr ThreadRole hub_role;
+
+}  // namespace tsa
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_COMMON_THREAD_ANNOTATIONS_H_

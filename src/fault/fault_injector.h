@@ -118,8 +118,12 @@ class FaultInjector {
   void ReportFault(FaultKind kind, std::uint64_t entity);
   void ReportResolution(FaultKind kind, FaultResolution resolution, std::uint64_t entity);
 
+  // snapshot-exempt(immutable after construction; decisions are keyed rolls
+  // derived from the config's seed, never from mutable generator state)
   FaultConfig config_;
   FaultStats stats_;
+  // snapshot-exempt(attachment wiring; the owner re-attaches observers after
+  // a restore, mirroring ChannelController::observer_)
   FaultObserver* observer_ = nullptr;
 };
 

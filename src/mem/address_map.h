@@ -1,5 +1,8 @@
 // Physical address decomposition.
 //
+// Ownership (DESIGN.md §12): immutable after construction (CONST_SHARED) —
+// the hub routes with it and every lane decodes with it concurrently.
+//
 // The default policy is RoBaRaCoCh ("row : bank : rank : column : channel"
 // from most to least significant), which stripes consecutive cache lines
 // across channels and then across columns of one row — the layout that makes

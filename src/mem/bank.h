@@ -1,4 +1,10 @@
 // Per-bank command state machine with JEDEC-style timing constraints.
+//
+// Ownership (DESIGN.md §12): Bank instances live in ChannelController's
+// banks_ array, which is MRMSIM_LANE_OWNED — all bank state is mutated only
+// by the thread holding the owning controller's role (the lane's epoch
+// worker mid-epoch, the hub during serial phases). Banks themselves carry no
+// guards; the controller's member annotations are the enforcement point.
 
 #ifndef MRMSIM_SRC_MEM_BANK_H_
 #define MRMSIM_SRC_MEM_BANK_H_

@@ -38,6 +38,7 @@ ChannelController::ChannelController(sim::Simulator* simulator, const DeviceConf
       channel_(channel),
       policy_(policy),
       ticks_(TimingTicksFromNs(config->timings, simulator->ticks_per_second())) {
+  role_.Held();  // construction: no other thread can reach this object yet
   const int banks = config_->ranks * config_->banks_per_rank();
   banks_.reserve(static_cast<std::size_t>(banks));
   for (int i = 0; i < banks; ++i) {
@@ -66,6 +67,7 @@ bool ChannelController::Enqueue(Request request) {
 }
 
 bool ChannelController::Enqueue(Request& request, const Location& location) {
+  role_.Held();
   if (free_head_ == kNilIndex) {
     return false;  // pool exhausted == queue full
   }
@@ -98,6 +100,7 @@ bool ChannelController::Enqueue(Request& request, const Location& location) {
 }
 
 void ChannelController::SetRowHitHead(std::uint32_t bank, std::uint32_t head) {
+  role_.Held();
   BankList& bl = bank_queues_[bank];
   if ((bl.row_hit_head == kNilIndex) != (head == kNilIndex)) {
     if (head == kNilIndex) {
@@ -115,6 +118,7 @@ void ChannelController::SetRowHitHead(std::uint32_t bank, std::uint32_t head) {
 }
 
 void ChannelController::RemovePending(std::uint32_t index) {
+  role_.Held();
   Pending& p = pool_[index];
   (p.prev_age == kNilIndex ? age_head_ : pool_[p.prev_age].next_age) = p.next_age;
   (p.next_age == kNilIndex ? age_tail_ : pool_[p.next_age].prev_age) = p.prev_age;
@@ -137,6 +141,7 @@ void ChannelController::RemovePending(std::uint32_t index) {
 }
 
 std::uint32_t ChannelController::AcquireInflight() {
+  role_.Held();
   if (inflight_free_ != kNilIndex) {
     const std::uint32_t slot = inflight_free_;
     inflight_free_ = inflight_[slot].next_free;
@@ -147,6 +152,7 @@ std::uint32_t ChannelController::AcquireInflight() {
 }
 
 void ChannelController::DisableRefresh() {
+  role_.Held();
   refresh_enabled_ = false;
   if constexpr (kCheckedHooks) {
     if (observer_ != nullptr) {
@@ -156,6 +162,7 @@ void ChannelController::DisableRefresh() {
 }
 
 void ChannelController::ScheduleWakeAt(sim::Tick when) {
+  role_.Held();
   if (when < simulator_->now()) {
     when = simulator_->now();
   }
@@ -177,6 +184,7 @@ void ChannelController::ScheduleWakeAt(sim::Tick when) {
 }
 
 void ChannelController::Wake() {
+  role_.Held();
   wake_scheduled_ = false;
   const sim::Tick now = simulator_->now();
   bool progress = TryRefresh(now);
@@ -195,6 +203,7 @@ void ChannelController::Wake() {
 }
 
 bool ChannelController::RankActAllowed(int rank, sim::Tick now) const {
+  role_.HeldShared();
   const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   if (rs.refresh_pending) {
     return false;
@@ -209,6 +218,7 @@ bool ChannelController::RankActAllowed(int rank, sim::Tick now) const {
 }
 
 sim::Tick ChannelController::RankNextActTick(int rank) const {
+  role_.HeldShared();
   const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   sim::Tick t = rs.next_act;
   if (rs.act_count == 4) {
@@ -218,6 +228,7 @@ sim::Tick ChannelController::RankNextActTick(int rank) const {
 }
 
 void ChannelController::RecordActivate(int rank, sim::Tick now) {
+  role_.Held();
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   rs.next_act = now + ticks_.trrd;
   rs.recent_acts[rs.act_pos] = now;
@@ -228,6 +239,7 @@ void ChannelController::RecordActivate(int rank, sim::Tick now) {
 }
 
 bool ChannelController::TryRefresh(sim::Tick now) {
+  role_.Held();
   if (!refresh_enabled_) {
     return false;
   }
@@ -280,6 +292,7 @@ bool ChannelController::TryRefresh(sim::Tick now) {
 }
 
 bool ChannelController::TryRequests(sim::Tick now) {
+  role_.Held();
   if (age_head_ == kNilIndex) {
     return false;
   }
@@ -356,6 +369,7 @@ bool ChannelController::TryRequests(sim::Tick now) {
 }
 
 bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row_hit_only) {
+  role_.Held();
   Pending& pending = pool_[index];
   const Location& loc = pending.location;
   const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];
@@ -440,6 +454,7 @@ bool ChannelController::TryIssueFor(std::uint32_t index, sim::Tick now, bool row
 }
 
 void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
+  role_.Held();
   // Move everything out and release the slot first: the callbacks below may
   // re-enter Enqueue and issue a new command, reusing (or growing) the slab.
   Request request = std::move(inflight_[inflight_slot].request);
@@ -473,6 +488,7 @@ void ChannelController::CompleteDataCommand(std::uint32_t inflight_slot) {
 }
 
 void ChannelController::SaveState(SavedState* out) const {
+  role_.HeldShared();
   MRM_CHECK(queue_size_ == 0 && scheduled_completions_.empty())
       << "ChannelController::SaveState requires a quiescent controller";
   out->banks = banks_;
@@ -498,6 +514,7 @@ void ChannelController::SaveState(SavedState* out) const {
 }
 
 void ChannelController::RestoreState(const SavedState& saved) {
+  role_.Held();
   banks_ = saved.banks;
   ranks_ = saved.ranks;
   bus_free_ = saved.bus_free;
@@ -541,6 +558,7 @@ void ChannelController::RestoreState(const SavedState& saved) {
 }
 
 sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
+  role_.HeldShared();
   const Location& loc = pending.location;
   const RankState& rs = ranks_[static_cast<std::size_t>(loc.rank)];
   if (rs.refresh_pending) {
@@ -565,6 +583,7 @@ sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {
 }
 
 sim::Tick ChannelController::NextInterestingTick(sim::Tick now) const {
+  role_.HeldShared();
   sim::Tick next = sim::kTickNever;
   if (refresh_enabled_) {
     for (int rank = 0; rank < config_->ranks; ++rank) {
@@ -610,6 +629,7 @@ sim::Tick ChannelController::NextInterestingTick(sim::Tick now) const {
 }
 
 EnergyReport ChannelController::GetEnergyReport(sim::Tick now) const {
+  role_.HeldShared();
   const EnergyParams& e = config_->energy;
   EnergyReport report;
   report.activate_pj = static_cast<double>(energy_.activates) * e.act_pre_pj;

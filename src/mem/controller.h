@@ -23,6 +23,7 @@
 #include "src/common/check_hooks.h"
 #include "src/common/sliding_queue.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 #include "src/mem/address_map.h"
 #include "src/mem/bank.h"
 #include "src/mem/device_config.h"
@@ -105,7 +106,10 @@ class ChannelController {
   // `request` is moved from; on failure it is left untouched.
   bool Enqueue(Request& request, const Location& location);
 
-  std::size_t queue_depth() const { return queue_size_; }
+  std::size_t queue_depth() const {
+    role_.HeldShared();
+    return queue_size_;
+  }
   std::size_t queue_capacity() const { return kQueueCapacity; }
 
   // Invoked after each request completes AND a queue slot freed; the memory
@@ -132,6 +136,7 @@ class ChannelController {
   // nothing is in flight. Completion ticks are strictly increasing per
   // channel (the data bus serializes bursts), so a FIFO ring suffices.
   sim::Tick NextScheduledCompletion() const {
+    role_.HeldShared();
     return scheduled_completions_.empty() ? sim::kTickNever : scheduled_completions_.front();
   }
 
@@ -145,11 +150,18 @@ class ChannelController {
 
   // True while any accepted request has not yet completed its data burst.
   bool HasUnfinishedRequests() const {
+    role_.HeldShared();
     return queue_size_ > 0 || !scheduled_completions_.empty();
   }
 
-  const ChannelStats& stats() const { return stats_; }
-  const EnergyCounters& energy_counters() const { return energy_; }
+  const ChannelStats& stats() const {
+    role_.HeldShared();
+    return stats_;
+  }
+  const EnergyCounters& energy_counters() const {
+    role_.HeldShared();
+    return energy_;
+  }
 
   // Energy including background power integrated up to `now`.
   EnergyReport GetEnergyReport(sim::Tick now) const;
@@ -238,43 +250,61 @@ class ChannelController {
   }
 
   Bank& BankAt(const Location& location) {
+    role_.Held();
     return banks_[static_cast<std::size_t>(
         location.FlatBank(config_->bank_groups, config_->banks_per_group))];
   }
   const Bank& BankAt(const Location& location) const {
+    role_.HeldShared();
     return banks_[static_cast<std::size_t>(
         location.FlatBank(config_->bank_groups, config_->banks_per_group))];
   }
 
-  sim::Simulator* simulator_;
-  const DeviceConfig* config_;
-  const AddressMap* map_;
-  int channel_;
-  SchedulerPolicy policy_;
-  TimingTicks ticks_;
+  // The context that owns this controller's channel lane (DESIGN.md §8/§12):
+  // the lane's epoch worker during an epoch, the serial hub while all lanes
+  // are parked. Standalone controllers (unit tests) are driven by one thread
+  // throughout, which trivially plays the role.
+  // snapshot-exempt(phantom capability; no runtime state)
+  tsa::ThreadRole role_;
 
-  std::vector<Bank> banks_;
+  // snapshot-exempt(owning lane simulator; the lane snapshots it separately)
+  sim::Simulator* simulator_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(borrowed configuration; fixed for the controller's life)
+  const DeviceConfig* config_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(borrowed address map; fixed for the controller's life)
+  const AddressMap* map_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(constructor parameter; fixed channel index)
+  int channel_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(constructor parameter; fixed scheduling policy)
+  SchedulerPolicy policy_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(derived from config at construction; never mutated)
+  TimingTicks ticks_ MRMSIM_CONST_SHARED;
 
-  // Request pool and the lists threaded through it.
-  std::vector<Pending> pool_;  // fixed kQueueCapacity slots
-  std::uint32_t free_head_ = kNilIndex;
-  std::uint32_t age_head_ = kNilIndex;
-  std::uint32_t age_tail_ = kNilIndex;
-  std::size_t queue_size_ = 0;
-  std::uint64_t next_age_seq_ = 0;
-  std::vector<BankList> bank_queues_;
+  std::vector<Bank> banks_ MRMSIM_LANE_OWNED(role_);
+
+  // Request pool and the lists threaded through it. SavedState is only taken
+  // quiescent, when the pool is pure free-list structure: the free-chain
+  // orders below are what the snapshot captures.
+  std::vector<Pending> pool_ MRMSIM_LANE_OWNED(role_);  // fixed kQueueCapacity slots
+  std::uint32_t free_head_ MRMSIM_LANE_OWNED(role_) = kNilIndex;
+  std::uint32_t age_head_ MRMSIM_LANE_OWNED(role_) = kNilIndex;
+  std::uint32_t age_tail_ MRMSIM_LANE_OWNED(role_) = kNilIndex;
+  std::size_t queue_size_ MRMSIM_LANE_OWNED(role_) = 0;
+  std::uint64_t next_age_seq_ MRMSIM_LANE_OWNED(role_) = 0;
+  std::vector<BankList> bank_queues_ MRMSIM_LANE_OWNED(role_);
   // Banks whose row_hit_head is set (unordered, swap-remove): FR-FCFS pass 1
   // visits only these instead of scanning every bank.
-  std::vector<std::uint32_t> hit_banks_;
+  std::vector<std::uint32_t> hit_banks_ MRMSIM_LANE_OWNED(role_);
   // Per-bank bitmask of request classes that already failed during the
   // current FR-FCFS pass 2 (scratch, reset each pass).
-  std::vector<std::uint8_t> pass2_failed_;
+  // snapshot-exempt(pass-local scratch; reset at the start of every pass)
+  std::vector<std::uint8_t> pass2_failed_ MRMSIM_LANE_OWNED(role_);
 
-  std::vector<Inflight> inflight_;  // grows to peak outstanding, then reused
-  std::uint32_t inflight_free_ = kNilIndex;
+  std::vector<Inflight> inflight_ MRMSIM_LANE_OWNED(role_);  // grows to peak, then reused
+  std::uint32_t inflight_free_ MRMSIM_LANE_OWNED(role_) = kNilIndex;
 
   // Data bus: busy until this tick.
-  sim::Tick bus_free_ = 0;
+  sim::Tick bus_free_ MRMSIM_LANE_OWNED(role_) = 0;
 
   // Per-rank activate bookkeeping (tRRD / tFAW) and refresh state. The last
   // four ACT times sit in a ring: once full, `act_pos` is the oldest entry,
@@ -287,25 +317,35 @@ class ChannelController {
     sim::Tick next_refresh_due = 0;
     bool refresh_pending = false;
   };
-  std::vector<RankState> ranks_;
-  bool refresh_enabled_ = true;
-  std::uint64_t rows_per_refresh_ = 0;
+  std::vector<RankState> ranks_ MRMSIM_LANE_OWNED(role_);
+  // snapshot-exempt(ablation toggle set before any run; results knob, not
+  // evolving state)
+  bool refresh_enabled_ MRMSIM_LANE_OWNED(role_) = true;
+  // snapshot-exempt(derived from config at construction; never mutated)
+  std::uint64_t rows_per_refresh_ MRMSIM_CONST_SHARED = 0;
 
   // Wake management: at most one outstanding wake event, retimed in place
   // when a nearer deadline appears.
-  bool wake_scheduled_ = false;
-  sim::Tick wake_at_ = 0;
-  sim::EventId wake_event_ = 0;
+  bool wake_scheduled_ MRMSIM_LANE_OWNED(role_) = false;
+  sim::Tick wake_at_ MRMSIM_LANE_OWNED(role_) = 0;
+  sim::EventId wake_event_ MRMSIM_LANE_OWNED(role_) = 0;
 
-  ChannelStats stats_;
-  EnergyCounters energy_;
+  ChannelStats stats_ MRMSIM_LANE_OWNED(role_);
+  EnergyCounters energy_ MRMSIM_LANE_OWNED(role_);
+  // Attachment pointer and owner callbacks: written only at setup while the
+  // system is quiescent, invoked from whatever context drives the lane — so
+  // they stay unguarded (see MemorySystem::observer_).
+  // snapshot-exempt(attachment; the owner re-attaches observers on restore)
   CommandObserver* observer_ = nullptr;
+  // snapshot-exempt(owner callback wiring; re-established at construction)
   std::function<void()> on_slot_free_;
+  // snapshot-exempt(owner callback wiring; re-established at construction)
   std::function<void(const Request&)> on_request_complete_;
+  // snapshot-exempt(owner callback wiring; re-established at construction)
   std::function<void(Request&&)> completion_sink_;
   // Data-completion ticks in schedule order (strictly increasing); the front
   // is popped as each completion event fires.
-  SlidingQueue<sim::Tick> scheduled_completions_;
+  SlidingQueue<sim::Tick> scheduled_completions_ MRMSIM_LANE_OWNED(role_);
 
  public:
   // Quiescent-state snapshot, the per-channel half of speculative rollback

@@ -1,5 +1,9 @@
 // Device geometry + timing + energy presets for the cycle-level simulator.
 //
+// Ownership (DESIGN.md §12): a DeviceConfig is immutable once a MemorySystem
+// is built on it (CONST_SHARED) — controllers on every lane read it
+// concurrently through borrowed const pointers.
+//
 // Presets model one *device* (an HBM stack, an LPDDR package, a DDR5 DIMM);
 // a MemorySystem instantiates one controller per channel and interleaves
 // addresses across them.

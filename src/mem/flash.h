@@ -1,6 +1,10 @@
 // NAND flash device with a log-structured FTL (page mapping, greedy garbage
 // collection, optional static wear levelling).
 //
+// Ownership (DESIGN.md §12): single-context — a FlashDevice is driven
+// entirely by the one thread running its owning simulator (bench_e6 uses the
+// serial executive); it never participates in the hub/lane split.
+//
 // Purpose in this repro: quantify the housekeeping cost the paper attributes
 // to retention/lifetime mismatch (§3): flash pays erase cycles, GC write
 // amplification and wear-levelling traffic because its cells retain for 10+

@@ -30,6 +30,7 @@ MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, Sched
   lanes_.resize(static_cast<std::size_t>(config_.channels));
   for (int c = 0; c < config_.channels; ++c) {
     Lane& lane = lanes_[static_cast<std::size_t>(c)];
+    lane.role.Held();  // construction: no other thread exists yet
     lane.sim = std::make_unique<sim::Simulator>(simulator_->ticks_per_second());
     lane.controller =
         std::make_unique<ChannelController>(lane.sim.get(), &config_, &map_, c, policy);
@@ -41,6 +42,9 @@ MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, Sched
     // already stand; see DESIGN.md §8, "Speculative horizons & rollback").
     lane.controller->set_completion_sink([this, c](Request&& request) {
       Lane& owner = lanes_[static_cast<std::size_t>(c)];
+      // The sink fires from the owning lane's controller — lane context (or
+      // the serial hub replaying/rolling the lane while workers are parked).
+      owner.role.Held();
       const sim::Tick effect = sim::TickAdd(request.complete_tick, fabric_ticks_);
       if (owner.spec.suppress_remaining > 0) {
         --owner.spec.suppress_remaining;
@@ -69,6 +73,9 @@ MemorySystem::MemorySystem(sim::Simulator* simulator, DeviceConfig config, Sched
 MemorySystem::~MemorySystem() { simulator_->UnregisterEpochDomain(this); }
 
 void MemorySystem::Enqueue(Request request) {
+  // Front-door entry: always hub context (drivers between Run spans, or a
+  // completion callback the hub is processing).
+  tsa::hub_role.Held();
   request.id = next_request_id_++;
   ++inflight_requests_;
   // Transient channel stall (fault path): the request is held at the fabric
@@ -83,6 +90,7 @@ void MemorySystem::Enqueue(Request request) {
     const std::uint64_t id = request.id;
     simulator_->ScheduleAfter(stall_ticks_,
                               [this, id, request = std::move(request)]() mutable {
+                                tsa::hub_role.Held();  // hub event callback
                                 injector_->ResolveStall(id);
                                 Route(std::move(request));
                               });
@@ -100,10 +108,14 @@ void MemorySystem::SetFaultInjector(fault::FaultInjector* injector) {
 }
 
 void MemorySystem::Route(Request request) {
+  // Hub context; while it runs, every lane is parked, so the hub may touch
+  // the target lane's arrival queue and speculation state.
+  tsa::hub_role.Held();
   MRM_CHECK(request.addr + request.size <= config_.capacity_bytes())
       << "address out of range: " << request.addr;
   const Location location = map_.Decode(request.addr);
   Lane& lane = lanes_[static_cast<std::size_t>(location.channel)];
+  lane.role.Held();
   // Hub time only moves forward, so per-lane arrivals stay tick-sorted.
   const sim::Tick arrival_tick = sim::TickAdd(simulator_->now(), fabric_ticks_);
   if constexpr (kCheckedHooks) {
@@ -124,7 +136,11 @@ void MemorySystem::Route(Request request) {
 }
 
 void MemorySystem::DrainBacklog(int channel) {
+  // Fired by the channel's own controller when a queue slot frees: whichever
+  // context is executing this lane owns it — never another lane, never the
+  // hub mid-epoch.
   Lane& lane = lanes_[static_cast<std::size_t>(channel)];
+  lane.role.Held();
   while (!lane.backlog.empty()) {
     Backlogged& entry = lane.backlog.front();
     if (!lane.controller->Enqueue(entry.request, entry.location)) {
@@ -187,11 +203,15 @@ void MemorySystem::PumpTransfer(const std::shared_ptr<TransferState>& transfer) 
   }
 }
 
-bool MemorySystem::Idle() const { return inflight_requests_ == 0; }
+bool MemorySystem::Idle() const {
+  tsa::hub_role.HeldShared();
+  return inflight_requests_ == 0;
+}
 
 sim::Tick MemorySystem::LatestClock() const {
   sim::Tick now = simulator_->now();
   for (const Lane& lane : lanes_) {
+    lane.role.HeldShared();  // caller runs between epochs; lanes are parked
     now = std::max(now, lane.sim->now());
   }
   return now;
@@ -203,17 +223,26 @@ int MemorySystem::LaneCount() const { return config_.channels; }
 
 sim::Tick MemorySystem::ArrivalDelay() const { return fabric_ticks_; }
 
-sim::Tick MemorySystem::NextWorkTime() { return work_next_cache_; }
+sim::Tick MemorySystem::NextWorkTime() {
+  tsa::hub_role.HeldShared();
+  return work_next_cache_;
+}
 
 sim::Tick MemorySystem::NextRecordTime() const {
-  return record_heap_.empty()
-             ? sim::kTickNever
-             : lanes_[static_cast<std::size_t>(record_heap_.front())].records.front().effect_tick;
+  tsa::hub_role.HeldShared();
+  if (record_heap_.empty()) {
+    return sim::kTickNever;
+  }
+  const Lane& lane = lanes_[static_cast<std::size_t>(record_heap_.front())];
+  lane.role.HeldShared();  // sealed records are stable while the hub looks
+  return lane.records.front().effect_tick;
 }
 
 sim::Tick MemorySystem::EarliestCompletionEffect(sim::Tick from) const {
+  tsa::hub_role.HeldShared();
   sim::Tick earliest = sim::kTickNever;
   for (const Lane& lane : lanes_) {
+    lane.role.HeldShared();  // horizon derivation: lanes parked at the barrier
     if (!lane.controller->HasUnfinishedRequests() && lane.backlog.empty() &&
         lane.arrivals.empty()) {
       continue;
@@ -233,7 +262,12 @@ std::uint64_t MemorySystem::RunLane(int lane_index, sim::Tick horizon) {
 }
 
 std::uint64_t MemorySystem::RunLaneTo(int lane_index, sim::Tick horizon, bool speculative) {
+  // Lane context: exactly one thread drives this lane for the epoch. No
+  // hub-shared state may be touched here — claiming tsa::hub_role in this
+  // call tree would be a protocol violation, and omitting it makes any
+  // hub-shared access below fail -Werror=thread-safety.
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  lane.role.Held();
   std::uint64_t executed = 0;
   for (;;) {
     const sim::Tick arrival =
@@ -283,6 +317,7 @@ std::uint64_t MemorySystem::RunLaneTo(int lane_index, sim::Tick horizon, bool sp
 std::uint64_t MemorySystem::RunLaneSpeculative(int lane_index, sim::Tick horizon,
                                                sim::Tick spec_horizon) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  lane.role.Held();  // lane context (see RunLaneTo)
   if (lane.spec.speculating && lane.sim->now() < horizon) {
     // The conservative horizon has passed the speculated frontier: any
     // not-yet-routed cross-shard effect lands at >= horizon, so nothing can
@@ -318,6 +353,7 @@ std::uint64_t MemorySystem::RunLaneSpeculative(int lane_index, sim::Tick horizon
 
 void MemorySystem::SnapshotLane(int lane_index) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  lane.role.Held();  // lane context
   LaneSpec& spec = lane.spec;
   lane.sim->SaveState(&spec.sim);
   lane.controller->SaveState(&spec.controller);
@@ -337,7 +373,10 @@ void MemorySystem::SnapshotLane(int lane_index) {
 }
 
 void MemorySystem::CommitLane(int lane_index) {
+  // Lane context, or the hub resolving an open span at run exit
+  // (FinishSpeculation) — either way the caller owns the lane.
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  lane.role.Held();
   LaneSpec& spec = lane.spec;
   MRM_CHECK(spec.speculating);
   spec.speculating = false;
@@ -366,7 +405,11 @@ void MemorySystem::CommitLane(int lane_index) {
 }
 
 void MemorySystem::RollbackLane(int lane_index, sim::Tick cooldown_until) {
+  // Hub only (Route conflict / stop exit): rebuilds the lane's queues and
+  // the global record heap, so it must never run while the lane executes.
+  tsa::hub_role.Held();
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  lane.role.Held();
   LaneSpec& spec = lane.spec;
   MRM_CHECK(spec.speculating);
   ++spec.rollbacks;
@@ -430,8 +473,11 @@ void MemorySystem::RollbackLane(int lane_index, sim::Tick cooldown_until) {
 }
 
 void MemorySystem::FinishSpeculation(bool commit) {
+  tsa::hub_role.Held();  // run-exit resolution: every worker has joined
   for (int c = 0; c < config_.channels; ++c) {
-    if (!lanes_[static_cast<std::size_t>(c)].spec.speculating) {
+    Lane& lane = lanes_[static_cast<std::size_t>(c)];
+    lane.role.Held();
+    if (!lane.spec.speculating) {
       continue;
     }
     if (commit) {
@@ -443,8 +489,12 @@ void MemorySystem::FinishSpeculation(bool commit) {
 }
 
 bool MemorySystem::RecordBefore(int lane_a, int lane_b) const {
-  const Record& a = lanes_[static_cast<std::size_t>(lane_a)].records.front();
-  const Record& b = lanes_[static_cast<std::size_t>(lane_b)].records.front();
+  const Lane& la = lanes_[static_cast<std::size_t>(lane_a)];
+  const Lane& lb = lanes_[static_cast<std::size_t>(lane_b)];
+  la.role.HeldShared();
+  lb.role.HeldShared();
+  const Record& a = la.records.front();
+  const Record& b = lb.records.front();
   if (a.effect_tick != b.effect_tick) {
     return a.effect_tick < b.effect_tick;
   }
@@ -452,6 +502,7 @@ bool MemorySystem::RecordBefore(int lane_a, int lane_b) const {
 }
 
 void MemorySystem::RecordHeapSift(std::size_t hole) {
+  tsa::hub_role.Held();
   // Standard binary-heap sift-down over lane indices; the key of a lane is
   // its front record's (effect_tick, request id).
   const std::size_t size = record_heap_.size();
@@ -474,6 +525,7 @@ void MemorySystem::RecordHeapSift(std::size_t hole) {
 }
 
 void MemorySystem::RebuildRecordHeap() {
+  tsa::hub_role.Held();
   record_heap_.clear();
   for (int c = 0; c < config_.channels; ++c) {
     if (!lanes_[static_cast<std::size_t>(c)].records.empty()) {
@@ -493,9 +545,11 @@ void MemorySystem::SealEpoch() {
   // lane heap so the hub pops them globally by (effect_tick, request id) —
   // an order independent of how lanes were scheduled onto threads — and
   // refresh the work-time cache the epoch just invalidated.
+  tsa::hub_role.Held();  // the serial epoch barrier
   RebuildRecordHeap();
   sim::Tick next = sim::kTickNever;
   for (Lane& lane : lanes_) {
+    lane.role.HeldShared();  // lanes parked; the seal only reads their fronts
     if (!lane.arrivals.empty()) {
       next = std::min(next, lane.arrivals.front().tick);
     }
@@ -505,8 +559,10 @@ void MemorySystem::SealEpoch() {
 }
 
 void MemorySystem::ProcessOneRecord() {
+  tsa::hub_role.Held();  // serial hub step
   const int channel = record_heap_.front();
   Lane& lane = lanes_[static_cast<std::size_t>(channel)];
+  lane.role.Held();
   // Move the record out and fix the heap BEFORE running anything: the
   // completion callback may route new work and trigger a rollback — possibly
   // of this very lane — which clears the lane's record queue and rebuilds
@@ -546,6 +602,7 @@ void MemorySystem::ProcessOneRecord() {
     const std::uint64_t id = record.request.id;
     simulator_->ScheduleAfter(drop_retry_ticks_,
                               [this, id, request = std::move(record.request)]() mutable {
+                                tsa::hub_role.Held();  // hub event callback
                                 injector_->ResolveDrop(id);
                                 --inflight_requests_;
                                 if (request.on_complete) {
@@ -566,6 +623,7 @@ void MemorySystem::ProcessOneRecord() {
 // --------------------------------------------------------------------------
 
 SystemStats MemorySystem::GetStats() const {
+  tsa::hub_role.HeldShared();  // called between runs; everything is parked
   SystemStats total;
   total.injected_stalls = injected_stalls_;
   total.dropped_completions = dropped_completions_;
@@ -574,9 +632,11 @@ SystemStats MemorySystem::GetStats() const {
   // every channel is charged over the same interval.
   sim::Tick now = simulator_->now();
   for (const Lane& lane : lanes_) {
+    lane.role.HeldShared();
     now = std::max(now, lane.sim->now());
   }
   for (const Lane& lane : lanes_) {
+    lane.role.HeldShared();
     const ChannelStats& cs = lane.controller->stats();
     total.reads_completed += cs.reads_completed;
     total.writes_completed += cs.writes_completed;
@@ -595,6 +655,7 @@ SystemStats MemorySystem::GetStats() const {
 SpecStats MemorySystem::GetSpecStats() const {
   SpecStats total;
   for (const Lane& lane : lanes_) {
+    lane.role.HeldShared();  // called after the run quiesces
     total.rollbacks += lane.spec.rollbacks;
     total.rolled_back_events += lane.spec.rolled_back_events;
     total.spec_commits += lane.spec.commits;
@@ -605,6 +666,7 @@ SpecStats MemorySystem::GetSpecStats() const {
 
 void MemorySystem::DisableRefresh() {
   for (Lane& lane : lanes_) {
+    lane.role.Held();  // setup: single-threaded, before any run
     lane.controller->DisableRefresh();
   }
 }
@@ -612,6 +674,7 @@ void MemorySystem::DisableRefresh() {
 void MemorySystem::SetCommandObserver(CommandObserver* observer) {
   observer_ = observer;
   for (Lane& lane : lanes_) {
+    lane.role.Held();  // setup: single-threaded, before any run
     lane.controller->SetCommandObserver(observer);
   }
 }

@@ -27,6 +27,7 @@
 
 #include "src/common/check_hooks.h"
 #include "src/common/sliding_queue.h"
+#include "src/common/thread_annotations.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/address_map.h"
 #include "src/mem/controller.h"
@@ -251,15 +252,21 @@ class MemorySystem : public sim::EpochDomain {
 
   // Everything one channel's lane owns. Lanes are mutated only by RunLane
   // (one thread per lane per epoch) plus the serial hub phases, never
-  // concurrently.
+  // concurrently. `role` is the phantom capability narrating exactly that
+  // protocol: the lane's worker holds it exclusively during an epoch, and
+  // the hub claims it per-lane during the serial phases (routing, sealing,
+  // rollback) while every worker is parked. Lane code must never claim
+  // tsa::hub_role, so a hub-shared access added to a lane path fails
+  // -Werror=thread-safety.
   struct Lane {
-    std::unique_ptr<sim::Simulator> sim;
-    std::unique_ptr<ChannelController> controller;
-    SlidingQueue<Arrival> arrivals;    // fabric-in, sorted by tick
-    SlidingQueue<Backlogged> backlog;  // admission overflow, FIFO
-    SlidingQueue<Record> records;      // fabric-out, sorted by effect tick
-    LaneSpec spec;
-    BufferingObserver buffer_observer;  // checked builds, speculative spans
+    tsa::ThreadRole role;
+    std::unique_ptr<sim::Simulator> sim MRMSIM_LANE_OWNED(role);
+    std::unique_ptr<ChannelController> controller MRMSIM_LANE_OWNED(role);
+    SlidingQueue<Arrival> arrivals MRMSIM_LANE_OWNED(role);    // fabric-in, sorted by tick
+    SlidingQueue<Backlogged> backlog MRMSIM_LANE_OWNED(role);  // admission overflow, FIFO
+    SlidingQueue<Record> records MRMSIM_LANE_OWNED(role);      // fabric-out, by effect tick
+    LaneSpec spec MRMSIM_LANE_OWNED(role);
+    BufferingObserver buffer_observer MRMSIM_LANE_OWNED(role);  // checked builds, spec spans
   };
 
   // sim::EpochDomain (driven by the hub simulator's epoch loop).
@@ -267,7 +274,10 @@ class MemorySystem : public sim::EpochDomain {
   sim::Tick ArrivalDelay() const override;
   sim::Tick NextWorkTime() override;
   sim::Tick NextRecordTime() const override;
-  bool HasPendingRecords() const override { return !record_heap_.empty(); }
+  bool HasPendingRecords() const override {
+    tsa::hub_role.HeldShared();
+    return !record_heap_.empty();
+  }
   sim::Tick EarliestCompletionEffect(sim::Tick from) const override;
   std::uint64_t RunLane(int lane, sim::Tick horizon) override;
   std::uint64_t RunLaneSpeculative(int lane, sim::Tick horizon, sim::Tick spec_horizon) override;
@@ -299,27 +309,32 @@ class MemorySystem : public sim::EpochDomain {
   void RecordHeapSift(std::size_t hole);
   void RebuildRecordHeap();
 
-  sim::Simulator* simulator_;
-  DeviceConfig config_;
-  AddressMap map_;
-  sim::Tick fabric_ticks_ = 1;  // one-way fabric latency, >= 1 tick
+  sim::Simulator* simulator_ MRMSIM_CONST_SHARED;  // hub sim; pointer fixed at construction
+  DeviceConfig config_ MRMSIM_CONST_SHARED;
+  AddressMap map_ MRMSIM_CONST_SHARED;
+  sim::Tick fabric_ticks_ MRMSIM_CONST_SHARED = 1;  // one-way fabric latency, >= 1 tick
+  // The vector itself is sized once at construction; each element's state is
+  // guarded by that element's role.
   std::vector<Lane> lanes_;
-  std::vector<int> record_heap_;  // lanes with pending records, min-heap
+  std::vector<int> record_heap_ MRMSIM_HUB_SHARED;  // lanes with pending records, min-heap
   // Earliest lane-side work (arrival or lane event), maintained so the epoch
   // driver's per-record bookkeeping is O(1): exact after every SealEpoch,
   // and lowered as Route() posts arrivals in between.
-  sim::Tick work_next_cache_ = sim::kTickNever;
-  std::uint64_t next_request_id_ = 1;
-  std::uint64_t inflight_requests_ = 0;
+  sim::Tick work_next_cache_ MRMSIM_HUB_SHARED = sim::kTickNever;
+  std::uint64_t next_request_id_ MRMSIM_HUB_SHARED = 1;
+  std::uint64_t inflight_requests_ MRMSIM_HUB_SHARED = 0;
+  // Attachment pointers: written only while the system is quiescent (setup),
+  // read by both contexts during a run — effectively immutable mid-run, so
+  // they stay unguarded rather than pretending a lock protocol exists.
   CommandObserver* observer_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
-  sim::Tick stall_ticks_ = 1;       // channel_stall_ns in hub ticks
-  sim::Tick drop_retry_ticks_ = 1;  // completion_retry_ns in hub ticks
-  std::uint64_t injected_stalls_ = 0;
-  std::uint64_t dropped_completions_ = 0;
-  bool test_ignore_conflict_ = false;
+  sim::Tick stall_ticks_ MRMSIM_CONST_SHARED = 1;       // channel_stall_ns in hub ticks
+  sim::Tick drop_retry_ticks_ MRMSIM_CONST_SHARED = 1;  // completion_retry_ns in hub ticks
+  std::uint64_t injected_stalls_ MRMSIM_HUB_SHARED = 0;
+  std::uint64_t dropped_completions_ MRMSIM_HUB_SHARED = 0;
+  bool test_ignore_conflict_ = false;  // test-only knob, set while quiescent
   // Rollback scratch for rebuilding a lane's arrival queue (hub-side only).
-  std::vector<Arrival> arrival_scratch_;
+  std::vector<Arrival> arrival_scratch_ MRMSIM_HUB_SHARED;
 };
 
 }  // namespace mem

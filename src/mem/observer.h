@@ -14,7 +14,10 @@
 // per-channel state plus hub-only state therefore needs no synchronization:
 // lane epochs and hub phases alternate with a fork/join barrier between
 // them, so even per-channel fields written on the hub and read on the lane
-// (the rollback-conservation frontier) are race-free.
+// (the rollback-conservation frontier) are race-free. This is the observer's
+// view of the hub/lane ownership protocol that DESIGN.md §12 machine-checks
+// inside the engine via the role capabilities of
+// src/common/thread_annotations.h.
 //
 // The hook sites compile away entirely unless the MRMSIM_CHECKED CMake
 // option is ON (see src/common/check_hooks.h).

@@ -1,4 +1,9 @@
 // Memory requests and command definitions.
+//
+// Ownership (DESIGN.md §12): value types. A Request is created in hub
+// context, handed to exactly one lane by Route(), and owned by that lane's
+// controller until its completion record is sealed back to the hub — at any
+// instant exactly one context holds it, so the types carry no guards.
 
 #ifndef MRMSIM_SRC_MEM_REQUEST_H_
 #define MRMSIM_SRC_MEM_REQUEST_H_

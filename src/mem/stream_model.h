@@ -1,5 +1,8 @@
 // Analytic bulk-transfer model.
 //
+// Ownership (DESIGN.md §12): pure functions of immutable config
+// (CONST_SHARED inputs); safe from any context.
+//
 // The cycle-level simulator is exact but costs ~2 events per 64 B access —
 // impractical for the paper's multi-hundred-GB weight reads. For large
 // sequential streams the controller behaviour is regular enough to compute

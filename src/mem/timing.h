@@ -1,5 +1,8 @@
 // DRAM-class timing and energy parameters.
 //
+// Ownership (DESIGN.md §12): plain parameter structs, immutable once the
+// owning DeviceConfig is built (CONST_SHARED).
+//
 // All timing parameters are in nanoseconds; the controller converts them to
 // simulator ticks at construction. Parameter names follow JEDEC/Ramulator
 // conventions.

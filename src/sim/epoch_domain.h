@@ -22,6 +22,15 @@
 // lane. Because H, the per-lane execution, and the seal are all independent
 // of how lanes map onto threads, results are bit-identical for any thread
 // count — including one.
+//
+// Context contract (machine-checked in the implementations via the phantom
+// role capabilities of src/common/thread_annotations.h, DESIGN.md §12):
+// every method except RunLane/RunLaneSpeculative runs in *hub context* — the
+// serial executive thread, which may claim tsa::hub_role and, between
+// dispatches, individual lane roles. RunLane/RunLaneSpeculative run in *lane
+// context*: the caller guarantees exclusive ownership of that one lane for
+// the duration of the call, and the implementation must not claim
+// tsa::hub_role or touch another lane.
 
 #ifndef MRMSIM_SRC_SIM_EPOCH_DOMAIN_H_
 #define MRMSIM_SRC_SIM_EPOCH_DOMAIN_H_

@@ -1,5 +1,10 @@
 // Move-only callback with a large inline buffer.
 //
+// Ownership (DESIGN.md §12): an EventCallback lives inside an event-queue
+// slot and is owned by whichever context owns that queue — the executive's
+// queue by the hub, a lane sub-simulator's queue by its epoch worker. It is
+// never shared; the guards live on the owning EventQueue/Simulator members.
+//
 // The event loop's unit of work is "call a captured lambda once". With
 // std::function, any capture over ~16 bytes heap-allocates on schedule and
 // frees on execute — two allocator round-trips per event on the simulator's

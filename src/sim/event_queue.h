@@ -187,6 +187,8 @@ class EventQueue {
   }
 
   // --- callback slab ---
+  // snapshot-exempt(storage: RestoreState rewrites every slot in place via
+  // SlotAt; slab capacity is retained, not captured)
   std::vector<std::unique_ptr<Slot[]>> slabs_;
   std::uint32_t slot_count_ = 0;  // slots handed out across all slab chunks
   std::uint32_t free_slot_head_ = kNil;
@@ -206,7 +208,9 @@ class EventQueue {
   std::vector<Entry> far_;
   std::vector<BucketChunk> bucket_pool_;
   std::uint32_t free_chunk_head_ = kNil;
-  std::vector<Entry> scratch_;  // gather buffer for bucket drains
+  // snapshot-exempt(transient gather buffer for bucket drains; empty between
+  // operations)
+  std::vector<Entry> scratch_;
 
   std::size_t live_ = 0;
   std::uint64_t next_sequence_ = 0;

@@ -88,16 +88,20 @@ void ParallelExecutor::SetPlan(std::vector<int> order, std::vector<int> starts) 
   MRM_CHECK(starts.back() == static_cast<int>(order.size()));
   MRM_CHECK(std::is_sorted(starts.begin(), starts.end()));
   JoinAll();  // no worker may read the old plan once we swap it
+  dispatch_role_.Acquire();
   plan_order_ = std::move(order);
   plan_starts_ = std::move(starts);
   plan_tasks_ = static_cast<int>(plan_order_.size());
+  dispatch_role_.Release();
 }
 
 void ParallelExecutor::ClearPlan() {
   JoinAll();
+  dispatch_role_.Acquire();
   plan_order_.clear();
   plan_starts_.clear();
   plan_tasks_ = -1;
+  dispatch_role_.Release();
 }
 
 void ParallelExecutor::DrainAssigned(int participant) {
@@ -137,6 +141,10 @@ void ParallelExecutor::WorkerLoop(int participant) {
     // state: fn_/task_count_/mode_/plan may already describe a later
     // dispatch it is not part of.
     if (participant < active) {
+      // Engaged for this dispatch: the generation acquire-load above paired
+      // with the caller's release-store, so the published task state is
+      // visible and stable until our done_gen check-in.
+      dispatch_role_.HeldShared();
       if (mode_ == Mode::kSingle) {
         DrainAssigned(participant);
       } else {
@@ -172,6 +180,7 @@ void ParallelExecutor::Run(int task_count, const std::function<void(int)>& fn) {
     }
     return;
   }
+  dispatch_role_.Acquire();
   fn_ = &fn;
   task_count_ = task_count;
   mode_ = Mode::kSingle;
@@ -182,6 +191,7 @@ void ParallelExecutor::Run(int task_count, const std::function<void(int)>& fn) {
   // thread can still be reading this dispatch's fn_/task_count_/plan (idle
   // participants never read them), so the next Run may overwrite them.
   AwaitGeneration(word, active);
+  dispatch_role_.Release();
 }
 
 void ParallelExecutor::RunRounds(int task_count, const std::function<void(int)>& fn,
@@ -199,6 +209,7 @@ void ParallelExecutor::RunRounds(int task_count, const std::function<void(int)>&
     } while (between());
     return;
   }
+  dispatch_role_.Acquire();
   fn_ = &fn;
   task_count_ = task_count;
   mode_ = Mode::kRounds;
@@ -232,6 +243,7 @@ void ParallelExecutor::RunRounds(int task_count, const std::function<void(int)>&
   }
   round_.store(kRoundsDone, std::memory_order_release);
   AwaitGeneration(word, active);
+  dispatch_role_.Release();
 }
 
 }  // namespace sim

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace mrm {
 namespace sim {
 
@@ -116,28 +118,37 @@ class ParallelExecutor {
   void WorkerLoop(int participant);
   // Runs this participant's share of the current dispatch: the plan range
   // when a matching plan is installed, the static stride otherwise.
-  void DrainAssigned(int participant);
-  bool PlanActiveForDispatch() const {
+  void DrainAssigned(int participant) MRMSIM_REQUIRES_SHARED(dispatch_role_);
+  bool PlanActiveForDispatch() const MRMSIM_REQUIRES_SHARED(dispatch_role_) {
     return plan_tasks_ == task_count_ && !plan_starts_.empty();
   }
   // Engaged participants for a dispatch of `task_count` tasks.
-  int ActiveParticipants(int task_count) const;
+  int ActiveParticipants(int task_count) const MRMSIM_REQUIRES_SHARED(dispatch_role_);
   std::uint64_t PublishGeneration(int active);
   void AwaitGeneration(std::uint64_t gen_word, int active);
   void JoinAll();
 
+  // Capability over the published dispatch description (fn_/task_count_/
+  // mode_/plan). The dispatching caller holds it exclusively from before it
+  // writes the description until every engaged worker checked in; an engaged
+  // worker claims a shared hold after the generation acquire-load — the
+  // release/acquire pair on generation_ is the real handoff the phantom
+  // capability narrates. Idle participants never claim it, matching the
+  // invariant that they never read task state.
+  tsa::ThreadRole dispatch_role_;
+
   std::atomic<std::uint64_t> generation_{0};
-  int task_count_ = 0;
-  Mode mode_ = Mode::kSingle;
-  const std::function<void(int)>* fn_ = nullptr;
+  int task_count_ MRMSIM_GUARDED_BY(dispatch_role_) = 0;
+  Mode mode_ MRMSIM_GUARDED_BY(dispatch_role_) = Mode::kSingle;
+  const std::function<void(int)>* fn_ MRMSIM_GUARDED_BY(dispatch_role_) = nullptr;
   std::atomic<std::uint64_t> round_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<int> spins_per_yield_{256};
   // Plan storage; mutated only while every worker is parked (JoinAll), read
   // by engaged workers after the generation acquire.
-  std::vector<int> plan_order_;
-  std::vector<int> plan_starts_;
-  int plan_tasks_ = -1;
+  std::vector<int> plan_order_ MRMSIM_GUARDED_BY(dispatch_role_);
+  std::vector<int> plan_starts_ MRMSIM_GUARDED_BY(dispatch_role_);
+  int plan_tasks_ MRMSIM_GUARDED_BY(dispatch_role_) = -1;
   std::unique_ptr<WorkerSlot[]> slots_;
   std::vector<std::thread> workers_;
 };

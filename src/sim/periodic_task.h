@@ -1,4 +1,9 @@
 // A self-rescheduling periodic callback (refresh engines, scrubbers, pollers).
+//
+// Ownership (DESIGN.md §12): a PeriodicTask schedules exclusively on the
+// Simulator it was constructed with, so it inherits that simulator's context
+// — the thread holding the simulator's exec role (hub for the executive, the
+// lane's epoch worker for a lane sub-simulator).
 
 #ifndef MRMSIM_SRC_SIM_PERIODIC_TASK_H_
 #define MRMSIM_SRC_SIM_PERIODIC_TASK_H_

@@ -25,6 +25,7 @@ double Simulator::TicksToSeconds(Tick ticks) const {
 }
 
 EventId Simulator::ScheduleAt(Tick when, EventCallback callback) {
+  exec_role_.Held();
   if (when < now_) {
     when = now_;
   }
@@ -32,10 +33,12 @@ EventId Simulator::ScheduleAt(Tick when, EventCallback callback) {
 }
 
 EventId Simulator::ScheduleAfter(Tick delay, EventCallback callback) {
+  exec_role_.Held();
   return queue_.Push(now_ + delay, std::move(callback));
 }
 
 EventId Simulator::Retime(EventId id, Tick when) {
+  exec_role_.Held();
   if (when < now_) {
     when = now_;
   }
@@ -43,20 +46,26 @@ EventId Simulator::Retime(EventId id, Tick when) {
 }
 
 void Simulator::AdvanceTo(Tick when) {
+  exec_role_.Held();
   MRM_CHECK(when >= now_);
   now_ = when;
 }
 
 void Simulator::RegisterEpochDomain(EpochDomain* domain) {
+  exec_role_.Held();
   MRM_CHECK(domain != nullptr);
   domains_.push_back(domain);
 }
 
 void Simulator::UnregisterEpochDomain(EpochDomain* domain) {
+  exec_role_.Held();
   domains_.erase(std::remove(domains_.begin(), domains_.end(), domain), domains_.end());
 }
 
 void Simulator::SetWorkerThreads(int threads) {
+  // Reconfigures the executive's scheduling state: an epoch-executive-context
+  // operation, performed while no epoch is in flight.
+  tsa::hub_role.Held();
   if (threads < 1) {
     threads = 1;
   }
@@ -94,12 +103,14 @@ void Simulator::SetSpinsPerYield(int spins) {
 }
 
 void Simulator::SaveState(SavedState* out) const {
+  exec_role_.HeldShared();
   out->now = now_;
   out->events_executed = events_executed_;
   queue_.SaveState(&out->queue);
 }
 
 void Simulator::RestoreState(const SavedState& saved) {
+  exec_role_.Held();
   MRM_CHECK(saved.now <= now_) << "RestoreState only rewinds: saved clock " << saved.now
                                << " is ahead of now " << now_;
   now_ = saved.now;
@@ -108,6 +119,7 @@ void Simulator::RestoreState(const SavedState& saved) {
 }
 
 bool Simulator::Step() {
+  exec_role_.Held();
   const Tick next = queue_.NextTime();
   if (next == kTickNever) {
     return false;
@@ -121,6 +133,7 @@ bool Simulator::Step() {
 std::uint64_t Simulator::Run() { return RunUntil(kTickNever); }
 
 std::uint64_t Simulator::RunUntil(Tick deadline) {
+  exec_role_.Held();
   return domains_.empty() ? RunClassic(deadline) : RunEpochs(deadline);
 }
 
@@ -188,9 +201,13 @@ void Simulator::MaybeRebalance() {
   for (std::size_t i = 0; i < n; ++i) {
     lpt_order_[i] = static_cast<int>(i);
   }
-  std::sort(lpt_order_.begin(), lpt_order_.end(), [this](int a, int b) {
-    const std::uint64_t ca = lane_cost_est_[static_cast<std::size_t>(a)];
-    const std::uint64_t cb = lane_cost_est_[static_cast<std::size_t>(b)];
+  // Bound once outside the comparator: clang analyzes lambda bodies as
+  // separate functions, so they would need their own context claim to read
+  // the guarded estimate vector directly.
+  const std::vector<std::uint64_t>& est = lane_cost_est_;
+  std::sort(lpt_order_.begin(), lpt_order_.end(), [&est](int a, int b) {
+    const std::uint64_t ca = est[static_cast<std::size_t>(a)];
+    const std::uint64_t cb = est[static_cast<std::size_t>(b)];
     return ca != cb ? ca > cb : a < b;
   });
   lpt_bin_load_.assign(static_cast<std::size_t>(bins), 0);
@@ -253,6 +270,10 @@ void Simulator::MaybeRebalance() {
 // decision reads only simulation state, so the epoch/hub-step schedule is
 // identical for every batch limit; only the fork/join count changes.
 std::uint64_t Simulator::RunEpochs(Tick deadline) {
+  // This function IS the serial hub context: between dispatches it is the
+  // only thread alive in the simulation, and during a dispatch it is the
+  // serial side of the barrier.
+  tsa::hub_role.Held();
   stop_requested_ = false;
   std::uint64_t executed = 0;
   const std::function<void(int)> run_lane = [this](int i) {
@@ -326,6 +347,10 @@ std::uint64_t Simulator::RunEpochs(Tick deadline) {
     // may run back-to-back in the same dispatch. Runs serially on the
     // dispatching thread between rounds.
     const auto after_round = [&]() -> bool {
+      // Runs serially on the dispatching thread between rounds, with every
+      // engaged worker parked at the round spin: hub context.
+      exec_role_.Held();
+      tsa::hub_role.Held();
       for (std::size_t i = 0; i < lane_tasks_.size(); ++i) {
         const std::uint64_t cost = lane_tasks_[i].executed;
         events_executed_ += cost;

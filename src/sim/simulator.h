@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/sim/epoch_domain.h"
 #include "src/sim/event_queue.h"
 
@@ -74,8 +75,14 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Tick now() const { return now_; }
-  double now_seconds() const { return static_cast<double>(now_) / ticks_per_second_; }
+  Tick now() const {
+    exec_role_.HeldShared();
+    return now_;
+  }
+  double now_seconds() const {
+    exec_role_.HeldShared();
+    return static_cast<double>(now_) / ticks_per_second_;
+  }
   double ticks_per_second() const { return ticks_per_second_; }
 
   Tick SecondsToTicks(double seconds) const;
@@ -87,7 +94,10 @@ class Simulator {
   // Schedules `callback` after `delay` ticks.
   EventId ScheduleAfter(Tick delay, EventCallback callback);
 
-  bool Cancel(EventId id) { return queue_.Cancel(id); }
+  bool Cancel(EventId id) {
+    exec_role_.Held();
+    return queue_.Cancel(id);
+  }
 
   // Moves a pending event to absolute tick `when` (clamped to now()) without
   // touching its callback; cheaper than Cancel + ScheduleAt. Returns the new
@@ -107,17 +117,25 @@ class Simulator {
   bool Step();
 
   // Requests that Run()/RunUntil() return after the current event (or, in
-  // epoch mode, after the current epoch batch).
-  void Stop() { stop_requested_ = true; }
+  // epoch mode, after the current epoch batch). Called from within a
+  // callback, i.e. on the thread currently driving this simulator.
+  void Stop() {
+    exec_role_.Held();
+    stop_requested_ = true;
+  }
 
   // Timestamp of the next pending event; kTickNever when the queue is empty.
-  Tick NextEventTime() { return queue_.NextTime(); }
+  Tick NextEventTime() {
+    exec_role_.Held();  // peeking may prune cancelled entries
+    return queue_.NextTime();
+  }
 
   // Executes the event NextEventTime() just peeked (its timestamp, `when`,
   // must be that return value). Skips the redundant second queue probe a
   // NextEventTime() + Step() pair would pay — the epoch driver's lane loop
   // peeks every iteration to merge arrivals with events in tick order.
   void ExecutePeeked(Tick when) {
+    exec_role_.Held();
     now_ = when;
     queue_.ExecuteTop();
     ++events_executed_;
@@ -163,7 +181,10 @@ class Simulator {
   // immediately and survives SetWorkerThreads reconfiguration.
   void SetSpinsPerYield(int spins);
 
-  const EpochSchedStats& epoch_sched_stats() const { return sched_; }
+  const EpochSchedStats& epoch_sched_stats() const {
+    tsa::hub_role.HeldShared();
+    return sched_;
+  }
 
   // Snapshot of this simulator's execution state: clock, event count, and
   // every live event (inline callbacks only — MRM_CHECK otherwise). This is
@@ -184,8 +205,14 @@ class Simulator {
   // used to prove the guard is load-bearing (the run must abort).
   void TestOnlyIgnoreBatchGuard(bool ignore) { test_ignore_batch_guard_ = ignore; }
 
-  std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const {
+    exec_role_.HeldShared();
+    return events_executed_;
+  }
+  std::size_t pending_events() const {
+    exec_role_.HeldShared();
+    return queue_.size();
+  }
 
  private:
   // One lane dispatch slot per epoch. Cache-line-sized: `executed` is
@@ -215,36 +242,66 @@ class Simulator {
   // outweighs one worker's share of the dispatch handshake).
   static constexpr std::uint64_t kMinEstPerParticipant = 128;
 
-  std::uint64_t RunClassic(Tick deadline);
-  std::uint64_t RunEpochs(Tick deadline);
+  std::uint64_t RunClassic(Tick deadline) MRMSIM_REQUIRES(exec_role_);
+  std::uint64_t RunEpochs(Tick deadline) MRMSIM_REQUIRES(exec_role_);
   // Keeps the per-lane scheduling state sized to the current lane set.
-  void EnsureSchedSlots();
+  void EnsureSchedSlots() MRMSIM_REQUIRES(::mrm::tsa::hub_role);
   // Recomputes the LPT lane->participant plan from the decayed cost
   // estimates when due; installs it into the executor if it changed. A pure
   // function of deterministic counters and the configured pool size.
-  void MaybeRebalance();
+  void MaybeRebalance() MRMSIM_REQUIRES(::mrm::tsa::hub_role);
 
-  EventQueue queue_;
-  Tick now_ = 0;
+  // The thread currently driving this simulator: the hub thread for the
+  // executive instance, the lane's epoch worker for a lane sub-simulator.
+  // Ownership moves only through the executor's dispatch barrier; every
+  // public mutator claims the role so any new guarded access added without
+  // a context claim fails -Werror=thread-safety.
+  // snapshot-exempt(phantom capability; no runtime state)
+  tsa::ThreadRole exec_role_;
+
+  EventQueue queue_ MRMSIM_GUARDED_BY(exec_role_);
+  Tick now_ MRMSIM_GUARDED_BY(exec_role_) = 0;
+  // snapshot-exempt(constructor parameter; fixed for the life of the simulator)
   double ticks_per_second_;
-  bool stop_requested_ = false;
-  std::uint64_t events_executed_ = 0;
-  std::vector<EpochDomain*> domains_;
-  std::vector<LaneTask> lane_tasks_;  // reused across epochs
+  // snapshot-exempt(transient run-loop flag; reset at every Run entry)
+  bool stop_requested_ MRMSIM_GUARDED_BY(exec_role_) = false;
+  std::uint64_t events_executed_ MRMSIM_GUARDED_BY(exec_role_) = 0;
+  // snapshot-exempt(registration state; domains re-register on reattach, raw
+  // pointers are not serializable)
+  std::vector<EpochDomain*> domains_ MRMSIM_GUARDED_BY(exec_role_);
+  // Reused across epochs. Each slot is written by exactly one engaged worker
+  // per round (the dispatch plan partitions slots), then read serially
+  // between rounds — the same handoff the executor's dispatch capability
+  // narrates, so the slots themselves stay unguarded.
+  // snapshot-exempt(per-dispatch scratch; rebuilt at every epoch)
+  std::vector<LaneTask> lane_tasks_;
+  // snapshot-exempt(worker pool; rebuilt from the worker_threads_ knob)
   std::unique_ptr<ParallelExecutor> executor_;
+  // snapshot-exempt(performance knob; results are identical for any value)
   int worker_threads_ = 1;
+  // snapshot-exempt(performance knob; results are identical for any value)
   int epoch_batch_ = 0;  // 0 = auto
+  // snapshot-exempt(performance knob; results are identical for any value)
   Tick spec_window_ = 0;  // 0 = speculation off
+  // snapshot-exempt(performance knob; results are identical for any value)
   int spins_per_yield_ = 0;  // 0 = executor default
+  // snapshot-exempt(test-only mutation hook, never set outside guard tests)
   bool test_ignore_batch_guard_ = false;
-  EpochSchedStats sched_;
-  std::vector<std::uint64_t> lane_cost_est_;  // decayed per-lane cost EMA
-  std::uint64_t epochs_since_rebalance_ = 0;
+  // snapshot-exempt(scheduling telemetry; observability, not simulation state)
+  EpochSchedStats sched_ MRMSIM_EPOCH_BARRIER_ONLY;
+  // snapshot-exempt(scheduling heuristic; affects who runs a lane, never results)
+  std::vector<std::uint64_t> lane_cost_est_ MRMSIM_EPOCH_BARRIER_ONLY;  // decayed cost EMA
+  // snapshot-exempt(scheduling heuristic; affects who runs a lane, never results)
+  std::uint64_t epochs_since_rebalance_ MRMSIM_EPOCH_BARRIER_ONLY = 0;
   // Rebalance scratch, reused to keep the steady state allocation-free.
-  std::vector<int> lpt_order_;
-  std::vector<std::uint64_t> lpt_bin_load_;
-  std::vector<int> plan_order_;
-  std::vector<int> plan_starts_;
+  // snapshot-exempt(rebalance scratch; recomputed before every use)
+  std::vector<int> lpt_order_ MRMSIM_EPOCH_BARRIER_ONLY;
+  // snapshot-exempt(rebalance scratch; recomputed before every use)
+  std::vector<std::uint64_t> lpt_bin_load_ MRMSIM_EPOCH_BARRIER_ONLY;
+  // snapshot-exempt(scheduling heuristic; affects who runs a lane, never results)
+  std::vector<int> plan_order_ MRMSIM_EPOCH_BARRIER_ONLY;
+  // snapshot-exempt(scheduling heuristic; affects who runs a lane, never results)
+  std::vector<int> plan_starts_ MRMSIM_EPOCH_BARRIER_ONLY;
 };
 
 }  // namespace sim

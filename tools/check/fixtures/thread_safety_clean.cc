@@ -1,0 +1,50 @@
+// Positive fixture for tools/check/thread_safety_negative.sh: the same
+// hub/lane shape as the violation fixtures, with the claims the ownership
+// protocol (DESIGN.md §12) actually requires. Must compile cleanly under
+// clang -DMRMSIM_THREAD_SAFETY -Werror=thread-safety.
+
+#include <cstdint>
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+struct Lane {
+  mrm::tsa::ThreadRole role;
+  std::uint64_t clock MRMSIM_LANE_OWNED(role) = 0;
+};
+
+class System {
+ public:
+  // Lane context: the epoch worker owns exactly this lane.
+  void RunLane(Lane& lane) {
+    lane.role.Held();
+    lane.clock += 1;
+  }
+
+  // Hub context: the serial executive owns the cross-lane state, and while
+  // the lanes are parked it may claim each lane's role too.
+  void Seal(Lane& lane) {
+    mrm::tsa::hub_role.Held();
+    lane.role.Held();
+    routed_ += lane.clock;
+  }
+
+  std::uint64_t routed() const {
+    mrm::tsa::hub_role.HeldShared();
+    return routed_;
+  }
+
+ private:
+  std::uint64_t routed_ MRMSIM_HUB_SHARED = 0;
+};
+
+}  // namespace
+
+int main() {
+  Lane lane;
+  System system;
+  system.RunLane(lane);
+  system.Seal(lane);
+  return static_cast<int>(system.routed() & 1);
+}

@@ -1,0 +1,38 @@
+// Negative fixture for tools/check/thread_safety_negative.sh: a lane-context
+// function writes hub-shared state. This is the aliasing bug class the role
+// annotations exist to reject — a lane mutating cross-lane state mid-epoch
+// silently breaks bit-identical replay. Expected to FAIL compilation under
+// clang -DMRMSIM_THREAD_SAFETY -Werror=thread-safety with a thread-safety
+// diagnostic; if it ever compiles, the analysis has lost its teeth.
+
+#include <cstdint>
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+struct Lane {
+  mrm::tsa::ThreadRole role;
+  std::uint64_t clock MRMSIM_LANE_OWNED(role) = 0;
+};
+
+class System {
+ public:
+  void RunLane(Lane& lane) {
+    lane.role.Held();  // lane context: holds its own lane, never hub_role
+    lane.clock += 1;
+    routed_ += lane.clock;  // BUG: hub-shared write from lane code
+  }
+
+ private:
+  std::uint64_t routed_ MRMSIM_HUB_SHARED = 0;
+};
+
+}  // namespace
+
+int main() {
+  Lane lane;
+  System system;
+  system.RunLane(lane);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Negative fixture for tools/check/thread_safety_negative.sh: a function
+// with no context claim at all touches a GUARDED_BY member — the shape a
+// new helper takes when someone forgets to state which context it runs in.
+// Expected to FAIL compilation under clang -DMRMSIM_THREAD_SAFETY
+// -Werror=thread-safety with a thread-safety diagnostic.
+
+#include <cstdint>
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+struct Lane {
+  mrm::tsa::ThreadRole role;
+  std::uint64_t clock MRMSIM_LANE_OWNED(role) = 0;
+};
+
+std::uint64_t PeekClock(const Lane& lane) {
+  return lane.clock;  // BUG: no Held()/HeldShared() claim on lane.role
+}
+
+}  // namespace
+
+int main() {
+  Lane lane;
+  return static_cast<int>(PeekClock(lane) & 1);
+}

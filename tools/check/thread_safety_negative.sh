@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Negative-compile test for the thread-safety annotation layer
+# (src/common/thread_annotations.h, DESIGN.md §12).
+#
+# Proves the analysis has teeth, not just that the build is green: the clean
+# fixture must compile under clang -Werror=thread-safety, and each violation
+# fixture (a hub-shared write from lane code; an unclaimed read of a guarded
+# member) must be REJECTED with a thread-safety diagnostic. A vacuously
+# passing analysis — macros expanding to nothing, a capability that never
+# guards — fails this script even though the main build stays green.
+#
+# Requires clang; exits 77 (the ctest/automake skip code) when no clang is
+# installed, so local gcc-only containers skip it while the CI clang job
+# enforces it.
+#
+# Usage: tools/check/thread_safety_negative.sh [clang++ binary]
+# Exit: 0 pass, 1 fail, 77 skipped (no clang).
+
+set -u
+
+cd "$(dirname "$0")/../.."
+FIXTURES=tools/check/fixtures
+
+CLANG="${1:-}"
+if [[ -z "$CLANG" ]]; then
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      CLANG="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$CLANG" ]] || ! command -v "$CLANG" > /dev/null 2>&1; then
+  echo "thread-safety-negative: SKIP (no clang++ found; the annotations are" \
+       "clang-only and gcc builds compile them away)"
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I. -DMRMSIM_THREAD_SAFETY
+       -Wthread-safety -Werror=thread-safety)
+
+fail=0
+
+# 1. The clean fixture models the protocol correctly and must compile.
+if ! out=$("$CLANG" "${FLAGS[@]}" "$FIXTURES/thread_safety_clean.cc" 2>&1); then
+  echo "FAIL: clean fixture rejected under -Werror=thread-safety:"
+  echo "$out"
+  fail=1
+else
+  echo "ok: clean fixture accepted"
+fi
+
+# 2. Each violation fixture must be rejected, and rejected for the right
+#    reason: the diagnostic must come from the thread-safety analysis, not
+#    from an unrelated compile error masking a vacuous pass.
+for fixture in thread_safety_hub_write_from_lane thread_safety_unclaimed_guarded; do
+  if out=$("$CLANG" "${FLAGS[@]}" "$FIXTURES/$fixture.cc" 2>&1); then
+    echo "FAIL: $fixture.cc compiled — the planted violation was not caught"
+    fail=1
+  elif ! grep -q "thread-safety" <<< "$out"; then
+    echo "FAIL: $fixture.cc was rejected, but not by the thread-safety analysis:"
+    echo "$out"
+    fail=1
+  else
+    echo "ok: $fixture.cc rejected with a thread-safety diagnostic"
+  fi
+done
+
+if [[ $fail -eq 0 ]]; then
+  echo "thread-safety-negative: PASS"
+fi
+exit $fail

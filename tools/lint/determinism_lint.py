@@ -20,9 +20,20 @@ that contract in the deterministic core (src/sim, src/mem, src/mrm, src/fault):
   pointer-key        std::map/std::set ordered by a pointer key: the order is
                      the allocator's address order, which varies run to run
                      (ASLR), so iteration feeds nondeterminism downstream.
+  float-reduce       std::reduce / std::transform_reduce (explicitly
+                     unsequenced), or std::accumulate with a floating-point
+                     initial value: float addition is not associative, so the
+                     accumulation order changes the result bit-for-bit. Use a
+                     sequential loop in a fixed order.
+  unseeded-hash      std::hash<...>: the hash is unspecified, differs across
+                     standard libraries, and may be salted per process.
+                     Derive a keyed SplitMix64 mix instead (src/common/rng.h)
+                     so hashed values replay identically everywhere.
 
-A finding can be suppressed, with justification, by putting
-`determinism-lint: allow(<rule>)` in a comment on the same line.
+A finding can be suppressed by putting
+`determinism-lint: allow(<rule>) -- <reason>` in a comment on the same line.
+The reason is mandatory: an allow() without one is itself a finding
+(allow-no-reason), so every escape in the tree documents why it is safe.
 
 Usage:
   determinism_lint.py [--root DIR] [PATH...]   # default paths: the core dirs
@@ -38,10 +49,12 @@ import sys
 import tempfile
 
 CORE_DIRS = ("src/sim", "src/mem", "src/mrm", "src/fault", "src/workload", "src/tier",
-             "src/driver")
+             "src/driver", "src/cluster", "src/analysis")
 CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
-ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)")
+# allow(<rule>) plus a mandatory trailing justification (after `--`, `-`, or
+# `:`). Group 2 is None when the justification is missing.
+ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)\s*(?:(?:--|[-:])\s*(\S.*))?")
 
 # (rule, regex, message). Patterns run against code with string/char literals
 # blanked and comments removed, so `"rand()"` in a message never trips them.
@@ -70,6 +83,24 @@ PATTERN_RULES = [
         re.compile(r"std\s*::\s*(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:<>\s]*\*\s*[,>]"),
         "ordered container keyed by pointer iterates in address order, which "
         "varies run to run; key by a stable id",
+    ),
+    (
+        "float-reduce",
+        re.compile(
+            r"std\s*::\s*(?:reduce|transform_reduce)\s*\("
+            r"|std\s*::\s*accumulate\s*\([^;]*?,\s*"
+            r"(?:[0-9]+\.[0-9]*f?|\.[0-9]+f?|[0-9]+\.?[0-9]*[fF]\b"
+            r"|(?:static_cast\s*<\s*)?(?:float|double)\b)"
+        ),
+        "unordered/float reduction: float addition is not associative, so "
+        "accumulation order changes the result bit-for-bit; use a sequential "
+        "loop in a fixed order",
+    ),
+    (
+        "unseeded-hash",
+        re.compile(r"std\s*::\s*hash\s*<"),
+        "std::hash is unspecified across standard libraries and may be salted "
+        "per process; derive a keyed SplitMix64 mix instead (src/common/rng.h)",
     ),
 ]
 
@@ -172,7 +203,19 @@ def lint_file(path, display_path=None):
         if "/*" in code:
             code = code[: code.index("/*")]
             in_block = True
-        allowed = set(ALLOW_RE.findall(raw))
+        allowed = set()
+        for allow in ALLOW_RE.finditer(raw):
+            allowed.add(allow.group(1))
+            if allow.group(2) is None:
+                findings.append(
+                    Finding(
+                        display_path,
+                        lineno,
+                        "allow-no-reason",
+                        f"allow({allow.group(1)}) without a justification; "
+                        "write `allow(rule) -- <why this is deterministic>`",
+                    )
+                )
 
         for rule, pattern, message in PATTERN_RULES:
             if rule in allowed:
@@ -231,9 +274,12 @@ def run_lint(root, paths):
 SELF_TEST_BAD = """\
 #include <cstdlib>
 #include <ctime>
+#include <functional>
 #include <map>
+#include <numeric>
 #include <random>
 #include <unordered_map>
+#include <vector>
 
 int Roll() { return rand() % 6; }                      // call-rand
 long Now() { return time(nullptr); }                   // wall-clock
@@ -247,9 +293,19 @@ int Sum() {
   }
   return total;
 }
+double Mean(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);     // float-reduce
+}
+double Par(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end());              // float-reduce
+}
+std::size_t Key(int channel) {
+  return std::hash<int>{}(channel);                    // unseeded-hash
+}
 """
 
 SELF_TEST_CLEAN = """\
+#include <numeric>
 #include <unordered_map>
 #include <vector>
 
@@ -258,6 +314,10 @@ const char* kLabel = "rand() inside a string literal";
 std::unordered_map<int, int> lookup_only;
 int Get(int key) { return lookup_only.at(key); }
 std::uint64_t Mix(std::uint64_t x) { return x * 6364136223846793005ull + 1442695040888963407ull; }
+// Integer accumulation is associative: order cannot change the result.
+std::uint64_t Total(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
 """
 
 SELF_TEST_SUPPRESSED = """\
@@ -272,15 +332,30 @@ int CountAll() {
 }
 """
 
+SELF_TEST_ALLOW_NO_REASON = """\
+#include <unordered_map>
+std::unordered_map<int, int> table;
+int CountAll() {
+  int n = 0;
+  for (const auto& kv : table) {  // determinism-lint: allow(unordered-iter)
+    n += kv.second;
+  }
+  return n;
+}
+"""
+
 
 def self_test():
-    expected_bad = {"call-rand", "wall-clock", "random-device", "pointer-key", "unordered-iter"}
+    expected_bad = {"call-rand", "wall-clock", "random-device", "pointer-key", "unordered-iter",
+                    "float-reduce", "unseeded-hash"}
     with tempfile.TemporaryDirectory(prefix="determinism_lint_") as tmp:
         bad = os.path.join(tmp, "bad.cc")
         clean = os.path.join(tmp, "clean.cc")
         suppressed = os.path.join(tmp, "suppressed.cc")
+        no_reason = os.path.join(tmp, "no_reason.cc")
         for path, content in ((bad, SELF_TEST_BAD), (clean, SELF_TEST_CLEAN),
-                              (suppressed, SELF_TEST_SUPPRESSED)):
+                              (suppressed, SELF_TEST_SUPPRESSED),
+                              (no_reason, SELF_TEST_ALLOW_NO_REASON)):
             with open(path, "w", encoding="utf-8") as f:
                 f.write(content)
 
@@ -288,6 +363,7 @@ def self_test():
         bad_rules = {f.rule for f in bad_findings}
         clean_findings = lint_file(clean)
         suppressed_findings = lint_file(suppressed)
+        no_reason_rules = {f.rule for f in lint_file(no_reason)}
 
         ok = True
         missing = expected_bad - bad_rules
@@ -304,10 +380,16 @@ def self_test():
             for f in suppressed_findings:
                 print(f"  {f}")
             ok = False
+        if no_reason_rules != {"allow-no-reason"}:
+            print(
+                "self-test FAIL: allow() without a reason should yield exactly "
+                f"allow-no-reason (still suppressing its rule), got {sorted(no_reason_rules)}"
+            )
+            ok = False
         if ok:
             print(
                 f"self-test OK: caught {sorted(bad_rules)} on the planted fixture, "
-                "no false positives, suppression honored"
+                "no false positives, suppression honored, reasonless allow() flagged"
             )
         return 0 if ok else 1
 

@@ -44,6 +44,27 @@ if [[ "${MRMSIM_WERROR:-0}" == "1" ]]; then
   CMAKE_ARGS+=(-DMRMSIM_WERROR=ON)
 fi
 
+# Static analysis layer (DESIGN.md §12). The lints also run as ctest
+# entries; running them first gives the fastest failure. Their verdict plus
+# the tree's git SHA are exported so the tracked bench JSONs carry a
+# lint_clean provenance stamp — a recorded perf point says which tree it
+# measured and that the tree was statically clean (benches launched outside
+# this script stamp "unknown").
+LINT_CLEAN=pass
+if command -v python3 > /dev/null 2>&1; then
+  python3 tools/lint/determinism_lint.py
+  python3 tools/lint/snapshot_lint.py
+else
+  LINT_CLEAN=unknown
+fi
+tools/check/thread_safety_negative.sh || [[ $? -eq 77 ]]
+export MRMSIM_LINT_CLEAN="$LINT_CLEAN"
+MRMSIM_GIT_SHA="$(git rev-parse --short HEAD 2> /dev/null || echo unknown)"
+if [[ "$MRMSIM_GIT_SHA" != unknown ]] && ! git diff --quiet HEAD 2> /dev/null; then
+  MRMSIM_GIT_SHA="$MRMSIM_GIT_SHA-dirty"
+fi
+export MRMSIM_GIT_SHA
+
 cmake -S . -B "$BUILD_DIR" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
