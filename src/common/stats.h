@@ -62,10 +62,38 @@ class Histogram {
   // bit-identical aggregation across execution modes.
   friend bool operator==(const Histogram&, const Histogram&) = default;
 
- private:
   static constexpr int kSubBuckets = 16;
   static constexpr int kDecades = 64;  // covers doubles up to 2^63
 
+  // Checkpoint of the full histogram state (durable snapshots, DESIGN.md
+  // §13): bucket counts plus the exact moments, so a restored histogram is
+  // bit-identical to the saved one — quantiles, mean and equality included.
+  struct SavedState {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t underflow = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  void SaveState(SavedState* out) const {
+    out->buckets = buckets_;
+    out->count = count_;
+    out->underflow = underflow_;
+    out->sum = sum_;
+    out->min = min_;
+    out->max = max_;
+  }
+  void RestoreState(const SavedState& saved) {
+    buckets_ = saved.buckets;
+    count_ = saved.count;
+    underflow_ = saved.underflow;
+    sum_ = saved.sum;
+    min_ = saved.min;
+    max_ = saved.max;
+  }
+
+ private:
   static int BucketIndex(double value);
   static double BucketLowerBound(int index);
 

@@ -189,5 +189,15 @@ void FaultInjector::ResolveDrop(std::uint64_t request_id) {
   ReportResolution(FaultKind::kDroppedCompletion, FaultResolution::kDelivered, request_id);
 }
 
+// SavedState (== FaultStats) claims the stats ledger is the injector's ONLY
+// mutable state. Enforce the claim on the class layout: the injector must be
+// exactly {immutable config, stats ledger, observer pointer} with no room for
+// an extra member. Adding one forces this assertion to fail, so the author
+// must either widen SavedState or consciously exempt the new member.
+static_assert(sizeof(FaultInjector) ==
+                  sizeof(FaultConfig) + sizeof(FaultStats) + sizeof(FaultObserver*),
+              "FaultInjector gained state outside {config, stats, observer}: "
+              "update SavedState (fault_injector.h) before relaxing this");
+
 }  // namespace fault
 }  // namespace mrm

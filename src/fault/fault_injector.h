@@ -97,6 +97,10 @@ class FaultInjector {
   // decisions without the injector ever rewinding (both fabric fault points
   // run hub-side anyway). Save/Restore exist for whole-simulation
   // checkpointing (ROADMAP item 4), mirroring sim::Simulator::SaveState.
+  // This claim is enforced statically: fault_injector.cc asserts the class
+  // layout is exactly {config, stats ledger, observer pointer}, so a future
+  // mutable member cannot be added without either widening SavedState or
+  // consciously updating the assertion (and the exemption comments below).
   using SavedState = FaultStats;
   void SaveState(SavedState* out) const { *out = stats_; }
   void RestoreState(const SavedState& saved) { stats_ = saved; }

@@ -70,7 +70,42 @@ class Bank {
   // Forces the bank idle and blocks activates until `until` (refresh).
   void BlockUntil(sim::Tick until);
 
+  // Durable checkpoint of the bank's timing state (DESIGN.md §13). A plain
+  // value type on purpose: copying a whole Bank would drag its timings_
+  // pointer along, which dangles the moment the snapshot crosses a process
+  // boundary. Restore writes only the mutable fields, leaving the target
+  // bank's own timings_ (fixed at construction) untouched.
+  struct SavedState {
+    State state = State::kIdle;
+    std::uint64_t open_row = 0;
+    sim::Tick next_activate = 0;
+    sim::Tick next_precharge = 0;
+    sim::Tick next_read = 0;
+    sim::Tick next_write = 0;
+
+    friend bool operator==(const SavedState&, const SavedState&) = default;
+  };
+
+  void SaveState(SavedState* out) const {
+    out->state = state_;
+    out->open_row = open_row_;
+    out->next_activate = next_activate_;
+    out->next_precharge = next_precharge_;
+    out->next_read = next_read_;
+    out->next_write = next_write_;
+  }
+  void RestoreState(const SavedState& saved) {
+    state_ = saved.state;
+    open_row_ = saved.open_row;
+    next_activate_ = saved.next_activate;
+    next_precharge_ = saved.next_precharge;
+    next_read_ = saved.next_read;
+    next_write_ = saved.next_write;
+  }
+
  private:
+  // snapshot-exempt(borrowed config; points at the owning controller's
+  // timing table, fixed at construction)
   const TimingTicks* timings_;
   State state_ = State::kIdle;
   std::uint64_t open_row_ = 0;

@@ -491,7 +491,10 @@ void ChannelController::SaveState(SavedState* out) const {
   role_.HeldShared();
   MRM_CHECK(queue_size_ == 0 && scheduled_completions_.empty())
       << "ChannelController::SaveState requires a quiescent controller";
-  out->banks = banks_;
+  out->banks.resize(banks_.size());
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].SaveState(&out->banks[i]);
+  }
   out->ranks = ranks_;
   out->bus_free = bus_free_;
   out->next_age_seq = next_age_seq_;
@@ -515,7 +518,12 @@ void ChannelController::SaveState(SavedState* out) const {
 
 void ChannelController::RestoreState(const SavedState& saved) {
   role_.Held();
-  banks_ = saved.banks;
+  MRM_CHECK(saved.banks.size() == banks_.size() && saved.ranks.size() == ranks_.size())
+      << "ChannelController::RestoreState: snapshot shape does not match this "
+         "controller's configuration";
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    banks_[i].RestoreState(saved.banks[i]);
+  }
   ranks_ = saved.ranks;
   bus_free_ = saved.bus_free;
   next_age_seq_ = saved.next_age_seq;
@@ -537,7 +545,12 @@ void ChannelController::RestoreState(const SavedState& saved) {
   hit_banks_.clear();
   // Same for the in-flight slab, except it may have grown during the
   // discarded span: keep the grown slots (their indices are unobservable)
-  // appended after the saved chain, in ascending order.
+  // appended after the saved chain, in ascending order. A disk restore runs
+  // the other way — the fresh controller's slab is smaller than the saved
+  // one — so grow it first; replayed acquisitions then reuse the same slots.
+  if (inflight_.size() < saved.inflight_count) {
+    inflight_.resize(saved.inflight_count);
+  }
   inflight_free_ = kNilIndex;
   link = &inflight_free_;
   for (const std::uint32_t index : saved.inflight_free_order) {
@@ -555,6 +568,29 @@ void ChannelController::RestoreState(const SavedState& saved) {
   stats_ = saved.stats;
   energy_ = saved.energy;
   scheduled_completions_.clear();
+}
+
+std::uint64_t ChannelController::WakeSequence() const {
+  role_.HeldShared();
+  if (!wake_scheduled_) {
+    return 0;
+  }
+  sim::Tick when = 0;
+  std::uint64_t sequence = 0;
+  MRM_CHECK(simulator_->LookupEvent(wake_event_, &when, &sequence))
+      << "ChannelController::WakeSequence: scheduled wake has no live event";
+  MRM_CHECK(when == wake_at_);
+  return sequence;
+}
+
+void ChannelController::ReestablishWake(std::uint64_t sequence) {
+  role_.Held();
+  if (!wake_scheduled_) {
+    return;
+  }
+  // The lane queue was cleared by Simulator::RestoreExecution (which also
+  // killed the constructor's initial wake), so this is the only wake event.
+  wake_event_ = simulator_->ScheduleRestored(wake_at_, sequence, [this] { Wake(); });
 }
 
 sim::Tick ChannelController::EarliestActionFor(const Pending& pending) const {

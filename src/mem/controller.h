@@ -358,7 +358,7 @@ class ChannelController {
   // queue; Simulator::SaveState must be taken at the same instant so the
   // saved wake handle stays valid after both restores.
   struct SavedState {
-    std::vector<Bank> banks;
+    std::vector<Bank::SavedState> banks;
     std::vector<RankState> ranks;
     sim::Tick bus_free = 0;
     std::uint64_t next_age_seq = 0;
@@ -379,8 +379,21 @@ class ChannelController {
   // Restores the state captured by SaveState. The controller must again be
   // logically quiescent in the sense that every effect since the save is
   // being discarded wholesale (the caller rewinds the lane simulator's clock
-  // and event queue in the same motion).
+  // and event queue in the same motion). Also accepts a freshly constructed
+  // controller of the same configuration as the target (disk restore): the
+  // in-flight slab is grown to the saved size if needed, and Bank state is
+  // written field-wise so each bank keeps its own timings pointer.
   void RestoreState(const SavedState& saved);
+
+  // --- durable (cross-process) restore support, DESIGN.md §13 -------------
+  // The in-memory SavedState above keeps the wake EventId valid because the
+  // lane simulator's queue is restored slot-for-slot. A disk restore instead
+  // clears the queue and re-creates events: WakeSequence() reads the pending
+  // wake's saved sequence number, and ReestablishWake() re-pushes the wake at
+  // (wake_at_, that sequence) after Simulator::RestoreExecution, preserving
+  // the exact pop order of the saved run.
+  std::uint64_t WakeSequence() const;
+  void ReestablishWake(std::uint64_t sequence);
 };
 
 }  // namespace mem

@@ -664,6 +664,58 @@ SpecStats MemorySystem::GetSpecStats() const {
   return total;
 }
 
+void MemorySystem::SaveState(SavedState* out) const {
+  tsa::hub_role.HeldShared();  // quiescent point: called between runs
+  MRM_CHECK(inflight_requests_ == 0 && record_heap_.empty())
+      << "MemorySystem::SaveState requires an idle fabric";
+  out->lanes.resize(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = lanes_[i];
+    lane.role.HeldShared();
+    MRM_CHECK(!lane.spec.speculating && lane.arrivals.empty() && lane.backlog.empty() &&
+              lane.records.empty())
+        << "MemorySystem::SaveState requires quiescent lanes (lane " << i << ")";
+    SavedState::LaneSaved& saved = out->lanes[i];
+    saved.sim_now = lane.sim->now();
+    saved.sim_events = lane.sim->events_executed();
+    saved.sim_next_sequence = lane.sim->next_event_sequence();
+    saved.wake_sequence = lane.controller->WakeSequence();
+    lane.controller->SaveState(&saved.controller);
+  }
+  out->next_request_id = next_request_id_;
+  out->injected_stalls = injected_stalls_;
+  out->dropped_completions = dropped_completions_;
+}
+
+void MemorySystem::RestoreState(const SavedState& saved) {
+  tsa::hub_role.Held();
+  MRM_CHECK(inflight_requests_ == 0) << "MemorySystem::RestoreState requires an idle fabric";
+  MRM_CHECK(saved.lanes.size() == lanes_.size())
+      << "MemorySystem::RestoreState: snapshot has " << saved.lanes.size()
+      << " lanes, this system has " << lanes_.size();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    lane.role.Held();  // restore runs single-threaded; every lane is parked
+    const SavedState::LaneSaved& ls = saved.lanes[i];
+    lane.sim->RestoreExecution(ls.sim_now, ls.sim_events, ls.sim_next_sequence);
+    lane.controller->RestoreState(ls.controller);
+    lane.controller->ReestablishWake(ls.wake_sequence);
+    lane.arrivals.clear();
+    lane.backlog.clear();
+    lane.records.clear();
+  }
+  next_request_id_ = saved.next_request_id;
+  injected_stalls_ = saved.injected_stalls;
+  dropped_completions_ = saved.dropped_completions;
+  record_heap_.clear();
+  // Re-derive the earliest lane-side work from the restored lane queues (the
+  // same recomputation SealEpoch performs).
+  work_next_cache_ = sim::kTickNever;
+  for (Lane& lane : lanes_) {
+    work_next_cache_ = std::min(work_next_cache_, lane.sim->NextEventTime());
+  }
+}
+
 void MemorySystem::DisableRefresh() {
   for (Lane& lane : lanes_) {
     lane.role.Held();  // setup: single-threaded, before any run

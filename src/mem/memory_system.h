@@ -142,6 +142,39 @@ class MemorySystem : public sim::EpochDomain {
   // (the run must abort on the lane's clock regression).
   void TestOnlyIgnoreConflictCheck(bool ignore) { test_ignore_conflict_ = ignore; }
 
+  // Durable checkpoint of the whole fabric (DESIGN.md §13). Only legal at a
+  // quiescent point — Idle(), every lane's arrival/backlog/record queues
+  // empty, no open speculative span (RunUntil exits commit speculation, so
+  // any post-run instant qualifies). The only pending events then are the
+  // per-lane refresh wakes, captured as (wake_at, sequence) pairs the restore
+  // re-creates; telemetry (EpochSchedStats, SpecStats) is deliberately
+  // excluded — it describes who ran a lane, never simulation results.
+  struct SavedState {
+    struct LaneSaved {
+      sim::Tick sim_now = 0;
+      std::uint64_t sim_events = 0;
+      std::uint64_t sim_next_sequence = 0;
+      std::uint64_t wake_sequence = 0;
+      ChannelController::SavedState controller;
+    };
+    std::vector<LaneSaved> lanes;
+    std::uint64_t next_request_id = 1;
+    std::uint64_t injected_stalls = 0;
+    std::uint64_t dropped_completions = 0;
+  };
+
+  // Captures the system into `out` (overwriting it). Dies unless quiescent.
+  void SaveState(SavedState* out) const;
+
+  // Restores a snapshot into this system, which must be quiescent and built
+  // from the same DeviceConfig (a fresh construction or a drained run; the
+  // config fingerprint check lives in src/snapshot). Lane clocks and event
+  // queues are reset via Simulator::RestoreExecution — killing the fresh
+  // constructors' pre-scheduled wakes — and each controller re-creates its
+  // wake at the saved (tick, sequence), so the continuation's event pop
+  // order is bit-identical to the uninterrupted run's.
+  void RestoreState(const SavedState& saved);
+
  private:
   struct TransferState {
     Request::Kind kind;
@@ -309,9 +342,13 @@ class MemorySystem : public sim::EpochDomain {
   void RecordHeapSift(std::size_t hole);
   void RebuildRecordHeap();
 
+  // snapshot-exempt(hub simulator; captured separately by the checkpoint layer)
   sim::Simulator* simulator_ MRMSIM_CONST_SHARED;  // hub sim; pointer fixed at construction
+  // snapshot-exempt(construction parameter; covered by the config fingerprint)
   DeviceConfig config_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(derived from config at construction; never mutated)
   AddressMap map_ MRMSIM_CONST_SHARED;
+  // snapshot-exempt(derived from config at construction; never mutated)
   sim::Tick fabric_ticks_ MRMSIM_CONST_SHARED = 1;  // one-way fabric latency, >= 1 tick
   // The vector itself is sized once at construction; each element's state is
   // guarded by that element's role.
@@ -326,14 +363,20 @@ class MemorySystem : public sim::EpochDomain {
   // Attachment pointers: written only while the system is quiescent (setup),
   // read by both contexts during a run — effectively immutable mid-run, so
   // they stay unguarded rather than pretending a lock protocol exists.
+  // snapshot-exempt(attachment; the owner re-attaches observers on restore)
   CommandObserver* observer_ = nullptr;
+  // snapshot-exempt(attachment; the injector snapshots its own stats ledger)
   fault::FaultInjector* injector_ = nullptr;
+  // snapshot-exempt(derived from the injector's config at attach time)
   sim::Tick stall_ticks_ MRMSIM_CONST_SHARED = 1;       // channel_stall_ns in hub ticks
+  // snapshot-exempt(derived from the injector's config at attach time)
   sim::Tick drop_retry_ticks_ MRMSIM_CONST_SHARED = 1;  // completion_retry_ns in hub ticks
   std::uint64_t injected_stalls_ MRMSIM_HUB_SHARED = 0;
   std::uint64_t dropped_completions_ MRMSIM_HUB_SHARED = 0;
+  // snapshot-exempt(test-only mutation hook, never set outside guard tests)
   bool test_ignore_conflict_ = false;  // test-only knob, set while quiescent
   // Rollback scratch for rebuilding a lane's arrival queue (hub-side only).
+  // snapshot-exempt(rollback scratch; recomputed before every use)
   std::vector<Arrival> arrival_scratch_ MRMSIM_HUB_SHARED;
 };
 

@@ -477,5 +477,55 @@ void ControlPlane::ScrubNow() {
   }
 }
 
+// std::priority_queue's container is a protected member; tie order among
+// equal deadlines depends on its exact heap-array layout, so the snapshot
+// must read and write that array verbatim (rebuilding via push or make_heap
+// is not guaranteed to reproduce the same layout). A class derived from the
+// queue may form a pointer to the protected container member and apply it to
+// any queue object — the standard's sanctioned route to the raw array.
+void ControlPlane::SaveState(SavedState* out) const {
+  struct Access : DeadlineQueue {
+    static const std::vector<HeapEntry>& Container(const DeadlineQueue& q) {
+      return q.*(&Access::c);
+    }
+  };
+  out->map.clear();
+  out->map.reserve(map_.size());
+  for (const auto& [id, tracked] : map_) {
+    out->map.push_back(SavedState::TrackedEntry{id, tracked});
+  }
+  out->deadlines = Access::Container(deadlines_);
+  out->zone_live = zone_live_;
+  out->zone_uncorrectable = zone_uncorrectable_;
+  out->open_zone = open_zone_;
+  out->has_open_zone = has_open_zone_;
+  out->next_id = next_id_;
+  out->stats = stats_;
+  scrub_task_->SaveState(&out->scrub);
+}
+
+void ControlPlane::RestoreState(const SavedState& saved) {
+  struct Access : DeadlineQueue {
+    static std::vector<HeapEntry>& Container(DeadlineQueue& q) { return q.*(&Access::c); }
+  };
+  MRM_CHECK(saved.zone_live.size() == zone_live_.size() &&
+            saved.zone_uncorrectable.size() == zone_uncorrectable_.size())
+      << "ControlPlane::RestoreState: snapshot shape does not match this "
+         "control plane's configuration";
+  map_.clear();
+  for (const SavedState::TrackedEntry& entry : saved.map) {
+    map_.emplace(entry.id, entry.tracked);
+  }
+  Access::Container(deadlines_) = saved.deadlines;
+  zone_live_ = saved.zone_live;
+  zone_uncorrectable_ = saved.zone_uncorrectable;
+  open_zone_ = saved.open_zone;
+  has_open_zone_ = saved.has_open_zone;
+  next_id_ = saved.next_id;
+  stats_ = saved.stats;
+  scrub_task_->Stop();
+  scrub_task_->RestoreState(saved.scrub);
+}
+
 }  // namespace mrmcore
 }  // namespace mrm

@@ -87,6 +87,8 @@ struct ControlPlaneStats {
   std::uint64_t zones_retired = 0;
   std::uint64_t blocks_remapped = 0;     // live blocks migrated off a retiring zone
   std::uint64_t accounting_errors = 0;   // internal bookkeeping guards tripped
+
+  friend bool operator==(const ControlPlaneStats&, const ControlPlaneStats&) = default;
 };
 
 class ControlPlane {
@@ -187,23 +189,63 @@ class ControlPlane {
   // remap its live blocks elsewhere and retire it.
   void MaybeRetireZone(std::uint32_t zone);
 
+  // snapshot-exempt(owning simulator; captured separately by the checkpoint layer)
   sim::Simulator* simulator_;
+  // snapshot-exempt(borrowed device; snapshots itself via MrmDevice::SaveState)
   MrmDevice* device_;
+  // snapshot-exempt(construction parameters; covered by the config fingerprint)
   ControlPlaneOptions options_;
 
   // Ordered map: zone retirement iterates it to collect a zone's blocks, and
   // iteration order must be deterministic (determinism lint, DESIGN.md §9).
   std::map<LogicalId, Tracked> map_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> deadlines_;
+  using DeadlineQueue =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>;
+  DeadlineQueue deadlines_;
   std::vector<std::uint32_t> zone_live_;  // live logical blocks per zone
   std::vector<std::uint32_t> zone_uncorrectable_;  // UE reads per zone (RAS)
   std::uint32_t open_zone_ = 0;
   bool has_open_zone_ = false;
   LogicalId next_id_ = 1;
   ControlPlaneStats stats_;
+  // snapshot-exempt(owner callback wiring; re-established after construction)
   std::function<void(LogicalId)> loss_handler_;
   std::unique_ptr<sim::PeriodicTask> scrub_task_;
+  // snapshot-exempt(attachment; the injector snapshots its own stats ledger)
   fault::FaultInjector* injector_ = nullptr;
+
+ public:
+  // Durable checkpoint of the control plane (DESIGN.md §13): the full
+  // logical->physical map, the scrub-deadline heap, per-zone live/UE counts,
+  // the open-zone cursor, the id allocator, the stats ledger, and the scrub
+  // task's schedule. `deadlines` stores the priority_queue's RAW underlying
+  // array: ties on deadline_s (common — one batch's appends share a
+  // deadline) pop in heap-layout order, so the restore must reproduce that
+  // exact layout rather than rebuild the heap from sorted input.
+  struct SavedState {
+    struct TrackedEntry {
+      LogicalId id = 0;
+      Tracked tracked;
+    };
+    std::vector<TrackedEntry> map;
+    std::vector<HeapEntry> deadlines;  // verbatim heap-array layout
+    std::vector<std::uint32_t> zone_live;
+    std::vector<std::uint32_t> zone_uncorrectable;
+    std::uint32_t open_zone = 0;
+    bool has_open_zone = false;
+    LogicalId next_id = 1;
+    ControlPlaneStats stats;
+    sim::PeriodicTask::SavedState scrub;
+  };
+
+  // Captures the control plane into `out` (overwriting it).
+  void SaveState(SavedState* out) const;
+
+  // Restores a snapshot taken from an identically configured control plane.
+  // Precondition for a cross-process restore: the simulator's queue was
+  // cleared via RestoreExecution, so re-creating the scrub task's event
+  // cannot leave the constructor-scheduled one alive.
+  void RestoreState(const SavedState& saved);
 };
 
 }  // namespace mrmcore

@@ -432,5 +432,26 @@ double MrmDevice::TotalEnergyPj() const {
   return stats_.write_energy_pj + stats_.read_energy_pj + stats_.io_energy_pj + background_pj;
 }
 
+void MrmDevice::SaveState(SavedState* out) const {
+  MRM_CHECK(inflight_ == 0) << "MrmDevice::SaveState requires an idle device";
+  for (const ChannelState& channel : channels_) {
+    MRM_CHECK(!channel.busy && channel.queue.empty())
+        << "MrmDevice::SaveState requires idle channels";
+  }
+  out->zones = zones_;
+  out->blocks = blocks_;
+  out->stats = stats_;
+}
+
+void MrmDevice::RestoreState(const SavedState& saved) {
+  MRM_CHECK(inflight_ == 0) << "MrmDevice::RestoreState requires an idle device";
+  MRM_CHECK(saved.zones.size() == zones_.size() && saved.blocks.size() == blocks_.size())
+      << "MrmDevice::RestoreState: snapshot shape does not match this device's "
+         "configuration";
+  zones_ = saved.zones;
+  blocks_ = saved.blocks;
+  stats_ = saved.stats;
+}
+
 }  // namespace mrmcore
 }  // namespace mrm

@@ -39,6 +39,8 @@ struct BlockMeta {
   double retention_s = 0.0;       // programmed retention target
   std::uint32_t wear = 0;         // write cycles on this block's cells
   std::uint64_t read_attempts = 0;  // keys the decode roll, so retries re-roll
+
+  friend bool operator==(const BlockMeta&, const BlockMeta&) = default;
 };
 
 enum class ZoneState { kEmpty, kOpen, kFull, kRetired };
@@ -48,6 +50,8 @@ struct ZoneInfo {
   std::uint32_t write_pointer = 0;  // next block index within the zone
   std::uint64_t wear_cycles = 0;    // cumulative appends since manufacture
   bool failed = false;              // whole-zone failure: data lost, appends rejected
+
+  friend bool operator==(const ZoneInfo&, const ZoneInfo&) = default;
 };
 
 // ECC decode verdict of one read attempt (DESIGN.md §10).
@@ -94,6 +98,8 @@ struct MrmDeviceStats {
   double io_energy_pj = 0.0;
   Histogram read_latency_us;
   Histogram write_latency_us;
+
+  friend bool operator==(const MrmDeviceStats&, const MrmDeviceStats&) = default;
 };
 
 class MrmDevice {
@@ -173,6 +179,26 @@ class MrmDevice {
   // device bit for bit.
   void SetFaultInjector(fault::FaultInjector* injector) { injector_ = injector; }
 
+  // Durable checkpoint of the device's evolving state (DESIGN.md §13): every
+  // zone's state/pointer/wear, every block's metadata — written flag, stuck
+  // bit, write time, programmed (DCM) retention target, wear, read-attempt
+  // cursor — and the stats ledger. Only legal while Idle() with idle
+  // channels: the channel queues are then empty, so the snapshot carries no
+  // callbacks. Physics (tradeoff), ECC scheme and config are construction
+  // state covered by the config fingerprint, not the snapshot.
+  struct SavedState {
+    std::vector<ZoneInfo> zones;
+    std::vector<BlockMeta> blocks;
+    MrmDeviceStats stats;
+  };
+
+  // Captures the device into `out` (overwriting it). Dies unless idle.
+  void SaveState(SavedState* out) const;
+
+  // Restores a snapshot taken from an identically configured device into
+  // this (idle) one. Zone/block vector shapes must match.
+  void RestoreState(const SavedState& saved);
+
  private:
   struct ChannelOp {
     bool is_read = false;
@@ -199,17 +225,27 @@ class MrmDevice {
   // an already-stuck block again after a zone reset).
   void BurnSlot(std::uint32_t zone, BlockId block, bool fresh);
 
+  // snapshot-exempt(owning simulator; captured separately by the checkpoint layer)
   sim::Simulator* simulator_;
+  // snapshot-exempt(construction parameter; covered by the config fingerprint)
   MrmDeviceConfig config_;
+  // snapshot-exempt(cell physics; pure functions fixed at construction)
   std::unique_ptr<cell::RetentionTradeoff> tradeoff_;
   std::vector<ZoneInfo> zones_;
   std::vector<BlockMeta> blocks_;
+  // snapshot-exempt(transient service queues; SaveState requires them idle
+  // and empty — their ops hold callbacks, which cannot be serialized)
   std::vector<ChannelState> channels_;
   MrmDeviceStats stats_;
+  // snapshot-exempt(derived from config at construction; never mutated)
   EccScheme ecc_;
+  // snapshot-exempt(derived from config at construction; never mutated)
   std::uint64_t ecc_codewords_per_block_ = 1;
+  // snapshot-exempt(transient in-flight count; zero at every quiescent save)
   std::uint64_t inflight_ = 0;
+  // snapshot-exempt(attachment; the owner re-attaches observers on restore)
   MrmObserver* observer_ = nullptr;
+  // snapshot-exempt(attachment; the injector snapshots its own stats ledger)
   fault::FaultInjector* injector_ = nullptr;
 };
 

@@ -360,6 +360,65 @@ EventId EventQueue::Push(Tick when, EventCallback callback) {
   return MakeId(slot, s.generation);
 }
 
+EventId EventQueue::PushWithSequence(Tick when, std::uint64_t sequence, EventCallback callback) {
+  MRM_CHECK(sequence < next_sequence_)
+      << "EventQueue::PushWithSequence: sequence " << sequence
+      << " was never issued (next is " << next_sequence_ << ")";
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = SlotAt(slot);
+  s.callback = std::move(callback);
+  MRM_QV_PUSH(MakeId(slot, s.generation), when, sequence);
+  Insert(Entry{when, sequence, slot, s.generation});
+  ++live_;
+  return MakeId(slot, s.generation);
+}
+
+bool EventQueue::Lookup(EventId id, Tick* when, std::uint64_t* sequence) const {
+  std::uint32_t slot = 0;
+  if (!IsLive(id, &slot)) {
+    return false;
+  }
+  const auto match = [&](const Entry& e) {
+    if (e.slot != slot || e.generation != static_cast<std::uint32_t>(id)) {
+      return false;
+    }
+    *when = e.when;
+    *sequence = e.sequence;
+    return true;
+  };
+  for (const Entry& e : bottom_) {
+    if (match(e)) {
+      return true;
+    }
+  }
+  for (const Entry& e : far_) {
+    if (match(e)) {
+      return true;
+    }
+  }
+  for (std::size_t k = 0; k < rung_depth_; ++k) {
+    const Rung& r = rungs_[k];
+    for (const std::uint32_t head : r.head) {
+      for (std::uint32_t chunk = head; chunk != kNil; chunk = bucket_pool_[chunk].next) {
+        const BucketChunk& c = bucket_pool_[chunk];
+        for (std::uint32_t i = 0; i < c.count; ++i) {
+          if (match(c.entries[i])) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  // A live slot always has exactly one current-generation ladder entry.
+  MRM_CHECK(false) << "EventQueue::Lookup: live id " << id << " has no ladder entry";
+  return false;
+}
+
+void EventQueue::SetNextSequence(std::uint64_t next_sequence) {
+  MRM_CHECK(live_ == 0) << "EventQueue::SetNextSequence requires an empty queue";
+  next_sequence_ = next_sequence;
+}
+
 bool EventQueue::Cancel(EventId id) {
   std::uint32_t slot = 0;
   if (!IsLive(id, &slot)) {

@@ -50,6 +50,14 @@ class EventQueue {
 
   EventId Push(Tick when, EventCallback callback);
 
+  // Push with an explicit, previously-issued sequence number instead of the
+  // next fresh one. Disk restore (DESIGN.md §13) re-creates events with the
+  // sequence they held at save time so the (when, sequence) pop order — and
+  // therefore every downstream result — is bit-identical to the uninterrupted
+  // run. `sequence` must predate next_sequence_ (i.e. come from a snapshot);
+  // uniqueness among live events is the caller's contract, as in the save.
+  EventId PushWithSequence(Tick when, std::uint64_t sequence, EventCallback callback);
+
   // Marks an event as cancelled; returns false when the id was already
   // executed, cancelled, retimed, or never existed.
   bool Cancel(EventId id);
@@ -69,6 +77,16 @@ class EventQueue {
 
   // Timestamp of the next live event; kTickNever when empty.
   Tick NextTime();
+
+  // Looks up a live event's timestamp and sequence without disturbing it.
+  // Returns false when the id is stale. O(live) scan — checkpoint-path only.
+  bool Lookup(EventId id, Tick* when, std::uint64_t* sequence) const;
+
+  // Monotone counter handed to the next Push; part of the durable snapshot so
+  // a restored queue continues issuing sequences exactly where the saved run
+  // left off. SetNextSequence requires an empty queue (restore starts clean).
+  std::uint64_t next_sequence() const { return next_sequence_; }
+  void SetNextSequence(std::uint64_t next_sequence);
 
   // Pops and returns the next live event's callback, setting *when to its
   // timestamp. Precondition: !empty().

@@ -11,6 +11,7 @@
 #include <functional>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/sim/simulator.h"
 
 namespace mrm {
@@ -43,6 +44,41 @@ class PeriodicTask {
 
   std::uint64_t fire_count() const { return fire_count_; }
 
+  // Durable checkpoint of the task's schedule (DESIGN.md §13): the next
+  // firing's absolute tick and saved sequence number, plus the counters. On
+  // restore the task re-creates its own event via ScheduleRestored, so the
+  // restored queue pops it at exactly the saved (when, sequence) position.
+  struct SavedState {
+    Tick next_fire = kTickNever;
+    std::uint64_t sequence = 0;
+    Tick period = 0;
+    std::uint64_t fire_count = 0;
+    bool running = true;
+  };
+
+  void SaveState(SavedState* out) const {
+    out->period = period_;
+    out->fire_count = fire_count_;
+    out->running = running_;
+    out->next_fire = kTickNever;
+    out->sequence = 0;
+    if (running_) {
+      MRM_CHECK(simulator_->LookupEvent(event_, &out->next_fire, &out->sequence))
+          << "PeriodicTask::SaveState: running task has no live event";
+    }
+  }
+
+  // Precondition: the simulator's queue was cleared by RestoreExecution (the
+  // constructor-scheduled firing is dead), so re-pushing cannot double-fire.
+  void RestoreState(const SavedState& saved) {
+    period_ = saved.period;
+    fire_count_ = saved.fire_count;
+    running_ = saved.running;
+    if (running_) {
+      event_ = simulator_->ScheduleRestored(saved.next_fire, saved.sequence, [this] { Fire(); });
+    }
+  }
+
  private:
   void Fire() {
     ++fire_count_;
@@ -54,6 +90,7 @@ class PeriodicTask {
 
   Simulator* simulator_;
   Tick period_;
+  // snapshot-exempt(callback wiring; re-bound by the constructor, not data)
   std::function<void()> body_;
   EventId event_ = 0;
   bool running_ = true;

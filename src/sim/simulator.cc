@@ -118,6 +118,26 @@ void Simulator::RestoreState(const SavedState& saved) {
   queue_.RestoreState(saved.queue);
 }
 
+void Simulator::RestoreExecution(Tick now, std::uint64_t events_executed,
+                                 std::uint64_t next_sequence) {
+  exec_role_.Held();
+  // Applying an empty SavedState bumps every slot generation: all pending
+  // events — including any a fresh process's constructors pre-scheduled —
+  // are dead, and every outstanding EventId is invalidated.
+  static const EventQueue::SavedState kEmpty;
+  queue_.RestoreState(kEmpty);
+  queue_.SetNextSequence(next_sequence);
+  now_ = now;
+  events_executed_ = events_executed;
+}
+
+EventId Simulator::ScheduleRestored(Tick when, std::uint64_t sequence, EventCallback callback) {
+  exec_role_.Held();
+  MRM_CHECK(when >= now_) << "ScheduleRestored: saved event tick " << when
+                          << " precedes the restored clock " << now_;
+  return queue_.PushWithSequence(when, sequence, std::move(callback));
+}
+
 bool Simulator::Step() {
   exec_role_.Held();
   const Tick next = queue_.NextTime();

@@ -200,6 +200,40 @@ class Simulator {
   void SaveState(SavedState* out) const;
   void RestoreState(const SavedState& saved);
 
+  // --- durable (cross-process) checkpoint primitives, DESIGN.md §13 ---
+  //
+  // Callbacks capture raw pointers and cannot cross a process boundary, so a
+  // disk restore works differently from the in-memory rollback above: the
+  // restored execution state is (clock, executed-event count, next sequence)
+  // only, the queue starts empty — killing any events the fresh process's
+  // constructors pre-scheduled — and each component re-creates its own
+  // pending events with the sequence numbers they held at save time
+  // (ScheduleRestored), so the (when, sequence) pop order is bit-identical
+  // to the uninterrupted run.
+
+  // Sequence the next Push will stamp; captured in durable snapshots.
+  std::uint64_t next_event_sequence() const {
+    exec_role_.HeldShared();
+    return queue_.next_sequence();
+  }
+
+  // Fetches a live event's firing tick and sequence (for saving it). Returns
+  // false when the id is stale. O(pending) — checkpoint-path only.
+  bool LookupEvent(EventId id, Tick* when, std::uint64_t* sequence) const {
+    exec_role_.HeldShared();
+    return queue_.Lookup(id, when, sequence);
+  }
+
+  // Resets execution state to a saved point: clears the queue (invalidating
+  // every outstanding EventId), then installs the saved clock, event count
+  // and sequence counter. Components re-create their events afterwards.
+  void RestoreExecution(Tick now, std::uint64_t events_executed, std::uint64_t next_sequence);
+
+  // Re-creates a component-owned event at its saved absolute tick and saved
+  // sequence. `when` must be >= now() and `sequence` must predate the
+  // restored sequence counter.
+  EventId ScheduleRestored(Tick when, std::uint64_t sequence, EventCallback callback);
+
   // Test-only mutation hook: ignore the epoch-batch safety guard so batches
   // run past pending cross-shard effects. Violates causality by design —
   // used to prove the guard is load-bearing (the run must abort).

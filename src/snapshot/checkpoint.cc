@@ -1,0 +1,723 @@
+#include "src/snapshot/checkpoint.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/snapshot/codec.h"
+
+namespace mrm {
+namespace snapshot {
+
+namespace {
+
+Error Malformed(const char* what, const std::string& why) {
+  return Error::Make(ErrorKind::kMalformed, std::string(what) + ": " + why);
+}
+
+// Finishes decoding one section: the payload must have parsed cleanly and be
+// fully consumed (a CRC-valid payload of the wrong shape is a version-skew
+// bug, not corruption, but it is still rejected by name, never applied).
+Error FinishSection(const Decoder& dec, const char* what) {
+  if (!dec.ok()) {
+    return Malformed(what, "payload ends mid-field");
+  }
+  if (!dec.AtEnd()) {
+    return Malformed(what, "trailing bytes after payload");
+  }
+  return Error::Ok();
+}
+
+// Reads a vector length that must equal the configured geometry.
+Error GetExactCount(Decoder* dec, const char* what, std::size_t expected, std::size_t* out) {
+  const std::uint64_t n = dec->GetU64();
+  if (!dec->ok() || n != expected) {
+    return Malformed(what, "count " + std::to_string(n) + " does not match the configured " +
+                               std::to_string(expected));
+  }
+  *out = static_cast<std::size_t>(n);
+  return Error::Ok();
+}
+
+// Reads a free-form vector length, bounded by what the remaining payload
+// could possibly hold so a corrupt count cannot trigger a huge allocation.
+Error GetBoundedCount(Decoder* dec, const char* what, std::size_t min_entry_bytes,
+                      std::size_t* out) {
+  const std::uint64_t n = dec->GetU64();
+  if (!dec->ok() || n > dec->remaining() / min_entry_bytes) {
+    return Malformed(what, "count " + std::to_string(n) + " exceeds the payload");
+  }
+  *out = static_cast<std::size_t>(n);
+  return Error::Ok();
+}
+
+// --- Histogram -------------------------------------------------------------
+
+void EncodeHistogram(Encoder* enc, const Histogram& hist) {
+  Histogram::SavedState s;
+  hist.SaveState(&s);
+  enc->PutU64(s.buckets.size());
+  for (const std::uint64_t b : s.buckets) {
+    enc->PutU64(b);
+  }
+  enc->PutU64(s.count);
+  enc->PutU64(s.underflow);
+  enc->PutDouble(s.sum);
+  enc->PutDouble(s.min);
+  enc->PutDouble(s.max);
+}
+
+Error DecodeHistogram(Decoder* dec, const char* what, Histogram* out) {
+  constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(Histogram::kSubBuckets) * Histogram::kDecades;
+  Histogram::SavedState s;
+  std::size_t n = 0;
+  if (Error err = GetExactCount(dec, what, kBuckets, &n); !err.ok()) {
+    return err;
+  }
+  s.buckets.resize(n);
+  for (std::uint64_t& b : s.buckets) {
+    b = dec->GetU64();
+  }
+  s.count = dec->GetU64();
+  s.underflow = dec->GetU64();
+  s.sum = dec->GetDouble();
+  s.min = dec->GetDouble();
+  s.max = dec->GetDouble();
+  out->RestoreState(s);
+  return Error::Ok();
+}
+
+// --- Simulator execution cursor -------------------------------------------
+
+void EncodeSimExec(Encoder* enc, const SimExecState& s) {
+  enc->PutU64(s.now);
+  enc->PutU64(s.events_executed);
+  enc->PutU64(s.next_sequence);
+}
+
+Error DecodeSimExec(const std::vector<std::uint8_t>& payload, const char* what, SimExecState* out) {
+  Decoder dec(payload.data(), payload.size());
+  out->now = dec.GetU64();
+  out->events_executed = dec.GetU64();
+  out->next_sequence = dec.GetU64();
+  return FinishSection(dec, what);
+}
+
+// --- Fault injector ledger -------------------------------------------------
+
+void EncodeFaultStats(Encoder* enc, const fault::FaultStats& s) {
+  enc->PutU64(s.read_rolls);
+  enc->PutU64(s.reads_corrected);
+  enc->PutU64(s.reads_uncorrectable);
+  enc->PutU64(s.reads_silent);
+  enc->PutU64(s.stuck_blocks);
+  enc->PutU64(s.zone_failures);
+  enc->PutU64(s.channel_stalls);
+  enc->PutU64(s.dropped_completions);
+  enc->PutU64(s.resolutions);
+}
+
+Error DecodeFaultStats(const std::vector<std::uint8_t>& payload, fault::FaultStats* out) {
+  Decoder dec(payload.data(), payload.size());
+  out->read_rolls = dec.GetU64();
+  out->reads_corrected = dec.GetU64();
+  out->reads_uncorrectable = dec.GetU64();
+  out->reads_silent = dec.GetU64();
+  out->stuck_blocks = dec.GetU64();
+  out->zone_failures = dec.GetU64();
+  out->channel_stalls = dec.GetU64();
+  out->dropped_completions = dec.GetU64();
+  out->resolutions = dec.GetU64();
+  return FinishSection(dec, "fault stats");
+}
+
+// --- MRM device ------------------------------------------------------------
+
+void EncodeMrmDevice(Encoder* enc, const mrmcore::MrmDevice::SavedState& s) {
+  enc->PutU64(s.zones.size());
+  for (const auto& zone : s.zones) {
+    enc->PutU8(static_cast<std::uint8_t>(zone.state));
+    enc->PutU32(zone.write_pointer);
+    enc->PutU64(zone.wear_cycles);
+    enc->PutBool(zone.failed);
+  }
+  enc->PutU64(s.blocks.size());
+  for (const auto& block : s.blocks) {
+    enc->PutBool(block.written);
+    enc->PutBool(block.stuck);
+    enc->PutDouble(block.written_at_s);
+    enc->PutDouble(block.retention_s);
+    enc->PutU32(block.wear);
+    enc->PutU64(block.read_attempts);
+  }
+  const auto& st = s.stats;
+  enc->PutU64(st.blocks_written);
+  enc->PutU64(st.blocks_read);
+  enc->PutU64(st.bytes_written);
+  enc->PutU64(st.bytes_read);
+  enc->PutU64(st.expired_reads);
+  enc->PutU64(st.endurance_failures);
+  enc->PutU64(st.read_preemptions);
+  enc->PutU64(st.decoded_reads);
+  enc->PutU64(st.corrected_reads);
+  enc->PutU64(st.uncorrectable_reads);
+  enc->PutU64(st.silent_corruptions);
+  enc->PutU64(st.stuck_blocks);
+  enc->PutU64(st.zone_failures);
+  enc->PutDouble(st.write_energy_pj);
+  enc->PutDouble(st.read_energy_pj);
+  enc->PutDouble(st.io_energy_pj);
+  EncodeHistogram(enc, st.read_latency_us);
+  EncodeHistogram(enc, st.write_latency_us);
+}
+
+Error DecodeMrmDevice(const std::vector<std::uint8_t>& payload, std::size_t expected_zones,
+                      std::size_t expected_blocks, mrmcore::MrmDevice::SavedState* out) {
+  Decoder dec(payload.data(), payload.size());
+  std::size_t n = 0;
+  if (Error err = GetExactCount(&dec, "device zones", expected_zones, &n); !err.ok()) {
+    return err;
+  }
+  out->zones.resize(n);
+  for (auto& zone : out->zones) {
+    const std::uint8_t state = dec.GetU8();
+    if (state > static_cast<std::uint8_t>(mrmcore::ZoneState::kRetired)) {
+      return Malformed("device zones", "zone state " + std::to_string(state) + " out of range");
+    }
+    zone.state = static_cast<mrmcore::ZoneState>(state);
+    zone.write_pointer = dec.GetU32();
+    zone.wear_cycles = dec.GetU64();
+    zone.failed = dec.GetBool();
+  }
+  if (Error err = GetExactCount(&dec, "device blocks", expected_blocks, &n); !err.ok()) {
+    return err;
+  }
+  out->blocks.resize(n);
+  for (auto& block : out->blocks) {
+    block.written = dec.GetBool();
+    block.stuck = dec.GetBool();
+    block.written_at_s = dec.GetDouble();
+    block.retention_s = dec.GetDouble();
+    block.wear = dec.GetU32();
+    block.read_attempts = dec.GetU64();
+  }
+  auto& st = out->stats;
+  st.blocks_written = dec.GetU64();
+  st.blocks_read = dec.GetU64();
+  st.bytes_written = dec.GetU64();
+  st.bytes_read = dec.GetU64();
+  st.expired_reads = dec.GetU64();
+  st.endurance_failures = dec.GetU64();
+  st.read_preemptions = dec.GetU64();
+  st.decoded_reads = dec.GetU64();
+  st.corrected_reads = dec.GetU64();
+  st.uncorrectable_reads = dec.GetU64();
+  st.silent_corruptions = dec.GetU64();
+  st.stuck_blocks = dec.GetU64();
+  st.zone_failures = dec.GetU64();
+  st.write_energy_pj = dec.GetDouble();
+  st.read_energy_pj = dec.GetDouble();
+  st.io_energy_pj = dec.GetDouble();
+  if (Error err = DecodeHistogram(&dec, "device read latency", &st.read_latency_us); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeHistogram(&dec, "device write latency", &st.write_latency_us); !err.ok()) {
+    return err;
+  }
+  return FinishSection(dec, "device");
+}
+
+// --- Control plane ---------------------------------------------------------
+
+void EncodeControlPlane(Encoder* enc, const mrmcore::ControlPlane::SavedState& s) {
+  enc->PutU64(s.map.size());
+  for (const auto& entry : s.map) {
+    enc->PutU64(entry.id);
+    enc->PutU64(entry.tracked.phys);
+    enc->PutU32(entry.tracked.zone);
+    enc->PutDouble(entry.tracked.expiry_s);
+    enc->PutDouble(entry.tracked.deadline_s);
+  }
+  enc->PutU64(s.deadlines.size());
+  for (const auto& entry : s.deadlines) {
+    enc->PutDouble(entry.deadline_s);
+    enc->PutU64(entry.id);
+    enc->PutU64(entry.phys);
+  }
+  enc->PutU64(s.zone_live.size());
+  for (const std::uint32_t v : s.zone_live) {
+    enc->PutU32(v);
+  }
+  enc->PutU64(s.zone_uncorrectable.size());
+  for (const std::uint32_t v : s.zone_uncorrectable) {
+    enc->PutU32(v);
+  }
+  enc->PutU32(s.open_zone);
+  enc->PutBool(s.has_open_zone);
+  enc->PutU64(s.next_id);
+  const auto& st = s.stats;
+  enc->PutU64(st.appends);
+  enc->PutU64(st.scrub_rewrites);
+  enc->PutU64(st.scrub_bytes);
+  enc->PutU64(st.drops);
+  enc->PutU64(st.zones_reclaimed);
+  enc->PutU64(st.allocation_failures);
+  enc->PutU64(st.read_retries);
+  enc->PutU64(st.retry_successes);
+  enc->PutU64(st.emergency_scrubs);
+  enc->PutU64(st.uncorrectable_drops);
+  enc->PutU64(st.zones_retired);
+  enc->PutU64(st.blocks_remapped);
+  enc->PutU64(st.accounting_errors);
+  enc->PutU64(s.scrub.next_fire);
+  enc->PutU64(s.scrub.sequence);
+  enc->PutU64(s.scrub.period);
+  enc->PutU64(s.scrub.fire_count);
+  enc->PutBool(s.scrub.running);
+}
+
+Error DecodeControlPlane(const std::vector<std::uint8_t>& payload, std::size_t expected_zones,
+                         mrmcore::ControlPlane::SavedState* out) {
+  Decoder dec(payload.data(), payload.size());
+  std::size_t n = 0;
+  // id + phys + zone + expiry + deadline.
+  if (Error err = GetBoundedCount(&dec, "plane map", 8 + 8 + 4 + 8 + 8, &n); !err.ok()) {
+    return err;
+  }
+  out->map.resize(n);
+  for (auto& entry : out->map) {
+    entry.id = dec.GetU64();
+    entry.tracked.phys = dec.GetU64();
+    entry.tracked.zone = dec.GetU32();
+    entry.tracked.expiry_s = dec.GetDouble();
+    entry.tracked.deadline_s = dec.GetDouble();
+  }
+  if (Error err = GetBoundedCount(&dec, "plane deadlines", 8 + 8 + 8, &n); !err.ok()) {
+    return err;
+  }
+  out->deadlines.resize(n);
+  for (auto& entry : out->deadlines) {
+    entry.deadline_s = dec.GetDouble();
+    entry.id = dec.GetU64();
+    entry.phys = dec.GetU64();
+  }
+  if (Error err = GetExactCount(&dec, "plane zone live counts", expected_zones, &n); !err.ok()) {
+    return err;
+  }
+  out->zone_live.resize(n);
+  for (std::uint32_t& v : out->zone_live) {
+    v = dec.GetU32();
+  }
+  if (Error err = GetExactCount(&dec, "plane zone UE counts", expected_zones, &n); !err.ok()) {
+    return err;
+  }
+  out->zone_uncorrectable.resize(n);
+  for (std::uint32_t& v : out->zone_uncorrectable) {
+    v = dec.GetU32();
+  }
+  out->open_zone = dec.GetU32();
+  out->has_open_zone = dec.GetBool();
+  out->next_id = dec.GetU64();
+  auto& st = out->stats;
+  st.appends = dec.GetU64();
+  st.scrub_rewrites = dec.GetU64();
+  st.scrub_bytes = dec.GetU64();
+  st.drops = dec.GetU64();
+  st.zones_reclaimed = dec.GetU64();
+  st.allocation_failures = dec.GetU64();
+  st.read_retries = dec.GetU64();
+  st.retry_successes = dec.GetU64();
+  st.emergency_scrubs = dec.GetU64();
+  st.uncorrectable_drops = dec.GetU64();
+  st.zones_retired = dec.GetU64();
+  st.blocks_remapped = dec.GetU64();
+  st.accounting_errors = dec.GetU64();
+  out->scrub.next_fire = dec.GetU64();
+  out->scrub.sequence = dec.GetU64();
+  out->scrub.period = dec.GetU64();
+  out->scrub.fire_count = dec.GetU64();
+  out->scrub.running = dec.GetBool();
+  return FinishSection(dec, "plane");
+}
+
+// --- Channel controller / memory system ------------------------------------
+
+void EncodeController(Encoder* enc, const mem::ChannelController::SavedState& s) {
+  enc->PutU64(s.banks.size());
+  for (const auto& bank : s.banks) {
+    enc->PutU8(static_cast<std::uint8_t>(bank.state));
+    enc->PutU64(bank.open_row);
+    enc->PutU64(bank.next_activate);
+    enc->PutU64(bank.next_precharge);
+    enc->PutU64(bank.next_read);
+    enc->PutU64(bank.next_write);
+  }
+  enc->PutU64(s.ranks.size());
+  for (const auto& rank : s.ranks) {
+    enc->PutU64(rank.next_act);
+    for (const sim::Tick act : rank.recent_acts) {
+      enc->PutU64(act);
+    }
+    enc->PutU8(rank.act_count);
+    enc->PutU8(rank.act_pos);
+    enc->PutU64(rank.next_refresh_due);
+    enc->PutBool(rank.refresh_pending);
+  }
+  enc->PutU64(s.bus_free);
+  enc->PutU64(s.next_age_seq);
+  enc->PutU64(s.pool_free_order.size());
+  for (const std::uint32_t v : s.pool_free_order) {
+    enc->PutU32(v);
+  }
+  enc->PutU64(s.inflight_free_order.size());
+  for (const std::uint32_t v : s.inflight_free_order) {
+    enc->PutU32(v);
+  }
+  enc->PutU64(s.inflight_count);
+  enc->PutBool(s.wake_scheduled);
+  enc->PutU64(s.wake_at);
+  // wake_event is a process-local handle; the restore re-creates the wake via
+  // ReestablishWake(wake_sequence), so the id is not serialized.
+  const auto& st = s.stats;
+  enc->PutU64(st.reads_completed);
+  enc->PutU64(st.writes_completed);
+  enc->PutU64(st.bytes_read);
+  enc->PutU64(st.bytes_written);
+  enc->PutU64(st.row_hits);
+  enc->PutU64(st.row_misses);
+  enc->PutU64(st.refreshes);
+  EncodeHistogram(enc, st.read_latency_ns);
+  EncodeHistogram(enc, st.write_latency_ns);
+  enc->PutU64(s.energy.activates);
+  enc->PutU64(s.energy.precharges);
+  enc->PutU64(s.energy.read_bits);
+  enc->PutU64(s.energy.write_bits);
+  enc->PutU64(s.energy.refresh_rows);
+}
+
+Error DecodeController(Decoder* dec, const mem::ChannelController::SavedState& probe,
+                       mem::ChannelController::SavedState* out) {
+  constexpr std::uint8_t kMaxBankState = 1;  // Bank::State {kIdle, kActive}
+  std::size_t n = 0;
+  if (Error err = GetExactCount(dec, "controller banks", probe.banks.size(), &n); !err.ok()) {
+    return err;
+  }
+  out->banks.resize(n);
+  for (auto& bank : out->banks) {
+    const std::uint8_t state = dec->GetU8();
+    if (state > kMaxBankState) {
+      return Malformed("controller banks", "bank state " + std::to_string(state) + " out of range");
+    }
+    bank.state = static_cast<mem::Bank::State>(state);
+    bank.open_row = dec->GetU64();
+    bank.next_activate = dec->GetU64();
+    bank.next_precharge = dec->GetU64();
+    bank.next_read = dec->GetU64();
+    bank.next_write = dec->GetU64();
+  }
+  if (Error err = GetExactCount(dec, "controller ranks", probe.ranks.size(), &n); !err.ok()) {
+    return err;
+  }
+  out->ranks.resize(n);
+  for (auto& rank : out->ranks) {
+    rank.next_act = dec->GetU64();
+    for (sim::Tick& act : rank.recent_acts) {
+      act = dec->GetU64();
+    }
+    rank.act_count = dec->GetU8();
+    rank.act_pos = dec->GetU8();
+    rank.next_refresh_due = dec->GetU64();
+    rank.refresh_pending = dec->GetBool();
+  }
+  out->bus_free = dec->GetU64();
+  out->next_age_seq = dec->GetU64();
+  if (Error err = GetExactCount(dec, "controller pool", probe.pool_free_order.size(), &n);
+      !err.ok()) {
+    return err;
+  }
+  out->pool_free_order.resize(n);
+  for (std::uint32_t& v : out->pool_free_order) {
+    v = dec->GetU32();
+  }
+  if (Error err = GetBoundedCount(dec, "controller in-flight slab", 4, &n); !err.ok()) {
+    return err;
+  }
+  out->inflight_free_order.resize(n);
+  for (std::uint32_t& v : out->inflight_free_order) {
+    v = dec->GetU32();
+  }
+  out->inflight_count = static_cast<std::size_t>(dec->GetU64());
+  // A quiescent slab's free chain threads every slot exactly once.
+  if (dec->ok() && out->inflight_count != out->inflight_free_order.size()) {
+    return Malformed("controller in-flight slab", "free chain does not cover the slab");
+  }
+  out->wake_scheduled = dec->GetBool();
+  out->wake_at = dec->GetU64();
+  out->wake_event = 0;
+  auto& st = out->stats;
+  st.reads_completed = dec->GetU64();
+  st.writes_completed = dec->GetU64();
+  st.bytes_read = dec->GetU64();
+  st.bytes_written = dec->GetU64();
+  st.row_hits = dec->GetU64();
+  st.row_misses = dec->GetU64();
+  st.refreshes = dec->GetU64();
+  if (Error err = DecodeHistogram(dec, "controller read latency", &st.read_latency_ns); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeHistogram(dec, "controller write latency", &st.write_latency_ns);
+      !err.ok()) {
+    return err;
+  }
+  out->energy.activates = dec->GetU64();
+  out->energy.precharges = dec->GetU64();
+  out->energy.read_bits = dec->GetU64();
+  out->energy.write_bits = dec->GetU64();
+  out->energy.refresh_rows = dec->GetU64();
+  return Error::Ok();
+}
+
+void EncodeMemorySystem(Encoder* enc, const mem::MemorySystem::SavedState& s) {
+  enc->PutU64(s.lanes.size());
+  for (const auto& lane : s.lanes) {
+    enc->PutU64(lane.sim_now);
+    enc->PutU64(lane.sim_events);
+    enc->PutU64(lane.sim_next_sequence);
+    enc->PutU64(lane.wake_sequence);
+    EncodeController(enc, lane.controller);
+  }
+  enc->PutU64(s.next_request_id);
+  enc->PutU64(s.injected_stalls);
+  enc->PutU64(s.dropped_completions);
+}
+
+Error DecodeMemorySystem(const std::vector<std::uint8_t>& payload,
+                         const mem::MemorySystem::SavedState& probe,
+                         mem::MemorySystem::SavedState* out) {
+  Decoder dec(payload.data(), payload.size());
+  std::size_t n = 0;
+  if (Error err = GetExactCount(&dec, "system lanes", probe.lanes.size(), &n); !err.ok()) {
+    return err;
+  }
+  out->lanes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& lane = out->lanes[i];
+    lane.sim_now = dec.GetU64();
+    lane.sim_events = dec.GetU64();
+    lane.sim_next_sequence = dec.GetU64();
+    lane.wake_sequence = dec.GetU64();
+    if (Error err = DecodeController(&dec, probe.lanes[i].controller, &lane.controller);
+        !err.ok()) {
+      return err;
+    }
+    // Cross-field sanity: the wake must be re-creatable under the lane's
+    // restored sequence counter and clock.
+    if (dec.ok() && lane.controller.wake_scheduled &&
+        (lane.wake_sequence >= lane.sim_next_sequence ||
+         lane.controller.wake_at < lane.sim_now)) {
+      return Malformed("system lanes", "lane " + std::to_string(i) + " wake is not re-creatable");
+    }
+  }
+  out->next_request_id = dec.GetU64();
+  out->injected_stalls = dec.GetU64();
+  out->dropped_completions = dec.GetU64();
+  return FinishSection(dec, "system");
+}
+
+}  // namespace
+
+// --- MRM stack --------------------------------------------------------------
+
+Error SaveMrmStack(const std::string& path, std::uint64_t config_fingerprint,
+                   const sim::Simulator& simulator, const mrmcore::MrmDevice& device,
+                   const mrmcore::ControlPlane& plane, const fault::FaultInjector* injector,
+                   const std::vector<std::uint8_t>& workload) {
+  MRM_CHECK(device.Idle()) << "SaveMrmStack: device has in-flight operations";
+  MRM_CHECK(simulator.pending_events() == 1)
+      << "SaveMrmStack: expected the scrub firing to be the only pending event, found "
+      << simulator.pending_events();
+
+  SnapshotWriter writer(config_fingerprint);
+
+  SimExecState sim_state;
+  sim_state.now = simulator.now();
+  sim_state.events_executed = simulator.events_executed();
+  sim_state.next_sequence = simulator.next_event_sequence();
+  EncodeSimExec(writer.AddSection(kSectionSimulator), sim_state);
+
+  mrmcore::MrmDevice::SavedState device_state;
+  device.SaveState(&device_state);
+  EncodeMrmDevice(writer.AddSection(kSectionMrmDevice), device_state);
+
+  mrmcore::ControlPlane::SavedState plane_state;
+  plane.SaveState(&plane_state);
+  EncodeControlPlane(writer.AddSection(kSectionControlPlane), plane_state);
+
+  if (injector != nullptr) {
+    fault::FaultInjector::SavedState fault_state;
+    injector->SaveState(&fault_state);
+    EncodeFaultStats(writer.AddSection(kSectionFaultStats), fault_state);
+  }
+
+  Encoder* workload_enc = writer.AddSection(kSectionWorkload);
+  workload_enc->PutBytes(workload.data(), workload.size());
+
+  return writer.WriteFile(path);
+}
+
+Error LoadMrmStack(const std::string& path, std::uint64_t config_fingerprint,
+                   const mrmcore::MrmDevice& device, MrmStackState* out) {
+  SnapshotReader reader;
+  if (Error err = reader.Open(path, config_fingerprint); !err.ok()) {
+    return err;
+  }
+
+  const std::vector<std::uint8_t>* payload = nullptr;
+  if (Error err = reader.Require(kSectionSimulator, &payload); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeSimExec(*payload, "simulator", &out->sim); !err.ok()) {
+    return err;
+  }
+
+  const auto& config = device.config();
+  const std::size_t zones = config.zones;
+  const std::size_t blocks = static_cast<std::size_t>(config.zones) * config.zone_blocks;
+  if (Error err = reader.Require(kSectionMrmDevice, &payload); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeMrmDevice(*payload, zones, blocks, &out->device); !err.ok()) {
+    return err;
+  }
+
+  if (Error err = reader.Require(kSectionControlPlane, &payload); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeControlPlane(*payload, zones, &out->plane); !err.ok()) {
+    return err;
+  }
+  // The scrub firing is re-created under the restored sequence counter; a
+  // snapshot whose cursors cannot reproduce it is not applyable.
+  if (out->plane.scrub.running && (out->plane.scrub.sequence >= out->sim.next_sequence ||
+                                   out->plane.scrub.next_fire < out->sim.now)) {
+    return Malformed("plane", "scrub firing is not re-creatable");
+  }
+
+  const std::vector<std::uint8_t>* fault_payload = reader.Find(kSectionFaultStats);
+  out->has_faults = fault_payload != nullptr;
+  if (out->has_faults) {
+    if (Error err = DecodeFaultStats(*fault_payload, &out->faults); !err.ok()) {
+      return err;
+    }
+  } else {
+    out->faults = fault::FaultStats{};
+  }
+
+  if (Error err = reader.Require(kSectionWorkload, &payload); !err.ok()) {
+    return err;
+  }
+  Decoder workload_dec(payload->data(), payload->size());
+  out->workload = workload_dec.GetBytes();
+  if (Error err = FinishSection(workload_dec, "workload"); !err.ok()) {
+    return err;
+  }
+
+  return Error::Ok();
+}
+
+void ApplyMrmStack(const MrmStackState& state, sim::Simulator* simulator,
+                   mrmcore::MrmDevice* device, mrmcore::ControlPlane* plane,
+                   fault::FaultInjector* injector) {
+  // Order matters: the queue reset must precede the control-plane restore so
+  // the re-created scrub firing is the queue's only event.
+  simulator->RestoreExecution(state.sim.now, state.sim.events_executed, state.sim.next_sequence);
+  device->RestoreState(state.device);
+  plane->RestoreState(state.plane);
+  if (injector != nullptr && state.has_faults) {
+    injector->RestoreState(state.faults);
+  }
+}
+
+// --- Memory fabric ----------------------------------------------------------
+
+Error SaveFabric(const std::string& path, std::uint64_t config_fingerprint,
+                 const sim::Simulator& hub, const mem::MemorySystem& system,
+                 const fault::FaultInjector* injector) {
+  MRM_CHECK(hub.pending_events() == 0)
+      << "SaveFabric: the hub queue must be drained, found " << hub.pending_events()
+      << " pending events";
+
+  SnapshotWriter writer(config_fingerprint);
+
+  SimExecState hub_state;
+  hub_state.now = hub.now();
+  hub_state.events_executed = hub.events_executed();
+  hub_state.next_sequence = hub.next_event_sequence();
+  EncodeSimExec(writer.AddSection(kSectionSimulator), hub_state);
+
+  mem::MemorySystem::SavedState system_state;
+  system.SaveState(&system_state);
+  EncodeMemorySystem(writer.AddSection(kSectionMemorySystem), system_state);
+
+  if (injector != nullptr) {
+    fault::FaultInjector::SavedState fault_state;
+    injector->SaveState(&fault_state);
+    EncodeFaultStats(writer.AddSection(kSectionFaultStats), fault_state);
+  }
+
+  return writer.WriteFile(path);
+}
+
+Error LoadFabric(const std::string& path, std::uint64_t config_fingerprint,
+                 const mem::MemorySystem& system, FabricState* out) {
+  SnapshotReader reader;
+  if (Error err = reader.Open(path, config_fingerprint); !err.ok()) {
+    return err;
+  }
+
+  const std::vector<std::uint8_t>* payload = nullptr;
+  if (Error err = reader.Require(kSectionSimulator, &payload); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeSimExec(*payload, "hub simulator", &out->hub); !err.ok()) {
+    return err;
+  }
+
+  // Probe the (quiescent) target for the expected shape: lane count and
+  // per-lane bank/rank/pool geometry all come from the same config the
+  // fingerprint covers, so a shape mismatch here is corruption or skew.
+  mem::MemorySystem::SavedState probe;
+  system.SaveState(&probe);
+  if (Error err = reader.Require(kSectionMemorySystem, &payload); !err.ok()) {
+    return err;
+  }
+  if (Error err = DecodeMemorySystem(*payload, probe, &out->system); !err.ok()) {
+    return err;
+  }
+
+  const std::vector<std::uint8_t>* fault_payload = reader.Find(kSectionFaultStats);
+  out->has_faults = fault_payload != nullptr;
+  if (out->has_faults) {
+    if (Error err = DecodeFaultStats(*fault_payload, &out->faults); !err.ok()) {
+      return err;
+    }
+  } else {
+    out->faults = fault::FaultStats{};
+  }
+
+  return Error::Ok();
+}
+
+void ApplyFabric(const FabricState& state, sim::Simulator* hub, mem::MemorySystem* system,
+                 fault::FaultInjector* injector) {
+  hub->RestoreExecution(state.hub.now, state.hub.events_executed, state.hub.next_sequence);
+  system->RestoreState(state.system);
+  if (injector != nullptr && state.has_faults) {
+    injector->RestoreState(state.faults);
+  }
+}
+
+}  // namespace snapshot
+}  // namespace mrm

@@ -1,0 +1,126 @@
+// Typed checkpoint bundles over the snapshot container (DESIGN.md §13).
+//
+// Two bundles cover the repo's simulation stacks:
+//
+//   * MrmStackState — an MRM device + control plane + fault injector on one
+//     simulator (the aging-campaign stack).
+//   * FabricState — a MemorySystem (hub + per-channel lanes) and its fault
+//     injector (the DRAM-fabric stack).
+//
+// Each bundle has three operations with a strict no-partial-mutation
+// contract:
+//
+//   Save*  — capture the live system at a quiescent point and publish the
+//            file crash-atomically.
+//   Load*  — open, checksum, fingerprint-check and fully decode the file
+//            into plain value structs. Touches NOTHING but the output
+//            struct; any failure (truncation, corruption, version or config
+//            mismatch, malformed payload) returns a named Error and the
+//            target system is untouched.
+//   Apply* — install a successfully loaded state. Void: validation is
+//            Load's job, so Apply cannot fail halfway through.
+//
+// Quiescent-point restore: callbacks cannot be serialized, so snapshots are
+// taken only when the only pending events are component-owned, re-creatable
+// ones (the control plane's scrub firing; each channel's refresh wake).
+// Apply clears the target simulator's queue (killing events the fresh
+// process's constructors scheduled) and lets each component re-create its
+// event at the saved (tick, sequence), which restores the exact pop order.
+
+#ifndef MRMSIM_SRC_SNAPSHOT_CHECKPOINT_H_
+#define MRMSIM_SRC_SNAPSHOT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+#include "src/snapshot/format.h"
+
+namespace mrm {
+namespace snapshot {
+
+// Section ids. A bundle is a set of sections in one container file; ids are
+// stable across format revisions (new sections get new ids).
+inline constexpr std::uint32_t kSectionSimulator = 1;
+inline constexpr std::uint32_t kSectionFaultStats = 2;
+inline constexpr std::uint32_t kSectionMrmDevice = 3;
+inline constexpr std::uint32_t kSectionControlPlane = 4;
+inline constexpr std::uint32_t kSectionWorkload = 5;
+inline constexpr std::uint32_t kSectionMemorySystem = 6;
+
+// A simulator's execution cursor. The queue contents are NOT here — see the
+// quiescent-point contract above.
+struct SimExecState {
+  sim::Tick now = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t next_sequence = 0;
+};
+
+// --- MRM stack (device + control plane + injector on one simulator) -------
+
+struct MrmStackState {
+  SimExecState sim;
+  mrmcore::MrmDevice::SavedState device;
+  mrmcore::ControlPlane::SavedState plane;
+  fault::FaultStats faults;
+  bool has_faults = false;
+  // Opaque campaign-owned payload (workload cursors, live-set, counters);
+  // the campaign encodes/decodes it with its own Encoder/Decoder.
+  std::vector<std::uint8_t> workload;
+};
+
+// Captures and atomically writes the stack. Quiescence preconditions
+// (MRM_CHECK): device idle, and the scrub task's firing is the simulator's
+// only pending event. `injector` and `workload` may be null/empty.
+Error SaveMrmStack(const std::string& path, std::uint64_t config_fingerprint,
+                   const sim::Simulator& simulator, const mrmcore::MrmDevice& device,
+                   const mrmcore::ControlPlane& plane, const fault::FaultInjector* injector,
+                   const std::vector<std::uint8_t>& workload);
+
+// Opens, validates and decodes a stack snapshot into `out`. `device` supplies
+// the expected geometry (zones, blocks) the decoded state must match; it is
+// read, never written. On any failure `out` may hold partial garbage but no
+// live system state has been touched — discard it and fall back cold.
+Error LoadMrmStack(const std::string& path, std::uint64_t config_fingerprint,
+                   const mrmcore::MrmDevice& device, MrmStackState* out);
+
+// Installs a loaded state: clears the simulator's queue, restores device and
+// control plane (which re-creates the scrub firing at its saved sequence),
+// and the injector's ledger when one is attached.
+void ApplyMrmStack(const MrmStackState& state, sim::Simulator* simulator,
+                   mrmcore::MrmDevice* device, mrmcore::ControlPlane* plane,
+                   fault::FaultInjector* injector);
+
+// --- Memory fabric (MemorySystem + hub simulator + injector) --------------
+
+struct FabricState {
+  SimExecState hub;
+  mem::MemorySystem::SavedState system;
+  fault::FaultStats faults;
+  bool has_faults = false;
+};
+
+// Quiescence preconditions (MRM_CHECK): system idle with quiescent lanes
+// (MemorySystem::SaveState's contract) and an empty hub queue.
+Error SaveFabric(const std::string& path, std::uint64_t config_fingerprint,
+                 const sim::Simulator& hub, const mem::MemorySystem& system,
+                 const fault::FaultInjector* injector);
+
+// `system` supplies the expected shape (lane count, per-lane bank/rank/pool
+// geometry) via a probe snapshot of its current — necessarily quiescent —
+// state; it is read, never written.
+Error LoadFabric(const std::string& path, std::uint64_t config_fingerprint,
+                 const mem::MemorySystem& system, FabricState* out);
+
+void ApplyFabric(const FabricState& state, sim::Simulator* hub, mem::MemorySystem* system,
+                 fault::FaultInjector* injector);
+
+}  // namespace snapshot
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SNAPSHOT_CHECKPOINT_H_

@@ -1,0 +1,110 @@
+#include "src/snapshot/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mrm {
+namespace snapshot {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable;
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kCrcTable.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Encoder::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+
+void Encoder::PutBytes(const void* data, std::size_t size) {
+  PutU64(size);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+bool Decoder::Take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t Decoder::GetU8() {
+  const std::uint8_t* p = nullptr;
+  return Take(1, &p) ? *p : 0;
+}
+
+std::uint32_t Decoder::GetU32() {
+  const std::uint8_t* p = nullptr;
+  if (!Take(4, &p)) {
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Decoder::GetU64() {
+  const std::uint8_t* p = nullptr;
+  if (!Take(8, &p)) {
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double Decoder::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+std::vector<std::uint8_t> Decoder::GetBytes() {
+  const std::uint64_t size = GetU64();
+  if (!ok_ || size > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  const std::uint8_t* p = nullptr;
+  Take(static_cast<std::size_t>(size), &p);
+  return std::vector<std::uint8_t>(p, p + size);
+}
+
+}  // namespace snapshot
+}  // namespace mrm

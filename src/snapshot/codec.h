@@ -1,0 +1,81 @@
+// Byte-level encode/decode for durable snapshots (DESIGN.md §13).
+//
+// The wire format is deliberately primitive: little-endian fixed-width
+// integers, IEEE doubles moved bit-exactly via bit_cast, and length-prefixed
+// byte strings. No varints, no alignment, no reflection — a snapshot is a
+// checkpoint of one simulator build reading its own recent output, not an
+// interchange format, so decode simplicity (and therefore auditability of
+// the no-UB guarantee) wins over density.
+//
+// The Decoder is the hostile-input boundary: every Get* bounds-checks against
+// the remaining payload and fails sticky (ok() goes false, reads return
+// zeros) instead of reading out of bounds, so a truncated or bit-flipped
+// section can never turn into undefined behavior.
+
+#ifndef MRMSIM_SRC_SNAPSHOT_CODEC_H_
+#define MRMSIM_SRC_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrm {
+namespace snapshot {
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum behind the header
+// and per-section integrity checks. `seed` chains incremental computations:
+// pass a previous call's return value to continue it.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+class Encoder {
+ public:
+  void PutU8(std::uint8_t v) { bytes_.push_back(v); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  // Bit-exact: the double's object representation, so NaNs/signed zeros and
+  // every last mantissa bit survive the round trip.
+  void PutDouble(double v);
+  // Length-prefixed (u64) raw bytes.
+  void PutBytes(const void* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t>&& TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t GetU8();
+  bool GetBool() { return GetU8() != 0; }
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+  double GetDouble();
+  // Reads a length-prefixed byte string. The length is validated against the
+  // remaining payload before any allocation, so a corrupt prefix cannot
+  // trigger a multi-gigabyte reserve.
+  std::vector<std::uint8_t> GetBytes();
+
+  // False once any read ran past the payload; subsequent reads return zeros.
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Take(std::size_t n, const std::uint8_t** out);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace snapshot
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SNAPSHOT_CODEC_H_

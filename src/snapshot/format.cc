@@ -1,0 +1,289 @@
+#include "src/snapshot/format.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace mrm {
+namespace snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'R', 'M', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::size_t kMagicSize = 8;
+// magic + version + section count + fingerprint.
+constexpr std::size_t kFixedHeaderSize = kMagicSize + 4 + 4 + 8;
+constexpr std::size_t kTableEntrySize = 4 + 8 + 8 + 4;
+constexpr std::size_t kHeaderCrcSize = 4;
+
+std::size_t HeaderSize(std::uint32_t section_count) {
+  return kFixedHeaderSize + kTableEntrySize * section_count;
+}
+
+// Writes the whole buffer, retrying on EINTR/short writes.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string ErrnoDetail(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kOk:
+      return "ok";
+    case ErrorKind::kIoError:
+      return "io-error";
+    case ErrorKind::kBadMagic:
+      return "bad-magic";
+    case ErrorKind::kBadVersion:
+      return "bad-version";
+    case ErrorKind::kTruncated:
+      return "truncated";
+    case ErrorKind::kHeaderCrc:
+      return "header-crc";
+    case ErrorKind::kSectionCrc:
+      return "section-crc";
+    case ErrorKind::kConfigMismatch:
+      return "config-mismatch";
+    case ErrorKind::kMissingSection:
+      return "missing-section";
+    case ErrorKind::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+std::string Error::ToString() const {
+  std::string out = ErrorKindName(kind);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+void Fingerprint::MixU64(std::uint64_t v) {
+  // SplitMix64 finalizer over the chained state, the same mix the fault
+  // injector's keyed rolls use.
+  std::uint64_t x = state_ ^ v;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  state_ = x ^ (x >> 31);
+}
+
+void Fingerprint::MixDouble(double v) { MixU64(std::bit_cast<std::uint64_t>(v)); }
+
+void Fingerprint::MixString(const std::string& s) {
+  MixU64(s.size());
+  for (const char c : s) {
+    MixU64(static_cast<std::uint8_t>(c));
+  }
+}
+
+Encoder* SnapshotWriter::AddSection(std::uint32_t id) {
+  for (const auto& section : sections_) {
+    MRM_CHECK(section->id != id) << "SnapshotWriter: duplicate section id " << id;
+  }
+  MRM_CHECK(sections_.size() < kMaxSections);
+  sections_.push_back(std::make_unique<Section>());
+  sections_.back()->id = id;
+  return &sections_.back()->encoder;
+}
+
+Error SnapshotWriter::WriteFile(const std::string& path) const {
+  // Assemble the complete image in memory first; checkpoints are MBs at
+  // most, and a single buffer keeps the CRC and offset bookkeeping trivial.
+  const auto count = static_cast<std::uint32_t>(sections_.size());
+  Encoder header;
+  for (std::size_t i = 0; i < kMagicSize; ++i) {
+    header.PutU8(static_cast<std::uint8_t>(kMagic[i]));
+  }
+  header.PutU32(kFormatVersion);
+  header.PutU32(count);
+  header.PutU64(config_fingerprint_);
+  std::uint64_t offset = HeaderSize(count) + kHeaderCrcSize;
+  for (const auto& section : sections_) {
+    const std::vector<std::uint8_t>& payload = section->encoder.bytes();
+    header.PutU32(section->id);
+    header.PutU64(offset);
+    header.PutU64(payload.size());
+    header.PutU32(Crc32(payload.data(), payload.size()));
+    offset += payload.size();
+  }
+  std::vector<std::uint8_t> image = header.TakeBytes();
+  const std::uint32_t header_crc = Crc32(image.data(), image.size());
+  for (int i = 0; i < 4; ++i) {
+    image.push_back(static_cast<std::uint8_t>(header_crc >> (8 * i)));
+  }
+  for (const auto& section : sections_) {
+    const std::vector<std::uint8_t>& payload = section->encoder.bytes();
+    image.insert(image.end(), payload.begin(), payload.end());
+  }
+
+  // Crash-atomic publish: temp file + fsync + rename + directory fsync.
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error::Make(ErrorKind::kIoError, ErrnoDetail("open", tmp_path));
+  }
+  if (!WriteAll(fd, image.data(), image.size())) {
+    const std::string detail = ErrnoDetail("write", tmp_path);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Error::Make(ErrorKind::kIoError, detail);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = ErrnoDetail("fsync", tmp_path);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Error::Make(ErrorKind::kIoError, detail);
+  }
+  if (::close(fd) != 0) {
+    const std::string detail = ErrnoDetail("close", tmp_path);
+    ::unlink(tmp_path.c_str());
+    return Error::Make(ErrorKind::kIoError, detail);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const std::string detail = ErrnoDetail("rename", tmp_path);
+    ::unlink(tmp_path.c_str());
+    return Error::Make(ErrorKind::kIoError, detail);
+  }
+  // fsync the containing directory so the rename itself is durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Error::Ok();
+}
+
+Error SnapshotReader::Open(const std::string& path, std::uint64_t expected_fingerprint) {
+  sections_.clear();
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Error::Make(ErrorKind::kIoError, ErrnoDetail("open", path));
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    image.insert(image.end(), buffer, buffer + n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Error::Make(ErrorKind::kIoError, ErrnoDetail("read", path));
+  }
+
+  if (image.size() < kFixedHeaderSize + kHeaderCrcSize) {
+    return Error::Make(ErrorKind::kTruncated,
+                       "file is " + std::to_string(image.size()) + " bytes, shorter than a header");
+  }
+  if (std::memcmp(image.data(), kMagic, kMagicSize) != 0) {
+    return Error::Make(ErrorKind::kBadMagic, "not a snapshot file");
+  }
+  Decoder header(image.data() + kMagicSize, image.size() - kMagicSize);
+  const std::uint32_t version = header.GetU32();
+  if (version != kFormatVersion) {
+    return Error::Make(ErrorKind::kBadVersion, "format version " + std::to_string(version) +
+                                                   ", this build reads " +
+                                                   std::to_string(kFormatVersion));
+  }
+  const std::uint32_t count = header.GetU32();
+  if (count > kMaxSections) {
+    return Error::Make(ErrorKind::kMalformed,
+                       "section count " + std::to_string(count) + " exceeds the format bound");
+  }
+  const std::size_t header_size = HeaderSize(count);
+  if (image.size() < header_size + kHeaderCrcSize) {
+    return Error::Make(ErrorKind::kTruncated, "file ends inside the section table");
+  }
+  // Header CRC before trusting the table (or even the fingerprint): a
+  // bit-flip anywhere in the header is caught here, not misinterpreted.
+  Decoder crc_field(image.data() + header_size, kHeaderCrcSize);
+  const std::uint32_t stored_header_crc = crc_field.GetU32();
+  const std::uint32_t actual_header_crc = Crc32(image.data(), header_size);
+  if (stored_header_crc != actual_header_crc) {
+    return Error::Make(ErrorKind::kHeaderCrc, "header checksum mismatch");
+  }
+  const std::uint64_t fingerprint = header.GetU64();
+  if (fingerprint != expected_fingerprint) {
+    return Error::Make(ErrorKind::kConfigMismatch,
+                       "snapshot was produced under a different configuration");
+  }
+
+  std::vector<Section> sections;
+  sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t id = header.GetU32();
+    const std::uint64_t offset = header.GetU64();
+    const std::uint64_t size = header.GetU64();
+    const std::uint32_t crc = header.GetU32();
+    MRM_CHECK(header.ok());  // table length was bounds-checked above
+    if (offset > image.size() || size > image.size() - offset) {
+      return Error::Make(ErrorKind::kTruncated,
+                         "section " + std::to_string(id) + " extends past end of file");
+    }
+    for (const Section& prior : sections) {
+      if (prior.id == id) {
+        return Error::Make(ErrorKind::kMalformed, "duplicate section id " + std::to_string(id));
+      }
+    }
+    const std::uint8_t* payload = image.data() + offset;
+    if (Crc32(payload, static_cast<std::size_t>(size)) != crc) {
+      return Error::Make(ErrorKind::kSectionCrc,
+                         "section " + std::to_string(id) + " checksum mismatch");
+    }
+    sections.push_back(
+        Section{id, std::vector<std::uint8_t>(payload, payload + static_cast<std::size_t>(size))});
+  }
+  sections_ = std::move(sections);
+  return Error::Ok();
+}
+
+const std::vector<std::uint8_t>* SnapshotReader::Find(std::uint32_t id) const {
+  for (const Section& section : sections_) {
+    if (section.id == id) {
+      return &section.payload;
+    }
+  }
+  return nullptr;
+}
+
+Error SnapshotReader::Require(std::uint32_t id, const std::vector<std::uint8_t>** out) const {
+  const std::vector<std::uint8_t>* payload = Find(id);
+  if (payload == nullptr) {
+    return Error::Make(ErrorKind::kMissingSection,
+                       "required section " + std::to_string(id) + " is absent");
+  }
+  *out = payload;
+  return Error::Ok();
+}
+
+}  // namespace snapshot
+}  // namespace mrm

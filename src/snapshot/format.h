@@ -1,0 +1,142 @@
+// The on-disk snapshot container (DESIGN.md §13).
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "MRMSNAP\0"
+//   8       4     format version (kFormatVersion)
+//   12      4     section count N (<= kMaxSections)
+//   16      8     config fingerprint (Fingerprint::digest of the run config)
+//   24      24*N  section table: N entries of
+//                 { u32 id, u64 offset, u64 size, u32 crc32 } packed = 24 B
+//   24+24N  4     header CRC32 over bytes [0, 24+24N)
+//   ...           section payloads (offsets are absolute file offsets)
+//
+// Atomicity: WriteFile streams the image to `<path>.tmp.<pid>`, fsyncs the
+// file, closes it, renames it over `path`, then fsyncs the directory. A
+// crash at any instant leaves either the old complete file or the new
+// complete file — never a torn one; a leftover .tmp is garbage a later run
+// ignores.
+//
+// Validation: SnapshotReader::Open performs EVERY check — magic, version,
+// bounded section count, header CRC, config fingerprint, per-section bounds
+// and CRC, duplicate ids — before returning success, and the reader owns the
+// file image, so callers decode from a fully verified buffer and the target
+// system is never partially mutated by a bad snapshot.
+
+#ifndef MRMSIM_SRC_SNAPSHOT_FORMAT_H_
+#define MRMSIM_SRC_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/snapshot/codec.h"
+
+namespace mrm {
+namespace snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kMaxSections = 256;
+
+// Why a snapshot was rejected. Every failure is named: the aging campaign
+// prints the kind in its one-line diagnostic before falling back cold.
+enum class ErrorKind {
+  kOk = 0,
+  kIoError,          // open/read/write/rename/fsync failed
+  kBadMagic,         // not a snapshot file
+  kBadVersion,       // produced by an incompatible format revision
+  kTruncated,        // file shorter than its own structure claims
+  kHeaderCrc,        // header bytes corrupted
+  kSectionCrc,       // a section payload corrupted
+  kConfigMismatch,   // produced under a different run configuration
+  kMissingSection,   // a required section is absent
+  kMalformed,        // structurally invalid (bounds, duplicates, bad counts)
+};
+
+const char* ErrorKindName(ErrorKind kind);
+
+struct Error {
+  ErrorKind kind = ErrorKind::kOk;
+  std::string detail;
+
+  bool ok() const { return kind == ErrorKind::kOk; }
+  // "section-crc: section 3 checksum mismatch" — the one-line diagnostic.
+  std::string ToString() const;
+
+  static Error Ok() { return Error{}; }
+  static Error Make(ErrorKind kind, std::string detail) { return Error{kind, std::move(detail)}; }
+};
+
+// Order-sensitive hash of the run configuration (SplitMix64 chaining).
+// Writers stamp the digest into the header; readers must present the same
+// digest or Open fails with kConfigMismatch. Mix every config field that
+// affects simulation results — technology, geometry, ECC, fault config,
+// workload shape — and nothing that doesn't (campaign length, output paths).
+class Fingerprint {
+ public:
+  void MixU64(std::uint64_t v);
+  void MixU32(std::uint32_t v) { MixU64(v); }
+  void MixBool(bool v) { MixU64(v ? 1 : 0); }
+  void MixDouble(double v);
+  void MixString(const std::string& s);
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+};
+
+// Builds a snapshot in memory and writes it crash-atomically. Sections are
+// encoded through the Encoder returned by AddSection; ids must be unique.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::uint64_t config_fingerprint)
+      : config_fingerprint_(config_fingerprint) {}
+
+  // Starts a new section; the returned Encoder is valid until the next
+  // AddSection/WriteFile call. Dies on a duplicate id (programming error).
+  Encoder* AddSection(std::uint32_t id);
+
+  // Serializes header + sections and writes them atomically to `path`.
+  Error WriteFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::uint32_t id;
+    Encoder encoder;
+  };
+
+  std::uint64_t config_fingerprint_;
+  std::vector<std::unique_ptr<Section>> sections_;
+};
+
+// Opens and fully validates a snapshot file. On success the payload bytes of
+// each section are available by id; on failure the reader holds nothing.
+class SnapshotReader {
+ public:
+  // Validation order: I/O, minimum length, magic, version, section-count
+  // bound, table bounds, header CRC, config fingerprint, per-section bounds
+  // and CRC, duplicate ids. Every byte later handed out has passed its CRC.
+  Error Open(const std::string& path, std::uint64_t expected_fingerprint);
+
+  // Section payload by id; nullptr when absent.
+  const std::vector<std::uint8_t>* Find(std::uint32_t id) const;
+
+  // Find + kMissingSection error when absent.
+  Error Require(std::uint32_t id, const std::vector<std::uint8_t>** out) const;
+
+ private:
+  struct Section {
+    std::uint32_t id;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace snapshot
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_SNAPSHOT_FORMAT_H_

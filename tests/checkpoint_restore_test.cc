@@ -1,0 +1,514 @@
+// Checkpoint determinism and no-partial-restore tests (DESIGN.md §13).
+//
+// The core claim: save a running stack at a quiescent point T, restore it
+// into a FRESH process-equivalent stack (new simulator, constructors have
+// already scheduled their own events), run both to T+Δ, and every piece of
+// simulation state — SystemStats, the RAS ledgers, zone/block metadata, the
+// execution cursors — is bit-identical. For the memory fabric this must hold
+// across --sim-threads 1/4 × speculation window 0/4096.
+//
+// The hostile half: a corrupted, truncated or mismatched snapshot is
+// rejected by Load* with a named Error and the target stack is left exactly
+// as it was — zero partial mutation.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/device_config.h"
+#include "src/mem/memory_system.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/mrm_device.h"
+#include "src/sim/simulator.h"
+#include "src/snapshot/checkpoint.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/format.h"
+
+namespace mrm {
+namespace snapshot {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+constexpr std::uint64_t kFingerprint = 0x5eedf00d12345678ull;
+
+// --- MRM stack fixture ------------------------------------------------------
+
+mrmcore::MrmDeviceConfig StackDeviceConfig() {
+  mrmcore::MrmDeviceConfig config;
+  config.technology = cell::Technology::kSttMram;
+  config.channels = 2;
+  config.zones = 16;
+  config.zone_blocks = 8;
+  config.block_bytes = 4096;
+  config.ecc_t = 8;
+  config.ecc_codeword_bits = 4096;
+  return config;
+}
+
+fault::FaultConfig StackFaultConfig() {
+  fault::FaultConfig config;
+  config.seed = 7;
+  config.transient_rber = 1e-3;
+  config.stuck_block_prob = 1e-3;
+  config.stuck_wear_fraction = 0.0;
+  config.zone_failure_prob = 1e-4;
+  return config;
+}
+
+struct MrmStack {
+  sim::Simulator simulator{1e9};
+  mrmcore::MrmDevice device;
+  mrmcore::ControlPlane plane;
+  fault::FaultInjector injector;
+
+  MrmStack()
+      : device(&simulator, StackDeviceConfig()),
+        plane(&simulator, &device,
+              [] {
+                mrmcore::ControlPlaneOptions options;
+                options.scrub_period_s = 60.0;
+                return options;
+              }()),
+        injector(StackFaultConfig()) {
+    plane.SetFaultInjector(&injector);
+  }
+};
+
+// Deterministic KV churn, checkpointable between batches. Batches run at a
+// 5 s phase within each 10 s slot so they never share a tick with the scrub
+// task (multiples of 60 s) or a save point (multiples of 10 s at phase 0).
+struct Churn {
+  std::uint64_t appends_ok = 0;
+  std::uint64_t appends_failed = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t reads_lost = 0;
+  std::uint64_t cursor = 0;
+  std::vector<std::pair<double, mrmcore::LogicalId>> live;
+};
+
+std::vector<std::uint8_t> EncodeChurn(const Churn& c) {
+  Encoder enc;
+  enc.PutU64(c.appends_ok);
+  enc.PutU64(c.appends_failed);
+  enc.PutU64(c.reads_ok);
+  enc.PutU64(c.reads_lost);
+  enc.PutU64(c.cursor);
+  enc.PutU64(c.live.size());
+  for (const auto& [expiry, id] : c.live) {
+    enc.PutDouble(expiry);
+    enc.PutU64(id);
+  }
+  return enc.TakeBytes();
+}
+
+bool DecodeChurn(const std::vector<std::uint8_t>& bytes, Churn* out) {
+  Decoder dec(bytes.data(), bytes.size());
+  out->appends_ok = dec.GetU64();
+  out->appends_failed = dec.GetU64();
+  out->reads_ok = dec.GetU64();
+  out->reads_lost = dec.GetU64();
+  out->cursor = dec.GetU64();
+  const std::uint64_t n = dec.GetU64();
+  if (!dec.ok() || n > dec.remaining() / 16) {
+    return false;
+  }
+  out->live.resize(static_cast<std::size_t>(n));
+  for (auto& [expiry, id] : out->live) {
+    expiry = dec.GetDouble();
+    id = dec.GetU64();
+  }
+  return dec.AtEnd();
+}
+
+void RunChurn(MrmStack* stack, Churn* churn, double from_s, double to_s) {
+  for (double t = from_s + 5.0; t < to_s; t += 10.0) {
+    stack->simulator.RunUntil(stack->simulator.SecondsToTicks(t));
+    while (!churn->live.empty() && churn->live.front().first <= t) {
+      if (stack->plane.Alive(churn->live.front().second)) {
+        stack->plane.Free(churn->live.front().second);
+      }
+      churn->live.erase(churn->live.begin());
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto id = stack->plane.Append(/*lifetime_s=*/120.0);
+      if (id.ok()) {
+        churn->live.emplace_back(t + 120.0, id.value());
+        ++churn->appends_ok;
+      } else {
+        ++churn->appends_failed;
+      }
+    }
+    for (int i = 0; i < 8 && !churn->live.empty(); ++i) {
+      churn->cursor = (churn->cursor + 1) % churn->live.size();
+      const Status issued =
+          stack->plane.Read(churn->live[churn->cursor].second, [churn](bool ok) {
+            if (ok) {
+              ++churn->reads_ok;
+            } else {
+              ++churn->reads_lost;
+            }
+          });
+      if (!issued.ok()) {
+        ++churn->reads_lost;
+      }
+    }
+  }
+  stack->simulator.RunUntil(stack->simulator.SecondsToTicks(to_s));
+}
+
+void ExpectPlaneStateEq(const mrmcore::ControlPlane::SavedState& a,
+                        const mrmcore::ControlPlane::SavedState& b) {
+  ASSERT_EQ(a.map.size(), b.map.size());
+  for (std::size_t i = 0; i < a.map.size(); ++i) {
+    EXPECT_EQ(a.map[i].id, b.map[i].id);
+    EXPECT_EQ(a.map[i].tracked.phys, b.map[i].tracked.phys);
+    EXPECT_EQ(a.map[i].tracked.zone, b.map[i].tracked.zone);
+    EXPECT_EQ(a.map[i].tracked.expiry_s, b.map[i].tracked.expiry_s);
+    EXPECT_EQ(a.map[i].tracked.deadline_s, b.map[i].tracked.deadline_s);
+  }
+  ASSERT_EQ(a.deadlines.size(), b.deadlines.size());
+  for (std::size_t i = 0; i < a.deadlines.size(); ++i) {
+    EXPECT_EQ(a.deadlines[i].deadline_s, b.deadlines[i].deadline_s) << "heap slot " << i;
+    EXPECT_EQ(a.deadlines[i].id, b.deadlines[i].id) << "heap slot " << i;
+    EXPECT_EQ(a.deadlines[i].phys, b.deadlines[i].phys) << "heap slot " << i;
+  }
+  EXPECT_EQ(a.zone_live, b.zone_live);
+  EXPECT_EQ(a.zone_uncorrectable, b.zone_uncorrectable);
+  EXPECT_EQ(a.open_zone, b.open_zone);
+  EXPECT_EQ(a.has_open_zone, b.has_open_zone);
+  EXPECT_EQ(a.next_id, b.next_id);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.scrub.next_fire, b.scrub.next_fire);
+  EXPECT_EQ(a.scrub.sequence, b.scrub.sequence);
+  EXPECT_EQ(a.scrub.period, b.scrub.period);
+  EXPECT_EQ(a.scrub.fire_count, b.scrub.fire_count);
+  EXPECT_EQ(a.scrub.running, b.scrub.running);
+}
+
+void ExpectStackEq(MrmStack* a, MrmStack* b, const Churn& churn_a, const Churn& churn_b) {
+  EXPECT_EQ(a->simulator.now(), b->simulator.now());
+  EXPECT_EQ(a->simulator.events_executed(), b->simulator.events_executed());
+  EXPECT_EQ(a->simulator.next_event_sequence(), b->simulator.next_event_sequence());
+
+  mrmcore::MrmDevice::SavedState dev_a;
+  mrmcore::MrmDevice::SavedState dev_b;
+  a->device.SaveState(&dev_a);
+  b->device.SaveState(&dev_b);
+  EXPECT_EQ(dev_a.zones, dev_b.zones);
+  EXPECT_EQ(dev_a.blocks, dev_b.blocks);
+  EXPECT_EQ(dev_a.stats, dev_b.stats);
+
+  mrmcore::ControlPlane::SavedState plane_a;
+  mrmcore::ControlPlane::SavedState plane_b;
+  a->plane.SaveState(&plane_a);
+  b->plane.SaveState(&plane_b);
+  ExpectPlaneStateEq(plane_a, plane_b);
+
+  EXPECT_EQ(a->injector.stats(), b->injector.stats());
+
+  EXPECT_EQ(churn_a.appends_ok, churn_b.appends_ok);
+  EXPECT_EQ(churn_a.appends_failed, churn_b.appends_failed);
+  EXPECT_EQ(churn_a.reads_ok, churn_b.reads_ok);
+  EXPECT_EQ(churn_a.reads_lost, churn_b.reads_lost);
+  EXPECT_EQ(churn_a.live, churn_b.live);
+}
+
+TEST(MrmCheckpointTest, SaveRestoreContinueIsBitIdentical) {
+  const std::string path = TempPath("mrm_stack.snap");
+
+  // Reference: run to T, checkpoint, continue to T+Δ.
+  MrmStack ref;
+  Churn churn_ref;
+  RunChurn(&ref, &churn_ref, 0.0, 130.0);  // past two scrub firings
+  ASSERT_TRUE(SaveMrmStack(path, kFingerprint, ref.simulator, ref.device, ref.plane,
+                           &ref.injector, EncodeChurn(churn_ref))
+                  .ok());
+  RunChurn(&ref, &churn_ref, 130.0, 250.0);
+
+  // Restored: a fresh stack (its constructors scheduled their own scrub
+  // event) resumes from disk and runs the same Δ.
+  MrmStack restored;
+  MrmStackState state;
+  ASSERT_TRUE(LoadMrmStack(path, kFingerprint, restored.device, &state).ok());
+  ApplyMrmStack(state, &restored.simulator, &restored.device, &restored.plane,
+                &restored.injector);
+  Churn churn_restored;
+  ASSERT_TRUE(DecodeChurn(state.workload, &churn_restored));
+  EXPECT_EQ(restored.simulator.now(), restored.simulator.SecondsToTicks(130.0));
+  RunChurn(&restored, &churn_restored, 130.0, 250.0);
+
+  ExpectStackEq(&ref, &restored, churn_ref, churn_restored);
+  // The churn actually exercised the fault paths (otherwise this test would
+  // pass vacuously on an idle stack).
+  EXPECT_GT(churn_ref.appends_ok, 0u);
+  EXPECT_GT(churn_ref.reads_ok, 0u);
+  EXPECT_GT(ref.injector.stats().read_rolls, 0u);
+}
+
+TEST(MrmCheckpointTest, RestoredStackMatchesAtTheSavePointToo) {
+  const std::string path = TempPath("mrm_stack_at_save.snap");
+  MrmStack ref;
+  Churn churn;
+  RunChurn(&ref, &churn, 0.0, 70.0);
+  ASSERT_TRUE(SaveMrmStack(path, kFingerprint, ref.simulator, ref.device, ref.plane,
+                           &ref.injector, EncodeChurn(churn))
+                  .ok());
+
+  MrmStack restored;
+  MrmStackState state;
+  ASSERT_TRUE(LoadMrmStack(path, kFingerprint, restored.device, &state).ok());
+  ApplyMrmStack(state, &restored.simulator, &restored.device, &restored.plane,
+                &restored.injector);
+  Churn churn_restored;
+  ASSERT_TRUE(DecodeChurn(state.workload, &churn_restored));
+  ExpectStackEq(&ref, &restored, churn, churn_restored);
+}
+
+TEST(MrmCheckpointTest, HostileSnapshotsAreRejectedWithoutMutation) {
+  const std::string good_path = TempPath("mrm_hostile_good.snap");
+  MrmStack ref;
+  Churn churn;
+  RunChurn(&ref, &churn, 0.0, 70.0);
+  ASSERT_TRUE(SaveMrmStack(good_path, kFingerprint, ref.simulator, ref.device, ref.plane,
+                           &ref.injector, EncodeChurn(churn))
+                  .ok());
+
+  // The victim stack Load* must never touch.
+  MrmStack victim;
+  Churn victim_churn;
+  RunChurn(&victim, &victim_churn, 0.0, 30.0);
+  mrmcore::MrmDevice::SavedState dev_before;
+  mrmcore::ControlPlane::SavedState plane_before;
+  victim.device.SaveState(&dev_before);
+  victim.plane.SaveState(&plane_before);
+  const sim::Tick now_before = victim.simulator.now();
+  const std::uint64_t events_before = victim.simulator.events_executed();
+
+  std::FILE* file = std::fopen(good_path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::vector<std::uint8_t> image;
+  std::uint8_t buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    image.insert(image.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+
+  const auto write_variant = [&](const std::vector<std::uint8_t>& bytes) {
+    const std::string path = TempPath("mrm_hostile_variant.snap");
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(out, nullptr);
+    EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    std::fclose(out);
+    return path;
+  };
+
+  MrmStackState scratch;
+
+  // Truncated mid-payload.
+  {
+    const auto path = write_variant(
+        std::vector<std::uint8_t>(image.begin(), image.begin() + image.size() / 2));
+    EXPECT_EQ(LoadMrmStack(path, kFingerprint, victim.device, &scratch).kind,
+              ErrorKind::kTruncated);
+  }
+  // Bit flip in the body.
+  {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[mutated.size() - 10] ^= 0x20;
+    const auto path = write_variant(mutated);
+    EXPECT_EQ(LoadMrmStack(path, kFingerprint, victim.device, &scratch).kind,
+              ErrorKind::kSectionCrc);
+  }
+  // Bit flip in the header.
+  {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[20] ^= 0x20;  // inside the fingerprint field
+    const auto path = write_variant(mutated);
+    EXPECT_EQ(LoadMrmStack(path, kFingerprint, victim.device, &scratch).kind,
+              ErrorKind::kHeaderCrc);
+  }
+  // Wrong format version (with a recomputed, valid header CRC).
+  {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[8] = 99;
+    std::size_t count = 0;
+    for (int i = 0; i < 4; ++i) {
+      count |= static_cast<std::size_t>(mutated[12 + i]) << (8 * i);
+    }
+    const std::size_t header_size = 24 + 24 * count;
+    const std::uint32_t crc = Crc32(mutated.data(), header_size);
+    for (int i = 0; i < 4; ++i) {
+      mutated[header_size + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    const auto path = write_variant(mutated);
+    EXPECT_EQ(LoadMrmStack(path, kFingerprint, victim.device, &scratch).kind,
+              ErrorKind::kBadVersion);
+  }
+  // Mismatched config fingerprint.
+  EXPECT_EQ(LoadMrmStack(good_path, kFingerprint ^ 0xF, victim.device, &scratch).kind,
+            ErrorKind::kConfigMismatch);
+  // Not a snapshot at all.
+  {
+    const auto path = write_variant({'j', 'u', 'n', 'k', 'f', 'i', 'l', 'e', 0, 0, 0, 0, 0, 0, 0,
+                                     0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    EXPECT_EQ(LoadMrmStack(path, kFingerprint, victim.device, &scratch).kind,
+              ErrorKind::kBadMagic);
+  }
+
+  // Zero partial mutation: the victim is bit-identical to before the attempts.
+  EXPECT_EQ(victim.simulator.now(), now_before);
+  EXPECT_EQ(victim.simulator.events_executed(), events_before);
+  mrmcore::MrmDevice::SavedState dev_after;
+  mrmcore::ControlPlane::SavedState plane_after;
+  victim.device.SaveState(&dev_after);
+  victim.plane.SaveState(&plane_after);
+  EXPECT_EQ(dev_before.zones, dev_after.zones);
+  EXPECT_EQ(dev_before.blocks, dev_after.blocks);
+  EXPECT_EQ(dev_before.stats, dev_after.stats);
+  ExpectPlaneStateEq(plane_before, plane_after);
+
+  // And the untouched victim can still continue and checkpoint normally.
+  RunChurn(&victim, &victim_churn, 30.0, 50.0);
+  const std::string victim_path = TempPath("mrm_hostile_victim.snap");
+  EXPECT_TRUE(SaveMrmStack(victim_path, kFingerprint, victim.simulator, victim.device,
+                           victim.plane, &victim.injector, EncodeChurn(victim_churn))
+                  .ok());
+}
+
+// --- Memory fabric ----------------------------------------------------------
+
+struct Fabric {
+  sim::Simulator simulator{1e9};
+  mem::MemorySystem system;
+
+  Fabric(int threads, sim::Tick spec_window)
+      : system(&simulator, mem::HBM3EConfig()) {
+    simulator.SetWorkerThreads(threads);
+    simulator.SetSpeculationWindow(spec_window);
+  }
+};
+
+// One traffic phase: a bulk read and a bulk write through the fabric, run to
+// completion (the post-Run instant is quiescent by construction).
+void RunFabricPhase(Fabric* fabric, std::uint64_t base_addr) {
+  int done = 0;
+  fabric->system.Transfer(mem::Request::Kind::kRead, base_addr, 1 << 20, 0, [&done] { ++done; });
+  fabric->system.Transfer(mem::Request::Kind::kWrite, base_addr + (8u << 20), 512 << 10, 1,
+                          [&done] { ++done; });
+  fabric->simulator.Run();
+  ASSERT_EQ(done, 2);
+}
+
+TEST(FabricCheckpointTest, SaveRestoreContinueAcrossThreadsAndSpeculation) {
+  // The same checkpoint must continue bit-identically at every execution
+  // mode: serial, sharded, speculative, both.
+  struct Mode {
+    int threads;
+    sim::Tick spec;
+  };
+  const Mode modes[] = {{1, 0}, {4, 0}, {1, 4096}, {4, 4096}};
+
+  mem::SystemStats reference_stats;
+  bool have_reference = false;
+  for (const Mode& mode : modes) {
+    SCOPED_TRACE("threads=" + std::to_string(mode.threads) +
+                 " spec=" + std::to_string(mode.spec));
+    const std::string path = TempPath("fabric.snap");
+
+    Fabric ref(mode.threads, mode.spec);
+    RunFabricPhase(&ref, 0);
+    ASSERT_TRUE(SaveFabric(path, kFingerprint, ref.simulator, ref.system, nullptr).ok());
+    RunFabricPhase(&ref, 16u << 20);
+    const mem::SystemStats ref_stats = ref.system.GetStats();
+
+    Fabric restored(mode.threads, mode.spec);
+    FabricState state;
+    ASSERT_TRUE(LoadFabric(path, kFingerprint, restored.system, &state).ok());
+    ApplyFabric(state, &restored.simulator, &restored.system, nullptr);
+    EXPECT_EQ(restored.simulator.now(), state.hub.now);
+    RunFabricPhase(&restored, 16u << 20);
+
+    EXPECT_EQ(restored.system.GetStats(), ref_stats);
+    EXPECT_EQ(restored.system.LatestClock(), ref.system.LatestClock());
+    EXPECT_EQ(restored.simulator.now(), ref.simulator.now());
+    if (mode.spec == 0) {
+      // Under speculation, rolled-back spans re-execute events, and how often
+      // a lane speculates depends on the governor's cooldown history — which
+      // is execution telemetry the snapshot deliberately excludes (it cannot
+      // change simulation results, asserted above). Only without speculation
+      // is the executed-event count itself simulation state.
+      EXPECT_EQ(restored.simulator.events_executed(), ref.simulator.events_executed());
+    }
+
+    // Every mode's full-run stats must also agree with every other mode's.
+    if (!have_reference) {
+      reference_stats = ref_stats;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(ref_stats, reference_stats) << "execution mode changed the simulation";
+    }
+  }
+}
+
+TEST(FabricCheckpointTest, RestoreCrossesExecutionModes) {
+  // A snapshot taken serially resumes on a speculative worker pool (and vice
+  // versa) with identical results: execution mode is not simulation state.
+  const std::string path = TempPath("fabric_cross.snap");
+
+  Fabric serial(1, 0);
+  RunFabricPhase(&serial, 0);
+  ASSERT_TRUE(SaveFabric(path, kFingerprint, serial.simulator, serial.system, nullptr).ok());
+  RunFabricPhase(&serial, 32u << 20);
+
+  Fabric parallel(4, 4096);
+  FabricState state;
+  ASSERT_TRUE(LoadFabric(path, kFingerprint, parallel.system, &state).ok());
+  ApplyFabric(state, &parallel.simulator, &parallel.system, nullptr);
+  RunFabricPhase(&parallel, 32u << 20);
+
+  EXPECT_EQ(parallel.system.GetStats(), serial.system.GetStats());
+  EXPECT_EQ(parallel.system.LatestClock(), serial.system.LatestClock());
+}
+
+TEST(FabricCheckpointTest, HostileFabricSnapshotRejectedByName) {
+  const std::string path = TempPath("fabric_hostile.snap");
+  Fabric ref(1, 0);
+  RunFabricPhase(&ref, 0);
+  ASSERT_TRUE(SaveFabric(path, kFingerprint, ref.simulator, ref.system, nullptr).ok());
+
+  Fabric victim(1, 0);
+  FabricState scratch;
+  EXPECT_EQ(LoadFabric(path, kFingerprint + 1, victim.system, &scratch).kind,
+            ErrorKind::kConfigMismatch);
+  EXPECT_EQ(LoadFabric(TempPath("fabric_nonexistent.snap"), kFingerprint, victim.system,
+                       &scratch)
+                .kind,
+            ErrorKind::kIoError);
+
+  // The victim still runs and saves cleanly after the rejected loads.
+  RunFabricPhase(&victim, 0);
+  const std::string victim_path = TempPath("fabric_hostile_victim.snap");
+  EXPECT_TRUE(SaveFabric(victim_path, kFingerprint, victim.simulator, victim.system, nullptr)
+                  .ok());
+
+  // A geometry mismatch (snapshot from a different config that happens to
+  // share a fingerprint) is caught by shape validation, not applied.
+  sim::Simulator other_sim(1e9);
+  mem::MemorySystem other(&other_sim, mem::DDR5Config());
+  FabricState other_state;
+  const Error err = LoadFabric(path, kFingerprint, other, &other_state);
+  EXPECT_EQ(err.kind, ErrorKind::kMalformed);
+}
+
+}  // namespace
+}  // namespace snapshot
+}  // namespace mrm

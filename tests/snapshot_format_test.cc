@@ -1,0 +1,307 @@
+// Snapshot container tests (DESIGN.md §13): codec round trips, writer/reader
+// round trips, and the hostile-input matrix — truncation at every byte
+// (section boundaries included), single-bit corruption anywhere in the file,
+// version and fingerprint mismatches — each rejected with the right named
+// ErrorKind and never undefined behavior.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/format.h"
+
+namespace mrm {
+namespace snapshot {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+constexpr std::uint64_t kFingerprint = 0x1234567890abcdefull;
+
+// A three-section snapshot exercised by every hostile-input test.
+std::string WriteSample(const std::string& name) {
+  SnapshotWriter writer(kFingerprint);
+  Encoder* a = writer.AddSection(1);
+  a->PutU64(42);
+  a->PutDouble(3.25);
+  Encoder* b = writer.AddSection(7);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    b->PutU32(i * i);
+  }
+  writer.AddSection(9);  // empty section
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(writer.WriteFile(path).ok());
+  return path;
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const char* data = "123456789";
+  const std::uint32_t once = Crc32(data, 9);
+  const std::uint32_t first = Crc32(data, 4);
+  EXPECT_EQ(Crc32(data + 4, 5, first), once);
+}
+
+TEST(CodecTest, RoundTripsEveryType) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutU32(0xDEADBEEFu);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutDouble(-0.0);
+  enc.PutDouble(1.0 / 3.0);
+  const std::uint8_t blob[] = {1, 2, 3, 4, 5};
+  enc.PutBytes(blob, sizeof blob);
+
+  Decoder dec(enc.bytes().data(), enc.bytes().size());
+  EXPECT_EQ(dec.GetU8(), 0xAB);
+  EXPECT_TRUE(dec.GetBool());
+  EXPECT_FALSE(dec.GetBool());
+  EXPECT_EQ(dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789ABCDEFull);
+  const double neg_zero = dec.GetDouble();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(dec.GetDouble(), 1.0 / 3.0);
+  const std::vector<std::uint8_t> bytes = dec.GetBytes();
+  EXPECT_EQ(bytes, std::vector<std::uint8_t>(blob, blob + sizeof blob));
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, TruncatedReadFailsSticky) {
+  Encoder enc;
+  enc.PutU32(77);
+  Decoder dec(enc.bytes().data(), enc.bytes().size());
+  EXPECT_EQ(dec.GetU32(), 77u);
+  EXPECT_EQ(dec.GetU64(), 0u);  // past the end
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.GetU8(), 0u);  // sticky: still failed
+  EXPECT_FALSE(dec.AtEnd());
+}
+
+TEST(CodecTest, CorruptLengthPrefixCannotAllocate) {
+  Encoder enc;
+  enc.PutU64(~std::uint64_t{0});  // claims ~16 EB of payload
+  Decoder dec(enc.bytes().data(), enc.bytes().size());
+  EXPECT_TRUE(dec.GetBytes().empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(SnapshotFormatTest, RoundTripsSections) {
+  const std::string path = WriteSample("roundtrip.snap");
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path, kFingerprint).ok());
+
+  const std::vector<std::uint8_t>* payload = reader.Find(1);
+  ASSERT_NE(payload, nullptr);
+  Decoder dec(payload->data(), payload->size());
+  EXPECT_EQ(dec.GetU64(), 42u);
+  EXPECT_EQ(dec.GetDouble(), 3.25);
+  EXPECT_TRUE(dec.AtEnd());
+
+  payload = reader.Find(7);
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->size(), 400u);
+  payload = reader.Find(9);
+  ASSERT_NE(payload, nullptr);
+  EXPECT_TRUE(payload->empty());
+
+  EXPECT_EQ(reader.Find(2), nullptr);
+  const std::vector<std::uint8_t>* missing = nullptr;
+  EXPECT_EQ(reader.Require(2, &missing).kind, ErrorKind::kMissingSection);
+}
+
+TEST(SnapshotFormatTest, MissingFileIsIoError) {
+  SnapshotReader reader;
+  EXPECT_EQ(reader.Open(TempPath("does_not_exist.snap"), kFingerprint).kind, ErrorKind::kIoError);
+}
+
+TEST(SnapshotFormatTest, WrongFingerprintIsConfigMismatch) {
+  const std::string path = WriteSample("fingerprint.snap");
+  SnapshotReader reader;
+  EXPECT_EQ(reader.Open(path, kFingerprint ^ 1).kind, ErrorKind::kConfigMismatch);
+}
+
+TEST(SnapshotFormatTest, TruncationAtEveryLengthIsRejected) {
+  const std::string path = WriteSample("trunc.snap");
+  const std::vector<std::uint8_t> image = ReadFileBytes(path);
+  const std::string cut_path = TempPath("trunc_cut.snap");
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    WriteFileBytes(cut_path, std::vector<std::uint8_t>(image.begin(), image.begin() + len));
+    SnapshotReader reader;
+    const Error err = reader.Open(cut_path, kFingerprint);
+    EXPECT_FALSE(err.ok()) << "prefix of " << len << " bytes accepted";
+    EXPECT_NE(err.kind, ErrorKind::kIoError) << "prefix " << len;
+  }
+}
+
+TEST(SnapshotFormatTest, TruncationAtSectionBoundariesIsTruncated) {
+  const std::string path = WriteSample("trunc_bounds.snap");
+  const std::vector<std::uint8_t> image = ReadFileBytes(path);
+
+  // Parse the (valid) table to find each section's file extent.
+  Decoder header(image.data() + 8, image.size() - 8);
+  (void)header.GetU32();  // version
+  const std::uint32_t count = header.GetU32();
+  (void)header.GetU64();  // fingerprint
+  ASSERT_EQ(count, 3u);
+  std::vector<std::size_t> boundaries;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)header.GetU32();  // id
+    const std::uint64_t offset = header.GetU64();
+    const std::uint64_t size = header.GetU64();
+    (void)header.GetU32();  // crc
+    boundaries.push_back(static_cast<std::size_t>(offset));
+    boundaries.push_back(static_cast<std::size_t>(offset + size));
+  }
+
+  const std::string cut_path = TempPath("trunc_bounds_cut.snap");
+  for (const std::size_t boundary : boundaries) {
+    if (boundary >= image.size()) {
+      continue;  // the final boundary is EOF — that file is complete
+    }
+    WriteFileBytes(cut_path, std::vector<std::uint8_t>(image.begin(), image.begin() + boundary));
+    SnapshotReader reader;
+    EXPECT_EQ(reader.Open(cut_path, kFingerprint).kind, ErrorKind::kTruncated)
+        << "cut at section boundary " << boundary;
+  }
+}
+
+TEST(SnapshotFormatTest, BitFlipAnywhereIsRejected) {
+  const std::string path = WriteSample("flip.snap");
+  const std::vector<std::uint8_t> image = ReadFileBytes(path);
+  const std::string flip_path = TempPath("flip_cut.snap");
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[i] ^= 0x40;
+    WriteFileBytes(flip_path, mutated);
+    SnapshotReader reader;
+    EXPECT_FALSE(reader.Open(flip_path, kFingerprint).ok()) << "flip at byte " << i << " accepted";
+  }
+}
+
+TEST(SnapshotFormatTest, BitFlipKindsAreNamedPrecisely) {
+  const std::string path = WriteSample("flip_kinds.snap");
+  const std::vector<std::uint8_t> image = ReadFileBytes(path);
+  const std::size_t header_size = 8 + 4 + 4 + 8 + 3 * 24;
+  ASSERT_GT(image.size(), header_size + 4);
+  const std::string flip_path = TempPath("flip_kinds_cut.snap");
+
+  const auto kind_after_flip = [&](std::size_t index) {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[index] ^= 0x01;
+    WriteFileBytes(flip_path, mutated);
+    SnapshotReader reader;
+    return reader.Open(flip_path, kFingerprint).kind;
+  };
+
+  EXPECT_EQ(kind_after_flip(0), ErrorKind::kBadMagic);          // magic
+  EXPECT_EQ(kind_after_flip(8), ErrorKind::kBadVersion);        // version
+  EXPECT_EQ(kind_after_flip(16), ErrorKind::kHeaderCrc);        // fingerprint: CRC first
+  EXPECT_EQ(kind_after_flip(24 + 4), ErrorKind::kHeaderCrc);    // table entry
+  EXPECT_EQ(kind_after_flip(header_size + 1), ErrorKind::kHeaderCrc);  // stored CRC itself
+  EXPECT_EQ(kind_after_flip(image.size() - 1), ErrorKind::kSectionCrc);  // payload
+}
+
+TEST(SnapshotFormatTest, FutureVersionWithValidCrcIsBadVersion) {
+  const std::string path = WriteSample("version.snap");
+  std::vector<std::uint8_t> image = ReadFileBytes(path);
+  image[8] = static_cast<std::uint8_t>(kFormatVersion + 1);
+  // Recompute the header CRC so only the version disagrees.
+  const std::size_t header_size = 8 + 4 + 4 + 8 + 3 * 24;
+  const std::uint32_t crc = Crc32(image.data(), header_size);
+  for (int i = 0; i < 4; ++i) {
+    image[header_size + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  const std::string out_path = TempPath("version_cut.snap");
+  WriteFileBytes(out_path, image);
+  SnapshotReader reader;
+  EXPECT_EQ(reader.Open(out_path, kFingerprint).kind, ErrorKind::kBadVersion);
+}
+
+TEST(SnapshotFormatTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = WriteSample("atomic.snap");
+  // The publish path must not leave its temp file behind.
+  const std::string tmp_prefix = path + ".tmp.";
+  for (int pid_guess = 0; pid_guess < 1; ++pid_guess) {
+    std::FILE* f = std::fopen((tmp_prefix + "0").c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+  // Overwriting an existing snapshot is also atomic (rename over).
+  SnapshotWriter writer(kFingerprint);
+  writer.AddSection(1)->PutU64(7);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path, kFingerprint).ok());
+  const std::vector<std::uint8_t>* payload = reader.Find(1);
+  ASSERT_NE(payload, nullptr);
+  Decoder dec(payload->data(), payload->size());
+  EXPECT_EQ(dec.GetU64(), 7u);
+}
+
+TEST(FingerprintTest, OrderAndValueSensitive) {
+  Fingerprint a;
+  a.MixU64(1);
+  a.MixU64(2);
+  Fingerprint b;
+  b.MixU64(2);
+  b.MixU64(1);
+  EXPECT_NE(a.digest(), b.digest());
+
+  Fingerprint c;
+  c.MixString("stt-mram");
+  Fingerprint d;
+  d.MixString("stt-mrax");
+  EXPECT_NE(c.digest(), d.digest());
+
+  Fingerprint e;
+  e.MixDouble(1.0);
+  Fingerprint f;
+  f.MixDouble(1.0 + 1e-15);
+  EXPECT_NE(e.digest(), f.digest());
+}
+
+TEST(ErrorTest, ToStringNamesTheKind) {
+  EXPECT_EQ(Error::Make(ErrorKind::kSectionCrc, "section 3 checksum mismatch").ToString(),
+            "section-crc: section 3 checksum mismatch");
+  EXPECT_EQ(Error::Ok().ToString(), "ok");
+  EXPECT_STREQ(ErrorKindName(ErrorKind::kConfigMismatch), "config-mismatch");
+}
+
+}  // namespace
+}  // namespace snapshot
+}  // namespace mrm

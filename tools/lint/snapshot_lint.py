@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Snapshot-coverage lint for checkpointable classes (DESIGN.md §12).
+"""Snapshot-coverage lint for checkpointable classes (DESIGN.md §12, §13).
 
 Any class exposing the SaveState/RestoreState pair (sim::Simulator,
-sim::EventQueue, mem::ChannelController, fault::FaultInjector, and whatever
-grows one next) participates in deterministic checkpoint/rollback: a lane
-that speculates past the commit horizon must restore to a bit-identical
-state. A data member silently left out of the snapshot is the failure mode
-this lint exists for — the rollback "works" and the stats drift.
+sim::EventQueue, sim::PeriodicTask, mem::ChannelController, mem::Bank,
+mem::MemorySystem, mrmcore::MrmDevice, mrmcore::ControlPlane,
+fault::FaultInjector, and whatever grows one next) participates in
+deterministic checkpoint/rollback — both the in-memory kind (a lane that
+speculates past the commit horizon must restore bit-identically) and the
+durable kind (src/snapshot serializes the same state to disk and a
+multi-month aging campaign resumes from it after SIGKILL). A data member
+silently left out of the snapshot is the failure mode this lint exists for —
+the rollback or resume "works" and the stats drift.
 
 Rule: every non-static data member of such a class must either
 
@@ -15,6 +19,12 @@ Rule: every non-static data member of such a class must either
   * carry an explicit `// snapshot-exempt(<reason>)` marker, trailing the
     declaration or on the comment line(s) immediately above it.
 
+Additionally, a Save/Restore body that walks snapshot container sections by
+hand must validate checksums: it must mention Crc or route the payload
+through SnapshotReader/SnapshotWriter (whose Open verifies every section CRC
+before handing out bytes). A RestoreState that forgets the CRC check would
+accept a torn or bit-flipped file as good state.
+
 Findings:
   snapshot-missing        member neither captured nor exempted
   snapshot-exempt-reason  snapshot-exempt() marker with an empty reason
@@ -22,6 +32,8 @@ Findings:
   snapshot-no-body        pair declared but neither body was found in the
                           scanned file set (move the definition or widen the
                           scanned paths)
+  snapshot-crc            Save/Restore body handles container sections with
+                          no checksum validation in sight
 
 Engine: tries the python libclang bindings when importable (exact AST
 fields); otherwise — always, in this repo's container and CI — falls back to
@@ -58,6 +70,12 @@ CLASS_HEAD_RE = re.compile(
 MEMBER_NAME_RE = re.compile(
     r"([A-Za-z_]\w*_)\s*(?:=[^;]*|\{\}\s*|\[[^\]]*\]\s*)?$"
 )
+ACCESS_RE = re.compile(r"\s*(?:public|private|protected)\s*:")
+# Hand-rolled section handling vs. evidence of checksum validation. Plain
+# substrings on purpose: AppendSection/FindSection/section_offset must all
+# count as section handling, and Crc32/crc_/VerifyCrc as validation.
+SECTION_RE = re.compile(r"[Ss]ection")
+CRC_OK_RE = re.compile(r"[Cc]rc|SnapshotReader|SnapshotWriter")
 STMT_SKIP_WORDS = {
     "static", "using", "typedef", "friend", "template", "class", "struct",
     "enum", "union", "namespace", "return", "case", "goto", "public",
@@ -229,6 +247,13 @@ def parse_header(path, display_path):
                 if pending.strip() == "" and not ch.isspace():
                     stmt_start = lineno
                 pending += ch
+                # `private:` &c. ends a statement without a `;`. Resetting here
+                # keeps stmt_start on the member's own line, so a marker on the
+                # comment lines above the first member after an access
+                # specifier is found (it is searched upward from stmt_start).
+                if ch == ":" and ACCESS_RE.fullmatch(pending):
+                    pending = ""
+                    stmt_start = None
                 continue
         else:
             if pending.strip():
@@ -347,6 +372,17 @@ def lint_textual(root, paths):
                     f"class {cls.name} declares SaveState/RestoreState but no "
                     "body was found in the scanned files"))
                 continue
+            # The class's own name appears in Class::Fn signature lines and
+            # must count as neither section handling nor CRC evidence.
+            body_text = corpus.replace(cls.name, " ")
+            if SECTION_RE.search(body_text) and not CRC_OK_RE.search(body_text):
+                findings.append(Finding(
+                    rel, min(cls.body_lines) if cls.body_lines else 1,
+                    "snapshot-crc",
+                    f"{cls.name}'s SaveState/RestoreState walks snapshot "
+                    "sections without validating checksums: route the "
+                    "payload through SnapshotReader (Open verifies every "
+                    "section CRC) or check Crc32 explicitly"))
             for name, lineno in cls.members:
                 marked, reason = find_exemption(lineno, rows)
                 if marked:
@@ -431,6 +467,15 @@ class OnlySave {
   int value_ = 0;                          // planted: unpaired snapshot API
 };
 
+class CrcSkipper {
+ public:
+  void SaveState(std::vector<unsigned char>* image) const;
+  void RestoreState(const std::vector<unsigned char>& image);
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
 }  // namespace demo
 """
 
@@ -447,6 +492,16 @@ void Gadget::SaveState(SavedState* out) const {
 void Gadget::RestoreState(const SavedState& saved) {
   ticks_ = saved.ticks;
   items_ = saved.items;
+}
+
+void CrcSkipper::SaveState(std::vector<unsigned char>* image) const {
+  AppendSection(image, value_);
+}
+
+void CrcSkipper::RestoreState(const std::vector<unsigned char>& image) {
+  // planted: hand-rolled section walk that decodes the payload without ever
+  // verifying the recorded checksum
+  value_ = DecodeSection(image, FindSection(image, 1));
 }
 
 }  // namespace demo
@@ -481,6 +536,24 @@ class NoSnapshot {
   int not_checked_ = 0;  // class has no SaveState/RestoreState: out of scope
 };
 
+// Walks its own container sections but validates — must NOT trip
+// snapshot-crc. Also pins the access-specifier fix: the exempt marker on the
+// first member right after `private:` must still be found.
+class CheckedContainer {
+ public:
+  void SaveState(std::vector<unsigned char>* image) const {
+    AppendSection(image, odometer_, Crc32Of(odometer_));
+  }
+  void RestoreState(const std::vector<unsigned char>& image) {
+    odometer_ = ReadSectionVerifyingCrc(image, 1);
+  }
+
+ private:
+  // snapshot-exempt(scratch decode buffer; cleared before every parse)
+  std::vector<unsigned char> scratch_;
+  std::uint64_t odometer_ = 0;
+};
+
 }  // namespace demo
 """
 
@@ -490,6 +563,7 @@ def self_test():
         "snapshot-missing": "forgotten_counter_",
         "snapshot-exempt-reason": "no_reason_scratch_",
         "snapshot-unpaired": "OnlySave",
+        "snapshot-crc": "CrcSkipper",
     }
     with tempfile.TemporaryDirectory(prefix="snapshot_lint_") as tmp:
         with open(os.path.join(tmp, "bad.h"), "w", encoding="utf-8") as f:
@@ -528,8 +602,8 @@ def self_test():
             for f in clean_findings:
                 print(f"  {f}")
             ok = False
-        if checked != 1:
-            print(f"self-test FAIL: expected 1 snapshot class in clean.h, saw {checked}")
+        if checked != 2:
+            print(f"self-test FAIL: expected 2 snapshot classes in clean.h, saw {checked}")
             ok = False
         if ok:
             print(
