@@ -127,6 +127,26 @@ std::uint64_t ParseSpecHorizon(int argc, char** argv, std::uint64_t fallback) {
                 /*min_valid=*/0, static_cast<long long>(fallback), "sim-spec-horizon"));
 }
 
+std::string ParsePolicyPreset(int argc, char** argv, const std::string& fallback) {
+  std::string preset = fallback;
+  if (const char* env = std::getenv("MRMSIM_POLICY_PRESET")) {
+    preset = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--policy-preset=";
+    if (arg.rfind(prefix, 0) == 0) {
+      preset = arg.substr(prefix.size());
+    }
+  }
+  if (preset.empty()) {
+    std::fprintf(stderr, "bench: empty policy-preset value ignored, using \"%s\"\n",
+                 fallback.c_str());
+    preset = fallback;
+  }
+  return preset;
+}
+
 BenchRunner::BenchRunner(std::string name) : name_(std::move(name)) {}
 
 void BenchRunner::Add(std::string label, std::function<void(PointResult&)> fn) {

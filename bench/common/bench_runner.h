@@ -53,6 +53,14 @@ int ParseSpinsPerYield(int argc, char** argv, int fallback = 0);
 // one-line stderr diagnostic.
 std::uint64_t ParseSpecHorizon(int argc, char** argv, std::uint64_t fallback = 0);
 
+// Policy preset name for benches that run the policy layer (DESIGN.md §14):
+// one of policy::PolicyPresetByName's spellings ("dcm", "scm-10y",
+// "two-class"). Resolution order: a `--policy-preset=NAME` argument, the
+// MRMSIM_POLICY_PRESET environment variable, then `fallback`. The spelling is
+// not validated here — BuildMemoryPolicy rejects unknown names with a proper
+// diagnostic; an empty value falls back with a one-line stderr note.
+std::string ParsePolicyPreset(int argc, char** argv, const std::string& fallback);
+
 // Filled in by a point function; wall time is measured by the runner around
 // the call. `events` is whatever unit of work the bench counts (simulator
 // events, requests, ...) and drives the events/sec throughput figures.

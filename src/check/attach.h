@@ -60,6 +60,9 @@ class ScopedMrmChecker {
 
   bool active() const { return checker_ != nullptr; }
   const MrmChecker* checker() const { return checker_.get(); }
+  // Mutable access for audit configuration (e.g. DeclarePolicy); nullptr
+  // when auditing is off.
+  MrmChecker* mutable_checker() { return checker_.get(); }
 
  private:
   mrmcore::MrmDevice* device_;

@@ -1,5 +1,7 @@
 #include "src/check/mrm_checker.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace mrm {
@@ -159,6 +161,31 @@ void MrmChecker::OnAppend(const mrmcore::MrmAppendRecord& record) {
                      "s disagrees with the trade-off model's " +
                      std::to_string(point.retention_s) + "s");
   }
+  if (policy_retention_pending_) {
+    // Plane→device consistency: the append's requested retention must be the
+    // last policy decision, after the device's substitution/clamp rules
+    // (0 → default, then the config floor/cap).
+    double expected = pending_policy_retention_s_;
+    if (expected <= 0.0) {
+      expected = config_.default_retention_s;
+    }
+    if (config_.retention_floor_s > 0.0) {
+      expected = std::max(expected, config_.retention_floor_s);
+    }
+    if (config_.retention_cap_s > 0.0) {
+      expected = std::min(expected, config_.retention_cap_s);
+    }
+    const double tol = 1e-9 * std::max(std::abs(expected), 1.0);
+    if (std::abs(record.requested_retention_s - expected) > tol) {
+      AddViolation(ViolationKind::kPolicyRetention,
+                   "block " + std::to_string(record.block) + " requested retention " +
+                       std::to_string(record.requested_retention_s) +
+                       "s disagrees with the policy decision " +
+                       std::to_string(pending_policy_retention_s_) + "s (clamped: " +
+                       std::to_string(expected) + "s)");
+    }
+    policy_retention_pending_ = false;
+  }
   block.wear = record.wear_after;
   block.written = true;
   block.written_at_s = record.now_s;
@@ -167,6 +194,22 @@ void MrmChecker::OnAppend(const mrmcore::MrmAppendRecord& record) {
   if (audit.write_pointer == config_.zone_blocks && audit.state == ZoneState::kOpen) {
     audit.state = ZoneState::kFull;
   }
+}
+
+void MrmChecker::OnPolicyRetention(const mrmcore::MrmPolicyRecord& record) {
+  ++events_;
+  if (declared_policy_) {
+    const double expected = declared_policy_(record.lifetime_s);
+    const double tol = 1e-9 * std::max(std::abs(expected), 1.0);
+    if (std::abs(record.retention_s - expected) > tol) {
+      AddViolation(ViolationKind::kPolicyRetention,
+                   "lifetime hint " + std::to_string(record.lifetime_s) +
+                       "s mapped to retention " + std::to_string(record.retention_s) +
+                       "s, declared policy says " + std::to_string(expected) + "s");
+    }
+  }
+  policy_retention_pending_ = true;
+  pending_policy_retention_s_ = record.retention_s;
 }
 
 void MrmChecker::OnRead(const mrmcore::MrmReadRecord& record) {

@@ -30,10 +30,12 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cell/tradeoff.h"
 #include "src/check/violation.h"
+#include "src/mrm/dcm.h"
 #include "src/mrm/mrm_config.h"
 #include "src/mrm/mrm_observer.h"
 
@@ -48,6 +50,13 @@ class MrmChecker : public mrmcore::MrmObserver {
   // MrmDevice::tradeoff()) and must outlive the checker.
   MrmChecker(const mrmcore::MrmDeviceConfig& config, const cell::RetentionTradeoff* tradeoff);
 
+  // Audits the control plane's retention decisions against a declared policy
+  // (policy layer, DESIGN.md §14): every OnPolicyRetention record must match
+  // `policy`(lifetime), and the following append's requested retention must
+  // equal that decision after the device's floor/cap clamping. Without a
+  // declared policy only the plane→device consistency half runs.
+  void DeclarePolicy(mrmcore::RetentionPolicy policy) { declared_policy_ = std::move(policy); }
+
   // mrmcore::MrmObserver
   void OnZoneOpen(std::uint32_t zone) override;
   void OnZoneReset(std::uint32_t zone) override;
@@ -56,6 +65,7 @@ class MrmChecker : public mrmcore::MrmObserver {
   void OnAppend(const mrmcore::MrmAppendRecord& record) override;
   void OnSlotBurn(const mrmcore::MrmSlotBurnRecord& record) override;
   void OnRead(const mrmcore::MrmReadRecord& record) override;
+  void OnPolicyRetention(const mrmcore::MrmPolicyRecord& record) override;
 
   std::uint64_t events_observed() const { return events_; }
   std::uint64_t violation_count() const { return violations_total_; }
@@ -80,6 +90,9 @@ class MrmChecker : public mrmcore::MrmObserver {
 
   mrmcore::MrmDeviceConfig config_;
   const cell::RetentionTradeoff* tradeoff_;
+  mrmcore::RetentionPolicy declared_policy_;  // empty = no policy audit
+  bool policy_retention_pending_ = false;
+  double pending_policy_retention_s_ = 0.0;
   std::vector<ZoneAudit> zones_;
   // Sparse shadow of per-block state: lookups only, never iterated, so the
   // unordered map cannot introduce ordering nondeterminism.

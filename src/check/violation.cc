@@ -59,6 +59,8 @@ const char* ViolationName(ViolationKind kind) {
       return "endurance";
     case ViolationKind::kRetentionClaim:
       return "retention-claim";
+    case ViolationKind::kPolicyRetention:
+      return "policy-retention";
     case ViolationKind::kFaultUnmatched:
       return "fault-unmatched";
     case ViolationKind::kFaultUnresolved:

@@ -48,6 +48,7 @@ enum class ViolationKind {
   kWearAccounting,   // device wear counter disagrees with the audit
   kEndurance,        // append accepted past the operating point's endurance
   kRetentionClaim,   // read liveness verdict disagrees with the deadline
+  kPolicyRetention,  // programmed retention disagrees with the declared policy
   // Fault conservation (DESIGN.md §10).
   kFaultUnmatched,   // recovery resolved a fault that was never injected
   kFaultUnresolved,  // injected fault had no terminal disposition at run end

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/common/units.h"
 #include "src/driver/sim_backend.h"
+#include "src/policy/policy_config.h"
 #include "src/tier/tier_spec.h"
 
 namespace mrm {
@@ -189,12 +190,42 @@ Result<Scenario> BuildScenario(const Config& config) {
     scenario.backend_options.scrub_safe_age_s =
         config.GetDuration("mrm.scrub_safe_age", scenario.mrm_retention_s / 2.0);
   }
+
+  // Policy layer (DESIGN.md §14): policy.* keys refine the placement/scrub
+  // knobs parsed above and add retention classes, ECC bands and the scrub
+  // crossover. The parsed values seed the policy so a policy-less scenario
+  // and a `policy.preset = dcm` scenario share their tiering baseline.
+  if (policy::HasPolicyKeys(config)) {
+    policy::MemoryPolicy defaults;
+    defaults.placement = scenario.placement;
+    defaults.tiering = scenario.backend_options;
+    auto built = policy::BuildMemoryPolicy(config, defaults);
+    if (!built.ok()) {
+      return built.error();
+    }
+    scenario.policy = built.value();
+    scenario.has_policy = true;
+    const Status policy_ok =
+        scenario.policy.Validate(static_cast<int>(scenario.tiers.size()));
+    if (!policy_ok.ok()) {
+      return Error(policy_ok.message());
+    }
+    scenario.placement = scenario.policy.placement;
+    scenario.backend_options = scenario.policy.tiering;
+    if (has_mrm) {
+      // Re-price the MRM tier at the retention the policy actually programs
+      // for the KV stream (the steady-state write traffic).
+      scenario.mrm_retention_s = scenario.policy.KvRetention();
+      scenario.tiers[1] = tier::TierSpecFromMrm(scenario.mrm_device, scenario.mrm_devices,
+                                                scenario.mrm_retention_s);
+    }
+  }
   const int tier_count = static_cast<int>(scenario.tiers.size());
   const Status placement_ok = scenario.placement.Validate(tier_count);
   if (!placement_ok.ok()) {
     return Error(placement_ok.message());
   }
-  const Status options_ok = scenario.backend_options.Validate(tier_count);
+  const Status options_ok = scenario.backend_options.Validate(scenario.placement, tier_count);
   if (!options_ok.ok()) {
     return Error(options_ok.message());
   }
@@ -280,6 +311,10 @@ Result<std::unique_ptr<workload::MemoryBackend>> MakeBackend(const Scenario& sce
       options.mrm_retention_s =
           scenario.mrm_retention_s > 0.0 ? scenario.mrm_retention_s : 6.0 * kHour;
       options.placement = scenario.placement;
+      if (scenario.has_policy) {
+        options.has_mrm_policy = true;
+        options.mrm_policy = scenario.policy;
+      }
       const Status valid = options.Validate(weight_bytes);
       if (!valid.ok()) {
         return Error(valid.message());

@@ -32,6 +32,7 @@
 #include "src/common/result.h"
 #include "src/mem/device_config.h"
 #include "src/mrm/mrm_config.h"
+#include "src/policy/memory_policy.h"
 #include "src/tier/tiered_backend.h"
 #include "src/workload/inference_engine.h"
 #include "src/workload/request_generator.h"
@@ -81,6 +82,13 @@ struct Scenario {
   std::uint64_t seed = 1;
   // The MRM retention used for the mrm tier (informational).
   double mrm_retention_s = 0.0;
+
+  // Memory policy (`policy.*` keys, DESIGN.md §14). When has_policy is set,
+  // `placement`, `backend_options` and the MRM tier pricing above were
+  // derived from it, and MakeBackend hands it to the sim backend so the
+  // control plane programs retention/ECC per the declared policy.
+  bool has_policy = false;
+  policy::MemoryPolicy policy;
 
   // Backend selection (`backend = analytic | tiered | sim`) and the
   // cycle-level device configs behind the tier specs, kept so the sim

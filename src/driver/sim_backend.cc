@@ -59,6 +59,11 @@ Status SimBackendOptions::Validate(std::uint64_t weight_bytes) const {
     if (Status s = mrm.Validate(); !s.ok()) {
       return s;
     }
+    if (has_mrm_policy) {
+      if (Status s = mrm_policy.Validate(tier_count); !s.ok()) {
+        return s;
+      }
+    }
   }
   // The lowered working sets must leave room on the simulated devices: the
   // weight sweep at most half the DRAM capacity (the rest serves KV +
@@ -113,18 +118,44 @@ SimBackend::SimBackend(SimBackendOptions options, std::uint64_t weight_bytes)
   kv_region_ = Region{weight_span, capacity - act_span - weight_span, 0, 0};
 
   if (options_.mrm_enabled) {
-    tier_specs_.push_back(
-        tier::TierSpecFromMrm(options_.mrm, options_.mrm_devices, options_.mrm_retention_s));
     mrm_device_ = std::make_unique<mrmcore::MrmDevice>(&simulator_, options_.mrm);
+    // The analytic twin prices MRM writes at the programmed retention; under
+    // a policy that is the KV class at its predicted lifetime (KV appends
+    // dominate the steady-state write stream).
+    const double twin_retention_s = options_.has_mrm_policy
+                                        ? options_.mrm_policy.KvRetention()
+                                        : options_.mrm_retention_s;
+    tier_specs_.push_back(
+        tier::TierSpecFromMrm(options_.mrm, options_.mrm_devices, twin_retention_s));
+    if (options_.has_mrm_policy) {
+      // The policy's ECC parity is physical traffic and occupied cells:
+      // payload bytes inflate by 1/fraction on the wire (InflateMrmBytes)
+      // and the twin's usable capacity shrinks by the same fraction.
+      mrm_payload_fraction_ = options_.mrm_policy.UsablePayloadFraction(options_.mrm);
+      tier_specs_.back().capacity_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(tier_specs_.back().capacity_bytes) * mrm_payload_fraction_);
+    }
     mrmcore::ControlPlaneOptions cp_options;
+    if (options_.has_mrm_policy) {
+      cp_options = options_.mrm_policy.PlaneOptions(options_.mrm, mrm_device_->tradeoff(),
+                                                    cp_options);
+    }
     control_ = std::make_unique<mrmcore::ControlPlane>(&simulator_, mrm_device_.get(),
                                                        cp_options);
+    if (options_.on_mrm_ready) {
+      options_.on_mrm_ready(mrm_device_.get(), control_.get());
+    }
+    mrm_weight_lifetime_s_ = options_.has_mrm_policy
+                                 ? options_.mrm_policy.weight_lifetime_hint_s
+                                 : kBlockLifetimeS;
+    mrm_kv_lifetime_s_ =
+        options_.has_mrm_policy ? options_.mrm_policy.kv_lifetime_hint_s : kBlockLifetimeS;
     // KV ring bound: leave headroom over the preloaded weight set so zone
     // reclamation always finds free zones.
     const std::uint64_t total_blocks = options_.mrm.total_blocks();
     std::uint64_t weight_blocks = 0;
     if (options_.placement.weights_tier == 1) {
-      weight_blocks = LowerMrmBlocks(weight_bytes_);
+      weight_blocks = LowerMrmBlocks(InflateMrmBytes(weight_bytes_));
     }
     mrm_max_live_blocks_ = (total_blocks - weight_blocks) / 2;
     MRM_CHECK(mrm_max_live_blocks_ > 0) << "simulated MRM device too small";
@@ -136,7 +167,7 @@ SimBackend::SimBackend(SimBackendOptions options, std::uint64_t weight_bytes)
       mrm_outstanding_ = weight_blocks;
       active_chains_ = 1;
       for (std::uint64_t i = 0; i < weight_blocks; ++i) {
-        auto id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+        auto id = control_->Append(mrm_weight_lifetime_s_, [this] { OnMrmBlockDone(); });
         MRM_CHECK(id.ok()) << "weight preload failed: " << id.error().message();
         mrm_weight_ids_.push_back(id.value());
         ++stats_.mrm_blocks_written;
@@ -180,6 +211,14 @@ std::uint64_t SimBackend::LowerMrmBlocks(std::uint64_t bytes) const {
                                  1);
 }
 
+std::uint64_t SimBackend::InflateMrmBytes(std::uint64_t bytes) const {
+  if (mrm_payload_fraction_ >= 1.0 || bytes == 0) {
+    return bytes;
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) / mrm_payload_fraction_));
+}
+
 void SimBackend::PlanDramTransfer(Region* region, bool is_write, std::uint64_t len,
                                   std::uint32_t stream) {
   if (len == 0) {
@@ -202,7 +241,7 @@ void SimBackend::PlanStream(int tier, workload::Stream stream, bool is_write,
     return;
   }
   if (tier == 1) {
-    mrm_plan_.push_back(MrmOp{is_write, LowerMrmBlocks(bytes), stream});
+    mrm_plan_.push_back(MrmOp{is_write, LowerMrmBlocks(InflateMrmBytes(bytes)), stream});
     return;
   }
   Region* region = &act_region_;
@@ -263,7 +302,7 @@ void SimBackend::IssueNextDramSegment() {
 }
 
 void SimBackend::AppendKvBlock() {
-  auto id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+  auto id = control_->Append(mrm_kv_lifetime_s_, [this] { OnMrmBlockDone(); });
   if (!id.ok()) {
     // Capacity pressure: reclaim the oldest ring blocks and retry once.
     const std::size_t reclaim =
@@ -272,7 +311,7 @@ void SimBackend::AppendKvBlock() {
       control_->Free(mrm_kv_ids_.front());
       mrm_kv_ids_.pop_front();
     }
-    id = control_->Append(kBlockLifetimeS, [this] { OnMrmBlockDone(); });
+    id = control_->Append(mrm_kv_lifetime_s_, [this] { OnMrmBlockDone(); });
     MRM_CHECK(id.ok()) << "MRM append failed: " << id.error().message();
   }
   mrm_kv_ids_.push_back(id.value());
@@ -460,7 +499,7 @@ void SimBackend::OnKvFreed(std::uint64_t bytes) {
   }
   const auto mrm_bytes = static_cast<std::uint64_t>(
       std::llround(static_cast<double>(bytes) * fraction));
-  std::uint64_t blocks = LowerMrmBlocks(mrm_bytes);
+  std::uint64_t blocks = LowerMrmBlocks(InflateMrmBytes(mrm_bytes));
   while (blocks > 0 && !mrm_kv_ids_.empty()) {
     control_->Free(mrm_kv_ids_.front());
     mrm_kv_ids_.pop_front();

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "src/mrm/control_plane.h"
 #include "src/mrm/mrm_config.h"
 #include "src/mrm/mrm_device.h"
+#include "src/policy/memory_policy.h"
 #include "src/sim/simulator.h"
 #include "src/tier/tiered_backend.h"
 #include "src/workload/backend.h"
@@ -78,6 +80,24 @@ struct SimBackendOptions {
   int mrm_devices = 1;
   double mrm_retention_s = 6.0 * kHour;
   tier::Placement placement;
+
+  // Optional memory policy (DESIGN.md §14). When set, the MRM control plane
+  // is configured from it (retention classes, ECC bands, reliability target,
+  // scrub crossover), appends carry the policy's per-stream predicted
+  // lifetimes instead of the legacy never-expires hint, and the MRM analytic
+  // twin is priced at the policy's KV retention (mrm_retention_s is
+  // ignored). The policy's ECC parity also becomes physical traffic: every
+  // payload byte on the MRM tier moves 1/UsablePayloadFraction bytes of
+  // cells, and the twin's usable capacity shrinks by the same fraction.
+  // `placement` stays authoritative — callers copy mrm_policy.placement
+  // into it (MakeBackend does).
+  bool has_mrm_policy = false;
+  policy::MemoryPolicy mrm_policy;
+
+  // Invoked after the MRM device and control plane are constructed but
+  // before any traffic (weight preload included), so auditors can observe
+  // the device from its very first append. Null = no hook.
+  std::function<void(mrmcore::MrmDevice*, mrmcore::ControlPlane*)> on_mrm_ready;
 
   // `weight_bytes` (the model's resident weights) lets the check bound the
   // lowered working sets against the simulated devices' capacity.
@@ -151,6 +171,9 @@ class SimBackend final : public workload::MemoryBackend {
 
   std::uint64_t LowerDramBytes(std::uint64_t bytes) const;
   std::uint64_t LowerMrmBlocks(std::uint64_t bytes) const;
+  // Payload bytes -> physical MRM bytes: under a policy, ECC parity rides
+  // along every access (identity without one).
+  std::uint64_t InflateMrmBytes(std::uint64_t bytes) const;
   // Splits a lowered transfer into cyclic segments of `region` and appends
   // them to the DRAM plan.
   void PlanDramTransfer(Region* region, bool is_write, std::uint64_t len,
@@ -187,6 +210,13 @@ class SimBackend final : public workload::MemoryBackend {
   // ring-buffer (appends push, OnKvFreed pops oldest).
   std::vector<mrmcore::LogicalId> mrm_weight_ids_;
   std::deque<mrmcore::LogicalId> mrm_kv_ids_;
+  // Lifetime hints attached to MRM appends: the policy's per-stream
+  // predictions when one is set, the never-expires legacy hint otherwise.
+  double mrm_weight_lifetime_s_ = 0.0;
+  double mrm_kv_lifetime_s_ = 0.0;
+  // Payload share of an MRM codeword under the policy's band-0 ECC (1.0
+  // without a policy); divides payload bytes into physical traffic.
+  double mrm_payload_fraction_ = 1.0;
   std::uint64_t mrm_kv_read_cursor_ = 0;
   std::uint64_t mrm_weight_read_cursor_ = 0;
   std::uint64_t mrm_max_live_blocks_ = 0;

@@ -11,6 +11,19 @@ namespace mrmcore {
 ControlPlane::ControlPlane(sim::Simulator* simulator, MrmDevice* device,
                            ControlPlaneOptions options)
     : simulator_(simulator), device_(device), options_(std::move(options)) {
+  if (!options_.ecc_bands.empty()) {
+    // Policy-declared wear bands must be well-formed: ascending thresholds
+    // starting at wear 0, every scheme concrete.
+    MRM_CHECK(options_.ecc_bands.front().min_wear_cycles == 0);
+    for (std::size_t i = 0; i < options_.ecc_bands.size(); ++i) {
+      MRM_CHECK(options_.ecc_bands[i].ecc.payload_bits > 0);
+      MRM_CHECK(i == 0 || options_.ecc_bands[i - 1].min_wear_cycles <
+                              options_.ecc_bands[i].min_wear_cycles);
+    }
+    if (options_.ecc.payload_bits == 0) {
+      options_.ecc = options_.ecc_bands.front().ecc;
+    }
+  }
   if (options_.ecc.payload_bits == 0) {
     // Default: one codeword per block at the cell model's design RBER.
     const double rber = device_->tradeoff().AtRetention(device_->config().default_retention_s)
@@ -45,9 +58,39 @@ double ControlPlane::RetentionForLifetime(double lifetime_s) const {
   return std::max(lifetime_s, floor) * options_.retention_margin;
 }
 
-double ControlPlane::ScrubDeadlineFor(double written_at_s, double retention_s) const {
+double ControlPlane::PolicyRetention(double lifetime_s) const {
+  const double retention = RetentionForLifetime(lifetime_s);
+  if constexpr (kCheckedHooks) {
+    if (MrmObserver* observer = device_->observer()) {
+      MrmPolicyRecord record;
+      record.lifetime_s = lifetime_s;
+      record.retention_s = retention;
+      record.now_s = simulator_->now_seconds();
+      observer->OnPolicyRetention(record);
+    }
+  }
+  return retention;
+}
+
+const EccScheme& ControlPlane::EccForZone(std::uint32_t zone) const {
+  if (options_.ecc_bands.empty()) {
+    return options_.ecc;
+  }
+  const std::uint64_t wear = device_->zone_info(zone).wear_cycles;
+  const EccScheme* best = &options_.ecc_bands.front().ecc;
+  for (const auto& band : options_.ecc_bands) {
+    if (band.min_wear_cycles > wear) {
+      break;
+    }
+    best = &band.ecc;
+  }
+  return *best;
+}
+
+double ControlPlane::ScrubDeadlineFor(std::uint32_t zone, double written_at_s,
+                                      double retention_s) const {
   const double safe_age =
-      MaxSafeAge(device_->tradeoff(), retention_s, options_.ecc, options_.target_uber);
+      MaxSafeAge(device_->tradeoff(), retention_s, EccForZone(zone), options_.target_uber);
   return written_at_s + safe_age;
 }
 
@@ -119,7 +162,7 @@ Result<BlockId> ControlPlane::AppendPhysical(double retention_s,
 }
 
 Result<LogicalId> ControlPlane::Append(double lifetime_s, std::function<void()> on_programmed) {
-  const double retention = RetentionForLifetime(lifetime_s);
+  const double retention = PolicyRetention(lifetime_s);
   auto block = AppendPhysical(
       retention, on_programmed == nullptr
                      ? std::function<void(BlockId)>()
@@ -134,7 +177,7 @@ Result<LogicalId> ControlPlane::Append(double lifetime_s, std::function<void()> 
   tracked.phys = phys;
   tracked.zone = static_cast<std::uint32_t>(phys / device_->config().zone_blocks);
   tracked.expiry_s = simulator_->now_seconds() + lifetime_s;
-  tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+  tracked.deadline_s = ScrubDeadlineFor(tracked.zone, meta.written_at_s, meta.retention_s);
 
   const LogicalId id = next_id_++;
   ++zone_live_[tracked.zone];
@@ -280,10 +323,11 @@ void ControlPlane::OnReadResult(LogicalId id, BlockId phys, int attempt,
 bool ControlPlane::MigrateBlock(Tracked& tracked, LogicalId id, bool account_old_zone) {
   const double now = simulator_->now_seconds();
   const double remaining = tracked.expiry_s - now;
-  if (remaining <= 0.0) {
-    return false;  // expired anyway: not worth re-programming
+  if (remaining <= 0.0 || remaining < options_.scrub_crossover_s) {
+    // Expired, or inside the recompute crossover: not worth re-programming.
+    return false;
   }
-  auto block = AppendPhysical(RetentionForLifetime(remaining));
+  auto block = AppendPhysical(PolicyRetention(remaining));
   if (!block.ok()) {
     return false;
   }
@@ -291,7 +335,7 @@ bool ControlPlane::MigrateBlock(Tracked& tracked, LogicalId id, bool account_old
   tracked.phys = block.value();
   tracked.zone = static_cast<std::uint32_t>(tracked.phys / device_->config().zone_blocks);
   const BlockMeta& meta = device_->block_meta(tracked.phys);
-  tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+  tracked.deadline_s = ScrubDeadlineFor(tracked.zone, meta.written_at_s, meta.retention_s);
   ++zone_live_[tracked.zone];
   deadlines_.push(HeapEntry{tracked.deadline_s, id, tracked.phys});
   if (account_old_zone) {
@@ -436,8 +480,11 @@ void ControlPlane::ScrubNow() {
     }
     Tracked& tracked = it->second;
 
-    if (tracked.expiry_s <= now || !options_.refresh_expiring) {
-      // Data no longer needed (or policy says don't refresh): drop it.
+    if (tracked.expiry_s <= now || !options_.refresh_expiring ||
+        tracked.expiry_s - now < options_.scrub_crossover_s) {
+      // Data no longer needed, policy says don't refresh, or the remaining
+      // lifetime is inside the scrub-vs-recompute crossover: drop it and let
+      // the owner recompute (§4) instead of paying a program pulse.
       const LogicalId id = entry.id;
       OnZoneBlockDead(tracked.zone);
       map_.erase(it);
@@ -451,7 +498,7 @@ void ControlPlane::ScrubNow() {
     // Still needed: migrate to a fresh block with retention covering the
     // remaining lifetime.
     const double remaining = tracked.expiry_s - now;
-    const double retention = RetentionForLifetime(remaining);
+    const double retention = PolicyRetention(remaining);
     auto block = AppendPhysical(retention);
     if (!block.ok()) {
       // Could not refresh (no space / endurance): treat as loss.
@@ -468,7 +515,7 @@ void ControlPlane::ScrubNow() {
     tracked.phys = block.value();
     tracked.zone = static_cast<std::uint32_t>(tracked.phys / device_->config().zone_blocks);
     const BlockMeta& meta = device_->block_meta(tracked.phys);
-    tracked.deadline_s = ScrubDeadlineFor(meta.written_at_s, meta.retention_s);
+    tracked.deadline_s = ScrubDeadlineFor(tracked.zone, meta.written_at_s, meta.retention_s);
     ++zone_live_[tracked.zone];
     deadlines_.push(HeapEntry{tracked.deadline_s, entry.id, tracked.phys});
     OnZoneBlockDead(old_zone);

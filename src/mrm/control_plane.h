@@ -53,9 +53,24 @@ struct ControlPlaneOptions {
   // the cell model they set the scrub deadline for every written block.
   EccScheme ecc;
   double target_uber = 1e-15;
+  // Wear-banded ECC (policy layer, paper §4): zones whose wear_cycles have
+  // reached a band's threshold use that band's stronger code for scrub
+  // deadlines. Ascending by min_wear_cycles, first band at 0. Empty = use
+  // `ecc` for every zone. When bands are set and `ecc` is default-empty, the
+  // band-0 scheme becomes the plane-wide `ecc`.
+  struct EccBandScheme {
+    std::uint64_t min_wear_cycles = 0;
+    EccScheme ecc;
+  };
+  std::vector<EccBandScheme> ecc_bands;
   // When false, expiring-but-still-needed data is dropped (owner recomputes)
   // instead of rewritten.
   bool refresh_expiring = true;
+  // Scrub-vs-drop-and-recompute crossover: at scrub time, a block with less
+  // than this much remaining lifetime is dropped (the loss handler fires and
+  // the owner recomputes) instead of being rewritten. Cheaper than paying an
+  // MRM program pulse for data about to die anyway. 0 = always refresh.
+  double scrub_crossover_s = 0.0;
 
   // --- RAS recovery (DESIGN.md §10) ---------------------------------------
   // Bounded read-retry on transient detected-uncorrectable reads: each retry
@@ -125,6 +140,11 @@ class ControlPlane {
   // The retention the DCM policy would program for a lifetime hint.
   double RetentionForLifetime(double lifetime_s) const;
 
+  // The ECC scheme protecting `zone` right now: the strongest declared wear
+  // band the zone's wear_cycles have reached, or the plane-wide scheme when
+  // no bands are declared.
+  const EccScheme& EccForZone(std::uint32_t zone) const;
+
   const ControlPlaneStats& stats() const { return stats_; }
   std::uint64_t live_blocks() const { return map_.size(); }
 
@@ -163,7 +183,11 @@ class ControlPlane {
   Result<BlockId> AppendPhysical(double retention_s,
                                  std::function<void(BlockId)> on_programmed = nullptr);
   void OnZoneBlockDead(std::uint32_t zone);
-  double ScrubDeadlineFor(double written_at_s, double retention_s) const;
+  double ScrubDeadlineFor(std::uint32_t zone, double written_at_s, double retention_s) const;
+  // RetentionForLifetime plus the checked-build policy-audit hook: emits an
+  // MrmPolicyRecord so MrmChecker can compare the programmed retention
+  // against the declared policy. Used at every programming site.
+  double PolicyRetention(double lifetime_s) const;
 
   // --- RAS recovery path (DESIGN.md §10) ----------------------------------
   using SharedDone = std::shared_ptr<std::function<void(bool)>>;

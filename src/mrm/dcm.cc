@@ -1,13 +1,29 @@
 #include "src/mrm/dcm.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mrm {
 namespace mrmcore {
 
+namespace {
+
+// A lifetime hint is advisory; a non-finite or negative one (NaN from a
+// failed estimate, inf from an "immortal" marker) must not poison retention
+// math downstream. Treat both as "unknown" — 0 — which lands on the policy's
+// conservative branch (floor / short class).
+double SanitizeLifetime(double lifetime_s) {
+  if (!std::isfinite(lifetime_s) || lifetime_s < 0.0) {
+    return 0.0;
+  }
+  return lifetime_s;
+}
+
+}  // namespace
+
 RetentionPolicy MakeDcmPolicy(double margin, double floor_s) {
   return [margin, floor_s](double lifetime_s) {
-    return std::max(lifetime_s, floor_s) * margin;
+    return std::max(SanitizeLifetime(lifetime_s), floor_s) * margin;
   };
 }
 
@@ -18,7 +34,8 @@ RetentionPolicy MakeFixedPolicy(double retention_s) {
 RetentionPolicy MakeTwoClassPolicy(double short_retention_s, double long_retention_s,
                                    double short_threshold_s) {
   return [=](double lifetime_s) {
-    return lifetime_s <= short_threshold_s ? short_retention_s : long_retention_s;
+    return SanitizeLifetime(lifetime_s) <= short_threshold_s ? short_retention_s
+                                                             : long_retention_s;
   };
 }
 

@@ -14,7 +14,9 @@ namespace mrm {
 namespace mrmcore {
 
 // Returns the retention (seconds) to program for a write whose data is
-// expected to live `lifetime_s`.
+// expected to live `lifetime_s`. Non-finite or negative lifetime hints are
+// treated as 0 (unknown) by every policy built here, so a bad estimate lands
+// on the conservative branch instead of poisoning the retention math.
 using RetentionPolicy = std::function<double(double lifetime_s)>;
 
 // DCM: retention = max(lifetime, floor) * margin. The floor keeps very

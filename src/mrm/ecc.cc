@@ -109,6 +109,17 @@ EccScheme DesignEcc(std::uint64_t payload_bits, double rber, double target_failu
   return scheme;
 }
 
+EccScheme EccSchemeForT(std::uint64_t payload_bits, std::uint64_t t, double rber) {
+  MRM_CHECK(payload_bits > 0);
+  EccScheme scheme;
+  scheme.payload_bits = payload_bits;
+  scheme.t = std::min<std::uint64_t>(t, payload_bits);
+  scheme.parity_bits = BchParityBits(payload_bits, scheme.t);
+  scheme.overhead = static_cast<double>(scheme.parity_bits) / static_cast<double>(payload_bits);
+  scheme.codeword_failure_prob = BinomialTail(payload_bits, scheme.t, rber);
+  return scheme;
+}
+
 double UberOf(const EccScheme& scheme, double rber) {
   const double failure = BinomialTail(scheme.payload_bits, scheme.t, rber);
   // JEDEC-style UBER: uncorrectable events per payload bit read.

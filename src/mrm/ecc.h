@@ -42,6 +42,12 @@ struct EccScheme {
 // Returns t == payload_bits (degenerate) when unsatisfiable.
 EccScheme DesignEcc(std::uint64_t payload_bits, double rber, double target_failure);
 
+// Fixed-strength code over `payload_bits`: parity and overhead from
+// BchParityBits at the declared `t`, failure probability evaluated at `rber`.
+// This is how policy-declared ECC bands become schemes (no smallest-t
+// search — the policy already chose t).
+EccScheme EccSchemeForT(std::uint64_t payload_bits, std::uint64_t t, double rber);
+
 // Uncorrectable-bit-error rate of a scheme at raw error rate `rber`
 // (codeword failures amortized over payload bits).
 double UberOf(const EccScheme& scheme, double rber);

@@ -173,6 +173,7 @@ class MrmDevice {
   // Hook sites compile away unless the build defines MRMSIM_CHECKED. Pass
   // nullptr to detach.
   void SetObserver(MrmObserver* observer) { observer_ = observer; }
+  MrmObserver* observer() const { return observer_; }
 
   // Attaches the deterministic fault injector (DESIGN.md §10). Pass nullptr
   // to detach; a detached or all-zero-rate injector reproduces the fault-free

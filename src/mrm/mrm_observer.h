@@ -37,6 +37,17 @@ struct MrmReadRecord {
   double now_s = 0.0;             // simulation time of the read
 };
 
+// The control plane's retention-policy decision for one programming request
+// (policy layer, DESIGN.md §14): the lifetime hint it received and the
+// retention its policy mapped it to, before any device-level clamping. A
+// checker holding the declared policy can replay the mapping and flag a
+// control plane that programs off-policy retention.
+struct MrmPolicyRecord {
+  double lifetime_s = 0.0;   // hint the caller attached to the append
+  double retention_s = 0.0;  // retention the plane's policy chose
+  double now_s = 0.0;        // simulation time of the decision
+};
+
 // A stuck-at append slot being consumed without storing data (fault path,
 // DESIGN.md §10): the failed program attempt stresses the cells and advances
 // the zone's write pointer, so the shadow accounting must advance too.
@@ -58,6 +69,7 @@ class MrmObserver {
   virtual void OnAppend(const MrmAppendRecord& /*record*/) {}
   virtual void OnSlotBurn(const MrmSlotBurnRecord& /*record*/) {}
   virtual void OnRead(const MrmReadRecord& /*record*/) {}
+  virtual void OnPolicyRetention(const MrmPolicyRecord& /*record*/) {}
 };
 
 }  // namespace mrmcore

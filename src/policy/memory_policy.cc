@@ -1,0 +1,416 @@
+#include "src/policy/memory_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/mrm/ecc.h"
+
+namespace mrm {
+namespace policy {
+
+namespace {
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+bool FinitePositive(double v) { return std::isfinite(v) && v > 0.0; }
+
+Status FieldError(const std::string& stream, const char* field, const std::string& why,
+                  double got) {
+  return Error(stream + "." + field + " " + why + ", got " + std::to_string(got));
+}
+
+double SanitizeLifetime(double lifetime_s) {
+  if (!std::isfinite(lifetime_s) || lifetime_s < 0.0) {
+    return 0.0;
+  }
+  return lifetime_s;
+}
+
+}  // namespace
+
+const char* RetentionClassKindName(RetentionClassKind kind) {
+  switch (kind) {
+    case RetentionClassKind::kDcm:
+      return "dcm";
+    case RetentionClassKind::kFixed:
+      return "fixed";
+    case RetentionClassKind::kTwoClass:
+      return "two-class";
+  }
+  return "unknown";
+}
+
+Result<RetentionClassKind> RetentionClassKindByName(const std::string& name) {
+  if (name == "dcm") {
+    return RetentionClassKind::kDcm;
+  }
+  if (name == "fixed") {
+    return RetentionClassKind::kFixed;
+  }
+  if (name == "two-class") {
+    return RetentionClassKind::kTwoClass;
+  }
+  return Error("unknown retention class '" + name + "' (want dcm | fixed | two-class)");
+}
+
+Status RetentionClass::Validate(const std::string& stream) const {
+  if (!(std::isfinite(margin) && margin >= 1.0)) {
+    return FieldError(stream, "margin", "must be finite and >= 1", margin);
+  }
+  if (!FiniteNonNegative(floor_s)) {
+    return FieldError(stream, "floor", "must be non-negative and finite", floor_s);
+  }
+  if (!FinitePositive(fixed_retention_s)) {
+    return FieldError(stream, "retention", "must be positive and finite", fixed_retention_s);
+  }
+  if (!FinitePositive(short_retention_s)) {
+    return FieldError(stream, "short_retention", "must be positive and finite",
+                      short_retention_s);
+  }
+  if (!FinitePositive(long_retention_s)) {
+    return FieldError(stream, "long_retention", "must be positive and finite",
+                      long_retention_s);
+  }
+  if (short_retention_s > long_retention_s) {
+    return Error(stream + ".short_retention " + std::to_string(short_retention_s) +
+                 " exceeds " + stream + ".long_retention " + std::to_string(long_retention_s));
+  }
+  if (!FiniteNonNegative(short_threshold_s)) {
+    return FieldError(stream, "short_threshold", "must be non-negative and finite",
+                      short_threshold_s);
+  }
+  return Status::Ok();
+}
+
+double RetentionClass::RetentionFor(double lifetime_s) const {
+  const double lifetime = SanitizeLifetime(lifetime_s);
+  switch (kind) {
+    case RetentionClassKind::kDcm:
+      return std::max(lifetime, floor_s) * margin;
+    case RetentionClassKind::kFixed:
+      return fixed_retention_s;
+    case RetentionClassKind::kTwoClass:
+      return lifetime <= short_threshold_s ? short_retention_s : long_retention_s;
+  }
+  return fixed_retention_s;
+}
+
+mrmcore::RetentionPolicy RetentionClass::Compile() const {
+  switch (kind) {
+    case RetentionClassKind::kDcm:
+      return mrmcore::MakeDcmPolicy(margin, floor_s);
+    case RetentionClassKind::kFixed:
+      return mrmcore::MakeFixedPolicy(fixed_retention_s);
+    case RetentionClassKind::kTwoClass:
+      return mrmcore::MakeTwoClassPolicy(short_retention_s, long_retention_s,
+                                         short_threshold_s);
+  }
+  return mrmcore::MakeFixedPolicy(fixed_retention_s);
+}
+
+void RetentionClass::Mix(snapshot::Fingerprint* fp) const {
+  fp->MixU32(static_cast<std::uint32_t>(kind));
+  fp->MixDouble(margin);
+  fp->MixDouble(floor_s);
+  fp->MixDouble(fixed_retention_s);
+  fp->MixDouble(short_retention_s);
+  fp->MixDouble(long_retention_s);
+  fp->MixDouble(short_threshold_s);
+}
+
+void RetentionClass::SaveState(snapshot::Encoder* enc) const {
+  enc->PutU8(static_cast<std::uint8_t>(kind));
+  enc->PutDouble(margin);
+  enc->PutDouble(floor_s);
+  enc->PutDouble(fixed_retention_s);
+  enc->PutDouble(short_retention_s);
+  enc->PutDouble(long_retention_s);
+  enc->PutDouble(short_threshold_s);
+}
+
+bool RetentionClass::RestoreState(snapshot::Decoder* dec) {
+  const std::uint8_t kind_byte = dec->GetU8();
+  margin = dec->GetDouble();
+  floor_s = dec->GetDouble();
+  fixed_retention_s = dec->GetDouble();
+  short_retention_s = dec->GetDouble();
+  long_retention_s = dec->GetDouble();
+  short_threshold_s = dec->GetDouble();
+  if (!dec->ok() || kind_byte > static_cast<std::uint8_t>(RetentionClassKind::kTwoClass)) {
+    return false;
+  }
+  kind = static_cast<RetentionClassKind>(kind_byte);
+  return true;
+}
+
+bool operator==(const RetentionClass& a, const RetentionClass& b) {
+  return a.kind == b.kind && a.margin == b.margin && a.floor_s == b.floor_s &&
+         a.fixed_retention_s == b.fixed_retention_s &&
+         a.short_retention_s == b.short_retention_s &&
+         a.long_retention_s == b.long_retention_s &&
+         a.short_threshold_s == b.short_threshold_s;
+}
+
+Status MemoryPolicy::Validate(int tier_count) const {
+  if (Status s = kv.Validate("policy.kv"); !s.ok()) {
+    return s;
+  }
+  if (Status s = weights.Validate("policy.weights"); !s.ok()) {
+    return s;
+  }
+  if (Status s = activations.Validate("policy.activations"); !s.ok()) {
+    return s;
+  }
+  if (!FiniteNonNegative(activation_lifetime_cap_s)) {
+    return Error("policy.activation_cap must be non-negative and finite, got " +
+                 std::to_string(activation_lifetime_cap_s));
+  }
+  if (!FinitePositive(weight_lifetime_floor_s) ||
+      weight_lifetime_floor_s <= activation_lifetime_cap_s) {
+    return Error("policy.weight_floor must be finite and above policy.activation_cap (" +
+                 std::to_string(activation_lifetime_cap_s) + "), got " +
+                 std::to_string(weight_lifetime_floor_s));
+  }
+  if (!FiniteNonNegative(activation_lifetime_hint_s) ||
+      activation_lifetime_hint_s >= activation_lifetime_cap_s) {
+    return Error("policy.activation_lifetime must be in [0, policy.activation_cap), got " +
+                 std::to_string(activation_lifetime_hint_s));
+  }
+  if (!FiniteNonNegative(kv_lifetime_hint_s) ||
+      kv_lifetime_hint_s < activation_lifetime_cap_s ||
+      kv_lifetime_hint_s >= weight_lifetime_floor_s) {
+    return Error(
+        "policy.kv_lifetime must be in [policy.activation_cap, policy.weight_floor), got " +
+        std::to_string(kv_lifetime_hint_s));
+  }
+  if (!FinitePositive(weight_lifetime_hint_s) ||
+      weight_lifetime_hint_s < weight_lifetime_floor_s) {
+    return Error("policy.weight_lifetime must be at least policy.weight_floor (" +
+                 std::to_string(weight_lifetime_floor_s) + "), got " +
+                 std::to_string(weight_lifetime_hint_s));
+  }
+  for (std::size_t i = 0; i < ecc_bands.size(); ++i) {
+    const EccBand& band = ecc_bands[i];
+    if (band.t == 0) {
+      return Error("policy.ecc_bands band " + std::to_string(i) +
+                   " declares t = 0 (no correction); drop the band instead");
+    }
+    if (i == 0 && band.min_wear_cycles != 0) {
+      return Error("policy.ecc_bands must start at wear 0, got " +
+                   std::to_string(band.min_wear_cycles));
+    }
+    if (i > 0 && ecc_bands[i - 1].min_wear_cycles >= band.min_wear_cycles) {
+      return Error("policy.ecc_bands thresholds must be strictly ascending; band " +
+                   std::to_string(i) + " at wear " + std::to_string(band.min_wear_cycles) +
+                   " does not follow " + std::to_string(ecc_bands[i - 1].min_wear_cycles));
+    }
+  }
+  if (!FinitePositive(target_uber) || target_uber >= 1.0) {
+    return Error("policy.target_uber must be in (0, 1), got " + std::to_string(target_uber));
+  }
+  if (!FiniteNonNegative(scrub_crossover_s)) {
+    return Error("policy.scrub_crossover must be non-negative and finite, got " +
+                 std::to_string(scrub_crossover_s));
+  }
+  if (Status s = placement.Validate(tier_count); !s.ok()) {
+    return s;
+  }
+  if (Status s = tiering.Validate(placement, tier_count); !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
+mrmcore::RetentionPolicy MemoryPolicy::CompilePlanePolicy() const {
+  // Capture the classes by value: the compiled callback must outlive this
+  // policy object (it is installed into ControlPlaneOptions).
+  const RetentionClass kv_class = kv;
+  const RetentionClass weight_class = weights;
+  const RetentionClass act_class = activations;
+  const double act_cap = activation_lifetime_cap_s;
+  const double weight_floor = weight_lifetime_floor_s;
+  return [kv_class, weight_class, act_class, act_cap, weight_floor](double lifetime_s) {
+    const double lifetime = SanitizeLifetime(lifetime_s);
+    if (lifetime < act_cap) {
+      return act_class.RetentionFor(lifetime);
+    }
+    if (lifetime >= weight_floor) {
+      return weight_class.RetentionFor(lifetime);
+    }
+    return kv_class.RetentionFor(lifetime);
+  };
+}
+
+mrmcore::ControlPlaneOptions MemoryPolicy::PlaneOptions(
+    const mrmcore::MrmDeviceConfig& device, const cell::RetentionTradeoff& tradeoff,
+    mrmcore::ControlPlaneOptions base) const {
+  base.retention_policy = CompilePlanePolicy();
+  base.target_uber = target_uber;
+  base.scrub_crossover_s = scrub_crossover_s;
+  base.ecc_bands.clear();
+  if (!ecc_bands.empty()) {
+    // Design each band's scheme over the device's codeword at the cell
+    // model's design-point RBER (same reference DesignEcc uses).
+    const double rber =
+        tradeoff.AtRetention(device.default_retention_s).rber_at_retention;
+    for (const EccBand& band : ecc_bands) {
+      mrmcore::ControlPlaneOptions::EccBandScheme scheme;
+      scheme.min_wear_cycles = band.min_wear_cycles;
+      scheme.ecc = mrmcore::EccSchemeForT(device.ecc_payload_bits(), band.t, rber);
+      base.ecc_bands.push_back(scheme);
+    }
+    base.ecc = base.ecc_bands.front().ecc;
+  }
+  return base;
+}
+
+double MemoryPolicy::UsablePayloadFraction(const mrmcore::MrmDeviceConfig& device) const {
+  if (ecc_bands.empty()) {
+    return 1.0;
+  }
+  const double payload = static_cast<double>(device.ecc_payload_bits());
+  const double parity =
+      static_cast<double>(mrmcore::BchParityBits(device.ecc_payload_bits(), ecc_bands.front().t));
+  return payload / (payload + parity);
+}
+
+Result<tier::TieredBackendOptions> MemoryPolicy::DeriveScrubAges(
+    const mrmcore::MrmDeviceConfig& device, const cell::RetentionTradeoff& tradeoff) const {
+  const double rber = tradeoff.AtRetention(device.default_retention_s).rber_at_retention;
+  const mrmcore::EccScheme scheme =
+      ecc_bands.empty()
+          ? mrmcore::DesignEcc(device.ecc_payload_bits(), rber,
+                               target_uber * static_cast<double>(device.ecc_payload_bits()))
+          : mrmcore::EccSchemeForT(device.ecc_payload_bits(), ecc_bands.front().t, rber);
+
+  tier::TieredBackendOptions derived = tiering;
+  const double kv_age = mrmcore::MaxSafeAge(tradeoff, KvRetention(), scheme, target_uber);
+  if (!(kv_age > 0.0)) {
+    return Error("policy ECC (t = " + std::to_string(scheme.t) +
+                 ") cannot hold KV retention " + std::to_string(KvRetention()) +
+                 "s at target UBER for any positive age");
+  }
+  derived.kv_scrub_age_s = kv_age;
+  if (derived.scrub_tier >= 0 && placement.weights_tier == derived.scrub_tier) {
+    const double weight_age =
+        mrmcore::MaxSafeAge(tradeoff, WeightRetention(), scheme, target_uber);
+    if (!(weight_age > 0.0)) {
+      return Error("policy ECC (t = " + std::to_string(scheme.t) +
+                   ") cannot hold weight retention " + std::to_string(WeightRetention()) +
+                   "s at target UBER for any positive age");
+    }
+    derived.weights_scrub_age_s = weight_age;
+  }
+  return derived;
+}
+
+void MemoryPolicy::Mix(snapshot::Fingerprint* fp) const {
+  fp->MixString("policy");
+  kv.Mix(fp);
+  weights.Mix(fp);
+  activations.Mix(fp);
+  fp->MixDouble(activation_lifetime_cap_s);
+  fp->MixDouble(weight_lifetime_floor_s);
+  fp->MixDouble(activation_lifetime_hint_s);
+  fp->MixDouble(kv_lifetime_hint_s);
+  fp->MixDouble(weight_lifetime_hint_s);
+  fp->MixU64(ecc_bands.size());
+  for (const EccBand& band : ecc_bands) {
+    fp->MixU64(band.min_wear_cycles);
+    fp->MixU32(band.t);
+  }
+  fp->MixDouble(target_uber);
+  fp->MixDouble(scrub_crossover_s);
+  fp->MixU32(static_cast<std::uint32_t>(placement.weights_tier));
+  fp->MixU32(static_cast<std::uint32_t>(placement.kv_hot_tier));
+  fp->MixU32(static_cast<std::uint32_t>(placement.kv_cold_tier));
+  fp->MixDouble(placement.kv_hot_fraction);
+  fp->MixU32(static_cast<std::uint32_t>(placement.activations_tier));
+  fp->MixU32(static_cast<std::uint32_t>(tiering.scrub_tier));
+  fp->MixDouble(tiering.scrub_safe_age_s);
+  fp->MixDouble(tiering.kv_scrub_age_s);
+  fp->MixDouble(tiering.weights_scrub_age_s);
+}
+
+std::uint64_t MemoryPolicy::FingerprintDigest() const {
+  snapshot::Fingerprint fp;
+  Mix(&fp);
+  return fp.digest();
+}
+
+void MemoryPolicy::SaveState(snapshot::Encoder* enc) const {
+  kv.SaveState(enc);
+  weights.SaveState(enc);
+  activations.SaveState(enc);
+  enc->PutDouble(activation_lifetime_cap_s);
+  enc->PutDouble(weight_lifetime_floor_s);
+  enc->PutDouble(activation_lifetime_hint_s);
+  enc->PutDouble(kv_lifetime_hint_s);
+  enc->PutDouble(weight_lifetime_hint_s);
+  enc->PutU64(ecc_bands.size());
+  for (const EccBand& band : ecc_bands) {
+    enc->PutU64(band.min_wear_cycles);
+    enc->PutU32(band.t);
+  }
+  enc->PutDouble(target_uber);
+  enc->PutDouble(scrub_crossover_s);
+  enc->PutU32(static_cast<std::uint32_t>(placement.weights_tier));
+  enc->PutU32(static_cast<std::uint32_t>(placement.kv_hot_tier));
+  enc->PutU32(static_cast<std::uint32_t>(placement.kv_cold_tier));
+  enc->PutDouble(placement.kv_hot_fraction);
+  enc->PutU32(static_cast<std::uint32_t>(placement.activations_tier));
+  enc->PutU32(static_cast<std::uint32_t>(tiering.scrub_tier));
+  enc->PutDouble(tiering.scrub_safe_age_s);
+  enc->PutDouble(tiering.kv_scrub_age_s);
+  enc->PutDouble(tiering.weights_scrub_age_s);
+}
+
+bool MemoryPolicy::RestoreState(snapshot::Decoder* dec) {
+  if (!kv.RestoreState(dec) || !weights.RestoreState(dec) ||
+      !activations.RestoreState(dec)) {
+    return false;
+  }
+  activation_lifetime_cap_s = dec->GetDouble();
+  weight_lifetime_floor_s = dec->GetDouble();
+  activation_lifetime_hint_s = dec->GetDouble();
+  kv_lifetime_hint_s = dec->GetDouble();
+  weight_lifetime_hint_s = dec->GetDouble();
+  const std::uint64_t band_count = dec->GetU64();
+  if (!dec->ok() || band_count > 1024) {
+    return false;  // bound the allocation on hostile input
+  }
+  ecc_bands.clear();
+  for (std::uint64_t i = 0; i < band_count; ++i) {
+    EccBand band;
+    band.min_wear_cycles = dec->GetU64();
+    band.t = dec->GetU32();
+    ecc_bands.push_back(band);
+  }
+  target_uber = dec->GetDouble();
+  scrub_crossover_s = dec->GetDouble();
+  placement.weights_tier = static_cast<int>(dec->GetU32());
+  placement.kv_hot_tier = static_cast<int>(dec->GetU32());
+  placement.kv_cold_tier = static_cast<int>(dec->GetU32());
+  placement.kv_hot_fraction = dec->GetDouble();
+  placement.activations_tier = static_cast<int>(dec->GetU32());
+  tiering.scrub_tier = static_cast<int>(dec->GetU32());
+  tiering.scrub_safe_age_s = dec->GetDouble();
+  tiering.kv_scrub_age_s = dec->GetDouble();
+  tiering.weights_scrub_age_s = dec->GetDouble();
+  return dec->ok();
+}
+
+bool operator==(const MemoryPolicy& a, const MemoryPolicy& b) {
+  return a.kv == b.kv && a.weights == b.weights && a.activations == b.activations &&
+         a.activation_lifetime_cap_s == b.activation_lifetime_cap_s &&
+         a.weight_lifetime_floor_s == b.weight_lifetime_floor_s &&
+         a.activation_lifetime_hint_s == b.activation_lifetime_hint_s &&
+         a.kv_lifetime_hint_s == b.kv_lifetime_hint_s &&
+         a.weight_lifetime_hint_s == b.weight_lifetime_hint_s &&
+         a.ecc_bands == b.ecc_bands && a.target_uber == b.target_uber &&
+         a.scrub_crossover_s == b.scrub_crossover_s && a.placement == b.placement &&
+         a.tiering == b.tiering;
+}
+
+}  // namespace policy
+}  // namespace mrm

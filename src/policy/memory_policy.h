@@ -1,0 +1,179 @@
+// First-class memory-management policy for the MRM stack (paper §4).
+//
+// The paper's DCM argument is that *choosing* retention, ECC strength, and
+// placement per object class — not merely supporting programmable retention —
+// is what converts the cell-level tradeoff curves into J/token and
+// usable-capacity wins. `MemoryPolicy` is that choice, reified: one aggregate
+// that names a retention class per stream (KV cache / weights / activations,
+// dispatched on the predicted lifetime carried by each append), an ECC
+// strength per zone-age band, the scrub-vs-drop-and-recompute crossover, and
+// the tier placement. It validates as a unit, fingerprints into snapshot
+// config digests, serializes through the snapshot codec, and lowers onto the
+// existing knobs (`mrmcore::ControlPlaneOptions`, `tier::Placement`,
+// `tier::TieredBackendOptions`) so the rest of the stack stays unchanged.
+
+#ifndef MRMSIM_SRC_POLICY_MEMORY_POLICY_H_
+#define MRMSIM_SRC_POLICY_MEMORY_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/mrm/control_plane.h"
+#include "src/mrm/dcm.h"
+#include "src/mrm/mrm_config.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/format.h"
+#include "src/tier/tiered_backend.h"
+
+namespace mrm {
+namespace policy {
+
+// How a stream's predicted lifetime maps to programmed retention.
+enum class RetentionClassKind : std::uint8_t {
+  kDcm = 0,       // retention = max(lifetime, floor) * margin
+  kFixed = 1,     // retention = fixed_retention_s, lifetime ignored
+  kTwoClass = 2,  // short/long retention split at short_threshold_s
+};
+
+// Stable scenario-key spelling ("dcm", "fixed", "two-class").
+const char* RetentionClassKindName(RetentionClassKind kind);
+// Inverse of RetentionClassKindName; error names the unknown spelling.
+Result<RetentionClassKind> RetentionClassKindByName(const std::string& name);
+
+// Per-stream retention class. Only the fields of the active `kind` are read,
+// but all are validated so a scenario typo cannot hide in an inactive field.
+struct RetentionClass {
+  RetentionClassKind kind = RetentionClassKind::kDcm;
+  // kDcm
+  double margin = 1.25;
+  double floor_s = 120.0;
+  // kFixed
+  double fixed_retention_s = 10.0 * kYear;
+  // kTwoClass
+  double short_retention_s = kHour;
+  double long_retention_s = 30.0 * kDay;
+  double short_threshold_s = 2.0 * kHour;
+
+  // Field-local validation; `stream` names the owning policy key in errors
+  // (e.g. "policy.kv").
+  Status Validate(const std::string& stream) const;
+
+  // Retention to program for a write with lifetime hint `lifetime_s`.
+  // Non-finite hints are treated as 0 (unknown lifetime).
+  double RetentionFor(double lifetime_s) const;
+
+  // Lowers this class to the control plane's callback form.
+  mrmcore::RetentionPolicy Compile() const;
+
+  void Mix(snapshot::Fingerprint* fp) const;
+  void SaveState(snapshot::Encoder* enc) const;
+  // Returns false when the decoder ran dry or the kind byte is out of range.
+  bool RestoreState(snapshot::Decoder* dec);
+
+  friend bool operator==(const RetentionClass& a, const RetentionClass& b);
+};
+
+// ECC strength for zones whose wear is at least `min_wear_cycles`: aged zones
+// have higher RBER at equal retention, so later bands carry stronger codes.
+struct EccBand {
+  std::uint64_t min_wear_cycles = 0;
+  std::uint32_t t = 16;  // correctable bits per codeword
+
+  friend bool operator==(const EccBand& a, const EccBand& b) {
+    return a.min_wear_cycles == b.min_wear_cycles && a.t == b.t;
+  }
+};
+
+// The policy aggregate. Defaults reproduce the stack's historical behavior
+// (DCM retention, single device-designed ECC, scrub everything, no
+// recompute crossover) so an empty policy is a safe starting point.
+struct MemoryPolicy {
+  // Retention class per stream.
+  RetentionClass kv;
+  RetentionClass weights;
+  RetentionClass activations;
+
+  // Stream classification thresholds for lifetime-dispatch: an append with
+  // lifetime < activation_lifetime_cap_s is treated as activations, one with
+  // lifetime >= weight_lifetime_floor_s as weights, anything between as KV.
+  double activation_lifetime_cap_s = 1.0;
+  double weight_lifetime_floor_s = 7.0 * kDay;
+
+  // Predicted lifetime per stream — the hints the serving layer attaches to
+  // appends. Must be consistent with the classification thresholds above.
+  double activation_lifetime_hint_s = 0.1;
+  double kv_lifetime_hint_s = 600.0;
+  double weight_lifetime_hint_s = 90.0 * kDay;
+
+  // ECC strength per zone-age band, ascending by min_wear_cycles; the first
+  // band (when any) must start at wear 0. Empty = keep the control plane's
+  // device-designed single scheme.
+  std::vector<EccBand> ecc_bands;
+
+  // Reliability target the ECC bands and scrub deadlines are designed for.
+  double target_uber = 1e-15;
+
+  // Scrub-vs-drop-and-recompute crossover: at scrub time, blocks with less
+  // than this much remaining lifetime are dropped (the engine recomputes or
+  // refetches them) instead of being rewritten. 0 = always scrub.
+  double scrub_crossover_s = 0.0;
+
+  // Tier placement and scrub accounting for the tiered/analytic fidelity.
+  tier::Placement placement;
+  tier::TieredBackendOptions tiering;
+
+  // Whole-policy validation: every class, threshold ordering, hint/threshold
+  // consistency, band monotonicity, and the tier cross-field rules against a
+  // system of `tier_count` tiers. Errors name the offending policy.* rule.
+  Status Validate(int tier_count) const;
+
+  // Retention each stream's hint compiles to under its class.
+  double KvRetention() const { return kv.RetentionFor(kv_lifetime_hint_s); }
+  double WeightRetention() const { return weights.RetentionFor(weight_lifetime_hint_s); }
+
+  // Compiles the per-stream classes into the control plane's single
+  // lifetime→retention callback: the lifetime picks the stream class per the
+  // thresholds above, then that class maps it to retention.
+  mrmcore::RetentionPolicy CompilePlanePolicy() const;
+
+  // Lowers the policy onto control-plane options: retention callback, ECC
+  // band schemes designed over the device's codeword at its design-point
+  // RBER, reliability target, and scrub crossover. Non-policy fields of
+  // `base` (retry budget, retirement threshold, scrub cadence) pass through.
+  mrmcore::ControlPlaneOptions PlaneOptions(const mrmcore::MrmDeviceConfig& device,
+                                            const cell::RetentionTradeoff& tradeoff,
+                                            mrmcore::ControlPlaneOptions base = {}) const;
+
+  // Fraction of a codeword that is payload under the band-0 code (1.0 when
+  // no bands are declared — the device-designed scheme is accounted by the
+  // control plane itself).
+  double UsablePayloadFraction(const mrmcore::MrmDeviceConfig& device) const;
+
+  // Derives the per-stream scrub safe ages the declared ECC can guarantee
+  // (MaxSafeAge of the band-0 code at each stream's programmed retention)
+  // and returns `tiering` with those ages filled in. Errors when the code is
+  // too weak to hold a stream's retention for any positive age.
+  Result<tier::TieredBackendOptions> DeriveScrubAges(
+      const mrmcore::MrmDeviceConfig& device,
+      const cell::RetentionTradeoff& tradeoff) const;
+
+  void Mix(snapshot::Fingerprint* fp) const;
+  // Convenience: digest of a fingerprint seeded only with this policy.
+  std::uint64_t FingerprintDigest() const;
+
+  void SaveState(snapshot::Encoder* enc) const;
+  // Structural decode only (field presence + enum ranges); callers re-run
+  // Validate() against their tier count.
+  bool RestoreState(snapshot::Decoder* dec);
+
+  friend bool operator==(const MemoryPolicy& a, const MemoryPolicy& b);
+};
+
+}  // namespace policy
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_POLICY_MEMORY_POLICY_H_

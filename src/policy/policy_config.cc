@@ -1,0 +1,165 @@
+#include "src/policy/policy_config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace mrm {
+namespace policy {
+namespace {
+
+// Applies the policy.<stream>.* keys for one retention class.
+Result<RetentionClass> BuildClass(const Config& config, const std::string& stream,
+                                  RetentionClass base) {
+  const std::string prefix = "policy." + stream + ".";
+  if (config.Has(prefix + "class")) {
+    auto kind = RetentionClassKindByName(config.GetString(prefix + "class"));
+    if (!kind.ok()) {
+      return Error(prefix + "class: " + kind.error().message());
+    }
+    base.kind = kind.value();
+  }
+  base.margin = config.GetDouble(prefix + "margin", base.margin);
+  base.floor_s = config.GetDuration(prefix + "floor", base.floor_s);
+  base.fixed_retention_s = config.GetDuration(prefix + "retention", base.fixed_retention_s);
+  base.short_retention_s =
+      config.GetDuration(prefix + "short_retention", base.short_retention_s);
+  base.long_retention_s = config.GetDuration(prefix + "long_retention", base.long_retention_s);
+  base.short_threshold_s =
+      config.GetDuration(prefix + "short_threshold", base.short_threshold_s);
+  return base;
+}
+
+// Parses "min_wear:t[,min_wear:t...]" (an empty string clears the bands).
+Result<std::vector<EccBand>> ParseEccBands(const std::string& text) {
+  std::vector<EccBand> bands;
+  if (text.empty()) {
+    return bands;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string entry = text.substr(pos, comma - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      return Error("policy.ecc_bands entry '" + entry + "' is not min_wear:t");
+    }
+    char* end = nullptr;
+    const std::string wear_text = entry.substr(0, colon);
+    const std::string t_text = entry.substr(colon + 1);
+    EccBand band;
+    band.min_wear_cycles = std::strtoull(wear_text.c_str(), &end, 10);
+    if (end == wear_text.c_str() || *end != '\0') {
+      return Error("policy.ecc_bands wear '" + wear_text + "' is not a number");
+    }
+    const unsigned long long t = std::strtoull(t_text.c_str(), &end, 10);
+    if (end == t_text.c_str() || *end != '\0' || t == 0 || t > 0xffffffffull) {
+      return Error("policy.ecc_bands t '" + t_text + "' is not a positive 32-bit number");
+    }
+    band.t = static_cast<std::uint32_t>(t);
+    bands.push_back(band);
+    pos = comma + 1;
+    if (comma == text.size()) {
+      break;
+    }
+  }
+  return bands;
+}
+
+}  // namespace
+
+bool HasPolicyKeys(const Config& config) {
+  for (const auto& [key, value] : config.Items()) {
+    (void)value;
+    if (key.rfind("policy.", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<MemoryPolicy> PolicyPresetByName(const std::string& name,
+                                        const MemoryPolicy& defaults) {
+  MemoryPolicy preset = defaults;
+  if (name == "dcm") {
+    preset.kv = RetentionClass{};  // dcm, margin 1.25, floor 120s
+    preset.weights.kind = RetentionClassKind::kDcm;
+    preset.weights.margin = 1.1;
+    preset.weights.floor_s = kDay;
+    preset.activations.kind = RetentionClassKind::kDcm;
+    preset.activations.margin = 1.5;
+    preset.activations.floor_s = 60.0;
+    preset.ecc_bands = {{0, 16}};
+    return preset;
+  }
+  if (name == "scm-10y") {
+    // The SCM design point: one 10-year retention for everything, with the
+    // strong code that retention needs on worn cells.
+    for (RetentionClass* cls : {&preset.kv, &preset.weights, &preset.activations}) {
+      cls->kind = RetentionClassKind::kFixed;
+      cls->fixed_retention_s = 10.0 * kYear;
+    }
+    preset.ecc_bands = {{0, 64}};
+    return preset;
+  }
+  if (name == "two-class") {
+    for (RetentionClass* cls : {&preset.kv, &preset.weights, &preset.activations}) {
+      cls->kind = RetentionClassKind::kTwoClass;
+      cls->short_retention_s = kHour;
+      cls->long_retention_s = 180.0 * kDay;
+      cls->short_threshold_s = 2.0 * kHour;
+    }
+    preset.ecc_bands = {{0, 24}};
+    return preset;
+  }
+  return Error("unknown policy.preset '" + name + "' (dcm | scm-10y | two-class)");
+}
+
+Result<MemoryPolicy> BuildMemoryPolicy(const Config& config, const MemoryPolicy& defaults) {
+  MemoryPolicy result = defaults;
+  if (config.Has("policy.preset")) {
+    auto preset = PolicyPresetByName(config.GetString("policy.preset"), result);
+    if (!preset.ok()) {
+      return preset.error();
+    }
+    result = preset.value();
+  }
+  const std::pair<const char*, RetentionClass*> streams[] = {
+      {"kv", &result.kv}, {"weights", &result.weights}, {"activations", &result.activations}};
+  for (const auto& [stream, cls] : streams) {
+    auto built = BuildClass(config, stream, *cls);
+    if (!built.ok()) {
+      return built.error();
+    }
+    *cls = built.value();
+  }
+  result.activation_lifetime_cap_s =
+      config.GetDuration("policy.activation_cap", result.activation_lifetime_cap_s);
+  result.weight_lifetime_floor_s =
+      config.GetDuration("policy.weight_floor", result.weight_lifetime_floor_s);
+  result.activation_lifetime_hint_s =
+      config.GetDuration("policy.activation_lifetime", result.activation_lifetime_hint_s);
+  result.kv_lifetime_hint_s =
+      config.GetDuration("policy.kv_lifetime", result.kv_lifetime_hint_s);
+  result.weight_lifetime_hint_s =
+      config.GetDuration("policy.weight_lifetime", result.weight_lifetime_hint_s);
+  if (config.Has("policy.ecc_bands")) {
+    auto bands = ParseEccBands(config.GetString("policy.ecc_bands"));
+    if (!bands.ok()) {
+      return bands.error();
+    }
+    result.ecc_bands = bands.value();
+  }
+  result.target_uber = config.GetDouble("policy.target_uber", result.target_uber);
+  result.scrub_crossover_s =
+      config.GetDuration("policy.scrub_crossover", result.scrub_crossover_s);
+  result.tiering.kv_scrub_age_s =
+      config.GetDuration("policy.scrub.kv_age", result.tiering.kv_scrub_age_s);
+  result.tiering.weights_scrub_age_s =
+      config.GetDuration("policy.scrub.weights_age", result.tiering.weights_scrub_age_s);
+  return result;
+}
+
+}  // namespace policy
+}  // namespace mrm

@@ -1,0 +1,63 @@
+// Scenario-key plumbing for the policy layer: `policy.*` keys → MemoryPolicy.
+//
+// Keys (all optional; defaults come from the `defaults` argument, which the
+// driver seeds with the scenario's parsed placement/tiering so a policy-less
+// scenario keeps its historical meaning):
+//
+//   policy.preset                 dcm | scm-10y | two-class (applied first)
+//   policy.<s>.class              dcm | fixed | two-class   (<s> = kv |
+//   policy.<s>.margin             DCM margin                 weights |
+//   policy.<s>.floor              DCM floor (duration)       activations)
+//   policy.<s>.retention          fixed retention (duration)
+//   policy.<s>.short_retention    two-class short retention (duration)
+//   policy.<s>.long_retention     two-class long retention (duration)
+//   policy.<s>.short_threshold    two-class split point (duration)
+//   policy.activation_cap         lifetime below which an append is an
+//                                 activation (duration)
+//   policy.weight_floor           lifetime at/above which it is a weight
+//   policy.activation_lifetime    predicted lifetime per stream — the hints
+//   policy.kv_lifetime            the serving layer attaches to appends
+//   policy.weight_lifetime        (durations)
+//   policy.ecc_bands              "0:16,1000000:40" — min_wear:t pairs
+//   policy.target_uber            reliability target for ECC/scrub design
+//   policy.scrub_crossover        drop-and-recompute threshold (duration)
+//   policy.scrub.kv_age           per-stream scrub safe ages on the scrub
+//   policy.scrub.weights_age      tier (durations; 0 = derive/inherit)
+//
+// Parsing is strict: unknown class names, malformed band lists, and values
+// violating MemoryPolicy::Validate come back as errors naming the rule.
+
+#ifndef MRMSIM_SRC_POLICY_POLICY_CONFIG_H_
+#define MRMSIM_SRC_POLICY_POLICY_CONFIG_H_
+
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/result.h"
+#include "src/policy/memory_policy.h"
+
+namespace mrm {
+namespace policy {
+
+// True when the scenario declares any policy.* key.
+bool HasPolicyKeys(const Config& config);
+
+// Named starting points for the tuner grid and the policy.preset key:
+//   dcm        per-stream DCM margins (the paper's managed-retention design)
+//   scm-10y    every stream fixed at 10-year retention, strong ECC — the
+//              SCM-era baseline the paper argues against
+//   two-class  offline short/long split (middle ground)
+// Classes and ECC bands come from the preset; placement/tiering/hints keep
+// the values in `defaults`.
+Result<MemoryPolicy> PolicyPresetByName(const std::string& name,
+                                        const MemoryPolicy& defaults);
+
+// Builds a MemoryPolicy from `config`'s policy.* keys over `defaults`.
+// Does not run MemoryPolicy::Validate (the tier count lives with the
+// caller); structural key errors are reported here.
+Result<MemoryPolicy> BuildMemoryPolicy(const Config& config, const MemoryPolicy& defaults);
+
+}  // namespace policy
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_POLICY_POLICY_CONFIG_H_

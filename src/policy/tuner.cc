@@ -1,0 +1,449 @@
+#include "src/policy/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "src/cell/tradeoff.h"
+#include "src/check/attach.h"
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/driver/sim_backend.h"
+#include "src/fault/fault_injector.h"
+#include "src/policy/policy_config.h"
+#include "src/tier/tier_spec.h"
+#include "src/tier/tiered_backend.h"
+#include "src/workload/inference_engine.h"
+
+namespace mrm {
+namespace policy {
+namespace {
+
+constexpr int kDecodeContext = 2048;  // E12's calibration batch shape
+
+// The agreement probe: one decode step's *read* traffic — the full weight
+// sweep plus the batch's KV read (the paper's >1000:1 decode stream). The
+// new tokens' KV append is deliberately excluded: a decode step writes less
+// than one lowered MRM block, so under sampled lowering its whole-block
+// program time is a quantization artifact ~lower_scale times its real cost.
+// The serving runs (which set J/token and tokens/s) exercise the write path
+// in full on both fidelities.
+double MeasureReadProbe(workload::MemoryBackend* backend, int batch) {
+  const workload::FoundationModelConfig model = workload::Llama2_70B();
+  workload::StepBatch step;
+  step.Read(workload::Stream::kWeights, model.weight_bytes());
+  step.Read(workload::Stream::kKvCache,
+            static_cast<std::uint64_t>(batch) * kDecodeContext * model.kv_bytes_per_token());
+  return backend->SubmitStep(step).seconds;
+}
+
+workload::EngineSummary RunServing(workload::MemoryBackend* backend,
+                                   const TunerOptions& options) {
+  workload::EngineConfig config;
+  config.model = workload::Llama2_70B();
+  config.max_batch = options.max_batch;
+  config.compute_tflops = options.compute_tflops;
+  workload::InferenceEngine engine(config, backend);
+  std::vector<workload::InferenceRequest> requests;
+  for (int i = 0; i < options.requests; ++i) {
+    workload::InferenceRequest request;
+    request.id = static_cast<std::uint64_t>(i + 1);
+    request.prompt_tokens = options.prompt_tokens;
+    request.output_tokens = options.output_tokens;
+    requests.push_back(request);
+  }
+  return engine.Run(requests);
+}
+
+double JPerToken(const workload::EngineSummary& summary) {
+  const double tokens = static_cast<double>(summary.prefill_tokens + summary.decode_tokens);
+  return tokens > 0.0 ? summary.backend_energy_j / tokens : 0.0;
+}
+
+// The MRM device config a candidate actually runs on: the band-0 ECC
+// strength becomes the device's code so the cycle-level decode path and the
+// analytic payload derate describe the same codeword.
+mrmcore::MrmDeviceConfig CandidateDevice(const TunerOptions& options,
+                                         const MemoryPolicy& policy) {
+  mrmcore::MrmDeviceConfig mrm = options.mrm;
+  if (!policy.ecc_bands.empty()) {
+    mrm.ecc_t = static_cast<int>(policy.ecc_bands.front().t);
+  }
+  return mrm;
+}
+
+// F2 fault ladder rung (bench_f2_fault_sweep): one rate drives every MRM
+// injection path, with zone failures kept 10x rarer so the read path, not
+// catastrophic loss, dominates.
+fault::FaultConfig MrmFaultConfig(const TunerOptions& options) {
+  fault::FaultConfig config;
+  config.seed = options.fault_seed;
+  config.transient_rber = options.fault_rate;
+  config.stuck_block_prob = options.fault_rate;
+  config.stuck_wear_fraction = 0.0;
+  config.zone_failure_prob = options.fault_rate * 0.1;
+  return config;
+}
+
+// Fast fidelity: analytic TieredBackend with the MRM tier priced at the
+// candidate's compiled KV retention and derated to its ECC payload fraction.
+void EvaluateFast(const TunerOptions& options, CandidateOutcome& out) {
+  const Status valid = out.policy.Validate(/*tier_count=*/2);
+  if (!valid.ok()) {
+    out.infeasible_why = valid.message();
+    return;
+  }
+  auto tradeoff = cell::MakeTradeoffFor(options.mrm.technology);
+  MRM_CHECK(tradeoff.ok()) << tradeoff.error().message();
+  const mrmcore::MrmDeviceConfig mrm = CandidateDevice(options, out.policy);
+  const auto derived = out.policy.DeriveScrubAges(mrm, *tradeoff.value());
+  if (!derived.ok()) {
+    out.infeasible_why = derived.error().message();
+    return;
+  }
+  out.feasible = true;
+  out.kv_scrub_age_s = derived.value().EffectiveKvScrubAge();
+  out.usable_capacity_fraction = out.policy.UsablePayloadFraction(mrm);
+
+  std::vector<workload::TierSpec> tiers;
+  tiers.push_back(tier::TierSpecFromDevice(options.hbm, options.hbm_devices));
+  workload::TierSpec mrm_tier =
+      tier::TierSpecFromMrm(mrm, options.mrm_devices, out.policy.KvRetention());
+  // The candidate's ECC parity is physical: per payload byte the tier moves
+  // 1/fraction bytes of cells (bandwidth derates, energy inflates) and only
+  // `fraction` of the capacity holds data — the same accounting the sim
+  // backend applies (SimBackend::InflateMrmBytes).
+  const double frac = out.usable_capacity_fraction;
+  mrm_tier.capacity_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(mrm_tier.capacity_bytes) * frac);
+  mrm_tier.read_bw_bytes_per_s *= frac;
+  mrm_tier.write_bw_bytes_per_s *= frac;
+  mrm_tier.read_pj_per_bit /= frac;
+  mrm_tier.write_pj_per_bit /= frac;
+  // Calibrate the read bandwidth to the cycle-level channel service model:
+  // each block costs read_latency + block/bw, serialized per channel, so the
+  // achievable per-channel bandwidth is block/(latency + block/bw) — not the
+  // raw streaming rate TierSpecFromMrm quotes.
+  const double raw_block_s = static_cast<double>(mrm.block_bytes) /
+                             mrm.channel_read_bw_bytes_per_s;
+  mrm_tier.read_bw_bytes_per_s *=
+      raw_block_s / (mrm.read_latency_ns * 1e-9 + raw_block_s);
+  out.mrm_capacity_bytes = mrm_tier.capacity_bytes;
+  tiers.push_back(mrm_tier);
+
+  const std::uint64_t weight_bytes = workload::Llama2_70B().weight_bytes();
+  tier::TieredBackend backend(tiers, out.policy.placement, weight_bytes, derived.value());
+  out.analytic_decode_step_s = MeasureReadProbe(&backend, options.max_batch);
+
+  tier::TieredBackend serving(tiers, out.policy.placement, weight_bytes, derived.value());
+  const workload::EngineSummary summary = RunServing(&serving, options);
+  out.analytic_j_per_token = JPerToken(summary);
+  out.analytic_decode_tokens_per_s = summary.decode_tokens_per_s();
+  out.requests_completed = summary.requests_completed;
+
+  out.meets_slo =
+      summary.requests_completed == static_cast<std::uint64_t>(options.requests) &&
+      out.analytic_decode_tokens_per_s >= options.slo_min_decode_tokens_per_s &&
+      out.usable_capacity_fraction >= options.slo_min_capacity_fraction;
+}
+
+// Cycle-level validation: the E12 sim backend with the candidate policy on
+// the control plane, the F2 fault rung injected, and — in checked runs — the
+// MRM auditor holding the declared policy.
+void Validate(const TunerOptions& options, CandidateOutcome& out) {
+  driver::SimBackendOptions sim;
+  sim.device = options.hbm;
+  sim.devices = options.hbm_devices;
+  sim.sim_threads = options.sim_threads;
+  sim.lower_scale = options.lower_scale;
+  sim.mrm_enabled = true;
+  sim.mrm = CandidateDevice(options, out.policy);
+  sim.mrm_devices = options.mrm_devices;
+  sim.has_mrm_policy = true;
+  sim.mrm_policy = out.policy;
+  sim.placement = out.policy.placement;
+
+  // The MRM auditor must observe the device from its very first append (the
+  // ctor's weight preload), so it attaches through the pre-traffic hook.
+  std::optional<check::ScopedMrmChecker> mrm_checker;
+  const mrmcore::RetentionPolicy declared = out.policy.CompilePlanePolicy();
+  sim.on_mrm_ready = [&mrm_checker, &declared](mrmcore::MrmDevice* device,
+                                               mrmcore::ControlPlane*) {
+    mrm_checker.emplace(device);
+    if (mrm_checker->mutable_checker() != nullptr) {
+      mrm_checker->mutable_checker()->DeclarePolicy(declared);
+    }
+  };
+
+  const std::uint64_t weight_bytes = workload::Llama2_70B().weight_bytes();
+  {
+    driver::SimBackend backend(std::move(sim), weight_bytes);
+
+    // Faults arm after the preload: the ladder stresses serving, not boot.
+    fault::FaultInjector injector(MrmFaultConfig(options));
+    backend.control_plane()->SetFaultInjector(&injector);
+    check::ScopedChecker mem_checker(backend.simulator(), backend.memory_system());
+    check::ScopedFaultChecker fault_checker(&injector);
+
+    // Prime the KV ring with the probe's read set so the decode-step probe
+    // measures reads as reads (a cold ring turns them into recompute
+    // appends, which is fill traffic, not the steady state the analytic
+    // fidelity prices).
+    const workload::FoundationModelConfig model = workload::Llama2_70B();
+    workload::StepBatch prime;
+    prime.Write(workload::Stream::kKvCache,
+                static_cast<std::uint64_t>(options.max_batch) * kDecodeContext *
+                    model.kv_bytes_per_token());
+    backend.SubmitStep(prime);
+
+    out.sim_decode_step_s = MeasureReadProbe(&backend, options.max_batch);
+    const workload::EngineSummary summary = RunServing(&backend, options);
+    out.sim_j_per_token = JPerToken(summary);
+    out.sim_decode_tokens_per_s = summary.decode_tokens_per_s();
+    out.sim_events = backend.simulator()->events_executed();
+    out.faults_injected = injector.stats().injected_total();
+    if (mrm_checker.has_value() && mrm_checker->checker() != nullptr) {
+      out.checker_events = mrm_checker->checker()->events_observed();
+    }
+    // Detach (and report) while the audited device is still alive.
+    mrm_checker.reset();
+  }
+  out.agreement_ratio = out.analytic_decode_step_s > 0.0
+                            ? out.sim_decode_step_s / out.analytic_decode_step_s
+                            : 0.0;
+  out.within_agreement =
+      std::abs(out.agreement_ratio - 1.0) <= options.agreement_bound;
+  out.validated = true;
+}
+
+// a dominates b on the (J/token, usable capacity, decode tokens/s) frontier.
+bool Dominates(const CandidateOutcome& a, const CandidateOutcome& b) {
+  const bool no_worse = a.analytic_j_per_token <= b.analytic_j_per_token &&
+                        a.usable_capacity_fraction >= b.usable_capacity_fraction &&
+                        a.analytic_decode_tokens_per_s >= b.analytic_decode_tokens_per_s;
+  const bool strictly_better =
+      a.analytic_j_per_token < b.analytic_j_per_token ||
+      a.usable_capacity_fraction > b.usable_capacity_fraction ||
+      a.analytic_decode_tokens_per_s > b.analytic_decode_tokens_per_s;
+  return no_worse && strictly_better;
+}
+
+RetentionClass DcmClass(double margin, double floor_s) {
+  RetentionClass cls;
+  cls.kind = RetentionClassKind::kDcm;
+  cls.margin = margin;
+  cls.floor_s = floor_s;
+  return cls;
+}
+
+RetentionClass FixedClass(double retention_s) {
+  RetentionClass cls;
+  cls.kind = RetentionClassKind::kFixed;
+  cls.fixed_retention_s = retention_s;
+  return cls;
+}
+
+MemoryPolicy BasePolicy() {
+  MemoryPolicy policy;
+  policy.placement.weights_tier = 1;
+  policy.placement.kv_hot_tier = 0;
+  policy.placement.kv_cold_tier = 1;
+  policy.placement.kv_hot_fraction = 0.15;
+  policy.placement.activations_tier = 0;
+  policy.tiering.scrub_tier = 1;
+  return policy;
+}
+
+std::string MarginTag(double margin) {
+  // 1.25 -> "125": fixed-point so candidate labels are locale-proof.
+  return std::to_string(static_cast<int>(margin * 100.0 + 0.5));
+}
+
+}  // namespace
+
+TunerOptions TunerOptions::Defaults() {
+  TunerOptions options;
+  options.hbm = mem::HBM3EConfig();
+  options.mrm.technology = cell::Technology::kSttMram;
+  options.mrm.channels = 96;  // HBM-comparable aggregate read bandwidth
+  options.mrm.channel_read_bw_bytes_per_s = 100e9;
+  options.mrm.ecc_codeword_bits = 4096;
+  return options;
+}
+
+std::vector<PolicyCandidate> DefaultPolicyGrid() {
+  std::vector<PolicyCandidate> grid;
+
+  // Static reference: SCM-style worst-case provisioning. Every byte is held
+  // ten years regardless of its lifetime, which forces the strong t=64 code
+  // (and its payload tax) on data that lives minutes.
+  {
+    PolicyCandidate c;
+    c.name = "static_scm_10y";
+    c.baseline = true;
+    c.policy = BasePolicy();
+    c.policy.kv = FixedClass(10.0 * kYear);
+    c.policy.weights = FixedClass(10.0 * kYear);
+    c.policy.activations = FixedClass(10.0 * kYear);
+    c.policy.ecc_bands = {{0, 64}};
+    grid.push_back(std::move(c));
+  }
+
+  // Static reference: one short/long split, no per-stream tuning.
+  {
+    PolicyCandidate c;
+    c.name = "two_class";
+    c.policy = BasePolicy();
+    for (RetentionClass* cls :
+         {&c.policy.kv, &c.policy.weights, &c.policy.activations}) {
+      cls->kind = RetentionClassKind::kTwoClass;
+      cls->short_retention_s = kHour;
+      cls->long_retention_s = 180.0 * kDay;
+      cls->short_threshold_s = 2.0 * kHour;
+    }
+    c.policy.ecc_bands = {{0, 24}};
+    grid.push_back(std::move(c));
+  }
+
+  // Static reference: DCM retention but an untuned, uniformly padded margin
+  // and a conservative code — "programmable retention without management".
+  {
+    PolicyCandidate c;
+    c.name = "naive_dcm";
+    c.policy = BasePolicy();
+    c.policy.kv = DcmClass(2.0, kHour);
+    c.policy.weights = DcmClass(2.0, kHour);
+    c.policy.activations = DcmClass(2.0, kHour);
+    c.policy.ecc_bands = {{0, 40}};
+    grid.push_back(std::move(c));
+  }
+
+  // The tuned sweep: KV retention margin x ECC strength. Weights and
+  // activations keep their stream-appropriate classes throughout.
+  for (const double margin : {1.1, 1.25, 1.5}) {
+    for (const std::uint32_t t : {16u, 24u, 40u}) {
+      PolicyCandidate c;
+      c.name = "dcm_m" + MarginTag(margin) + "_t" + std::to_string(t);
+      c.policy = BasePolicy();
+      c.policy.kv = DcmClass(margin, 120.0);
+      c.policy.weights = DcmClass(1.1, kDay);
+      c.policy.activations = DcmClass(1.5, 60.0);
+      c.policy.ecc_bands = {{0, t}};
+      grid.push_back(std::move(c));
+    }
+  }
+  return grid;
+}
+
+Result<std::vector<PolicyCandidate>> GridForPreset(const std::string& preset) {
+  auto policy = PolicyPresetByName(preset, BasePolicy());
+  if (!policy.ok()) {
+    return policy.error();
+  }
+  std::vector<PolicyCandidate> grid = DefaultPolicyGrid();
+  grid.resize(1);  // keep only the static_scm_10y baseline
+  PolicyCandidate c;
+  c.name = "preset_" + preset;
+  c.policy = policy.value();
+  grid.push_back(std::move(c));
+  return grid;
+}
+
+TuneReport RunTune(const TunerOptions& options, std::vector<PolicyCandidate> grid) {
+  if (grid.empty()) {
+    grid = DefaultPolicyGrid();
+  }
+  TuneReport report;
+  report.candidates.reserve(grid.size());
+  for (PolicyCandidate& candidate : grid) {
+    CandidateOutcome out;
+    out.name = candidate.name;
+    out.baseline = candidate.baseline;
+    out.policy = std::move(candidate.policy);
+    EvaluateFast(options, out);
+    if (out.baseline && report.baseline_index < 0) {
+      report.baseline_index = static_cast<int>(report.candidates.size());
+    }
+    report.candidates.push_back(std::move(out));
+  }
+
+  // Pareto frontier among feasible, SLO-meeting candidates.
+  for (CandidateOutcome& a : report.candidates) {
+    if (!a.feasible || !a.meets_slo) {
+      continue;
+    }
+    a.on_frontier = true;
+    for (const CandidateOutcome& b : report.candidates) {
+      if (&a != &b && b.feasible && b.meets_slo && Dominates(b, a)) {
+        a.on_frontier = false;
+        break;
+      }
+    }
+  }
+
+  // Promote to cycle-level validation: the baseline always (the delta must
+  // be apples-to-apples), then up to max_validate frontier candidates in
+  // ascending analytic J/token (grid order breaks ties — deterministic).
+  std::vector<int> promoted;
+  if (report.baseline_index >= 0 &&
+      report.candidates[report.baseline_index].feasible) {
+    promoted.push_back(report.baseline_index);
+  }
+  std::vector<int> frontier;
+  for (int i = 0; i < static_cast<int>(report.candidates.size()); ++i) {
+    if (report.candidates[i].on_frontier && i != report.baseline_index) {
+      frontier.push_back(i);
+    }
+  }
+  std::stable_sort(frontier.begin(), frontier.end(), [&report](int a, int b) {
+    return report.candidates[a].analytic_j_per_token <
+           report.candidates[b].analytic_j_per_token;
+  });
+  for (int i : frontier) {
+    if (static_cast<int>(promoted.size()) >= options.max_validate + 1) {
+      break;
+    }
+    promoted.push_back(i);
+  }
+  for (int i : promoted) {
+    Validate(options, report.candidates[i]);
+    report.max_agreement_error =
+        std::max(report.max_agreement_error,
+                 std::abs(report.candidates[i].agreement_ratio - 1.0));
+  }
+
+  // The winner: a validated, non-baseline candidate strictly better on
+  // J/token at equal-or-better usable capacity than the static baseline.
+  if (report.baseline_index >= 0) {
+    const CandidateOutcome& base = report.candidates[report.baseline_index];
+    for (int i : promoted) {
+      if (i == report.baseline_index) {
+        continue;
+      }
+      const CandidateOutcome& c = report.candidates[i];
+      if (c.analytic_j_per_token < base.analytic_j_per_token &&
+          c.usable_capacity_fraction >= base.usable_capacity_fraction &&
+          (report.winner_index < 0 ||
+           c.analytic_j_per_token <
+               report.candidates[report.winner_index].analytic_j_per_token)) {
+        report.winner_index = i;
+      }
+    }
+    if (report.winner_index >= 0) {
+      const CandidateOutcome& win = report.candidates[report.winner_index];
+      if (base.analytic_j_per_token > 0.0) {
+        report.j_per_token_delta_frac =
+            win.analytic_j_per_token / base.analytic_j_per_token - 1.0;
+      }
+      if (base.usable_capacity_fraction > 0.0) {
+        report.capacity_delta_frac =
+            win.usable_capacity_fraction / base.usable_capacity_fraction - 1.0;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace policy
+}  // namespace mrm

@@ -1,0 +1,153 @@
+// Two-fidelity DCM policy autotuner (paper §4, DESIGN.md §14).
+//
+// The tuner answers the paper's quantitative question — how much J/token and
+// usable capacity does *managing* retention buy over provisioning worst-case
+// SCM cells — by searching a deterministic grid of MemoryPolicy candidates at
+// two fidelities:
+//
+//   fast      every candidate runs the Llama2-70B serving workload on the
+//             analytic tier::TieredBackend (HBM hot tier + MRM tier priced by
+//             TierSpecFromMrm at the candidate's compiled KV retention, MRM
+//             capacity derated by the candidate's ECC payload fraction, scrub
+//             ages derived from MaxSafeAge of the candidate's code).
+//   validate  the Pareto frontier (min J/token, max usable capacity, max
+//             decode tokens/s among SLO-meeting candidates) is promoted to the
+//             cycle-level driver::SimBackend with the F2 fault ladder active
+//             and — in checked builds — the MRM auditor holding the candidate
+//             policy via MrmChecker::DeclarePolicy, so a tuner win cannot come
+//             from a policy the control plane does not actually implement.
+//
+// Everything is deterministic: the grid is a fixed list, the analytic backend
+// is closed-form, and the sim backend + keyed fault injector are bit-identical
+// at any --sim-threads count, so the CI policy-smoke job can diff two tuner
+// runs' JSON directly.
+
+#ifndef MRMSIM_SRC_POLICY_TUNER_H_
+#define MRMSIM_SRC_POLICY_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_config.h"
+#include "src/mem/device_config.h"
+#include "src/mrm/mrm_config.h"
+#include "src/policy/memory_policy.h"
+
+namespace mrm {
+namespace policy {
+
+struct TunerOptions {
+  // Serving workload (mirrors bench E12's closed-loop calibration shape).
+  int requests = 8;
+  int prompt_tokens = 256;
+  int output_tokens = 32;
+  int max_batch = 8;
+  double compute_tflops = 1000.0;
+
+  // Hardware under tune: HBM hot tier + one MRM device.
+  mem::DeviceConfig hbm;     // defaulted to HBM3E in Defaults()
+  int hbm_devices = 8;
+  mrmcore::MrmDeviceConfig mrm;  // technology/channel defaults in Defaults()
+  int mrm_devices = 1;
+
+  // Cycle-level validation.
+  int sim_threads = 1;
+  std::uint64_t lower_scale = 1024;
+  double fault_rate = 1e-4;      // F2 ladder rung applied during validation
+  std::uint64_t fault_seed = 42;
+  // Upper bound on non-baseline frontier candidates promoted to validation
+  // (the baseline is always validated so the tuned-vs-static delta is
+  // apples-to-apples cycle-level).
+  int max_validate = 3;
+  // Documented analytic-vs-sim agreement bound on the decode step
+  // (|ratio - 1| <= bound); candidates outside it are flagged, not hidden.
+  double agreement_bound = 0.10;
+
+  // SLO gates applied at the fast fidelity (0 = disabled): a candidate must
+  // complete every request and clear these floors to reach the frontier.
+  double slo_min_decode_tokens_per_s = 0.0;
+  double slo_min_capacity_fraction = 0.0;
+
+  // Tuner options with the benchmark hardware filled in (HBM3E x8 +
+  // 96-channel STT-MRAM, the E12 closed-loop preset).
+  static TunerOptions Defaults();
+};
+
+// One point of the policy grid. `baseline` marks the static reference the
+// tuned winner must strictly dominate (fixed 10-year SCM provisioning).
+struct PolicyCandidate {
+  std::string name;
+  MemoryPolicy policy;
+  bool baseline = false;
+};
+
+// Everything measured about one candidate, both fidelities.
+struct CandidateOutcome {
+  std::string name;
+  bool baseline = false;
+  MemoryPolicy policy;
+
+  // Fast fidelity (analytic TieredBackend).
+  bool feasible = false;       // Validate + DeriveScrubAges succeeded
+  std::string infeasible_why;  // diagnostic when !feasible
+  double analytic_decode_step_s = 0.0;  // read-probe span (see MeasureReadProbe)
+  double analytic_j_per_token = 0.0;
+  double analytic_decode_tokens_per_s = 0.0;
+  double usable_capacity_fraction = 0.0;  // ECC payload fraction of the MRM tier
+  std::uint64_t mrm_capacity_bytes = 0;   // post-derate
+  double kv_scrub_age_s = 0.0;            // derived safe age actually charged
+  std::uint64_t requests_completed = 0;
+  bool meets_slo = false;
+  bool on_frontier = false;
+
+  // Cycle-level validation (only when promoted).
+  bool validated = false;
+  double sim_decode_step_s = 0.0;  // read-probe span on the cycle-level backend
+  double sim_j_per_token = 0.0;
+  double sim_decode_tokens_per_s = 0.0;
+  double agreement_ratio = 0.0;  // sim decode step / analytic decode step
+  bool within_agreement = false;
+  std::uint64_t sim_events = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t checker_events = 0;  // 0 in unchecked builds
+};
+
+struct TuneReport {
+  std::vector<CandidateOutcome> candidates;
+  int baseline_index = -1;  // index into `candidates`
+  int winner_index = -1;    // validated candidate dominating the baseline
+  // Winner-vs-baseline deltas (analytic fidelity; negative j delta = win).
+  double j_per_token_delta_frac = 0.0;
+  double capacity_delta_frac = 0.0;
+  // Worst |agreement_ratio - 1| over validated candidates.
+  double max_agreement_error = 0.0;
+
+  const CandidateOutcome* winner() const {
+    return winner_index >= 0 ? &candidates[winner_index] : nullptr;
+  }
+  const CandidateOutcome* baseline() const {
+    return baseline_index >= 0 ? &candidates[baseline_index] : nullptr;
+  }
+};
+
+// The deterministic default grid: three static references (fixed 10-year SCM
+// provisioning with worst-case ECC, a two-class policy, a naive single-margin
+// DCM) plus the tuned DCM sweep (KV margin x ECC strength).
+std::vector<PolicyCandidate> DefaultPolicyGrid();
+
+// The grid restricted to one named preset (policy.preset spelling: dcm |
+// scm-10y | two-class) against the static SCM baseline — "how much does
+// this preset buy over worst-case provisioning". The bench's
+// --policy-preset / MRMSIM_POLICY_PRESET knob resolves through this; an
+// unknown name errors with the known spellings.
+Result<std::vector<PolicyCandidate>> GridForPreset(const std::string& preset);
+
+// Runs the two-fidelity tune over `grid` (DefaultPolicyGrid() when empty).
+TuneReport RunTune(const TunerOptions& options,
+                   std::vector<PolicyCandidate> grid = {});
+
+}  // namespace policy
+}  // namespace mrm
+
+#endif  // MRMSIM_SRC_POLICY_TUNER_H_

@@ -52,10 +52,48 @@ Status TieredBackendOptions::Validate(int tier_count) const {
     return Error("scrub_tier = " + std::to_string(scrub_tier) +
                  " must be -1 (off) or a tier index below " + std::to_string(tier_count));
   }
-  if (scrub_tier >= 0 && !(scrub_safe_age_s > 0.0 && std::isfinite(scrub_safe_age_s))) {
-    return Error("scrub_safe_age_s must be positive and finite when a scrub tier is "
-                 "configured, got " +
+  // The deprecated alias is only read when a scrub tier is configured, so a
+  // garbage value with scrubbing off stays ignorable (historical contract).
+  // The negated comparisons also reject NaN.
+  if (scrub_tier >= 0 && (!(scrub_safe_age_s >= 0.0) || !std::isfinite(scrub_safe_age_s))) {
+    return Error("scrub_safe_age_s must be non-negative and finite, got " +
                  std::to_string(scrub_safe_age_s));
+  }
+  if (!(kv_scrub_age_s >= 0.0) || !std::isfinite(kv_scrub_age_s)) {
+    return Error("kv_scrub_age_s must be non-negative and finite, got " +
+                 std::to_string(kv_scrub_age_s));
+  }
+  if (!(weights_scrub_age_s >= 0.0) || !std::isfinite(weights_scrub_age_s)) {
+    return Error("weights_scrub_age_s must be non-negative and finite, got " +
+                 std::to_string(weights_scrub_age_s));
+  }
+  if (scrub_tier >= 0 && !(EffectiveKvScrubAge() > 0.0)) {
+    return Error("a configured scrub tier requires a positive KV scrub age "
+                 "(kv_scrub_age_s or the scrub_safe_age_s alias), got " +
+                 std::to_string(EffectiveKvScrubAge()));
+  }
+  return Status::Ok();
+}
+
+Status TieredBackendOptions::Validate(const Placement& placement, int tier_count) const {
+  if (Status s = Validate(tier_count); !s.ok()) {
+    return s;
+  }
+  if (kv_scrub_age_s > 0.0 && scrub_tier < 0) {
+    return Error("kv_scrub_age_s is set but no scrub tier is configured");
+  }
+  if (kv_scrub_age_s > 0.0 && placement.kv_hot_tier != scrub_tier &&
+      placement.kv_cold_tier != scrub_tier) {
+    return Error("kv_scrub_age_s is set but no KV tier is placed on scrub_tier " +
+                 std::to_string(scrub_tier));
+  }
+  if (weights_scrub_age_s > 0.0 && scrub_tier < 0) {
+    return Error("weights_scrub_age_s is set but no scrub tier is configured");
+  }
+  if (weights_scrub_age_s > 0.0 && placement.weights_tier != scrub_tier) {
+    return Error("weights_scrub_age_s is set but weights_tier " +
+                 std::to_string(placement.weights_tier) + " is not scrub_tier " +
+                 std::to_string(scrub_tier));
   }
   return Status::Ok();
 }
@@ -70,12 +108,15 @@ TieredBackend::TieredBackend(std::vector<workload::TierSpec> tiers, Placement pl
   const int tier_count = static_cast<int>(tiers_.size());
   const Status placement_ok = placement_.Validate(tier_count);
   MRM_CHECK(placement_ok.ok()) << placement_ok.message();
-  const Status options_ok = options_.Validate(tier_count);
+  const Status options_ok = options_.Validate(placement_, tier_count);
   MRM_CHECK(options_ok.ok()) << options_ok.message();
   MRM_CHECK(tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes == 0 ||
             tiers_[static_cast<std::size_t>(placement_.weights_tier)].capacity_bytes >=
                 weight_bytes_)
       << "weights do not fit their tier";
+  if (options_.weights_scrub_age_s > 0.0 && placement_.weights_tier == options_.scrub_tier) {
+    resident_weights_ = weight_bytes_;
+  }
   busy_s_.assign(tiers_.size(), 0.0);
   dynamic_j_.assign(tiers_.size(), 0.0);
 }
@@ -189,12 +230,22 @@ void TieredBackend::AccountTime(double seconds) {
     static_j_ += spec.static_power_w * seconds;
   }
   // Scrub model: resident bytes on the scrub tier are rewritten once per
-  // safe age; charge write energy (read-back is cheap and overlapped).
-  if (options_.scrub_tier >= 0 && options_.scrub_safe_age_s > 0.0 && resident_kv_cold_ > 0) {
-    const double bytes = static_cast<double>(resident_kv_cold_) * seconds /
-                         options_.scrub_safe_age_s;
-    const workload::TierSpec& spec = tiers_[static_cast<std::size_t>(options_.scrub_tier)];
-    scrub_j_ += bytes * 8.0 * (spec.write_pj_per_bit + spec.read_pj_per_bit) * 1e-12;
+  // their stream's safe age; charge read-back + write energy.
+  if (options_.scrub_tier < 0) {
+    return;
+  }
+  const workload::TierSpec& spec = tiers_[static_cast<std::size_t>(options_.scrub_tier)];
+  const double pj_per_bit = spec.write_pj_per_bit + spec.read_pj_per_bit;
+  const double kv_age = options_.EffectiveKvScrubAge();
+  if (kv_age > 0.0 && resident_kv_cold_ > 0) {
+    const double bytes = static_cast<double>(resident_kv_cold_) * seconds / kv_age;
+    scrub_j_ += bytes * 8.0 * pj_per_bit * 1e-12;
+    scrub_bytes_ += static_cast<std::uint64_t>(bytes);
+  }
+  if (options_.weights_scrub_age_s > 0.0 && resident_weights_ > 0) {
+    const double bytes =
+        static_cast<double>(resident_weights_) * seconds / options_.weights_scrub_age_s;
+    scrub_j_ += bytes * 8.0 * pj_per_bit * 1e-12;
     scrub_bytes_ += static_cast<std::uint64_t>(bytes);
   }
 }

@@ -6,8 +6,11 @@
 // busiest tier's time, which is what makes offloading bandwidth-additive.
 //
 // For MRM tiers the backend also models the control plane's scrub traffic:
-// resident KV bytes must be rewritten every `scrub_safe_age_s`, costing
-// write energy and MRM write bandwidth.
+// bytes resident on the scrub tier must be rewritten once per their stream's
+// scrub safe age, costing write energy and MRM write bandwidth. Safe ages are
+// per stream (KV and weights age at different programmed retentions, so their
+// ECC-safe windows differ); the legacy single `scrub_safe_age_s` survives as
+// a deprecated alias for the KV age.
 
 #ifndef MRMSIM_SRC_TIER_TIERED_BACKEND_H_
 #define MRMSIM_SRC_TIER_TIERED_BACKEND_H_
@@ -33,17 +36,48 @@ struct Placement {
   // Cross-field validation against a system of `tier_count` tiers: every
   // tier index in range, kv_hot_fraction a real number in [0, 1].
   Status Validate(int tier_count) const;
+
+  friend bool operator==(const Placement& a, const Placement& b) {
+    return a.weights_tier == b.weights_tier && a.kv_hot_tier == b.kv_hot_tier &&
+           a.kv_cold_tier == b.kv_cold_tier && a.kv_hot_fraction == b.kv_hot_fraction &&
+           a.activations_tier == b.activations_tier;
+  }
 };
 
 struct TieredBackendOptions {
   // Index of the tier whose data needs periodic scrubbing (-1 = none).
   int scrub_tier = -1;
-  // Data on the scrub tier is rewritten every this many seconds.
+  // Deprecated two-field form: single safe age for KV data on the scrub
+  // tier. Still honored when kv_scrub_age_s is 0 so pre-policy scenarios and
+  // snapshots keep their meaning; new code sets the per-stream ages below.
   double scrub_safe_age_s = 3600.0;
+  // Per-stream scrub safe ages (seconds). KV bytes resident on the scrub
+  // tier are rewritten once per kv_scrub_age_s (0 = inherit the deprecated
+  // scrub_safe_age_s alias). Weights are written once and live forever, so
+  // they scrub only when weights_scrub_age_s is set explicitly (> 0); the
+  // alias never applies to them (matches the historical model, where only KV
+  // paid scrub traffic). Activations are step-transient and never scrubbed.
+  double kv_scrub_age_s = 0.0;
+  double weights_scrub_age_s = 0.0;
 
-  // Cross-field validation: scrub_tier is -1 or a valid tier index, and a
-  // configured scrub tier requires a positive finite safe age.
+  // Resolved KV age after alias substitution.
+  double EffectiveKvScrubAge() const { return kv_scrub_age_s > 0.0 ? kv_scrub_age_s : scrub_safe_age_s; }
+
+  // Field-local validation: scrub_tier is -1 or a valid tier index, the
+  // per-stream ages non-negative finite, and a configured scrub tier
+  // requires a positive finite effective KV age. The deprecated alias is
+  // only checked when scrubbing is on (it is ignorable otherwise).
   Status Validate(int tier_count) const;
+  // Full cross-field validation against the placement: a per-stream age is
+  // only meaningful when that stream actually lives on the scrub tier.
+  // Errors name the offending rule. This is the overload the backend ctor
+  // enforces.
+  Status Validate(const Placement& placement, int tier_count) const;
+
+  friend bool operator==(const TieredBackendOptions& a, const TieredBackendOptions& b) {
+    return a.scrub_tier == b.scrub_tier && a.scrub_safe_age_s == b.scrub_safe_age_s &&
+           a.kv_scrub_age_s == b.kv_scrub_age_s && a.weights_scrub_age_s == b.weights_scrub_age_s;
+  }
 };
 
 class TieredBackend final : public workload::MemoryBackend {
@@ -65,6 +99,7 @@ class TieredBackend final : public workload::MemoryBackend {
   double scrub_joules() const { return scrub_j_; }
   std::uint64_t scrub_bytes() const { return scrub_bytes_; }
   std::uint64_t resident_scrub_kv_bytes() const { return resident_kv_cold_; }
+  std::uint64_t resident_scrub_weight_bytes() const { return resident_weights_; }
   const std::vector<workload::TierSpec>& tiers() const { return tiers_; }
 
   // The engine reports KV frees so the scrub model tracks residency.
@@ -86,7 +121,8 @@ class TieredBackend final : public workload::MemoryBackend {
   double static_j_ = 0.0;
   double scrub_j_ = 0.0;
   std::uint64_t scrub_bytes_ = 0;
-  std::uint64_t resident_kv_cold_ = 0;  // bytes on the scrub tier
+  std::uint64_t resident_kv_cold_ = 0;   // KV bytes on the scrub tier
+  std::uint64_t resident_weights_ = 0;   // weight bytes on the scrub tier
 };
 
 }  // namespace tier

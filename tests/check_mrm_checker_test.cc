@@ -11,6 +11,7 @@
 
 #include "src/cell/tradeoff.h"
 #include "src/check/violation.h"
+#include "src/mrm/dcm.h"
 #include "src/mrm/mrm_config.h"
 
 namespace mrm {
@@ -246,6 +247,46 @@ TEST_F(MrmCheckerTest, CatchesReadOfBlockErasedByReset) {
   checker_.OnRead(Read(append, 15.0, true));  // data is gone after the reset
   EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
   EXPECT_TRUE(CaughtAs(ViolationKind::kZoneLifecycle));
+}
+
+// --- Policy audit (DESIGN.md §14) -------------------------------------------
+
+TEST_F(MrmCheckerTest, AcceptsRetentionMatchingTheDeclaredPolicy) {
+  checker_.DeclarePolicy(mrmcore::MakeDcmPolicy(/*margin=*/1.25, /*floor_s=*/120.0));
+  mrmcore::MrmPolicyRecord record;
+  record.lifetime_s = 600.0;
+  record.retention_s = 750.0;  // max(600, 120) * 1.25
+  record.now_s = 10.0;
+  checker_.OnPolicyRetention(record);
+  record.lifetime_s = 10.0;
+  record.retention_s = 150.0;  // floored
+  checker_.OnPolicyRetention(record);
+  EXPECT_EQ(checker_.events_observed(), 2u);
+  EXPECT_EQ(checker_.violation_count(), 0u) << checker_.Report();
+}
+
+TEST_F(MrmCheckerTest, CatchesOffPolicyRetention) {
+  // The plane claims to run a 1.25-margin DCM but programs some other
+  // retention — the exact drift a silently mis-lowered policy would show.
+  checker_.DeclarePolicy(mrmcore::MakeDcmPolicy(1.25, 120.0));
+  mrmcore::MrmPolicyRecord record;
+  record.lifetime_s = 600.0;
+  record.retention_s = 600.0;  // margin silently dropped
+  record.now_s = 10.0;
+  checker_.OnPolicyRetention(record);
+  EXPECT_EQ(checker_.violation_count(), 1u) << checker_.Report();
+  EXPECT_TRUE(CaughtAs(ViolationKind::kPolicyRetention));
+}
+
+TEST_F(MrmCheckerTest, UndeclaredPolicyRecordsAreObservedNotJudged) {
+  // Without DeclarePolicy the checker has no reference; records count as
+  // events (the audit summary shows traffic) but cannot violate.
+  mrmcore::MrmPolicyRecord record;
+  record.lifetime_s = 5.0;
+  record.retention_s = 1.0e9;
+  checker_.OnPolicyRetention(record);
+  EXPECT_EQ(checker_.events_observed(), 1u);
+  EXPECT_EQ(checker_.violation_count(), 0u) << checker_.Report();
 }
 
 }  // namespace

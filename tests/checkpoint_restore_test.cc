@@ -24,8 +24,10 @@
 #include "src/fault/fault_injector.h"
 #include "src/mem/device_config.h"
 #include "src/mem/memory_system.h"
+#include "src/cell/tradeoff.h"
 #include "src/mrm/control_plane.h"
 #include "src/mrm/mrm_device.h"
+#include "src/policy/memory_policy.h"
 #include "src/sim/simulator.h"
 #include "src/snapshot/checkpoint.h"
 #include "src/snapshot/codec.h"
@@ -507,6 +509,81 @@ TEST(FabricCheckpointTest, HostileFabricSnapshotRejectedByName) {
   FabricState other_state;
   const Error err = LoadFabric(path, kFingerprint, other, &other_state);
   EXPECT_EQ(err.kind, ErrorKind::kMalformed);
+}
+
+// --- Policy-gated checkpoints (DESIGN.md §14) -------------------------------
+
+// Seeds a run fingerprint with the non-policy config digest plus every
+// MemoryPolicy parameter, the way the closed-loop driver stamps snapshots.
+std::uint64_t PolicyFingerprint(const policy::MemoryPolicy& p) {
+  Fingerprint fp;
+  fp.MixU64(kFingerprint);
+  p.Mix(&fp);
+  return fp.digest();
+}
+
+// An MRM stack whose control plane is lowered from a MemoryPolicy.
+struct PolicyStack {
+  sim::Simulator simulator{1e9};
+  mrmcore::MrmDevice device;
+  mrmcore::ControlPlane plane;
+
+  PolicyStack(const policy::MemoryPolicy& p, const cell::RetentionTradeoff& tradeoff)
+      : device(&simulator, StackDeviceConfig()),
+        plane(&simulator, &device, [&] {
+          mrmcore::ControlPlaneOptions base;
+          base.scrub_period_s = 60.0;
+          return p.PlaneOptions(StackDeviceConfig(), tradeoff, base);
+        }()) {}
+};
+
+TEST(MrmCheckpointTest, PolicyRetentionRoundTripsAndParamsGateRestore) {
+  auto tradeoff = cell::MakeTradeoffFor(cell::Technology::kSttMram);
+  ASSERT_TRUE(tradeoff.ok());
+  policy::MemoryPolicy policy;  // default per-stream DCM classes
+  ASSERT_TRUE(policy.Validate(2).ok());
+  const std::uint64_t digest = PolicyFingerprint(policy);
+
+  // Appends whose programmed retention comes from the policy's lifetime
+  // dispatch: a KV-lifetime hint and a weight-lifetime hint land in
+  // different classes and must carry different retentions.
+  PolicyStack ref(policy, *tradeoff.value());
+  ref.simulator.RunUntil(ref.simulator.SecondsToTicks(5.0));
+  ASSERT_TRUE(ref.plane.Append(policy.kv_lifetime_hint_s).ok());
+  ASSERT_TRUE(ref.plane.Append(policy.weight_lifetime_hint_s).ok());
+  ref.simulator.RunUntil(ref.simulator.SecondsToTicks(10.0));
+
+  const std::string path = TempPath("mrm_policy_stack.snap");
+  ASSERT_TRUE(SaveMrmStack(path, digest, ref.simulator, ref.device, ref.plane,
+                           /*injector=*/nullptr, /*workload=*/{})
+                  .ok());
+
+  // Same-policy restore: the policy-chosen retentions (expiry and scrub
+  // deadline per block) round-trip bit-identically into a fresh stack.
+  PolicyStack restored(policy, *tradeoff.value());
+  MrmStackState state;
+  ASSERT_TRUE(LoadMrmStack(path, digest, restored.device, &state).ok());
+  ApplyMrmStack(state, &restored.simulator, &restored.device, &restored.plane,
+                /*injector=*/nullptr);
+  mrmcore::ControlPlane::SavedState saved_ref;
+  mrmcore::ControlPlane::SavedState saved_restored;
+  ref.plane.SaveState(&saved_ref);
+  restored.plane.SaveState(&saved_restored);
+  ExpectPlaneStateEq(saved_ref, saved_restored);
+  ASSERT_EQ(saved_restored.map.size(), 2u);
+  EXPECT_NE(saved_restored.map[0].tracked.expiry_s, saved_restored.map[1].tracked.expiry_s)
+      << "lifetime dispatch collapsed: both appends carry the same retention";
+
+  // A checkpoint taken under a different policy (one parameter changed) must
+  // be rejected up front with the named config-mismatch diagnostic.
+  policy::MemoryPolicy other = policy;
+  other.kv.margin = 2.0;
+  ASSERT_NE(PolicyFingerprint(other), digest);
+  MrmStackState scratch;
+  const Error mismatch = LoadMrmStack(path, PolicyFingerprint(other), restored.device, &scratch);
+  EXPECT_EQ(mismatch.kind, ErrorKind::kConfigMismatch);
+  EXPECT_NE(mismatch.ToString().find("config-mismatch"), std::string::npos)
+      << mismatch.ToString();
 }
 
 }  // namespace

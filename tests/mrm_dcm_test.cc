@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/common/units.h"
 
 namespace mrm {
@@ -31,6 +34,47 @@ TEST(Dcm, TwoClassPolicySplitsAtThreshold) {
   EXPECT_DOUBLE_EQ(policy(60.0), kHour);          // short class
   EXPECT_DOUBLE_EQ(policy(2.0 * kHour), kHour);   // boundary inclusive
   EXPECT_DOUBLE_EQ(policy(kDay), 30.0 * kDay);    // long class
+}
+
+TEST(Dcm, NonFiniteLifetimesAreTreatedAsUnknown) {
+  // A NaN (failed estimate) or ±inf ("immortal" marker) hint must land on the
+  // conservative branch of every policy, never in the retention math.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  const RetentionPolicy dcm = MakeDcmPolicy(1.5, 60.0);
+  for (double bad : {nan, inf, -inf, -1.0}) {
+    EXPECT_DOUBLE_EQ(dcm(bad), 90.0) << bad;  // floor * margin, finite
+    EXPECT_TRUE(std::isfinite(dcm(bad))) << bad;
+  }
+
+  const RetentionPolicy fixed = MakeFixedPolicy(kDay);
+  for (double bad : {nan, inf, -inf}) {
+    EXPECT_DOUBLE_EQ(fixed(bad), kDay) << bad;
+  }
+
+  const RetentionPolicy two = MakeTwoClassPolicy(kHour, 30.0 * kDay, 2.0 * kHour);
+  for (double bad : {nan, inf, -inf}) {
+    EXPECT_DOUBLE_EQ(two(bad), kHour) << bad;  // short (conservative) class
+  }
+}
+
+TEST(Dcm, ZeroAndSubFloorLifetimesFloorNotVanish) {
+  // Lifetime 0 ("unknown") and sub-floor hints must produce the same
+  // scrubbable retention, not a zero or sub-scrub-period one.
+  const RetentionPolicy dcm = MakeDcmPolicy(1.25, 120.0);
+  EXPECT_DOUBLE_EQ(dcm(0.0), 150.0);
+  EXPECT_DOUBLE_EQ(dcm(1e-9), 150.0);
+  EXPECT_DOUBLE_EQ(dcm(119.999), 150.0);
+  EXPECT_GT(dcm(120.001), 150.0);  // above the floor the hint takes over
+}
+
+TEST(Dcm, NegativeLifetimeNeverShortensTwoClassRetention) {
+  // The negative branch must classify as short (conservative), not wrap into
+  // the long class through an unsigned conversion or comparison quirk.
+  const RetentionPolicy two = MakeTwoClassPolicy(10.0, 1000.0, 5.0);
+  EXPECT_DOUBLE_EQ(two(-100.0), 10.0);
+  EXPECT_DOUBLE_EQ(two(0.0), 10.0);
 }
 
 TEST(Dcm, DcmNeverUnderProvisionsVersusHint) {

@@ -1,0 +1,140 @@
+// Scenario-key plumbing tests: policy.* keys → MemoryPolicy, presets, and
+// strict parse errors naming the offending key.
+
+#include "src/policy/policy_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/units.h"
+
+namespace mrm {
+namespace policy {
+namespace {
+
+// The defaults a driver would seed: scenario placement/tiering already parsed.
+MemoryPolicy SeedDefaults() {
+  MemoryPolicy defaults;
+  defaults.placement.weights_tier = 1;
+  defaults.placement.kv_hot_tier = 0;
+  defaults.placement.kv_cold_tier = 1;
+  defaults.placement.kv_hot_fraction = 0.15;
+  defaults.placement.activations_tier = 0;
+  defaults.tiering.scrub_tier = 1;
+  return defaults;
+}
+
+TEST(PolicyConfig, HasPolicyKeysDetectsThePrefix) {
+  Config config;
+  EXPECT_FALSE(HasPolicyKeys(config));
+  config.Set("tiers", "hbm,mrm");
+  EXPECT_FALSE(HasPolicyKeys(config));
+  config.Set("policy.kv.margin", "1.5");
+  EXPECT_TRUE(HasPolicyKeys(config));
+}
+
+TEST(PolicyConfig, EmptyConfigKeepsSeededDefaults) {
+  const auto built = BuildMemoryPolicy(Config{}, SeedDefaults());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value(), SeedDefaults());
+}
+
+TEST(PolicyConfig, PresetsResolveAndKeepSeededPlacement) {
+  for (const char* name : {"dcm", "scm-10y", "two-class"}) {
+    const auto preset = PolicyPresetByName(name, SeedDefaults());
+    ASSERT_TRUE(preset.ok()) << name;
+    EXPECT_EQ(preset.value().placement.weights_tier, 1) << name;
+    EXPECT_TRUE(preset.value().Validate(2).ok()) << name;
+  }
+  // The SCM-era baseline: every stream fixed, worst-case ECC.
+  const auto scm = PolicyPresetByName("scm-10y", SeedDefaults());
+  ASSERT_TRUE(scm.ok());
+  EXPECT_EQ(scm.value().kv.kind, RetentionClassKind::kFixed);
+  ASSERT_EQ(scm.value().ecc_bands.size(), 1u);
+  EXPECT_EQ(scm.value().ecc_bands[0].t, 64u);
+
+  const auto unknown = PolicyPresetByName("bogus", SeedDefaults());
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message().find("policy.preset"), std::string::npos);
+}
+
+TEST(PolicyConfig, PerStreamClassKeysOverrideThePreset) {
+  Config config;
+  config.Set("policy.preset", "dcm");
+  config.Set("policy.kv.class", "two-class");
+  config.Set("policy.kv.short_retention", "30m");
+  config.Set("policy.kv.long_retention", "90d");
+  config.Set("policy.kv.short_threshold", "1h");
+  config.Set("policy.weights.class", "fixed");
+  config.Set("policy.weights.retention", "180d");
+
+  const auto built = BuildMemoryPolicy(config, SeedDefaults());
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  const MemoryPolicy& p = built.value();
+  EXPECT_EQ(p.kv.kind, RetentionClassKind::kTwoClass);
+  EXPECT_DOUBLE_EQ(p.kv.short_retention_s, 30.0 * 60.0);
+  EXPECT_DOUBLE_EQ(p.kv.long_retention_s, 90.0 * kDay);
+  EXPECT_DOUBLE_EQ(p.kv.short_threshold_s, kHour);
+  EXPECT_EQ(p.weights.kind, RetentionClassKind::kFixed);
+  EXPECT_DOUBLE_EQ(p.weights.fixed_retention_s, 180.0 * kDay);
+  // Preset still visible where not overridden.
+  EXPECT_EQ(p.activations.kind, RetentionClassKind::kDcm);
+}
+
+TEST(PolicyConfig, EccBandListParses) {
+  Config config;
+  config.Set("policy.ecc_bands", "0:16,1000000:40");
+  const auto built = BuildMemoryPolicy(config, SeedDefaults());
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  ASSERT_EQ(built.value().ecc_bands.size(), 2u);
+  EXPECT_EQ(built.value().ecc_bands[0].min_wear_cycles, 0u);
+  EXPECT_EQ(built.value().ecc_bands[0].t, 16u);
+  EXPECT_EQ(built.value().ecc_bands[1].min_wear_cycles, 1000000u);
+  EXPECT_EQ(built.value().ecc_bands[1].t, 40u);
+}
+
+TEST(PolicyConfig, MalformedKeysAreNamedErrors) {
+  {
+    Config config;
+    config.Set("policy.kv.class", "sometimes");
+    const auto built = BuildMemoryPolicy(config, SeedDefaults());
+    ASSERT_FALSE(built.ok());
+    EXPECT_NE(built.error().message().find("policy.kv.class"), std::string::npos)
+        << built.error().message();
+  }
+  {
+    Config config;
+    config.Set("policy.ecc_bands", "0:16,banana");
+    const auto built = BuildMemoryPolicy(config, SeedDefaults());
+    ASSERT_FALSE(built.ok());
+    EXPECT_NE(built.error().message().find("policy.ecc_bands"), std::string::npos)
+        << built.error().message();
+  }
+  {
+    Config config;
+    config.Set("policy.ecc_bands", "0:nope");
+    EXPECT_FALSE(BuildMemoryPolicy(config, SeedDefaults()).ok());
+  }
+}
+
+TEST(PolicyConfig, ScrubAgeAndLifetimeKeysLand) {
+  Config config;
+  config.Set("policy.scrub.kv_age", "45m");
+  config.Set("policy.scrub.weights_age", "6h");
+  config.Set("policy.kv_lifetime", "20m");
+  config.Set("policy.scrub_crossover", "2m");
+  config.Set("policy.target_uber", "1e-14");
+  const auto built = BuildMemoryPolicy(config, SeedDefaults());
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  EXPECT_DOUBLE_EQ(built.value().tiering.kv_scrub_age_s, 45.0 * 60.0);
+  EXPECT_DOUBLE_EQ(built.value().tiering.weights_scrub_age_s, 6.0 * kHour);
+  EXPECT_DOUBLE_EQ(built.value().kv_lifetime_hint_s, 20.0 * 60.0);
+  EXPECT_DOUBLE_EQ(built.value().scrub_crossover_s, 120.0);
+  EXPECT_DOUBLE_EQ(built.value().target_uber, 1e-14);
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace mrm

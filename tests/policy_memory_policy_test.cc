@@ -1,0 +1,375 @@
+// MemoryPolicy aggregate tests (DESIGN.md §14): per-rule Validate rejections
+// (every error names the policy.* rule it enforces), lifetime-dispatch of the
+// compiled plane policy, ECC payload accounting, scrub-age derivation, and
+// the snapshot contract (fingerprint gates, codec round-trip).
+
+#include "src/policy/memory_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/cell/tradeoff.h"
+#include "src/common/units.h"
+#include "src/mrm/mrm_config.h"
+#include "src/snapshot/codec.h"
+
+namespace mrm {
+namespace policy {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+mrmcore::MrmDeviceConfig TestDevice() {
+  mrmcore::MrmDeviceConfig config;
+  config.technology = cell::Technology::kSttMram;
+  config.ecc_codeword_bits = 4096;
+  config.ecc_t = 16;
+  return config;
+}
+
+// A policy with every field off its default, for round-trip/fingerprint
+// sensitivity tests.
+MemoryPolicy FancyPolicy() {
+  MemoryPolicy p;
+  p.kv.kind = RetentionClassKind::kDcm;
+  p.kv.margin = 1.75;
+  p.kv.floor_s = 90.0;
+  p.weights.kind = RetentionClassKind::kFixed;
+  p.weights.fixed_retention_s = 45.0 * kDay;
+  p.activations.kind = RetentionClassKind::kTwoClass;
+  p.activations.short_retention_s = 30.0;
+  p.activations.long_retention_s = 900.0;
+  p.activations.short_threshold_s = 60.0;
+  p.activation_lifetime_cap_s = 2.0;
+  p.weight_lifetime_floor_s = 3.0 * kDay;
+  p.activation_lifetime_hint_s = 0.5;
+  p.kv_lifetime_hint_s = 450.0;
+  p.weight_lifetime_hint_s = 60.0 * kDay;
+  p.ecc_bands = {{0, 16}, {1000000, 40}};
+  p.target_uber = 1e-14;
+  p.scrub_crossover_s = 30.0;
+  p.placement.weights_tier = 1;
+  p.placement.kv_hot_tier = 0;
+  p.placement.kv_cold_tier = 1;
+  p.placement.kv_hot_fraction = 0.25;
+  p.placement.activations_tier = 0;
+  p.tiering.scrub_tier = 1;
+  p.tiering.kv_scrub_age_s = 1800.0;
+  p.tiering.weights_scrub_age_s = 7200.0;
+  return p;
+}
+
+// --- RetentionClass mapping --------------------------------------------------
+
+TEST(RetentionClass, DcmMarginsOverFloor) {
+  RetentionClass cls;
+  cls.kind = RetentionClassKind::kDcm;
+  cls.margin = 1.5;
+  cls.floor_s = 100.0;
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(1000.0), 1500.0);
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(10.0), 150.0);  // floored
+}
+
+TEST(RetentionClass, FixedIgnoresLifetime) {
+  RetentionClass cls;
+  cls.kind = RetentionClassKind::kFixed;
+  cls.fixed_retention_s = kDay;
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(1.0), kDay);
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(10.0 * kYear), kDay);
+}
+
+TEST(RetentionClass, TwoClassSplitsInclusive) {
+  RetentionClass cls;
+  cls.kind = RetentionClassKind::kTwoClass;
+  cls.short_retention_s = kHour;
+  cls.long_retention_s = 30.0 * kDay;
+  cls.short_threshold_s = 2.0 * kHour;
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(60.0), kHour);
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(2.0 * kHour), kHour);
+  EXPECT_DOUBLE_EQ(cls.RetentionFor(kDay), 30.0 * kDay);
+}
+
+TEST(RetentionClass, NonFiniteHintsLandOnConservativeBranch) {
+  RetentionClass dcm;
+  dcm.margin = 1.25;
+  dcm.floor_s = 120.0;
+  for (double bad : {kNan, kInf, -kInf, -5.0}) {
+    EXPECT_DOUBLE_EQ(dcm.RetentionFor(bad), 150.0) << bad;
+  }
+  RetentionClass two;
+  two.kind = RetentionClassKind::kTwoClass;
+  two.short_retention_s = 10.0;
+  two.long_retention_s = 100.0;
+  two.short_threshold_s = 50.0;
+  for (double bad : {kNan, kInf, -kInf}) {
+    EXPECT_DOUBLE_EQ(two.RetentionFor(bad), 10.0) << bad;
+  }
+}
+
+TEST(RetentionClass, KindNamesRoundTrip) {
+  for (auto kind : {RetentionClassKind::kDcm, RetentionClassKind::kFixed,
+                    RetentionClassKind::kTwoClass}) {
+    const auto back = RetentionClassKindByName(RetentionClassKindName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(RetentionClassKindByName("bogus").ok());
+}
+
+// --- Per-rule Validate rejections -------------------------------------------
+
+// Each case mutates one rule and expects a diagnostic naming it.
+void ExpectRejected(const MemoryPolicy& policy, const std::string& rule) {
+  const Status status = policy.Validate(/*tier_count=*/2);
+  ASSERT_FALSE(status.ok()) << "expected rejection naming '" << rule << "'";
+  EXPECT_NE(status.message().find(rule), std::string::npos) << status.message();
+}
+
+TEST(MemoryPolicyValidate, DefaultsAreValid) {
+  EXPECT_TRUE(MemoryPolicy{}.Validate(2).ok());
+  EXPECT_TRUE(FancyPolicy().Validate(2).ok());
+}
+
+TEST(MemoryPolicyValidate, RejectsSubUnityMargin) {
+  MemoryPolicy p;
+  p.kv.margin = 0.9;
+  ExpectRejected(p, "policy.kv.margin");
+}
+
+TEST(MemoryPolicyValidate, RejectsNonFiniteMargin) {
+  MemoryPolicy p;
+  p.weights.margin = kNan;
+  ExpectRejected(p, "policy.weights.margin");
+}
+
+TEST(MemoryPolicyValidate, RejectsNegativeFloor) {
+  MemoryPolicy p;
+  p.activations.floor_s = -1.0;
+  ExpectRejected(p, "policy.activations.floor");
+}
+
+TEST(MemoryPolicyValidate, RejectsNonPositiveFixedRetention) {
+  MemoryPolicy p;
+  p.kv.kind = RetentionClassKind::kFixed;
+  p.kv.fixed_retention_s = 0.0;
+  ExpectRejected(p, "policy.kv.retention");
+}
+
+TEST(MemoryPolicyValidate, RejectsInactiveFieldGarbageToo) {
+  // kv is a DCM class, but its unused two-class fields still validate so a
+  // scenario typo cannot hide in an inactive field.
+  MemoryPolicy p;
+  p.kv.short_retention_s = kInf;
+  ExpectRejected(p, "policy.kv.short_retention");
+}
+
+TEST(MemoryPolicyValidate, RejectsShortAboveLongRetention) {
+  MemoryPolicy p;
+  p.kv.kind = RetentionClassKind::kTwoClass;
+  p.kv.short_retention_s = kDay;
+  p.kv.long_retention_s = kHour;
+  ExpectRejected(p, "policy.kv.short_retention");
+}
+
+TEST(MemoryPolicyValidate, RejectsWeightFloorBelowActivationCap) {
+  MemoryPolicy p;
+  p.activation_lifetime_cap_s = 10.0;
+  p.weight_lifetime_floor_s = 5.0;
+  ExpectRejected(p, "policy.weight_floor");
+}
+
+TEST(MemoryPolicyValidate, RejectsActivationHintAboveCap) {
+  MemoryPolicy p;
+  p.activation_lifetime_hint_s = p.activation_lifetime_cap_s;
+  ExpectRejected(p, "policy.activation_lifetime");
+}
+
+TEST(MemoryPolicyValidate, RejectsKvHintOutsideItsBand) {
+  MemoryPolicy p;
+  p.kv_lifetime_hint_s = p.weight_lifetime_floor_s;  // would classify as weights
+  ExpectRejected(p, "policy.kv_lifetime");
+}
+
+TEST(MemoryPolicyValidate, RejectsWeightHintBelowFloor) {
+  MemoryPolicy p;
+  p.weight_lifetime_hint_s = p.weight_lifetime_floor_s / 2.0;
+  ExpectRejected(p, "policy.weight_lifetime");
+}
+
+TEST(MemoryPolicyValidate, RejectsZeroStrengthBand) {
+  MemoryPolicy p;
+  p.ecc_bands = {{0, 0}};
+  ExpectRejected(p, "policy.ecc_bands");
+}
+
+TEST(MemoryPolicyValidate, RejectsBandsNotStartingAtWearZero) {
+  MemoryPolicy p;
+  p.ecc_bands = {{100, 16}};
+  ExpectRejected(p, "policy.ecc_bands");
+}
+
+TEST(MemoryPolicyValidate, RejectsNonAscendingBands) {
+  MemoryPolicy p;
+  p.ecc_bands = {{0, 16}, {1000, 24}, {1000, 40}};
+  ExpectRejected(p, "policy.ecc_bands");
+}
+
+TEST(MemoryPolicyValidate, RejectsTargetUberOutOfRange) {
+  MemoryPolicy p;
+  p.target_uber = 0.0;
+  ExpectRejected(p, "policy.target_uber");
+  p.target_uber = 1.5;
+  ExpectRejected(p, "policy.target_uber");
+}
+
+TEST(MemoryPolicyValidate, RejectsNegativeScrubCrossover) {
+  MemoryPolicy p;
+  p.scrub_crossover_s = -1.0;
+  ExpectRejected(p, "policy.scrub_crossover");
+}
+
+TEST(MemoryPolicyValidate, RejectsPlacementOutsideTierCount) {
+  MemoryPolicy p = FancyPolicy();
+  p.placement.activations_tier = 2;  // tier_count is 2 → max index 1
+  EXPECT_FALSE(p.Validate(2).ok());
+  EXPECT_TRUE(p.Validate(3).ok());
+}
+
+TEST(MemoryPolicyValidate, RejectsTieringInconsistentWithPlacement) {
+  MemoryPolicy p = FancyPolicy();
+  p.tiering.weights_scrub_age_s = 100.0;
+  p.placement.weights_tier = 0;  // weights no longer on the scrub tier
+  const Status status = p.Validate(2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("weights_scrub_age_s"), std::string::npos)
+      << status.message();
+}
+
+// --- Lifetime dispatch -------------------------------------------------------
+
+TEST(MemoryPolicy, CompiledPlanePolicyDispatchesOnLifetime) {
+  // Give each stream a distinguishable fixed retention so the dispatch is
+  // observable through the compiled callback.
+  MemoryPolicy p;
+  p.activations.kind = RetentionClassKind::kFixed;
+  p.activations.fixed_retention_s = 100.0;
+  p.kv.kind = RetentionClassKind::kFixed;
+  p.kv.fixed_retention_s = 200.0;
+  p.weights.kind = RetentionClassKind::kFixed;
+  p.weights.fixed_retention_s = 300.0;
+  ASSERT_TRUE(p.Validate(2).ok());
+
+  const mrmcore::RetentionPolicy compiled = p.CompilePlanePolicy();
+  EXPECT_DOUBLE_EQ(compiled(0.1), 100.0);   // below activation cap
+  EXPECT_DOUBLE_EQ(compiled(600.0), 200.0); // between cap and weight floor
+  EXPECT_DOUBLE_EQ(compiled(30.0 * kDay), 300.0);  // at/above weight floor
+  // Exact boundaries: cap belongs to KV, floor to weights.
+  EXPECT_DOUBLE_EQ(compiled(p.activation_lifetime_cap_s), 200.0);
+  EXPECT_DOUBLE_EQ(compiled(p.weight_lifetime_floor_s), 300.0);
+  // A poisoned hint is "unknown" → conservative activation branch.
+  EXPECT_DOUBLE_EQ(compiled(kNan), 100.0);
+}
+
+// --- ECC payload accounting --------------------------------------------------
+
+TEST(MemoryPolicy, UsablePayloadFractionTracksBandStrength) {
+  const mrmcore::MrmDeviceConfig device = TestDevice();
+  MemoryPolicy p;
+  EXPECT_DOUBLE_EQ(p.UsablePayloadFraction(device), 1.0);  // no bands declared
+
+  double prev = 1.0;
+  for (std::uint32_t t : {16u, 24u, 40u, 64u}) {
+    p.ecc_bands = {{0, t}};
+    const double frac = p.UsablePayloadFraction(device);
+    EXPECT_GT(frac, 0.0) << t;
+    EXPECT_LT(frac, prev) << t;  // stronger code → less payload
+    prev = frac;
+  }
+}
+
+TEST(MemoryPolicy, DeriveScrubAgesScalesWithRetention) {
+  auto tradeoff = cell::MakeTradeoffFor(cell::Technology::kSttMram);
+  ASSERT_TRUE(tradeoff.ok());
+  MemoryPolicy p = FancyPolicy();
+  p.ecc_bands = {{0, 40}};
+
+  const auto derived = p.DeriveScrubAges(TestDevice(), *tradeoff.value());
+  ASSERT_TRUE(derived.ok()) << derived.error().message();
+  EXPECT_GT(derived.value().kv_scrub_age_s, 0.0);
+  // Weights sit on the scrub tier in FancyPolicy, so their age derives too —
+  // far longer than KV's because weights are programmed for longer retention
+  // (more write margin → lower RBER at equal age → later scrub deadline).
+  EXPECT_GT(derived.value().weights_scrub_age_s, 0.0);
+  EXPECT_GT(derived.value().weights_scrub_age_s, derived.value().kv_scrub_age_s);
+
+  // Off the scrub tier, weights derive no scrub age.
+  MemoryPolicy off = p;
+  off.placement.weights_tier = 0;
+  off.tiering.weights_scrub_age_s = 0.0;
+  const auto derived_off = off.DeriveScrubAges(TestDevice(), *tradeoff.value());
+  ASSERT_TRUE(derived_off.ok()) << derived_off.error().message();
+  EXPECT_DOUBLE_EQ(derived_off.value().weights_scrub_age_s, 0.0);
+}
+
+// --- Snapshot contract -------------------------------------------------------
+
+TEST(MemoryPolicy, SaveRestoreRoundTripsEveryField) {
+  const MemoryPolicy original = FancyPolicy();
+  snapshot::Encoder enc;
+  original.SaveState(&enc);
+  const std::vector<std::uint8_t> bytes = enc.TakeBytes();
+
+  MemoryPolicy restored;
+  snapshot::Decoder dec(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.RestoreState(&dec));
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_EQ(original, restored);
+  EXPECT_EQ(original.FingerprintDigest(), restored.FingerprintDigest());
+}
+
+TEST(MemoryPolicy, RestoreRejectsTruncatedBytes) {
+  snapshot::Encoder enc;
+  FancyPolicy().SaveState(&enc);
+  std::vector<std::uint8_t> bytes = enc.TakeBytes();
+  bytes.resize(bytes.size() / 2);
+  MemoryPolicy restored;
+  snapshot::Decoder dec(bytes.data(), bytes.size());
+  EXPECT_FALSE(restored.RestoreState(&dec));
+}
+
+TEST(MemoryPolicy, FingerprintSeesEveryPolicyParameter) {
+  const MemoryPolicy base = FancyPolicy();
+  const std::uint64_t digest = base.FingerprintDigest();
+
+  MemoryPolicy m = base;
+  m.kv.margin = 2.0;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+
+  m = base;
+  m.ecc_bands[1].t = 64;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+
+  m = base;
+  m.scrub_crossover_s += 1.0;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+
+  m = base;
+  m.placement.kv_hot_fraction = 0.5;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+
+  m = base;
+  m.tiering.kv_scrub_age_s += 1.0;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+
+  m = base;
+  m.weight_lifetime_hint_s += kDay;
+  EXPECT_NE(m.FingerprintDigest(), digest);
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace mrm

@@ -1,0 +1,122 @@
+// Two-fidelity tuner tests: grid shape, frontier/winner selection against the
+// static SCM baseline, analytic↔sim agreement inside the documented bound,
+// and bit-identical reports across runs and sim-thread counts.
+
+#include "src/policy/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrm {
+namespace policy {
+namespace {
+
+// A cheap tune: the default grid but a short serving run and one promoted
+// candidate besides the baseline.
+TunerOptions CheapOptions(int sim_threads = 1) {
+  TunerOptions options = TunerOptions::Defaults();
+  options.requests = 2;
+  options.output_tokens = 8;
+  options.max_validate = 1;
+  options.sim_threads = sim_threads;
+  return options;
+}
+
+void ExpectReportsEqual(const TuneReport& a, const TuneReport& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  EXPECT_EQ(a.winner_index, b.winner_index);
+  EXPECT_EQ(a.baseline_index, b.baseline_index);
+  EXPECT_EQ(a.j_per_token_delta_frac, b.j_per_token_delta_frac);
+  EXPECT_EQ(a.max_agreement_error, b.max_agreement_error);
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateOutcome& ca = a.candidates[i];
+    const CandidateOutcome& cb = b.candidates[i];
+    EXPECT_EQ(ca.name, cb.name) << i;
+    EXPECT_EQ(ca.analytic_j_per_token, cb.analytic_j_per_token) << ca.name;
+    EXPECT_EQ(ca.analytic_decode_step_s, cb.analytic_decode_step_s) << ca.name;
+    EXPECT_EQ(ca.sim_decode_step_s, cb.sim_decode_step_s) << ca.name;
+    EXPECT_EQ(ca.sim_j_per_token, cb.sim_j_per_token) << ca.name;
+    EXPECT_EQ(ca.faults_injected, cb.faults_injected) << ca.name;
+    EXPECT_EQ(ca.on_frontier, cb.on_frontier) << ca.name;
+    EXPECT_EQ(ca.validated, cb.validated) << ca.name;
+  }
+}
+
+TEST(PolicyTuner, DefaultGridHasOneBaselineAndValidates) {
+  const auto grid = DefaultPolicyGrid();
+  ASSERT_GT(grid.size(), 3u);
+  int baselines = 0;
+  for (const PolicyCandidate& candidate : grid) {
+    baselines += candidate.baseline ? 1 : 0;
+    EXPECT_TRUE(candidate.policy.Validate(2).ok()) << candidate.name;
+  }
+  EXPECT_EQ(baselines, 1);
+}
+
+TEST(PolicyTuner, TunedDcmDominatesStaticScmBaseline) {
+  const TuneReport report = RunTune(CheapOptions());
+  ASSERT_GE(report.baseline_index, 0);
+  ASSERT_GE(report.winner_index, 0);
+  const CandidateOutcome& baseline = *report.baseline();
+  const CandidateOutcome& winner = *report.winner();
+  EXPECT_TRUE(baseline.baseline);
+  EXPECT_FALSE(winner.baseline);
+  EXPECT_TRUE(winner.validated);
+  // The paper's claim, quantified: managing retention strictly beats 10-year
+  // SCM provisioning on J/token at equal-or-better usable capacity.
+  EXPECT_LT(winner.analytic_j_per_token, baseline.analytic_j_per_token);
+  EXPECT_GE(winner.usable_capacity_fraction, baseline.usable_capacity_fraction);
+  EXPECT_LT(report.j_per_token_delta_frac, 0.0);
+  EXPECT_GE(report.capacity_delta_frac, 0.0);
+}
+
+TEST(PolicyTuner, ValidatedCandidatesAgreeWithinTheBound) {
+  const TunerOptions options = CheapOptions();
+  const TuneReport report = RunTune(options);
+  int validated = 0;
+  for (const CandidateOutcome& c : report.candidates) {
+    if (!c.validated) {
+      continue;
+    }
+    ++validated;
+    EXPECT_TRUE(c.within_agreement)
+        << c.name << " ratio " << c.agreement_ratio;
+    EXPECT_LE(std::abs(c.agreement_ratio - 1.0), options.agreement_bound) << c.name;
+    // Validation ran under the F2 fault rung, not a fault-free sandbox.
+    EXPECT_GT(c.faults_injected, 0u) << c.name;
+    EXPECT_GT(c.sim_events, 0u) << c.name;
+  }
+  EXPECT_EQ(validated, 2);  // baseline + max_validate
+  EXPECT_LE(report.max_agreement_error, options.agreement_bound);
+}
+
+TEST(PolicyTuner, InfeasibleCandidatesAreReportedNotDropped) {
+  std::vector<PolicyCandidate> grid = DefaultPolicyGrid();
+  PolicyCandidate broken;
+  broken.name = "broken_margin";
+  broken.policy = grid.back().policy;
+  broken.policy.kv.margin = 0.5;  // violates policy.kv.margin >= 1
+  grid.push_back(broken);
+
+  const TuneReport report = RunTune(CheapOptions(), grid);
+  ASSERT_EQ(report.candidates.size(), grid.size());
+  const CandidateOutcome& last = report.candidates.back();
+  EXPECT_FALSE(last.feasible);
+  EXPECT_NE(last.infeasible_why.find("policy.kv.margin"), std::string::npos)
+      << last.infeasible_why;
+  EXPECT_FALSE(last.on_frontier);
+  EXPECT_FALSE(last.validated);
+}
+
+TEST(PolicyTuner, ReportIsBitIdenticalAcrossRunsAndThreads) {
+  const TuneReport first = RunTune(CheapOptions(1));
+  const TuneReport again = RunTune(CheapOptions(1));
+  ExpectReportsEqual(first, again);
+  const TuneReport threaded = RunTune(CheapOptions(4));
+  ExpectReportsEqual(first, threaded);
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace mrm

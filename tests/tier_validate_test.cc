@@ -131,6 +131,94 @@ TEST(OptionsValidate, AcceptsScrubOnValidTier) {
   EXPECT_TRUE(options.Validate(2).ok());
 }
 
+// --- Per-stream scrub ages (policy layer, DESIGN.md §14) --------------------
+
+TEST(OptionsValidate, RejectsNegativeKvScrubAge) {
+  TieredBackendOptions options;
+  options.kv_scrub_age_s = -1.0;
+  const Status status = options.Validate(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_scrub_age_s"), std::string::npos);
+}
+
+TEST(OptionsValidate, RejectsNanKvScrubAgeEvenWithScrubOff) {
+  // Unlike the deprecated alias, the per-stream fields are first-class: a
+  // poisoned value is rejected regardless of scrub_tier.
+  TieredBackendOptions options;  // scrub_tier = -1
+  options.kv_scrub_age_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(options.Validate(1).ok());
+}
+
+TEST(OptionsValidate, RejectsNegativeOrNonFiniteWeightsScrubAge) {
+  TieredBackendOptions options;
+  options.weights_scrub_age_s = -3600.0;
+  const Status negative = options.Validate(1);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.message().find("weights_scrub_age_s"), std::string::npos);
+  options.weights_scrub_age_s = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(options.Validate(1).ok());
+}
+
+TEST(OptionsValidate, KvScrubAgeOverridesTheDeprecatedAlias) {
+  TieredBackendOptions options;
+  options.scrub_safe_age_s = 3600.0;
+  EXPECT_DOUBLE_EQ(options.EffectiveKvScrubAge(), 3600.0);  // alias inherited
+  options.kv_scrub_age_s = 120.0;
+  EXPECT_DOUBLE_EQ(options.EffectiveKvScrubAge(), 120.0);   // explicit wins
+}
+
+TEST(OptionsValidate, ExplicitKvAgeSatisfiesTheScrubTierRule) {
+  TieredBackendOptions options;
+  options.scrub_tier = 0;
+  options.scrub_safe_age_s = 0.0;  // alias alone would be rejected
+  options.kv_scrub_age_s = 600.0;
+  EXPECT_TRUE(options.Validate(1).ok());
+}
+
+TEST(OptionsValidate, CrossFieldRejectsKvAgeWithoutScrubTier) {
+  TieredBackendOptions options;  // scrub_tier = -1
+  options.kv_scrub_age_s = 600.0;
+  Placement placement;
+  const Status status = options.Validate(placement, 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_scrub_age_s"), std::string::npos);
+  EXPECT_NE(status.message().find("no scrub tier"), std::string::npos);
+}
+
+TEST(OptionsValidate, CrossFieldRejectsKvAgeWhenNoKvTierOnScrubTier) {
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.kv_scrub_age_s = 600.0;
+  Placement placement;  // every stream on tier 0
+  placement.weights_tier = 1;  // weights there, but no KV tier
+  const Status status = options.Validate(placement, 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("kv_scrub_age_s"), std::string::npos);
+}
+
+TEST(OptionsValidate, CrossFieldRejectsWeightsAgeOffTheScrubTier) {
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.weights_scrub_age_s = 3600.0;
+  Placement placement;
+  placement.kv_cold_tier = 1;  // KV on the scrub tier, weights are not
+  const Status status = options.Validate(placement, 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("weights_scrub_age_s"), std::string::npos);
+}
+
+TEST(OptionsValidate, CrossFieldAcceptsConsistentPerStreamAges) {
+  TieredBackendOptions options;
+  options.scrub_tier = 1;
+  options.kv_scrub_age_s = 600.0;
+  options.weights_scrub_age_s = 3600.0;
+  Placement placement;
+  placement.weights_tier = 1;
+  placement.kv_cold_tier = 1;
+  placement.kv_hot_fraction = 0.15;
+  EXPECT_TRUE(options.Validate(placement, 2).ok());
+}
+
 }  // namespace
 }  // namespace tier
 }  // namespace mrm

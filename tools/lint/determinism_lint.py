@@ -49,7 +49,7 @@ import sys
 import tempfile
 
 CORE_DIRS = ("src/sim", "src/mem", "src/mrm", "src/fault", "src/workload", "src/tier",
-             "src/driver", "src/cluster", "src/analysis")
+             "src/driver", "src/cluster", "src/analysis", "src/policy")
 CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
 # allow(<rule>) plus a mandatory trailing justification (after `--`, `-`, or

@@ -16,8 +16,8 @@
 #
 # After the tests pass, the tracked perf benches run with a 1-thread bench
 # pool and a 4-thread sim worker pool and refresh BENCH_micro_simulator
-# .json, BENCH_e12_bandwidth.json, BENCH_e12_closed_loop.json and
-# BENCH_f2_fault_sweep.json at the repo root; committing them records the
+# .json, BENCH_e12_bandwidth.json, BENCH_e12_closed_loop.json,
+# BENCH_f2_fault_sweep.json and BENCH_e14_policy_tune.json at the repo root; committing them records the
 # perf/RAS/validation trajectory between PRs. MRMSIM_SPEC_HORIZON is pinned
 # to 0 so the spec-off points are genuinely conservative; the speculation
 # story lives in each bench's dedicated *_spec / *_spec_on points, which
@@ -72,9 +72,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 if [[ "${MRMSIM_BENCH:-1}" == "1" && "${MRMSIM_SANITIZE:-0}" != "1" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_micro_simulator bench_e12_bandwidth bench_e12_closed_loop \
-    bench_f2_fault_sweep
+    bench_f2_fault_sweep bench_e14_policy_tune
   for bench in bench_micro_simulator bench_e12_bandwidth bench_e12_closed_loop \
-               bench_f2_fault_sweep; do
+               bench_f2_fault_sweep bench_e14_policy_tune; do
     MRMSIM_BENCH_THREADS=1 MRMSIM_SIM_THREADS=4 MRMSIM_SPEC_HORIZON=0 \
       MRMSIM_BENCH_OUT="$PWD" "./$BUILD_DIR/bench/$bench"
   done
